@@ -1,0 +1,465 @@
+package vids_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"vids"
+	"vids/internal/attack"
+	"vids/internal/core"
+	"vids/internal/ids"
+	"vids/internal/media"
+	"vids/internal/rtp"
+	"vids/internal/sdp"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+	"vids/internal/trace"
+	"vids/internal/workload"
+)
+
+// benchOpts keeps per-iteration experiment runs small enough to
+// benchmark while exercising the full pipeline. The cmd/experiments
+// binary runs the paper-scale versions.
+func benchOpts() vids.ExperimentOptions {
+	return vids.ExperimentOptions{
+		Seed:             9,
+		UAs:              4,
+		Duration:         2 * time.Minute,
+		MeanCallInterval: 40 * time.Second,
+		MeanCallDuration: 15 * time.Second,
+	}
+}
+
+// BenchmarkFig8Workload regenerates the Figure 8 arrival/duration
+// workload (experiment E1).
+func BenchmarkFig8Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := vids.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Placed == 0 {
+			b.Fatal("no calls placed")
+		}
+	}
+}
+
+// BenchmarkFig9CallSetup regenerates the Figure 9 setup-delay
+// comparison (experiment E2) and reports the measured vids overhead.
+func BenchmarkFig9CallSetup(b *testing.B) {
+	var overhead time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := vids.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = res.AvgOverhead
+	}
+	b.ReportMetric(float64(overhead)/float64(time.Millisecond), "setup-overhead-ms")
+}
+
+// BenchmarkFig10RTPQoS regenerates the Figure 10 RTP QoS comparison
+// (experiment E3).
+func BenchmarkFig10RTPQoS(b *testing.B) {
+	opts := benchOpts()
+	opts.Duration = time.Minute
+	var overhead time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := vids.Fig10(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = res.DelayOverhead
+	}
+	b.ReportMetric(float64(overhead)/float64(time.Millisecond), "rtp-overhead-ms")
+}
+
+// BenchmarkCPUOverhead regenerates the Section 7.3 CPU measurement
+// (experiment E4).
+func BenchmarkCPUOverhead(b *testing.B) {
+	opts := benchOpts()
+	opts.Duration = time.Minute
+	var perPacket time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := vids.CPUOverhead(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perPacket = res.PerPacket
+	}
+	b.ReportMetric(float64(perPacket.Nanoseconds()), "vids-ns/packet")
+}
+
+// BenchmarkPerCallMemory regenerates the Section 7.3 memory
+// accounting (experiment E5).
+func BenchmarkPerCallMemory(b *testing.B) {
+	var perCall int
+	for i := 0; i < b.N; i++ {
+		res, err := vids.Memory(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		perCall = res.PerCallBytes
+	}
+	b.ReportMetric(float64(perCall), "bytes/call")
+}
+
+// BenchmarkDetectionAccuracy regenerates the Section 7.5 accuracy
+// table (experiment E6).
+func BenchmarkDetectionAccuracy(b *testing.B) {
+	opts := benchOpts()
+	opts.Duration = time.Minute
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := vids.Accuracy(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.DetectionRate()
+	}
+	b.ReportMetric(rate*100, "detection-%")
+}
+
+// BenchmarkDetectionSensitivity regenerates the Section 7.5 timer
+// sweeps (experiment E7).
+func BenchmarkDetectionSensitivity(b *testing.B) {
+	opts := benchOpts()
+	opts.Duration = time.Minute
+	for i := 0; i < b.N; i++ {
+		if _, err := vids.Sensitivity(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossProtocolAblation runs experiment A1.
+func BenchmarkCrossProtocolAblation(b *testing.B) {
+	opts := benchOpts()
+	opts.Duration = time.Minute
+	for i := 0; i < b.N; i++ {
+		res, err := vids.Ablation(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.DetectedWithSync || res.DetectedWithoutSync {
+			b.Fatal("ablation outcome wrong")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Packet-path micro-benchmarks: the hot spots of the inline IDS.
+// ---------------------------------------------------------------------------
+
+func benchInvite() *sipmsg.Message {
+	inv := sipmsg.NewRequest(sipmsg.INVITE, sipmsg.URI{User: "bob", Host: "b.example.com"})
+	inv.Via = []sipmsg.Via{{Transport: "UDP", Host: "proxy.a.example.com", Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bKbench"}}}
+	inv.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: "a.example.com"}}.WithTag("t1")
+	inv.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: "b.example.com"}}
+	inv.CallID = "bench@a.example.com"
+	inv.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE}
+	contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: "ua1.a.example.com"}}
+	inv.Contact = &contact
+	inv.ContentType = "application/sdp"
+	inv.Body = sdp.New("alice", "ua1.a.example.com", 20000, sdp.PayloadG729).Marshal()
+	return inv
+}
+
+// BenchmarkSIPParse measures the wire-format parser (every packet
+// crossing vids goes through it).
+func BenchmarkSIPParse(b *testing.B) {
+	raw := benchInvite().Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sipmsg.Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSIPSerialize measures message serialization.
+func BenchmarkSIPSerialize(b *testing.B) {
+	m := benchInvite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Bytes()
+	}
+}
+
+// BenchmarkRTPParse measures RTP header decoding.
+func BenchmarkRTPParse(b *testing.B) {
+	p := &rtp.Packet{PayloadType: 18, Sequence: 7, Timestamp: 1120, SSRC: 42,
+		Payload: make([]byte, 20)}
+	raw, err := p.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtp.Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIDSProcessSIP measures the full per-SIP-packet IDS path:
+// parse, classify, machine step.
+func BenchmarkIDSProcessSIP(b *testing.B) {
+	s := sim.New(1)
+	d := ids.New(s, ids.DefaultConfig())
+	raw := benchInvite().Bytes()
+	from := sim.Addr{Host: "proxy.a.example.com", Port: 5060}
+	to := sim.Addr{Host: "proxy.b.example.com", Port: 5060}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Process(&sim.Packet{From: from, To: to, Proto: sim.ProtoSIP, Size: len(raw), Payload: raw})
+	}
+}
+
+// BenchmarkIDSProcessRTP measures the full per-RTP-packet IDS path on
+// an established call's stream.
+func BenchmarkIDSProcessRTP(b *testing.B) {
+	s := sim.New(1)
+	d := ids.New(s, ids.DefaultConfig())
+	// Establish one call so the stream has a live machine.
+	inv := benchInvite()
+	pa := sim.Addr{Host: "proxy.a.example.com", Port: 5060}
+	pb := sim.Addr{Host: "proxy.b.example.com", Port: 5060}
+	d.Process(&sim.Packet{From: pa, To: pb, Proto: sim.ProtoSIP, Size: 500, Payload: inv.Bytes()})
+	ok := sipmsg.NewResponse(inv, sipmsg.StatusOK)
+	ok.To = ok.To.WithTag("t2")
+	okContact := sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: "ua2.b.example.com"}}
+	ok.Contact = &okContact
+	ok.ContentType = "application/sdp"
+	ok.Body = sdp.New("bob", "ua2.b.example.com", 30000, sdp.PayloadG729).Marshal()
+	d.Process(&sim.Packet{From: pb, To: pa, Proto: sim.ProtoSIP, Size: 500, Payload: ok.Bytes()})
+
+	mfrom := sim.Addr{Host: "ua1.a.example.com", Port: 20000}
+	mto := sim.Addr{Host: "ua2.b.example.com", Port: 30000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &rtp.Packet{PayloadType: 18, Sequence: uint16(i), Timestamp: uint32(i) * 160,
+			SSRC: 42, Payload: make([]byte, 20)}
+		raw, err := p.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Process(&sim.Packet{From: mfrom, To: mto, Proto: sim.ProtoRTP, Size: len(raw), Payload: raw})
+	}
+}
+
+// BenchmarkEFSMStep measures one guarded machine transition.
+func BenchmarkEFSMStep(b *testing.B) {
+	spec := core.NewSpec("bench", "A")
+	spec.On("A", "e", func(c *core.Ctx) bool {
+		return c.Event.IntArg("x") >= 0
+	}, func(c *core.Ctx) {
+		c.Vars["l.count"] = c.Vars.GetInt("l.count") + 1
+	}, "A")
+	m := core.NewMachine(spec, nil)
+	ev := core.Event{Name: "e", Args: map[string]any{"x": 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Step(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorEvents measures raw event scheduling throughput.
+func BenchmarkSimulatorEvents(b *testing.B) {
+	s := sim.New(1)
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i)*time.Microsecond, func() { n++ })
+	}
+	if err := s.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("ran %d of %d events", n, b.N)
+	}
+}
+
+// BenchmarkTestbedCall measures one full end-to-end call (setup,
+// media start, teardown) through the simulated enterprise network
+// with vids inline.
+func BenchmarkTestbedCall(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.UAs = 2
+	cfg.WithMedia = false
+	tb, err := workload.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := tb.PlaceCall(0, 0, time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tb.Sim.Run(tb.Sim.Now() + 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if !rec.Established {
+			b.Fatal("call failed")
+		}
+	}
+}
+
+// BenchmarkAttackDetectionLatency measures the end-to-end cost of the
+// flagship detection: spoofed BYE -> cross-protocol alert.
+func BenchmarkAttackDetectionLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := workload.DefaultConfig()
+		cfg.UAs = 2
+		cfg.WithMedia = true
+		cfg.AnswerDelay = time.Second
+		tb, err := workload.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sniff := attack.NewSniffer()
+		tb.Net.Tap(sniff.Tap)
+		if err := tb.Sim.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
+		rec, err := tb.PlaceCall(0, 0, time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tb.Sim.Run(tb.Sim.Now() + 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		call := rec.Call()
+		info := attack.DialogInfo{
+			CallID:     call.ID,
+			CallerTag:  call.LocalTag,
+			CalleeTag:  call.RemoteTag,
+			CallerAOR:  sipmsg.URI{User: workload.UAUser("a", 1), Host: workload.DomainA},
+			CalleeAOR:  sipmsg.URI{User: workload.UAUser("b", 1), Host: workload.DomainB},
+			CallerHost: workload.UAHost("a", 1),
+			CalleeHost: call.RemoteContact.Host,
+		}
+		atk := attack.New(tb.Sim, tb.Net, workload.AttackerHost)
+		if err := atk.ByeDoS(info, true); err != nil {
+			b.Fatal(err)
+		}
+		if err := tb.Sim.Run(tb.Sim.Now() + 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		detected := false
+		for _, a := range tb.IDS.Alerts() {
+			if a.Type == ids.AlertTollFraud || a.Type == ids.AlertByeDoS {
+				detected = true
+			}
+		}
+		if !detected {
+			b.Fatal("attack undetected")
+		}
+	}
+}
+
+// BenchmarkAuthExperiment runs experiment E8 (authentication
+// sufficiency).
+func BenchmarkAuthExperiment(b *testing.B) {
+	opts := benchOpts()
+	opts.Duration = time.Minute
+	for i := 0; i < b.N; i++ {
+		res, err := vids.Auth(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.NoAuthDoSSucceeded || res.AuthDoSSucceeded {
+			b.Fatal("auth experiment outcome wrong")
+		}
+	}
+}
+
+// BenchmarkTraceReplay measures offline trace analysis throughput:
+// packets per second through a fresh IDS.
+func BenchmarkTraceReplay(b *testing.B) {
+	// Capture once.
+	cfg := workload.DefaultConfig()
+	cfg.UAs = 3
+	cfg.WithMedia = true
+	tb, err := workload.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	tb.IDS.OnPacket = w.Tap
+	tb.GenerateCalls(time.Minute)
+	if err := tb.Sim.Run(2 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	entries, err := trace.Read(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(entries) == 0 {
+		b.Fatal("empty capture")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(int64(i) + 1)
+		d := ids.New(s, ids.DefaultConfig())
+		if err := trace.Replay(s, entries, d); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(entries)), "packets/replay")
+}
+
+// BenchmarkRTCPParse measures RTCP decoding.
+func BenchmarkRTCPParse(b *testing.B) {
+	p := &rtp.RTCP{Type: rtp.RTCPSenderReport, SSRC: 1, PacketCount: 100,
+		Reports: []rtp.ReceptionReport{{SSRC: 2, HighestSeq: 500}}}
+	raw, err := p.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtp.ParseRTCP(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMOS measures the E-model computation.
+func BenchmarkMOS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = media.MOS(time.Duration(i%200)*time.Millisecond, float64(i%10)/100)
+	}
+}
+
+// BenchmarkPreventionExperiment runs experiment E9 (availability
+// under flood, detection vs. prevention).
+func BenchmarkPreventionExperiment(b *testing.B) {
+	opts := benchOpts()
+	opts.Duration = time.Minute
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := vids.Prevention(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res.AvailabilityPrevention() - res.AvailabilityDetectOnly()
+	}
+	b.ReportMetric(gain*100, "availability-gain-%")
+}

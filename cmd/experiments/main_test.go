@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+func TestFastSingleExperiments(t *testing.T) {
+	for _, which := range []string{"memory", "ablation", "auth"} {
+		if err := run([]string{"-fast", which}); err != nil {
+			t.Fatalf("%s: %v", which, err)
+		}
+	}
+	if err := run([]string{"nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestValidateAllMachines(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	for _, name := range []string{"sip", "rtp-caller", "invite-flood", "all"} {
+		if err := run([]string{"-dot", name}); err != nil {
+			t.Fatalf("-dot %s: %v", name, err)
+		}
+	}
+	if err := run([]string{"-dot", "nope"}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSimnetRunsTiny(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.jsonl")
+	cdrFile := filepath.Join(dir, "c.csv")
+	err := run([]string{"-duration", "4m", "-uas", "3", "-media",
+		"-trace", traceFile, "-cdr", cdrFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{traceFile, cdrFile} {
+		st, err := os.Stat(f)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("output %s missing or empty: %v", f, err)
+		}
+	}
+}
+
+func TestSimnetTraceRequiresVids(t *testing.T) {
+	if err := run([]string{"-duration", "1s", "-uas", "2", "-novids", "-trace", "/tmp/x"}); err == nil {
+		t.Fatal("-trace with -novids accepted")
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestScenarioAndReplayWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "alerts.json")
+	if err := run([]string{"-scenario", "media-spam", "-report", report}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestCleanScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "clean"}); err != nil {
+		t.Fatal(err)
+	}
+}

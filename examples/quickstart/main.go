@@ -1,0 +1,137 @@
+// Quickstart: feed a SIP/RTP packet stream straight into vids and
+// watch it track the call with communicating protocol state machines.
+//
+// This example needs no network topology at all — it hand-crafts the
+// wire packets a monitoring point would capture for one call, then
+// replays a spoofed BYE to show a detection.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vids"
+	"vids/internal/rtp"
+	"vids/internal/sdp"
+	"vids/internal/sipmsg"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	s := vids.NewSimulator(1)
+	d := vids.New(s, vids.DefaultConfig())
+	d.OnAlert = func(a vids.Alert) {
+		fmt.Println("ALERT:", a)
+	}
+
+	proxyA := vids.Addr{Host: "proxy.a.example.com", Port: 5060}
+	proxyB := vids.Addr{Host: "proxy.b.example.com", Port: 5060}
+	caller := vids.Addr{Host: "ua1.a.example.com", Port: 5060}
+	callee := vids.Addr{Host: "ua2.b.example.com", Port: 5060}
+
+	// --- Call setup: INVITE / 180 / 200 / ACK ---------------------------
+	invite := sipmsg.NewRequest(sipmsg.INVITE, sipmsg.URI{User: "bob", Host: "b.example.com"})
+	invite.Via = []sipmsg.Via{{Transport: "UDP", Host: proxyA.Host, Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bKqs1"}}}
+	invite.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: "a.example.com"}}.WithTag("tagA")
+	invite.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: "b.example.com"}}
+	invite.CallID = "quickstart-call@ua1.a.example.com"
+	invite.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE}
+	contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: caller.Host}}
+	invite.Contact = &contact
+	invite.ContentType = "application/sdp"
+	invite.Body = sdp.New("alice", caller.Host, 20000, sdp.PayloadG729).Marshal()
+	feedSIP(d, invite, proxyA, proxyB)
+
+	ringing := sipmsg.NewResponse(invite, sipmsg.StatusRinging)
+	ringing.To = ringing.To.WithTag("tagB")
+	feedSIP(d, ringing, proxyB, proxyA)
+
+	answer := sipmsg.NewResponse(invite, sipmsg.StatusOK)
+	answer.To = answer.To.WithTag("tagB")
+	calleeContact := sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: callee.Host}}
+	answer.Contact = &calleeContact
+	answer.ContentType = "application/sdp"
+	answer.Body = sdp.New("bob", callee.Host, 30000, sdp.PayloadG729).Marshal()
+	feedSIP(d, answer, proxyB, proxyA)
+
+	mon, _ := d.Monitor(invite.CallID)
+	fmt.Printf("after setup: SIP machine in %s, media directions %s / %s\n",
+		mon.SIP.State(), mon.RTPCaller.State(), mon.RTPCallee.State())
+
+	// --- Media flows ----------------------------------------------------
+	for i := 0; i < 10; i++ {
+		feedRTP(d, uint16(100+i), uint32(160*i), 0xC0FFEE,
+			vids.Addr{Host: caller.Host, Port: 20000},
+			vids.Addr{Host: callee.Host, Port: 30000})
+	}
+	fmt.Printf("after media: caller stream machine in %s\n", mon.RTPCaller.State())
+
+	// --- The attack: a perfectly spoofed BYE ----------------------------
+	// Headers and transport source both match the real caller, so no
+	// single-protocol check can flag it. The callee hangs up; the
+	// caller, unaware, keeps talking.
+	bye := sipmsg.NewRequest(sipmsg.BYE, sipmsg.URI{User: "bob", Host: callee.Host})
+	bye.Via = []sipmsg.Via{{Transport: "UDP", Host: caller.Host, Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bKevil"}}}
+	bye.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: "a.example.com"}}.WithTag("tagA")
+	bye.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: "b.example.com"}}.WithTag("tagB")
+	bye.CallID = invite.CallID
+	bye.CSeq = sipmsg.CSeq{Seq: 2, Method: sipmsg.BYE}
+	feedSIP(d, bye, caller, callee)
+
+	ok := sipmsg.NewResponse(bye, sipmsg.StatusOK)
+	feedSIP(d, ok, callee, caller)
+	fmt.Printf("after BYE: SIP machine in %s — vids armed timer T for in-flight media\n", mon.SIP.State())
+
+	// The unaware caller keeps streaming past the grace period.
+	seq := uint16(110)
+	ts := uint32(160 * 10)
+	for i := 0; i < 20; i++ {
+		i := i
+		delay := d.Config().ByeGraceT + time.Duration(i+1)*20*time.Millisecond
+		s.Schedule(delay, func() {
+			feedRTP(d, seq+uint16(i), ts+uint32(160*i), 0xC0FFEE,
+				vids.Addr{Host: caller.Host, Port: 20000},
+				vids.Addr{Host: callee.Host, Port: 30000})
+		})
+	}
+	if err := s.RunAll(); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nvids saw %d SIP and %d RTP packets and raised %d alert(s)\n",
+		count(d, 0), count(d, 1), len(d.Alerts()))
+	return nil
+}
+
+func feedSIP(d *vids.IDS, m *sipmsg.Message, from, to vids.Addr) {
+	raw := m.Bytes()
+	d.Process(&vids.Packet{From: from, To: to, Proto: vids.ProtoSIP, Size: len(raw), Payload: raw})
+}
+
+func feedRTP(d *vids.IDS, seq uint16, ts, ssrc uint32, from, to vids.Addr) {
+	p := &rtp.Packet{PayloadType: 18, Sequence: seq, Timestamp: ts, SSRC: ssrc,
+		Payload: make([]byte, 20)}
+	raw, err := p.Marshal()
+	if err != nil {
+		return
+	}
+	d.Process(&vids.Packet{From: from, To: to, Proto: vids.ProtoRTP, Size: len(raw), Payload: raw})
+}
+
+func count(d *vids.IDS, which int) uint64 {
+	sipN, rtpN, _, _ := d.Counters()
+	if which == 0 {
+		return sipN
+	}
+	return rtpN
+}

@@ -1,0 +1,3 @@
+module vids
+
+go 1.22

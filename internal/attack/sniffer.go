@@ -1,0 +1,63 @@
+package attack
+
+import (
+	"strconv"
+	"time"
+
+	"vids/internal/rtp"
+	"vids/internal/sim"
+)
+
+// Sniffer passively captures RTP stream state — SSRC, latest sequence
+// number and timestamp per destination — the way an on-path attacker
+// eavesdrops before fabricating packets (Section 3.2: "A third party
+// knowing the SDP information ... and the RTP synchronization source
+// (SSRC) identifier could fabricate RTP packets").
+type Sniffer struct {
+	streams map[string]StreamState
+}
+
+// StreamState is the captured per-stream header state.
+type StreamState struct {
+	SSRC     uint32
+	LastSeq  uint16
+	LastTS   uint32
+	Packets  uint64
+	LastSeen time.Duration
+}
+
+// NewSniffer creates a sniffer; attach it with network.Tap(s.Tap).
+func NewSniffer() *Sniffer {
+	return &Sniffer{streams: make(map[string]StreamState)}
+}
+
+// Tap is the network tap callback.
+func (s *Sniffer) Tap(pkt *sim.Packet, at time.Duration) {
+	if pkt.Proto != sim.ProtoRTP {
+		return
+	}
+	raw, ok := pkt.Payload.([]byte)
+	if !ok {
+		return
+	}
+	p, err := rtp.Parse(raw)
+	if err != nil {
+		return
+	}
+	key := streamKey(pkt.To)
+	st := s.streams[key]
+	st.SSRC = p.SSRC
+	st.LastSeq = p.Sequence
+	st.LastTS = p.Timestamp
+	st.Packets++
+	st.LastSeen = at
+	s.streams[key] = st
+}
+
+// Stream returns the captured state for a media destination.
+func (s *Sniffer) Stream(dst sim.Addr) (StreamState, bool) {
+	st, ok := s.streams[streamKey(dst)]
+	return st, ok
+}
+
+func streamKey(a sim.Addr) string { return a.Host + ":" + strconv.Itoa(a.Port) }

@@ -1,0 +1,382 @@
+// Package core implements the paper's formal model (Section 4): the
+// extended finite state machine (EFSM) quintuple M = (Σ, S, v, D, T)
+// and systems of communicating EFSMs joined by reliable FIFO
+// synchronization queues.
+//
+// An EFSM transition t ∈ T is the tuple <s_t, event, P_t, A_t, q_t>:
+// from state s_t, on an event carrying input vector x, if the
+// predicate P_t(x ∪ v) holds, run the context-update action A_t(v)
+// and move to q_t. Deterministic EFSMs require the predicates of
+// competing transitions to be mutually disjoint; Step enforces this
+// at run time by evaluating every candidate guard.
+//
+// vids (package ids) builds its SIP and RTP protocol machines on this
+// package; the interaction between them — the δ synchronization
+// messages of Figure 2 — flows through System's FIFO queues, where
+// sync events have priority over data-packet events (Section 4.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// State names one control state of a machine.
+type State string
+
+// Event is an element of the event alphabet Σ: a name plus the input
+// vector x of named arguments.
+type Event struct {
+	Name string
+	Args map[string]any
+}
+
+// Arg returns an event argument (nil if absent).
+func (e Event) Arg(key string) any { return e.Args[key] }
+
+// StringArg returns a string argument ("" if absent or not a string).
+func (e Event) StringArg(key string) string {
+	s, _ := e.Args[key].(string)
+	return s
+}
+
+// IntArg returns an int argument (0 if absent or not an int).
+func (e Event) IntArg(key string) int {
+	v, _ := e.Args[key].(int)
+	return v
+}
+
+// Uint32Arg returns a uint32 argument (0 if absent).
+func (e Event) Uint32Arg(key string) uint32 {
+	v, _ := e.Args[key].(uint32)
+	return v
+}
+
+// DurationArg returns a time.Duration argument (0 if absent).
+func (e Event) DurationArg(key string) time.Duration {
+	v, _ := e.Args[key].(time.Duration)
+	return v
+}
+
+// Vars is the state-variable vector v. By the paper's convention,
+// keys prefixed "l." are local to one machine and keys prefixed "g."
+// live in the globals shared across a System.
+type Vars map[string]any
+
+// GetString reads a string variable.
+func (v Vars) GetString(key string) string {
+	s, _ := v[key].(string)
+	return s
+}
+
+// GetInt reads an int variable.
+func (v Vars) GetInt(key string) int {
+	n, _ := v[key].(int)
+	return n
+}
+
+// GetUint32 reads a uint32 variable.
+func (v Vars) GetUint32(key string) uint32 {
+	n, _ := v[key].(uint32)
+	return n
+}
+
+// GetBool reads a bool variable.
+func (v Vars) GetBool(key string) bool {
+	b, _ := v[key].(bool)
+	return b
+}
+
+// GetDuration reads a time.Duration variable.
+func (v Vars) GetDuration(key string) time.Duration {
+	d, _ := v[key].(time.Duration)
+	return d
+}
+
+// Ctx is handed to predicates and actions: the triggering event, the
+// machine-local variables, the System-wide globals, and the emit
+// buffer for synchronization messages.
+type Ctx struct {
+	Event   Event
+	Vars    Vars // local state variables of this machine
+	Globals Vars // variables shared across the communicating system
+
+	emits []SyncMsg
+}
+
+// Emit queues a synchronization message to a peer machine. It is
+// delivered through the System's FIFO queue after the current
+// transition's action completes (c!δ in the paper's CSP notation).
+func (c *Ctx) Emit(target string, e Event) {
+	c.emits = append(c.emits, SyncMsg{Target: target, Event: e})
+}
+
+// SyncMsg is one δ message in flight between machines.
+type SyncMsg struct {
+	Target string
+	Event  Event
+}
+
+// Predicate is P_t(x ∪ v): it must be side-effect free.
+type Predicate func(c *Ctx) bool
+
+// Action is A_t(v): it updates the state variables and may Emit.
+type Action func(c *Ctx)
+
+// Transition is one element of the transition relation T.
+type Transition struct {
+	From  State
+	Event string
+	Guard Predicate // nil means "always true"
+	Do    Action    // nil means "no update"
+	To    State
+
+	// Label annotates the transition for alerts and traces.
+	Label string
+}
+
+// Spec is the immutable definition of one EFSM: shared by all of its
+// per-call instances, so the marginal memory cost of monitoring one
+// more call is just the variable vector (paper Section 7.3).
+type Spec struct {
+	Name    string
+	Initial State
+
+	finals  map[State]bool
+	attacks map[State]bool
+	// transitions indexed by from-state and event name.
+	transitions map[State]map[string][]Transition
+	states      map[State]bool
+}
+
+// NewSpec creates a machine definition with its start state.
+func NewSpec(name string, initial State) *Spec {
+	return &Spec{
+		Name:        name,
+		Initial:     initial,
+		finals:      make(map[State]bool),
+		attacks:     make(map[State]bool),
+		transitions: make(map[State]map[string][]Transition),
+		states:      map[State]bool{initial: true},
+	}
+}
+
+// On adds a transition. Multiple transitions may share (from, event)
+// as long as their guards are mutually disjoint; at most one of them
+// may have a nil (catch-all) guard.
+func (s *Spec) On(from State, event string, guard Predicate, action Action, to State) *Spec {
+	s.OnLabeled("", from, event, guard, action, to)
+	return s
+}
+
+// OnLabeled adds a transition carrying a label (used to annotate
+// attack signatures, paper Section 4.2).
+func (s *Spec) OnLabeled(label string, from State, event string, guard Predicate, action Action, to State) *Spec {
+	byEvent := s.transitions[from]
+	if byEvent == nil {
+		byEvent = make(map[string][]Transition)
+		s.transitions[from] = byEvent
+	}
+	byEvent[event] = append(byEvent[event], Transition{
+		From: from, Event: event, Guard: guard, Do: action, To: to, Label: label,
+	})
+	s.states[from] = true
+	s.states[to] = true
+	return s
+}
+
+// Final marks states as accepting/terminal: reaching one lets the
+// fact base evict the call's machines (paper Section 7.3).
+func (s *Spec) Final(states ...State) *Spec {
+	for _, st := range states {
+		s.finals[st] = true
+		s.states[st] = true
+	}
+	return s
+}
+
+// Attack annotates states whose entry constitutes an attack signature
+// match (s_attack in the paper).
+func (s *Spec) Attack(states ...State) *Spec {
+	for _, st := range states {
+		s.attacks[st] = true
+		s.states[st] = true
+	}
+	return s
+}
+
+// IsFinal reports whether st is a final state.
+func (s *Spec) IsFinal(st State) bool { return s.finals[st] }
+
+// IsAttack reports whether st is an attack state.
+func (s *Spec) IsAttack(st State) bool { return s.attacks[st] }
+
+// States returns every state mentioned by the spec, sorted.
+func (s *Spec) States() []State {
+	out := make([]State, 0, len(s.states))
+	for st := range s.states {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks structural well-formedness: every (state, event)
+// pair has at most one catch-all transition, and attack/final states
+// are reachable states of the graph.
+func (s *Spec) Validate() error {
+	for from, byEvent := range s.transitions {
+		for event, ts := range byEvent {
+			defaults := 0
+			for _, t := range ts {
+				if t.Guard == nil {
+					defaults++
+				}
+			}
+			if defaults > 1 {
+				return fmt.Errorf("core: %s: %d catch-all transitions from %q on %q",
+					s.Name, defaults, from, event)
+			}
+		}
+	}
+	for st := range s.attacks {
+		if !s.states[st] {
+			return fmt.Errorf("core: %s: attack state %q not in graph", s.Name, st)
+		}
+	}
+	for st := range s.finals {
+		if !s.states[st] {
+			return fmt.Errorf("core: %s: final state %q not in graph", s.Name, st)
+		}
+	}
+	return nil
+}
+
+// Errors reported by Machine.Step.
+var (
+	// ErrNoTransition means the event is not accepted in the current
+	// configuration: the specification-deviation signal.
+	ErrNoTransition = errors.New("core: no transition for event in current state")
+	// ErrNondeterministic means two guards were simultaneously true,
+	// violating the mutual-disjointness requirement of Section 4.1.
+	ErrNondeterministic = errors.New("core: multiple enabled transitions")
+)
+
+// Machine is one running instance of a Spec: a configuration
+// (state, v) in the paper's terms.
+type Machine struct {
+	spec    *Spec
+	name    string
+	state   State
+	vars    Vars
+	globals Vars
+
+	steps uint64
+}
+
+// NewMachine instantiates a spec. globals is the variable store
+// shared with peer machines (may be nil for a standalone machine).
+func NewMachine(spec *Spec, globals Vars) *Machine {
+	if globals == nil {
+		globals = make(Vars)
+	}
+	return &Machine{
+		spec:    spec,
+		name:    spec.Name,
+		state:   spec.Initial,
+		vars:    make(Vars),
+		globals: globals,
+	}
+}
+
+// Name returns the machine's name (the spec name).
+func (m *Machine) Name() string { return m.name }
+
+// State returns the current control state.
+func (m *Machine) State() State { return m.state }
+
+// Vars exposes the local variable vector (callers must treat it as
+// owned by the machine).
+func (m *Machine) Vars() Vars { return m.vars }
+
+// Spec returns the machine's definition.
+func (m *Machine) Spec() *Spec { return m.spec }
+
+// Steps reports how many transitions this instance has taken.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// InFinal reports whether the machine reached a final state.
+func (m *Machine) InFinal() bool { return m.spec.IsFinal(m.state) }
+
+// InAttack reports whether the machine sits in an attack state.
+func (m *Machine) InAttack() bool { return m.spec.IsAttack(m.state) }
+
+// StepResult describes one transition.
+type StepResult struct {
+	Machine       string
+	From, To      State
+	Event         string
+	Label         string
+	EnteredAttack bool
+	EnteredFinal  bool
+	Emitted       []SyncMsg
+}
+
+// Step feeds one event to the machine. On success it returns the
+// transition taken plus any emitted sync messages; ErrNoTransition
+// signals a specification deviation, ErrNondeterministic a broken
+// spec.
+func (m *Machine) Step(e Event) (StepResult, error) {
+	byEvent := m.spec.transitions[m.state]
+	candidates := byEvent[e.Name]
+	if len(candidates) == 0 {
+		return StepResult{Machine: m.name, From: m.state, Event: e.Name}, ErrNoTransition
+	}
+
+	ctx := &Ctx{Event: e, Vars: m.vars, Globals: m.globals}
+	var chosen *Transition
+	var fallback *Transition
+	enabled := 0
+	for i := range candidates {
+		t := &candidates[i]
+		if t.Guard == nil {
+			fallback = t
+			continue
+		}
+		if t.Guard(ctx) {
+			enabled++
+			chosen = t
+		}
+	}
+	if enabled > 1 {
+		return StepResult{Machine: m.name, From: m.state, Event: e.Name}, ErrNondeterministic
+	}
+	if chosen == nil {
+		chosen = fallback
+	}
+	if chosen == nil {
+		return StepResult{Machine: m.name, From: m.state, Event: e.Name}, ErrNoTransition
+	}
+
+	if chosen.Do != nil {
+		chosen.Do(ctx)
+	}
+	from := m.state
+	m.state = chosen.To
+	m.steps++
+	return StepResult{
+		Machine: m.name,
+		From:    from,
+		To:      chosen.To,
+		Event:   e.Name,
+		Label:   chosen.Label,
+		// "Entered" means a genuine state change into the flagged
+		// state: absorbing self-loops inside an attack state do not
+		// re-trigger.
+		EnteredAttack: m.spec.IsAttack(chosen.To) && from != chosen.To,
+		EnteredFinal:  m.spec.IsFinal(chosen.To) && from != chosen.To,
+		Emitted:       ctx.emits,
+	}, nil
+}

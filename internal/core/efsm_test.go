@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// counterSpec builds a machine that counts "tick" events and enters
+// an attack state when the count exceeds limit.
+func counterSpec(limit int) *Spec {
+	s := NewSpec("counter", "INIT")
+	s.On("INIT", "tick", nil, func(c *Ctx) { c.Vars["l.count"] = 1 }, "COUNTING")
+	s.On("COUNTING", "tick",
+		func(c *Ctx) bool { return c.Vars.GetInt("l.count") < limit },
+		func(c *Ctx) { c.Vars["l.count"] = c.Vars.GetInt("l.count") + 1 },
+		"COUNTING")
+	s.OnLabeled("flood", "COUNTING", "tick",
+		func(c *Ctx) bool { return c.Vars.GetInt("l.count") >= limit },
+		nil, "ATTACK")
+	s.On("COUNTING", "reset", nil, func(c *Ctx) { delete(c.Vars, "l.count") }, "INIT")
+	s.Attack("ATTACK")
+	s.Final("INIT")
+	return s
+}
+
+func TestMachineBasicTransitions(t *testing.T) {
+	m := NewMachine(counterSpec(3), nil)
+	if m.State() != "INIT" {
+		t.Fatalf("initial state = %q", m.State())
+	}
+	res, err := m.Step(Event{Name: "tick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.From != "INIT" || res.To != "COUNTING" {
+		t.Fatalf("transition = %+v", res)
+	}
+	if m.Vars().GetInt("l.count") != 1 {
+		t.Fatalf("count = %v", m.Vars()["l.count"])
+	}
+	if m.Steps() != 1 {
+		t.Fatalf("steps = %d", m.Steps())
+	}
+}
+
+func TestGuardedSelfLoopAndAttackEntry(t *testing.T) {
+	m := NewMachine(counterSpec(3), nil)
+	var last StepResult
+	for i := 0; i < 4; i++ {
+		var err error
+		last, err = m.Step(Event{Name: "tick"})
+		if err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	if !last.EnteredAttack {
+		t.Fatalf("4th tick with limit 3 must enter attack, got %+v", last)
+	}
+	if last.Label != "flood" {
+		t.Fatalf("label = %q", last.Label)
+	}
+	if !m.InAttack() {
+		t.Fatal("machine not in attack state")
+	}
+}
+
+func TestNoTransitionIsDeviation(t *testing.T) {
+	m := NewMachine(counterSpec(3), nil)
+	if _, err := m.Step(Event{Name: "bogus"}); !errors.Is(err, ErrNoTransition) {
+		t.Fatalf("err = %v, want ErrNoTransition", err)
+	}
+	// Known event name but guard-rejected in this state: also a
+	// deviation. "reset" is only defined from COUNTING.
+	if _, err := m.Step(Event{Name: "reset"}); !errors.Is(err, ErrNoTransition) {
+		t.Fatalf("err = %v, want ErrNoTransition", err)
+	}
+}
+
+func TestNondeterminismDetected(t *testing.T) {
+	s := NewSpec("bad", "A")
+	s.On("A", "e", func(c *Ctx) bool { return true }, nil, "B")
+	s.On("A", "e", func(c *Ctx) bool { return true }, nil, "C")
+	m := NewMachine(s, nil)
+	if _, err := m.Step(Event{Name: "e"}); !errors.Is(err, ErrNondeterministic) {
+		t.Fatalf("err = %v, want ErrNondeterministic", err)
+	}
+}
+
+func TestDisjointGuardsAreDeterministic(t *testing.T) {
+	s := NewSpec("ok", "A")
+	s.On("A", "e", func(c *Ctx) bool { return c.Event.IntArg("x") > 0 }, nil, "POS")
+	s.On("A", "e", func(c *Ctx) bool { return c.Event.IntArg("x") <= 0 }, nil, "NONPOS")
+	m := NewMachine(s, nil)
+	res, err := m.Step(Event{Name: "e", Args: map[string]any{"x": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.To != "POS" {
+		t.Fatalf("to = %q", res.To)
+	}
+}
+
+func TestFallbackGuardFiresOnlyWhenOthersFail(t *testing.T) {
+	s := NewSpec("fb", "A")
+	s.On("A", "e", func(c *Ctx) bool { return c.Event.IntArg("x") > 10 }, nil, "BIG")
+	s.On("A", "e", nil, nil, "DEFAULT")
+	m := NewMachine(s, nil)
+	res, err := m.Step(Event{Name: "e", Args: map[string]any{"x": 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.To != "BIG" {
+		t.Fatalf("guarded transition not preferred: %q", res.To)
+	}
+	m2 := NewMachine(s, nil)
+	res, err = m2.Step(Event{Name: "e", Args: map[string]any{"x": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.To != "DEFAULT" {
+		t.Fatalf("fallback not taken: %q", res.To)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := counterSpec(3)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	dup := NewSpec("dup", "A")
+	dup.On("A", "e", nil, nil, "B")
+	dup.On("A", "e", nil, nil, "C")
+	if err := dup.Validate(); err == nil {
+		t.Fatal("two catch-alls accepted")
+	}
+}
+
+func TestSpecStatesAndFlags(t *testing.T) {
+	s := counterSpec(3)
+	states := s.States()
+	want := map[State]bool{"INIT": true, "COUNTING": true, "ATTACK": true}
+	for _, st := range states {
+		delete(want, st)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing states %v in %v", want, states)
+	}
+	if !s.IsAttack("ATTACK") || s.IsAttack("INIT") {
+		t.Fatal("attack flags wrong")
+	}
+	if !s.IsFinal("INIT") || s.IsFinal("ATTACK") {
+		t.Fatal("final flags wrong")
+	}
+}
+
+func TestEventArgHelpers(t *testing.T) {
+	e := Event{Name: "x", Args: map[string]any{
+		"s": "str", "i": 42, "u": uint32(7),
+	}}
+	if e.StringArg("s") != "str" || e.StringArg("i") != "" {
+		t.Fatal("StringArg wrong")
+	}
+	if e.IntArg("i") != 42 || e.IntArg("s") != 0 {
+		t.Fatal("IntArg wrong")
+	}
+	if e.Uint32Arg("u") != 7 || e.Uint32Arg("missing") != 0 {
+		t.Fatal("Uint32Arg wrong")
+	}
+	if e.Arg("missing") != nil {
+		t.Fatal("Arg on missing key")
+	}
+}
+
+func TestVarsHelpers(t *testing.T) {
+	v := Vars{"s": "x", "i": 3, "u": uint32(9), "b": true}
+	if v.GetString("s") != "x" || v.GetInt("i") != 3 ||
+		v.GetUint32("u") != 9 || !v.GetBool("b") {
+		t.Fatal("vars getters wrong")
+	}
+	if v.GetString("i") != "" || v.GetInt("s") != 0 {
+		t.Fatal("type-mismatch getters must zero")
+	}
+}
+
+// Property: the counter machine deterministically enters the attack
+// state on exactly tick number limit+1, for any limit in 1..50.
+func TestCounterAttackTimingProperty(t *testing.T) {
+	prop := func(rawLimit uint8) bool {
+		limit := int(rawLimit)%50 + 1
+		m := NewMachine(counterSpec(limit), nil)
+		for i := 1; ; i++ {
+			res, err := m.Step(Event{Name: "tick"})
+			if err != nil {
+				return false
+			}
+			if res.EnteredAttack {
+				return i == limit+1
+			}
+			if i > limit+1 {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

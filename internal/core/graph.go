@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Reachable computes the set of states reachable from the initial
+// state along the transition graph, ignoring guards (an
+// over-approximation: a guard can only restrict, never extend,
+// reachability).
+func (s *Spec) Reachable() map[State]bool {
+	seen := map[State]bool{s.Initial: true}
+	frontier := []State{s.Initial}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, ts := range s.transitions[cur] {
+			for _, t := range ts {
+				if !seen[t.To] {
+					seen[t.To] = true
+					frontier = append(frontier, t.To)
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// CheckReachable verifies every declared state — in particular every
+// attack and final state — is reachable from the initial state. An
+// unreachable attack state is a detection pattern that can never
+// fire: a specification bug.
+func (s *Spec) CheckReachable() error {
+	reachable := s.Reachable()
+	var unreachable []string
+	for st := range s.states {
+		if !reachable[st] {
+			unreachable = append(unreachable, string(st))
+		}
+	}
+	if len(unreachable) > 0 {
+		sort.Strings(unreachable)
+		return fmt.Errorf("core: %s: unreachable states: %s",
+			s.Name, strings.Join(unreachable, ", "))
+	}
+	return nil
+}
+
+// Transitions returns a copy of the transition list, ordered by
+// (from, event) for stable output.
+func (s *Spec) Transitions() []Transition {
+	var out []Transition
+	froms := make([]State, 0, len(s.transitions))
+	for from := range s.transitions {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+	for _, from := range froms {
+		events := make([]string, 0, len(s.transitions[from]))
+		for ev := range s.transitions[from] {
+			events = append(events, ev)
+		}
+		sort.Strings(events)
+		for _, ev := range events {
+			out = append(out, s.transitions[from][ev]...)
+		}
+	}
+	return out
+}
+
+// DOT renders the machine as a Graphviz digraph: double circles for
+// final states, red octagons for attack states, guarded edges dashed.
+// This regenerates the paper's state-transition diagrams (Figures 2,
+// 4, 5 and 6) from the executable specification.
+func (s *Spec) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", s.Name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=ellipse, fontname=\"Helvetica\"];\n")
+
+	for _, st := range s.States() {
+		attrs := []string{fmt.Sprintf("label=%q", string(st))}
+		switch {
+		case s.IsAttack(st):
+			attrs = append(attrs, "shape=octagon", "color=red", "fontcolor=red")
+		case s.IsFinal(st):
+			attrs = append(attrs, "shape=doublecircle")
+		}
+		if st == s.Initial {
+			attrs = append(attrs, "style=bold")
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", string(st), strings.Join(attrs, ", "))
+	}
+
+	for _, t := range s.Transitions() {
+		label := t.Event
+		if t.Label != "" {
+			label += "\\n[" + t.Label + "]"
+		}
+		style := "solid"
+		if t.Guard != nil {
+			style = "dashed" // guarded transition (predicate P_t)
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q, style=%s];\n",
+			string(t.From), string(t.To), label, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

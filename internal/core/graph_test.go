@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReachableBasic(t *testing.T) {
+	s := counterSpec(3)
+	r := s.Reachable()
+	for _, st := range []State{"INIT", "COUNTING", "ATTACK"} {
+		if !r[st] {
+			t.Fatalf("state %q not reachable", st)
+		}
+	}
+	if err := s.CheckReachable(); err != nil {
+		t.Fatalf("CheckReachable: %v", err)
+	}
+}
+
+func TestCheckReachableCatchesOrphans(t *testing.T) {
+	s := NewSpec("orphan", "A")
+	s.On("A", "e", nil, nil, "B")
+	// An attack state with no inbound transition: a detection pattern
+	// that can never fire.
+	s.Attack("NEVER")
+	err := s.CheckReachable()
+	if err == nil {
+		t.Fatal("orphan attack state accepted")
+	}
+	if !strings.Contains(err.Error(), "NEVER") {
+		t.Fatalf("error does not name the orphan: %v", err)
+	}
+}
+
+func TestTransitionsOrderedAndComplete(t *testing.T) {
+	s := counterSpec(3)
+	ts := s.Transitions()
+	if len(ts) != 4 {
+		t.Fatalf("transitions = %d, want 4", len(ts))
+	}
+	// Deterministic ordering: repeated calls agree.
+	ts2 := s.Transitions()
+	for i := range ts {
+		if ts[i].From != ts2[i].From || ts[i].Event != ts2[i].Event || ts[i].To != ts2[i].To {
+			t.Fatal("Transitions() not stable")
+		}
+	}
+}
+
+func TestDOTRendersAllStatesAndEdges(t *testing.T) {
+	s := counterSpec(3)
+	dot := s.DOT()
+	for _, want := range []string{
+		"digraph \"counter\"",
+		`"INIT"`, `"COUNTING"`, `"ATTACK"`,
+		"shape=octagon",      // attack styling
+		"shape=doublecircle", // final styling
+		"style=dashed",       // guarded edges
+		`[flood]`,            // transition label annotation
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// Property: random machines built from random edges never report an
+// initial state as unreachable, and every state Reachable() returns
+// is in the spec's state set.
+func TestReachableSoundnessProperty(t *testing.T) {
+	prop := func(edges []uint8) bool {
+		s := NewSpec("rand", "S0")
+		names := []State{"S0", "S1", "S2", "S3", "S4", "S5"}
+		for i, e := range edges {
+			from := names[int(e)%len(names)]
+			to := names[int(e/6)%len(names)]
+			s.On(from, "e"+string(rune('a'+i%4)), nil, nil, to)
+		}
+		r := s.Reachable()
+		if !r["S0"] {
+			return false
+		}
+		states := make(map[State]bool)
+		for _, st := range s.States() {
+			states[st] = true
+		}
+		for st := range r {
+			if !states[st] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: feeding random event sequences to a machine never panics
+// and the state always remains within the declared state set.
+func TestRandomEventSequencesStayInGraph(t *testing.T) {
+	events := []string{"tick", "reset", "bogus", "e"}
+	prop := func(seq []uint8) bool {
+		m := NewMachine(counterSpec(4), nil)
+		valid := make(map[State]bool)
+		for _, st := range m.Spec().States() {
+			valid[st] = true
+		}
+		for _, b := range seq {
+			_, err := m.Step(Event{Name: events[int(b)%len(events)]})
+			if err != nil && err != ErrNoTransition {
+				return false
+			}
+			if !valid[m.State()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

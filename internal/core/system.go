@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// System is a set of communicating EFSMs sharing a global variable
+// store, joined by reliable FIFO synchronization queues
+// (paper Figure 2(b)). One System monitors one call.
+type System struct {
+	machines map[string]*Machine
+	order    []string
+	globals  Vars
+
+	// queue holds pending δ messages in arrival order. The paper
+	// models one FIFO queue per machine pair; a single global FIFO
+	// with per-message targets preserves the same per-pair ordering
+	// because appends happen in emission order.
+	queue []SyncMsg
+
+	results []StepResult
+}
+
+// NewSystem creates an empty communicating system.
+func NewSystem() *System {
+	return &System{
+		machines: make(map[string]*Machine),
+		globals:  make(Vars),
+	}
+}
+
+// Globals exposes the shared variable store (v.g_* in the paper).
+func (sys *System) Globals() Vars { return sys.globals }
+
+// Add instantiates spec inside the system. Machine names must be
+// unique.
+func (sys *System) Add(spec *Spec) (*Machine, error) {
+	if _, dup := sys.machines[spec.Name]; dup {
+		return nil, fmt.Errorf("core: duplicate machine %q", spec.Name)
+	}
+	m := NewMachine(spec, sys.globals)
+	sys.machines[spec.Name] = m
+	sys.order = append(sys.order, spec.Name)
+	return m, nil
+}
+
+// Machine returns a member machine by name.
+func (sys *System) Machine(name string) (*Machine, bool) {
+	m, ok := sys.machines[name]
+	return m, ok
+}
+
+// Machines lists member machines in insertion order.
+func (sys *System) Machines() []*Machine {
+	out := make([]*Machine, 0, len(sys.order))
+	for _, name := range sys.order {
+		out = append(out, sys.machines[name])
+	}
+	return out
+}
+
+// PendingSync reports queued δ messages not yet consumed.
+func (sys *System) PendingSync() int { return len(sys.queue) }
+
+// Deliver feeds a data-packet event to the named machine. Per the
+// paper's priority rule, all pending synchronization events are
+// drained first, and any sync messages emitted by the triggered
+// transitions are drained afterwards as well.
+//
+// The returned results list every transition taken (sync-triggered
+// and data-triggered, in execution order). An ErrNoTransition from
+// the *data* event is returned as a deviation; sync events that find
+// no transition are tolerated (the peer machine may legitimately have
+// moved past the state that cared).
+func (sys *System) Deliver(machine string, e Event) ([]StepResult, error) {
+	m, ok := sys.machines[machine]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown machine %q", machine)
+	}
+	sys.results = sys.results[:0]
+
+	if err := sys.drain(); err != nil {
+		return append([]StepResult(nil), sys.results...), err
+	}
+
+	res, err := m.Step(e)
+	if err != nil {
+		return append([]StepResult(nil), sys.results...), err
+	}
+	sys.results = append(sys.results, res)
+	sys.queue = append(sys.queue, res.Emitted...)
+
+	if err := sys.drain(); err != nil {
+		return append([]StepResult(nil), sys.results...), err
+	}
+	return append([]StepResult(nil), sys.results...), nil
+}
+
+// DeliverSync injects a sync event directly (used for timer expiries
+// that the IDS schedules on behalf of a machine).
+func (sys *System) DeliverSync(machine string, e Event) ([]StepResult, error) {
+	if _, ok := sys.machines[machine]; !ok {
+		return nil, fmt.Errorf("core: unknown machine %q", machine)
+	}
+	sys.results = sys.results[:0]
+	sys.queue = append(sys.queue, SyncMsg{Target: machine, Event: e})
+	err := sys.drain()
+	return append([]StepResult(nil), sys.results...), err
+}
+
+// drain processes the sync queue to exhaustion in FIFO order.
+func (sys *System) drain() error {
+	for len(sys.queue) > 0 {
+		msg := sys.queue[0]
+		sys.queue = sys.queue[1:]
+		m, ok := sys.machines[msg.Target]
+		if !ok {
+			continue // emitted to a machine this system doesn't run
+		}
+		res, err := m.Step(msg.Event)
+		if err != nil {
+			if err == ErrNoTransition {
+				continue // peer no longer cares; not a deviation
+			}
+			return err
+		}
+		sys.results = append(sys.results, res)
+		sys.queue = append(sys.queue, res.Emitted...)
+	}
+	return nil
+}
+
+// InAttack reports whether any member machine sits in an attack state.
+func (sys *System) InAttack() bool {
+	for _, m := range sys.machines {
+		if m.InAttack() {
+			return true
+		}
+	}
+	return false
+}
+
+// AllFinal reports whether every member machine reached a final state.
+func (sys *System) AllFinal() bool {
+	for _, m := range sys.machines {
+		if !m.InFinal() {
+			return false
+		}
+	}
+	return len(sys.machines) > 0
+}
+
+// MemoryFootprint estimates the bytes held by the per-call
+// configuration — the state variables and control states — mirroring
+// the paper's per-call memory accounting (Section 7.3). Spec graphs
+// are shared and excluded.
+func (sys *System) MemoryFootprint() int {
+	total := 0
+	for _, m := range sys.machines {
+		total += len(m.state)
+		total += varsFootprint(m.vars)
+	}
+	total += varsFootprint(sys.globals)
+	return total
+}
+
+func varsFootprint(v Vars) int {
+	total := 0
+	for k, val := range v {
+		total += len(k)
+		switch tv := val.(type) {
+		case string:
+			total += len(tv)
+		case int, uint32, int64, uint64, float64, time.Duration, uint16:
+			total += 8
+		case bool:
+			total++
+		default:
+			total += 16 // interface header approximation
+		}
+	}
+	return total
+}

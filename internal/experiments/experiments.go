@@ -1,0 +1,83 @@
+// Package experiments regenerates every figure and table of the
+// paper's evaluation (Section 7). Each runner builds the Figure 7
+// testbed, drives a workload, and reports the paper's metric next to
+// the measured one. Absolute numbers differ from the 2001-era
+// hardware; the shape claims are what each runner checks:
+//
+//	Fig8        call arrivals and durations over the run
+//	Fig9        ~100 ms call-setup delay added by inline vids
+//	Fig10       ~1.5 ms RTP delay and ~2e-4 s jitter added by vids
+//	CPU (§7.3)  small relative CPU cost of vids processing
+//	Mem (§7.3)  ~hundreds of bytes per call, linear in calls
+//	Acc (§7.5)  100% detection / zero false positives on known attacks
+//	Sens (§7.5) detection delay governed by timers T1 and T
+//	Ablation    cross-protocol sync is necessary for BYE DoS
+package experiments
+
+import (
+	"time"
+
+	"vids/internal/ids"
+	"vids/internal/workload"
+)
+
+// Options parameterizes a run. Zero values select paper-scale
+// defaults; tests shrink them.
+type Options struct {
+	Seed     int64
+	UAs      int
+	Duration time.Duration // workload horizon
+	// MeanCallInterval/MeanCallDuration override the calling pattern.
+	MeanCallInterval time.Duration
+	MeanCallDuration time.Duration
+	WithMedia        bool
+	IDS              *ids.Config // nil selects ids.DefaultConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 2006 // DSN 2006
+	}
+	if o.UAs == 0 {
+		o.UAs = 20
+	}
+	if o.Duration == 0 {
+		o.Duration = 120 * time.Minute // the paper's two-hour run
+	}
+	if o.MeanCallInterval == 0 {
+		o.MeanCallInterval = 4 * time.Minute
+	}
+	if o.MeanCallDuration == 0 {
+		o.MeanCallDuration = 2 * time.Minute
+	}
+	return o
+}
+
+// testbedConfig converts options into a workload config.
+func (o Options) testbedConfig(inline bool) workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.UAs = o.UAs
+	cfg.VidsInline = inline
+	cfg.MeanCallInterval = o.MeanCallInterval
+	cfg.MeanCallDuration = o.MeanCallDuration
+	cfg.WithMedia = o.WithMedia
+	if o.IDS != nil {
+		cfg.IDS = *o.IDS
+	}
+	return cfg
+}
+
+// runWorkload builds a testbed, generates calls over the horizon, and
+// runs it to completion (horizon plus drain time).
+func runWorkload(cfg workload.Config, horizon time.Duration) (*workload.Testbed, error) {
+	tb, err := workload.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tb.GenerateCalls(horizon)
+	if err := tb.Sim.Run(horizon + 2*time.Minute); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}

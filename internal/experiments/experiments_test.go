@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastOpts shrinks every experiment to test scale.
+func fastOpts() Options {
+	return Options{
+		Seed:             3,
+		UAs:              4,
+		Duration:         4 * time.Minute,
+		MeanCallInterval: 45 * time.Second,
+		MeanCallDuration: 20 * time.Second,
+	}
+}
+
+func TestFig8(t *testing.T) {
+	res, err := Fig8(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed < 5 {
+		t.Fatalf("placed = %d", res.Placed)
+	}
+	if res.Established == 0 {
+		t.Fatal("no calls established")
+	}
+	if len(res.ArrivalsPerMin) == 0 {
+		t.Fatal("no arrival buckets")
+	}
+	if res.Durations.Count() == 0 {
+		t.Fatal("no durations")
+	}
+	// Durations must be spread (exponential), not constant.
+	if res.Durations.Max() <= res.Durations.Min() {
+		t.Fatalf("degenerate durations: min=%v max=%v", res.Durations.Min(), res.Durations.Max())
+	}
+	out := res.Render()
+	for _, want := range []string{"Figure 8", "calls placed", "arrivals"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9ShowsVidsOverhead(t *testing.T) {
+	res, err := Fig9(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.With.Count() == 0 || res.Without.Count() == 0 {
+		t.Fatal("missing measurements")
+	}
+	// The shape claim: a constant additive overhead around the
+	// paper's 100 ms (2 crossings x 50 ms processing).
+	if res.AvgOverhead < 70*time.Millisecond || res.AvgOverhead > 130*time.Millisecond {
+		t.Fatalf("setup-delay overhead = %v, want ~100ms", res.AvgOverhead)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Figure 9") || !strings.Contains(out, "caller 3") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFig10ShowsSmallMediaImpact(t *testing.T) {
+	opts := fastOpts()
+	opts.Duration = 2 * time.Minute
+	opts.MeanCallInterval = 40 * time.Second
+	res, err := Fig10(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DelayWith.Count() == 0 || res.DelayWithout.Count() == 0 {
+		t.Fatal("missing stream measurements")
+	}
+	// Delay overhead small and positive: roughly the configured RTP
+	// processing cost (0.75 ms), far below the 150 ms budget.
+	if res.DelayOverhead < 200*time.Microsecond || res.DelayOverhead > 3*time.Millisecond {
+		t.Fatalf("RTP delay overhead = %v, want ~0.75ms", res.DelayOverhead)
+	}
+	if !res.WithinLatencyBudget() {
+		t.Fatalf("one-way delay exceeded 150ms: max %v s", res.DelayWith.Max())
+	}
+	// Jitter overhead must be tiny (the paper's 2e-4 s order or less).
+	if res.JitterOverhead > 2e-3 {
+		t.Fatalf("jitter overhead = %v s", res.JitterOverhead)
+	}
+	// Perceived quality barely moves: MOS stays in the "good" band
+	// and vids costs at most a few hundredths of a point.
+	if res.MOSWith.Mean() < 3.8 {
+		t.Fatalf("MOS with vids = %.2f", res.MOSWith.Mean())
+	}
+	if drop := res.MOSWithout.Mean() - res.MOSWith.Mean(); drop > 0.05 {
+		t.Fatalf("vids dropped MOS by %.3f", drop)
+	}
+	if !strings.Contains(res.Render(), "Figure 10") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestCPUOverheadMeasured(t *testing.T) {
+	opts := fastOpts()
+	opts.Duration = 90 * time.Second
+	res, err := CPUOverhead(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsSeen == 0 {
+		t.Fatal("vids saw no packets")
+	}
+	if res.VidsProcessing <= 0 {
+		t.Fatal("no processing time recorded")
+	}
+	if res.PerPacket <= 0 || res.PerPacket > time.Millisecond {
+		t.Fatalf("per-packet cost = %v", res.PerPacket)
+	}
+	// The deployment-comparable number: a few percent of one core at
+	// most, like the paper's 3.6%.
+	if res.UtilizationAdded <= 0 || res.UtilizationAdded > 0.10 {
+		t.Fatalf("added utilization = %.2f%%", res.UtilizationAdded*100)
+	}
+	if !strings.Contains(res.Render(), "CPU overhead") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestMemoryScalesLinearly(t *testing.T) {
+	res, err := Memory(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerCallBytes < 100 || res.PerCallBytes > 2000 {
+		t.Fatalf("per-call bytes = %d, want paper's order (~500)", res.PerCallBytes)
+	}
+	if res.LinearityR2 < 0.999 {
+		t.Fatalf("memory growth not linear: R² = %v", res.LinearityR2)
+	}
+	// The paper's claim: thousands of calls are affordable.
+	if res.ThousandCallsMiB > 10 {
+		t.Fatalf("1000 calls need %.1f MiB", res.ThousandCallsMiB)
+	}
+	// SIP state dominates RTP state, like the paper's 450 vs 40.
+	if res.SIPStateBytes <= res.RTPStateBytes {
+		t.Fatalf("SIP %d B <= RTP %d B; paper has SIP >> RTP",
+			res.SIPStateBytes, res.RTPStateBytes)
+	}
+	if !strings.Contains(res.Render(), "per-call") {
+		t.Fatal("render missing per-call line")
+	}
+}
+
+func TestAccuracyAllDetectedNoFalsePositives(t *testing.T) {
+	opts := fastOpts()
+	opts.Duration = time.Minute
+	opts.MeanCallInterval = 30 * time.Second
+	res, err := Accuracy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) < 8 {
+		t.Fatalf("only %d scenarios", len(res.Scenarios))
+	}
+	for _, s := range res.Scenarios {
+		if !s.Detected {
+			t.Errorf("scenario %q undetected", s.Name)
+		}
+		if s.FalseAlarms != 0 {
+			t.Errorf("scenario %q: %d false alarms", s.Name, s.FalseAlarms)
+		}
+	}
+	if rate := res.DetectionRate(); rate != 1.0 {
+		t.Fatalf("detection rate = %v, want 1.0 (paper: 100%%)", rate)
+	}
+	if res.BenignAlerts != 0 {
+		t.Fatalf("benign control raised %d alerts (paper: 0)", res.BenignAlerts)
+	}
+	if res.BenignCalls == 0 {
+		t.Fatal("benign control placed no calls")
+	}
+	if !strings.Contains(res.Render(), "detection rate") {
+		t.Fatal("render missing rate")
+	}
+}
+
+func TestAblationShowsCrossProtocolValue(t *testing.T) {
+	opts := fastOpts()
+	opts.Duration = time.Minute
+	res, err := Ablation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DetectedWithSync {
+		t.Fatal("spoofed BYE undetected even with sync")
+	}
+	if res.DetectedWithoutSync {
+		t.Fatal("spoofed BYE detected without sync — ablation broken")
+	}
+	if !strings.Contains(res.Render(), "Ablation") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestSensitivitySweeps(t *testing.T) {
+	opts := fastOpts()
+	opts.Duration = time.Minute
+	res, err := Sensitivity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByeSweep) == 0 || len(res.FloodSweep) == 0 {
+		t.Fatal("empty sweeps")
+	}
+	// Tiny T flags in-flight packets of a genuine hangup; T >= RTT
+	// does not (Section 7.5's recommendation).
+	if !res.ByeSweep[0].FalseAlarm {
+		t.Errorf("T=%v did not false-alarm on in-flight RTP", res.ByeSweep[0].T)
+	}
+	last := res.ByeSweep[len(res.ByeSweep)-1]
+	if last.FalseAlarm {
+		t.Errorf("T=%v still false-alarms", last.T)
+	}
+	// The spoofed BYE must be detected at every T, with delay growing
+	// in T.
+	var prevDelay time.Duration
+	for _, p := range res.ByeSweep {
+		if !p.Detected {
+			t.Errorf("T=%v: spoofed BYE undetected", p.T)
+		}
+		if p.DetectionDelay < prevDelay {
+			t.Errorf("detection delay not monotone in T: %v then %v", prevDelay, p.DetectionDelay)
+		}
+		prevDelay = p.DetectionDelay
+	}
+	// Flood detection delay grows with N.
+	var prevFlood time.Duration
+	for _, p := range res.FloodSweep {
+		if !p.Detected {
+			t.Errorf("N=%d: flood undetected", p.N)
+		}
+		if p.DetectionDelay < prevFlood {
+			t.Errorf("flood delay not monotone in N")
+		}
+		prevFlood = p.DetectionDelay
+	}
+	if !strings.Contains(res.Render(), "sensitivity") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.UAs != 20 || o.Duration != 120*time.Minute {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if o.Seed != 2006 {
+		t.Fatalf("seed = %d", o.Seed)
+	}
+}
+
+func TestAuthExperiment(t *testing.T) {
+	opts := fastOpts()
+	opts.Duration = time.Minute
+	res, err := Auth(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NoAuthDoSSucceeded || !res.NoAuthDetected {
+		t.Fatalf("baseline wrong: %+v", res)
+	}
+	if res.AuthDoSSucceeded {
+		t.Fatal("digest auth failed to stop the spoofed BYE")
+	}
+	if res.AuthDetected {
+		t.Fatal("no teardown happened, nothing should be detected")
+	}
+	if !res.AuthTollFraudSucceeded || !res.AuthTollFraudDetected {
+		t.Fatalf("toll fraud under auth: %+v", res)
+	}
+	if !strings.Contains(res.Render(), "authentication") {
+		t.Fatal("render missing conclusion")
+	}
+}
+
+func TestPreventionRestoresAvailability(t *testing.T) {
+	opts := fastOpts()
+	opts.Duration = time.Minute
+	res, err := Prevention(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DetectedDetectOnly || !res.DetectedPrevention {
+		t.Fatalf("flood undetected: %+v", res)
+	}
+	if res.AttemptsDetectOnly == 0 || res.AttemptsPrevention == 0 {
+		t.Fatalf("no benign attempts recorded: %+v", res)
+	}
+	// The saturated phone must reject most benign calls without
+	// prevention...
+	if res.AvailabilityDetectOnly() > 0.5 {
+		t.Fatalf("victim not saturated: %.0f%% availability without prevention",
+			res.AvailabilityDetectOnly()*100)
+	}
+	// ...and blocking the flood must restore most of the service.
+	if res.AvailabilityPrevention() < 0.7 {
+		t.Fatalf("prevention did not restore service: %.0f%%",
+			res.AvailabilityPrevention()*100)
+	}
+	if res.PacketsBlocked == 0 {
+		t.Fatal("prevention blocked nothing")
+	}
+	if !strings.Contains(res.Render(), "prevention") {
+		t.Fatal("render missing header")
+	}
+}

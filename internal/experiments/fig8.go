@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vids/internal/metrics"
+)
+
+// Fig8Result reproduces Figure 8: call request arrivals and call
+// durations observed at network B's proxy over the run.
+type Fig8Result struct {
+	Horizon        time.Duration
+	Placed         int
+	Established    int
+	Failed         int
+	ArrivalsPerMin []metrics.Point // calls placed per minute bucket
+	Durations      *metrics.Summary
+	DurationSeries []metrics.Point // realized durations over time
+}
+
+// Fig8 runs the workload (signaling only; Figure 8 needs no media)
+// and extracts the arrival/duration series.
+func Fig8(opts Options) (*Fig8Result, error) {
+	o := opts.withDefaults()
+	cfg := o.testbedConfig(true)
+	cfg.WithMedia = false
+	tb, err := runWorkload(cfg, o.Duration)
+	if err != nil {
+		return nil, err
+	}
+	placed, established, failed := tb.CallStats()
+	res := &Fig8Result{
+		Horizon:        o.Duration,
+		Placed:         placed,
+		Established:    established,
+		Failed:         failed,
+		ArrivalsPerMin: tb.Arrivals.CountPerBucket(time.Minute),
+		Durations:      tb.Durations.Summary(),
+	}
+	for _, p := range tb.Durations.Points {
+		res.DurationSeries = append(res.DurationSeries, p)
+	}
+	return res, nil
+}
+
+// Render prints the paper-style summary plus the per-minute arrival
+// series.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8 — call arrivals and durations (%v run)\n\n", r.Horizon)
+	fmt.Fprintf(&b, "calls placed:      %d\n", r.Placed)
+	fmt.Fprintf(&b, "calls established: %d\n", r.Established)
+	fmt.Fprintf(&b, "calls failed:      %d\n", r.Failed)
+	fmt.Fprintf(&b, "call duration:     mean %.1fs  min %.1fs  max %.1fs (exponential, like the paper's spread)\n\n",
+		r.Durations.Mean(), r.Durations.Min(), r.Durations.Max())
+
+	b.WriteString("call arrivals per minute:\n")
+	b.WriteString(metrics.BarChart(r.ArrivalsPerMin, 40, func(p metrics.Point) string {
+		return fmt.Sprintf("min %3d", int(p.At/time.Minute))
+	}))
+	return b.String()
+}

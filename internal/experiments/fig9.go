@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vids/internal/metrics"
+)
+
+// Fig9Result reproduces Figure 9: call setup delay (INVITE -> 180)
+// with and without vids, including the two representative callers the
+// paper plots.
+type Fig9Result struct {
+	// Aggregate setup delays across all callers.
+	With    *metrics.Summary
+	Without *metrics.Summary
+	// Per-representative-caller series (paper shows callers 3 and 4).
+	Callers       []int
+	CallerWith    map[int]*metrics.Series
+	CallerWithout map[int]*metrics.Series
+	// AvgOverhead is the measured extra setup delay vids imposes.
+	AvgOverhead time.Duration
+	// PaperOverhead is the value the paper reports.
+	PaperOverhead time.Duration
+}
+
+// Fig9 runs the identical workload twice — vids inline vs. plain
+// forwarding — and compares call setup delays.
+func Fig9(opts Options) (*Fig9Result, error) {
+	o := opts.withDefaults()
+	res := &Fig9Result{
+		Callers:       []int{3, 4},
+		CallerWith:    make(map[int]*metrics.Series),
+		CallerWithout: make(map[int]*metrics.Series),
+		PaperOverhead: 100 * time.Millisecond,
+	}
+
+	for _, inline := range []bool{true, false} {
+		cfg := o.testbedConfig(inline)
+		cfg.WithMedia = false // setup delay needs no media
+		tb, err := runWorkload(cfg, o.Duration)
+		if err != nil {
+			return nil, err
+		}
+		agg := tb.SetupDelays(-1)
+		if inline {
+			res.With = agg
+			for _, c := range res.Callers {
+				res.CallerWith[c] = tb.SetupDelaySeries(c)
+			}
+		} else {
+			res.Without = agg
+			for _, c := range res.Callers {
+				res.CallerWithout[c] = tb.SetupDelaySeries(c)
+			}
+		}
+	}
+	res.AvgOverhead = res.With.MeanDuration() - res.Without.MeanDuration()
+	return res, nil
+}
+
+// Render prints the Figure 9 comparison.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — call setup delay with vs. without vids\n\n")
+	tbl := metrics.NewTable("metric", "without vids", "with vids")
+	tbl.AddRow("calls measured",
+		fmt.Sprintf("%d", r.Without.Count()), fmt.Sprintf("%d", r.With.Count()))
+	tbl.AddRow("mean setup delay (ms)",
+		metrics.Ms(r.Without.MeanDuration()), metrics.Ms(r.With.MeanDuration()))
+	tbl.AddRow("p95 setup delay (ms)",
+		fmt.Sprintf("%.2f", r.Without.Percentile(95)*1000),
+		fmt.Sprintf("%.2f", r.With.Percentile(95)*1000))
+	b.WriteString(tbl.String())
+	fmt.Fprintf(&b, "\nvids-induced setup delay: measured %s ms vs. paper ~%s ms\n",
+		metrics.Ms(r.AvgOverhead), metrics.Ms(r.PaperOverhead))
+
+	for _, c := range r.Callers {
+		with, without := r.CallerWith[c], r.CallerWithout[c]
+		fmt.Fprintf(&b, "\ncaller %d: %d calls with vids (mean %s ms), %d without (mean %s ms)\n",
+			c, with.Len(), metrics.Ms(with.Summary().MeanDuration()),
+			without.Len(), metrics.Ms(without.Summary().MeanDuration()))
+	}
+	return b.String()
+}

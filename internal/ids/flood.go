@@ -1,0 +1,76 @@
+package ids
+
+import (
+	"vids/internal/core"
+)
+
+// Flood machine states (paper Figure 4).
+const (
+	FloodInit     core.State = "INIT"
+	FloodCounting core.State = "PACKET_RCVD"
+	FloodAttack   core.State = "ATTACK_INVITE_FLOOD"
+)
+
+// EvTimerT1 is the window timer of Figure 4, injected by the IDS.
+const EvTimerT1 = "timer.T1"
+
+const labelInviteFlood = "invite-flood"
+
+// floodSpec builds the per-destination INVITE-flood detector: N
+// INVITEs for the same destination within window T1 are considered
+// normal; exceeding N signals a flooding attack. "The setting of
+// threshold N depends upon the up-limit that a particular type of a
+// phone can handle" (Section 6).
+func floodSpec(n int) *core.Spec {
+	return windowCounterSpec("invite-flood", EvInvite, labelInviteFlood, n)
+}
+
+// respFloodSpec is the same windowed counter applied to SIP responses
+// for calls the destination never initiated: the signature of a
+// Distributed Reflection DoS, where spoofed requests sent to many
+// reflectors swamp the victim with their responses (Section 3.1).
+func respFloodSpec(n int) *core.Spec {
+	return windowCounterSpec("response-flood", EvResponse, labelDRDoS, n)
+}
+
+const labelDRDoS = "drdos"
+
+// windowCounterSpec is the generic Figure 4 machine: count occurrences
+// of event per destination, enter the attack state past n within one
+// timer window.
+func windowCounterSpec(name, event, label string, n int) *core.Spec {
+	s := core.NewSpec(name, FloodInit)
+
+	// First event for destination D: initialize the packet counter
+	// and (via the IDS observing this transition) start timer T1.
+	s.On(FloodInit, event, nil, func(c *core.Ctx) {
+		c.Vars["l.dest"] = c.Event.StringArg("dest")
+		c.Vars["l.count"] = 1
+	}, FloodCounting)
+
+	s.On(FloodCounting, event, func(c *core.Ctx) bool {
+		return c.Vars.GetInt("l.count") < n
+	}, func(c *core.Ctx) {
+		c.Vars["l.count"] = c.Vars.GetInt("l.count") + 1
+	}, FloodCounting)
+
+	s.OnLabeled(label, FloodCounting, event, func(c *core.Ctx) bool {
+		return c.Vars.GetInt("l.count") >= n
+	}, nil, FloodAttack)
+
+	// Window expiry resets the detector.
+	reset := func(c *core.Ctx) {
+		delete(c.Vars, "l.count")
+	}
+	s.On(FloodCounting, EvTimerT1, nil, reset, FloodInit)
+	s.On(FloodAttack, EvTimerT1, nil, reset, FloodInit)
+	s.On(FloodInit, EvTimerT1, nil, nil, FloodInit)
+
+	// Further events inside an already-flagged window are part of the
+	// same attack.
+	s.On(FloodAttack, event, nil, nil, FloodAttack)
+
+	s.Attack(FloodAttack)
+	s.Final(FloodInit)
+	return s
+}

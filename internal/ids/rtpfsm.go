@@ -1,0 +1,237 @@
+package ids
+
+import (
+	"time"
+
+	"vids/internal/core"
+	"vids/internal/rtp"
+)
+
+// RTP machine control states (paper Figures 2(a), 5 and 6).
+const (
+	RTPInit     core.State = "INIT"
+	RTPOpen     core.State = "RTP_OPEN"
+	RTPRcvd     core.State = "RTP_RCVD"
+	RTPAfterBye core.State = "RTP_RCVD_AFTER_BYE"
+	RTPClose    core.State = "RTP_CLOSE"
+
+	RTPAttackSpam      core.State = "ATTACK_MEDIA_SPAM"
+	RTPAttackCodec     core.State = "ATTACK_CODEC_VIOLATION"
+	RTPAttackByeDoS    core.State = "ATTACK_BYE_DOS"
+	RTPAttackTollFraud core.State = "ATTACK_TOLL_FRAUD"
+	RTPAttackFlood     core.State = "ATTACK_RTP_FLOOD"
+)
+
+// Event names of the RTP machine's alphabet. The δ events arrive on
+// the synchronization channel from the SIP machine; EvTimerT is
+// injected by the IDS when the after-BYE grace timer expires.
+const (
+	EvRTP         = "rtp.packet"
+	EvDeltaOpen   = "delta.open"
+	EvDeltaBye    = "delta.bye"
+	EvDeltaReopen = "delta.reopen"
+	EvTimerT      = "timer.T"
+)
+
+// RTP transition labels for alert mapping.
+const (
+	labelMediaSpam = "media-spam"
+	labelCodec     = "codec-violation"
+	labelByeDoS    = "bye-dos"
+	labelTollFraud = "toll-fraud"
+	labelRTPFlood  = "rtp-flood"
+)
+
+// RTPThresholds are the adjustable detector parameters of Figure 6
+// and Section 3.2.
+type RTPThresholds struct {
+	// SeqGap is the paper's Δn: a jump in sequence numbers larger
+	// than this flags media spamming.
+	SeqGap uint16
+	// TSGap is the paper's Δt in RTP timestamp units (8 kHz clock).
+	TSGap uint32
+	// RateWindow/RatePackets bound the legitimate packet rate: more
+	// than RatePackets within RateWindow flags an RTP flood.
+	RateWindow  time.Duration
+	RatePackets int
+}
+
+// rtpSpec builds one media-direction machine. The machine learns its
+// negotiated endpoint lazily from the globals the SIP machine wrote
+// (g.payload and the direction's media address), then tracks the
+// stream's SSRC, sequence and timestamp evolution.
+func rtpSpec(name string, th RTPThresholds) *core.Spec {
+	s := core.NewSpec(name, RTPInit)
+
+	// INIT --δ open--> RTP_OPEN: bind the negotiated media and
+	// remember which party's stream this machine watches.
+	s.On(RTPInit, EvDeltaOpen, nil, func(c *core.Ctx) {
+		c.Vars["l.party"] = c.Event.StringArg("party")
+		c.Vars["l.payload"] = c.Globals.GetInt("g.payload")
+	}, RTPOpen)
+
+	payloadOK := func(c *core.Ctx) bool {
+		return c.Event.IntArg("payloadType") == c.Vars.GetInt("l.payload")
+	}
+
+	// First packet of the stream: record the source binding.
+	s.On(RTPOpen, EvRTP, payloadOK, func(c *core.Ctx) {
+		e := c.Event
+		c.Vars["l.started"] = true
+		c.Vars["l.ssrc"] = e.Uint32Arg("ssrc")
+		c.Vars["l.seq"] = uint32(e.IntArg("seq"))
+		c.Vars["l.ts"] = e.Uint32Arg("ts")
+		c.Vars["l.src"] = e.StringArg("src")
+		c.Vars["l.winStart"] = e.DurationArg("now")
+		c.Vars["l.winCount"] = 1
+	}, RTPRcvd)
+	s.OnLabeled(labelCodec, RTPOpen, EvRTP, func(c *core.Ctx) bool {
+		return !payloadOK(c)
+	}, nil, RTPAttackCodec)
+
+	// Steady state: every packet must carry the negotiated payload
+	// type, the established SSRC, and advance seq/timestamp within
+	// the spam thresholds (Figure 6's predicate).
+	sameSSRC := func(c *core.Ctx) bool {
+		return c.Event.Uint32Arg("ssrc") == c.Vars.GetUint32("l.ssrc")
+	}
+	gapOK := func(c *core.Ctx) bool {
+		prevSeq := uint16(c.Vars.GetUint32("l.seq"))
+		prevTS := c.Vars.GetUint32("l.ts")
+		seq := uint16(c.Event.IntArg("seq"))
+		ts := c.Event.Uint32Arg("ts")
+		seqGap := rtp.SeqGap(prevSeq, seq)
+		tsGap := rtp.TimestampGap(prevTS, ts)
+		// Backward packets (reordering) are tolerated; only forward
+		// jumps beyond the thresholds indicate injection.
+		if !rtp.SeqLess(prevSeq, seq) && seq != prevSeq {
+			return true
+		}
+		return seqGap <= th.SeqGap && tsGap <= th.TSGap
+	}
+	rateOK := func(c *core.Ctx) bool {
+		now := c.Event.DurationArg("now")
+		winStart := c.Vars.GetDuration("l.winStart")
+		if now-winStart > th.RateWindow {
+			return true // window rolls over; reset happens in action
+		}
+		return c.Vars.GetInt("l.winCount") < th.RatePackets
+	}
+
+	normal := func(c *core.Ctx) bool {
+		return payloadOK(c) && sameSSRC(c) && gapOK(c) && rateOK(c)
+	}
+	s.On(RTPRcvd, EvRTP, normal, func(c *core.Ctx) {
+		e := c.Event
+		c.Vars["l.seq"] = uint32(e.IntArg("seq"))
+		c.Vars["l.ts"] = e.Uint32Arg("ts")
+		now := e.DurationArg("now")
+		if now-c.Vars.GetDuration("l.winStart") > th.RateWindow {
+			c.Vars["l.winStart"] = now
+			c.Vars["l.winCount"] = 1
+			return
+		}
+		c.Vars["l.winCount"] = c.Vars.GetInt("l.winCount") + 1
+	}, RTPRcvd)
+
+	// Attack branches, most specific first; the guards are mutually
+	// disjoint by construction.
+	s.OnLabeled(labelCodec, RTPRcvd, EvRTP, func(c *core.Ctx) bool {
+		return !payloadOK(c)
+	}, nil, RTPAttackCodec)
+	s.OnLabeled(labelMediaSpam, RTPRcvd, EvRTP, func(c *core.Ctx) bool {
+		return payloadOK(c) && (!sameSSRC(c) || !gapOK(c))
+	}, nil, RTPAttackSpam)
+	s.OnLabeled(labelRTPFlood, RTPRcvd, EvRTP, func(c *core.Ctx) bool {
+		return payloadOK(c) && sameSSRC(c) && gapOK(c) && !rateOK(c)
+	}, nil, RTPAttackFlood)
+
+	// δ bye: arm the in-flight grace period (timer T, Figure 5). The
+	// IDS schedules the timer event when it sees this transition.
+	s.On(RTPRcvd, EvDeltaBye, nil, nil, RTPAfterBye)
+	s.On(RTPOpen, EvDeltaBye, nil, nil, RTPClose) // stream never started
+	s.On(RTPInit, EvDeltaBye, nil, nil, RTPClose) // direction never opened
+
+	// In-flight packets are tolerated until the timer fires.
+	s.On(RTPAfterBye, EvRTP, nil, nil, RTPAfterBye)
+	s.On(RTPAfterBye, EvTimerT, nil, nil, RTPClose)
+	s.On(RTPOpen, EvTimerT, nil, nil, RTPOpen)
+	s.On(RTPClose, EvTimerT, nil, nil, RTPClose)
+	s.On(RTPRcvd, EvTimerT, nil, nil, RTPRcvd) // stale timer after a reopen
+
+	// δ reopen: a BYE drew a 401 challenge, so nothing was torn down
+	// (authenticated deployments) — the stream is still legitimate.
+	started := func(c *core.Ctx) bool { return c.Vars.GetBool("l.started") }
+	notStarted := func(c *core.Ctx) bool { return !started(c) }
+	for _, from := range []core.State{RTPAfterBye, RTPClose} {
+		s.On(from, EvDeltaReopen, started, nil, RTPRcvd)
+		s.On(from, EvDeltaReopen, notStarted, nil, RTPOpen)
+	}
+	s.On(RTPOpen, EvDeltaReopen, nil, nil, RTPOpen)
+	s.On(RTPRcvd, EvDeltaReopen, nil, nil, RTPRcvd)
+	s.On(RTPInit, EvDeltaReopen, nil, nil, RTPInit)
+
+	// Packets after RTP_CLOSE are the cross-protocol detections of
+	// Figure 5: if the party that sent the BYE is still talking it is
+	// toll fraud (billing stopped, media continues); if the *other*
+	// party is still talking, it never learned about the BYE — the
+	// BYE was spoofed (BYE DoS).
+	fraud := func(c *core.Ctx) bool {
+		return c.Vars.GetString("l.party") == c.Globals.GetString("g.byeSender")
+	}
+	s.OnLabeled(labelTollFraud, RTPClose, EvRTP, fraud, nil, RTPAttackTollFraud)
+	s.OnLabeled(labelByeDoS, RTPClose, EvRTP, func(c *core.Ctx) bool {
+		return !fraud(c)
+	}, nil, RTPAttackByeDoS)
+
+	// Attack states absorb further traffic.
+	for _, attack := range []core.State{RTPAttackSpam, RTPAttackCodec,
+		RTPAttackByeDoS, RTPAttackTollFraud, RTPAttackFlood} {
+		for _, ev := range []string{EvRTP, EvDeltaOpen, EvDeltaBye, EvDeltaReopen, EvTimerT} {
+			s.On(attack, ev, nil, nil, attack)
+		}
+	}
+
+	s.Final(RTPClose)
+	s.Attack(RTPAttackSpam, RTPAttackCodec, RTPAttackByeDoS,
+		RTPAttackTollFraud, RTPAttackFlood)
+	return s
+}
+
+// spamSpec is the standalone media-spamming monitor of Figure 6: it
+// watches one (source, destination) stream that no SDP negotiated,
+// starting from the first observed packet.
+func spamSpec(th RTPThresholds) *core.Spec {
+	s := core.NewSpec("rtp-spam", RTPInit)
+	s.On(RTPInit, EvRTP, nil, func(c *core.Ctx) {
+		e := c.Event
+		c.Vars["l.ssrc"] = e.Uint32Arg("ssrc")
+		c.Vars["l.seq"] = uint32(e.IntArg("seq"))
+		c.Vars["l.ts"] = e.Uint32Arg("ts")
+	}, RTPRcvd)
+
+	gapOK := func(c *core.Ctx) bool {
+		prevSeq := uint16(c.Vars.GetUint32("l.seq"))
+		prevTS := c.Vars.GetUint32("l.ts")
+		seq := uint16(c.Event.IntArg("seq"))
+		ts := c.Event.Uint32Arg("ts")
+		if !rtp.SeqLess(prevSeq, seq) && seq != prevSeq {
+			return true
+		}
+		return rtp.SeqGap(prevSeq, seq) <= th.SeqGap &&
+			rtp.TimestampGap(prevTS, ts) <= th.TSGap &&
+			c.Event.Uint32Arg("ssrc") == c.Vars.GetUint32("l.ssrc")
+	}
+	s.On(RTPRcvd, EvRTP, gapOK, func(c *core.Ctx) {
+		c.Vars["l.seq"] = uint32(c.Event.IntArg("seq"))
+		c.Vars["l.ts"] = c.Event.Uint32Arg("ts")
+	}, RTPRcvd)
+	s.OnLabeled(labelMediaSpam, RTPRcvd, EvRTP, func(c *core.Ctx) bool {
+		return !gapOK(c)
+	}, nil, RTPAttackSpam)
+	for _, ev := range []string{EvRTP} {
+		s.On(RTPAttackSpam, ev, nil, nil, RTPAttackSpam)
+	}
+	s.Attack(RTPAttackSpam)
+	return s
+}

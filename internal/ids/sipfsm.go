@@ -1,0 +1,256 @@
+package ids
+
+import (
+	"vids/internal/core"
+)
+
+// Machine names inside one call's communicating system. The SIP
+// machine synchronizes with two RTP machines, one per media
+// direction; "rtp-caller" monitors the stream the caller sends
+// (destination advertised in the 200 OK's SDP) and "rtp-callee" the
+// stream the callee sends (destination advertised in the INVITE's
+// SDP). This refines the paper's Figure 2(b) — the INVITE's δ opens
+// the callee-to-caller direction, the 200 OK's δ opens the reverse.
+const (
+	MachineSIP       = "sip"
+	MachineRTPCaller = "rtp-caller"
+	MachineRTPCallee = "rtp-callee"
+)
+
+// SIP machine control states (paper Figures 2(a) and 5).
+const (
+	SIPInit        core.State = "INIT"
+	SIPInviteRcvd  core.State = "INVITE_RCVD"
+	SIPRinging     core.State = "RINGING"
+	SIPEstablished core.State = "CALL_ESTABLISHED"
+	SIPCancelWait  core.State = "CANCEL_WAIT"
+	SIPTeardown    core.State = "CALL_TEARDOWN"
+	SIPClosed      core.State = "CLOSED"
+
+	SIPAttackSpoofedBye    core.State = "ATTACK_SPOOFED_BYE"
+	SIPAttackSpoofedCancel core.State = "ATTACK_SPOOFED_CANCEL"
+	SIPAttackHijack        core.State = "ATTACK_CALL_HIJACK"
+)
+
+// Event names of the SIP machine's alphabet.
+const (
+	EvInvite   = "sip.invite"
+	EvAck      = "sip.ack"
+	EvBye      = "sip.bye"
+	EvCancel   = "sip.cancel"
+	EvResponse = "sip.response"
+)
+
+// Transition labels used for alert mapping.
+const (
+	labelSpoofedBye    = "spoofed-bye"
+	labelSpoofedCancel = "spoofed-cancel"
+	labelHijack        = "call-hijack"
+	labelByeSeen       = "bye-seen"
+)
+
+// sipSpec builds the per-call SIP protocol machine from the RFC 3261
+// call-setup specification. crossProtocol controls whether the
+// machine emits δ synchronization messages to the RTP machines
+// (disabled only by the ablation experiment).
+func sipSpec(crossProtocol bool) *core.Spec {
+	s := core.NewSpec(MachineSIP, SIPInit)
+
+	// --- Call setup -----------------------------------------------------
+	// INIT --INVITE--> INVITE_RCVD. Store the dialog identity and the
+	// caller's offered media; open the callee->caller RTP direction.
+	s.On(SIPInit, EvInvite, nil, func(c *core.Ctx) {
+		e := c.Event
+		c.Vars["l.callID"] = e.StringArg("callID")
+		c.Vars["l.fromTag"] = e.StringArg("fromTag")
+		c.Vars["l.inviteSrc"] = e.StringArg("src")
+		c.Vars["l.callerContact"] = e.StringArg("contact")
+		c.Vars["l.from"] = e.StringArg("from")
+		c.Vars["l.to"] = e.StringArg("to")
+		if addr := e.StringArg("sdpAddr"); addr != "" {
+			c.Globals["g.callerMediaAddr"] = addr
+			c.Globals["g.callerMediaPort"] = e.IntArg("sdpPort")
+			c.Globals["g.payload"] = e.IntArg("sdpPayload")
+			// Opening the RTP machine is session bookkeeping the
+			// classifier needs regardless of the cross-protocol
+			// ablation; only the δ teardown notifications below are
+			// the paper's cross-protocol *detection* channel.
+			c.Emit(MachineRTPCallee, core.Event{Name: EvDeltaOpen, Args: map[string]any{
+				"party": "callee",
+			}})
+		}
+	}, SIPInviteRcvd)
+
+	// INVITE retransmissions from the same source loop harmlessly.
+	retransInvite := func(c *core.Ctx) bool {
+		return c.Event.StringArg("src") == c.Vars.GetString("l.inviteSrc") &&
+			c.Event.StringArg("toTag") == ""
+	}
+	s.On(SIPInviteRcvd, EvInvite, retransInvite, nil, SIPInviteRcvd)
+	s.On(SIPRinging, EvInvite, retransInvite, nil, SIPRinging)
+
+	// Provisional responses.
+	provNotRinging := func(c *core.Ctx) bool {
+		st := c.Event.IntArg("status")
+		return st >= 100 && st < 200 && st != 180
+	}
+	ringing := func(c *core.Ctx) bool { return c.Event.IntArg("status") == 180 }
+	s.On(SIPInviteRcvd, EvResponse, provNotRinging, nil, SIPInviteRcvd)
+	s.On(SIPInviteRcvd, EvResponse, ringing, nil, SIPRinging)
+	s.On(SIPRinging, EvResponse, func(c *core.Ctx) bool {
+		return c.Event.IntArg("status") < 200
+	}, nil, SIPRinging)
+
+	// 200 OK for the INVITE: call established. Store the callee's
+	// identity and answered media; open the caller->callee RTP
+	// direction.
+	okForInvite := func(c *core.Ctx) bool {
+		return c.Event.IntArg("status") >= 200 && c.Event.IntArg("status") < 300 &&
+			c.Event.StringArg("cseqMethod") == "INVITE"
+	}
+	establish := func(c *core.Ctx) {
+		e := c.Event
+		c.Vars["l.toTag"] = e.StringArg("toTag")
+		c.Vars["l.calleeContact"] = e.StringArg("contact")
+		if addr := e.StringArg("sdpAddr"); addr != "" {
+			c.Globals["g.calleeMediaAddr"] = addr
+			c.Globals["g.calleeMediaPort"] = e.IntArg("sdpPort")
+			c.Emit(MachineRTPCaller, core.Event{Name: EvDeltaOpen, Args: map[string]any{
+				"party": "caller",
+			}})
+		}
+	}
+	s.On(SIPInviteRcvd, EvResponse, okForInvite, establish, SIPEstablished)
+	s.On(SIPRinging, EvResponse, okForInvite, establish, SIPEstablished)
+
+	// closeMedia tells both RTP machines the call is over so their
+	// machines can reach final states and the whole system becomes
+	// evictable.
+	closeMedia := func(c *core.Ctx) {
+		if crossProtocol {
+			c.Emit(MachineRTPCaller, core.Event{Name: EvDeltaBye})
+			c.Emit(MachineRTPCallee, core.Event{Name: EvDeltaBye})
+		}
+	}
+
+	// Final non-2xx while pending: call failed or was declined.
+	failedFinal := func(c *core.Ctx) bool {
+		return c.Event.IntArg("status") >= 300 && c.Event.StringArg("cseqMethod") == "INVITE"
+	}
+	s.On(SIPInviteRcvd, EvResponse, failedFinal, closeMedia, SIPClosed)
+	s.On(SIPRinging, EvResponse, failedFinal, closeMedia, SIPClosed)
+
+	// --- CANCEL ----------------------------------------------------------
+	// A legitimate CANCEL comes from the same transport source that
+	// delivered the INVITE, inside the same dialog attempt
+	// (paper Section 3.1: "A CANCEL is for an outstanding INVITE").
+	cancelLegit := func(c *core.Ctx) bool {
+		return c.Event.StringArg("src") == c.Vars.GetString("l.inviteSrc") &&
+			c.Event.StringArg("fromTag") == c.Vars.GetString("l.fromTag")
+	}
+	cancelSpoofed := func(c *core.Ctx) bool { return !cancelLegit(c) }
+	for _, from := range []core.State{SIPInviteRcvd, SIPRinging} {
+		s.On(from, EvCancel, cancelLegit, nil, SIPCancelWait)
+		s.OnLabeled(labelSpoofedCancel, from, EvCancel, cancelSpoofed, nil, SIPAttackSpoofedCancel)
+	}
+	s.On(SIPCancelWait, EvResponse, func(c *core.Ctx) bool {
+		return c.Event.IntArg("status") < 300 // 200 for CANCEL
+	}, nil, SIPCancelWait)
+	s.On(SIPCancelWait, EvResponse, func(c *core.Ctx) bool {
+		return c.Event.IntArg("status") >= 300 // 487 for the INVITE
+	}, closeMedia, SIPClosed)
+	s.On(SIPCancelWait, EvAck, nil, nil, SIPCancelWait)
+	s.On(SIPCancelWait, EvCancel, cancelLegit, nil, SIPCancelWait)
+
+	// --- Established dialog ----------------------------------------------
+	s.On(SIPEstablished, EvAck, nil, nil, SIPEstablished)
+	// Retransmitted 200 OKs.
+	s.On(SIPEstablished, EvResponse, okForInvite, nil, SIPEstablished)
+	// Responses to in-dialog requests (e.g. re-INVITE 200s) also loop.
+	s.On(SIPEstablished, EvResponse, func(c *core.Ctx) bool {
+		return !okForInvite(c)
+	}, nil, SIPEstablished)
+
+	// Re-INVITE: legitimate when it originates from a known party of
+	// the dialog; anything else is a call-hijack attempt
+	// (Section 3.1: "a new INVITE request could be sent within a
+	// pre-existing dialog").
+	knownParty := func(c *core.Ctx) bool {
+		src := c.Event.StringArg("src")
+		fromTag := c.Event.StringArg("fromTag")
+		v := c.Vars
+		fromCaller := src == v.GetString("l.callerContact") && fromTag == v.GetString("l.fromTag")
+		fromCallee := src == v.GetString("l.calleeContact") && fromTag == v.GetString("l.toTag")
+		// In-dialog requests may also arrive through the proxy path
+		// that carried the INVITE.
+		viaProxy := src == v.GetString("l.inviteSrc") && fromTag == v.GetString("l.fromTag")
+		return fromCaller || fromCallee || viaProxy
+	}
+	s.On(SIPEstablished, EvInvite, knownParty, nil, SIPEstablished)
+	s.OnLabeled(labelHijack, SIPEstablished, EvInvite, func(c *core.Ctx) bool {
+		return !knownParty(c)
+	}, nil, SIPAttackHijack)
+
+	// --- Teardown ----------------------------------------------------------
+	// A consistent BYE moves to teardown and synchronizes the RTP
+	// machines (Figure 5): before the transition a δ(SIP->RTP) is
+	// sent, and the global records which party hung up so the RTP
+	// machines can separate BYE-DoS from toll fraud. If the BYE later
+	// draws a 401 challenge (authenticated deployments), a δ reopen
+	// rolls the RTP machines back.
+	byeAction := func(c *core.Ctx) {
+		sender := "caller"
+		if c.Event.StringArg("fromTag") == c.Vars.GetString("l.toTag") {
+			sender = "callee"
+		}
+		c.Globals["g.byeSender"] = sender
+		if crossProtocol {
+			c.Emit(MachineRTPCaller, core.Event{Name: EvDeltaBye})
+			c.Emit(MachineRTPCallee, core.Event{Name: EvDeltaBye})
+		}
+	}
+	s.OnLabeled(labelByeSeen, SIPEstablished, EvBye, knownParty, byeAction, SIPTeardown)
+	s.OnLabeled(labelSpoofedBye, SIPEstablished, EvBye, func(c *core.Ctx) bool {
+		return !knownParty(c)
+	},
+		// Even a spoofed BYE tears the call down at the victim UA, so
+		// the RTP machines must still arm their after-BYE timers.
+		byeAction, SIPAttackSpoofedBye)
+
+	s.On(SIPTeardown, EvResponse, nil, nil, SIPTeardown)
+	s.On(SIPTeardown, EvBye, nil, nil, SIPTeardown) // retransmissions
+	s.On(SIPTeardown, EvAck, nil, nil, SIPTeardown)
+	// The 200 for the BYE confirms the teardown and closes the call.
+	s.OnLabeled("closed", SIPTeardown, EvResponse, func(c *core.Ctx) bool {
+		return c.Event.StringArg("cseqMethod") == "BYE" && c.Event.IntArg("status") < 300
+	}, nil, SIPClosed)
+	// A 401 challenge for the BYE means nothing was torn down: the
+	// dialog is still alive (authenticated deployments), so the RTP
+	// machines are reopened.
+	s.On(SIPTeardown, EvResponse, func(c *core.Ctx) bool {
+		return c.Event.StringArg("cseqMethod") == "BYE" &&
+			c.Event.IntArg("status") == 401
+	}, func(c *core.Ctx) {
+		if crossProtocol {
+			c.Emit(MachineRTPCaller, core.Event{Name: EvDeltaReopen})
+			c.Emit(MachineRTPCallee, core.Event{Name: EvDeltaReopen})
+		}
+	}, SIPEstablished)
+
+	// CLOSED absorbs stragglers (retransmitted finals, late ACKs).
+	s.On(SIPClosed, EvResponse, nil, nil, SIPClosed)
+	s.On(SIPClosed, EvAck, nil, nil, SIPClosed)
+	s.On(SIPClosed, EvBye, nil, nil, SIPClosed)
+
+	// Attack states absorb everything so one detection does not
+	// cascade into deviation noise.
+	for _, attack := range []core.State{SIPAttackSpoofedBye, SIPAttackSpoofedCancel, SIPAttackHijack} {
+		for _, ev := range []string{EvInvite, EvAck, EvBye, EvCancel, EvResponse} {
+			s.On(attack, ev, nil, nil, attack)
+		}
+	}
+
+	s.Final(SIPClosed)
+	s.Attack(SIPAttackSpoofedBye, SIPAttackSpoofedCancel, SIPAttackHijack)
+	return s
+}

@@ -1,0 +1,934 @@
+package ids
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"vids/internal/core"
+	"vids/internal/rtp"
+	"vids/internal/sdp"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// Config parameterizes the detectors and the inline processing-cost
+// model.
+type Config struct {
+	// FloodN and FloodT1 are Figure 4's threshold N and window T1.
+	FloodN  int
+	FloodT1 time.Duration
+
+	// ResponseFloodN bounds SIP responses for unknown calls toward
+	// one destination within FloodT1 before flagging a DRDoS
+	// reflection attack (Section 3.1).
+	ResponseFloodN int
+
+	// ByeGraceT is Figure 5's timer T: how long in-flight RTP is
+	// tolerated after a BYE. The paper recommends about one RTT.
+	ByeGraceT time.Duration
+
+	// RTCPByeGrace is how long vids waits for the signaling plane to
+	// confirm a teardown after seeing an RTCP BYE. It must cover a
+	// SIP retransmission cycle (a lost BYE retries after 500 ms), so
+	// it is much larger than ByeGraceT.
+	RTCPByeGrace time.Duration
+
+	// RTP tracks the media-stream thresholds (Figure 6, Section 3.2).
+	RTP RTPThresholds
+
+	// SIPProcessing / RTPProcessing are the per-packet costs the
+	// inline vids host adds while logging and analyzing (the paper's
+	// Sun Ultra 10 logs at millisecond granularity, Section 7.3).
+	// They reproduce the paper's ~100 ms setup-delay and ~1.5 ms RTP
+	// delay overheads.
+	SIPProcessing time.Duration
+	RTPProcessing time.Duration
+
+	// Prevention turns the inline vids into an intrusion *prevention*
+	// system: packets belonging to a detected attack context (a
+	// quarantined flood source, a call in an attack state, a stream
+	// whose machine flagged an attack) are dropped instead of
+	// forwarded. The paper cites prevention as VoIP security's future
+	// ([16]); detection-only remains the default.
+	Prevention bool
+
+	// Quarantine is how long a source that contributed to a detected
+	// INVITE flood stays blocked toward that destination in
+	// prevention mode.
+	Quarantine time.Duration
+
+	// CrossProtocol enables the δ synchronization between the SIP and
+	// RTP machines. Disabling it is the ablation of experiment A1 —
+	// the paper's headline feature turned off.
+	CrossProtocol bool
+
+	// IdleEviction evicts call monitors with no traffic for this
+	// long (safety net for calls that never reach a final state).
+	IdleEviction time.Duration
+
+	// CloseLinger keeps a monitor resident after all its machines
+	// reach final states, so traffic arriving *after* the protocol
+	// closed — the signature of BYE DoS and toll fraud (Figure 5) —
+	// still meets the machines that can flag it.
+	CloseLinger time.Duration
+}
+
+// DefaultConfig returns the calibrated defaults used by the
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		FloodN:         20,
+		FloodT1:        time.Second,
+		ResponseFloodN: 20,
+		ByeGraceT:      250 * time.Millisecond,
+		RTCPByeGrace:   2 * time.Second,
+		RTP: RTPThresholds{
+			SeqGap:      50,
+			TSGap:       8000, // one second of 8 kHz samples
+			RateWindow:  time.Second,
+			RatePackets: 100, // 2x the G.729 50 pkt/s rate
+		},
+		SIPProcessing: 50 * time.Millisecond,
+		RTPProcessing: 750 * time.Microsecond,
+		Quarantine:    time.Minute,
+		CrossProtocol: true,
+		IdleEviction:  5 * time.Minute,
+		CloseLinger:   10 * time.Second,
+	}
+}
+
+// CallMonitor is one entry of the Call State Fact Base: the
+// communicating machines tracking one call (paper Figure 2(b)).
+type CallMonitor struct {
+	CallID    string
+	System    *core.System
+	SIP       *core.Machine
+	RTPCaller *core.Machine
+	RTPCallee *core.Machine
+
+	Created      time.Duration
+	LastActivity time.Duration
+
+	raised     map[string]bool // alert dedupe keys
+	evictArmed bool
+}
+
+// mediaRef maps a media destination to the machine monitoring it.
+type mediaRef struct {
+	callID  string
+	machine string
+}
+
+// IDS is the vids instance: Packet Classifier, Event Distributor,
+// Call State Fact Base, Attack Scenarios, and Analysis Engine wired
+// together (paper Figure 3).
+type IDS struct {
+	sim *sim.Simulator
+	cfg Config
+
+	sipSpec     *core.Spec
+	rtpSpecs    map[string]*core.Spec
+	floodSp     *core.Spec
+	respFloodSp *core.Spec
+	spamSp      *core.Spec
+
+	calls      map[string]*CallMonitor
+	mediaIndex map[string]mediaRef
+	floods     map[string]*core.Machine  // keyed by destination user@domain
+	floodSrcs  map[string]map[string]int // per-destination INVITE counts by source
+	quarantine map[string]time.Duration  // "dest|src" -> blocked until
+	respFloods map[string]*core.Machine  // keyed by destination host
+	spamMons   map[string]*core.Machine  // standalone monitors by media key
+	tombstones map[string]time.Duration  // recently evicted calls
+
+	alerts  []Alert
+	OnAlert func(Alert)
+	// OnPacket, when set, observes every packet entering Process —
+	// vids' own vantage point. Trace capture hooks in here so that a
+	// replayed trace reproduces exactly what the live instance saw.
+	OnPacket func(pkt *sim.Packet, at time.Duration)
+
+	// Counters for the evaluation harness.
+	sipPackets   uint64
+	rtpPackets   uint64
+	rtcpPackets  uint64
+	parseErrors  uint64
+	deviations   uint64
+	evicted      uint64
+	prevented    uint64
+	sweepArmed   bool
+	procWallTime time.Duration // real host CPU spent inside Process
+}
+
+// New creates a vids instance bound to the simulator clock.
+func New(s *sim.Simulator, cfg Config) *IDS {
+	d := &IDS{
+		sim:         s,
+		cfg:         cfg,
+		sipSpec:     sipSpec(cfg.CrossProtocol),
+		floodSp:     floodSpec(cfg.FloodN),
+		respFloodSp: respFloodSpec(cfg.ResponseFloodN),
+		spamSp:      spamSpec(cfg.RTP),
+		calls:       make(map[string]*CallMonitor),
+		mediaIndex:  make(map[string]mediaRef),
+		floods:      make(map[string]*core.Machine),
+		floodSrcs:   make(map[string]map[string]int),
+		quarantine:  make(map[string]time.Duration),
+		respFloods:  make(map[string]*core.Machine),
+		spamMons:    make(map[string]*core.Machine),
+		tombstones:  make(map[string]time.Duration),
+	}
+	d.rtpSpecs = map[string]*core.Spec{
+		MachineRTPCaller: rtpSpec(MachineRTPCaller, cfg.RTP),
+		MachineRTPCallee: rtpSpec(MachineRTPCallee, cfg.RTP),
+	}
+	return d
+}
+
+// Config returns the active configuration.
+func (d *IDS) Config() Config { return d.cfg }
+
+// Transit returns the inline hook to install on the vids network
+// node: every crossing packet is analyzed and delayed by the
+// configured processing cost, then forwarded (the paper's placement
+// between edge router and firewall, Figure 1).
+func (d *IDS) Transit() sim.Transit {
+	return func(pkt *sim.Packet) (time.Duration, bool) {
+		d.Process(pkt)
+		forward := true
+		if d.cfg.Prevention && d.malicious(pkt) {
+			d.prevented++
+			forward = false
+		}
+		switch pkt.Proto {
+		case sim.ProtoSIP:
+			return d.cfg.SIPProcessing, forward
+		case sim.ProtoRTP, sim.ProtoRTCP:
+			return d.cfg.RTPProcessing, forward
+		default:
+			return 0, forward
+		}
+	}
+}
+
+// malicious decides, after the packet has been analyzed, whether it
+// belongs to a detected attack context and should be blocked in
+// prevention mode.
+func (d *IDS) malicious(pkt *sim.Packet) bool {
+	raw, ok := pkt.Payload.([]byte)
+	if !ok {
+		return false
+	}
+	switch pkt.Proto {
+	case sim.ProtoSIP:
+		m, err := sipmsg.Parse(raw)
+		if err != nil {
+			return true // unparseable traffic is dropped in prevention mode
+		}
+		if m.IsRequest() && m.Method == sipmsg.INVITE && m.To.Tag() == "" {
+			dest := m.RequestURI.User + "@" + m.RequestURI.Host
+			if until, ok := d.quarantine[dest+"|"+pkt.From.Host]; ok {
+				if d.sim.Now() < until {
+					return true
+				}
+				delete(d.quarantine, dest+"|"+pkt.From.Host)
+			}
+		}
+		if mon, ok := d.calls[m.CallID]; ok && mon.SIP.InAttack() {
+			return true
+		}
+		return false
+	case sim.ProtoRTP:
+		key := mediaKey(pkt.To.Host, pkt.To.Port)
+		if ref, ok := d.mediaIndex[key]; ok {
+			if mon := d.calls[ref.callID]; mon != nil {
+				machine, _ := mon.System.Machine(ref.machine)
+				if machine != nil && machine.InAttack() {
+					return true
+				}
+			}
+		}
+		if sp, ok := d.spamMons[key]; ok && sp.InAttack() {
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Prevented reports packets blocked in prevention mode.
+func (d *IDS) Prevented() uint64 { return d.prevented }
+
+// Observe is the passive (tap) entry point: analyze without delaying.
+func (d *IDS) Observe(pkt *sim.Packet, _ time.Duration) { d.Process(pkt) }
+
+// Process classifies one packet and distributes the resulting event
+// to the protocol machines.
+func (d *IDS) Process(pkt *sim.Packet) {
+	if d.OnPacket != nil {
+		d.OnPacket(pkt, d.sim.Now())
+	}
+	start := time.Now()
+	defer func() { d.procWallTime += time.Since(start) }()
+
+	raw, ok := pkt.Payload.([]byte)
+	if !ok {
+		d.parseErrors++
+		return
+	}
+	switch pkt.Proto {
+	case sim.ProtoSIP:
+		m, err := sipmsg.Parse(raw)
+		if err != nil {
+			d.parseErrors++
+			return
+		}
+		d.sipPackets++
+		d.handleSIP(m, pkt)
+	case sim.ProtoRTP:
+		p, err := rtp.Parse(raw)
+		if err != nil {
+			d.parseErrors++
+			return
+		}
+		d.rtpPackets++
+		d.handleRTP(p, pkt)
+	case sim.ProtoRTCP:
+		p, err := rtp.ParseRTCP(raw)
+		if err != nil {
+			d.parseErrors++
+			return
+		}
+		d.rtcpPackets++
+		d.handleRTCP(p, pkt)
+	default:
+		// Non-VoIP traffic is outside vids' scope.
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SIP path
+// ---------------------------------------------------------------------------
+
+func (d *IDS) handleSIP(m *sipmsg.Message, pkt *sim.Packet) {
+	now := d.sim.Now()
+
+	if m.IsRequest() && m.Method == sipmsg.REGISTER {
+		// All of this enterprise's phones register from inside the
+		// edge, so any REGISTER vids sees came from outside: an
+		// attempt to rebind a local address-of-record elsewhere.
+		d.raise(Alert{
+			At: now, Type: AlertRogueRegister,
+			CallID: m.CallID,
+			Source: pkt.From.Host, Target: m.To.URI.String(),
+			Detail: "REGISTER crossing the enterprise edge",
+		}, nil)
+		return
+	}
+
+	if m.IsRequest() && m.Method == sipmsg.INVITE && m.To.Tag() == "" {
+		// Initial INVITE: feed the flood detector keyed by the
+		// destination AOR (Figure 4 counts INVITEs per destination).
+		d.feedFlood(m.RequestURI.User+"@"+m.RequestURI.Host, pkt.From.Host, now)
+	}
+
+	mon := d.calls[m.CallID]
+	if mon == nil {
+		if m.IsRequest() && m.Method == sipmsg.INVITE {
+			mon = d.newMonitor(m.CallID, now)
+		} else {
+			if _, evicted := d.tombstones[m.CallID]; evicted {
+				return // stragglers of an already-closed call
+			}
+			if m.IsResponse() {
+				if m.CSeq.Method == sipmsg.REGISTER {
+					// The registrar's answer to a REGISTER that
+					// already raised a rogue-register alert on its
+					// way in; not a separate event.
+					return
+				}
+				// Responses for calls the destination never started:
+				// count them toward the DRDoS reflection detector and
+				// report the first as a deviation.
+				d.feedResponseFlood(m, pkt, now)
+				return
+			}
+			// SIP requests for a call vids never saw begin: deviation.
+			d.raise(Alert{
+				At: now, Type: AlertDeviation, CallID: m.CallID,
+				Source: pkt.From.Host, Target: pkt.To.Host,
+				Detail: fmt.Sprintf("%s for unknown call", m.Summary()),
+			}, nil)
+			return
+		}
+	}
+	mon.LastActivity = now
+
+	ev := sipEvent(m, pkt)
+
+	// Register media destinations for the classifier before
+	// delivering, so RTP routing is ready the moment SDP crosses.
+	d.indexMedia(mon, m)
+
+	results, err := mon.System.Deliver(MachineSIP, ev)
+	d.consumeResults(mon, results, pkt)
+	if err == core.ErrNoTransition {
+		d.deviations++
+		d.raise(Alert{
+			At: now, Type: AlertDeviation, CallID: m.CallID,
+			Source: pkt.From.Host, Target: pkt.To.Host,
+			Detail: fmt.Sprintf("%s not accepted in state %s", m.Summary(), mon.SIP.State()),
+		}, mon)
+	}
+
+	if mon.System.AllFinal() {
+		d.scheduleEvict(mon.CallID)
+	}
+}
+
+// scheduleEvict removes a closed call's monitor after the linger
+// window (so post-close attack traffic is still recognized).
+func (d *IDS) scheduleEvict(callID string) {
+	mon := d.calls[callID]
+	if mon == nil || mon.evictArmed {
+		return
+	}
+	mon.evictArmed = true
+	d.sim.Schedule(d.cfg.CloseLinger, func() {
+		if m := d.calls[callID]; m != nil {
+			d.evict(callID)
+		}
+	})
+}
+
+// sipEvent builds the input vector x from a SIP message and its
+// carrying packet (paper Section 4.2: header fields, SDP body values,
+// and the transport source/destination).
+func sipEvent(m *sipmsg.Message, pkt *sim.Packet) core.Event {
+	args := map[string]any{
+		"src":     pkt.From.Host,
+		"dst":     pkt.To.Host,
+		"callID":  m.CallID,
+		"from":    m.From.URI.String(),
+		"to":      m.To.URI.String(),
+		"fromTag": m.From.Tag(),
+		"toTag":   m.To.Tag(),
+	}
+	if m.Contact != nil {
+		args["contact"] = m.Contact.URI.Host
+	}
+	if addr, port, payload, ok := mediaFromSDP(m); ok {
+		args["sdpAddr"] = addr
+		args["sdpPort"] = port
+		args["sdpPayload"] = payload
+	}
+
+	if m.IsResponse() {
+		args["status"] = m.StatusCode
+		args["cseqMethod"] = string(m.CSeq.Method)
+		return core.Event{Name: EvResponse, Args: args}
+	}
+	name := EvResponse
+	switch m.Method {
+	case sipmsg.INVITE:
+		name = EvInvite
+	case sipmsg.ACK:
+		name = EvAck
+	case sipmsg.BYE:
+		name = EvBye
+	case sipmsg.CANCEL:
+		name = EvCancel
+	default:
+		name = "sip." + string(m.Method)
+	}
+	return core.Event{Name: name, Args: args}
+}
+
+// mediaFromSDP extracts (address, port, payload) from an SDP body.
+func mediaFromSDP(m *sipmsg.Message) (string, int, int, bool) {
+	if len(m.Body) == 0 {
+		return "", 0, 0, false
+	}
+	desc, err := sdp.Parse(m.Body)
+	if err != nil {
+		return "", 0, 0, false
+	}
+	audio, ok := desc.FirstAudio()
+	if !ok || len(audio.Payloads) == 0 {
+		return "", 0, 0, false
+	}
+	return desc.Address, audio.Port, audio.Payloads[0], true
+}
+
+// indexMedia records the media destinations a SIP message advertises
+// so the Event Distributor can route subsequent RTP packets to the
+// right machine (Call State Fact Base lookups, Figure 3).
+func (d *IDS) indexMedia(mon *CallMonitor, m *sipmsg.Message) {
+	addr, port, _, ok := mediaFromSDP(m)
+	if !ok {
+		return
+	}
+	key := mediaKey(addr, port)
+	switch {
+	case m.IsRequest() && m.Method == sipmsg.INVITE:
+		// Caller's SDP names where the *callee's* stream will land.
+		d.mediaIndex[key] = mediaRef{callID: mon.CallID, machine: MachineRTPCallee}
+	case m.IsResponse() && m.IsSuccess() && m.CSeq.Method == sipmsg.INVITE:
+		d.mediaIndex[key] = mediaRef{callID: mon.CallID, machine: MachineRTPCaller}
+	}
+}
+
+func mediaKey(host string, port int) string {
+	return host + ":" + strconv.Itoa(port)
+}
+
+// ---------------------------------------------------------------------------
+// RTP path
+// ---------------------------------------------------------------------------
+
+func (d *IDS) handleRTP(p *rtp.Packet, pkt *sim.Packet) {
+	now := d.sim.Now()
+	key := mediaKey(pkt.To.Host, pkt.To.Port)
+	ev := core.Event{Name: EvRTP, Args: map[string]any{
+		"src":         pkt.From.Host,
+		"dst":         pkt.To.Host,
+		"ssrc":        p.SSRC,
+		"seq":         int(p.Sequence),
+		"ts":          p.Timestamp,
+		"payloadType": int(p.PayloadType),
+		"now":         now,
+	}}
+
+	ref, ok := d.mediaIndex[key]
+	if !ok {
+		d.handleUnsolicitedRTP(key, ev, pkt, now)
+		return
+	}
+	mon := d.calls[ref.callID]
+	if mon == nil {
+		// Call already evicted; the stream should be dead too.
+		if _, evicted := d.tombstones[ref.callID]; !evicted {
+			d.raise(Alert{
+				At: now, Type: AlertUnsolicitedRTP, CallID: ref.callID,
+				Source: pkt.From.Host, Target: key,
+				Detail: "RTP for a call with no live monitor",
+			}, nil)
+		}
+		return
+	}
+	mon.LastActivity = now
+
+	results, err := mon.System.Deliver(ref.machine, ev)
+	d.consumeResults(mon, results, pkt)
+	if err == core.ErrNoTransition {
+		d.deviations++
+		d.raise(Alert{
+			At: now, Type: AlertDeviation, CallID: mon.CallID,
+			Source: pkt.From.Host, Target: key,
+			Detail: fmt.Sprintf("RTP not accepted by %s in its current state", ref.machine),
+		}, mon)
+	}
+}
+
+// handleRTCP checks control traffic against the signaling state: an
+// RTCP BYE for a stream whose call the SIP machine still considers
+// established is a media-plane teardown injection. Periodic sender
+// and receiver reports are counted but raise nothing.
+func (d *IDS) handleRTCP(p *rtp.RTCP, pkt *sim.Packet) {
+	if p.Type != rtp.RTCPBye {
+		return
+	}
+	now := d.sim.Now()
+	// RTCP runs on the media port + 1.
+	key := mediaKey(pkt.To.Host, pkt.To.Port-1)
+	ref, ok := d.mediaIndex[key]
+	if !ok {
+		return // stream unknown (already closed or never negotiated)
+	}
+	mon := d.calls[ref.callID]
+	if mon == nil {
+		return
+	}
+	mon.LastActivity = now
+	switch mon.SIP.State() {
+	case SIPTeardown, SIPClosed:
+		return // legitimate: the call is ending on the signaling plane too
+	}
+	// A genuine hangup races its own RTCP BYE against the SIP BYE on
+	// the same path — and the SIP BYE may need a retransmission cycle
+	// if it was lost — so give the signaling plane a generous window
+	// before judging.
+	src := pkt.From.Host
+	d.sim.Schedule(d.cfg.RTCPByeGrace, func() {
+		m := d.calls[ref.callID]
+		if m == nil || m.SIP.InAttack() {
+			return
+		}
+		switch m.SIP.State() {
+		case SIPTeardown, SIPClosed:
+			return
+		}
+		d.raise(Alert{
+			At: d.sim.Now(), Type: AlertRTCPBye, CallID: m.CallID,
+			Source: src, Target: key,
+			Detail: "RTCP BYE while the SIP dialog is still established",
+		}, m)
+	})
+}
+
+// handleUnsolicitedRTP runs the standalone Figure 6 monitor for
+// streams no SDP advertised.
+func (d *IDS) handleUnsolicitedRTP(key string, ev core.Event, pkt *sim.Packet, now time.Duration) {
+	mon, ok := d.spamMons[key]
+	if !ok {
+		mon = core.NewMachine(d.spamSp, nil)
+		d.spamMons[key] = mon
+		d.armSweep()
+		d.raise(Alert{
+			At: now, Type: AlertUnsolicitedRTP,
+			Source: pkt.From.Host, Target: key,
+			Detail: "RTP stream with no negotiated session",
+		}, nil)
+	}
+	res, err := mon.Step(ev)
+	if err == nil && res.EnteredAttack {
+		d.raise(Alert{
+			At: now, Type: AlertMediaSpam,
+			Source: pkt.From.Host, Target: key,
+			Detail: "unsolicited stream exceeded spam thresholds",
+		}, nil)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Flood detector
+// ---------------------------------------------------------------------------
+
+func (d *IDS) feedFlood(dest, src string, now time.Duration) {
+	m, ok := d.floods[dest]
+	if !ok {
+		m = core.NewMachine(d.floodSp, nil)
+		d.floods[dest] = m
+	}
+	srcs := d.floodSrcs[dest]
+	if srcs == nil {
+		srcs = make(map[string]int)
+		d.floodSrcs[dest] = srcs
+	}
+	srcs[src]++
+	res, err := m.Step(core.Event{Name: EvInvite, Args: map[string]any{
+		"dest": dest, "src": src,
+	}})
+	if err != nil {
+		return
+	}
+	if res.From == FloodInit && res.To == FloodCounting {
+		// First INVITE of the window: start timer T1 (Figure 4).
+		d.sim.Schedule(d.cfg.FloodT1, func() {
+			r, err := m.Step(core.Event{Name: EvTimerT1})
+			if err == nil && r.To == FloodInit {
+				delete(d.floodSrcs, dest)
+			}
+		})
+	}
+	if res.EnteredAttack {
+		d.raise(Alert{
+			At: now, Type: AlertInviteFlood, Target: dest, Source: src,
+			Detail: fmt.Sprintf("more than %d INVITEs within %v", d.cfg.FloodN, d.cfg.FloodT1),
+		}, nil)
+		if d.cfg.Prevention {
+			// Quarantine the window's major contributors: the window
+			// detector alone would re-admit N INVITEs per T1.
+			for contributor, count := range srcs {
+				if count > d.cfg.FloodN/2 {
+					d.quarantine[dest+"|"+contributor] = now + d.cfg.Quarantine
+				}
+			}
+		}
+	}
+}
+
+// feedResponseFlood counts unknown-call responses per destination
+// host and raises a DRDoS alert when the windowed threshold trips.
+func (d *IDS) feedResponseFlood(m *sipmsg.Message, pkt *sim.Packet, now time.Duration) {
+	dest := pkt.To.Host
+	mach, ok := d.respFloods[dest]
+	if !ok {
+		mach = core.NewMachine(d.respFloodSp, nil)
+		d.respFloods[dest] = mach
+	}
+	res, err := mach.Step(core.Event{Name: EvResponse, Args: map[string]any{
+		"dest": dest, "src": pkt.From.Host,
+	}})
+	if err != nil {
+		return
+	}
+	if res.From == FloodInit && res.To == FloodCounting {
+		// First stray response of the window: report once, arm T1.
+		d.raise(Alert{
+			At: now, Type: AlertDeviation, CallID: m.CallID,
+			Source: pkt.From.Host, Target: dest,
+			Detail: fmt.Sprintf("%s for unknown call", m.Summary()),
+		}, nil)
+		d.sim.Schedule(d.cfg.FloodT1, func() {
+			_, _ = mach.Step(core.Event{Name: EvTimerT1})
+		})
+	}
+	if res.EnteredAttack {
+		d.raise(Alert{
+			At: now, Type: AlertDRDoS, Target: dest, Source: pkt.From.Host,
+			Detail: fmt.Sprintf("more than %d reflected responses within %v",
+				d.cfg.ResponseFloodN, d.cfg.FloodT1),
+		}, nil)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fact base and analysis engine
+// ---------------------------------------------------------------------------
+
+func (d *IDS) newMonitor(callID string, now time.Duration) *CallMonitor {
+	sys := core.NewSystem()
+	sipM, _ := sys.Add(d.sipSpec)
+	caller, _ := sys.Add(d.rtpSpecs[MachineRTPCaller])
+	callee, _ := sys.Add(d.rtpSpecs[MachineRTPCallee])
+	mon := &CallMonitor{
+		CallID:    callID,
+		System:    sys,
+		SIP:       sipM,
+		RTPCaller: caller,
+		RTPCallee: callee,
+		Created:   now,
+		raised:    make(map[string]bool),
+	}
+	d.calls[callID] = mon
+	delete(d.tombstones, callID)
+	d.armSweep()
+	return mon
+}
+
+// consumeResults inspects transitions for attack entries and timer
+// arming.
+func (d *IDS) consumeResults(mon *CallMonitor, results []core.StepResult, pkt *sim.Packet) {
+	now := d.sim.Now()
+	for _, res := range results {
+		if res.To == RTPAfterBye && res.From != RTPAfterBye {
+			// Arm Figure 5's timer T for this machine.
+			machine := res.Machine
+			d.sim.Schedule(d.cfg.ByeGraceT, func() {
+				m := d.calls[mon.CallID]
+				if m == nil {
+					return
+				}
+				_, _ = m.System.DeliverSync(machine, core.Event{Name: EvTimerT})
+				if m.System.AllFinal() {
+					d.scheduleEvict(m.CallID)
+				}
+			})
+		}
+		if res.EnteredAttack {
+			d.raise(Alert{
+				At: now, Type: alertTypeForLabel(res.Label),
+				CallID: mon.CallID,
+				Source: pkt.From.Host, Target: pkt.To.Host,
+				Detail: fmt.Sprintf("%s: %s -> %s on %s", res.Machine, res.From, res.To, res.Event),
+			}, mon)
+		}
+	}
+}
+
+func alertTypeForLabel(label string) AlertType {
+	switch label {
+	case labelSpoofedBye:
+		return AlertSpoofedBye
+	case labelSpoofedCancel:
+		return AlertSpoofedCancel
+	case labelHijack:
+		return AlertCallHijack
+	case labelMediaSpam:
+		return AlertMediaSpam
+	case labelCodec:
+		return AlertCodecViolation
+	case labelByeDoS:
+		return AlertByeDoS
+	case labelTollFraud:
+		return AlertTollFraud
+	case labelRTPFlood:
+		return AlertRTPFlood
+	case labelInviteFlood:
+		return AlertInviteFlood
+	case labelDRDoS:
+		return AlertDRDoS
+	default:
+		return AlertDeviation
+	}
+}
+
+// raise records an alert, deduplicating per (call, type) so one
+// attack does not flood the operator.
+func (d *IDS) raise(a Alert, mon *CallMonitor) {
+	if mon != nil {
+		key := string(a.Type)
+		if mon.raised[key] {
+			return
+		}
+		mon.raised[key] = true
+	} else if a.CallID == "" && a.Type == AlertInviteFlood {
+		// Deduplicate flood alerts per destination per window: the
+		// detector machine stays in ATTACK until T1 resets it, and
+		// EnteredAttack fires only on the transition, so nothing to
+		// do here.
+		_ = a
+	}
+	d.alerts = append(d.alerts, a)
+	if d.OnAlert != nil {
+		d.OnAlert(a)
+	}
+}
+
+// evict removes a finished call from the fact base (paper
+// Section 7.3: "Once the calls have successfully reached the final
+// state, the corresponding protocol state machines will be deleted").
+func (d *IDS) evict(callID string) {
+	mon := d.calls[callID]
+	if mon == nil {
+		return
+	}
+	delete(d.calls, callID)
+	d.tombstones[callID] = d.sim.Now()
+	for key, ref := range d.mediaIndex {
+		if ref.callID == callID {
+			delete(d.mediaIndex, key)
+		}
+	}
+	d.evicted++
+}
+
+// armSweep schedules the idle-eviction sweep if it is not already
+// pending. The sweep re-arms itself only while there is state to
+// reclaim, so a drained IDS leaves the simulator's event queue empty
+// and simulations terminate naturally.
+func (d *IDS) armSweep() {
+	if d.sweepArmed || d.cfg.IdleEviction <= 0 {
+		return
+	}
+	d.sweepArmed = true
+	d.sim.Schedule(d.cfg.IdleEviction/2, func() {
+		d.sweepArmed = false
+		now := d.sim.Now()
+		for id, mon := range d.calls {
+			if now-mon.LastActivity > d.cfg.IdleEviction {
+				d.evict(id)
+			}
+		}
+		for id, at := range d.tombstones {
+			if now-at > d.cfg.IdleEviction {
+				delete(d.tombstones, id)
+			}
+		}
+		for key := range d.spamMons {
+			delete(d.spamMons, key)
+		}
+		if len(d.calls)+len(d.tombstones) > 0 {
+			d.armSweep()
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Introspection for the evaluation harness
+// ---------------------------------------------------------------------------
+
+// Alerts returns a copy of all alerts raised so far.
+func (d *IDS) Alerts() []Alert { return append([]Alert(nil), d.alerts...) }
+
+// WriteAlerts renders all alerts as a JSON array (the operator-facing
+// report format).
+func (d *IDS) WriteAlerts(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	alerts := d.alerts
+	if alerts == nil {
+		alerts = []Alert{}
+	}
+	return enc.Encode(alerts)
+}
+
+// AlertStats counts alerts by type.
+func (d *IDS) AlertStats() map[AlertType]int {
+	out := make(map[AlertType]int)
+	for _, a := range d.alerts {
+		out[a.Type]++
+	}
+	return out
+}
+
+// AlertsOfType filters alerts by type.
+func (d *IDS) AlertsOfType(t AlertType) []Alert {
+	var out []Alert
+	for _, a := range d.alerts {
+		if a.Type == t {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ActiveCalls reports the number of monitored calls resident in the
+// fact base.
+func (d *IDS) ActiveCalls() int { return len(d.calls) }
+
+// Evicted reports how many call monitors were deleted after reaching
+// final states.
+func (d *IDS) Evicted() uint64 { return d.evicted }
+
+// Monitor returns the monitor for a call, if resident.
+func (d *IDS) Monitor(callID string) (*CallMonitor, bool) {
+	m, ok := d.calls[callID]
+	return m, ok
+}
+
+// Counters reports (SIP packets, RTP packets, parse errors,
+// deviations) seen so far.
+func (d *IDS) Counters() (sipPkts, rtpPkts, parseErrs, deviations uint64) {
+	return d.sipPackets, d.rtpPackets, d.parseErrors, d.deviations
+}
+
+// RTCPPackets reports RTCP packets inspected.
+func (d *IDS) RTCPPackets() uint64 { return d.rtcpPackets }
+
+// ProcessingWallTime reports real host CPU time spent inside Process,
+// for the CPU-overhead experiment (Section 7.3).
+func (d *IDS) ProcessingWallTime() time.Duration { return d.procWallTime }
+
+// MemoryFootprint sums the per-call state bytes across the fact base
+// (Section 7.3's memory accounting).
+func (d *IDS) MemoryFootprint() int {
+	total := 0
+	for _, mon := range d.calls {
+		total += mon.System.MemoryFootprint()
+	}
+	return total
+}
+
+// PerCallMemory reports one call's state footprint in bytes.
+func (mon *CallMonitor) PerCallMemory() int { return mon.System.MemoryFootprint() }
+
+// Specs returns the protocol machine definitions a configuration
+// builds: the SIP machine, the two RTP direction machines, the INVITE
+// and response flood detectors, and the standalone spam monitor. Used
+// by tooling that renders or validates the specifications.
+func Specs(cfg Config) []*core.Spec {
+	return []*core.Spec{
+		sipSpec(cfg.CrossProtocol),
+		rtpSpec(MachineRTPCaller, cfg.RTP),
+		rtpSpec(MachineRTPCallee, cfg.RTP),
+		floodSpec(cfg.FloodN),
+		respFloodSpec(cfg.ResponseFloodN),
+		spamSpec(cfg.RTP),
+	}
+}

@@ -1,0 +1,1056 @@
+package ids
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"vids/internal/core"
+	"vids/internal/rtp"
+	"vids/internal/sdp"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// The canonical call used across these tests: alice@a calls bob@b.
+// vids sits at network B's edge, so it sees signaling between the two
+// proxies and media end-to-end.
+const (
+	callerHost = "ua1.a.example.com"
+	calleeHost = "ua2.b.example.com"
+	proxyA     = "proxy.a.example.com"
+	proxyB     = "proxy.b.example.com"
+	attacker   = "evil.c.example.com"
+
+	callID    = "call-1@ua1.a.example.com"
+	callerTag = "tagA"
+	calleeTag = "tagB"
+
+	callerRTPPort = 20000
+	calleeRTPPort = 30000
+)
+
+type harness struct {
+	sim *sim.Simulator
+	ids *IDS
+}
+
+func newHarness(t *testing.T, mutate func(*Config)) *harness {
+	t.Helper()
+	s := sim.New(11)
+	cfg := DefaultConfig()
+	cfg.ByeGraceT = 100 * time.Millisecond
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return &harness{sim: s, ids: New(s, cfg)}
+}
+
+func (h *harness) at(d time.Duration, f func()) { h.sim.At(d, f) }
+
+func (h *harness) run(t *testing.T, until time.Duration) {
+	t.Helper()
+	if err := h.sim.Run(until); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sipPacket(m *sipmsg.Message, from, to sim.Addr) *sim.Packet {
+	raw := m.Bytes()
+	return &sim.Packet{From: from, To: to, Proto: sim.ProtoSIP, Size: len(raw), Payload: raw}
+}
+
+func rtpPacket(p *rtp.Packet, from, to sim.Addr) *sim.Packet {
+	raw, err := p.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return &sim.Packet{From: from, To: to, Proto: sim.ProtoRTP, Size: len(raw), Payload: raw}
+}
+
+func mkInvite() *sipmsg.Message {
+	req := sipmsg.NewRequest(sipmsg.INVITE, sipmsg.URI{User: "bob", Host: "b.example.com"})
+	req.Via = []sipmsg.Via{
+		{Transport: "UDP", Host: proxyA, Port: 5060, Params: map[string]string{"branch": "z9hG4bKpa1"}},
+		{Transport: "UDP", Host: callerHost, Port: 5060, Params: map[string]string{"branch": "z9hG4bKua1"}},
+	}
+	req.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: "a.example.com"}}.WithTag(callerTag)
+	req.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: "b.example.com"}}
+	req.CallID = callID
+	req.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE}
+	contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: callerHost}}
+	req.Contact = &contact
+	req.ContentType = "application/sdp"
+	req.Body = sdp.New("alice", callerHost, callerRTPPort, sdp.PayloadG729).Marshal()
+	return req
+}
+
+func mkResponse(req *sipmsg.Message, code int, withSDP bool) *sipmsg.Message {
+	resp := sipmsg.NewResponse(req, code)
+	if code != 100 {
+		resp.To = resp.To.WithTag(calleeTag)
+	}
+	if withSDP {
+		contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: calleeHost}}
+		resp.Contact = &contact
+		resp.ContentType = "application/sdp"
+		resp.Body = sdp.New("bob", calleeHost, calleeRTPPort, sdp.PayloadG729).Marshal()
+	}
+	return resp
+}
+
+func mkInDialog(method sipmsg.Method, fromCaller bool, seq uint32) *sipmsg.Message {
+	var req *sipmsg.Message
+	if fromCaller {
+		req = sipmsg.NewRequest(method, sipmsg.URI{User: "bob", Host: calleeHost})
+		req.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: "a.example.com"}}.WithTag(callerTag)
+		req.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: "b.example.com"}}.WithTag(calleeTag)
+		req.Via = []sipmsg.Via{{Transport: "UDP", Host: callerHost, Port: 5060,
+			Params: map[string]string{"branch": "z9hG4bKind" + string(method)}}}
+	} else {
+		req = sipmsg.NewRequest(method, sipmsg.URI{User: "alice", Host: callerHost})
+		req.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: "b.example.com"}}.WithTag(calleeTag)
+		req.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: "a.example.com"}}.WithTag(callerTag)
+		req.Via = []sipmsg.Via{{Transport: "UDP", Host: calleeHost, Port: 5060,
+			Params: map[string]string{"branch": "z9hG4bKind" + string(method)}}}
+	}
+	req.CallID = callID
+	req.CSeq = sipmsg.CSeq{Seq: seq, Method: method}
+	return req
+}
+
+// establishCall drives the canonical setup through the IDS, leaving
+// the SIP machine in CALL_ESTABLISHED with both media directions
+// indexed.
+func establishCall(t *testing.T, h *harness) {
+	t.Helper()
+	inv := mkInvite()
+	h.ids.Process(sipPacket(inv, sim.Addr{Host: proxyA, Port: 5060}, sim.Addr{Host: proxyB, Port: 5060}))
+	h.ids.Process(sipPacket(mkResponse(inv, 180, false),
+		sim.Addr{Host: proxyB, Port: 5060}, sim.Addr{Host: proxyA, Port: 5060}))
+	h.ids.Process(sipPacket(mkResponse(inv, 200, true),
+		sim.Addr{Host: proxyB, Port: 5060}, sim.Addr{Host: proxyA, Port: 5060}))
+	ack := mkInDialog(sipmsg.ACK, true, 1)
+	h.ids.Process(sipPacket(ack, sim.Addr{Host: callerHost, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+
+	mon, ok := h.ids.Monitor(callID)
+	if !ok {
+		t.Fatal("no monitor after INVITE")
+	}
+	if mon.SIP.State() != SIPEstablished {
+		t.Fatalf("sip state = %v", mon.SIP.State())
+	}
+}
+
+// callerMedia / calleeMedia return addressed RTP packets in each
+// direction.
+func callerMediaPkt(seq uint16, ts uint32, ssrc uint32) *sim.Packet {
+	return rtpPacket(&rtp.Packet{PayloadType: 18, Sequence: seq, Timestamp: ts, SSRC: ssrc,
+		Payload: make([]byte, 20)},
+		sim.Addr{Host: callerHost, Port: callerRTPPort},
+		sim.Addr{Host: calleeHost, Port: calleeRTPPort})
+}
+
+func calleeMediaPkt(seq uint16, ts uint32, ssrc uint32) *sim.Packet {
+	return rtpPacket(&rtp.Packet{PayloadType: 18, Sequence: seq, Timestamp: ts, SSRC: ssrc,
+		Payload: make([]byte, 20)},
+		sim.Addr{Host: calleeHost, Port: calleeRTPPort},
+		sim.Addr{Host: callerHost, Port: callerRTPPort})
+}
+
+func TestCleanCallRaisesNoAlerts(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+
+	// Some media both ways.
+	for i := 0; i < 10; i++ {
+		h.ids.Process(callerMediaPkt(uint16(100+i), uint32(1000+160*i), 0xAAAA))
+		h.ids.Process(calleeMediaPkt(uint16(500+i), uint32(9000+160*i), 0xBBBB))
+	}
+
+	// Caller hangs up.
+	bye := mkInDialog(sipmsg.BYE, true, 2)
+	h.ids.Process(sipPacket(bye, sim.Addr{Host: callerHost, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+	ok := sipmsg.NewResponse(bye, sipmsg.StatusOK)
+	h.ids.Process(sipPacket(ok, sim.Addr{Host: calleeHost, Port: 5060}, sim.Addr{Host: callerHost, Port: 5060}))
+
+	h.run(t, time.Minute)
+	if alerts := h.ids.Alerts(); len(alerts) != 0 {
+		t.Fatalf("clean call raised alerts: %v", alerts)
+	}
+	if h.ids.ActiveCalls() != 0 {
+		t.Fatalf("monitor not evicted: %d resident", h.ids.ActiveCalls())
+	}
+	if h.ids.Evicted() != 1 {
+		t.Fatalf("evicted = %d", h.ids.Evicted())
+	}
+}
+
+func TestMonitorStateProgression(t *testing.T) {
+	h := newHarness(t, nil)
+	inv := mkInvite()
+	h.ids.Process(sipPacket(inv, sim.Addr{Host: proxyA, Port: 5060}, sim.Addr{Host: proxyB, Port: 5060}))
+	mon, _ := h.ids.Monitor(callID)
+	if mon.SIP.State() != SIPInviteRcvd {
+		t.Fatalf("after INVITE: %v", mon.SIP.State())
+	}
+	// The δ must have opened the callee->caller direction.
+	if mon.RTPCallee.State() != RTPOpen {
+		t.Fatalf("rtp-callee = %v, want RTP_OPEN (Figure 2a)", mon.RTPCallee.State())
+	}
+	if mon.RTPCaller.State() != RTPInit {
+		t.Fatalf("rtp-caller = %v, want INIT until 200 OK", mon.RTPCaller.State())
+	}
+
+	h.ids.Process(sipPacket(mkResponse(inv, 180, false),
+		sim.Addr{Host: proxyB, Port: 5060}, sim.Addr{Host: proxyA, Port: 5060}))
+	if mon.SIP.State() != SIPRinging {
+		t.Fatalf("after 180: %v", mon.SIP.State())
+	}
+
+	h.ids.Process(sipPacket(mkResponse(inv, 200, true),
+		sim.Addr{Host: proxyB, Port: 5060}, sim.Addr{Host: proxyA, Port: 5060}))
+	if mon.SIP.State() != SIPEstablished {
+		t.Fatalf("after 200: %v", mon.SIP.State())
+	}
+	if mon.RTPCaller.State() != RTPOpen {
+		t.Fatalf("rtp-caller = %v after answer SDP", mon.RTPCaller.State())
+	}
+
+	// Globals carry the negotiated media (paper Section 4.2).
+	g := mon.System.Globals()
+	if g.GetString("g.callerMediaAddr") != callerHost || g.GetInt("g.callerMediaPort") != callerRTPPort {
+		t.Fatalf("caller media globals = %v", g)
+	}
+	if g.GetString("g.calleeMediaAddr") != calleeHost || g.GetInt("g.payload") != 18 {
+		t.Fatalf("callee media globals = %v", g)
+	}
+}
+
+func TestSpoofedByeFromForeignHostDetected(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+
+	// Attacker with its own address and a forged From tag.
+	bye := mkInDialog(sipmsg.BYE, true, 99)
+	bye.From = bye.From.WithTag("not-the-dialog-tag")
+	h.ids.Process(sipPacket(bye, sim.Addr{Host: attacker, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+
+	alerts := h.ids.AlertsOfType(AlertSpoofedBye)
+	if len(alerts) != 1 {
+		t.Fatalf("spoofed-bye alerts = %v", h.ids.Alerts())
+	}
+	if alerts[0].CallID != callID || alerts[0].Source != attacker {
+		t.Fatalf("alert = %+v", alerts[0])
+	}
+}
+
+func TestByeDoSDetectedViaCrossProtocol(t *testing.T) {
+	// The attacker forges BOTH the SIP identity and the transport
+	// source, so the SIP machine accepts the BYE as genuine. The
+	// victim stops; the unaware partner keeps streaming, and the RTP
+	// machine catches it after timer T (Figure 5).
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	for i := 0; i < 5; i++ {
+		h.ids.Process(callerMediaPkt(uint16(100+i), uint32(1000+160*i), 0xAAAA))
+	}
+
+	// Perfectly spoofed BYE "from the caller" to the callee.
+	bye := mkInDialog(sipmsg.BYE, true, 2)
+	h.ids.Process(sipPacket(bye, sim.Addr{Host: callerHost, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+	ok := sipmsg.NewResponse(bye, sipmsg.StatusOK)
+	h.ids.Process(sipPacket(ok, sim.Addr{Host: calleeHost, Port: 5060}, sim.Addr{Host: callerHost, Port: 5060}))
+
+	if len(h.ids.Alerts()) != 0 {
+		t.Fatalf("premature alerts: %v", h.ids.Alerts())
+	}
+
+	// In-flight packet inside grace period T: tolerated.
+	h.at(50*time.Millisecond, func() {
+		h.ids.Process(callerMediaPkt(105, 1800, 0xAAAA))
+	})
+	// The real caller keeps streaming well past T.
+	for i := 0; i < 5; i++ {
+		i := i
+		h.at(200*time.Millisecond+time.Duration(i)*20*time.Millisecond, func() {
+			h.ids.Process(callerMediaPkt(uint16(110+i), uint32(2600+160*i), 0xAAAA))
+		})
+	}
+	h.run(t, time.Second)
+
+	fraud := h.ids.AlertsOfType(AlertTollFraud)
+	dos := h.ids.AlertsOfType(AlertByeDoS)
+	if len(fraud)+len(dos) != 1 {
+		t.Fatalf("post-BYE RTP alerts = %v", h.ids.Alerts())
+	}
+	// The stream continuing belongs to the party named in the BYE, so
+	// vids classifies it as the BYE-sender-continues signature.
+	if len(fraud) != 1 {
+		t.Fatalf("expected toll-fraud classification, got %v", h.ids.Alerts())
+	}
+}
+
+func TestByeDoSNotDetectedWithoutCrossProtocol(t *testing.T) {
+	// Ablation A1: with δ synchronization disabled, the perfectly
+	// spoofed BYE is invisible — no alert ever fires.
+	h := newHarness(t, func(c *Config) { c.CrossProtocol = false })
+	establishCall(t, h)
+	for i := 0; i < 5; i++ {
+		h.ids.Process(callerMediaPkt(uint16(100+i), uint32(1000+160*i), 0xAAAA))
+	}
+	bye := mkInDialog(sipmsg.BYE, true, 2)
+	h.ids.Process(sipPacket(bye, sim.Addr{Host: callerHost, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+	for i := 0; i < 10; i++ {
+		i := i
+		h.at(300*time.Millisecond+time.Duration(i)*20*time.Millisecond, func() {
+			h.ids.Process(callerMediaPkt(uint16(110+i), uint32(2600+160*i), 0xAAAA))
+		})
+	}
+	h.run(t, time.Second)
+	if alerts := h.ids.Alerts(); len(alerts) != 0 {
+		t.Fatalf("ablated IDS still alerted: %v", alerts)
+	}
+}
+
+func TestInFlightRTPWithinGraceNotFlagged(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	h.ids.Process(callerMediaPkt(100, 1000, 0xAAAA))
+
+	bye := mkInDialog(sipmsg.BYE, true, 2)
+	h.ids.Process(sipPacket(bye, sim.Addr{Host: callerHost, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+	// Packets strictly inside T (100ms in this harness).
+	for i := 0; i < 4; i++ {
+		i := i
+		h.at(time.Duration(i+1)*20*time.Millisecond, func() {
+			h.ids.Process(callerMediaPkt(uint16(101+i), uint32(1160+160*i), 0xAAAA))
+		})
+	}
+	h.run(t, time.Second)
+	if alerts := h.ids.Alerts(); len(alerts) != 0 {
+		t.Fatalf("in-flight RTP flagged: %v", alerts)
+	}
+}
+
+func TestSpoofedCancelDetected(t *testing.T) {
+	h := newHarness(t, nil)
+	inv := mkInvite()
+	h.ids.Process(sipPacket(inv, sim.Addr{Host: proxyA, Port: 5060}, sim.Addr{Host: proxyB, Port: 5060}))
+	h.ids.Process(sipPacket(mkResponse(inv, 180, false),
+		sim.Addr{Host: proxyB, Port: 5060}, sim.Addr{Host: proxyA, Port: 5060}))
+
+	cancel := inv.Clone()
+	cancel.Method = sipmsg.CANCEL
+	cancel.CSeq.Method = sipmsg.CANCEL
+	cancel.Body = nil
+	cancel.ContentType = ""
+	// Arrives from the attacker's host, not the proxy that carried
+	// the INVITE.
+	h.ids.Process(sipPacket(cancel, sim.Addr{Host: attacker, Port: 5060}, sim.Addr{Host: proxyB, Port: 5060}))
+
+	if alerts := h.ids.AlertsOfType(AlertSpoofedCancel); len(alerts) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+}
+
+func TestGenuineCancelAccepted(t *testing.T) {
+	h := newHarness(t, nil)
+	inv := mkInvite()
+	src := sim.Addr{Host: proxyA, Port: 5060}
+	dst := sim.Addr{Host: proxyB, Port: 5060}
+	h.ids.Process(sipPacket(inv, src, dst))
+	h.ids.Process(sipPacket(mkResponse(inv, 180, false), dst, src))
+
+	cancel := inv.Clone()
+	cancel.Method = sipmsg.CANCEL
+	cancel.CSeq.Method = sipmsg.CANCEL
+	cancel.Body = nil
+	cancel.ContentType = ""
+	h.ids.Process(sipPacket(cancel, src, dst))
+
+	ok200 := sipmsg.NewResponse(cancel, sipmsg.StatusOK)
+	h.ids.Process(sipPacket(ok200, dst, src))
+	inv487 := mkResponse(inv, sipmsg.StatusRequestTerminated, false)
+	h.ids.Process(sipPacket(inv487, dst, src))
+
+	h.run(t, time.Minute)
+	if alerts := h.ids.Alerts(); len(alerts) != 0 {
+		t.Fatalf("genuine cancel alerted: %v", alerts)
+	}
+	if h.ids.ActiveCalls() != 0 {
+		t.Fatal("cancelled call not evicted")
+	}
+}
+
+func TestCallHijackReInviteDetected(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+
+	hijack := mkInDialog(sipmsg.INVITE, true, 3)
+	hijack.From = hijack.From.WithTag("foreign-tag")
+	contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "mallory", Host: attacker}}
+	hijack.Contact = &contact
+	hijack.ContentType = "application/sdp"
+	hijack.Body = sdp.New("mallory", attacker, 40000, sdp.PayloadG729).Marshal()
+	h.ids.Process(sipPacket(hijack, sim.Addr{Host: attacker, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+
+	if alerts := h.ids.AlertsOfType(AlertCallHijack); len(alerts) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+}
+
+func TestLegitimateReInviteAccepted(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+
+	re := mkInDialog(sipmsg.INVITE, true, 3)
+	contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: callerHost}}
+	re.Contact = &contact
+	h.ids.Process(sipPacket(re, sim.Addr{Host: callerHost, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+
+	if alerts := h.ids.Alerts(); len(alerts) != 0 {
+		t.Fatalf("legitimate re-INVITE alerted: %v", alerts)
+	}
+}
+
+func TestMediaSpamSeqJumpDetected(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	for i := 0; i < 5; i++ {
+		h.ids.Process(callerMediaPkt(uint16(100+i), uint32(1000+160*i), 0xAAAA))
+	}
+	// Injected packet with the same SSRC but a large forward jump
+	// (the paper's media spamming signature, Figure 6).
+	h.ids.Process(callerMediaPkt(100+5+200, 1000+160*5+160, 0xAAAA))
+
+	if alerts := h.ids.AlertsOfType(AlertMediaSpam); len(alerts) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+}
+
+func TestMediaSpamTimestampJumpDetected(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	h.ids.Process(callerMediaPkt(100, 1000, 0xAAAA))
+	h.ids.Process(callerMediaPkt(101, 1000+100000, 0xAAAA))
+	if alerts := h.ids.AlertsOfType(AlertMediaSpam); len(alerts) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+}
+
+func TestMediaSpamForeignSSRCDetected(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	h.ids.Process(callerMediaPkt(100, 1000, 0xAAAA))
+	h.ids.Process(callerMediaPkt(101, 1160, 0xDEAD)) // different SSRC
+	if alerts := h.ids.AlertsOfType(AlertMediaSpam); len(alerts) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+}
+
+func TestPacketLossGapsNotFlagged(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	// Gaps of a few packets (loss) stay under the threshold.
+	seqs := []uint16{100, 101, 104, 105, 109, 110}
+	for i, q := range seqs {
+		h.ids.Process(callerMediaPkt(q, uint32(1000+160*i), 0xAAAA))
+	}
+	if alerts := h.ids.Alerts(); len(alerts) != 0 {
+		t.Fatalf("loss gaps alerted: %v", alerts)
+	}
+}
+
+func TestReorderedPacketsNotFlagged(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	seqs := []uint16{100, 102, 101, 103}
+	for i, q := range seqs {
+		h.ids.Process(callerMediaPkt(q, uint32(1000+160*i), 0xAAAA))
+	}
+	if alerts := h.ids.Alerts(); len(alerts) != 0 {
+		t.Fatalf("reordering alerted: %v", alerts)
+	}
+}
+
+func TestCodecViolationDetected(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	h.ids.Process(callerMediaPkt(100, 1000, 0xAAAA))
+	// Switch to PCMU mid-stream (Section 3.2: "Changing the encoding
+	// scheme ... may cause phones dysfunctional").
+	bad := rtpPacket(&rtp.Packet{PayloadType: 0, Sequence: 101, Timestamp: 1160, SSRC: 0xAAAA,
+		Payload: make([]byte, 160)},
+		sim.Addr{Host: callerHost, Port: callerRTPPort},
+		sim.Addr{Host: calleeHost, Port: calleeRTPPort})
+	h.ids.Process(bad)
+	if alerts := h.ids.AlertsOfType(AlertCodecViolation); len(alerts) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+}
+
+func TestRTPFloodDetected(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	// 150 well-formed packets within one second: 3x the codec rate.
+	for i := 0; i < 150; i++ {
+		i := i
+		h.at(time.Duration(i)*5*time.Millisecond, func() {
+			h.ids.Process(callerMediaPkt(uint16(100+i), uint32(1000+160*i), 0xAAAA))
+		})
+	}
+	h.run(t, 2*time.Second)
+	if alerts := h.ids.AlertsOfType(AlertRTPFlood); len(alerts) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+}
+
+func TestNormalRateNotFlaggedAsFlood(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	// 100 packets at the normal 20 ms spacing: exactly codec rate.
+	for i := 0; i < 100; i++ {
+		i := i
+		h.at(time.Duration(i)*20*time.Millisecond, func() {
+			h.ids.Process(callerMediaPkt(uint16(100+i), uint32(1000+160*i), 0xAAAA))
+		})
+	}
+	h.run(t, 3*time.Second)
+	if alerts := h.ids.Alerts(); len(alerts) != 0 {
+		t.Fatalf("codec-rate stream alerted: %v", alerts)
+	}
+}
+
+func TestInviteFloodDetected(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.FloodN = 5; c.FloodT1 = time.Second })
+	// 7 INVITEs for the same destination within the window.
+	for i := 0; i < 7; i++ {
+		inv := mkInvite()
+		inv.CallID = "flood-" + string(rune('a'+i)) + "@x"
+		h.ids.Process(sipPacket(inv, sim.Addr{Host: proxyA, Port: 5060}, sim.Addr{Host: proxyB, Port: 5060}))
+	}
+	alerts := h.ids.AlertsOfType(AlertInviteFlood)
+	if len(alerts) != 1 {
+		t.Fatalf("flood alerts = %d (%v)", len(alerts), h.ids.Alerts())
+	}
+	if alerts[0].Target != "bob@b.example.com" {
+		t.Fatalf("flood target = %q", alerts[0].Target)
+	}
+}
+
+func TestInviteRateBelowThresholdNotFlagged(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.FloodN = 5; c.FloodT1 = 500 * time.Millisecond })
+	// 20 INVITEs spread over 10 seconds: never more than N per window.
+	for i := 0; i < 20; i++ {
+		i := i
+		h.at(time.Duration(i)*500*time.Millisecond, func() {
+			inv := mkInvite()
+			inv.CallID = "slow-" + string(rune('a'+i)) + "@x"
+			h.ids.Process(sipPacket(inv, sim.Addr{Host: proxyA, Port: 5060}, sim.Addr{Host: proxyB, Port: 5060}))
+		})
+	}
+	h.run(t, 30*time.Second)
+	if alerts := h.ids.AlertsOfType(AlertInviteFlood); len(alerts) != 0 {
+		t.Fatalf("slow INVITEs flagged: %v", alerts)
+	}
+}
+
+func TestUnsolicitedRTPFlagged(t *testing.T) {
+	h := newHarness(t, nil)
+	// RTP to a destination no SDP advertised.
+	pkt := rtpPacket(&rtp.Packet{PayloadType: 18, Sequence: 1, Timestamp: 1, SSRC: 7,
+		Payload: make([]byte, 20)},
+		sim.Addr{Host: attacker, Port: 4000},
+		sim.Addr{Host: calleeHost, Port: 12345})
+	h.ids.Process(pkt)
+	if alerts := h.ids.AlertsOfType(AlertUnsolicitedRTP); len(alerts) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+}
+
+func TestByeForUnknownCallIsDeviation(t *testing.T) {
+	h := newHarness(t, nil)
+	bye := mkInDialog(sipmsg.BYE, true, 2)
+	h.ids.Process(sipPacket(bye, sim.Addr{Host: attacker, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+	if alerts := h.ids.AlertsOfType(AlertDeviation); len(alerts) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+}
+
+func TestCancelAfterEstablishedIsDeviation(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	cancel := mkInDialog(sipmsg.CANCEL, true, 1)
+	h.ids.Process(sipPacket(cancel, sim.Addr{Host: callerHost, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+	if alerts := h.ids.AlertsOfType(AlertDeviation); len(alerts) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+}
+
+func TestAlertDeduplicationPerCall(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	h.ids.Process(callerMediaPkt(100, 1000, 0xAAAA))
+	for i := 0; i < 10; i++ {
+		h.ids.Process(callerMediaPkt(uint16(500+100*i), 1000, 0xAAAA))
+	}
+	if alerts := h.ids.AlertsOfType(AlertMediaSpam); len(alerts) != 1 {
+		t.Fatalf("media spam alerts = %d, want deduped to 1", len(alerts))
+	}
+}
+
+func TestPerCallMemoryFootprint(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	h.ids.Process(callerMediaPkt(100, 1000, 0xAAAA))
+	h.ids.Process(calleeMediaPkt(200, 5000, 0xBBBB))
+	mon, _ := h.ids.Monitor(callID)
+	mem := mon.PerCallMemory()
+	// The paper budgets ~450 B of SIP state + ~40 B of RTP state per
+	// call; our accounting must land in the same order of magnitude.
+	if mem < 100 || mem > 2000 {
+		t.Fatalf("per-call memory = %d bytes", mem)
+	}
+	if h.ids.MemoryFootprint() != mem {
+		t.Fatalf("aggregate %d != single %d", h.ids.MemoryFootprint(), mem)
+	}
+}
+
+func TestMemoryGrowsLinearlyWithCalls(t *testing.T) {
+	h := newHarness(t, nil)
+	perCall := 0
+	for i := 0; i < 100; i++ {
+		inv := mkInvite()
+		inv.CallID = "mem-" + string(rune('a'+i%26)) + string(rune('a'+i/26)) + "@x"
+		h.ids.Process(sipPacket(inv, sim.Addr{Host: proxyA, Port: 5060}, sim.Addr{Host: proxyB, Port: 5060}))
+		if i == 0 {
+			perCall = h.ids.MemoryFootprint()
+		}
+	}
+	if h.ids.ActiveCalls() != 100 {
+		t.Fatalf("active calls = %d", h.ids.ActiveCalls())
+	}
+	total := h.ids.MemoryFootprint()
+	if total < 90*perCall || total > 110*perCall {
+		t.Fatalf("memory not linear: 1 call = %d, 100 calls = %d", perCall, total)
+	}
+}
+
+func TestIdleEvictionSweep(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.IdleEviction = time.Minute })
+	inv := mkInvite()
+	h.ids.Process(sipPacket(inv, sim.Addr{Host: proxyA, Port: 5060}, sim.Addr{Host: proxyB, Port: 5060}))
+	if h.ids.ActiveCalls() != 1 {
+		t.Fatal("monitor missing")
+	}
+	// The call never progresses; the sweep must reclaim it.
+	h.run(t, 5*time.Minute)
+	if h.ids.ActiveCalls() != 0 {
+		t.Fatalf("idle monitor not evicted: %d", h.ids.ActiveCalls())
+	}
+}
+
+func TestStragglersAfterEvictionIgnored(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.CloseLinger = 10 * time.Millisecond })
+	establishCall(t, h)
+	bye := mkInDialog(sipmsg.BYE, true, 2)
+	h.ids.Process(sipPacket(bye, sim.Addr{Host: callerHost, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+	ok := sipmsg.NewResponse(bye, sipmsg.StatusOK)
+	h.ids.Process(sipPacket(ok, sim.Addr{Host: calleeHost, Port: 5060}, sim.Addr{Host: callerHost, Port: 5060}))
+	h.run(t, time.Second) // eviction happens
+	if h.ids.ActiveCalls() != 0 {
+		t.Fatal("not evicted")
+	}
+	// Retransmitted 200 for the BYE: tombstoned, no alert.
+	h.ids.Process(sipPacket(ok, sim.Addr{Host: calleeHost, Port: 5060}, sim.Addr{Host: callerHost, Port: 5060}))
+	if alerts := h.ids.Alerts(); len(alerts) != 0 {
+		t.Fatalf("straggler alerted: %v", alerts)
+	}
+}
+
+func TestTransitAddsConfiguredDelays(t *testing.T) {
+	h := newHarness(t, nil)
+	transit := h.ids.Transit()
+
+	inv := mkInvite()
+	d, fwd := transit(sipPacket(inv, sim.Addr{Host: proxyA, Port: 5060}, sim.Addr{Host: proxyB, Port: 5060}))
+	if !fwd || d != h.ids.Config().SIPProcessing {
+		t.Fatalf("SIP transit = (%v, %v)", d, fwd)
+	}
+	d, fwd = transit(callerMediaPkt(1, 1, 1))
+	if !fwd || d != h.ids.Config().RTPProcessing {
+		t.Fatalf("RTP transit = (%v, %v)", d, fwd)
+	}
+	other := &sim.Packet{Proto: sim.ProtoOther, Payload: []byte("x")}
+	d, fwd = transit(other)
+	if !fwd || d != 0 {
+		t.Fatalf("other transit = (%v, %v)", d, fwd)
+	}
+}
+
+func TestCountersAndParseErrors(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	h.ids.Process(callerMediaPkt(1, 1, 1))
+	h.ids.Process(&sim.Packet{Proto: sim.ProtoSIP, Payload: []byte("garbage")})
+	h.ids.Process(&sim.Packet{Proto: sim.ProtoRTP, Payload: "not-bytes"})
+	sipN, rtpN, parseErrs, _ := h.ids.Counters()
+	if sipN != 4 {
+		t.Fatalf("sip packets = %d", sipN)
+	}
+	if rtpN != 1 {
+		t.Fatalf("rtp packets = %d", rtpN)
+	}
+	if parseErrs != 2 {
+		t.Fatalf("parse errors = %d", parseErrs)
+	}
+	if h.ids.ProcessingWallTime() <= 0 {
+		t.Fatal("no processing time accounted")
+	}
+}
+
+func TestSpecsAreValid(t *testing.T) {
+	for _, spec := range []*core.Spec{
+		sipSpec(true), sipSpec(false),
+		rtpSpec(MachineRTPCaller, DefaultConfig().RTP),
+		floodSpec(20), spamSpec(DefaultConfig().RTP),
+	} {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestAlertString(t *testing.T) {
+	a := Alert{At: time.Second, Type: AlertByeDoS, CallID: "c1", Source: "x", Target: "y", Detail: "d"}
+	if a.String() == "" {
+		t.Fatal("empty alert string")
+	}
+}
+
+func TestRogueRegisterDetected(t *testing.T) {
+	h := newHarness(t, nil)
+	reg := sipmsg.NewRequest(sipmsg.REGISTER, sipmsg.URI{Host: "b.example.com"})
+	reg.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "user1b", Host: "b.example.com"}}.WithTag("x")
+	reg.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "user1b", Host: "b.example.com"}}
+	reg.CallID = "reg-hijack@evil"
+	reg.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.REGISTER}
+	reg.Via = []sipmsg.Via{{Transport: "UDP", Host: attacker, Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bKreg"}}}
+	contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "user1b", Host: attacker}}
+	reg.Contact = &contact
+	h.ids.Process(sipPacket(reg, sim.Addr{Host: attacker, Port: 5060}, sim.Addr{Host: proxyB, Port: 5060}))
+
+	alerts := h.ids.AlertsOfType(AlertRogueRegister)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+	if alerts[0].Source != attacker {
+		t.Fatalf("alert = %+v", alerts[0])
+	}
+	// A REGISTER must not create a call monitor.
+	if h.ids.ActiveCalls() != 0 {
+		t.Fatalf("REGISTER created %d monitors", h.ids.ActiveCalls())
+	}
+}
+
+func TestDRDoSResponseFloodDetected(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.ResponseFloodN = 10 })
+	// 15 reflected responses for calls the victim never placed, all
+	// converging on one destination within the window.
+	for i := 0; i < 15; i++ {
+		resp := &sipmsg.Message{
+			StatusCode: 200, Reason: "OK",
+			Via: []sipmsg.Via{{Transport: "UDP", Host: calleeHost, Port: 5060,
+				Params: map[string]string{"branch": "z9hG4bKdr" + string(rune('a'+i))}}},
+			From:   sipmsg.NameAddr{URI: sipmsg.URI{User: "victim", Host: "b.example.com"}, Params: map[string]string{"tag": "v"}},
+			To:     sipmsg.NameAddr{URI: sipmsg.URI{Host: "reflector.example.com"}, Params: map[string]string{"tag": "r"}},
+			CallID: "drdos-" + string(rune('a'+i)) + "@x",
+			CSeq:   sipmsg.CSeq{Seq: 1, Method: sipmsg.OPTIONS},
+		}
+		h.ids.Process(sipPacket(resp, sim.Addr{Host: "reflector.example.com", Port: 5060},
+			sim.Addr{Host: calleeHost, Port: 5060}))
+	}
+	if got := h.ids.AlertsOfType(AlertDRDoS); len(got) != 1 {
+		t.Fatalf("drdos alerts = %v", h.ids.Alerts())
+	}
+	// Only one deviation report per window, not 15.
+	if got := h.ids.AlertsOfType(AlertDeviation); len(got) != 1 {
+		t.Fatalf("deviation alerts = %d, want 1", len(h.ids.AlertsOfType(AlertDeviation)))
+	}
+}
+
+func TestSingleStrayResponseReportsOnce(t *testing.T) {
+	h := newHarness(t, nil)
+	resp := &sipmsg.Message{
+		StatusCode: 200, Reason: "OK",
+		Via: []sipmsg.Via{{Transport: "UDP", Host: calleeHost, Port: 5060,
+			Params: map[string]string{"branch": "z9hG4bKstray"}}},
+		From:   sipmsg.NameAddr{URI: sipmsg.URI{User: "x", Host: "y"}, Params: map[string]string{"tag": "a"}},
+		To:     sipmsg.NameAddr{URI: sipmsg.URI{Host: "z"}, Params: map[string]string{"tag": "b"}},
+		CallID: "stray@x",
+		CSeq:   sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE},
+	}
+	h.ids.Process(sipPacket(resp, sim.Addr{Host: attacker, Port: 5060},
+		sim.Addr{Host: calleeHost, Port: 5060}))
+	if len(h.ids.AlertsOfType(AlertDeviation)) != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+	if len(h.ids.AlertsOfType(AlertDRDoS)) != 0 {
+		t.Fatal("single stray response flagged as DRDoS")
+	}
+}
+
+func TestAllSpecsValidAndReachable(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), func() Config {
+		c := DefaultConfig()
+		c.CrossProtocol = false
+		return c
+	}()} {
+		for _, spec := range Specs(cfg) {
+			if err := spec.Validate(); err != nil {
+				t.Errorf("%s: %v", spec.Name, err)
+			}
+			if err := spec.CheckReachable(); err != nil {
+				t.Errorf("%s: %v", spec.Name, err)
+			}
+		}
+	}
+}
+
+func TestAlertStats(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	h.ids.Process(callerMediaPkt(100, 1000, 0xAAAA))
+	h.ids.Process(callerMediaPkt(5000, 1000, 0xAAAA)) // spam
+	bye := mkInDialog(sipmsg.BYE, true, 99)
+	bye.From = bye.From.WithTag("wrong")
+	h.ids.Process(sipPacket(bye, sim.Addr{Host: attacker, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+	stats := h.ids.AlertStats()
+	if stats[AlertMediaSpam] != 1 || stats[AlertSpoofedBye] != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func rtcpByePkt(ssrc uint32, from, to sim.Addr) *sim.Packet {
+	raw, err := (&rtp.RTCP{Type: rtp.RTCPBye, SSRC: ssrc}).Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return &sim.Packet{From: from, To: to, Proto: sim.ProtoRTCP, Size: len(raw), Payload: raw}
+}
+
+func TestRTCPByeMidCallAlertsAfterGrace(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	h.ids.Process(callerMediaPkt(100, 1000, 0xAAAA))
+	h.ids.Process(rtcpByePkt(0xAAAA,
+		sim.Addr{Host: callerHost, Port: callerRTPPort + 1},
+		sim.Addr{Host: calleeHost, Port: calleeRTPPort + 1}))
+	// No alert before the grace period elapses.
+	if len(h.ids.Alerts()) != 0 {
+		t.Fatalf("premature alert: %v", h.ids.Alerts())
+	}
+	h.run(t, 5*time.Second)
+	if n := len(h.ids.AlertsOfType(AlertRTCPBye)); n != 1 {
+		t.Fatalf("alerts = %v", h.ids.Alerts())
+	}
+}
+
+func TestRTCPByeDuringTeardownNotFlagged(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	bye := mkInDialog(sipmsg.BYE, true, 2)
+	h.ids.Process(sipPacket(bye, sim.Addr{Host: callerHost, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+	h.ids.Process(rtcpByePkt(0xAAAA,
+		sim.Addr{Host: callerHost, Port: callerRTPPort + 1},
+		sim.Addr{Host: calleeHost, Port: calleeRTPPort + 1}))
+	ok := sipmsg.NewResponse(bye, sipmsg.StatusOK)
+	h.ids.Process(sipPacket(ok, sim.Addr{Host: calleeHost, Port: 5060}, sim.Addr{Host: callerHost, Port: 5060}))
+	h.run(t, time.Minute)
+	if n := len(h.ids.AlertsOfType(AlertRTCPBye)); n != 0 {
+		t.Fatalf("teardown RTCP BYE flagged: %v", h.ids.Alerts())
+	}
+}
+
+func TestRTCPByeRacingSIPByeNotFlagged(t *testing.T) {
+	// The RTCP BYE arrives first (same path race); the SIP BYE lands
+	// within the grace period.
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	h.ids.Process(rtcpByePkt(0xAAAA,
+		sim.Addr{Host: callerHost, Port: callerRTPPort + 1},
+		sim.Addr{Host: calleeHost, Port: calleeRTPPort + 1}))
+	h.at(20*time.Millisecond, func() {
+		bye := mkInDialog(sipmsg.BYE, true, 2)
+		h.ids.Process(sipPacket(bye, sim.Addr{Host: callerHost, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+		okr := sipmsg.NewResponse(bye, sipmsg.StatusOK)
+		h.ids.Process(sipPacket(okr, sim.Addr{Host: calleeHost, Port: 5060}, sim.Addr{Host: callerHost, Port: 5060}))
+	})
+	h.run(t, time.Minute)
+	if n := len(h.ids.AlertsOfType(AlertRTCPBye)); n != 0 {
+		t.Fatalf("racing RTCP BYE flagged: %v", h.ids.Alerts())
+	}
+}
+
+func TestRTCPSenderReportsIgnored(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	raw, err := (&rtp.RTCP{Type: rtp.RTCPSenderReport, SSRC: 0xAAAA, PacketCount: 10}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ids.Process(&sim.Packet{
+		From:  sim.Addr{Host: callerHost, Port: callerRTPPort + 1},
+		To:    sim.Addr{Host: calleeHost, Port: calleeRTPPort + 1},
+		Proto: sim.ProtoRTCP, Size: len(raw), Payload: raw,
+	})
+	h.run(t, time.Second)
+	if len(h.ids.Alerts()) != 0 {
+		t.Fatalf("SR alerted: %v", h.ids.Alerts())
+	}
+	if h.ids.RTCPPackets() != 1 {
+		t.Fatalf("rtcp counter = %d", h.ids.RTCPPackets())
+	}
+}
+
+// TestMediaRenegotiationFollowed verifies a legitimate re-INVITE that
+// moves the caller's media port re-indexes the stream instead of
+// flagging the new destination as unsolicited.
+func TestMediaRenegotiationFollowed(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	for i := 0; i < 5; i++ {
+		h.ids.Process(calleeMediaPkt(uint16(500+i), uint32(9000+160*i), 0xBBBB))
+	}
+
+	// Caller re-INVITEs with a new media port (e.g. resuming from
+	// hold on a different socket).
+	re := mkInDialog(sipmsg.INVITE, true, 3)
+	contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: callerHost}}
+	re.Contact = &contact
+	re.ContentType = "application/sdp"
+	newPort := callerRTPPort + 10
+	re.Body = sdp.New("alice", callerHost, newPort, sdp.PayloadG729).Marshal()
+	h.ids.Process(sipPacket(re, sim.Addr{Host: callerHost, Port: 5060}, sim.Addr{Host: calleeHost, Port: 5060}))
+
+	// The callee's stream now lands on the caller's new port.
+	pkt := rtpPacket(&rtp.Packet{PayloadType: 18, Sequence: 505, Timestamp: 9800, SSRC: 0xBBBB,
+		Payload: make([]byte, 20)},
+		sim.Addr{Host: calleeHost, Port: calleeRTPPort},
+		sim.Addr{Host: callerHost, Port: newPort})
+	h.ids.Process(pkt)
+
+	if alerts := h.ids.Alerts(); len(alerts) != 0 {
+		t.Fatalf("renegotiated stream alerted: %v", alerts)
+	}
+	mon, _ := h.ids.Monitor(callID)
+	if mon.RTPCallee.State() != RTPRcvd {
+		t.Fatalf("rtp-callee = %v after renegotiation", mon.RTPCallee.State())
+	}
+}
+
+func TestWriteAlertsJSON(t *testing.T) {
+	h := newHarness(t, nil)
+	establishCall(t, h)
+	h.ids.Process(callerMediaPkt(100, 1000, 0xAAAA))
+	h.ids.Process(callerMediaPkt(9000, 1000, 0xAAAA)) // spam
+
+	var buf bytes.Buffer
+	if err := h.ids.WriteAlerts(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded = %v", decoded)
+	}
+	if decoded[0]["type"] != "media-spam" || decoded[0]["callId"] != callID {
+		t.Fatalf("alert json = %v", decoded[0])
+	}
+
+	// Empty alert list renders as an empty array, not null.
+	h2 := newHarness(t, nil)
+	buf.Reset()
+	if err := h2.ids.WriteAlerts(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.TrimSpace(buf.Bytes()); string(got) != "[]" {
+		t.Fatalf("empty report = %q", got)
+	}
+}
+
+func TestPreventionQuarantinesFloodSource(t *testing.T) {
+	h := newHarness(t, func(c *Config) {
+		c.Prevention = true
+		c.FloodN = 5
+		c.Quarantine = 10 * time.Second
+	})
+	transit := h.ids.Transit()
+
+	mkFloodInvite := func(i int) *sim.Packet {
+		inv := mkInvite()
+		inv.CallID = "flood-" + string(rune('a'+i)) + "@x"
+		return sipPacket(inv, sim.Addr{Host: attacker, Port: 5060}, sim.Addr{Host: proxyB, Port: 5060})
+	}
+	blocked := 0
+	for i := 0; i < 10; i++ {
+		if _, fwd := transit(mkFloodInvite(i)); !fwd {
+			blocked++
+		}
+	}
+	// The first N+1 pass (detection threshold), the rest are blocked.
+	if blocked == 0 {
+		t.Fatal("prevention blocked nothing")
+	}
+	if h.ids.Prevented() != uint64(blocked) {
+		t.Fatalf("Prevented = %d, blocked = %d", h.ids.Prevented(), blocked)
+	}
+	// A *different* source calling the same destination passes.
+	benign := mkInvite()
+	benign.CallID = "benign@x"
+	if _, fwd := transit(sipPacket(benign, sim.Addr{Host: proxyA, Port: 5060},
+		sim.Addr{Host: proxyB, Port: 5060})); !fwd {
+		t.Fatal("benign source blocked")
+	}
+	// After the quarantine expires the attacker passes again (until
+	// it re-triggers).
+	h.run(t, 15*time.Second)
+	if _, fwd := transit(mkFloodInvite(99)); !fwd {
+		t.Fatal("quarantine did not expire")
+	}
+}
+
+func TestPreventionDropsAttackStreamPackets(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.Prevention = true })
+	transit := h.ids.Transit()
+	establishCall(t, h)
+	// Normal media forwards.
+	if _, fwd := transit(callerMediaPkt(100, 1000, 0xAAAA)); !fwd {
+		t.Fatal("normal media blocked")
+	}
+	// Spam trips the machine into an attack state...
+	if _, fwd := transit(callerMediaPkt(9000, 1000, 0xAAAA)); fwd {
+		t.Fatal("attack-triggering packet forwarded")
+	}
+	// ...and subsequent stream packets stay blocked.
+	if _, fwd := transit(callerMediaPkt(9001, 1160, 0xAAAA)); fwd {
+		t.Fatal("post-attack media forwarded")
+	}
+}
+
+func TestDetectionOnlyNeverBlocks(t *testing.T) {
+	h := newHarness(t, nil) // Prevention off by default
+	transit := h.ids.Transit()
+	establishCall(t, h)
+	if _, fwd := transit(callerMediaPkt(9000, 1000, 0xAAAA)); !fwd {
+		t.Fatal("detection-only mode blocked a packet")
+	}
+	if h.ids.Prevented() != 0 {
+		t.Fatalf("Prevented = %d in detection-only mode", h.ids.Prevented())
+	}
+}

@@ -1,0 +1,344 @@
+// Package media streams RTP voice over the simulated network and
+// measures the QoS metrics the paper reports in Figure 10: end-to-end
+// packet delay and average delay variation (jitter).
+//
+// The codec is the paper's G.729 model (Section 7.1): 10 ms frames at
+// 8 kbit/s. With the conventional two frames per packet that is a
+// 20-byte payload every 20 ms, 8000 Hz RTP clock, 160 timestamp units
+// per packet.
+package media
+
+import (
+	"fmt"
+	"time"
+
+	"vids/internal/metrics"
+	"vids/internal/rtp"
+	"vids/internal/sim"
+)
+
+// G.729 codec model constants.
+const (
+	G729PayloadType   = 18
+	G729FrameDuration = 10 * time.Millisecond
+	G729FrameBytes    = 10 // 8 kbit/s * 10 ms
+	FramesPerPacket   = 2
+	PacketInterval    = FramesPerPacket * G729FrameDuration
+	PayloadBytes      = FramesPerPacket * G729FrameBytes
+	ClockRate         = 8000
+	TimestampStep     = uint32(ClockRate * int64(PacketInterval) / int64(time.Second))
+
+	udpIPOverhead = 28
+)
+
+// StreamConfig describes one direction of a media session.
+type StreamConfig struct {
+	From sim.Addr
+	To   sim.Addr
+	SSRC uint32
+
+	// RTCP enables RFC 3550 control traffic on port+1: a sender
+	// report every RTCPInterval and a BYE when the stream stops.
+	RTCP         bool
+	RTCPInterval time.Duration // default 5s
+
+	// Overrides; zero values select the G.729 defaults.
+	PayloadType   uint8
+	Interval      time.Duration
+	PayloadBytes  int
+	TimestampStep uint32
+	StartSeq      uint16
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.PayloadType == 0 {
+		c.PayloadType = G729PayloadType
+	}
+	if c.Interval == 0 {
+		c.Interval = PacketInterval
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = PayloadBytes
+	}
+	if c.TimestampStep == 0 {
+		c.TimestampStep = TimestampStep
+	}
+	if c.RTCPInterval == 0 {
+		c.RTCPInterval = 5 * time.Second
+	}
+	return c
+}
+
+// rtcpAddr is the conventional RTCP port pairing (RTP port + 1).
+func rtcpAddr(a sim.Addr) sim.Addr { return sim.Addr{Host: a.Host, Port: a.Port + 1} }
+
+// Sender clocks RTP packets onto the network until stopped.
+type Sender struct {
+	sim *sim.Simulator
+	net *sim.Network
+	cfg StreamConfig
+
+	seq     uint16
+	ts      uint32
+	sent    uint64
+	running bool
+	payload []byte
+}
+
+// NewSender creates a sender; call Start to begin streaming.
+func NewSender(s *sim.Simulator, n *sim.Network, cfg StreamConfig) *Sender {
+	cfg = cfg.withDefaults()
+	return &Sender{
+		sim:     s,
+		net:     n,
+		cfg:     cfg,
+		seq:     cfg.StartSeq,
+		payload: make([]byte, cfg.PayloadBytes),
+	}
+}
+
+// Start begins clocking packets at the configured interval. The first
+// packet goes out immediately.
+func (s *Sender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.emit()
+	if s.cfg.RTCP {
+		s.emitRTCP()
+	}
+}
+
+// Stop halts the stream after the current packet and, with RTCP
+// enabled, announces the departure with an RTCP BYE.
+func (s *Sender) Stop() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	if s.cfg.RTCP {
+		s.sendRTCP(&rtp.RTCP{Type: rtp.RTCPBye, SSRC: s.cfg.SSRC})
+	}
+}
+
+// emitRTCP clocks periodic sender reports.
+func (s *Sender) emitRTCP() {
+	if !s.running {
+		return
+	}
+	s.sendRTCP(&rtp.RTCP{
+		Type:        rtp.RTCPSenderReport,
+		SSRC:        s.cfg.SSRC,
+		RTPTime:     s.ts,
+		PacketCount: uint32(s.sent),
+		OctetCount:  uint32(s.sent) * uint32(s.cfg.PayloadBytes),
+	})
+	s.sim.Schedule(s.cfg.RTCPInterval, func() { s.emitRTCP() })
+}
+
+func (s *Sender) sendRTCP(p *rtp.RTCP) {
+	raw, err := p.Marshal()
+	if err != nil {
+		return
+	}
+	_ = s.net.Send(&sim.Packet{
+		From:    rtcpAddr(s.cfg.From),
+		To:      rtcpAddr(s.cfg.To),
+		Proto:   sim.ProtoRTCP,
+		Size:    len(raw) + udpIPOverhead,
+		Payload: raw,
+	})
+}
+
+// Sent reports packets emitted so far.
+func (s *Sender) Sent() uint64 { return s.sent }
+
+// Running reports whether the sender is clocking packets.
+func (s *Sender) Running() bool { return s.running }
+
+func (s *Sender) emit() {
+	if !s.running {
+		return
+	}
+	pkt := &rtp.Packet{
+		PayloadType: s.cfg.PayloadType,
+		Marker:      s.sent == 0,
+		Sequence:    s.seq,
+		Timestamp:   s.ts,
+		SSRC:        s.cfg.SSRC,
+		Payload:     s.payload,
+	}
+	raw, err := pkt.Marshal()
+	if err == nil {
+		_ = s.net.Send(&sim.Packet{
+			From:    s.cfg.From,
+			To:      s.cfg.To,
+			Proto:   sim.ProtoRTP,
+			Size:    len(raw) + udpIPOverhead,
+			Payload: raw,
+		})
+	}
+	s.seq++
+	s.ts += s.cfg.TimestampStep
+	s.sent++
+	s.sim.Schedule(s.cfg.Interval, func() { s.emit() })
+}
+
+// Receiver consumes an RTP stream and accumulates QoS statistics.
+type Receiver struct {
+	sim *sim.Simulator
+
+	received   uint64
+	outOfOrder uint64
+	badPackets uint64
+
+	// Delay is end-to-end one-way delay per packet; DelaySeries keeps
+	// the raw timeline for Figure 10-style plots.
+	Delay       metrics.Summary
+	DelaySeries metrics.Series
+
+	// Jitter is the RFC 3550 §6.4.1 interarrival jitter estimate,
+	// sampled after every packet.
+	Jitter       float64
+	JitterSeries metrics.Series
+
+	havePrev    bool
+	prevSent    time.Duration
+	prevArrive  time.Duration
+	firstSeq    uint16
+	lastSeq     uint16
+	haveSeq     bool
+	rtcpReports uint64
+	rtcpByes    uint64
+}
+
+// NewReceiver binds a receiver on host:port plus the paired RTCP
+// port.
+func NewReceiver(s *sim.Simulator, n *sim.Network, at sim.Addr) (*Receiver, error) {
+	r := &Receiver{sim: s}
+	if err := n.Bind(at.Host, at.Port, r.consume); err != nil {
+		return nil, fmt.Errorf("media: bind %v: %w", at, err)
+	}
+	if err := n.Bind(at.Host, at.Port+1, r.consumeRTCP); err != nil {
+		return nil, fmt.Errorf("media: bind RTCP %v: %w", rtcpAddr(at), err)
+	}
+	return r, nil
+}
+
+// consumeRTCP tracks control traffic: sender reports and stream BYEs.
+func (r *Receiver) consumeRTCP(pkt *sim.Packet) {
+	raw, ok := pkt.Payload.([]byte)
+	if !ok {
+		r.badPackets++
+		return
+	}
+	p, err := rtp.ParseRTCP(raw)
+	if err != nil {
+		r.badPackets++
+		return
+	}
+	switch p.Type {
+	case rtp.RTCPSenderReport, rtp.RTCPReceiverReport:
+		r.rtcpReports++
+	case rtp.RTCPBye:
+		r.rtcpByes++
+	}
+}
+
+// RTCPReports reports received sender/receiver reports.
+func (r *Receiver) RTCPReports() uint64 { return r.rtcpReports }
+
+// RTCPByes reports received RTCP BYEs.
+func (r *Receiver) RTCPByes() uint64 { return r.rtcpByes }
+
+func (r *Receiver) consume(pkt *sim.Packet) {
+	raw, ok := pkt.Payload.([]byte)
+	if !ok {
+		r.badPackets++
+		return
+	}
+	p, err := rtp.Parse(raw)
+	if err != nil {
+		r.badPackets++
+		return
+	}
+	now := r.sim.Now()
+	r.received++
+
+	delay := now - pkt.SentAt
+	r.Delay.AddDuration(delay)
+	r.DelaySeries.Append(now, delay.Seconds())
+
+	if !r.haveSeq {
+		r.firstSeq = p.Sequence
+	} else if !rtp.SeqLess(r.lastSeq, p.Sequence) {
+		r.outOfOrder++
+	}
+	if !r.haveSeq || rtp.SeqLess(r.lastSeq, p.Sequence) {
+		r.lastSeq = p.Sequence
+	}
+	r.haveSeq = true
+
+	if r.havePrev {
+		// D(i-1, i) = (R_i - R_{i-1}) - (S_i - S_{i-1})
+		d := (now - r.prevArrive) - (pkt.SentAt - r.prevSent)
+		if d < 0 {
+			d = -d
+		}
+		r.Jitter += (d.Seconds() - r.Jitter) / 16
+		r.JitterSeries.Append(now, r.Jitter)
+	}
+	r.prevSent = pkt.SentAt
+	r.prevArrive = now
+	r.havePrev = true
+}
+
+// Received reports packets successfully consumed.
+func (r *Receiver) Received() uint64 { return r.received }
+
+// OutOfOrder reports packets that arrived behind their predecessor.
+func (r *Receiver) OutOfOrder() uint64 { return r.outOfOrder }
+
+// Bad reports undecodable datagrams.
+func (r *Receiver) Bad() uint64 { return r.badPackets }
+
+// Session is one bidirectional voice call: a sender and receiver on
+// each side.
+type Session struct {
+	AtoB  *Sender
+	BtoA  *Sender
+	RecvA *Receiver
+	RecvB *Receiver
+}
+
+// NewSession wires both directions of a call: a sends from aAddr to
+// bAddr and vice versa. The receivers bind the respective local ports.
+func NewSession(s *sim.Simulator, n *sim.Network, aAddr, bAddr sim.Addr, ssrcA, ssrcB uint32) (*Session, error) {
+	recvA, err := NewReceiver(s, n, aAddr)
+	if err != nil {
+		return nil, err
+	}
+	recvB, err := NewReceiver(s, n, bAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		AtoB:  NewSender(s, n, StreamConfig{From: aAddr, To: bAddr, SSRC: ssrcA}),
+		BtoA:  NewSender(s, n, StreamConfig{From: bAddr, To: aAddr, SSRC: ssrcB}),
+		RecvA: recvA,
+		RecvB: recvB,
+	}, nil
+}
+
+// Start begins streaming in both directions.
+func (s *Session) Start() {
+	s.AtoB.Start()
+	s.BtoA.Start()
+}
+
+// Stop halts both directions.
+func (s *Session) Stop() {
+	s.AtoB.Stop()
+	s.BtoA.Stop()
+}

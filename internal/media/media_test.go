@@ -1,0 +1,269 @@
+package media
+
+import (
+	"testing"
+	"time"
+
+	"vids/internal/sim"
+)
+
+func newPair(t *testing.T, cfg sim.LinkConfig) (*sim.Simulator, *sim.Network) {
+	t.Helper()
+	s := sim.New(5)
+	n := sim.NewNetwork(s)
+	for _, h := range []string{"a", "b"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Connect("a", "b", cfg); err != nil {
+		t.Fatal(err)
+	}
+	return s, n
+}
+
+func TestG729Constants(t *testing.T) {
+	if PacketInterval != 20*time.Millisecond {
+		t.Fatalf("packet interval = %v", PacketInterval)
+	}
+	if PayloadBytes != 20 {
+		t.Fatalf("payload bytes = %d", PayloadBytes)
+	}
+	if TimestampStep != 160 {
+		t.Fatalf("timestamp step = %d", TimestampStep)
+	}
+}
+
+func TestStreamDeliversAtCodecRate(t *testing.T) {
+	s, n := newPair(t, sim.LinkConfig{PropDelay: 5 * time.Millisecond})
+	recv, err := NewReceiver(s, n, sim.Addr{Host: "b", Port: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(s, n, StreamConfig{
+		From: sim.Addr{Host: "a", Port: 4000},
+		To:   sim.Addr{Host: "b", Port: 4000},
+		SSRC: 0xABCD,
+	})
+	sender.Start()
+	s.Schedule(time.Second, func() { sender.Stop() })
+	if err := s.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 1 s at 20 ms per packet = 50 packets (first at t=0).
+	if got := recv.Received(); got < 49 || got > 51 {
+		t.Fatalf("received %d packets, want ~50", got)
+	}
+	if sender.Sent() != recv.Received() {
+		t.Fatalf("sent %d != received %d on loss-free link", sender.Sent(), recv.Received())
+	}
+	// Constant-delay link: measured delay must equal the propagation
+	// delay and jitter must stay ~0.
+	if d := recv.Delay.Mean(); d < 0.0049 || d > 0.0051 {
+		t.Fatalf("mean delay = %v s, want 5ms", d)
+	}
+	if recv.Jitter > 1e-6 {
+		t.Fatalf("jitter = %v on constant-delay link", recv.Jitter)
+	}
+	if recv.OutOfOrder() != 0 {
+		t.Fatalf("out-of-order = %d", recv.OutOfOrder())
+	}
+}
+
+func TestJitterReflectsLinkJitter(t *testing.T) {
+	s, n := newPair(t, sim.LinkConfig{PropDelay: 5 * time.Millisecond, Jitter: 4 * time.Millisecond})
+	recv, err := NewReceiver(s, n, sim.Addr{Host: "b", Port: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(s, n, StreamConfig{
+		From: sim.Addr{Host: "a", Port: 4000},
+		To:   sim.Addr{Host: "b", Port: 4000},
+		SSRC: 1,
+	})
+	sender.Start()
+	s.Schedule(10*time.Second, func() { sender.Stop() })
+	if err := s.Run(11 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if recv.Jitter < 1e-4 {
+		t.Fatalf("jitter = %v, expected visible jitter on a jittery link", recv.Jitter)
+	}
+	if recv.JitterSeries.Len() == 0 || recv.DelaySeries.Len() == 0 {
+		t.Fatal("series not populated")
+	}
+}
+
+func TestSenderSequenceAndTimestampProgress(t *testing.T) {
+	s, n := newPair(t, sim.LinkConfig{})
+	var seqs []uint16
+	var stamps []uint32
+	if err := n.Bind("b", 4000, func(pkt *sim.Packet) {
+		raw, _ := pkt.Payload.([]byte)
+		// Cheap parse: bytes 2-3 seq, 4-7 timestamp.
+		seqs = append(seqs, uint16(raw[2])<<8|uint16(raw[3]))
+		stamps = append(stamps, uint32(raw[4])<<24|uint32(raw[5])<<16|uint32(raw[6])<<8|uint32(raw[7]))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(s, n, StreamConfig{
+		From: sim.Addr{Host: "a", Port: 4000},
+		To:   sim.Addr{Host: "b", Port: 4000},
+		SSRC: 1, StartSeq: 100,
+	})
+	sender.Start()
+	s.Schedule(100*time.Millisecond, func() { sender.Stop() })
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) < 5 {
+		t.Fatalf("only %d packets", len(seqs))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("sequence gap: %v", seqs)
+		}
+		if stamps[i] != stamps[i-1]+TimestampStep {
+			t.Fatalf("timestamp gap: %v", stamps)
+		}
+	}
+	if seqs[0] != 100 {
+		t.Fatalf("start seq = %d", seqs[0])
+	}
+}
+
+func TestSessionBidirectional(t *testing.T) {
+	s, n := newPair(t, sim.LinkConfig{PropDelay: time.Millisecond})
+	sess, err := NewSession(s, n,
+		sim.Addr{Host: "a", Port: 4000},
+		sim.Addr{Host: "b", Port: 4002},
+		111, 222)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Start()
+	s.Schedule(time.Second, func() { sess.Stop() })
+	if err := s.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sess.RecvA.Received() < 45 || sess.RecvB.Received() < 45 {
+		t.Fatalf("received A=%d B=%d", sess.RecvA.Received(), sess.RecvB.Received())
+	}
+}
+
+func TestReceiverCountsBadPackets(t *testing.T) {
+	s, n := newPair(t, sim.LinkConfig{})
+	recv, err := NewReceiver(s, n, sim.Addr{Host: "b", Port: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(&sim.Packet{
+		From: sim.Addr{Host: "a", Port: 4000}, To: sim.Addr{Host: "b", Port: 4000},
+		Size: 10, Payload: []byte{1, 2, 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(&sim.Packet{
+		From: sim.Addr{Host: "a", Port: 4000}, To: sim.Addr{Host: "b", Port: 4000},
+		Size: 10, Payload: "not bytes",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if recv.Bad() != 2 {
+		t.Fatalf("bad = %d, want 2", recv.Bad())
+	}
+	if recv.Received() != 0 {
+		t.Fatalf("received = %d, want 0", recv.Received())
+	}
+}
+
+func TestStartIsIdempotent(t *testing.T) {
+	s, n := newPair(t, sim.LinkConfig{})
+	recv, err := NewReceiver(s, n, sim.Addr{Host: "b", Port: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(s, n, StreamConfig{
+		From: sim.Addr{Host: "a", Port: 4000},
+		To:   sim.Addr{Host: "b", Port: 4000},
+		SSRC: 1,
+	})
+	sender.Start()
+	sender.Start() // must not double-clock
+	s.Schedule(100*time.Millisecond, func() { sender.Stop() })
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 100ms / 20ms = 5 intervals -> 6 packets max (t=0..100 inclusive).
+	if recv.Received() > 6 {
+		t.Fatalf("received %d packets: double start", recv.Received())
+	}
+	if sender.Running() {
+		t.Fatal("sender still running after Stop")
+	}
+}
+
+func TestReceiverBindError(t *testing.T) {
+	s := sim.New(1)
+	n := sim.NewNetwork(s)
+	if _, err := NewReceiver(s, n, sim.Addr{Host: "ghost", Port: 1}); err == nil {
+		t.Fatal("bind on unknown host accepted")
+	}
+}
+
+func TestSenderEmitsRTCPReportsAndBye(t *testing.T) {
+	s, n := newPair(t, sim.LinkConfig{PropDelay: time.Millisecond})
+	recv, err := NewReceiver(s, n, sim.Addr{Host: "b", Port: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(s, n, StreamConfig{
+		From: sim.Addr{Host: "a", Port: 4000},
+		To:   sim.Addr{Host: "b", Port: 4000},
+		SSRC: 9, RTCP: true,
+	})
+	sender.Start()
+	s.Schedule(12*time.Second, func() { sender.Stop() })
+	if err := s.Run(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 12s at one SR per 5s: reports at t=0, 5, 10.
+	if got := recv.RTCPReports(); got != 3 {
+		t.Fatalf("RTCP reports = %d, want 3", got)
+	}
+	if got := recv.RTCPByes(); got != 1 {
+		t.Fatalf("RTCP byes = %d, want 1", got)
+	}
+	// Stopping twice must not emit a second BYE.
+	sender.Stop()
+	if err := s.Run(16 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv.RTCPByes(); got != 1 {
+		t.Fatalf("double stop duplicated BYE: %d", got)
+	}
+}
+
+func TestRTCPDisabledByDefault(t *testing.T) {
+	s, n := newPair(t, sim.LinkConfig{})
+	recv, err := NewReceiver(s, n, sim.Addr{Host: "b", Port: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(s, n, StreamConfig{
+		From: sim.Addr{Host: "a", Port: 4000},
+		To:   sim.Addr{Host: "b", Port: 4000},
+		SSRC: 9,
+	})
+	sender.Start()
+	s.Schedule(time.Second, func() { sender.Stop() })
+	if err := s.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if recv.RTCPReports() != 0 || recv.RTCPByes() != 0 {
+		t.Fatal("RTCP traffic with RTCP disabled")
+	}
+}

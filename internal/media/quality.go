@@ -1,0 +1,89 @@
+package media
+
+import (
+	"time"
+)
+
+// This file estimates perceived voice quality with a simplified
+// ITU-T G.107 E-model, quantifying the paper's claim that vids has a
+// "low runtime impact on the perceived quality of voice streams".
+//
+// R = R0 - Id(delay) - Ie,eff(codec, loss), mapped to a MOS score.
+// Constants follow the usual planning values for G.729: an intrinsic
+// equipment impairment Ie = 11 and packet-loss robustness Bpl = 19.
+
+const (
+	// r0 is the base transmission rating with default G.107 values.
+	r0 = 93.2
+	// g729Ie is the codec's intrinsic equipment impairment.
+	g729Ie = 11.0
+	// g729Bpl is the codec's packet-loss robustness factor.
+	g729Bpl = 19.0
+)
+
+// RFactor computes the E-model transmission rating for a one-way
+// mouth-to-ear delay and a packet loss rate in [0, 1].
+func RFactor(delay time.Duration, lossRate float64) float64 {
+	dMs := float64(delay) / float64(time.Millisecond)
+	if dMs < 0 {
+		dMs = 0
+	}
+	if lossRate < 0 {
+		lossRate = 0
+	}
+	if lossRate > 1 {
+		lossRate = 1
+	}
+
+	// Delay impairment Id (G.107 simplified form): small linear term
+	// plus the well-known 177.3 ms knee.
+	id := 0.024 * dMs
+	if dMs > 177.3 {
+		id += 0.11 * (dMs - 177.3)
+	}
+
+	// Effective equipment impairment with random loss.
+	lossPct := lossRate * 100
+	ie := g729Ie + (95-g729Ie)*lossPct/(lossPct+g729Bpl)
+
+	return r0 - id - ie
+}
+
+// MOSFromR maps an R factor to a mean opinion score using the
+// standard G.107 conversion.
+func MOSFromR(r float64) float64 {
+	switch {
+	case r <= 0:
+		return 1
+	case r >= 100:
+		return 4.5
+	}
+	return 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+}
+
+// MOS is the convenience composition of RFactor and MOSFromR.
+func MOS(delay time.Duration, lossRate float64) float64 {
+	return MOSFromR(RFactor(delay, lossRate))
+}
+
+// LossRate estimates the receiver's packet loss ratio from the
+// sequence-number span versus packets received. It is meaningful once
+// a stream has delivered at least two packets and assumes the span
+// did not exceed one 16-bit wrap.
+func (r *Receiver) LossRate() float64 {
+	if r.received < 2 || !r.haveSeq {
+		return 0
+	}
+	span := uint64(r.lastSeq-r.firstSeq) + 1
+	if span < r.received {
+		// Duplicates inflated the count; treat as loss-free.
+		return 0
+	}
+	return float64(span-r.received) / float64(span)
+}
+
+// MOS reports the stream's estimated mean opinion score from its
+// measured mean delay and loss rate.
+func (r *Receiver) MOS() float64 {
+	return MOS(time.Duration(r.Delay.Mean()*float64(time.Second)), r.LossRate())
+}

@@ -1,0 +1,129 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vids/internal/sim"
+)
+
+func TestRFactorCleanCall(t *testing.T) {
+	// 50 ms delay, no loss: G.729 plans out around R ~ 81, MOS ~ 4.0.
+	r := RFactor(50*time.Millisecond, 0)
+	if r < 78 || r > 84 {
+		t.Fatalf("R = %.1f, want ~81 for clean G.729", r)
+	}
+	mos := MOSFromR(r)
+	if mos < 3.8 || mos > 4.3 {
+		t.Fatalf("MOS = %.2f", mos)
+	}
+}
+
+func TestRFactorDelayKnee(t *testing.T) {
+	// Crossing 177.3 ms costs extra (the E-model knee).
+	below := RFactor(150*time.Millisecond, 0)
+	above := RFactor(300*time.Millisecond, 0)
+	if above >= below {
+		t.Fatalf("R(300ms)=%.1f >= R(150ms)=%.1f", above, below)
+	}
+	slopeBelow := RFactor(100*time.Millisecond, 0) - RFactor(150*time.Millisecond, 0)
+	slopeAbove := RFactor(250*time.Millisecond, 0) - RFactor(300*time.Millisecond, 0)
+	if slopeAbove <= slopeBelow {
+		t.Fatalf("no knee: slopes %.2f then %.2f per 50ms", slopeBelow, slopeAbove)
+	}
+}
+
+func TestRFactorLossDegrades(t *testing.T) {
+	clean := RFactor(50*time.Millisecond, 0)
+	lossy := RFactor(50*time.Millisecond, 0.05)
+	if lossy >= clean-5 {
+		t.Fatalf("5%% loss barely degraded R: %.1f vs %.1f", lossy, clean)
+	}
+}
+
+func TestMOSBounds(t *testing.T) {
+	if m := MOSFromR(-10); m != 1 {
+		t.Fatalf("MOS(R<0) = %v", m)
+	}
+	if m := MOSFromR(150); m != 4.5 {
+		t.Fatalf("MOS(R>100) = %v", m)
+	}
+}
+
+// Property: MOS is monotone non-increasing in both delay and loss,
+// and always within [1, 4.5].
+func TestMOSMonotoneProperty(t *testing.T) {
+	prop := func(dMs uint16, lossPct uint8) bool {
+		d := time.Duration(dMs) * time.Millisecond
+		loss := float64(lossPct%100) / 100
+		m := MOS(d, loss)
+		if m < 1 || m > 4.5 {
+			return false
+		}
+		// More delay or loss never improves the score.
+		return MOS(d+50*time.Millisecond, loss) <= m+1e-9 &&
+			MOS(d, loss+0.01) <= m+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReceiverLossRateAndMOS(t *testing.T) {
+	s, n := newPair(t, sim.LinkConfig{PropDelay: 5 * time.Millisecond, LossProb: 0.1})
+	recv, err := NewReceiver(s, n, sim.Addr{Host: "b", Port: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(s, n, StreamConfig{
+		From: sim.Addr{Host: "a", Port: 4000},
+		To:   sim.Addr{Host: "b", Port: 4000},
+		SSRC: 1,
+	})
+	sender.Start()
+	s.Schedule(20*time.Second, func() { sender.Stop() })
+	if err := s.Run(21 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	loss := recv.LossRate()
+	if loss < 0.05 || loss > 0.16 {
+		t.Fatalf("loss rate = %.3f on a 10%% lossy link", loss)
+	}
+	mos := recv.MOS()
+	if mos < 1 || mos > 4.5 {
+		t.Fatalf("MOS = %.2f", mos)
+	}
+	// 10% loss must hurt compared to a pristine stream.
+	if clean := MOS(5*time.Millisecond, 0); mos >= clean {
+		t.Fatalf("lossy MOS %.2f >= clean MOS %.2f", mos, clean)
+	}
+}
+
+func TestReceiverLossRateCleanStream(t *testing.T) {
+	s, n := newPair(t, sim.LinkConfig{PropDelay: time.Millisecond})
+	recv, err := NewReceiver(s, n, sim.Addr{Host: "b", Port: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(s, n, StreamConfig{
+		From: sim.Addr{Host: "a", Port: 4000},
+		To:   sim.Addr{Host: "b", Port: 4000},
+		SSRC: 1,
+	})
+	sender.Start()
+	s.Schedule(time.Second, func() { sender.Stop() })
+	if err := s.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if loss := recv.LossRate(); loss != 0 {
+		t.Fatalf("loss rate = %v on loss-free link", loss)
+	}
+}
+
+func TestLossRateEmptyReceiver(t *testing.T) {
+	r := &Receiver{}
+	if r.LossRate() != 0 {
+		t.Fatal("empty receiver loss rate non-zero")
+	}
+}

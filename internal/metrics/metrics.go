@@ -1,0 +1,303 @@
+// Package metrics provides the small statistics toolkit the
+// experiment harness uses: scalar summaries, time series, and fixed
+// width table rendering for paper-style outputs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates scalar observations.
+type Summary struct {
+	values []float64
+	sum    float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sum += v
+}
+
+// AddDuration records a duration observation in seconds.
+func (s *Summary) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// Count reports the number of observations.
+func (s *Summary) Count() int { return len(s.values) }
+
+// Mean reports the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Min reports the smallest observation (0 when empty).
+func (s *Summary) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max reports the largest observation (0 when empty).
+func (s *Summary) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// StdDev reports the population standard deviation.
+func (s *Summary) StdDev() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using
+// nearest-rank on a sorted copy.
+func (s *Summary) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(p/100*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// MeanDuration reports the mean as a time.Duration (observations are
+// assumed to be seconds).
+func (s *Summary) MeanDuration() time.Duration {
+	return time.Duration(s.Mean() * float64(time.Second))
+}
+
+// Point is one (time, value) sample.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append records a sample.
+func (ts *Series) Append(at time.Duration, v float64) {
+	ts.Points = append(ts.Points, Point{At: at, Value: v})
+}
+
+// Len reports the number of samples.
+func (ts *Series) Len() int { return len(ts.Points) }
+
+// Summary folds the series values into a Summary.
+func (ts *Series) Summary() *Summary {
+	var s Summary
+	for _, p := range ts.Points {
+		s.Add(p.Value)
+	}
+	return &s
+}
+
+// Bucket aggregates the series into fixed-width time bins, returning
+// one point per non-empty bin carrying the bin's mean value. Used for
+// the paper's per-interval plots.
+func (ts *Series) Bucket(width time.Duration) []Point {
+	if width <= 0 || len(ts.Points) == 0 {
+		return nil
+	}
+	type agg struct {
+		sum float64
+		n   int
+	}
+	bins := make(map[int64]*agg)
+	for _, p := range ts.Points {
+		k := int64(p.At / width)
+		b := bins[k]
+		if b == nil {
+			b = &agg{}
+			bins[k] = b
+		}
+		b.sum += p.Value
+		b.n++
+	}
+	keys := make([]int64, 0, len(bins))
+	for k := range bins {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Point, 0, len(keys))
+	for _, k := range keys {
+		b := bins[k]
+		out = append(out, Point{
+			At:    time.Duration(k) * width,
+			Value: b.sum / float64(b.n),
+		})
+	}
+	return out
+}
+
+// CountPerBucket returns the number of samples per fixed-width bin
+// (for arrival-rate plots like Figure 8).
+func (ts *Series) CountPerBucket(width time.Duration) []Point {
+	if width <= 0 || len(ts.Points) == 0 {
+		return nil
+	}
+	bins := make(map[int64]int)
+	for _, p := range ts.Points {
+		bins[int64(p.At/width)]++
+	}
+	keys := make([]int64, 0, len(bins))
+	for k := range bins {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Point, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Point{At: time.Duration(k) * width, Value: float64(bins[k])})
+	}
+	return out
+}
+
+// Table renders rows of experiment output with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped and
+// short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Ms formats a duration as fractional milliseconds.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// Sec formats a duration as fractional seconds.
+func Sec(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+// F formats a float with 4 significant decimals.
+func F(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// BarChart renders a series of points as a horizontal ASCII bar
+// chart, one row per point, scaled to maxWidth characters. Used by
+// the experiment harness for Figure 8-style plots in plain text.
+func BarChart(points []Point, maxWidth int, label func(Point) string) string {
+	if len(points) == 0 || maxWidth <= 0 {
+		return ""
+	}
+	maxV := points[0].Value
+	for _, p := range points[1:] {
+		if p.Value > maxV {
+			maxV = p.Value
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	labels := make([]string, len(points))
+	widest := 0
+	for i, p := range points {
+		labels[i] = label(p)
+		if len(labels[i]) > widest {
+			widest = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, p := range points {
+		n := int(p.Value / maxV * float64(maxWidth))
+		if p.Value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %g\n", widest, labels[i], strings.Repeat("#", n), p.Value)
+	}
+	return b.String()
+}

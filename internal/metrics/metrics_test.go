@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty summary must be all zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", s.StdDev())
+	}
+}
+
+func TestSummaryPercentile(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if p := s.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := s.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := s.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := (&Summary{}).Percentile(50); p != 0 {
+		t.Fatalf("empty p50 = %v", p)
+	}
+}
+
+func TestSummaryDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(100 * time.Millisecond)
+	s.AddDuration(300 * time.Millisecond)
+	if d := s.MeanDuration(); d != 200*time.Millisecond {
+		t.Fatalf("mean duration = %v", d)
+	}
+}
+
+func TestSeriesBucket(t *testing.T) {
+	var ts Series
+	ts.Append(1*time.Second, 10)
+	ts.Append(2*time.Second, 20)
+	ts.Append(61*time.Second, 40)
+	buckets := ts.Bucket(time.Minute)
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	if buckets[0].Value != 15 {
+		t.Fatalf("bucket 0 mean = %v", buckets[0].Value)
+	}
+	if buckets[1].At != time.Minute || buckets[1].Value != 40 {
+		t.Fatalf("bucket 1 = %v", buckets[1])
+	}
+	if got := ts.Bucket(0); got != nil {
+		t.Fatal("zero width must return nil")
+	}
+}
+
+func TestSeriesCountPerBucket(t *testing.T) {
+	var ts Series
+	for i := 0; i < 5; i++ {
+		ts.Append(time.Duration(i)*time.Second, 1)
+	}
+	ts.Append(2*time.Minute, 1)
+	counts := ts.CountPerBucket(time.Minute)
+	if len(counts) != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if counts[0].Value != 5 || counts[1].Value != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestSeriesSummary(t *testing.T) {
+	var ts Series
+	ts.Append(0, 1)
+	ts.Append(time.Second, 3)
+	s := ts.Summary()
+	if s.Count() != 2 || s.Mean() != 2 {
+		t.Fatalf("series summary = %v/%v", s.Count(), s.Mean())
+	}
+	if ts.Len() != 2 {
+		t.Fatalf("len = %d", ts.Len())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("metric", "without vids", "with vids")
+	tbl.AddRow("setup delay (ms)", "152.00", "252.00")
+	tbl.AddRow("short")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "metric") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "252.00") {
+		t.Fatalf("row = %q", lines[2])
+	}
+	// All lines align to the same width structure.
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("rule = %q", lines[1])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ms(1500*time.Microsecond) != "1.50" {
+		t.Fatalf("Ms = %q", Ms(1500*time.Microsecond))
+	}
+	if Sec(1500*time.Millisecond) != "1.500" {
+		t.Fatalf("Sec = %q", Sec(1500*time.Millisecond))
+	}
+	if F(0.00021) != "0.0002" {
+		t.Fatalf("F = %q", F(0.00021))
+	}
+	if Pct(0.036) != "3.6%" {
+		t.Fatalf("Pct = %q", Pct(0.036))
+	}
+}
+
+// Property: mean is always within [min, max] and percentiles are
+// monotone in p.
+func TestSummaryInvariants(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		if s.Mean() < s.Min()-1e-9 || s.Mean() > s.Max()+1e-9 {
+			return false
+		}
+		last := math.Inf(-1)
+		for _, p := range []float64{0, 25, 50, 75, 90, 99, 100} {
+			v := s.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	points := []Point{
+		{At: 0, Value: 2},
+		{At: time.Minute, Value: 8},
+		{At: 2 * time.Minute, Value: 0},
+	}
+	out := BarChart(points, 8, func(p Point) string {
+		return p.At.String()
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "########") {
+		t.Fatalf("max row not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "##") {
+		t.Fatalf("2/8 row wrong: %q", lines[0])
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Fatalf("zero row has bars: %q", lines[2])
+	}
+	if BarChart(nil, 10, nil) != "" {
+		t.Fatal("empty input must render empty")
+	}
+}

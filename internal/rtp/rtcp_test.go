@@ -1,0 +1,163 @@
+package rtp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRTCPSenderReportRoundTrip(t *testing.T) {
+	p := &RTCP{
+		Type:        RTCPSenderReport,
+		SSRC:        0xAABBCCDD,
+		NTPTime:     0x0102030405060708,
+		RTPTime:     4000,
+		PacketCount: 250,
+		OctetCount:  5000,
+		Reports: []ReceptionReport{{
+			SSRC: 0x11223344, FractionLost: 12, TotalLost: 34,
+			HighestSeq: 5678, Jitter: 90,
+		}},
+	}
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw)%4 != 0 {
+		t.Fatalf("RTCP not word-aligned: %d bytes", len(raw))
+	}
+	got, err := ParseRTCP(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != RTCPSenderReport || got.SSRC != p.SSRC {
+		t.Fatalf("header = %+v", got)
+	}
+	if got.NTPTime != p.NTPTime || got.RTPTime != p.RTPTime ||
+		got.PacketCount != p.PacketCount || got.OctetCount != p.OctetCount {
+		t.Fatalf("sender info = %+v", got)
+	}
+	if len(got.Reports) != 1 || got.Reports[0] != p.Reports[0] {
+		t.Fatalf("reports = %+v", got.Reports)
+	}
+}
+
+func TestRTCPReceiverReportRoundTrip(t *testing.T) {
+	p := &RTCP{
+		Type: RTCPReceiverReport,
+		SSRC: 7,
+		Reports: []ReceptionReport{
+			{SSRC: 1, FractionLost: 3, TotalLost: 100, HighestSeq: 200, Jitter: 5},
+			{SSRC: 2, FractionLost: 0, TotalLost: 0, HighestSeq: 900, Jitter: 1},
+		},
+	}
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRTCP(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Reports) != 2 || got.Reports[1].HighestSeq != 900 {
+		t.Fatalf("reports = %+v", got.Reports)
+	}
+}
+
+func TestRTCPByeRoundTrip(t *testing.T) {
+	p := &RTCP{Type: RTCPBye, SSRC: 0xCAFEBABE}
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRTCP(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != RTCPBye || got.SSRC != 0xCAFEBABE {
+		t.Fatalf("bye = %+v", got)
+	}
+}
+
+func TestRTCPErrors(t *testing.T) {
+	if _, err := (&RTCP{Type: 99}).Marshal(); err == nil {
+		t.Fatal("unknown type marshaled")
+	}
+	if _, err := (&RTCP{Type: RTCPReceiverReport,
+		Reports: make([]ReceptionReport, 32)}).Marshal(); err == nil {
+		t.Fatal("32 reports accepted")
+	}
+	if _, err := ParseRTCP([]byte{0x80, 200}); err == nil {
+		t.Fatal("short packet accepted")
+	}
+	bad := make([]byte, 8)
+	bad[0] = 1 << 6
+	if _, err := ParseRTCP(bad); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	// Length field pointing past the buffer.
+	lying := []byte{0x80, 200, 0xFF, 0xFF, 0, 0, 0, 1}
+	if _, err := ParseRTCP(lying); err == nil {
+		t.Fatal("lying length accepted")
+	}
+	// SR that is too short for its claimed reports.
+	short := []byte{0x81, 200, 0x00, 0x06, 0, 0, 0, 1,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	if _, err := ParseRTCP(short); err == nil {
+		t.Fatal("truncated SR accepted")
+	}
+}
+
+// Property: round-trip identity for sender reports over arbitrary
+// field values.
+func TestRTCPRoundTripProperty(t *testing.T) {
+	prop := func(ssrc, rtpTime, pktCount, octets uint32, ntp uint64,
+		repSSRC, seq, jitter uint32, frac uint8) bool {
+		p := &RTCP{
+			Type: RTCPSenderReport, SSRC: ssrc, NTPTime: ntp,
+			RTPTime: rtpTime, PacketCount: pktCount, OctetCount: octets,
+			Reports: []ReceptionReport{{
+				SSRC: repSSRC, FractionLost: frac,
+				TotalLost: jitter % (1 << 24), HighestSeq: seq, Jitter: jitter,
+			}},
+		}
+		raw, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := ParseRTCP(raw)
+		if err != nil {
+			return false
+		}
+		return got.SSRC == p.SSRC && got.NTPTime == p.NTPTime &&
+			got.RTPTime == p.RTPTime && len(got.Reports) == 1 &&
+			got.Reports[0] == p.Reports[0]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ParseRTCP never panics on arbitrary bytes.
+func TestParseRTCPTotal(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseRTCP(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRTCPLyingShortLength(t *testing.T) {
+	// Regression from fuzzing: a length field of 0 (4 bytes total)
+	// must not panic the SSRC read.
+	in := []byte{0xaf, 0x8e, 0x00, 0x00, 0x19, 0x22, 0x0f, 0x3e}
+	if _, err := ParseRTCP(in); err == nil {
+		t.Fatal("undersized length field accepted")
+	}
+}

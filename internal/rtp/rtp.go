@@ -1,0 +1,103 @@
+// Package rtp models Real-time Transport Protocol packets (RFC 1889,
+// the version cited by the paper). vids needs the header fields that
+// drive the RTP protocol state machine and the media-spam detector:
+// payload type, sequence number, timestamp and the SSRC identifier
+// (paper Sections 3.2 and 6).
+package rtp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Version is the RTP version carried in every packet.
+const Version = 2
+
+// HeaderSize is the fixed RTP header size without CSRC entries.
+const HeaderSize = 12
+
+// Packet is a parsed RTP packet.
+type Packet struct {
+	PayloadType uint8
+	Marker      bool
+	Sequence    uint16
+	Timestamp   uint32
+	SSRC        uint32
+	CSRC        []uint32
+	Payload     []byte
+}
+
+// Marshal encodes the packet into wire form.
+func (p *Packet) Marshal() ([]byte, error) {
+	if p.PayloadType > 127 {
+		return nil, fmt.Errorf("rtp: payload type %d out of range", p.PayloadType)
+	}
+	if len(p.CSRC) > 15 {
+		return nil, fmt.Errorf("rtp: %d CSRC entries exceeds 15", len(p.CSRC))
+	}
+	buf := make([]byte, HeaderSize+4*len(p.CSRC)+len(p.Payload))
+	buf[0] = Version<<6 | uint8(len(p.CSRC))
+	buf[1] = p.PayloadType
+	if p.Marker {
+		buf[1] |= 0x80
+	}
+	binary.BigEndian.PutUint16(buf[2:], p.Sequence)
+	binary.BigEndian.PutUint32(buf[4:], p.Timestamp)
+	binary.BigEndian.PutUint32(buf[8:], p.SSRC)
+	off := HeaderSize
+	for _, c := range p.CSRC {
+		binary.BigEndian.PutUint32(buf[off:], c)
+		off += 4
+	}
+	copy(buf[off:], p.Payload)
+	return buf, nil
+}
+
+// Parse decodes an RTP packet from wire form.
+func Parse(data []byte) (*Packet, error) {
+	if len(data) < HeaderSize {
+		return nil, fmt.Errorf("rtp: packet too short (%d bytes)", len(data))
+	}
+	if v := data[0] >> 6; v != Version {
+		return nil, fmt.Errorf("rtp: unsupported version %d", v)
+	}
+	cc := int(data[0] & 0x0F)
+	if len(data) < HeaderSize+4*cc {
+		return nil, fmt.Errorf("rtp: truncated CSRC list")
+	}
+	p := &Packet{
+		Marker:      data[1]&0x80 != 0,
+		PayloadType: data[1] & 0x7F,
+		Sequence:    binary.BigEndian.Uint16(data[2:]),
+		Timestamp:   binary.BigEndian.Uint32(data[4:]),
+		SSRC:        binary.BigEndian.Uint32(data[8:]),
+	}
+	off := HeaderSize
+	for i := 0; i < cc; i++ {
+		p.CSRC = append(p.CSRC, binary.BigEndian.Uint32(data[off:]))
+		off += 4
+	}
+	if off < len(data) {
+		p.Payload = append([]byte(nil), data[off:]...)
+	}
+	return p, nil
+}
+
+// WireSize reports the encoded size in bytes.
+func (p *Packet) WireSize() int {
+	return HeaderSize + 4*len(p.CSRC) + len(p.Payload)
+}
+
+// SeqLess reports whether sequence number a precedes b, accounting for
+// 16-bit wraparound (RFC 1889 Appendix A.1 style comparison).
+func SeqLess(a, b uint16) bool {
+	return a != b && b-a < 0x8000
+}
+
+// SeqGap returns the forward distance from a to b in sequence-number
+// space (how many increments take a to b, modulo 2^16).
+func SeqGap(a, b uint16) uint16 { return b - a }
+
+// TimestampGap returns the forward distance from a to b in timestamp
+// space, modulo 2^32.
+func TimestampGap(a, b uint32) uint32 { return b - a }

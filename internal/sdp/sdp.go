@@ -1,0 +1,173 @@
+// Package sdp implements the Session Description Protocol subset
+// (RFC 2327) that SIP call setup needs: the caller advertises its
+// media address, port and codec in the INVITE body, and the callee
+// answers in the 200 OK (paper Section 2.1). vids reads these values
+// into the RTP state machine's global variables (paper Section 4.2).
+package sdp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Codec payload types from the RTP/AVP profile (RFC 3551).
+const (
+	PayloadPCMU = 0  // G.711 µ-law
+	PayloadG729 = 18 // G.729, the codec used in the paper's testbed
+)
+
+// PayloadName returns the conventional encoding name for a static
+// payload type.
+func PayloadName(pt int) string {
+	switch pt {
+	case PayloadPCMU:
+		return "PCMU/8000"
+	case PayloadG729:
+		return "G729/8000"
+	default:
+		return fmt.Sprintf("PT%d", pt)
+	}
+}
+
+// Media is one m= section (we only model audio).
+type Media struct {
+	Port     int
+	Payloads []int // offered RTP payload types, in preference order
+}
+
+// Description is a parsed session description.
+type Description struct {
+	Origin      string // o= username
+	SessionName string // s=
+	Address     string // c= connection address (host name in the simulator)
+	SessionID   uint64
+	Version     uint64
+	Media       []Media
+	Attributes  []string // a= lines, verbatim
+}
+
+// FirstAudio returns the first media section, or ok=false when the
+// description carries no media.
+func (d *Description) FirstAudio() (Media, bool) {
+	if len(d.Media) == 0 {
+		return Media{}, false
+	}
+	return d.Media[0], true
+}
+
+// New builds the minimal offer/answer the testbed exchanges.
+func New(user, address string, port, payload int) *Description {
+	return &Description{
+		Origin:      user,
+		SessionName: "call",
+		Address:     address,
+		SessionID:   2890844526,
+		Version:     2890844526,
+		Media:       []Media{{Port: port, Payloads: []int{payload}}},
+	}
+}
+
+// Marshal renders the description in wire form.
+func (d *Description) Marshal() []byte {
+	var b strings.Builder
+	b.WriteString("v=0\r\n")
+	fmt.Fprintf(&b, "o=%s %d %d IN IP4 %s\r\n", d.Origin, d.SessionID, d.Version, d.Address)
+	name := d.SessionName
+	if name == "" {
+		name = "-"
+	}
+	fmt.Fprintf(&b, "s=%s\r\n", name)
+	fmt.Fprintf(&b, "c=IN IP4 %s\r\n", d.Address)
+	b.WriteString("t=0 0\r\n")
+	for _, m := range d.Media {
+		fmt.Fprintf(&b, "m=audio %d RTP/AVP", m.Port)
+		for _, pt := range m.Payloads {
+			b.WriteByte(' ')
+			b.WriteString(strconv.Itoa(pt))
+		}
+		b.WriteString("\r\n")
+	}
+	for _, a := range d.Attributes {
+		fmt.Fprintf(&b, "a=%s\r\n", a)
+	}
+	return []byte(b.String())
+}
+
+// Parse parses a session description. Unknown line types are ignored,
+// per RFC 2327's "parsers must ignore unknown lines" guidance.
+func Parse(data []byte) (*Description, error) {
+	d := &Description{}
+	sawVersion := false
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if len(line) < 2 || line[1] != '=' {
+			return nil, fmt.Errorf("sdp: malformed line %q", line)
+		}
+		value := line[2:]
+		switch line[0] {
+		case 'v':
+			if value != "0" {
+				return nil, fmt.Errorf("sdp: unsupported version %q", value)
+			}
+			sawVersion = true
+		case 'o':
+			fields := strings.Fields(value)
+			if len(fields) < 6 {
+				return nil, fmt.Errorf("sdp: malformed o= line %q", line)
+			}
+			d.Origin = fields[0]
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sdp: bad session id in %q", line)
+			}
+			ver, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sdp: bad version in %q", line)
+			}
+			d.SessionID, d.Version = id, ver
+		case 's':
+			d.SessionName = value
+		case 'c':
+			fields := strings.Fields(value)
+			if len(fields) != 3 || fields[0] != "IN" || fields[1] != "IP4" {
+				return nil, fmt.Errorf("sdp: malformed c= line %q", line)
+			}
+			d.Address = fields[2]
+		case 'm':
+			fields := strings.Fields(value)
+			if len(fields) < 4 || fields[0] != "audio" || fields[2] != "RTP/AVP" {
+				return nil, fmt.Errorf("sdp: unsupported m= line %q", line)
+			}
+			port, err := strconv.Atoi(fields[1])
+			if err != nil || port <= 0 || port > 65535 {
+				return nil, fmt.Errorf("sdp: bad media port in %q", line)
+			}
+			m := Media{Port: port}
+			for _, f := range fields[3:] {
+				pt, err := strconv.Atoi(f)
+				if err != nil || pt < 0 || pt > 127 {
+					return nil, fmt.Errorf("sdp: bad payload type in %q", line)
+				}
+				m.Payloads = append(m.Payloads, pt)
+			}
+			d.Media = append(d.Media, m)
+		case 'a':
+			d.Attributes = append(d.Attributes, value)
+		case 't', 'b', 'k', 'z', 'r', 'i', 'u', 'e', 'p':
+			// Recognized but not modeled.
+		default:
+			// Ignore unknown types.
+		}
+	}
+	if !sawVersion {
+		return nil, fmt.Errorf("sdp: missing v= line")
+	}
+	if d.Address == "" {
+		return nil, fmt.Errorf("sdp: missing c= connection line")
+	}
+	return d, nil
+}

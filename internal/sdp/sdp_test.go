@@ -1,0 +1,160 @@
+package sdp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMarshalParseRoundTrip(t *testing.T) {
+	d := New("alice", "ua1.a.example.com", 49172, PayloadG729)
+	got, err := Parse(d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != "alice" || got.Address != "ua1.a.example.com" {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	m, ok := got.FirstAudio()
+	if !ok {
+		t.Fatal("no media section")
+	}
+	if m.Port != 49172 {
+		t.Fatalf("port = %d", m.Port)
+	}
+	if len(m.Payloads) != 1 || m.Payloads[0] != PayloadG729 {
+		t.Fatalf("payloads = %v", m.Payloads)
+	}
+	// Canonical: marshal of the parse equals the original.
+	if !bytes.Equal(got.Marshal(), d.Marshal()) {
+		t.Fatalf("not canonical:\n%s\nvs\n%s", got.Marshal(), d.Marshal())
+	}
+}
+
+func TestParseRealistic(t *testing.T) {
+	raw := "v=0\r\n" +
+		"o=bob 2808844564 2808844564 IN IP4 ua2.b.example.com\r\n" +
+		"s=-\r\n" +
+		"c=IN IP4 ua2.b.example.com\r\n" +
+		"t=0 0\r\n" +
+		"m=audio 3456 RTP/AVP 18 0\r\n" +
+		"a=rtpmap:18 G729/8000\r\n" +
+		"a=sendrecv\r\n"
+	d, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SessionID != 2808844564 {
+		t.Fatalf("session id = %d", d.SessionID)
+	}
+	m, _ := d.FirstAudio()
+	if len(m.Payloads) != 2 || m.Payloads[0] != 18 || m.Payloads[1] != 0 {
+		t.Fatalf("payloads = %v", m.Payloads)
+	}
+	if len(d.Attributes) != 2 || d.Attributes[1] != "sendrecv" {
+		t.Fatalf("attributes = %v", d.Attributes)
+	}
+}
+
+func TestParseToleratesBareLF(t *testing.T) {
+	raw := "v=0\no=a 1 1 IN IP4 h\ns=x\nc=IN IP4 h\nt=0 0\nm=audio 4000 RTP/AVP 18\n"
+	d, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Address != "h" {
+		t.Fatalf("address = %q", d.Address)
+	}
+}
+
+func TestParseIgnoresUnknownLineTypes(t *testing.T) {
+	raw := "v=0\r\nc=IN IP4 h\r\nx=experimental\r\nq=also-unknown\r\n"
+	if _, err := Parse([]byte(raw)); err != nil {
+		t.Fatalf("unknown line types must be ignored: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		raw  string
+	}{
+		{"empty", ""},
+		{"missing version", "c=IN IP4 h\r\n"},
+		{"bad version", "v=1\r\nc=IN IP4 h\r\n"},
+		{"missing connection", "v=0\r\ns=x\r\n"},
+		{"malformed line", "v=0\r\nc=IN IP4 h\r\nzz\r\n"},
+		{"bad o line", "v=0\r\no=a 1\r\nc=IN IP4 h\r\n"},
+		{"bad o id", "v=0\r\no=a x 1 IN IP4 h\r\nc=IN IP4 h\r\n"},
+		{"bad o version", "v=0\r\no=a 1 x IN IP4 h\r\nc=IN IP4 h\r\n"},
+		{"bad c line", "v=0\r\nc=IN IP6 ::1\r\n"},
+		{"bad media transport", "v=0\r\nc=IN IP4 h\r\nm=audio 4000 UDP 18\r\n"},
+		{"video media", "v=0\r\nc=IN IP4 h\r\nm=video 4000 RTP/AVP 96\r\n"},
+		{"bad media port", "v=0\r\nc=IN IP4 h\r\nm=audio 99999 RTP/AVP 18\r\n"},
+		{"bad payload", "v=0\r\nc=IN IP4 h\r\nm=audio 4000 RTP/AVP 300\r\n"},
+		{"short media", "v=0\r\nc=IN IP4 h\r\nm=audio 4000\r\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse([]byte(tt.raw)); err == nil {
+				t.Fatalf("accepted %q", tt.raw)
+			}
+		})
+	}
+}
+
+func TestFirstAudioEmpty(t *testing.T) {
+	d := &Description{}
+	if _, ok := d.FirstAudio(); ok {
+		t.Fatal("FirstAudio on empty description returned ok")
+	}
+}
+
+func TestMarshalDefaultsSessionName(t *testing.T) {
+	d := &Description{Origin: "a", Address: "h"}
+	out := string(d.Marshal())
+	if !strings.Contains(out, "s=-\r\n") {
+		t.Fatalf("missing default session name:\n%s", out)
+	}
+}
+
+func TestPayloadName(t *testing.T) {
+	if PayloadName(PayloadG729) != "G729/8000" {
+		t.Fatal("G729 name wrong")
+	}
+	if PayloadName(PayloadPCMU) != "PCMU/8000" {
+		t.Fatal("PCMU name wrong")
+	}
+	if PayloadName(96) != "PT96" {
+		t.Fatal("dynamic payload name wrong")
+	}
+}
+
+// Property: New -> Marshal -> Parse preserves address, port, payload.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(portRaw uint16, ptRaw uint8, hostRaw string) bool {
+		port := int(portRaw)
+		if port == 0 {
+			port = 1
+		}
+		pt := int(ptRaw) % 128
+		host := "h"
+		for _, r := range hostRaw {
+			if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '.' {
+				host += string(r)
+			}
+		}
+		d := New("user", host, port, pt)
+		got, err := Parse(d.Marshal())
+		if err != nil {
+			return false
+		}
+		m, ok := got.FirstAudio()
+		return ok && got.Address == host && m.Port == port &&
+			len(m.Payloads) == 1 && m.Payloads[0] == pt
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

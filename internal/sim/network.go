@@ -1,0 +1,432 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Proto labels the transport-level protocol of a simulated packet. The
+// testbed only carries SIP-over-UDP and RTP-over-UDP (Section 2.1: UDP
+// is preferred for SIP), so a label is all the routing layer needs.
+type Proto int
+
+// Protocol labels.
+const (
+	ProtoSIP Proto = iota + 1
+	ProtoRTP
+	ProtoRTCP
+	ProtoOther
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoSIP:
+		return "SIP"
+	case ProtoRTP:
+		return "RTP"
+	case ProtoRTCP:
+		return "RTCP"
+	case ProtoOther:
+		return "OTHER"
+	default:
+		return fmt.Sprintf("Proto(%d)", int(p))
+	}
+}
+
+// Addr identifies a transport endpoint on a simulated host,
+// host name plus UDP-like port.
+type Addr struct {
+	Host string
+	Port int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// Packet is a datagram in flight. Payload carries the already-parsed
+// application object (a SIP message or an RTP packet); Size is the
+// wire size in bytes used for serialization-delay accounting.
+type Packet struct {
+	From    Addr
+	To      Addr
+	Proto   Proto
+	Size    int
+	Payload any
+
+	// SentAt is stamped by the network when the packet first enters
+	// a link, for end-to-end delay measurement.
+	SentAt time.Duration
+}
+
+// Handler consumes packets delivered to a bound port.
+type Handler func(pkt *Packet)
+
+// Transit is installed on an inline node (the vids host). It observes
+// every packet crossing the node and returns the extra processing
+// delay to impose and whether to forward the packet at all.
+type Transit func(pkt *Packet) (extraDelay time.Duration, forward bool)
+
+// link is one direction of a duplex link.
+type link struct {
+	to         *node
+	bandwidth  float64 // bits per second; 0 means infinite
+	propDelay  time.Duration
+	lossProb   float64
+	dupProb    float64
+	queueLimit int
+	jitter     time.Duration // extra uniform random delay in [0, jitter)
+
+	// lastFree tracks when the transmitter finishes the previous
+	// frame, to model FIFO serialization.
+	lastFree time.Duration
+
+	drops uint64
+	sent  uint64
+}
+
+type node struct {
+	name    string
+	links   []*link
+	ports   map[int]Handler
+	transit Transit
+	isHost  bool
+}
+
+// Network is a static topology of named nodes joined by duplex links.
+// Routing is shortest-path by hop count, computed once on demand and
+// cached; topologies in this repo are small and fixed.
+type Network struct {
+	sim    *Simulator
+	nodes  map[string]*node
+	routes map[string]map[string][]*link // src -> dst -> outgoing link path
+	taps   []func(pkt *Packet, at time.Duration)
+
+	delivered uint64
+	dropped   uint64
+}
+
+// NewNetwork creates an empty topology bound to the simulator clock.
+func NewNetwork(s *Simulator) *Network {
+	return &Network{
+		sim:   s,
+		nodes: make(map[string]*node),
+	}
+}
+
+// AddHost registers an end host that can bind ports and send packets.
+func (n *Network) AddHost(name string) error { return n.addNode(name, true) }
+
+// AddRouter registers an interior node (router, hub, cloud element)
+// that only forwards.
+func (n *Network) AddRouter(name string) error { return n.addNode(name, false) }
+
+func (n *Network) addNode(name string, host bool) error {
+	if name == "" {
+		return fmt.Errorf("sim: empty node name")
+	}
+	if _, dup := n.nodes[name]; dup {
+		return fmt.Errorf("sim: duplicate node %q", name)
+	}
+	n.nodes[name] = &node{
+		name:   name,
+		ports:  make(map[int]Handler),
+		isHost: host,
+	}
+	n.routes = nil
+	return nil
+}
+
+// LinkConfig parameterizes one duplex link. Bandwidth zero means an
+// infinitely fast link (only propagation delay applies).
+type LinkConfig struct {
+	Bandwidth float64 // bits per second
+	PropDelay time.Duration
+	LossProb  float64
+	Jitter    time.Duration
+	// DupProb duplicates a frame with this probability (a real
+	// network pathology the protocol layers must absorb).
+	DupProb float64
+	// QueueLimit bounds the transmitter's backlog in packets
+	// (drop-tail). Zero means unbounded.
+	QueueLimit int
+}
+
+// Standard link presets for the Figure 7 topology.
+var (
+	// LAN100BaseT models the enterprise 100BaseT Ethernet segments.
+	LAN100BaseT = LinkConfig{Bandwidth: 100e6, PropDelay: 50 * time.Microsecond}
+	// DS1 models the enterprise uplink (1.544 Mbit/s T1).
+	DS1 = LinkConfig{Bandwidth: 1.544e6, PropDelay: 500 * time.Microsecond}
+)
+
+// InternetCloud returns the paper's WAN model: 50 ms one-way delay,
+// 0.42% packet loss (Section 7.1), plus mild delay jitter so RTP
+// jitter measurements are non-degenerate.
+func InternetCloud() LinkConfig {
+	return LinkConfig{
+		Bandwidth: 0,
+		PropDelay: 50 * time.Millisecond,
+		LossProb:  0.0042,
+		Jitter:    2 * time.Millisecond,
+	}
+}
+
+// Connect joins two nodes with a duplex link.
+func (n *Network) Connect(a, b string, cfg LinkConfig) error {
+	na, ok := n.nodes[a]
+	if !ok {
+		return fmt.Errorf("sim: unknown node %q", a)
+	}
+	nb, ok := n.nodes[b]
+	if !ok {
+		return fmt.Errorf("sim: unknown node %q", b)
+	}
+	if a == b {
+		return fmt.Errorf("sim: self-link on %q", a)
+	}
+	na.links = append(na.links, &link{
+		to: nb, bandwidth: cfg.Bandwidth, propDelay: cfg.PropDelay,
+		lossProb: cfg.LossProb, dupProb: cfg.DupProb,
+		queueLimit: cfg.QueueLimit, jitter: cfg.Jitter,
+	})
+	nb.links = append(nb.links, &link{
+		to: na, bandwidth: cfg.Bandwidth, propDelay: cfg.PropDelay,
+		lossProb: cfg.LossProb, dupProb: cfg.DupProb,
+		queueLimit: cfg.QueueLimit, jitter: cfg.Jitter,
+	})
+	n.routes = nil
+	return nil
+}
+
+// Bind installs a packet handler on a host port. Rebinding a port
+// replaces the previous handler.
+func (n *Network) Bind(host string, port int, h Handler) error {
+	nd, ok := n.nodes[host]
+	if !ok {
+		return fmt.Errorf("sim: unknown host %q", host)
+	}
+	if !nd.isHost {
+		return fmt.Errorf("sim: node %q is not a host", host)
+	}
+	nd.ports[port] = h
+	return nil
+}
+
+// SetTransit installs an inline inspector on a node (used to place the
+// vids device between the edge router and the firewall, Figure 1).
+func (n *Network) SetTransit(name string, t Transit) error {
+	nd, ok := n.nodes[name]
+	if !ok {
+		return fmt.Errorf("sim: unknown node %q", name)
+	}
+	nd.transit = t
+	return nil
+}
+
+// Tap registers a passive observer invoked for every packet delivered
+// to any destination handler (monitor-only vids placement and trace
+// capture).
+func (n *Network) Tap(f func(pkt *Packet, at time.Duration)) {
+	if f != nil {
+		n.taps = append(n.taps, f)
+	}
+}
+
+// Delivered reports packets handed to destination handlers.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// Dropped reports packets lost on links or dropped by transit nodes.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Send injects a packet at its source host. Delivery is asynchronous:
+// the destination handler runs at a later virtual instant. Unroutable
+// or unbound destinations surface as an immediate error.
+func (n *Network) Send(pkt *Packet) error {
+	if pkt == nil {
+		return fmt.Errorf("sim: nil packet")
+	}
+	return n.SendFrom(pkt.From.Host, pkt)
+}
+
+// SendFrom injects a packet at origin regardless of the packet's From
+// address. This models source-address spoofing: the datagram is
+// physically emitted by origin while claiming to come from pkt.From
+// (the paper's threat model assumes attackers spoof freely without
+// authentication, Section 3).
+func (n *Network) SendFrom(origin string, pkt *Packet) error {
+	if pkt == nil {
+		return fmt.Errorf("sim: nil packet")
+	}
+	src, ok := n.nodes[origin]
+	if !ok {
+		return fmt.Errorf("sim: unknown source host %q", origin)
+	}
+	if _, ok := n.nodes[pkt.To.Host]; !ok {
+		return fmt.Errorf("sim: unknown destination host %q", pkt.To.Host)
+	}
+	path, err := n.path(origin, pkt.To.Host)
+	if err != nil {
+		return err
+	}
+	pkt.SentAt = n.sim.Now()
+	n.forward(src, path, pkt)
+	return nil
+}
+
+// forward pushes pkt across the next link of path, then recursively
+// schedules the following hop.
+func (n *Network) forward(at *node, path []*link, pkt *Packet) {
+	if len(path) == 0 {
+		n.deliver(at, pkt)
+		return
+	}
+	l := path[0]
+	rest := path[1:]
+
+	if l.lossProb > 0 && n.sim.RNG().Bernoulli(l.lossProb) {
+		l.drops++
+		n.dropped++
+		return
+	}
+
+	now := n.sim.Now()
+	start := now
+	if l.lastFree > start {
+		start = l.lastFree // wait for the transmitter to free up
+	}
+	txTime := time.Duration(0)
+	if l.bandwidth > 0 {
+		txTime = time.Duration(float64(pkt.Size*8) / l.bandwidth * float64(time.Second))
+	}
+	if l.queueLimit > 0 && txTime > 0 {
+		// Drop-tail: refuse frames whose wait already spans a full
+		// queue of packets of this size.
+		backlog := int((start - now) / txTime)
+		if backlog >= l.queueLimit {
+			l.drops++
+			n.dropped++
+			return
+		}
+	}
+	l.lastFree = start + txTime
+	l.sent++
+
+	arrive := start + txTime + l.propDelay
+	if l.jitter > 0 {
+		arrive += time.Duration(n.sim.RNG().Float64() * float64(l.jitter))
+	}
+
+	copies := 1
+	if l.dupProb > 0 && n.sim.RNG().Bernoulli(l.dupProb) {
+		copies = 2
+	}
+	next := l.to
+	for c := 0; c < copies; c++ {
+		at := arrive + time.Duration(c)*100*time.Microsecond
+		n.sim.At(at, func() {
+			if next.transit != nil {
+				extra, fwd := next.transit(pkt)
+				if !fwd {
+					n.dropped++
+					return
+				}
+				if extra > 0 {
+					n.sim.Schedule(extra, func() { n.forward(next, rest, pkt) })
+					return
+				}
+			}
+			n.forward(next, rest, pkt)
+		})
+	}
+}
+
+func (n *Network) deliver(at *node, pkt *Packet) {
+	if at.name != pkt.To.Host {
+		// Routing delivered the packet to the wrong node; this is a
+		// topology bug, count it as a drop rather than crash.
+		n.dropped++
+		return
+	}
+	now := n.sim.Now()
+	for _, tap := range n.taps {
+		tap(pkt, now)
+	}
+	h, ok := at.ports[pkt.To.Port]
+	if !ok {
+		n.dropped++
+		return
+	}
+	n.delivered++
+	h(pkt)
+}
+
+// path returns the outgoing-link sequence from src to dst, computing
+// and caching all-pairs shortest paths on first use.
+func (n *Network) path(src, dst string) ([]*link, error) {
+	if src == dst {
+		return nil, nil
+	}
+	if n.routes == nil {
+		n.computeRoutes()
+	}
+	p, ok := n.routes[src][dst]
+	if !ok || p == nil {
+		return nil, fmt.Errorf("sim: no route %s -> %s", src, dst)
+	}
+	return p, nil
+}
+
+// computeRoutes runs BFS from every node. Node iteration is sorted so
+// that tie-breaking between equal-length paths is deterministic.
+func (n *Network) computeRoutes() {
+	n.routes = make(map[string]map[string][]*link, len(n.nodes))
+	names := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type hop struct {
+		from *node
+		via  *link
+	}
+	for _, srcName := range names {
+		src := n.nodes[srcName]
+		prev := make(map[*node]hop, len(n.nodes))
+		visited := map[*node]bool{src: true}
+		queue := []*node{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			// Stable neighbor order for determinism.
+			ls := append([]*link(nil), cur.links...)
+			sort.Slice(ls, func(i, j int) bool { return ls[i].to.name < ls[j].to.name })
+			for _, l := range ls {
+				if visited[l.to] {
+					continue
+				}
+				visited[l.to] = true
+				prev[l.to] = hop{from: cur, via: l}
+				queue = append(queue, l.to)
+			}
+		}
+		n.routes[srcName] = make(map[string][]*link, len(n.nodes)-1)
+		for _, dstName := range names {
+			dst := n.nodes[dstName]
+			if dst == src || !visited[dst] {
+				continue
+			}
+			var rev []*link
+			for cur := dst; cur != src; {
+				h := prev[cur]
+				rev = append(rev, h.via)
+				cur = h.from
+			}
+			p := make([]*link, len(rev))
+			for i := range rev {
+				p[i] = rev[len(rev)-1-i]
+			}
+			n.routes[srcName][dstName] = p
+		}
+	}
+}

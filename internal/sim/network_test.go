@@ -1,0 +1,454 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// twoHosts builds A -- B with the given link config.
+func twoHosts(t *testing.T, cfg LinkConfig) (*Simulator, *Network) {
+	t.Helper()
+	s := New(1)
+	n := NewNetwork(s)
+	if err := n.AddHost("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddHost("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("a", "b", cfg); err != nil {
+		t.Fatal(err)
+	}
+	return s, n
+}
+
+func TestDeliverySimple(t *testing.T) {
+	s, n := twoHosts(t, LinkConfig{PropDelay: 10 * time.Millisecond})
+	var got *Packet
+	var at time.Duration
+	if err := n.Bind("b", 5060, func(p *Packet) { got = p; at = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	pkt := &Packet{
+		From: Addr{"a", 5060}, To: Addr{"b", 5060},
+		Proto: ProtoSIP, Size: 500, Payload: "hello",
+	}
+	if err := n.Send(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if got.Payload != "hello" {
+		t.Fatalf("payload = %v", got.Payload)
+	}
+	if at != 10*time.Millisecond {
+		t.Fatalf("arrival at %v, want 10ms", at)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	// 1.544 Mbit/s DS1: a 500-byte packet takes 500*8/1.544e6 s ≈ 2.59 ms.
+	s, n := twoHosts(t, LinkConfig{Bandwidth: 1.544e6, PropDelay: 0})
+	var at time.Duration = -1
+	if err := n.Bind("b", 1, func(p *Packet) { at = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 1}, Size: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	bits := float64(500 * 8)
+	want := time.Duration(bits / 1.544e6 * float64(time.Second))
+	if at < want-time.Microsecond || at > want+time.Microsecond {
+		t.Fatalf("arrival %v, want ~%v", at, want)
+	}
+}
+
+func TestBackToBackPacketsQueue(t *testing.T) {
+	// Two packets sent at t=0 on a slow link must arrive one
+	// serialization time apart (FIFO queueing).
+	s, n := twoHosts(t, LinkConfig{Bandwidth: 1e6, PropDelay: 0})
+	var arrivals []time.Duration
+	if err := n.Bind("b", 1, func(p *Packet) { arrivals = append(arrivals, s.Now()) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 1}, Size: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	gap := arrivals[1] - arrivals[0]
+	want := 8 * time.Millisecond // 1000 B * 8 / 1e6 bit/s
+	if gap < want-10*time.Microsecond || gap > want+10*time.Microsecond {
+		t.Fatalf("inter-arrival %v, want ~%v", gap, want)
+	}
+}
+
+func TestMultiHopRouting(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s)
+	for _, h := range []string{"a", "b"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []string{"r1", "r2"} {
+		if err := n.AddRouter(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := LinkConfig{PropDelay: time.Millisecond}
+	for _, pair := range [][2]string{{"a", "r1"}, {"r1", "r2"}, {"r2", "b"}} {
+		if err := n.Connect(pair[0], pair[1], cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var at time.Duration = -1
+	if err := n.Bind("b", 9, func(p *Packet) { at = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(&Packet{From: Addr{"a", 9}, To: Addr{"b", 9}, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3*time.Millisecond {
+		t.Fatalf("3-hop arrival at %v, want 3ms", at)
+	}
+}
+
+func TestLossyLinkDropsApproximatelyAtRate(t *testing.T) {
+	s, n := twoHosts(t, LinkConfig{LossProb: 0.5})
+	delivered := 0
+	if err := n.Bind("b", 1, func(p *Packet) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	const total = 10000
+	for i := 0; i < total; i++ {
+		if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 1}, Size: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered < 4500 || delivered > 5500 {
+		t.Fatalf("delivered %d/%d on 50%% lossy link", delivered, total)
+	}
+	if n.Dropped()+n.Delivered() != total {
+		t.Fatalf("dropped(%d)+delivered(%d) != %d", n.Dropped(), n.Delivered(), total)
+	}
+}
+
+func TestTransitInspectsAndDelays(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s)
+	for _, h := range []string{"a", "b"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddRouter("mid"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := LinkConfig{PropDelay: time.Millisecond}
+	if err := n.Connect("a", "mid", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("mid", "b", cfg); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	if err := n.SetTransit("mid", func(p *Packet) (time.Duration, bool) {
+		seen++
+		return 5 * time.Millisecond, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var at time.Duration = -1
+	if err := n.Bind("b", 1, func(p *Packet) { at = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 1}, Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Fatalf("transit saw %d packets, want 1", seen)
+	}
+	if at != 7*time.Millisecond { // 1ms + 5ms transit + 1ms
+		t.Fatalf("arrival %v, want 7ms", at)
+	}
+}
+
+func TestTransitCanDrop(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s)
+	for _, h := range []string{"a", "b"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddRouter("fw"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := LinkConfig{}
+	if err := n.Connect("a", "fw", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("fw", "b", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetTransit("fw", func(p *Packet) (time.Duration, bool) { return 0, false }); err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	if err := n.Bind("b", 1, func(p *Packet) { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 1}, Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered {
+		t.Fatal("packet crossed a dropping transit node")
+	}
+	if n.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", n.Dropped())
+	}
+}
+
+func TestTapSeesDeliveredPackets(t *testing.T) {
+	s, n := twoHosts(t, LinkConfig{})
+	if err := n.Bind("b", 1, func(p *Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	tapped := 0
+	n.Tap(func(p *Packet, at time.Duration) { tapped++ })
+	for i := 0; i < 3; i++ {
+		if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 1}, Size: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if tapped != 3 {
+		t.Fatalf("tap saw %d packets, want 3", tapped)
+	}
+}
+
+func TestUnboundPortCountsAsDrop(t *testing.T) {
+	s, n := twoHosts(t, LinkConfig{})
+	if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 99}, Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Dropped() != 1 || n.Delivered() != 0 {
+		t.Fatalf("dropped=%d delivered=%d", n.Dropped(), n.Delivered())
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s)
+	if err := n.AddHost("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddHost("island"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(nil); err == nil {
+		t.Fatal("nil packet accepted")
+	}
+	if err := n.Send(&Packet{From: Addr{"ghost", 1}, To: Addr{"a", 1}}); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"ghost", 1}}); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+	if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"island", 1}}); err == nil {
+		t.Fatal("unroutable destination accepted")
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s)
+	if err := n.AddHost(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := n.AddHost("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddHost("a"); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := n.Connect("a", "a", LinkConfig{}); err == nil {
+		t.Fatal("self-link accepted")
+	}
+	if err := n.Connect("a", "nope", LinkConfig{}); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+	if err := n.Bind("nope", 1, func(*Packet) {}); err == nil {
+		t.Fatal("bind to unknown host accepted")
+	}
+	if err := n.AddRouter("r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Bind("r", 1, func(*Packet) {}); err == nil {
+		t.Fatal("bind to router accepted")
+	}
+	if err := n.SetTransit("nope", nil); err == nil {
+		t.Fatal("transit on unknown node accepted")
+	}
+}
+
+func TestRoutePrefersShortestPath(t *testing.T) {
+	// a - b direct plus a - r - b detour: direct must win.
+	s := New(1)
+	n := NewNetwork(s)
+	for _, h := range []string{"a", "b"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddRouter("r"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := LinkConfig{PropDelay: time.Millisecond}
+	for _, pair := range [][2]string{{"a", "b"}, {"a", "r"}, {"r", "b"}} {
+		if err := n.Connect(pair[0], pair[1], cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var at time.Duration = -1
+	if err := n.Bind("b", 1, func(p *Packet) { at = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 1}, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if at != time.Millisecond {
+		t.Fatalf("arrival %v, want 1ms (direct path)", at)
+	}
+}
+
+func TestInternetCloudParameters(t *testing.T) {
+	cfg := InternetCloud()
+	if cfg.PropDelay != 50*time.Millisecond {
+		t.Fatalf("cloud delay = %v, want 50ms (paper §7.1)", cfg.PropDelay)
+	}
+	if cfg.LossProb != 0.0042 {
+		t.Fatalf("cloud loss = %v, want 0.0042 (paper §7.1)", cfg.LossProb)
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	cases := map[Proto]string{
+		ProtoSIP:   "SIP",
+		ProtoRTP:   "RTP",
+		ProtoOther: "OTHER",
+		Proto(99):  "Proto(99)",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{Host: "ua1.a.example.com", Port: 5060}
+	if a.String() != "ua1.a.example.com:5060" {
+		t.Fatalf("Addr.String() = %q", a.String())
+	}
+}
+
+func TestDuplicatingLinkDeliversTwice(t *testing.T) {
+	s, n := twoHosts(t, LinkConfig{PropDelay: time.Millisecond, DupProb: 1})
+	got := 0
+	if err := n.Bind("b", 1, func(p *Packet) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 1}, Size: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Fatalf("delivered %d, want 20 with DupProb=1", got)
+	}
+}
+
+func TestQueueLimitDropsTail(t *testing.T) {
+	// 1 Mbit/s link, 1000-byte frames (8 ms each), queue limit 5: a
+	// burst of 20 loses the tail.
+	s, n := twoHosts(t, LinkConfig{Bandwidth: 1e6, QueueLimit: 5})
+	got := 0
+	if err := n.Bind("b", 1, func(p *Packet) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 1}, Size: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got >= 20 {
+		t.Fatalf("no drops despite queue limit: %d delivered", got)
+	}
+	if got < 5 {
+		t.Fatalf("queue head also dropped: %d delivered", got)
+	}
+	if n.Dropped() != uint64(20-got) {
+		t.Fatalf("dropped = %d, delivered = %d", n.Dropped(), got)
+	}
+}
+
+func TestUnboundedQueueByDefault(t *testing.T) {
+	s, n := twoHosts(t, LinkConfig{Bandwidth: 1e6})
+	got := 0
+	if err := n.Bind("b", 1, func(p *Packet) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := n.Send(&Packet{From: Addr{"a", 1}, To: Addr{"b", 1}, Size: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 50 {
+		t.Fatalf("unbounded queue dropped: %d/50", got)
+	}
+}

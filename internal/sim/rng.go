@@ -1,0 +1,77 @@
+package sim
+
+import "math"
+
+// RNG is a small, deterministic pseudo-random generator
+// (SplitMix64-based) used for workload generation and the lossy
+// internet-cloud model. We avoid math/rand so that the stream is
+// stable across Go releases: experiment outputs must be reproducible
+// byte-for-byte between runs and toolchains.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Two generators with the same seed produce
+// identical streams.
+func NewRNG(seed int64) *RNG {
+	return &RNG{state: uint64(seed)*0x9E3779B97F4A7C15 + 0x1234567890ABCDEF}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, mirroring
+// math/rand semantics; callers control n and a non-positive bound is a
+// programming error.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn bound must be positive")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// A non-positive mean yields zero.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Bernoulli reports true with probability p (clamped to [0, 1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Normal returns a normally distributed value via Box-Muller.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}

@@ -1,0 +1,157 @@
+// Package sim implements a deterministic discrete-event network
+// simulator. It stands in for the OPNET Modeler testbed used in the
+// paper's evaluation (Section 7.1): hosts exchange packets over duplex
+// links with configurable bandwidth and propagation delay, and an
+// "internet cloud" element adds wide-area delay and Bernoulli loss.
+//
+// The simulator is single-threaded and fully deterministic: given the
+// same seed and the same sequence of scheduled events it produces the
+// same packet timeline on every run, which makes the experiment
+// harness reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is a closure scheduled to run at a virtual instant.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+	idx int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrHalted is returned by Run when Halt was called before the horizon
+// was reached.
+var ErrHalted = errors.New("sim: halted")
+
+// Simulator owns the virtual clock and the pending-event queue.
+//
+// The zero value is not usable; create instances with New.
+type Simulator struct {
+	now     time.Duration
+	queue   eventHeap
+	nextSeq uint64
+	halted  bool
+	rng     *RNG
+
+	executed uint64
+}
+
+// New returns a simulator whose clock starts at zero and whose random
+// source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: NewRNG(seed)}
+}
+
+// Now reports the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// RNG exposes the simulator's deterministic random source.
+func (s *Simulator) RNG() *RNG { return s.rng }
+
+// Executed reports how many events have run so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending reports how many events are queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero (run at the current instant, after already-queued
+// events for this instant).
+func (s *Simulator) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Times in the past are clamped
+// to the current instant.
+func (s *Simulator) At(t time.Duration, fn func()) {
+	if fn == nil {
+		return
+	}
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Run executes queued events in timestamp order until the queue drains
+// or the clock passes horizon. Events scheduled exactly at the horizon
+// still run. It returns ErrHalted if Halt was called.
+func (s *Simulator) Run(horizon time.Duration) error {
+	s.halted = false
+	for len(s.queue) > 0 {
+		if s.halted {
+			return ErrHalted
+		}
+		next := s.queue[0]
+		if next.at > horizon {
+			// Freeze the clock at the horizon: the remaining
+			// events are beyond the observation window.
+			s.now = horizon
+			return nil
+		}
+		ev, ok := heap.Pop(&s.queue).(*event)
+		if !ok {
+			return fmt.Errorf("sim: corrupt event queue entry %T", next)
+		}
+		s.now = ev.at
+		s.executed++
+		ev.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunAll executes events until the queue drains, with no horizon.
+func (s *Simulator) RunAll() error { return s.Run(time.Duration(math.MaxInt64)) }

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqualTimeEventsRunInScheduleOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO tie-break violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestNestedSchedulingAdvancesClock(t *testing.T) {
+	s := New(1)
+	var at []time.Duration
+	s.Schedule(time.Second, func() {
+		at = append(at, s.Now())
+		s.Schedule(2*time.Second, func() {
+			at = append(at, s.Now())
+		})
+	})
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(at) != 2 || at[0] != time.Second || at[1] != 3*time.Second {
+		t.Fatalf("timestamps = %v", at)
+	}
+}
+
+func TestRunHorizonStopsAndFreezesClock(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Schedule(time.Second, func() { ran++ })
+	s.Schedule(time.Minute, func() { ran++ })
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if s.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestEventAtHorizonStillRuns(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Schedule(10*time.Second, func() { ran = true })
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("event scheduled exactly at the horizon did not run")
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Schedule(time.Second, func() {
+		ran++
+		s.Halt()
+	})
+	s.Schedule(2*time.Second, func() { ran++ })
+	err := s.RunAll()
+	if err != ErrHalted {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	s := New(1)
+	var at time.Duration = -1
+	s.Schedule(5*time.Second, func() {
+		s.Schedule(-time.Second, func() { at = s.Now() })
+	})
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if at != 5*time.Second {
+		t.Fatalf("clamped event ran at %v, want 5s", at)
+	}
+}
+
+func TestNilEventIgnored(t *testing.T) {
+	s := New(1)
+	s.At(time.Second, nil)
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+// Property: for any set of delays, execution timestamps are
+// non-decreasing (virtual time never goes backwards).
+func TestTimeMonotonicProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		s := New(42)
+		last := time.Duration(-1)
+		ok := true
+		for _, d := range delays {
+			s.Schedule(time.Duration(d)*time.Millisecond, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		if err := s.RunAll(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(5)
+	const mean = 90.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean) > mean*0.05 {
+		t.Fatalf("empirical mean %.2f, want ~%.2f", got, mean)
+	}
+}
+
+func TestRNGExpNonPositiveMean(t *testing.T) {
+	r := NewRNG(5)
+	if v := r.Exp(0); v != 0 {
+		t.Fatalf("Exp(0) = %v, want 0", v)
+	}
+	if v := r.Exp(-3); v != 0 {
+		t.Fatalf("Exp(-3) = %v, want 0", v)
+	}
+}
+
+func TestRNGBernoulli(t *testing.T) {
+	r := NewRNG(11)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.0042) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.002 || rate > 0.007 {
+		t.Fatalf("loss rate %.4f, want ~0.0042", rate)
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+// Property: Exp never returns a negative value.
+func TestRNGExpNonNegativeProperty(t *testing.T) {
+	r := NewRNG(13)
+	prop := func(mean uint16) bool {
+		return r.Exp(float64(mean)) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package sip
+
+import (
+	"testing"
+	"time"
+
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+func TestDigestHelpersRoundTrip(t *testing.T) {
+	nonce := challenge("call-1@x", "tagB")
+	if nonce == "" {
+		t.Fatal("empty nonce")
+	}
+	// Deterministic per dialog.
+	if challenge("call-1@x", "tagB") != nonce {
+		t.Fatal("nonce not deterministic")
+	}
+	if challenge("call-2@x", "tagB") == nonce {
+		t.Fatal("nonce ignores call ID")
+	}
+
+	hdr := buildAuthorization("alice", nonce, authResponse("s3cret", nonce, "BYE", "call-1@x"))
+	user, gotNonce, gotResp, ok := parseAuthorization(hdr)
+	if !ok || user != "alice" || gotNonce != nonce {
+		t.Fatalf("parsed = %q %q %q %v", user, gotNonce, gotResp, ok)
+	}
+	if gotResp != authResponse("s3cret", nonce, "BYE", "call-1@x") {
+		t.Fatal("response mismatch")
+	}
+
+	ch := buildChallenge(nonce)
+	if n, ok := parseChallenge(ch); !ok || n != nonce {
+		t.Fatalf("challenge round-trip = %q %v", n, ok)
+	}
+}
+
+func TestParseAuthorizationErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "Basic dXNlcg==",
+		`Digest username="a"`, // missing nonce/response
+	} {
+		if _, _, _, ok := parseAuthorization(bad); ok {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	if _, ok := parseChallenge("Bearer x"); ok {
+		t.Fatal("non-digest challenge accepted")
+	}
+}
+
+func TestVerifyAuthorization(t *testing.T) {
+	req := sipmsg.NewRequest(sipmsg.BYE, sipmsg.URI{User: "bob", Host: "b.com"})
+	req.CallID = "c1@x"
+	nonce := challenge(req.CallID, "tagB")
+
+	if verifyAuthorization(req, "s3cret", nonce) {
+		t.Fatal("verified without credentials")
+	}
+	authorize(req, "alice", "s3cret", nonce)
+	if !verifyAuthorization(req, "s3cret", nonce) {
+		t.Fatal("valid credentials rejected")
+	}
+	if verifyAuthorization(req, "wrong-secret", nonce) {
+		t.Fatal("wrong secret accepted")
+	}
+	if verifyAuthorization(req, "s3cret", "other-nonce") {
+		t.Fatal("stale nonce accepted")
+	}
+	// Credentials are method-bound: the same header on another method
+	// fails.
+	req2 := req.Clone()
+	req2.Method = sipmsg.INVITE
+	req2.CSeq.Method = sipmsg.INVITE
+	if verifyAuthorization(req2, "s3cret", nonce) {
+		t.Fatal("credentials replayed across methods")
+	}
+}
+
+// authTestbed builds a two-UA direct deployment with shared-secret
+// auth enabled on both phones.
+func authTestbed(t *testing.T, secretAlice, secretBob string) (*sim.Simulator, *UA, *UA) {
+	t.Helper()
+	s := sim.New(21)
+	n := sim.NewNetwork(s)
+	for _, h := range []string{"a.host", "b.host", "evil.host"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pair := range [][2]string{{"a.host", "b.host"}, {"evil.host", "b.host"}} {
+		if err := n.Connect(pair[0], pair[1], fastLink()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bob, err := NewUA(s, n, Config{
+		User: "bob", Host: "b.host", Domain: "b.host",
+		AutoAnswer: true, AnswerDelay: 100 * time.Millisecond,
+		SharedSecret: secretBob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := NewUA(s, n, Config{
+		User: "alice", Host: "a.host", Domain: "a.host",
+		Proxy: bob.Addr(), SharedSecret: secretAlice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, alice, bob
+}
+
+func TestAuthenticatedByeSucceedsViaChallenge(t *testing.T) {
+	s, alice, bob := authTestbed(t, "s3cret", "s3cret")
+	call, err := alice.Invite(sipmsg.URI{User: "bob", Host: "b.host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule(5*time.Second, func() {
+		if err := alice.Bye(call); err != nil {
+			t.Errorf("Bye: %v", err)
+		}
+	})
+	if err := s.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallTerminated {
+		t.Fatalf("caller state = %v", call.State)
+	}
+	bobCall := bob.Calls()[call.ID]
+	if bobCall == nil || bobCall.State != CallTerminated {
+		t.Fatalf("callee state = %+v", bobCall)
+	}
+}
+
+func TestSpoofedByeRejectedUnderAuth(t *testing.T) {
+	s, alice, bob := authTestbed(t, "s3cret", "s3cret")
+	call, err := alice.Invite(sipmsg.URI{User: "bob", Host: "b.host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallEstablished {
+		t.Fatalf("setup failed: %v", call.State)
+	}
+
+	// Attacker forges the caller's BYE but cannot answer the
+	// challenge (no shared secret).
+	bye := sipmsg.NewRequest(sipmsg.BYE, sipmsg.URI{User: "bob", Host: "b.host"})
+	bye.Via = []sipmsg.Via{ViaFor(sim.Addr{Host: "evil.host", Port: Port}, "z9hG4bKevil1")}
+	bye.From = sipmsg.NameAddr{URI: alice.AOR()}.WithTag(call.LocalTag)
+	bye.To = sipmsg.NameAddr{URI: call.RemoteURI}.WithTag(call.RemoteTag)
+	bye.CallID = call.ID
+	bye.CSeq = sipmsg.CSeq{Seq: 99, Method: sipmsg.BYE}
+
+	evilTr, err := NewTransport(bob.tr.Network(), "evil.host", Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evilTr.Send(sim.Addr{Host: "b.host", Port: Port}, bye); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(s.Now() + 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The call must have survived: auth defeated the spoofed BYE.
+	bobCall := bob.Calls()[call.ID]
+	if bobCall == nil || bobCall.State != CallEstablished {
+		t.Fatalf("callee state = %+v, want still Established", bobCall)
+	}
+}
+
+func TestUnauthenticatedDeploymentStillVulnerable(t *testing.T) {
+	// Control: without secrets, the same spoofed BYE kills the call
+	// (the paper's baseline threat).
+	s, alice, bob := authTestbed(t, "", "")
+	call, err := alice.Invite(sipmsg.URI{User: "bob", Host: "b.host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	bye := sipmsg.NewRequest(sipmsg.BYE, sipmsg.URI{User: "bob", Host: "b.host"})
+	bye.Via = []sipmsg.Via{ViaFor(sim.Addr{Host: "evil.host", Port: Port}, "z9hG4bKevil2")}
+	bye.From = sipmsg.NameAddr{URI: alice.AOR()}.WithTag(call.LocalTag)
+	bye.To = sipmsg.NameAddr{URI: call.RemoteURI}.WithTag(call.RemoteTag)
+	bye.CallID = call.ID
+	bye.CSeq = sipmsg.CSeq{Seq: 99, Method: sipmsg.BYE}
+	evilTr, err := NewTransport(bob.tr.Network(), "evil.host", Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evilTr.Send(sim.Addr{Host: "b.host", Port: Port}, bye); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(s.Now() + 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	bobCall := bob.Calls()[call.ID]
+	if bobCall == nil || bobCall.State != CallTerminated {
+		t.Fatalf("callee state = %+v, want Terminated (vulnerable baseline)", bobCall)
+	}
+}

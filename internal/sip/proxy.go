@@ -1,0 +1,177 @@
+package sip
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// Proxy is a stateless forwarding SIP proxy with a registrar and
+// location service for its domain (paper Section 2: "The inbound
+// proxy server consults a location service database to find out the
+// current location of UA-B"). Inter-domain resolution — DNS in the
+// paper — is a static domain-to-proxy peer table.
+type Proxy struct {
+	domain string
+	tr     *Transport
+
+	bindings map[string]sipmsg.URI // user -> contact URI
+	peers    map[string]sim.Addr   // foreign domain -> proxy address
+
+	// SendTrying makes the proxy answer INVITEs with a 100 Trying
+	// toward the upstream hop while it forwards. Caution: RFC 3261
+	// §16.11 forbids *stateless* proxies from generating 100s, and
+	// for good reason — the 100 quenches the caller's timer-A
+	// retransmissions, so if this proxy then loses the INVITE
+	// downstream nobody retransmits and the call hangs until timer B.
+	// Enable only on loss-free paths (it is off by default).
+	SendTrying bool
+
+	forwardedRequests  uint64
+	forwardedResponses uint64
+	registrations      uint64
+	rejected           uint64
+}
+
+// NewProxy creates a proxy serving domain, bound on host:5060.
+func NewProxy(network *sim.Network, host, domain string) (*Proxy, error) {
+	tr, err := NewTransport(network, host, Port)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		domain:   domain,
+		tr:       tr,
+		bindings: make(map[string]sipmsg.URI),
+		peers:    make(map[string]sim.Addr),
+	}
+	tr.OnMessage(p.handle)
+	return p, nil
+}
+
+// Domain returns the domain this proxy is responsible for.
+func (p *Proxy) Domain() string { return p.domain }
+
+// Addr returns the proxy's transport address.
+func (p *Proxy) Addr() sim.Addr { return p.tr.Addr() }
+
+// AddPeer teaches the proxy where another domain's inbound proxy
+// lives (the testbed's stand-in for DNS SRV resolution).
+func (p *Proxy) AddPeer(domain string, addr sim.Addr) { p.peers[domain] = addr }
+
+// Lookup returns the registered contact for a user of this domain.
+func (p *Proxy) Lookup(user string) (sipmsg.URI, bool) {
+	u, ok := p.bindings[user]
+	return u, ok
+}
+
+// Stats reports (forwarded requests, forwarded responses,
+// registrations, rejected messages).
+func (p *Proxy) Stats() (reqs, resps, regs, rejected uint64) {
+	return p.forwardedRequests, p.forwardedResponses, p.registrations, p.rejected
+}
+
+func (p *Proxy) handle(m *sipmsg.Message, from sim.Addr) {
+	if m.IsResponse() {
+		p.handleResponse(m)
+		return
+	}
+	if m.Method == sipmsg.REGISTER && m.RequestURI.Host == p.domain {
+		p.handleRegister(m)
+		return
+	}
+	p.forwardRequest(m)
+}
+
+func (p *Proxy) handleRegister(req *sipmsg.Message) {
+	if req.Contact == nil {
+		p.respond(req, sipmsg.StatusBadRequest)
+		return
+	}
+	p.bindings[req.To.URI.User] = req.Contact.URI
+	p.registrations++
+	p.respond(req, sipmsg.StatusOK)
+}
+
+// respond sends a stateless response routed by the request's top Via.
+func (p *Proxy) respond(req *sipmsg.Message, code int) {
+	resp := sipmsg.NewResponse(req, code)
+	if resp.To.Tag() == "" {
+		resp.To = resp.To.WithTag("proxy-" + p.domain)
+	}
+	_ = p.tr.Send(AddrForVia(req.TopVia()), resp)
+}
+
+// respondProvisional sends a 1xx without adding a To tag (provisional
+// responses from proxies do not create dialogs).
+func (p *Proxy) respondProvisional(req *sipmsg.Message, code int) {
+	resp := sipmsg.NewResponse(req, code)
+	_ = p.tr.Send(AddrForVia(req.TopVia()), resp)
+}
+
+func (p *Proxy) forwardRequest(req *sipmsg.Message) {
+	if req.MaxForwards <= 0 {
+		p.rejected++
+		p.respond(req, sipmsg.StatusBadRequest)
+		return
+	}
+
+	var dest sim.Addr
+	fwd := req.Clone()
+	fwd.MaxForwards--
+
+	if req.Method == sipmsg.INVITE && req.To.Tag() == "" && p.SendTrying {
+		p.respondProvisional(req, sipmsg.StatusTrying)
+	}
+
+	switch {
+	case req.RequestURI.Host == p.domain:
+		// Terminal domain: consult the location service and retarget
+		// the request to the registered device.
+		contact, ok := p.bindings[req.RequestURI.User]
+		if !ok {
+			p.rejected++
+			p.respond(req, sipmsg.StatusNotFound)
+			return
+		}
+		fwd.RequestURI = contact
+		dest = AddrForURI(contact)
+	default:
+		peer, ok := p.peers[req.RequestURI.Host]
+		if !ok {
+			p.rejected++
+			p.respond(req, sipmsg.StatusNotFound)
+			return
+		}
+		dest = peer
+	}
+
+	// Prepend our Via. The branch is derived deterministically from
+	// the incoming top branch so that a CANCEL forwarded statelessly
+	// carries the same downstream branch as its INVITE
+	// (RFC 3261 §16.11).
+	fwd.Via = append([]sipmsg.Via{ViaFor(p.Addr(), p.deriveBranch(req.Branch()))}, fwd.Via...)
+	p.forwardedRequests++
+	_ = p.tr.Send(dest, fwd)
+}
+
+func (p *Proxy) deriveBranch(incoming string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(p.domain))
+	_, _ = h.Write([]byte(incoming))
+	return fmt.Sprintf("z9hG4bKsp%016x", h.Sum64())
+}
+
+func (p *Proxy) handleResponse(resp *sipmsg.Message) {
+	if len(resp.Via) < 2 || resp.TopVia().Host != p.tr.Addr().Host {
+		// Either not ours or nowhere further to go; drop.
+		p.rejected++
+		return
+	}
+	fwd := resp.Clone()
+	fwd.Via = fwd.Via[1:]
+	p.forwardedResponses++
+	_ = p.tr.Send(AddrForVia(fwd.TopVia()), fwd)
+}

@@ -1,0 +1,815 @@
+package sip
+
+import (
+	"testing"
+	"time"
+
+	"vids/internal/sdp"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// testbed is a miniature two-domain deployment: ua1@a and ua2@b with a
+// proxy per domain, star-wired through a core router.
+type testbed struct {
+	sim    *sim.Simulator
+	net    *sim.Network
+	proxyA *Proxy
+	proxyB *Proxy
+	alice  *UA
+	bob    *UA
+}
+
+func newTestbed(t *testing.T, link sim.LinkConfig) *testbed {
+	t.Helper()
+	s := sim.New(7)
+	n := sim.NewNetwork(s)
+	hosts := []string{"ua1.a.example.com", "ua2.b.example.com",
+		"proxy.a.example.com", "proxy.b.example.com"}
+	for _, h := range hosts {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddRouter("core"); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hosts {
+		if err := n.Connect(h, "core", link); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	proxyA, err := NewProxy(n, "proxy.a.example.com", "a.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyB, err := NewProxy(n, "proxy.b.example.com", "b.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyA.AddPeer("b.example.com", proxyB.Addr())
+	proxyB.AddPeer("a.example.com", proxyA.Addr())
+
+	alice, err := NewUA(s, n, Config{
+		User: "alice", Host: "ua1.a.example.com", Domain: "a.example.com",
+		Proxy: proxyA.Addr(), RTPPort: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewUA(s, n, Config{
+		User: "bob", Host: "ua2.b.example.com", Domain: "b.example.com",
+		Proxy: proxyB.Addr(), RTPPort: 20002,
+		RingDelay: 100 * time.Millisecond, AnswerDelay: 2 * time.Second,
+		AutoAnswer: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := &testbed{sim: s, net: n, proxyA: proxyA, proxyB: proxyB, alice: alice, bob: bob}
+	if err := alice.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func fastLink() sim.LinkConfig {
+	return sim.LinkConfig{Bandwidth: 100e6, PropDelay: time.Millisecond}
+}
+
+func TestRegisterBindsContact(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	got, ok := tb.proxyB.Lookup("bob")
+	if !ok {
+		t.Fatal("bob not registered")
+	}
+	if got.Host != "ua2.b.example.com" {
+		t.Fatalf("contact = %v", got)
+	}
+	if _, _, regs, _ := tb.proxyB.Stats(); regs != 1 {
+		t.Fatalf("registrations = %d", regs)
+	}
+}
+
+func TestBasicCallFlow(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	var events []string
+	tb.alice.OnRinging = func(c *Call) { events = append(events, "ringing") }
+	tb.alice.OnEstablished = func(c *Call) { events = append(events, "established") }
+	tb.bob.OnEstablished = func(c *Call) { events = append(events, "bob-established") }
+
+	call, err := tb.alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if call.State != CallEstablished {
+		t.Fatalf("call state = %v", call.State)
+	}
+	if len(events) < 3 {
+		t.Fatalf("events = %v", events)
+	}
+	if events[0] != "ringing" {
+		t.Fatalf("first event = %q", events[0])
+	}
+
+	// The callee leg must exist and be established too.
+	bobCall, ok := tb.bob.Calls()[call.ID]
+	if !ok {
+		t.Fatal("bob has no call leg")
+	}
+	if bobCall.State != CallEstablished {
+		t.Fatalf("bob call state = %v", bobCall.State)
+	}
+	if !bobCall.ackReceived {
+		t.Fatal("bob never saw the ACK")
+	}
+
+	// SDP offer/answer must have crossed.
+	if call.RemoteSDP == nil || bobCall.RemoteSDP == nil {
+		t.Fatal("SDP not exchanged")
+	}
+	m, _ := call.RemoteSDP.FirstAudio()
+	if m.Port != 20002 {
+		t.Fatalf("answer media port = %d", m.Port)
+	}
+	if call.RemoteSDP.Address != "ua2.b.example.com" {
+		t.Fatalf("answer media address = %q", call.RemoteSDP.Address)
+	}
+
+	// Setup delay (INVITE -> 180) must reflect ring delay + network.
+	d, ok := call.SetupDelay()
+	if !ok {
+		t.Fatal("no setup delay recorded")
+	}
+	if d < 100*time.Millisecond || d > 300*time.Millisecond {
+		t.Fatalf("setup delay = %v", d)
+	}
+
+	// Dialog identifiers must agree across the two legs.
+	if call.RemoteTag != bobCall.LocalTag || call.LocalTag != bobCall.RemoteTag {
+		t.Fatal("dialog tags do not line up")
+	}
+}
+
+func TestCallTeardownWithBye(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	var endedAtBob *Call
+	tb.bob.OnEnded = func(c *Call) { endedAtBob = c }
+
+	call, err := tb.alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.sim.Schedule(10*time.Second, func() {
+		if err := tb.alice.Bye(call); err != nil {
+			t.Errorf("Bye: %v", err)
+		}
+	})
+	if err := tb.sim.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallTerminated {
+		t.Fatalf("caller state = %v", call.State)
+	}
+	if endedAtBob == nil || endedAtBob.State != CallTerminated {
+		t.Fatalf("callee not terminated: %+v", endedAtBob)
+	}
+}
+
+func TestCancelPendingInvite(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	call, err := tb.alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel while ringing (bob answers only after 2s).
+	tb.sim.Schedule(500*time.Millisecond, func() {
+		if err := tb.alice.Cancel(call); err != nil {
+			t.Errorf("Cancel: %v", err)
+		}
+	})
+	if err := tb.sim.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallCancelled {
+		t.Fatalf("caller state = %v, want Cancelled", call.State)
+	}
+	bobCall := tb.bob.Calls()[call.ID]
+	if bobCall == nil || bobCall.State != CallCancelled {
+		t.Fatalf("callee state = %v, want Cancelled", bobCall)
+	}
+}
+
+func TestCallToUnknownUserFails(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	call, err := tb.alice.Invite(sipmsg.URI{User: "nobody", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallFailed {
+		t.Fatalf("state = %v, want Failed", call.State)
+	}
+}
+
+func TestCallToUnknownDomainFails(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	call, err := tb.alice.Invite(sipmsg.URI{User: "x", Host: "c.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallFailed {
+		t.Fatalf("state = %v, want Failed", call.State)
+	}
+}
+
+func TestCallSurvivesLossyLink(t *testing.T) {
+	// 20% loss: retransmission timers must still complete the call.
+	lossy := sim.LinkConfig{Bandwidth: 100e6, PropDelay: time.Millisecond, LossProb: 0.2}
+	tb := newTestbed(t, lossy)
+	established := 0
+	tb.alice.OnEstablished = func(c *Call) { established++ }
+	for i := 0; i < 5; i++ {
+		if _, err := tb.alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.sim.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if established < 4 {
+		t.Fatalf("established %d/5 calls on 20%% lossy link", established)
+	}
+}
+
+func TestInviteTimeoutWhenCalleeUnreachable(t *testing.T) {
+	// Island topology: alice's proxy knows the peer domain but the
+	// peer proxy host doesn't exist -> proxy send fails silently,
+	// alice's INVITE times out via timer B.
+	s := sim.New(3)
+	n := sim.NewNetwork(s)
+	for _, h := range []string{"ua1.a.example.com", "proxy.a.example.com"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Connect("ua1.a.example.com", "proxy.a.example.com", fastLink()); err != nil {
+		t.Fatal(err)
+	}
+	proxyA, err := NewProxy(n, "proxy.a.example.com", "a.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyA.AddPeer("b.example.com", sim.Addr{Host: "proxy.b.example.com", Port: Port})
+	alice, err := NewUA(s, n, Config{
+		User: "alice", Host: "ua1.a.example.com", Domain: "a.example.com",
+		Proxy: proxyA.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(64*TimerT1 + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallFailed {
+		t.Fatalf("state = %v, want Failed after timer B", call.State)
+	}
+}
+
+func TestByeOnNonEstablishedCallRejected(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	call, err := tb.alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.alice.Bye(call); err == nil {
+		t.Fatal("Bye on a calling-state call accepted")
+	}
+}
+
+func TestManualAnswer(t *testing.T) {
+	s := sim.New(9)
+	n := sim.NewNetwork(s)
+	for _, h := range []string{"a.host", "b.host"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Connect("a.host", "b.host", fastLink()); err != nil {
+		t.Fatal(err)
+	}
+	// Direct UA-to-UA call (no proxy): alice's "proxy" is bob.
+	bob, err := NewUA(s, n, Config{
+		User: "bob", Host: "b.host", Domain: "b.host", AutoAnswer: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := NewUA(s, n, Config{
+		User: "alice", Host: "a.host", Domain: "a.host",
+		Proxy: bob.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var incoming *Call
+	bob.OnIncoming = func(c *Call) { incoming = c }
+	call, err := alice.Invite(sipmsg.URI{User: "bob", Host: "b.host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule(3*time.Second, func() {
+		if incoming == nil {
+			t.Error("no incoming call at bob")
+			return
+		}
+		if err := bob.Answer(incoming); err != nil {
+			t.Errorf("Answer: %v", err)
+		}
+	})
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallEstablished {
+		t.Fatalf("state = %v", call.State)
+	}
+}
+
+func TestReInviteAnswered(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	call, err := tb.alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallEstablished {
+		t.Fatalf("setup failed: %v", call.State)
+	}
+
+	// Craft a re-INVITE inside the dialog, end-to-end.
+	reinvite := sipmsg.NewRequest(sipmsg.INVITE, call.RemoteContact)
+	reinvite.Via = []sipmsg.Via{ViaFor(tb.alice.Addr(), "z9hG4bKreinv")}
+	reinvite.From = sipmsg.NameAddr{URI: tb.alice.AOR()}.WithTag(call.LocalTag)
+	reinvite.To = sipmsg.NameAddr{URI: call.RemoteURI}.WithTag(call.RemoteTag)
+	reinvite.CallID = call.ID
+	reinvite.CSeq = sipmsg.CSeq{Seq: 2, Method: sipmsg.INVITE}
+	reinvite.ContentType = "application/sdp"
+	reinvite.Body = call.LocalSDP.Marshal()
+
+	var status int
+	if _, err := tb.alice.txn.Request(reinvite, AddrForURI(call.RemoteContact),
+		func(resp *sipmsg.Message) { status = resp.StatusCode }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(tb.sim.Now() + 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if status != sipmsg.StatusOK {
+		t.Fatalf("re-INVITE status = %d", status)
+	}
+}
+
+func TestTransactionStatesOnTimeout(t *testing.T) {
+	// A request into the void must retransmit and then time out.
+	s := sim.New(1)
+	n := sim.NewNetwork(s)
+	for _, h := range []string{"a.host", "sink.host"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Connect("a.host", "sink.host", fastLink()); err != nil {
+		t.Fatal(err)
+	}
+	// sink.host binds nothing: all datagrams vanish.
+	tr, err := NewTransport(n, "a.host", Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timedOut bool
+	layer := NewTxnLayer(s, tr, nopCore{})
+
+	req := sipmsg.NewRequest(sipmsg.OPTIONS, sipmsg.URI{Host: "sink.host"})
+	req.Via = []sipmsg.Via{ViaFor(tr.Addr(), "z9hG4bKtimeout")}
+	req.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "a.host"}}.WithTag("t")
+	req.To = sipmsg.NameAddr{URI: sipmsg.URI{Host: "sink.host"}}
+	req.CallID = "x@a.host"
+	req.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.OPTIONS}
+
+	ct, err := layer.Request(req, sim.Addr{Host: "sink.host", Port: Port},
+		nil, func() { timedOut = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.State() != TxnTrying {
+		t.Fatalf("initial state = %v", ct.State())
+	}
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut {
+		t.Fatal("timer F did not fire")
+	}
+	if ct.State() != TxnTerminated {
+		t.Fatalf("final state = %v", ct.State())
+	}
+	if layer.ActiveTransactions() != 0 {
+		t.Fatalf("transactions leaked: %d", layer.ActiveTransactions())
+	}
+}
+
+type nopCore struct{}
+
+func (nopCore) HandleRequest(st *ServerTxn, req *sipmsg.Message, from sim.Addr) {}
+func (nopCore) HandleStray(m *sipmsg.Message, from sim.Addr)                    {}
+
+func TestDuplicateClientTransactionRejected(t *testing.T) {
+	s := sim.New(1)
+	n := sim.NewNetwork(s)
+	for _, h := range []string{"a.host", "b.host"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Connect("a.host", "b.host", fastLink()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTransport(n, "a.host", Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := NewTxnLayer(s, tr, nopCore{})
+	req := sipmsg.NewRequest(sipmsg.OPTIONS, sipmsg.URI{Host: "b.host"})
+	req.Via = []sipmsg.Via{ViaFor(tr.Addr(), "z9hG4bKdup")}
+	req.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "a.host"}}.WithTag("t")
+	req.To = sipmsg.NameAddr{URI: sipmsg.URI{Host: "b.host"}}
+	req.CallID = "dup@a.host"
+	req.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.OPTIONS}
+	dest := sim.Addr{Host: "b.host", Port: Port}
+	if _, err := layer.Request(req, dest, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := layer.Request(req, dest, nil, nil); err == nil {
+		t.Fatal("duplicate transaction accepted")
+	}
+}
+
+func TestIDGenShapes(t *testing.T) {
+	g := NewIDGen(sim.NewRNG(1), "h.example.com")
+	b := g.Branch()
+	if len(b) != len("z9hG4bK")+10 || b[:7] != "z9hG4bK" {
+		t.Fatalf("branch = %q", b)
+	}
+	if tag := g.Tag(); len(tag) != 8 {
+		t.Fatalf("tag = %q", tag)
+	}
+	cid := g.CallID()
+	if len(cid) != 12+1+len("h.example.com") {
+		t.Fatalf("call-id = %q", cid)
+	}
+	// Distinctness.
+	if g.Branch() == g.Branch() {
+		t.Fatal("branches collide")
+	}
+	if g.SSRC() == g.SSRC() {
+		t.Fatal("SSRCs collide")
+	}
+}
+
+func TestTxnStateString(t *testing.T) {
+	for st, want := range map[TxnState]string{
+		TxnCalling: "Calling", TxnTrying: "Trying", TxnProceeding: "Proceeding",
+		TxnCompleted: "Completed", TxnConfirmed: "Confirmed", TxnTerminated: "Terminated",
+		TxnState(42): "TxnState(42)",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d.String() = %q", int(st), st.String())
+		}
+	}
+}
+
+func TestCallStateString(t *testing.T) {
+	for st, want := range map[CallState]string{
+		CallCalling: "Calling", CallRinging: "Ringing", CallIncoming: "Incoming",
+		CallEstablished: "Established", CallTerminated: "Terminated",
+		CallCancelled: "Cancelled", CallFailed: "Failed", CallState(42): "CallState(42)",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d.String() = %q", int(st), st.String())
+		}
+	}
+}
+
+func TestUAStatsCounters(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	call, err := tb.alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.sim.Schedule(10*time.Second, func() { _ = tb.alice.Bye(call) })
+	if err := tb.sim.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	placed, _, established, failed := tb.alice.Stats()
+	if placed != 1 || established != 1 || failed != 0 {
+		t.Fatalf("alice stats = %d/%d/%d", placed, established, failed)
+	}
+	_, answered, _, _ := tb.bob.Stats()
+	if answered != 1 {
+		t.Fatalf("bob answered = %d", answered)
+	}
+}
+
+func TestSDPDefaultsApplied(t *testing.T) {
+	s := sim.New(1)
+	n := sim.NewNetwork(s)
+	if err := n.AddHost("h.x"); err != nil {
+		t.Fatal(err)
+	}
+	ua, err := NewUA(s, n, Config{User: "u", Host: "h.x", Domain: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua.Config().Payload != sdp.PayloadG729 {
+		t.Fatalf("default payload = %d, want G.729", ua.Config().Payload)
+	}
+	if ua.Config().RTPPort == 0 {
+		t.Fatal("default RTP port not applied")
+	}
+}
+
+func TestDeclineBusy(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	tb.bob.OnIncoming = func(c *Call) {
+		if err := tb.bob.Decline(c, sipmsg.StatusBusyHere); err != nil {
+			t.Errorf("Decline: %v", err)
+		}
+	}
+	call, err := tb.alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallFailed {
+		t.Fatalf("caller state = %v, want Failed after 486", call.State)
+	}
+	bobCall := tb.bob.Calls()[call.ID]
+	if bobCall == nil || bobCall.State != CallFailed {
+		t.Fatalf("callee leg = %+v", bobCall)
+	}
+}
+
+func TestDeclineValidation(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	call, err := tb.alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Established call cannot be declined.
+	bobCall := tb.bob.Calls()[call.ID]
+	if bobCall == nil {
+		t.Fatal("no callee leg")
+	}
+	if err := tb.bob.Decline(bobCall, sipmsg.StatusBusyHere); err == nil {
+		t.Fatal("Decline on established call accepted")
+	}
+}
+
+func TestProxy100TryingQuenchesRetransmissions(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	tb.proxyA.SendTrying = true
+	tb.proxyB.SendTrying = true
+
+	call, err := tb.alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any 180 (bob rings after 100ms), the 100 Trying from the
+	// proxy must already have moved the INVITE transaction to
+	// Proceeding, cancelling timer-A retransmissions.
+	if err := tb.sim.Run(tb.sim.Now() + 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if st := call.inviteTxn.State(); st != TxnProceeding {
+		t.Fatalf("INVITE txn state = %v, want Proceeding after 100 Trying", st)
+	}
+	if err := tb.sim.Run(tb.sim.Now() + 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallEstablished {
+		t.Fatalf("call state = %v", call.State)
+	}
+}
+
+func TestReinviteAPI(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	call, err := tb.alice.Invite(sipmsg.URI{User: "bob", Host: "b.example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallEstablished {
+		t.Fatalf("setup failed: %v", call.State)
+	}
+	if err := tb.alice.Reinvite(call); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(tb.sim.Now() + 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The call survives the refresh and can still be torn down.
+	if call.State != CallEstablished {
+		t.Fatalf("state after re-INVITE = %v", call.State)
+	}
+	if err := tb.alice.Bye(call); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(tb.sim.Now() + 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if call.State != CallTerminated {
+		t.Fatalf("state after BYE = %v", call.State)
+	}
+	// Reinvite on a dead call is rejected.
+	if err := tb.alice.Reinvite(call); err == nil {
+		t.Fatal("Reinvite on terminated call accepted")
+	}
+}
+
+func TestProxyRejectsExhaustedMaxForwards(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	// Hand-craft a request with Max-Forwards 0 straight to proxy B.
+	req := sipmsg.NewRequest(sipmsg.INVITE, sipmsg.URI{User: "bob", Host: "b.example.com"})
+	req.MaxForwards = 0
+	req.Via = []sipmsg.Via{ViaFor(tb.alice.Addr(), "z9hG4bKmf0")}
+	req.From = sipmsg.NameAddr{URI: tb.alice.AOR()}.WithTag("t")
+	req.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: "b.example.com"}}
+	req.CallID = "mf0@x"
+	req.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE}
+
+	var status int
+	tr, err := NewTransport(tb.net, "ua1.a.example.com", 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.OnMessage(func(m *sipmsg.Message, from sim.Addr) {
+		if m.IsResponse() {
+			status = m.StatusCode
+		}
+	})
+	req.Via = []sipmsg.Via{ViaFor(tr.Addr(), "z9hG4bKmf0")}
+	if err := tr.Send(tb.proxyB.Addr(), req); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(tb.sim.Now() + 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if status != sipmsg.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 for Max-Forwards 0", status)
+	}
+}
+
+func TestProxyRejectsRegisterWithoutContact(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	tr, err := NewTransport(tb.net, "ua1.a.example.com", 6001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status int
+	tr.OnMessage(func(m *sipmsg.Message, from sim.Addr) {
+		if m.IsResponse() {
+			status = m.StatusCode
+		}
+	})
+	reg := sipmsg.NewRequest(sipmsg.REGISTER, sipmsg.URI{Host: "a.example.com"})
+	reg.Via = []sipmsg.Via{ViaFor(tr.Addr(), "z9hG4bKnoct")}
+	reg.From = sipmsg.NameAddr{URI: tb.alice.AOR()}.WithTag("t")
+	reg.To = sipmsg.NameAddr{URI: tb.alice.AOR()}
+	reg.CallID = "noct@x"
+	reg.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.REGISTER}
+	if err := tr.Send(tb.proxyA.Addr(), reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(tb.sim.Now() + 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if status != sipmsg.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 for contact-less REGISTER", status)
+	}
+}
+
+func TestProxyDropsForeignResponse(t *testing.T) {
+	tb := newTestbed(t, fastLink())
+	_, _, _, rejectedBefore := tb.proxyB.Stats()
+	// A response whose top Via is not the proxy: must be dropped.
+	resp := &sipmsg.Message{
+		StatusCode: 200, Reason: "OK",
+		Via: []sipmsg.Via{
+			{Transport: "UDP", Host: "somewhere.else", Port: 5060,
+				Params: map[string]string{"branch": "z9hG4bKx"}},
+			{Transport: "UDP", Host: "ua1.a.example.com", Port: 5060,
+				Params: map[string]string{"branch": "z9hG4bKy"}},
+		},
+		From:   sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "a.example.com"}, Params: map[string]string{"tag": "1"}},
+		To:     sipmsg.NameAddr{URI: sipmsg.URI{User: "b", Host: "b.example.com"}, Params: map[string]string{"tag": "2"}},
+		CallID: "foreign@x",
+		CSeq:   sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE},
+	}
+	tr, err := NewTransport(tb.net, "ua1.a.example.com", 6002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(tb.proxyB.Addr(), resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.sim.Run(tb.sim.Now() + 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, rejectedAfter := tb.proxyB.Stats()
+	if rejectedAfter != rejectedBefore+1 {
+		t.Fatalf("rejected = %d -> %d, want +1", rejectedBefore, rejectedAfter)
+	}
+}
+
+func TestPhoneCapacity486WhenSaturated(t *testing.T) {
+	s := sim.New(31)
+	n := sim.NewNetwork(s)
+	for _, h := range []string{"a.host", "b.host"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Connect("a.host", "b.host", fastLink()); err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewUA(s, n, Config{
+		User: "bob", Host: "b.host", Domain: "b.host",
+		AutoAnswer: true, AnswerDelay: 30 * time.Second, // stays ringing
+		MaxCalls: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := NewUA(s, n, Config{
+		User: "alice", Host: "a.host", Domain: "a.host", Proxy: bob.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls []*Call
+	for i := 0; i < 3; i++ {
+		c, err := alice.Invite(sipmsg.URI{User: "bob", Host: "b.host"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, c)
+	}
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Two ring, the third is declined 486.
+	ringing, failed := 0, 0
+	for _, c := range calls {
+		switch c.State {
+		case CallRinging:
+			ringing++
+		case CallFailed:
+			failed++
+		}
+	}
+	if ringing != 2 || failed != 1 {
+		t.Fatalf("ringing=%d failed=%d, want 2/1", ringing, failed)
+	}
+	if bob.ActiveCalls() != 2 {
+		t.Fatalf("bob active = %d", bob.ActiveCalls())
+	}
+}

@@ -1,0 +1,430 @@
+package sip
+
+import (
+	"fmt"
+	"time"
+
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// RFC 3261 §17.1.1.1 timer values over UDP.
+const (
+	TimerT1 = 500 * time.Millisecond // RTT estimate
+	TimerT2 = 4 * time.Second        // maximum retransmit interval
+	TimerT4 = 5 * time.Second        // maximum message lifetime
+)
+
+// TxnState enumerates the RFC 3261 transaction states.
+type TxnState int
+
+// Transaction states. Calling/Trying are the initial client states,
+// Confirmed exists only for INVITE server transactions.
+const (
+	TxnCalling TxnState = iota + 1
+	TxnTrying
+	TxnProceeding
+	TxnCompleted
+	TxnConfirmed
+	TxnTerminated
+)
+
+func (s TxnState) String() string {
+	switch s {
+	case TxnCalling:
+		return "Calling"
+	case TxnTrying:
+		return "Trying"
+	case TxnProceeding:
+		return "Proceeding"
+	case TxnCompleted:
+		return "Completed"
+	case TxnConfirmed:
+		return "Confirmed"
+	case TxnTerminated:
+		return "Terminated"
+	default:
+		return fmt.Sprintf("TxnState(%d)", int(s))
+	}
+}
+
+// Core is the transaction user: the UA layer above the transactions.
+type Core interface {
+	// HandleRequest delivers a new incoming request with its freshly
+	// created server transaction.
+	HandleRequest(st *ServerTxn, req *sipmsg.Message, from sim.Addr)
+	// HandleStray delivers messages that match no transaction:
+	// ACKs for 2xx responses, retransmitted 200 OKs, out-of-the-blue
+	// responses.
+	HandleStray(m *sipmsg.Message, from sim.Addr)
+}
+
+// TxnLayer multiplexes client and server transactions over one
+// transport.
+type TxnLayer struct {
+	sim  *sim.Simulator
+	tr   *Transport
+	core Core
+
+	client map[string]*ClientTxn
+	server map[string]*ServerTxn
+}
+
+// NewTxnLayer wires a transaction layer to a transport. The core
+// receives everything the transactions pass up.
+func NewTxnLayer(s *sim.Simulator, tr *Transport, core Core) *TxnLayer {
+	l := &TxnLayer{
+		sim:    s,
+		tr:     tr,
+		core:   core,
+		client: make(map[string]*ClientTxn),
+		server: make(map[string]*ServerTxn),
+	}
+	tr.OnMessage(l.dispatch)
+	return l
+}
+
+// ActiveTransactions reports how many transactions are live.
+func (l *TxnLayer) ActiveTransactions() int { return len(l.client) + len(l.server) }
+
+func (l *TxnLayer) dispatch(m *sipmsg.Message, from sim.Addr) {
+	key := m.TransactionKey()
+	if m.IsResponse() {
+		if ct, ok := l.client[key]; ok {
+			ct.receive(m)
+			return
+		}
+		l.core.HandleStray(m, from)
+		return
+	}
+	if st, ok := l.server[key]; ok {
+		st.receive(m)
+		return
+	}
+	if m.Method == sipmsg.ACK {
+		// ACK for a 2xx: its INVITE transaction is already gone by
+		// design (RFC 3261 §13.3.1.4) — the TU handles it.
+		l.core.HandleStray(m, from)
+		return
+	}
+	st := newServerTxn(l, key, m, from)
+	l.server[key] = st
+	l.core.HandleRequest(st, m, from)
+}
+
+// ---------------------------------------------------------------------------
+// Client transactions (RFC 3261 §17.1)
+// ---------------------------------------------------------------------------
+
+// ClientTxn drives one outgoing request.
+type ClientTxn struct {
+	layer  *TxnLayer
+	key    string
+	invite bool
+	req    *sipmsg.Message
+	dest   sim.Addr
+	state  TxnState
+
+	onResponse func(*sipmsg.Message)
+	onTimeout  func()
+
+	interval time.Duration
+	gen      uint64 // invalidates timers scheduled for an older state
+}
+
+// Request starts a client transaction sending req to dest. Responses
+// (provisional and final) are delivered to onResponse; a transaction
+// timeout (no response within 64*T1) fires onTimeout.
+func (l *TxnLayer) Request(req *sipmsg.Message, dest sim.Addr,
+	onResponse func(*sipmsg.Message), onTimeout func()) (*ClientTxn, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	key := req.TransactionKey()
+	if _, dup := l.client[key]; dup {
+		return nil, fmt.Errorf("sip: duplicate client transaction %q", key)
+	}
+	ct := &ClientTxn{
+		layer:      l,
+		key:        key,
+		invite:     req.Method == sipmsg.INVITE,
+		req:        req,
+		dest:       dest,
+		onResponse: onResponse,
+		onTimeout:  onTimeout,
+		interval:   TimerT1,
+	}
+	if ct.invite {
+		ct.state = TxnCalling
+	} else {
+		ct.state = TxnTrying
+	}
+	l.client[key] = ct
+
+	if err := l.tr.Send(dest, req); err != nil {
+		delete(l.client, key)
+		return nil, err
+	}
+	ct.armRetransmit()
+	ct.armTimeout()
+	return ct, nil
+}
+
+// State reports the current transaction state.
+func (ct *ClientTxn) State() TxnState { return ct.state }
+
+// Request returns the request this transaction carries.
+func (ct *ClientTxn) Request() *sipmsg.Message { return ct.req }
+
+func (ct *ClientTxn) armRetransmit() {
+	gen := ct.gen
+	ct.layer.sim.Schedule(ct.interval, func() {
+		if ct.gen != gen {
+			return
+		}
+		if ct.state != TxnCalling && ct.state != TxnTrying {
+			return
+		}
+		// Retransmit (timer A / timer E).
+		_ = ct.layer.tr.Send(ct.dest, ct.req)
+		ct.interval *= 2
+		if !ct.invite && ct.interval > TimerT2 {
+			ct.interval = TimerT2
+		}
+		ct.armRetransmit()
+	})
+}
+
+func (ct *ClientTxn) armTimeout() {
+	ct.layer.sim.Schedule(64*TimerT1, func() {
+		// Timer B fires only while the INVITE is still unanswered
+		// (Calling); timer F fires while a non-INVITE request has no
+		// final response (Trying or Proceeding). RFC 3261 §17.1.
+		stillWaiting := ct.state == TxnCalling ||
+			(!ct.invite && (ct.state == TxnTrying || ct.state == TxnProceeding))
+		if !stillWaiting {
+			return
+		}
+		ct.terminate()
+		if ct.onTimeout != nil {
+			ct.onTimeout()
+		}
+	})
+}
+
+func (ct *ClientTxn) receive(resp *sipmsg.Message) {
+	switch ct.state {
+	case TxnCalling, TxnTrying:
+		if resp.IsProvisional() {
+			ct.transition(TxnProceeding)
+			ct.deliver(resp)
+			return
+		}
+		ct.final(resp)
+	case TxnProceeding:
+		if resp.IsProvisional() {
+			ct.deliver(resp)
+			return
+		}
+		ct.final(resp)
+	case TxnCompleted:
+		// Retransmitted final response: re-ACK non-2xx INVITE finals
+		// (RFC 3261 §17.1.1.2), absorb otherwise.
+		if ct.invite && !resp.IsSuccess() {
+			ct.sendAck(resp)
+		}
+	case TxnTerminated:
+		// Late retransmission; drop.
+	}
+}
+
+func (ct *ClientTxn) final(resp *sipmsg.Message) {
+	if ct.invite {
+		if resp.IsSuccess() {
+			// 2xx: the transaction terminates at once; the TU sends
+			// the ACK end-to-end (RFC 3261 §13.2.2.4).
+			ct.terminate()
+			ct.deliver(resp)
+			return
+		}
+		// Non-2xx final: ACK at the transaction layer, linger in
+		// Completed for timer D to absorb retransmissions.
+		ct.transition(TxnCompleted)
+		ct.sendAck(resp)
+		ct.deliver(resp)
+		gen := ct.gen
+		ct.layer.sim.Schedule(32*time.Second, func() { // timer D
+			if ct.gen == gen {
+				ct.terminate()
+			}
+		})
+		return
+	}
+	ct.transition(TxnCompleted)
+	ct.deliver(resp)
+	gen := ct.gen
+	ct.layer.sim.Schedule(TimerT4, func() { // timer K
+		if ct.gen == gen {
+			ct.terminate()
+		}
+	})
+}
+
+// sendAck builds and sends the transaction-layer ACK for a non-2xx
+// final response (RFC 3261 §17.1.1.3: same branch as the INVITE).
+func (ct *ClientTxn) sendAck(resp *sipmsg.Message) {
+	ack := sipmsg.NewRequest(sipmsg.ACK, ct.req.RequestURI)
+	ack.Via = []sipmsg.Via{ct.req.TopVia()}
+	ack.From = ct.req.From
+	ack.To = resp.To
+	ack.CallID = ct.req.CallID
+	ack.CSeq = sipmsg.CSeq{Seq: ct.req.CSeq.Seq, Method: sipmsg.ACK}
+	_ = ct.layer.tr.Send(ct.dest, ack)
+}
+
+func (ct *ClientTxn) deliver(resp *sipmsg.Message) {
+	if ct.onResponse != nil {
+		ct.onResponse(resp)
+	}
+}
+
+func (ct *ClientTxn) transition(s TxnState) {
+	ct.state = s
+	ct.gen++
+}
+
+func (ct *ClientTxn) terminate() {
+	ct.transition(TxnTerminated)
+	delete(ct.layer.client, ct.key)
+}
+
+// ---------------------------------------------------------------------------
+// Server transactions (RFC 3261 §17.2)
+// ---------------------------------------------------------------------------
+
+// ServerTxn absorbs request retransmissions and retransmits responses.
+type ServerTxn struct {
+	layer  *TxnLayer
+	key    string
+	invite bool
+	req    *sipmsg.Message
+	peer   sim.Addr
+	state  TxnState
+
+	lastResponse *sipmsg.Message
+	interval     time.Duration
+	gen          uint64
+}
+
+func newServerTxn(l *TxnLayer, key string, req *sipmsg.Message, from sim.Addr) *ServerTxn {
+	st := &ServerTxn{
+		layer:  l,
+		key:    key,
+		invite: req.Method == sipmsg.INVITE,
+		req:    req,
+		peer:   from,
+		state:  TxnTrying,
+	}
+	if st.invite {
+		st.state = TxnProceeding
+	}
+	return st
+}
+
+// State reports the current transaction state.
+func (st *ServerTxn) State() TxnState { return st.state }
+
+// Request returns the request that created this transaction.
+func (st *ServerTxn) Request() *sipmsg.Message { return st.req }
+
+// Peer returns the address the request arrived from (where responses
+// go, per the UDP response-routing shortcut of the testbed).
+func (st *ServerTxn) Peer() sim.Addr { return st.peer }
+
+func (st *ServerTxn) receive(req *sipmsg.Message) {
+	switch {
+	case req.Method == sipmsg.ACK && st.invite:
+		if st.state == TxnCompleted {
+			// Non-2xx final acknowledged (RFC 3261 §17.2.1).
+			st.transition(TxnConfirmed)
+			gen := st.gen
+			st.layer.sim.Schedule(TimerT4, func() { // timer I
+				if st.gen == gen {
+					st.terminate()
+				}
+			})
+		}
+	default:
+		// Retransmitted request: replay the last response, if any.
+		if st.lastResponse != nil {
+			_ = st.layer.tr.Send(st.peer, st.lastResponse)
+		}
+	}
+}
+
+// Respond sends a response on the transaction, driving the server
+// state machine.
+func (st *ServerTxn) Respond(resp *sipmsg.Message) error {
+	if st.state == TxnTerminated {
+		return fmt.Errorf("sip: respond on terminated transaction %q", st.key)
+	}
+	st.lastResponse = resp
+	if err := st.layer.tr.Send(st.peer, resp); err != nil {
+		return err
+	}
+	if resp.IsProvisional() {
+		st.state = TxnProceeding
+		return nil
+	}
+	if st.invite {
+		if resp.IsSuccess() {
+			// 2xx: terminate immediately; the TU owns 2xx
+			// retransmission and the ACK (RFC 3261 §13.3.1.4).
+			st.terminate()
+			return nil
+		}
+		st.transition(TxnCompleted)
+		st.interval = TimerT1
+		st.armResponseRetransmit() // timer G
+		gen := st.gen
+		st.layer.sim.Schedule(64*TimerT1, func() { // timer H
+			if st.gen == gen && st.state == TxnCompleted {
+				st.terminate()
+			}
+		})
+		return nil
+	}
+	st.transition(TxnCompleted)
+	gen := st.gen
+	st.layer.sim.Schedule(64*TimerT1, func() { // timer J
+		if st.gen == gen {
+			st.terminate()
+		}
+	})
+	return nil
+}
+
+func (st *ServerTxn) armResponseRetransmit() {
+	gen := st.gen
+	st.layer.sim.Schedule(st.interval, func() {
+		if st.gen != gen || st.state != TxnCompleted {
+			return
+		}
+		_ = st.layer.tr.Send(st.peer, st.lastResponse)
+		st.interval *= 2
+		if st.interval > TimerT2 {
+			st.interval = TimerT2
+		}
+		st.armResponseRetransmit()
+	})
+}
+
+func (st *ServerTxn) transition(s TxnState) {
+	st.state = s
+	st.gen++
+}
+
+func (st *ServerTxn) terminate() {
+	st.transition(TxnTerminated)
+	delete(st.layer.server, st.key)
+}

@@ -1,0 +1,689 @@
+package sip
+
+import (
+	"fmt"
+	"time"
+
+	"vids/internal/sdp"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// CallState tracks the lifecycle of a call at a user agent.
+type CallState int
+
+// Call lifecycle states.
+const (
+	CallCalling  CallState = iota + 1 // INVITE sent, no response yet
+	CallRinging                       // 180 received / sent
+	CallIncoming                      // INVITE received, not yet answered
+	CallEstablished
+	CallTerminated // BYE completed
+	CallCancelled  // CANCEL completed
+	CallFailed     // final non-2xx or timeout
+)
+
+func (s CallState) String() string {
+	switch s {
+	case CallCalling:
+		return "Calling"
+	case CallRinging:
+		return "Ringing"
+	case CallIncoming:
+		return "Incoming"
+	case CallEstablished:
+		return "Established"
+	case CallTerminated:
+		return "Terminated"
+	case CallCancelled:
+		return "Cancelled"
+	case CallFailed:
+		return "Failed"
+	default:
+		return fmt.Sprintf("CallState(%d)", int(s))
+	}
+}
+
+// Call is one call leg at a UA.
+type Call struct {
+	ID       string // Call-ID
+	Outgoing bool
+	State    CallState
+
+	LocalTag      string
+	RemoteTag     string
+	RemoteURI     sipmsg.URI
+	RemoteContact sipmsg.URI
+
+	LocalSDP  *sdp.Description
+	RemoteSDP *sdp.Description
+
+	// LocalRTPPort is the media port this leg advertised in its SDP.
+	// Each call gets a distinct port so one phone can hold several
+	// simultaneous calls (paper Section 3.1).
+	LocalRTPPort int
+
+	// Timeline in virtual time; zero-valued fields mean "not yet".
+	InviteAt      time.Duration
+	RingingAt     time.Duration
+	EstablishedAt time.Duration
+	EndedAt       time.Duration
+
+	ua          *UA
+	inviteTxn   *ClientTxn
+	inviteSrv   *ServerTxn
+	localCSeq   uint32
+	okRetries   int
+	ackReceived bool
+}
+
+// SetupDelay is the paper's call-setup metric: time from sending the
+// INVITE to receiving the 180 Ringing (Section 7.2). ok is false until
+// the 180 arrives.
+func (c *Call) SetupDelay() (time.Duration, bool) {
+	if !c.Outgoing || c.RingingAt == 0 {
+		return 0, false
+	}
+	return c.RingingAt - c.InviteAt, true
+}
+
+// Config parameterizes a user agent.
+type Config struct {
+	User   string // "ua1"
+	Host   string // node name, e.g. "ua1.a.example.com"
+	Domain string // "a.example.com"
+	Proxy  sim.Addr
+
+	RTPPort int
+	Payload int // offered codec payload type (default G.729)
+
+	// RingDelay is how long the callee waits before sending 180;
+	// AnswerDelay how long it rings before the 200 OK.
+	RingDelay   time.Duration
+	AnswerDelay time.Duration
+	AutoAnswer  bool
+
+	// MaxCalls bounds the simultaneous calls the phone can handle
+	// ("IP phones have the capability of generating multiple calls at
+	// the same time but can only support a few", paper Section 3.1).
+	// Incoming INVITEs beyond the limit are declined 486 Busy Here.
+	// Zero means unlimited.
+	MaxCalls int
+
+	// SharedSecret, when non-empty, enables digest-style
+	// authentication of in-dialog BYEs (RFC 3261 §22): the UAS
+	// challenges unauthenticated BYEs with 401 and tears down only
+	// for holders of the secret. The paper's threat discussion notes
+	// that this stops outsider spoofing but not misbehaving
+	// authenticated endpoints (Section 3.1).
+	SharedSecret string
+}
+
+// UA is a SIP user agent: UAC and UAS combined (paper Section 2.1).
+type UA struct {
+	cfg   Config
+	sim   *sim.Simulator
+	tr    *Transport
+	txn   *TxnLayer
+	idgen *IDGen
+
+	calls   map[string]*Call
+	nextRTP int
+
+	// Event hooks, all optional.
+	OnIncoming    func(*Call)
+	OnRinging     func(*Call)
+	OnEstablished func(*Call)
+	OnEnded       func(*Call)
+	// OnHangingUp fires the moment the local user hangs up (BYE about
+	// to be sent), before the teardown handshake completes. Real
+	// phones stop their media stream at this instant, not when the
+	// 200 OK eventually arrives.
+	OnHangingUp func(*Call)
+
+	placed      int
+	answered    int
+	established int
+	failed      int
+}
+
+var _ Core = (*UA)(nil)
+
+// NewUA creates and binds a user agent.
+func NewUA(s *sim.Simulator, network *sim.Network, cfg Config) (*UA, error) {
+	if cfg.Payload == 0 {
+		cfg.Payload = sdp.PayloadG729
+	}
+	if cfg.RTPPort == 0 {
+		cfg.RTPPort = 20000
+	}
+	tr, err := NewTransport(network, cfg.Host, Port)
+	if err != nil {
+		return nil, err
+	}
+	ua := &UA{
+		cfg:   cfg,
+		sim:   s,
+		tr:    tr,
+		idgen: NewIDGen(s.RNG(), cfg.Host),
+		calls: make(map[string]*Call),
+	}
+	ua.txn = NewTxnLayer(s, tr, ua)
+	return ua, nil
+}
+
+// Config returns the UA configuration.
+func (ua *UA) Config() Config { return ua.cfg }
+
+// Addr returns the UA's SIP transport address.
+func (ua *UA) Addr() sim.Addr { return ua.tr.Addr() }
+
+// AOR returns the UA's address-of-record (user@domain).
+func (ua *UA) AOR() sipmsg.URI { return sipmsg.URI{User: ua.cfg.User, Host: ua.cfg.Domain} }
+
+// ContactURI returns the UA's device URI (user@host).
+func (ua *UA) ContactURI() sipmsg.URI { return sipmsg.URI{User: ua.cfg.User, Host: ua.cfg.Host} }
+
+// Calls returns the UA's call table (live view, keyed by Call-ID).
+func (ua *UA) Calls() map[string]*Call { return ua.calls }
+
+// Stats reports (placed, answered, established, failed) call counts.
+func (ua *UA) Stats() (placed, answered, established, failed int) {
+	return ua.placed, ua.answered, ua.established, ua.failed
+}
+
+// Register sends a REGISTER to the configured proxy, binding the AOR
+// to the UA's contact.
+func (ua *UA) Register() error {
+	req := sipmsg.NewRequest(sipmsg.REGISTER, sipmsg.URI{Host: ua.cfg.Domain})
+	req.Via = []sipmsg.Via{ViaFor(ua.Addr(), ua.idgen.Branch())}
+	req.From = sipmsg.NameAddr{URI: ua.AOR()}.WithTag(ua.idgen.Tag())
+	req.To = sipmsg.NameAddr{URI: ua.AOR()}
+	req.CallID = ua.idgen.CallID()
+	req.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.REGISTER}
+	contact := sipmsg.NameAddr{URI: ua.ContactURI()}
+	req.Contact = &contact
+	req.Expires = 3600
+	_, err := ua.txn.Request(req, ua.cfg.Proxy, nil, nil)
+	return err
+}
+
+// Invite places a call to the target address-of-record via the
+// outbound proxy. The returned Call progresses through the hooks.
+func (ua *UA) Invite(target sipmsg.URI) (*Call, error) {
+	call := &Call{
+		ID:        ua.idgen.CallID(),
+		Outgoing:  true,
+		State:     CallCalling,
+		LocalTag:  ua.idgen.Tag(),
+		RemoteURI: target,
+		InviteAt:  ua.sim.Now(),
+		ua:        ua,
+		localCSeq: 1,
+	}
+	call.LocalRTPPort = ua.allocRTPPort()
+	call.LocalSDP = sdp.New(ua.cfg.User, ua.cfg.Host, call.LocalRTPPort, ua.cfg.Payload)
+
+	req := sipmsg.NewRequest(sipmsg.INVITE, target)
+	req.Via = []sipmsg.Via{ViaFor(ua.Addr(), ua.idgen.Branch())}
+	req.From = sipmsg.NameAddr{URI: ua.AOR()}.WithTag(call.LocalTag)
+	req.To = sipmsg.NameAddr{URI: target}
+	req.CallID = call.ID
+	req.CSeq = sipmsg.CSeq{Seq: call.localCSeq, Method: sipmsg.INVITE}
+	contact := sipmsg.NameAddr{URI: ua.ContactURI()}
+	req.Contact = &contact
+	req.ContentType = "application/sdp"
+	req.Body = call.LocalSDP.Marshal()
+
+	txn, err := ua.txn.Request(req, ua.cfg.Proxy,
+		func(resp *sipmsg.Message) { ua.onInviteResponse(call, resp) },
+		func() { ua.endCall(call, CallFailed) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	call.inviteTxn = txn
+	ua.calls[call.ID] = call
+	ua.placed++
+	return call, nil
+}
+
+func (ua *UA) onInviteResponse(call *Call, resp *sipmsg.Message) {
+	switch {
+	case resp.IsProvisional():
+		if resp.StatusCode == sipmsg.StatusRinging && call.State == CallCalling {
+			call.State = CallRinging
+			call.RingingAt = ua.sim.Now()
+			if ua.OnRinging != nil {
+				ua.OnRinging(call)
+			}
+		}
+	case resp.IsSuccess():
+		if call.State == CallTerminated || call.State == CallCancelled {
+			return
+		}
+		call.RemoteTag = resp.To.Tag()
+		if resp.Contact != nil {
+			call.RemoteContact = resp.Contact.URI
+		} else {
+			call.RemoteContact = call.RemoteURI
+		}
+		if len(resp.Body) > 0 {
+			if answer, err := sdp.Parse(resp.Body); err == nil {
+				call.RemoteSDP = answer
+			}
+		}
+		ua.sendAck(call)
+		if call.State != CallEstablished {
+			call.State = CallEstablished
+			call.EstablishedAt = ua.sim.Now()
+			ua.established++
+			if ua.OnEstablished != nil {
+				ua.OnEstablished(call)
+			}
+		}
+	default:
+		// Final non-2xx.
+		if call.State == CallCalling || call.State == CallRinging {
+			state := CallFailed
+			if resp.StatusCode == sipmsg.StatusRequestTerminated {
+				state = CallCancelled
+			}
+			ua.endCall(call, state)
+		}
+	}
+}
+
+// sendAck transmits the 2xx ACK end-to-end to the remote contact.
+func (ua *UA) sendAck(call *Call) {
+	ack := sipmsg.NewRequest(sipmsg.ACK, call.RemoteContact)
+	ack.Via = []sipmsg.Via{ViaFor(ua.Addr(), ua.idgen.Branch())}
+	ack.From = sipmsg.NameAddr{URI: ua.AOR()}.WithTag(call.LocalTag)
+	ack.To = sipmsg.NameAddr{URI: call.RemoteURI}.WithTag(call.RemoteTag)
+	ack.CallID = call.ID
+	ack.CSeq = sipmsg.CSeq{Seq: call.localCSeq, Method: sipmsg.ACK}
+	_ = ua.tr.Send(AddrForURI(call.RemoteContact), ack)
+}
+
+// Bye tears down an established call: an end-to-end BYE to the remote
+// contact (paper Section 3.1). When the deployment uses shared-secret
+// authentication, the first BYE draws a 401 challenge and is retried
+// with credentials.
+func (ua *UA) Bye(call *Call) error {
+	if call.State != CallEstablished {
+		return fmt.Errorf("sip: Bye on %s call %s", call.State, call.ID)
+	}
+	if ua.OnHangingUp != nil {
+		ua.OnHangingUp(call)
+	}
+	return ua.sendBye(call, "")
+}
+
+func (ua *UA) sendBye(call *Call, nonce string) error {
+	call.localCSeq++
+	req := sipmsg.NewRequest(sipmsg.BYE, call.RemoteContact)
+	req.Via = []sipmsg.Via{ViaFor(ua.Addr(), ua.idgen.Branch())}
+	req.From = sipmsg.NameAddr{URI: ua.AOR()}.WithTag(call.LocalTag)
+	req.To = sipmsg.NameAddr{URI: call.RemoteURI}.WithTag(call.RemoteTag)
+	req.CallID = call.ID
+	req.CSeq = sipmsg.CSeq{Seq: call.localCSeq, Method: sipmsg.BYE}
+	if nonce != "" && ua.cfg.SharedSecret != "" {
+		authorize(req, ua.cfg.User, ua.cfg.SharedSecret, nonce)
+	}
+
+	_, err := ua.txn.Request(req, AddrForURI(call.RemoteContact),
+		func(resp *sipmsg.Message) {
+			switch {
+			case resp.StatusCode == sipmsg.StatusUnauthorized && nonce == "":
+				if vals := resp.Other["WWW-Authenticate"]; len(vals) > 0 {
+					if n, ok := parseChallenge(vals[0]); ok {
+						_ = ua.sendBye(call, n)
+						return
+					}
+				}
+				ua.endCall(call, CallFailed)
+			case resp.IsFinal():
+				ua.endCall(call, CallTerminated)
+			}
+		},
+		func() {
+			// No response at all: consider the dialog dead locally.
+			ua.endCall(call, CallTerminated)
+		})
+	return err
+}
+
+// Reinvite sends an in-dialog INVITE that refreshes the established
+// session (the hold/resume flow; paper Section 2.1: "unless it is
+// explicitly requested through a re-invite message").
+func (ua *UA) Reinvite(call *Call) error {
+	if call.State != CallEstablished {
+		return fmt.Errorf("sip: Reinvite on %s call %s", call.State, call.ID)
+	}
+	call.localCSeq++
+	req := sipmsg.NewRequest(sipmsg.INVITE, call.RemoteContact)
+	req.Via = []sipmsg.Via{ViaFor(ua.Addr(), ua.idgen.Branch())}
+	req.From = sipmsg.NameAddr{URI: ua.AOR()}.WithTag(call.LocalTag)
+	req.To = sipmsg.NameAddr{URI: call.RemoteURI}.WithTag(call.RemoteTag)
+	req.CallID = call.ID
+	req.CSeq = sipmsg.CSeq{Seq: call.localCSeq, Method: sipmsg.INVITE}
+	contact := sipmsg.NameAddr{URI: ua.ContactURI()}
+	req.Contact = &contact
+	req.ContentType = "application/sdp"
+	req.Body = call.LocalSDP.Marshal()
+
+	seq := call.localCSeq
+	_, err := ua.txn.Request(req, AddrForURI(call.RemoteContact),
+		func(resp *sipmsg.Message) {
+			if resp.IsSuccess() && call.State == CallEstablished {
+				ack := sipmsg.NewRequest(sipmsg.ACK, call.RemoteContact)
+				ack.Via = []sipmsg.Via{ViaFor(ua.Addr(), ua.idgen.Branch())}
+				ack.From = req.From
+				ack.To = resp.To
+				ack.CallID = call.ID
+				ack.CSeq = sipmsg.CSeq{Seq: seq, Method: sipmsg.ACK}
+				_ = ua.tr.Send(AddrForURI(call.RemoteContact), ack)
+			}
+		}, nil)
+	return err
+}
+
+// Cancel aborts a pending outgoing INVITE (RFC 3261 §9.1): same
+// branch, same CSeq number with method CANCEL, routed like the INVITE.
+func (ua *UA) Cancel(call *Call) error {
+	if call.State != CallCalling && call.State != CallRinging {
+		return fmt.Errorf("sip: Cancel on %s call %s", call.State, call.ID)
+	}
+	inv := call.inviteTxn.Request()
+	req := sipmsg.NewRequest(sipmsg.CANCEL, inv.RequestURI)
+	req.Via = []sipmsg.Via{inv.TopVia()}
+	req.From = inv.From
+	req.To = inv.To
+	req.CallID = inv.CallID
+	req.CSeq = sipmsg.CSeq{Seq: inv.CSeq.Seq, Method: sipmsg.CANCEL}
+	_, err := ua.txn.Request(req, ua.cfg.Proxy, func(resp *sipmsg.Message) {}, nil)
+	return err
+}
+
+// Answer accepts a ringing incoming call immediately (used when
+// AutoAnswer is off).
+func (ua *UA) Answer(call *Call) error {
+	if call.State != CallIncoming && call.State != CallRinging {
+		return fmt.Errorf("sip: Answer on %s call %s", call.State, call.ID)
+	}
+	ua.answer(call)
+	return nil
+}
+
+// Decline rejects an incoming call with the given final status code
+// (e.g. 486 Busy Here when the callee is already on the phone).
+func (ua *UA) Decline(call *Call, code int) error {
+	if call.State != CallIncoming && call.State != CallRinging {
+		return fmt.Errorf("sip: Decline on %s call %s", call.State, call.ID)
+	}
+	if code < 300 || code > 699 {
+		return fmt.Errorf("sip: Decline with non-final code %d", code)
+	}
+	st := call.inviteSrv
+	if st == nil {
+		return fmt.Errorf("sip: Decline on call %s without a pending INVITE", call.ID)
+	}
+	resp := sipmsg.NewResponse(st.Request(), code)
+	resp.To = resp.To.WithTag(call.LocalTag)
+	if err := st.Respond(resp); err != nil {
+		return err
+	}
+	ua.endCall(call, CallFailed)
+	return nil
+}
+
+// HandleRequest implements Core.
+func (ua *UA) HandleRequest(st *ServerTxn, req *sipmsg.Message, from sim.Addr) {
+	switch req.Method {
+	case sipmsg.INVITE:
+		ua.handleInvite(st, req)
+	case sipmsg.BYE:
+		ua.handleBye(st, req)
+	case sipmsg.CANCEL:
+		ua.handleCancel(st, req)
+	case sipmsg.OPTIONS:
+		resp := sipmsg.NewResponse(req, sipmsg.StatusOK)
+		resp.To = resp.To.WithTag(ua.idgen.Tag())
+		_ = st.Respond(resp)
+	default:
+		resp := sipmsg.NewResponse(req, sipmsg.StatusBadRequest)
+		resp.To = resp.To.WithTag(ua.idgen.Tag())
+		_ = st.Respond(resp)
+	}
+}
+
+// ActiveCalls counts call legs not yet in a final state.
+func (ua *UA) ActiveCalls() int {
+	n := 0
+	for _, c := range ua.calls {
+		switch c.State {
+		case CallTerminated, CallCancelled, CallFailed:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+func (ua *UA) handleInvite(st *ServerTxn, req *sipmsg.Message) {
+	if existing, ok := ua.calls[req.CallID]; ok && req.To.Tag() != "" {
+		// Re-INVITE within an existing dialog: accept, echoing our
+		// current SDP. (This is the surface the paper's call-hijack
+		// discussion targets; vids, not the UA, flags it.)
+		resp := sipmsg.NewResponse(req, sipmsg.StatusOK)
+		if existing.LocalSDP != nil {
+			resp.ContentType = "application/sdp"
+			resp.Body = existing.LocalSDP.Marshal()
+		}
+		contact := sipmsg.NameAddr{URI: ua.ContactURI()}
+		resp.Contact = &contact
+		_ = st.Respond(resp)
+		return
+	}
+
+	if ua.cfg.MaxCalls > 0 && ua.ActiveCalls() >= ua.cfg.MaxCalls {
+		// The phone is saturated: decline immediately.
+		resp := sipmsg.NewResponse(req, sipmsg.StatusBusyHere)
+		resp.To = resp.To.WithTag(ua.idgen.Tag())
+		_ = st.Respond(resp)
+		return
+	}
+
+	call := &Call{
+		ID:        req.CallID,
+		State:     CallIncoming,
+		LocalTag:  ua.idgen.Tag(),
+		RemoteTag: req.From.Tag(),
+		RemoteURI: req.From.URI,
+		InviteAt:  ua.sim.Now(),
+		ua:        ua,
+		inviteSrv: st,
+	}
+	if req.Contact != nil {
+		call.RemoteContact = req.Contact.URI
+	} else {
+		call.RemoteContact = req.From.URI
+	}
+	if len(req.Body) > 0 {
+		if offer, err := sdp.Parse(req.Body); err == nil {
+			call.RemoteSDP = offer
+		}
+	}
+	call.LocalRTPPort = ua.allocRTPPort()
+	call.LocalSDP = sdp.New(ua.cfg.User, ua.cfg.Host, call.LocalRTPPort, ua.cfg.Payload)
+	ua.calls[call.ID] = call
+	if ua.OnIncoming != nil {
+		ua.OnIncoming(call)
+	}
+	if call.State != CallIncoming {
+		return // the hook already resolved the call
+	}
+
+	ua.sim.Schedule(ua.cfg.RingDelay, func() {
+		if call.State != CallIncoming {
+			return
+		}
+		resp := sipmsg.NewResponse(req, sipmsg.StatusRinging)
+		resp.To = resp.To.WithTag(call.LocalTag)
+		_ = st.Respond(resp)
+		call.State = CallRinging
+		call.RingingAt = ua.sim.Now()
+		if ua.OnRinging != nil {
+			ua.OnRinging(call)
+		}
+		if ua.cfg.AutoAnswer {
+			ua.sim.Schedule(ua.cfg.AnswerDelay, func() {
+				if call.State == CallRinging {
+					ua.answer(call)
+				}
+			})
+		}
+	})
+}
+
+// answer sends the 200 OK with the SDP answer and starts the
+// TU-level 2xx retransmission machinery (RFC 3261 §13.3.1.4).
+func (ua *UA) answer(call *Call) {
+	st := call.inviteSrv
+	if st == nil {
+		return
+	}
+	resp := sipmsg.NewResponse(st.Request(), sipmsg.StatusOK)
+	resp.To = resp.To.WithTag(call.LocalTag)
+	contact := sipmsg.NameAddr{URI: ua.ContactURI()}
+	resp.Contact = &contact
+	resp.ContentType = "application/sdp"
+	resp.Body = call.LocalSDP.Marshal()
+	peer := st.Peer()
+	if err := st.Respond(resp); err != nil {
+		return
+	}
+	ua.answered++
+	call.State = CallEstablished
+	call.EstablishedAt = ua.sim.Now()
+	if ua.OnEstablished != nil {
+		ua.OnEstablished(call)
+	}
+	ua.retransmit200(call, resp, peer, TimerT1)
+}
+
+// retransmit200 resends the 2xx until the ACK arrives or the retry
+// budget is spent.
+func (ua *UA) retransmit200(call *Call, resp *sipmsg.Message, peer sim.Addr, interval time.Duration) {
+	ua.sim.Schedule(interval, func() {
+		if call.ackReceived || call.State != CallEstablished {
+			return
+		}
+		call.okRetries++
+		if call.okRetries > 7 {
+			// No ACK ever arrived; give up and tear down locally.
+			ua.endCall(call, CallFailed)
+			return
+		}
+		_ = ua.tr.Send(peer, resp)
+		next := interval * 2
+		if next > TimerT2 {
+			next = TimerT2
+		}
+		ua.retransmit200(call, resp, peer, next)
+	})
+}
+
+func (ua *UA) handleBye(st *ServerTxn, req *sipmsg.Message) {
+	call, ok := ua.calls[req.CallID]
+	if !ok {
+		resp := sipmsg.NewResponse(req, sipmsg.StatusCallDoesNotExist)
+		_ = st.Respond(resp)
+		return
+	}
+	if ua.cfg.SharedSecret != "" {
+		// Authenticated deployment: challenge BYEs that lack valid
+		// credentials for this dialog.
+		nonce := challenge(call.ID, call.LocalTag)
+		if !verifyAuthorization(req, ua.cfg.SharedSecret, nonce) {
+			resp := sipmsg.NewResponse(req, sipmsg.StatusUnauthorized)
+			if resp.Other == nil {
+				resp.Other = make(map[string][]string)
+			}
+			resp.Other["WWW-Authenticate"] = []string{buildChallenge(nonce)}
+			_ = st.Respond(resp)
+			return
+		}
+	}
+	// Note: without authentication the UA honors any BYE for a known
+	// call — it cannot tell a spoofed BYE from a genuine one. That is
+	// exactly the BYE DoS vulnerability of paper Section 3.1;
+	// detection is vids' job, not the UA's.
+	resp := sipmsg.NewResponse(req, sipmsg.StatusOK)
+	_ = st.Respond(resp)
+	if call.State == CallEstablished || call.State == CallRinging || call.State == CallIncoming {
+		ua.endCall(call, CallTerminated)
+	}
+}
+
+func (ua *UA) handleCancel(st *ServerTxn, req *sipmsg.Message) {
+	// Respond 200 to the CANCEL itself (RFC 3261 §9.2)...
+	resp := sipmsg.NewResponse(req, sipmsg.StatusOK)
+	_ = st.Respond(resp)
+
+	call, ok := ua.calls[req.CallID]
+	if !ok {
+		return
+	}
+	// ...then answer the pending INVITE with 487.
+	if call.inviteSrv != nil && (call.State == CallIncoming || call.State == CallRinging) {
+		inv487 := sipmsg.NewResponse(call.inviteSrv.Request(), sipmsg.StatusRequestTerminated)
+		inv487.To = inv487.To.WithTag(call.LocalTag)
+		_ = call.inviteSrv.Respond(inv487)
+		ua.endCall(call, CallCancelled)
+	}
+}
+
+// HandleStray implements Core: ACKs for 2xx finals and retransmitted
+// 200 OKs arrive outside any transaction.
+func (ua *UA) HandleStray(m *sipmsg.Message, from sim.Addr) {
+	call, ok := ua.calls[m.CallID]
+	if !ok {
+		return
+	}
+	switch {
+	case m.IsRequest() && m.Method == sipmsg.ACK:
+		call.ackReceived = true
+	case m.IsResponse() && m.IsSuccess() && m.CSeq.Method == sipmsg.INVITE &&
+		call.Outgoing && call.State == CallEstablished:
+		// Retransmitted 200: our ACK was lost; resend it.
+		ua.sendAck(call)
+	}
+}
+
+// endCall finalizes a call's state and fires the ended hook once.
+func (ua *UA) endCall(call *Call, state CallState) {
+	if call.State == CallTerminated || call.State == CallCancelled || call.State == CallFailed {
+		return
+	}
+	call.State = state
+	call.EndedAt = ua.sim.Now()
+	if state == CallFailed {
+		ua.failed++
+	}
+	if ua.OnEnded != nil {
+		ua.OnEnded(call)
+	}
+}
+
+// RemoveCall evicts a finished call from the table (the UA equivalent
+// of the fact-base cleanup in paper Section 7.3).
+func (ua *UA) RemoveCall(id string) { delete(ua.calls, id) }
+
+// allocRTPPort hands out even media ports starting at the configured
+// base, one pair per call.
+func (ua *UA) allocRTPPort() int {
+	p := ua.cfg.RTPPort + 2*ua.nextRTP
+	ua.nextRTP++
+	return p
+}

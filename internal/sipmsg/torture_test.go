@@ -1,0 +1,140 @@
+package sipmsg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Torture tests in the spirit of RFC 4475: hostile and borderline
+// inputs must never panic the parser and must either round-trip or be
+// rejected cleanly.
+
+func TestTortureTruncations(t *testing.T) {
+	raw := []byte(sampleInvite)
+	for i := 0; i <= len(raw); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at truncation %d: %v", i, r)
+				}
+			}()
+			_, _ = Parse(raw[:i])
+		}()
+	}
+}
+
+func TestTortureByteFlips(t *testing.T) {
+	raw := []byte(sampleInvite)
+	for i := 0; i < len(raw); i += 3 {
+		mutated := append([]byte(nil), raw...)
+		mutated[i] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at flip %d: %v", i, r)
+				}
+			}()
+			if m, err := Parse(mutated); err == nil {
+				// If it still parses it must still serialize.
+				_ = m.Bytes()
+			}
+		}()
+	}
+}
+
+func TestTortureHostileInputs(t *testing.T) {
+	hostile := []string{
+		// Stuffed with separators.
+		"INVITE\r\n\r\n\r\n",
+		":::::\r\n\r\n",
+		// Start line only, no headers.
+		"INVITE sip:a@b SIP/2.0\r\n\r\n",
+		// Absurd Content-Length.
+		"INVITE sip:a@b SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bK1\r\n" +
+			"From: <sip:x@y>;tag=1\r\nTo: <sip:a@b>\r\nCall-ID: c\r\nCSeq: 1 INVITE\r\n" +
+			"Content-Length: 999999999\r\n\r\nshort",
+		// Negative CSeq.
+		"INVITE sip:a@b SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bK1\r\n" +
+			"From: <sip:x@y>;tag=1\r\nTo: <sip:a@b>\r\nCall-ID: c\r\nCSeq: -1 INVITE\r\n\r\n",
+		// CSeq overflow.
+		"INVITE sip:a@b SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bK1\r\n" +
+			"From: <sip:x@y>;tag=1\r\nTo: <sip:a@b>\r\nCall-ID: c\r\nCSeq: 99999999999999999999 INVITE\r\n\r\n",
+		// Header with only whitespace value.
+		"INVITE sip:a@b SIP/2.0\r\nVia: \r\n\r\n",
+		// Deeply folded header.
+		"OPTIONS sip:b SIP/2.0\r\nVia: SIP/2.0/UDP h\r\n \r\n \r\n ;branch=z9hG4bKx\r\n" +
+			"From: <sip:x@y>;tag=1\r\nTo: <sip:b>\r\nCall-ID: c\r\nCSeq: 1 OPTIONS\r\n\r\n",
+		// Unicode in display names.
+		"OPTIONS sip:b SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bKx\r\n" +
+			"From: \"日本語\" <sip:x@y>;tag=1\r\nTo: <sip:b>\r\nCall-ID: c\r\nCSeq: 1 OPTIONS\r\n\r\n",
+		// Very long single header.
+		"OPTIONS sip:b SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bK" + strings.Repeat("a", 65536) + "\r\n" +
+			"From: <sip:x@y>;tag=1\r\nTo: <sip:b>\r\nCall-ID: c\r\nCSeq: 1 OPTIONS\r\n\r\n",
+		// Many duplicate headers.
+		"OPTIONS sip:b SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bKx\r\n" +
+			strings.Repeat("X-Dup: v\r\n", 1000) +
+			"From: <sip:x@y>;tag=1\r\nTo: <sip:b>\r\nCall-ID: c\r\nCSeq: 1 OPTIONS\r\n\r\n",
+		// Null bytes.
+		"INVITE sip:a@b SIP/2.0\r\nVia: SIP/2.0/UDP \x00;branch=x\r\n\r\n",
+	}
+	for i, give := range hostile {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on hostile input %d: %v", i, r)
+				}
+			}()
+			if m, err := Parse([]byte(give)); err == nil {
+				out := m.Bytes()
+				if _, err := Parse(out); err != nil {
+					t.Fatalf("hostile input %d parsed but its serialization did not: %v", i, err)
+				}
+			}
+		}()
+	}
+}
+
+// Property: Parse never panics on arbitrary bytes, and anything it
+// accepts serializes and re-parses to the same core identity.
+func TestParseTotalOnArbitraryBytes(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		m, err := Parse(data)
+		if err != nil {
+			return true
+		}
+		m2, err := Parse(m.Bytes())
+		if err != nil {
+			return false
+		}
+		return m2.CallID == m.CallID && m2.CSeq == m.CSeq &&
+			m2.IsRequest() == m.IsRequest()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random mutations of a valid message never panic.
+func TestParseTotalOnMutations(t *testing.T) {
+	base := []byte(sampleInvite)
+	prop := func(pos uint16, val byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		mutated := append([]byte(nil), base...)
+		mutated[int(pos)%len(mutated)] = val
+		_, _ = Parse(mutated)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package sipmsg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseURI(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    URI
+		wantErr bool
+	}{
+		{give: "sip:alice@a.example.com", want: URI{User: "alice", Host: "a.example.com"}},
+		{give: "sip:alice@a.example.com:5070", want: URI{User: "alice", Host: "a.example.com", Port: 5070}},
+		{give: "sip:proxy.b.example.com", want: URI{Host: "proxy.b.example.com"}},
+		{give: "<sip:bob@b.example.com>", want: URI{User: "bob", Host: "b.example.com"}},
+		{give: "sip:bob@b.example.com;transport=udp", want: URI{User: "bob", Host: "b.example.com"}},
+		{give: "sip:bob@b.example.com?subject=x", want: URI{User: "bob", Host: "b.example.com"}},
+		{give: "  sip:bob@b.example.com  ", want: URI{User: "bob", Host: "b.example.com"}},
+		{give: "http://example.com", wantErr: true},
+		{give: "sip:", wantErr: true},
+		{give: "sip:alice@", wantErr: true},
+		{give: "sip:alice@host:notaport", wantErr: true},
+		{give: "sip:alice@host:0", wantErr: true},
+		{give: "sip:alice@host:70000", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := ParseURI(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("ParseURI(%q) = %v, want error", tt.give, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseURI(%q): %v", tt.give, err)
+			}
+			if got != tt.want {
+				t.Fatalf("ParseURI(%q) = %+v, want %+v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestURIStringRoundTrip(t *testing.T) {
+	tests := []URI{
+		{User: "alice", Host: "a.example.com"},
+		{User: "alice", Host: "a.example.com", Port: 5061},
+		{Host: "proxy.example.com"},
+	}
+	for _, u := range tests {
+		got, err := ParseURI(u.String())
+		if err != nil {
+			t.Fatalf("round-trip %v: %v", u, err)
+		}
+		if got != u {
+			t.Fatalf("round-trip %v -> %v", u, got)
+		}
+	}
+}
+
+func TestURIEffectivePort(t *testing.T) {
+	if p := (URI{Host: "h"}).EffectivePort(); p != 5060 {
+		t.Fatalf("default port = %d, want 5060", p)
+	}
+	if p := (URI{Host: "h", Port: 5070}).EffectivePort(); p != 5070 {
+		t.Fatalf("explicit port = %d, want 5070", p)
+	}
+}
+
+func TestParseNameAddr(t *testing.T) {
+	na, err := ParseNameAddr(`"Alice" <sip:alice@a.example.com>;tag=1928301774`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Display != "Alice" {
+		t.Fatalf("display = %q", na.Display)
+	}
+	if na.URI.User != "alice" || na.URI.Host != "a.example.com" {
+		t.Fatalf("uri = %v", na.URI)
+	}
+	if na.Tag() != "1928301774" {
+		t.Fatalf("tag = %q", na.Tag())
+	}
+}
+
+func TestParseNameAddrShortForm(t *testing.T) {
+	na, err := ParseNameAddr(`sip:bob@b.example.com;tag=a6c85cf`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.URI.User != "bob" {
+		t.Fatalf("user = %q", na.URI.User)
+	}
+	if na.Tag() != "a6c85cf" {
+		t.Fatalf("tag = %q", na.Tag())
+	}
+}
+
+func TestParseNameAddrNoTag(t *testing.T) {
+	na, err := ParseNameAddr(`<sip:bob@b.example.com>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Tag() != "" {
+		t.Fatalf("tag = %q, want empty", na.Tag())
+	}
+}
+
+func TestParseNameAddrErrors(t *testing.T) {
+	for _, give := range []string{
+		`>sip:x@y<`,
+		`"Alice" <http://x>`,
+		``,
+	} {
+		if _, err := ParseNameAddr(give); err == nil {
+			t.Fatalf("ParseNameAddr(%q) accepted", give)
+		}
+	}
+}
+
+func TestNameAddrWithTagDoesNotMutate(t *testing.T) {
+	orig, err := ParseNameAddr(`<sip:alice@a.com>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := orig.WithTag("xyz")
+	if orig.Tag() != "" {
+		t.Fatal("WithTag mutated the receiver")
+	}
+	if tagged.Tag() != "xyz" {
+		t.Fatalf("tag = %q", tagged.Tag())
+	}
+}
+
+func TestNameAddrStringRoundTrip(t *testing.T) {
+	orig := NameAddr{
+		Display: "Bob",
+		URI:     URI{User: "bob", Host: "b.example.com", Port: 5062},
+		Params:  map[string]string{"tag": "t1", "q": "0.7"},
+	}
+	got, err := ParseNameAddr(orig.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Display != orig.Display || got.URI != orig.URI {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", got, orig)
+	}
+	for k, v := range orig.Params {
+		if got.Params[k] != v {
+			t.Fatalf("param %q = %q, want %q", k, got.Params[k], v)
+		}
+	}
+}
+
+// Property: any user/host made of URI-safe runes round-trips.
+func TestURIRoundTripProperty(t *testing.T) {
+	sanitize := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	prop := func(user, host string, port uint16) bool {
+		u := URI{User: sanitize(user), Host: sanitize(host), Port: int(port)}
+		if u.Host == "" {
+			u.Host = "h"
+		}
+		if u.Port == 0 {
+			u.Port = 1
+		}
+		got, err := ParseURI(u.String())
+		return err == nil && got == u
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortStrings(t *testing.T) {
+	s := []string{"tag", "branch", "received", "a"}
+	sortStrings(s)
+	want := []string{"a", "branch", "received", "tag"}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sorted = %v", s)
+		}
+	}
+}

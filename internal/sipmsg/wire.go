@@ -1,0 +1,299 @@
+package sipmsg
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const sipVersion = "SIP/2.0"
+
+// canonicalHeader maps lower-case and compact header names to their
+// canonical forms (RFC 3261 §7.3.3 compact forms).
+var canonicalHeader = map[string]string{
+	"via":              "Via",
+	"v":                "Via",
+	"from":             "From",
+	"f":                "From",
+	"to":               "To",
+	"t":                "To",
+	"call-id":          "Call-ID",
+	"i":                "Call-ID",
+	"cseq":             "CSeq",
+	"contact":          "Contact",
+	"m":                "Contact",
+	"max-forwards":     "Max-Forwards",
+	"content-type":     "Content-Type",
+	"c":                "Content-Type",
+	"content-length":   "Content-Length",
+	"l":                "Content-Length",
+	"expires":          "Expires",
+	"authorization":    "Authorization",
+	"www-authenticate": "WWW-Authenticate",
+}
+
+// CanonicalHeaderName normalizes a header field name, resolving
+// compact forms; unknown names get simple Title-By-Dash casing.
+func CanonicalHeaderName(name string) string {
+	if c, ok := canonicalHeader[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return c
+	}
+	parts := strings.Split(strings.TrimSpace(name), "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+	}
+	return strings.Join(parts, "-")
+}
+
+// Parse parses a SIP message from its wire form.
+func Parse(data []byte) (*Message, error) {
+	text := string(data)
+	headerPart, body, _ := strings.Cut(text, "\r\n\r\n")
+	lines := strings.Split(headerPart, "\r\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+		return nil, fmt.Errorf("sipmsg: empty message")
+	}
+
+	m := &Message{Expires: -1, MaxForwards: -1}
+	if err := parseStartLine(m, lines[0]); err != nil {
+		return nil, err
+	}
+
+	// Unfold continuation lines (lines starting with SP/HT).
+	var folded []string
+	for _, ln := range lines[1:] {
+		if ln == "" {
+			continue
+		}
+		if (ln[0] == ' ' || ln[0] == '\t') && len(folded) > 0 {
+			folded[len(folded)-1] += " " + strings.TrimSpace(ln)
+			continue
+		}
+		folded = append(folded, ln)
+	}
+
+	contentLength := -1
+	for _, ln := range folded {
+		name, value, ok := strings.Cut(ln, ":")
+		if !ok {
+			return nil, fmt.Errorf("sipmsg: malformed header line %q", ln)
+		}
+		value = strings.TrimSpace(value)
+		switch CanonicalHeaderName(name) {
+		case "Via":
+			// Multiple Via values may share a line, comma-separated.
+			for _, part := range splitTopLevel(value, ',') {
+				v, err := ParseVia(part)
+				if err != nil {
+					return nil, err
+				}
+				m.Via = append(m.Via, v)
+			}
+		case "From":
+			na, err := ParseNameAddr(value)
+			if err != nil {
+				return nil, fmt.Errorf("sipmsg: From: %w", err)
+			}
+			m.From = na
+		case "To":
+			na, err := ParseNameAddr(value)
+			if err != nil {
+				return nil, fmt.Errorf("sipmsg: To: %w", err)
+			}
+			m.To = na
+		case "Call-ID":
+			m.CallID = value
+		case "CSeq":
+			cs, err := ParseCSeq(value)
+			if err != nil {
+				return nil, err
+			}
+			m.CSeq = cs
+		case "Contact":
+			na, err := ParseNameAddr(value)
+			if err != nil {
+				return nil, fmt.Errorf("sipmsg: Contact: %w", err)
+			}
+			m.Contact = &na
+		case "Max-Forwards":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sipmsg: bad Max-Forwards %q", value)
+			}
+			m.MaxForwards = n
+		case "Expires":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sipmsg: bad Expires %q", value)
+			}
+			m.Expires = n
+		case "Content-Type":
+			m.ContentType = value
+		case "Content-Length":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sipmsg: bad Content-Length %q", value)
+			}
+			contentLength = n
+		default:
+			if m.Other == nil {
+				m.Other = make(map[string][]string)
+			}
+			cn := CanonicalHeaderName(name)
+			m.Other[cn] = append(m.Other[cn], value)
+		}
+	}
+
+	if m.MaxForwards < 0 {
+		m.MaxForwards = 70
+	}
+	if contentLength >= 0 {
+		if contentLength > len(body) {
+			return nil, fmt.Errorf("sipmsg: Content-Length %d exceeds body size %d",
+				contentLength, len(body))
+		}
+		body = body[:contentLength]
+	}
+	if body != "" {
+		m.Body = []byte(body)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func parseStartLine(m *Message, line string) error {
+	line = strings.TrimSpace(line)
+	if rest, ok := strings.CutPrefix(line, sipVersion+" "); ok {
+		// Status line: SIP/2.0 200 OK
+		codeStr, reason, _ := strings.Cut(rest, " ")
+		code, err := strconv.Atoi(codeStr)
+		if err != nil || code < 100 || code > 699 {
+			return fmt.Errorf("sipmsg: bad status line %q", line)
+		}
+		m.StatusCode = code
+		m.Reason = reason
+		return nil
+	}
+	// Request line: INVITE sip:bob@b.com SIP/2.0
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[2] != sipVersion {
+		return fmt.Errorf("sipmsg: bad request line %q", line)
+	}
+	uri, err := ParseURI(fields[1])
+	if err != nil {
+		return err
+	}
+	m.Method = Method(fields[0])
+	m.RequestURI = uri
+	return nil
+}
+
+// splitTopLevel splits on sep outside of quoted strings and angle
+// brackets.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	depth, inQuote := 0, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			inQuote = !inQuote
+		case inQuote:
+		case c == '<':
+			depth++
+		case c == '>':
+			if depth > 0 {
+				depth--
+			}
+		case c == sep && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// Bytes serializes the message to its wire form with a correct
+// Content-Length.
+func (m *Message) Bytes() []byte {
+	var b strings.Builder
+	if m.IsRequest() {
+		b.WriteString(string(m.Method))
+		b.WriteByte(' ')
+		b.WriteString(m.RequestURI.String())
+		b.WriteByte(' ')
+		b.WriteString(sipVersion)
+	} else {
+		b.WriteString(sipVersion)
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(m.StatusCode))
+		b.WriteByte(' ')
+		reason := m.Reason
+		if reason == "" {
+			reason = ReasonPhrase(m.StatusCode)
+		}
+		b.WriteString(reason)
+	}
+	b.WriteString("\r\n")
+
+	for _, v := range m.Via {
+		writeHeader(&b, "Via", v.String())
+	}
+	writeHeader(&b, "From", m.From.String())
+	writeHeader(&b, "To", m.To.String())
+	writeHeader(&b, "Call-ID", m.CallID)
+	writeHeader(&b, "CSeq", m.CSeq.String())
+	if m.Contact != nil {
+		writeHeader(&b, "Contact", m.Contact.String())
+	}
+	if m.IsRequest() {
+		mf := m.MaxForwards
+		if mf < 0 {
+			mf = 70
+		}
+		writeHeader(&b, "Max-Forwards", strconv.Itoa(mf))
+	}
+	if m.Expires >= 0 {
+		writeHeader(&b, "Expires", strconv.Itoa(m.Expires))
+	}
+	if m.ContentType != "" {
+		writeHeader(&b, "Content-Type", m.ContentType)
+	}
+
+	if m.Other != nil {
+		names := make([]string, 0, len(m.Other))
+		for name := range m.Other {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			for _, v := range m.Other[name] {
+				writeHeader(&b, name, v)
+			}
+		}
+	}
+
+	writeHeader(&b, "Content-Length", strconv.Itoa(len(m.Body)))
+	b.WriteString("\r\n")
+	b.Write(m.Body)
+	return []byte(b.String())
+}
+
+func writeHeader(b *strings.Builder, name, value string) {
+	b.WriteString(name)
+	b.WriteString(": ")
+	b.WriteString(value)
+	b.WriteString("\r\n")
+}
+
+// WireSize returns the serialized size in bytes. The paper assumes an
+// average SIP message size of 500 bytes (Section 7.1); the simulator
+// uses real serialized sizes, which land in the same range.
+func (m *Message) WireSize() int { return len(m.Bytes()) }

@@ -1,0 +1,463 @@
+package sipmsg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sampleInvite is a realistic INVITE with an SDP body, modeled on the
+// RFC 3261 example flows.
+const sampleInvite = "INVITE sip:bob@b.example.com SIP/2.0\r\n" +
+	"Via: SIP/2.0/UDP ua1.a.example.com:5060;branch=z9hG4bK776asdhds\r\n" +
+	"Max-Forwards: 70\r\n" +
+	"To: \"Bob\" <sip:bob@b.example.com>\r\n" +
+	"From: \"Alice\" <sip:alice@a.example.com>;tag=1928301774\r\n" +
+	"Call-ID: a84b4c76e66710@ua1.a.example.com\r\n" +
+	"CSeq: 314159 INVITE\r\n" +
+	"Contact: <sip:alice@ua1.a.example.com>\r\n" +
+	"Content-Type: application/sdp\r\n" +
+	"Content-Length: 129\r\n" +
+	"\r\n" +
+	"v=0\r\n" +
+	"o=alice 2890844526 2890844526 IN IP4 ua1.a.example.com\r\n" +
+	"s=call\r\n" +
+	"c=IN IP4 ua1.a.example.com\r\n" +
+	"t=0 0\r\n" +
+	"m=audio 49172 RTP/AVP 18\r\n"
+
+func TestParseInvite(t *testing.T) {
+	m, err := Parse([]byte(sampleInvite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsRequest() || m.Method != INVITE {
+		t.Fatalf("method = %q", m.Method)
+	}
+	if m.RequestURI.User != "bob" || m.RequestURI.Host != "b.example.com" {
+		t.Fatalf("request URI = %v", m.RequestURI)
+	}
+	if got := m.Branch(); got != "z9hG4bK776asdhds" {
+		t.Fatalf("branch = %q", got)
+	}
+	if m.From.Tag() != "1928301774" {
+		t.Fatalf("from tag = %q", m.From.Tag())
+	}
+	if m.To.Tag() != "" {
+		t.Fatalf("to tag = %q, want empty on initial INVITE", m.To.Tag())
+	}
+	if m.CallID != "a84b4c76e66710@ua1.a.example.com" {
+		t.Fatalf("call-id = %q", m.CallID)
+	}
+	if m.CSeq != (CSeq{Seq: 314159, Method: INVITE}) {
+		t.Fatalf("cseq = %v", m.CSeq)
+	}
+	if m.Contact == nil || m.Contact.URI.Host != "ua1.a.example.com" {
+		t.Fatalf("contact = %v", m.Contact)
+	}
+	if m.ContentType != "application/sdp" {
+		t.Fatalf("content-type = %q", m.ContentType)
+	}
+	if len(m.Body) != 129 {
+		t.Fatalf("body length = %d, want 129", len(m.Body))
+	}
+	if m.MaxForwards != 70 {
+		t.Fatalf("max-forwards = %d", m.MaxForwards)
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	raw := "SIP/2.0 180 Ringing\r\n" +
+		"Via: SIP/2.0/UDP ua1.a.example.com:5060;branch=z9hG4bK776asdhds\r\n" +
+		"To: <sip:bob@b.example.com>;tag=a6c85cf\r\n" +
+		"From: <sip:alice@a.example.com>;tag=1928301774\r\n" +
+		"Call-ID: a84b4c76e66710@ua1.a.example.com\r\n" +
+		"CSeq: 314159 INVITE\r\n" +
+		"Content-Length: 0\r\n\r\n"
+	m, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsResponse() || m.StatusCode != 180 {
+		t.Fatalf("status = %d", m.StatusCode)
+	}
+	if !m.IsProvisional() || m.IsFinal() || m.IsSuccess() {
+		t.Fatal("classification of 180 wrong")
+	}
+	if m.To.Tag() != "a6c85cf" {
+		t.Fatalf("to tag = %q", m.To.Tag())
+	}
+	if m.Reason != "Ringing" {
+		t.Fatalf("reason = %q", m.Reason)
+	}
+}
+
+func TestParseCompactForms(t *testing.T) {
+	raw := "BYE sip:alice@a.example.com SIP/2.0\r\n" +
+		"v: SIP/2.0/UDP ua2.b.example.com;branch=z9hG4bKnashds10\r\n" +
+		"f: <sip:bob@b.example.com>;tag=a6c85cf\r\n" +
+		"t: <sip:alice@a.example.com>;tag=1928301774\r\n" +
+		"i: a84b4c76e66710@ua1.a.example.com\r\n" +
+		"CSeq: 231 BYE\r\n" +
+		"l: 0\r\n\r\n"
+	m, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Method != BYE {
+		t.Fatalf("method = %q", m.Method)
+	}
+	if m.CallID == "" || m.From.Tag() != "a6c85cf" {
+		t.Fatalf("compact headers not resolved: %+v", m)
+	}
+}
+
+func TestParseFoldedHeader(t *testing.T) {
+	raw := "OPTIONS sip:b.example.com SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP ua1.a.example.com\r\n" +
+		" ;branch=z9hG4bKfold\r\n" +
+		"From: <sip:alice@a.example.com>;tag=1\r\n" +
+		"To: <sip:b.example.com>\r\n" +
+		"Call-ID: x@y\r\n" +
+		"CSeq: 1 OPTIONS\r\n" +
+		"Content-Length: 0\r\n\r\n"
+	m, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Branch() != "z9hG4bKfold" {
+		t.Fatalf("branch = %q", m.Branch())
+	}
+}
+
+func TestParseMultiValueVia(t *testing.T) {
+	raw := "SIP/2.0 200 OK\r\n" +
+		"Via: SIP/2.0/UDP proxy.b.example.com;branch=z9hG4bKp1, SIP/2.0/UDP ua1.a.example.com;branch=z9hG4bKu1\r\n" +
+		"From: <sip:alice@a.example.com>;tag=1\r\n" +
+		"To: <sip:bob@b.example.com>;tag=2\r\n" +
+		"Call-ID: c1\r\n" +
+		"CSeq: 1 INVITE\r\n" +
+		"Content-Length: 0\r\n\r\n"
+	m, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Via) != 2 {
+		t.Fatalf("via count = %d, want 2", len(m.Via))
+	}
+	if m.Via[0].Host != "proxy.b.example.com" || m.Via[1].Host != "ua1.a.example.com" {
+		t.Fatalf("via order wrong: %v", m.Via)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	base := "INVITE sip:bob@b.com SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+		"From: <sip:alice@a.com>;tag=1\r\n" +
+		"To: <sip:bob@b.com>\r\n" +
+		"Call-ID: c1\r\n" +
+		"CSeq: 1 INVITE\r\n" +
+		"Content-Length: 0\r\n\r\n"
+	if _, err := Parse([]byte(base)); err != nil {
+		t.Fatalf("baseline must parse: %v", err)
+	}
+
+	tests := []struct {
+		name string
+		raw  string
+	}{
+		{"empty", ""},
+		{"garbage start line", "HELLO WORLD\r\n\r\n"},
+		{"bad version", "INVITE sip:bob@b.com SIP/3.0\r\n\r\n"},
+		{"bad status code", "SIP/2.0 9999 Wat\r\n\r\n"},
+		{"missing call-id", strings.Replace(base, "Call-ID: c1\r\n", "", 1)},
+		{"missing via", strings.Replace(base, "Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n", "", 1)},
+		{"missing cseq", strings.Replace(base, "CSeq: 1 INVITE\r\n", "", 1)},
+		{"missing from", strings.Replace(base, "From: <sip:alice@a.com>;tag=1\r\n", "", 1)},
+		{"missing to", strings.Replace(base, "To: <sip:bob@b.com>\r\n", "", 1)},
+		{"bad cseq", strings.Replace(base, "CSeq: 1 INVITE", "CSeq: banana", 1)},
+		{"bad content-length", strings.Replace(base, "Content-Length: 0", "Content-Length: -5", 1)},
+		{"content-length too large", strings.Replace(base, "Content-Length: 0", "Content-Length: 10", 1)},
+		{"header without colon", strings.Replace(base, "Call-ID: c1", "Call-ID c1", 1)},
+		{"unknown method", strings.Replace(base, "INVITE sip:bob@b.com", "PUBLISH sip:bob@b.com", 1)},
+		{"bad via", strings.Replace(base, "Via: SIP/2.0/UDP a.com;branch=z9hG4bK1", "Via: nonsense", 1)},
+		{"bad max-forwards", base[:len(base)-2] + "Max-Forwards: x\r\n\r\n"},
+		{"bad expires", base[:len(base)-2] + "Expires: x\r\n\r\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse([]byte(tt.raw)); err == nil {
+				t.Fatalf("Parse accepted %q", tt.raw)
+			}
+		})
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	m, err := Parse([]byte(sampleInvite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Bytes()
+	m2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if m2.Method != m.Method || m2.CallID != m.CallID || m2.CSeq != m.CSeq {
+		t.Fatalf("round-trip changed core fields: %+v vs %+v", m2, m)
+	}
+	if !bytes.Equal(m2.Body, m.Body) {
+		t.Fatal("round-trip changed body")
+	}
+	// Second serialization must be byte-identical (canonical form).
+	if !bytes.Equal(out, m2.Bytes()) {
+		t.Fatalf("serialization not canonical:\n%s\nvs\n%s", out, m2.Bytes())
+	}
+}
+
+func TestUnknownHeadersPreserved(t *testing.T) {
+	raw := "OPTIONS sip:b.com SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+		"From: <sip:alice@a.com>;tag=1\r\n" +
+		"To: <sip:b.com>\r\n" +
+		"Call-ID: c1\r\n" +
+		"CSeq: 1 OPTIONS\r\n" +
+		"User-Agent: vids-testbed/1.0\r\n" +
+		"X-Custom: one\r\n" +
+		"X-Custom: two\r\n" +
+		"Content-Length: 0\r\n\r\n"
+	m, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Other["User-Agent"]; len(got) != 1 || got[0] != "vids-testbed/1.0" {
+		t.Fatalf("User-Agent = %v", got)
+	}
+	if got := m.Other["X-Custom"]; len(got) != 2 {
+		t.Fatalf("X-Custom = %v", got)
+	}
+	m2, err := Parse(m.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Other["X-Custom"]; len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("round-trip X-Custom = %v", got)
+	}
+}
+
+func TestNewResponseMirrorsHeaders(t *testing.T) {
+	req, err := Parse([]byte(sampleInvite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := NewResponse(req, StatusRinging)
+	if resp.StatusCode != 180 || resp.Reason != "Ringing" {
+		t.Fatalf("status = %d %q", resp.StatusCode, resp.Reason)
+	}
+	if resp.CallID != req.CallID || resp.CSeq != req.CSeq {
+		t.Fatal("Call-ID/CSeq not mirrored")
+	}
+	if len(resp.Via) != len(req.Via) || resp.Branch() != req.Branch() {
+		t.Fatal("Via not mirrored")
+	}
+	if resp.From.Tag() != req.From.Tag() {
+		t.Fatal("From tag not mirrored")
+	}
+	// Mutating the response tag must not affect the request.
+	resp.To = resp.To.WithTag("newtag")
+	if req.To.Tag() != "" {
+		t.Fatal("NewResponse aliases request header maps")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m, err := Parse([]byte(sampleInvite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	c.Via[0].Params["branch"] = "z9hG4bKother"
+	c.Body[0] = 'X'
+	c.From.Params["tag"] = "mutated"
+	if m.Branch() == "z9hG4bKother" {
+		t.Fatal("Clone shares Via params")
+	}
+	if m.Body[0] == 'X' {
+		t.Fatal("Clone shares body")
+	}
+	if m.From.Tag() == "mutated" {
+		t.Fatal("Clone shares From params")
+	}
+}
+
+func TestTransactionKeyACKMapsToInvite(t *testing.T) {
+	req, err := Parse([]byte(sampleInvite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := NewRequest(ACK, req.RequestURI)
+	ack.Via = []Via{{Transport: "UDP", Host: "ua1.a.example.com", Params: map[string]string{"branch": req.Branch()}}}
+	ack.From = req.From
+	ack.To = req.To.WithTag("remote")
+	ack.CallID = req.CallID
+	ack.CSeq = CSeq{Seq: req.CSeq.Seq, Method: ACK}
+	if ack.TransactionKey() != req.TransactionKey() {
+		t.Fatalf("ACK key %q != INVITE key %q", ack.TransactionKey(), req.TransactionKey())
+	}
+}
+
+func TestTransactionKeyCancelDiffersFromInvite(t *testing.T) {
+	req, err := Parse([]byte(sampleInvite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := req.Clone()
+	cancel.Method = CANCEL
+	cancel.CSeq.Method = CANCEL
+	cancel.Body = nil
+	cancel.ContentType = ""
+	if cancel.TransactionKey() == req.TransactionKey() {
+		t.Fatal("CANCEL must form its own transaction (RFC 3261 §9.2)")
+	}
+}
+
+func TestValidateRejectsAmbiguousMessage(t *testing.T) {
+	m := &Message{Method: INVITE, StatusCode: 200}
+	if err := m.Validate(); err == nil {
+		t.Fatal("request+response accepted")
+	}
+	if err := (&Message{}).Validate(); err == nil {
+		t.Fatal("neither accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	req, err := Parse([]byte(sampleInvite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(req.Summary(), "INVITE") {
+		t.Fatalf("summary = %q", req.Summary())
+	}
+	resp := NewResponse(req, StatusOK)
+	if !strings.Contains(resp.Summary(), "200") {
+		t.Fatalf("summary = %q", resp.Summary())
+	}
+}
+
+func TestReasonPhraseKnownAndUnknown(t *testing.T) {
+	if ReasonPhrase(StatusRinging) != "Ringing" {
+		t.Fatal("180 phrase wrong")
+	}
+	if ReasonPhrase(299) != "Unknown" {
+		t.Fatal("unknown code phrase wrong")
+	}
+}
+
+func TestCanonicalHeaderName(t *testing.T) {
+	tests := map[string]string{
+		"via":          "Via",
+		"v":            "Via",
+		"CALL-ID":      "Call-ID",
+		"cseq":         "CSeq",
+		"x-custom-hdr": "X-Custom-Hdr",
+		"  from ":      "From",
+	}
+	for give, want := range tests {
+		if got := CanonicalHeaderName(give); got != want {
+			t.Fatalf("CanonicalHeaderName(%q) = %q, want %q", give, got, want)
+		}
+	}
+}
+
+func TestWireSizeIsRealistic(t *testing.T) {
+	m, err := Parse([]byte(sampleInvite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper assumes ~500-byte SIP messages; our canonical INVITE
+	// with SDP should be in the same range.
+	if sz := m.WireSize(); sz < 300 || sz > 800 {
+		t.Fatalf("WireSize = %d, want a realistic SIP size", sz)
+	}
+}
+
+// Property: a structurally valid generated request round-trips through
+// Bytes -> Parse with identity on the key fields.
+func TestMessageRoundTripProperty(t *testing.T) {
+	clean := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+				b.WriteRune(r)
+			}
+		}
+		if b.Len() == 0 {
+			return "x"
+		}
+		return b.String()
+	}
+	prop := func(user, host, callID, tag string, seq uint32, methodIdx uint8) bool {
+		method := KnownMethods[int(methodIdx)%len(KnownMethods)]
+		m := NewRequest(method, URI{User: clean(user), Host: clean(host)})
+		m.Via = []Via{{
+			Transport: "UDP", Host: clean(host),
+			Params: map[string]string{"branch": "z9hG4bK" + clean(callID)},
+		}}
+		m.From = NameAddr{
+			URI:    URI{User: clean(user), Host: clean(host)},
+			Params: map[string]string{"tag": clean(tag)},
+		}
+		m.To = NameAddr{URI: URI{User: "callee", Host: clean(host)}}
+		m.CallID = clean(callID) + "@" + clean(host)
+		m.CSeq = CSeq{Seq: seq, Method: method}
+
+		got, err := Parse(m.Bytes())
+		if err != nil {
+			return false
+		}
+		return got.Method == m.Method &&
+			got.CallID == m.CallID &&
+			got.CSeq == m.CSeq &&
+			got.Branch() == m.Branch() &&
+			got.From.Tag() == m.From.Tag()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCSeqValues(t *testing.T) {
+	if _, err := ParseCSeq("1"); err == nil {
+		t.Fatal("one-field CSeq accepted")
+	}
+	if _, err := ParseCSeq("x INVITE"); err == nil {
+		t.Fatal("non-numeric CSeq accepted")
+	}
+	cs, err := ParseCSeq("  42   BYE ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Seq != 42 || cs.Method != BYE {
+		t.Fatalf("cseq = %v", cs)
+	}
+}
+
+func TestParseViaValues(t *testing.T) {
+	v, err := ParseVia("SIP/2.0/UDP proxy.b.example.com:5060;branch=z9hG4bKx;received=10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Transport != "UDP" || v.Host != "proxy.b.example.com" || v.Port != 5060 {
+		t.Fatalf("via = %+v", v)
+	}
+	if v.Branch() != "z9hG4bKx" || v.Params["received"] != "10.0.0.1" {
+		t.Fatalf("params = %v", v.Params)
+	}
+	for _, bad := range []string{"UDP host", "SIP/2.0/UDP", "SIP/2.0/UDP :5060", "SIP/2.0/UDP h:bad"} {
+		if _, err := ParseVia(bad); err == nil {
+			t.Fatalf("ParseVia(%q) accepted", bad)
+		}
+	}
+}

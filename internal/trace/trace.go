@@ -1,0 +1,161 @@
+// Package trace captures and replays packet traces. A trace is a
+// JSON-lines file, one entry per packet with its virtual capture
+// time, addressing, protocol label and raw payload — the offline
+// equivalent of the packet stream the vids monitoring point sees.
+// Traces make the IDS usable standalone: capture on one run (or
+// export from another tool), replay into a fresh vids instance later.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"vids/internal/sim"
+)
+
+// Entry is one captured packet.
+type Entry struct {
+	// AtNanos is the virtual capture time in nanoseconds.
+	AtNanos int64 `json:"atNanos"`
+	// Proto is the protocol label ("SIP", "RTP", "OTHER").
+	Proto string `json:"proto"`
+
+	FromHost string `json:"fromHost"`
+	FromPort int    `json:"fromPort"`
+	ToHost   string `json:"toHost"`
+	ToPort   int    `json:"toPort"`
+
+	Size int `json:"size"`
+	// Data is the raw payload (base64 in the JSON encoding).
+	Data []byte `json:"data"`
+}
+
+// At returns the capture time as a duration since the trace epoch.
+func (e Entry) At() time.Duration { return time.Duration(e.AtNanos) }
+
+// Packet reconstructs the simulated packet.
+func (e Entry) Packet() *sim.Packet {
+	return &sim.Packet{
+		From:    sim.Addr{Host: e.FromHost, Port: e.FromPort},
+		To:      sim.Addr{Host: e.ToHost, Port: e.ToPort},
+		Proto:   protoFromString(e.Proto),
+		Size:    e.Size,
+		Payload: e.Data,
+	}
+}
+
+func protoFromString(s string) sim.Proto {
+	switch s {
+	case "SIP":
+		return sim.ProtoSIP
+	case "RTP":
+		return sim.ProtoRTP
+	case "RTCP":
+		return sim.ProtoRTCP
+	default:
+		return sim.ProtoOther
+	}
+}
+
+// Writer streams entries to an io.Writer as JSON lines.
+type Writer struct {
+	enc     *json.Encoder
+	entries uint64
+	err     error
+}
+
+// NewWriter creates a trace writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{enc: json.NewEncoder(w)}
+}
+
+// Record captures one packet at the given virtual time. Payloads that
+// are not raw bytes are skipped (nothing else crosses the monitoring
+// point in practice).
+func (w *Writer) Record(pkt *sim.Packet, at time.Duration) error {
+	if w.err != nil {
+		return w.err
+	}
+	data, ok := pkt.Payload.([]byte)
+	if !ok {
+		return nil
+	}
+	e := Entry{
+		AtNanos:  int64(at),
+		Proto:    pkt.Proto.String(),
+		FromHost: pkt.From.Host,
+		FromPort: pkt.From.Port,
+		ToHost:   pkt.To.Host,
+		ToPort:   pkt.To.Port,
+		Size:     pkt.Size,
+		Data:     data,
+	}
+	if err := w.enc.Encode(e); err != nil {
+		w.err = fmt.Errorf("trace: encode: %w", err)
+		return w.err
+	}
+	w.entries++
+	return nil
+}
+
+// Tap adapts the writer to a network tap callback (errors are sticky
+// and surface via Err).
+func (w *Writer) Tap(pkt *sim.Packet, at time.Duration) { _ = w.Record(pkt, at) }
+
+// Entries reports how many packets were recorded.
+func (w *Writer) Entries() uint64 { return w.entries }
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Read loads a whole trace. Malformed lines abort with an error
+// naming the line number.
+func Read(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if e.AtNanos < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative timestamp", line)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}
+
+// Processor consumes replayed packets (satisfied by *ids.IDS via its
+// Process method).
+type Processor interface {
+	Process(pkt *sim.Packet)
+}
+
+// Replay schedules every entry onto the simulator at its original
+// capture time and feeds it to the processor. Entries must be fed to
+// a simulator whose clock has not passed the first entry's timestamp.
+func Replay(s *sim.Simulator, entries []Entry, p Processor) error {
+	for i, e := range entries {
+		if e.At() < s.Now() {
+			return fmt.Errorf("trace: entry %d at %v is in the simulator's past (%v)",
+				i, e.At(), s.Now())
+		}
+		pkt := e.Packet()
+		s.At(e.At(), func() { p.Process(pkt) })
+	}
+	return nil
+}

@@ -1,0 +1,571 @@
+// Package workload builds the paper's evaluation testbed (Section
+// 7.1, Figure 7): two enterprise networks A and B, each with SIP user
+// agents and a proxy on a 100BaseT LAN, joined across an internet
+// cloud by DS1 uplinks (50 ms one-way delay, 0.42% loss), with the
+// vids device placed between network B's edge router and its hub so
+// it sees all traffic to and from B. It also generates the calling
+// pattern of Figure 8: UAs of network A call UAs of network B with
+// random arrivals and exponentially distributed call durations.
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"vids/internal/ids"
+	"vids/internal/media"
+	"vids/internal/metrics"
+	"vids/internal/sim"
+	"vids/internal/sip"
+	"vids/internal/sipmsg"
+)
+
+// Node names of the Figure 7 topology.
+const (
+	DomainA = "a.example.com"
+	DomainB = "b.example.com"
+
+	ProxyAHost = "proxy.a.example.com"
+	ProxyBHost = "proxy.b.example.com"
+	HubA       = "hub.a.example.com"
+	HubB       = "hub.b.example.com"
+	EdgeA      = "edge.a.example.com"
+	EdgeB      = "edge.b.example.com"
+	Cloud      = "internet-cloud"
+	// VidsHost is the monitoring point between EdgeB and HubB.
+	VidsHost = "vids.b.example.com"
+	// AttackerHost hangs off the internet cloud.
+	AttackerHost = "attacker.evil.example.com"
+)
+
+// UAHost names the i-th (1-based) user agent host of a domain side
+// ("a" or "b").
+func UAHost(side string, i int) string {
+	return fmt.Sprintf("ua%d.%s.example.com", i, side)
+}
+
+// UAUser names the i-th user of a side.
+func UAUser(side string, i int) string {
+	return fmt.Sprintf("user%d%s", i, side)
+}
+
+// Config parameterizes the testbed.
+type Config struct {
+	Seed int64
+	// UAs is the number of user agents per enterprise network
+	// (Section 7.2 reports on the 20 UAs of network A).
+	UAs int
+
+	// VidsInline places vids on the forwarding path; VidsTap attaches
+	// it passively. With both false the vids host is a plain router
+	// ("in the absence of vids, the host simply forwards").
+	VidsInline bool
+	VidsTap    bool
+	IDS        ids.Config
+
+	// Calling pattern: each A-side UA waits Exp(MeanCallInterval)
+	// between call attempts; established calls last
+	// Exp(MeanCallDuration).
+	MeanCallInterval time.Duration
+	MeanCallDuration time.Duration
+
+	// Callee behavior. BusyProb is the probability an incoming call
+	// is declined 486 Busy Here instead of answered.
+	RingDelay   time.Duration
+	AnswerDelay time.Duration
+	BusyProb    float64
+
+	// WithMedia streams G.729 RTP for every established call.
+	WithMedia bool
+
+	// WANDupProb injects duplicate frames on the WAN links (failure
+	// injection; the SIP transaction layer and the RTP detectors must
+	// absorb duplicates without false alarms).
+	WANDupProb float64
+
+	// AuthSecret, when non-empty, deploys shared-secret BYE
+	// authentication on every phone (experiment E8: authentication
+	// stops outsider spoofing but not misbehaving insiders).
+	AuthSecret string
+
+	// ReinviteProb makes callers refresh established calls with a
+	// mid-call re-INVITE at this probability (exercises the IDS's
+	// known-party path with legitimate in-dialog INVITEs).
+	ReinviteProb float64
+
+	// MaxCallsPerPhone bounds simultaneous calls per phone (0 means
+	// unlimited); beyond it, incoming INVITEs get 486 Busy Here.
+	MaxCallsPerPhone int
+
+	// WANJitter overrides the internet cloud's delay jitter (zero
+	// keeps the default 1 ms). Large values reorder media behind
+	// signaling — the regime that stresses timer T (Section 7.5).
+	WANJitter time.Duration
+}
+
+// DefaultConfig mirrors the paper's testbed parameters.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		UAs:              20,
+		VidsInline:       true,
+		IDS:              ids.DefaultConfig(),
+		MeanCallInterval: 4 * time.Minute,
+		MeanCallDuration: 2 * time.Minute,
+		RingDelay:        200 * time.Millisecond,
+		AnswerDelay:      2 * time.Second,
+		WithMedia:        true,
+	}
+}
+
+// CallRecord captures one generated call's lifecycle for the
+// experiment harness.
+type CallRecord struct {
+	Caller   int // index into UAsA
+	Callee   int // index into UAsB
+	CallID   string
+	PlacedAt time.Duration
+	Duration time.Duration // intended duration
+
+	SetupDelay    time.Duration // INVITE -> 180, 0 if never rang
+	Established   bool
+	EstablishedAt time.Duration
+	EndedAt       time.Duration
+	Failed        bool
+
+	call *sip.Call
+}
+
+// Call exposes the underlying caller-side SIP call leg.
+func (r *CallRecord) Call() *sip.Call { return r.call }
+
+// Testbed is a fully wired Figure 7 deployment.
+type Testbed struct {
+	Cfg Config
+	Sim *sim.Simulator
+	Net *sim.Network
+	IDS *ids.IDS // nil unless VidsInline or VidsTap
+
+	ProxyA *sip.Proxy
+	ProxyB *sip.Proxy
+	UAsA   []*sip.UA
+	UAsB   []*sip.UA
+
+	Records []*CallRecord
+
+	// Arrivals records call placement times for Figure 8.
+	Arrivals metrics.Series
+	// Durations records realized call durations (established ->
+	// ended) for Figure 8.
+	Durations metrics.Series
+	// receivers aggregate RTP QoS; recvA/recvB split them by side
+	// (Figure 10 reports on streams crossing vids).
+	receivers []*media.Receiver
+	recvA     []*media.Receiver
+	recvB     []*media.Receiver
+
+	senders map[string][]*media.Sender // by Call-ID
+	byID    map[string]*CallRecord
+}
+
+// New builds the topology, registers every UA, and wires media and
+// bookkeeping hooks. Run workload generation with GenerateCalls, then
+// drive t.Sim.
+func New(cfg Config) (*Testbed, error) {
+	if cfg.UAs <= 0 {
+		return nil, fmt.Errorf("workload: UAs must be positive")
+	}
+	s := sim.New(cfg.Seed)
+	n := sim.NewNetwork(s)
+	t := &Testbed{
+		Cfg:     cfg,
+		Sim:     s,
+		Net:     n,
+		senders: make(map[string][]*media.Sender),
+		byID:    make(map[string]*CallRecord),
+	}
+
+	// Interior nodes.
+	for _, r := range []string{HubA, HubB, EdgeA, EdgeB, Cloud, VidsHost} {
+		if err := n.AddRouter(r); err != nil {
+			return nil, err
+		}
+	}
+	// Hosts.
+	hosts := []string{ProxyAHost, ProxyBHost, AttackerHost}
+	for i := 1; i <= cfg.UAs; i++ {
+		hosts = append(hosts, UAHost("a", i), UAHost("b", i))
+	}
+	for _, h := range hosts {
+		if err := n.AddHost(h); err != nil {
+			return nil, err
+		}
+	}
+
+	// Links (Figure 7): LANs, DS1 uplinks, internet cloud. The
+	// paper's 50 ms / 0.42% internet figures are split across the two
+	// cloud attachments.
+	lan := sim.LAN100BaseT
+	wanJitter := cfg.WANJitter
+	if wanJitter == 0 {
+		wanJitter = time.Millisecond
+	}
+	wan := sim.LinkConfig{
+		Bandwidth: sim.DS1.Bandwidth,
+		PropDelay: 25 * time.Millisecond,
+		LossProb:  0.0021,
+		Jitter:    wanJitter,
+		DupProb:   cfg.WANDupProb,
+	}
+	type pair struct {
+		a, b string
+		cfg  sim.LinkConfig
+	}
+	links := []pair{
+		{ProxyAHost, HubA, lan},
+		{HubA, EdgeA, lan},
+		{EdgeA, Cloud, wan},
+		{Cloud, EdgeB, wan},
+		{EdgeB, VidsHost, lan},
+		{VidsHost, HubB, lan},
+		{ProxyBHost, HubB, lan},
+		{AttackerHost, Cloud, lan},
+	}
+	for i := 1; i <= cfg.UAs; i++ {
+		links = append(links,
+			pair{UAHost("a", i), HubA, lan},
+			pair{UAHost("b", i), HubB, lan})
+	}
+	for _, l := range links {
+		if err := n.Connect(l.a, l.b, l.cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	// vids placement.
+	if cfg.VidsInline || cfg.VidsTap {
+		t.IDS = ids.New(s, cfg.IDS)
+		if cfg.VidsInline {
+			if err := n.SetTransit(VidsHost, t.IDS.Transit()); err != nil {
+				return nil, err
+			}
+		} else {
+			n.Tap(t.IDS.Observe)
+		}
+	}
+
+	// Proxies and peer ("DNS") tables.
+	var err error
+	if t.ProxyA, err = sip.NewProxy(n, ProxyAHost, DomainA); err != nil {
+		return nil, err
+	}
+	if t.ProxyB, err = sip.NewProxy(n, ProxyBHost, DomainB); err != nil {
+		return nil, err
+	}
+	t.ProxyA.AddPeer(DomainB, t.ProxyB.Addr())
+	t.ProxyB.AddPeer(DomainA, t.ProxyA.Addr())
+	// The proxies are stateless, so they must not send 100 Trying
+	// (RFC 3261 §16.11): the 100 would cancel the caller's INVITE
+	// retransmissions, and on the lossy WAN a downstream-lost INVITE
+	// would then hang the call until timer B. End-to-end reliability
+	// stays with the UAC's transaction timers.
+
+	// User agents.
+	for i := 1; i <= cfg.UAs; i++ {
+		uaA, err := sip.NewUA(s, n, sip.Config{
+			User: UAUser("a", i), Host: UAHost("a", i), Domain: DomainA,
+			Proxy: t.ProxyA.Addr(), RTPPort: 20000,
+			RingDelay: cfg.RingDelay, AnswerDelay: cfg.AnswerDelay, AutoAnswer: true,
+			SharedSecret: cfg.AuthSecret, MaxCalls: cfg.MaxCallsPerPhone,
+		})
+		if err != nil {
+			return nil, err
+		}
+		uaB, err := sip.NewUA(s, n, sip.Config{
+			User: UAUser("b", i), Host: UAHost("b", i), Domain: DomainB,
+			Proxy: t.ProxyB.Addr(), RTPPort: 20000,
+			RingDelay: cfg.RingDelay, AnswerDelay: cfg.AnswerDelay, AutoAnswer: true,
+			SharedSecret: cfg.AuthSecret, MaxCalls: cfg.MaxCallsPerPhone,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.wireUA(uaA)
+		t.wireUA(uaB)
+		t.UAsA = append(t.UAsA, uaA)
+		t.UAsB = append(t.UAsB, uaB)
+		if err := uaA.Register(); err != nil {
+			return nil, err
+		}
+		if err := uaB.Register(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// wireUA installs the media and bookkeeping hooks on one UA.
+func (t *Testbed) wireUA(ua *sip.UA) {
+	if t.Cfg.BusyProb > 0 {
+		ua.OnIncoming = func(c *sip.Call) {
+			if t.Sim.RNG().Bernoulli(t.Cfg.BusyProb) {
+				_ = ua.Decline(c, sipmsg.StatusBusyHere)
+			}
+		}
+	}
+	ua.OnRinging = func(c *sip.Call) {
+		if rec := t.byID[c.ID]; rec != nil && c.Outgoing {
+			if d, ok := c.SetupDelay(); ok {
+				rec.SetupDelay = d
+			}
+		}
+	}
+	ua.OnEstablished = func(c *sip.Call) {
+		if rec := t.byID[c.ID]; rec != nil && c.Outgoing {
+			rec.Established = true
+			rec.EstablishedAt = t.Sim.Now()
+			if t.Cfg.ReinviteProb > 0 && t.Sim.RNG().Bernoulli(t.Cfg.ReinviteProb) {
+				// Refresh the session mid-call.
+				t.Sim.Schedule(rec.Duration/2, func() {
+					if c.State == sip.CallEstablished {
+						_ = ua.Reinvite(c)
+					}
+				})
+			}
+		}
+		if t.Cfg.WithMedia {
+			t.startMedia(ua, c)
+		}
+	}
+	// The local user hanging up stops this side's media immediately,
+	// even though the BYE handshake (possibly with retransmissions or
+	// an auth challenge) is still in flight.
+	ua.OnHangingUp = func(c *sip.Call) {
+		for _, snd := range t.senders[senderKey(ua, c)] {
+			snd.Stop()
+		}
+	}
+	ua.OnEnded = func(c *sip.Call) {
+		// Stop only this side's senders: a spoofed BYE tears down one
+		// endpoint while the other keeps transmitting, and that
+		// asymmetry is exactly what vids must observe.
+		for _, snd := range t.senders[senderKey(ua, c)] {
+			snd.Stop()
+		}
+		if rec := t.byID[c.ID]; rec != nil && c.Outgoing {
+			rec.EndedAt = t.Sim.Now()
+			if !rec.Established {
+				rec.Failed = true
+			} else {
+				t.Durations.Append(t.Sim.Now(), (rec.EndedAt - rec.EstablishedAt).Seconds())
+			}
+		}
+		ua.RemoveCall(c.ID)
+	}
+}
+
+// startMedia starts this side's outgoing G.729 stream and binds a
+// receiver on the local media port.
+func (t *Testbed) startMedia(ua *sip.UA, c *sip.Call) {
+	if c.RemoteSDP == nil {
+		return
+	}
+	audio, ok := c.RemoteSDP.FirstAudio()
+	if !ok {
+		return
+	}
+	local := sim.Addr{Host: ua.Config().Host, Port: c.LocalRTPPort}
+	remote := sim.Addr{Host: c.RemoteSDP.Address, Port: audio.Port}
+
+	if recv, err := media.NewReceiver(t.Sim, t.Net, local); err == nil {
+		t.receivers = append(t.receivers, recv)
+		if ua.Config().Domain == DomainA {
+			t.recvA = append(t.recvA, recv)
+		} else {
+			t.recvB = append(t.recvB, recv)
+		}
+	}
+	snd := media.NewSender(t.Sim, t.Net, media.StreamConfig{
+		From: local, To: remote,
+		SSRC: uint32(t.Sim.RNG().Uint64()),
+		RTCP: true,
+	})
+	key := senderKey(ua, c)
+	t.senders[key] = append(t.senders[key], snd)
+	snd.Start()
+}
+
+// senderKey scopes media senders to one endpoint of one call.
+func senderKey(ua *sip.UA, c *sip.Call) string {
+	return ua.Config().Host + "|" + c.ID
+}
+
+// PlaceCall makes caller (index into UAsA) call callee (index into
+// UAsB) for the given duration, recording the call.
+func (t *Testbed) PlaceCall(caller, callee int, duration time.Duration) (*CallRecord, error) {
+	ua := t.UAsA[caller]
+	target := sipmsg.URI{User: UAUser("b", callee+1), Host: DomainB}
+	call, err := ua.Invite(target)
+	if err != nil {
+		return nil, err
+	}
+	rec := &CallRecord{
+		Caller: caller, Callee: callee,
+		CallID:   call.ID,
+		PlacedAt: t.Sim.Now(),
+		Duration: duration,
+		call:     call,
+	}
+	t.Records = append(t.Records, rec)
+	t.byID[call.ID] = rec
+	t.Arrivals.Append(t.Sim.Now(), 1)
+
+	// Hang up after the intended duration once established.
+	t.Sim.Schedule(duration+t.Cfg.AnswerDelay+t.Cfg.RingDelay+2*time.Second, func() {
+		if call.State == sip.CallEstablished {
+			_ = ua.Bye(call)
+		}
+	})
+	return rec, nil
+}
+
+// GenerateCalls schedules the random calling pattern over the horizon:
+// every A-side UA independently places calls to random B-side UAs.
+func (t *Testbed) GenerateCalls(horizon time.Duration) {
+	for i := range t.UAsA {
+		t.scheduleNextCall(i, horizon)
+	}
+}
+
+func (t *Testbed) scheduleNextCall(caller int, horizon time.Duration) {
+	gap := time.Duration(t.Sim.RNG().Exp(float64(t.Cfg.MeanCallInterval)))
+	next := t.Sim.Now() + gap
+	if next > horizon {
+		return
+	}
+	t.Sim.At(next, func() {
+		callee := t.Sim.RNG().Intn(len(t.UAsB))
+		duration := time.Duration(t.Sim.RNG().Exp(float64(t.Cfg.MeanCallDuration)))
+		_, _ = t.PlaceCall(caller, callee, duration)
+		t.scheduleNextCall(caller, horizon)
+	})
+}
+
+// SetupDelays aggregates per-caller setup delays (Figure 9's metric);
+// caller < 0 aggregates all callers.
+func (t *Testbed) SetupDelays(caller int) *metrics.Summary {
+	var s metrics.Summary
+	for _, rec := range t.Records {
+		if caller >= 0 && rec.Caller != caller {
+			continue
+		}
+		if rec.SetupDelay > 0 {
+			s.AddDuration(rec.SetupDelay)
+		}
+	}
+	return &s
+}
+
+// SetupDelaySeries returns (time, delay-seconds) samples for a caller.
+func (t *Testbed) SetupDelaySeries(caller int) *metrics.Series {
+	ts := &metrics.Series{Name: fmt.Sprintf("caller-%d", caller)}
+	for _, rec := range t.Records {
+		if rec.Caller == caller && rec.SetupDelay > 0 {
+			ts.Append(rec.PlacedAt, rec.SetupDelay.Seconds())
+		}
+	}
+	return ts
+}
+
+// MediaQoS aggregates delay and jitter across the receivers of one
+// side ("a" or "b"); side "" aggregates all.
+func (t *Testbed) MediaQoS(side string) (delay *metrics.Summary, jitter *metrics.Summary) {
+	delay, jitter = &metrics.Summary{}, &metrics.Summary{}
+	var rs []*media.Receiver
+	switch side {
+	case "a":
+		rs = t.recvA
+	case "b":
+		rs = t.recvB
+	default:
+		rs = t.receivers
+	}
+	for _, r := range rs {
+		if r.Received() == 0 {
+			continue
+		}
+		delay.Add(r.Delay.Mean())
+		jitter.Add(r.Jitter)
+	}
+	return delay, jitter
+}
+
+// MediaMOS aggregates the E-model mean opinion score across one
+// side's receivers (the paper's "perceived quality" claim, §7.4).
+func (t *Testbed) MediaMOS(side string) *metrics.Summary {
+	out := &metrics.Summary{}
+	var rs []*media.Receiver
+	switch side {
+	case "a":
+		rs = t.recvA
+	case "b":
+		rs = t.recvB
+	default:
+		rs = t.receivers
+	}
+	for _, r := range rs {
+		if r.Received() > 1 {
+			out.Add(r.MOS())
+		}
+	}
+	return out
+}
+
+// WriteCDRs exports call detail records as CSV: one row per placed
+// call with its timing and outcome.
+func (t *Testbed) WriteCDRs(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"callID", "caller", "callee", "placedAtS",
+		"setupDelayMs", "established", "durationS", "failed"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, rec := range t.Records {
+		duration := 0.0
+		if rec.Established && rec.EndedAt > rec.EstablishedAt {
+			duration = (rec.EndedAt - rec.EstablishedAt).Seconds()
+		}
+		row := []string{
+			rec.CallID,
+			strconv.Itoa(rec.Caller),
+			strconv.Itoa(rec.Callee),
+			strconv.FormatFloat(rec.PlacedAt.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(float64(rec.SetupDelay)/1e6, 'f', 2, 64),
+			strconv.FormatBool(rec.Established),
+			strconv.FormatFloat(duration, 'f', 3, 64),
+			strconv.FormatBool(rec.Failed),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CallStats summarizes the run: placed, established, failed counts.
+func (t *Testbed) CallStats() (placed, established, failed int) {
+	for _, rec := range t.Records {
+		placed++
+		if rec.Established {
+			established++
+		}
+		if rec.Failed {
+			failed++
+		}
+	}
+	return placed, established, failed
+}

@@ -1,0 +1,536 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+	"time"
+
+	"vids/internal/ids"
+)
+
+func shortConfig(inline bool) Config {
+	cfg := DefaultConfig()
+	cfg.UAs = 4
+	cfg.VidsInline = inline
+	cfg.MeanCallInterval = 30 * time.Second
+	cfg.MeanCallDuration = 20 * time.Second
+	cfg.WithMedia = false
+	return cfg
+}
+
+func TestTestbedBuilds(t *testing.T) {
+	tb, err := New(shortConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// All 8 UAs registered with their proxies.
+	if _, _, regsA, _ := tb.ProxyA.Stats(); regsA != 4 {
+		t.Fatalf("proxy A registrations = %d", regsA)
+	}
+	if _, _, regsB, _ := tb.ProxyB.Stats(); regsB != 4 {
+		t.Fatalf("proxy B registrations = %d", regsB)
+	}
+	if tb.IDS == nil {
+		t.Fatal("vids not instantiated")
+	}
+}
+
+func TestSingleCallEndToEnd(t *testing.T) {
+	tb, err := New(shortConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.PlaceCall(0, 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Established {
+		t.Fatal("call not established")
+	}
+	if rec.SetupDelay <= 0 {
+		t.Fatal("no setup delay recorded")
+	}
+	if rec.EndedAt <= rec.EstablishedAt {
+		t.Fatalf("call did not end: est=%v end=%v", rec.EstablishedAt, rec.EndedAt)
+	}
+	// The realized duration tracks the intended one (plus signaling).
+	realized := rec.EndedAt - rec.EstablishedAt
+	if realized < 8*time.Second || realized > 20*time.Second {
+		t.Fatalf("realized duration = %v, intended 10s", realized)
+	}
+	// A clean call must raise no alerts.
+	if alerts := tb.IDS.Alerts(); len(alerts) != 0 {
+		t.Fatalf("alerts on clean call: %v", alerts)
+	}
+}
+
+func TestVidsInlineAddsSetupDelay(t *testing.T) {
+	run := func(inline bool) time.Duration {
+		tb, err := New(shortConfig(inline))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Sim.Run(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := tb.PlaceCall(0, 0, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Sim.Run(tb.Sim.Now() + 30*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if rec.SetupDelay <= 0 {
+			t.Fatal("no setup delay")
+		}
+		return rec.SetupDelay
+	}
+	with := run(true)
+	without := run(false)
+	delta := with - without
+	// The INVITE and the 180 each cross vids once: 2 x 50 ms.
+	if delta < 80*time.Millisecond || delta > 120*time.Millisecond {
+		t.Fatalf("vids setup-delay overhead = %v, want ~100ms (paper §7.2)", delta)
+	}
+}
+
+func TestMediaQoSMeasured(t *testing.T) {
+	cfg := shortConfig(true)
+	cfg.WithMedia = true
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.PlaceCall(0, 0, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	delayB, jitterB := tb.MediaQoS("b")
+	if delayB.Count() == 0 {
+		t.Fatal("no B-side media stats")
+	}
+	// One-way delay must be at least the 50ms cloud plus vids RTP
+	// processing, and well under the 150ms latency bound the paper
+	// cites.
+	if d := delayB.Mean(); d < 0.050 || d > 0.150 {
+		t.Fatalf("B-side mean delay = %v s", d)
+	}
+	if jitterB.Mean() <= 0 {
+		t.Fatal("no jitter measured on jittery WAN")
+	}
+	// No false alerts from real media.
+	if alerts := tb.IDS.Alerts(); len(alerts) != 0 {
+		t.Fatalf("media raised alerts: %v", alerts)
+	}
+}
+
+func TestGeneratedWorkloadRuns(t *testing.T) {
+	cfg := shortConfig(true)
+	cfg.Seed = 42
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 10 * time.Minute
+	tb.GenerateCalls(horizon)
+	if err := tb.Sim.Run(horizon + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	placed, established, failed := tb.CallStats()
+	if placed < 10 {
+		t.Fatalf("only %d calls placed in 10 minutes", placed)
+	}
+	if established < placed*8/10 {
+		t.Fatalf("established %d of %d", established, placed)
+	}
+	_ = failed
+	if tb.Arrivals.Len() != placed {
+		t.Fatalf("arrival series %d != placed %d", tb.Arrivals.Len(), placed)
+	}
+	// Clean workload: no alerts.
+	if alerts := tb.IDS.Alerts(); len(alerts) != 0 {
+		t.Fatalf("clean workload alerted: %v", alerts)
+	}
+	// Monitors must drain as calls finish.
+	if tb.IDS.ActiveCalls() > placed/2 {
+		t.Fatalf("fact base not draining: %d resident of %d placed",
+			tb.IDS.ActiveCalls(), placed)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int, time.Duration) {
+		cfg := shortConfig(true)
+		cfg.Seed = 7
+		tb, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := 5 * time.Minute
+		tb.GenerateCalls(horizon)
+		if err := tb.Sim.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+		placed, _, _ := tb.CallStats()
+		return placed, tb.SetupDelays(-1).MeanDuration()
+	}
+	p1, d1 := run()
+	p2, d2 := run()
+	if p1 != p2 || d1 != d2 {
+		t.Fatalf("runs differ: (%d, %v) vs (%d, %v)", p1, d1, p2, d2)
+	}
+}
+
+func TestTapModeObservesWithoutDelay(t *testing.T) {
+	cfg := shortConfig(false)
+	cfg.VidsTap = true
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.PlaceCall(0, 0, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Established {
+		t.Fatal("call failed in tap mode")
+	}
+	sipSeen, _, _, _ := tb.IDS.Counters()
+	if sipSeen == 0 {
+		t.Fatal("tap saw no SIP packets")
+	}
+}
+
+func TestUAHostNaming(t *testing.T) {
+	if UAHost("a", 3) != "ua3.a.example.com" {
+		t.Fatalf("UAHost = %q", UAHost("a", 3))
+	}
+	if UAUser("b", 7) != "user7b" {
+		t.Fatalf("UAUser = %q", UAUser("b", 7))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UAs = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero UAs accepted")
+	}
+}
+
+func TestSetupDelaySeriesPerCaller(t *testing.T) {
+	tb, err := New(shortConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.PlaceCall(2, 0, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.SetupDelaySeries(2).Len() != 1 {
+		t.Fatal("caller-2 series empty")
+	}
+	if tb.SetupDelaySeries(0).Len() != 0 {
+		t.Fatal("caller-0 series not empty")
+	}
+}
+
+func TestIDSConfigPlumbed(t *testing.T) {
+	cfg := shortConfig(true)
+	cfg.IDS = ids.DefaultConfig()
+	cfg.IDS.FloodN = 3
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.IDS.Config().FloodN != 3 {
+		t.Fatalf("FloodN = %d", tb.IDS.Config().FloodN)
+	}
+}
+
+func TestBusyCalleesDeclineCleanly(t *testing.T) {
+	cfg := shortConfig(true)
+	cfg.BusyProb = 1.0 // every call declined
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.PlaceCall(0, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Established || !rec.Failed {
+		t.Fatalf("busy call record = %+v", rec)
+	}
+	// A declined call is legitimate protocol behavior: no alerts.
+	if alerts := tb.IDS.Alerts(); len(alerts) != 0 {
+		t.Fatalf("busy decline alerted: %v", alerts)
+	}
+	// The monitor must still be evicted (486 closes all machines).
+	if tb.IDS.ActiveCalls() != 0 {
+		t.Fatalf("declined call monitor leaked: %d", tb.IDS.ActiveCalls())
+	}
+}
+
+func TestMixedBusyWorkloadStaysClean(t *testing.T) {
+	cfg := shortConfig(true)
+	cfg.BusyProb = 0.3
+	cfg.Seed = 11
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 10 * time.Minute
+	tb.GenerateCalls(horizon)
+	if err := tb.Sim.Run(horizon + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	placed, established, failed := tb.CallStats()
+	if failed == 0 || established == 0 {
+		t.Fatalf("want a mix: placed=%d established=%d failed=%d", placed, established, failed)
+	}
+	if alerts := tb.IDS.Alerts(); len(alerts) != 0 {
+		t.Fatalf("mixed workload alerted: %v", alerts)
+	}
+}
+
+func TestDuplicatedWANFramesCauseNoFalseAlarms(t *testing.T) {
+	cfg := shortConfig(true)
+	cfg.WithMedia = true
+	cfg.WANDupProb = 0.05
+	cfg.Seed = 5
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.PlaceCall(0, 0, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Established {
+		t.Fatal("call failed under duplication")
+	}
+	// Duplicates must be absorbed by the transaction layer and the
+	// RTP trackers without tripping any detector.
+	if alerts := tb.IDS.Alerts(); len(alerts) != 0 {
+		t.Fatalf("duplication caused alerts: %v", alerts)
+	}
+}
+
+func TestMidCallReinvitesStayClean(t *testing.T) {
+	cfg := shortConfig(true)
+	cfg.WithMedia = true
+	cfg.ReinviteProb = 1.0
+	cfg.Seed = 13
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.PlaceCall(0, 0, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Established {
+		t.Fatal("call failed")
+	}
+	// The legitimate mid-call re-INVITE must not trip the hijack
+	// detector (known-party predicate, paper Section 3.1).
+	if alerts := tb.IDS.Alerts(); len(alerts) != 0 {
+		t.Fatalf("legit re-INVITE alerted: %v", alerts)
+	}
+}
+
+// TestBenignSoakNoFalsePositives is the regression guard for the
+// paper's zero-false-positive claim: a long media-heavy benign run
+// with WAN loss, busy callees and mid-call re-INVITEs must never
+// alert.
+func TestBenignSoakNoFalsePositives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 2006
+	cfg.UAs = 10
+	cfg.WithMedia = true
+	cfg.BusyProb = 0.1
+	cfg.ReinviteProb = 0.3
+	cfg.MeanCallInterval = 90 * time.Second
+	cfg.MeanCallDuration = 30 * time.Second
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 10 * time.Minute
+	tb.GenerateCalls(horizon)
+	if err := tb.Sim.Run(horizon + 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	placed, established, _ := tb.CallStats()
+	if placed < 30 || established == 0 {
+		t.Fatalf("soak workload too small: placed=%d established=%d", placed, established)
+	}
+	if alerts := tb.IDS.Alerts(); len(alerts) != 0 {
+		t.Fatalf("benign soak alerted: %v", alerts)
+	}
+}
+
+func TestWriteCDRs(t *testing.T) {
+	tb, err := New(shortConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.PlaceCall(0, 0, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCDRs(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // header + one call
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != "callID" || rows[1][5] != "true" {
+		t.Fatalf("cdr = %v", rows)
+	}
+}
+
+func TestMediaQoSSidesAndMOS(t *testing.T) {
+	cfg := shortConfig(true)
+	cfg.WithMedia = true
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.PlaceCall(0, 0, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	delayA, _ := tb.MediaQoS("a")
+	delayAll, _ := tb.MediaQoS("")
+	if delayA.Count() == 0 {
+		t.Fatal("A-side stats empty")
+	}
+	if delayAll.Count() != delayA.Count()+func() int {
+		d, _ := tb.MediaQoS("b")
+		return d.Count()
+	}() {
+		t.Fatal("aggregate != A + B")
+	}
+	for _, side := range []string{"a", "b", ""} {
+		mos := tb.MediaMOS(side)
+		if mos.Count() == 0 {
+			t.Fatalf("MOS empty for side %q", side)
+		}
+		if m := mos.Mean(); m < 3.5 || m > 4.5 {
+			t.Fatalf("MOS(%q) = %.2f", side, m)
+		}
+	}
+	if tb.Durations.Len() == 0 {
+		t.Fatal("no realized durations recorded")
+	}
+}
+
+func TestPlaceCallInvalidCalleeIndex(t *testing.T) {
+	tb, err := New(shortConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Callee index maps to user number; an out-of-range user simply
+	// fails at the proxy (404) rather than panicking.
+	rec, err := tb.PlaceCall(0, 99, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Established || !rec.Failed {
+		t.Fatalf("call to unknown user: %+v", rec)
+	}
+}
+
+func TestWANJitterOverride(t *testing.T) {
+	cfg := shortConfig(true)
+	cfg.WithMedia = true
+	cfg.WANJitter = 20 * time.Millisecond
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.PlaceCall(0, 0, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, jitter := tb.MediaQoS("b")
+	// 20 ms of WAN jitter must show up clearly in the estimator.
+	if jitter.Mean() < 1e-3 {
+		t.Fatalf("jitter = %v with 20ms WAN jitter", jitter.Mean())
+	}
+}

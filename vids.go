@@ -1,0 +1,184 @@
+// Package vids is the public façade of this repository: a
+// reproduction of "VoIP Intrusion Detection Through Interacting
+// Protocol State Machines" (Sengar, Wijesekera, Wang, Jajodia,
+// DSN 2006).
+//
+// The heart of the system is an intrusion detection engine that
+// monitors VoIP calls with one communicating extended finite state
+// machine (EFSM) system per call: a SIP machine tracking signaling
+// and two RTP machines tracking the media directions, synchronized by
+// δ messages over FIFO queues. Deviations from the protocol
+// specification or transitions into annotated attack states raise
+// alerts.
+//
+// Quick start:
+//
+//	s := vids.NewSimulator(1)
+//	d := vids.New(s, vids.DefaultConfig())
+//	d.OnAlert = func(a vids.Alert) { fmt.Println(a) }
+//	// feed packets via d.Process, or place it inline on a simulated
+//	// network with d.Transit().
+//
+// For a full testbed (the paper's Figure 7 topology with proxies,
+// user agents, G.729 media and an attacker attachment point) use
+// NewTestbed; for regenerating the paper's figures and tables use the
+// Experiment runners (Fig8, Fig9, Fig10, CPUOverhead, Memory,
+// Accuracy, Sensitivity, Ablation).
+package vids
+
+import (
+	"vids/internal/experiments"
+	"vids/internal/ids"
+	"vids/internal/sim"
+	"vids/internal/workload"
+)
+
+// Core IDS types.
+type (
+	// IDS is the vids engine: packet classifier, event distributor,
+	// call state fact base, attack scenarios and analysis engine.
+	IDS = ids.IDS
+	// Config parameterizes the detectors and the inline
+	// processing-cost model.
+	Config = ids.Config
+	// Alert is one detection event.
+	Alert = ids.Alert
+	// AlertType classifies alerts by attack pattern.
+	AlertType = ids.AlertType
+	// CallMonitor is one fact-base entry: the communicating machines
+	// of one monitored call.
+	CallMonitor = ids.CallMonitor
+	// RTPThresholds are the media-stream detector parameters.
+	RTPThresholds = ids.RTPThresholds
+)
+
+// Alert types (see the paper's Sections 3 and 6).
+const (
+	AlertInviteFlood    = ids.AlertInviteFlood
+	AlertByeDoS         = ids.AlertByeDoS
+	AlertTollFraud      = ids.AlertTollFraud
+	AlertMediaSpam      = ids.AlertMediaSpam
+	AlertCodecViolation = ids.AlertCodecViolation
+	AlertRTPFlood       = ids.AlertRTPFlood
+	AlertCallHijack     = ids.AlertCallHijack
+	AlertSpoofedBye     = ids.AlertSpoofedBye
+	AlertSpoofedCancel  = ids.AlertSpoofedCancel
+	AlertDeviation      = ids.AlertDeviation
+	AlertUnsolicitedRTP = ids.AlertUnsolicitedRTP
+	AlertDRDoS          = ids.AlertDRDoS
+	AlertRogueRegister  = ids.AlertRogueRegister
+	AlertRTCPBye        = ids.AlertRTCPBye
+)
+
+// New creates a vids instance bound to a simulator clock.
+func New(s *Simulator, cfg Config) *IDS { return ids.New(s, cfg) }
+
+// DefaultConfig returns the calibrated detector defaults.
+func DefaultConfig() Config { return ids.DefaultConfig() }
+
+// Simulation types.
+type (
+	// Simulator is the deterministic discrete-event clock.
+	Simulator = sim.Simulator
+	// Network is the simulated topology.
+	Network = sim.Network
+	// Packet is a datagram in flight.
+	Packet = sim.Packet
+	// Addr is a host:port endpoint.
+	Addr = sim.Addr
+)
+
+// Protocol labels for Packet.Proto.
+const (
+	ProtoSIP = sim.ProtoSIP
+	ProtoRTP = sim.ProtoRTP
+)
+
+// NewSimulator creates a seeded virtual clock.
+func NewSimulator(seed int64) *Simulator { return sim.New(seed) }
+
+// NewNetwork creates an empty topology on a simulator.
+func NewNetwork(s *Simulator) *Network { return sim.NewNetwork(s) }
+
+// Testbed types (the paper's Figure 7 deployment).
+type (
+	// Testbed is the two-enterprise evaluation network.
+	Testbed = workload.Testbed
+	// TestbedConfig parameterizes the testbed and calling pattern.
+	TestbedConfig = workload.Config
+	// CallRecord captures one generated call's lifecycle.
+	CallRecord = workload.CallRecord
+)
+
+// NewTestbed builds the Figure 7 topology.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) { return workload.New(cfg) }
+
+// DefaultTestbedConfig mirrors the paper's testbed parameters.
+func DefaultTestbedConfig() TestbedConfig { return workload.DefaultConfig() }
+
+// Experiment runners (Section 7). Each regenerates one figure or
+// table of the paper's evaluation.
+type (
+	// ExperimentOptions scales the experiment runs.
+	ExperimentOptions = experiments.Options
+	// Fig8Result holds the call arrival/duration workload data.
+	Fig8Result = experiments.Fig8Result
+	// Fig9Result holds the call-setup-delay comparison.
+	Fig9Result = experiments.Fig9Result
+	// Fig10Result holds the RTP QoS comparison.
+	Fig10Result = experiments.Fig10Result
+	// CPUResult holds the vids CPU-overhead measurement.
+	CPUResult = experiments.CPUResult
+	// MemoryResult holds the per-call memory accounting.
+	MemoryResult = experiments.MemoryResult
+	// AccuracyResult holds the detection-accuracy table.
+	AccuracyResult = experiments.AccuracyResult
+	// SensitivityResult holds the timer-sweep tables.
+	SensitivityResult = experiments.SensitivityResult
+	// AblationResult holds the cross-protocol ablation outcome.
+	AblationResult = experiments.AblationResult
+	// AuthResult holds the authentication-sufficiency experiment.
+	AuthResult = experiments.AuthResult
+	// PreventionResult holds the detection-vs-prevention availability
+	// experiment.
+	PreventionResult = experiments.PreventionResult
+)
+
+// Fig8 regenerates Figure 8 (call arrivals and durations).
+func Fig8(o ExperimentOptions) (*Fig8Result, error) { return experiments.Fig8(o) }
+
+// Fig9 regenerates Figure 9 (call setup delay with vs. without vids).
+func Fig9(o ExperimentOptions) (*Fig9Result, error) { return experiments.Fig9(o) }
+
+// Fig10 regenerates Figure 10 (RTP delay and jitter impact).
+func Fig10(o ExperimentOptions) (*Fig10Result, error) { return experiments.Fig10(o) }
+
+// CPUOverhead regenerates the Section 7.3 CPU measurement.
+func CPUOverhead(o ExperimentOptions) (*CPUResult, error) { return experiments.CPUOverhead(o) }
+
+// Memory regenerates the Section 7.3 per-call memory accounting.
+func Memory(o ExperimentOptions) (*MemoryResult, error) { return experiments.Memory(o) }
+
+// Accuracy regenerates the Section 7.5 detection-accuracy evaluation.
+func Accuracy(o ExperimentOptions) (*AccuracyResult, error) { return experiments.Accuracy(o) }
+
+// Sensitivity regenerates the Section 7.5 timer-sensitivity sweeps.
+func Sensitivity(o ExperimentOptions) (*SensitivityResult, error) {
+	return experiments.Sensitivity(o)
+}
+
+// Ablation runs experiment A1: the spoofed BYE DoS with and without
+// the cross-protocol synchronization channel.
+func Ablation(o ExperimentOptions) (*AblationResult, error) { return experiments.Ablation(o) }
+
+// Auth runs experiment E8: shared-secret authentication stops
+// outsider spoofing but not authenticated misbehaving endpoints
+// (paper Section 3.1) — vids remains necessary.
+func Auth(o ExperimentOptions) (*AuthResult, error) { return experiments.Auth(o) }
+
+// Prevention runs experiment E9: victim availability under an INVITE
+// flood, detection-only vs. inline prevention (the paper's cited
+// "future of VoIP security").
+func Prevention(o ExperimentOptions) (*PreventionResult, error) {
+	return experiments.Prevention(o)
+}

@@ -1,0 +1,78 @@
+package vids_test
+
+import (
+	"testing"
+	"time"
+
+	"vids"
+)
+
+// TestPublicAPIEndToEnd exercises the façade the way a downstream
+// user would: build the testbed, run calls, inspect the IDS.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := vids.DefaultTestbedConfig()
+	cfg.UAs = 2
+	cfg.WithMedia = true
+	tb, err := vids.NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var alerts []vids.Alert
+	tb.IDS.OnAlert = func(a vids.Alert) { alerts = append(alerts, a) }
+
+	if err := tb.Sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tb.PlaceCall(0, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Sim.Run(tb.Sim.Now() + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Established {
+		t.Fatal("call failed")
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("clean call alerted: %v", alerts)
+	}
+	if tb.IDS.Evicted() != 1 {
+		t.Fatalf("evicted = %d", tb.IDS.Evicted())
+	}
+}
+
+// TestPublicAPIStandaloneIDS uses the packet-level API directly.
+func TestPublicAPIStandaloneIDS(t *testing.T) {
+	s := vids.NewSimulator(1)
+	d := vids.New(s, vids.DefaultConfig())
+	d.Process(&vids.Packet{
+		Proto:   vids.ProtoSIP,
+		From:    vids.Addr{Host: "x", Port: 5060},
+		To:      vids.Addr{Host: "y", Port: 5060},
+		Payload: []byte("garbage that is not SIP"),
+	})
+	_, _, parseErrs, _ := d.Counters()
+	if parseErrs != 1 {
+		t.Fatalf("parse errors = %d", parseErrs)
+	}
+}
+
+// TestExperimentRunnersViaFacade runs one small experiment through
+// the public wrappers.
+func TestExperimentRunnersViaFacade(t *testing.T) {
+	res, err := vids.Fig8(vids.ExperimentOptions{
+		Seed: 4, UAs: 3, Duration: 3 * time.Minute,
+		MeanCallInterval: 45 * time.Second,
+		MeanCallDuration: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed == 0 {
+		t.Fatal("no calls")
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
