@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test race fmt lint ci golden
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+# lint runs every static gate: formatting, go vet, the repo-specific
+# source analyzer (cmd/vidslint) and the EFSM specification verifier
+# (internal/speclint via cmd/fsmdump).
+lint: fmt
+	$(GO) vet ./...
+	$(GO) run ./cmd/vidslint ./...
+	$(GO) run ./cmd/fsmdump
+
+# ci reproduces .github/workflows/ci.yml locally.
+ci: lint build race
+
+# golden regenerates the spec-graph golden files after a reviewed
+# specification change.
+golden:
+	$(GO) test ./internal/ids -run DOTGolden -update

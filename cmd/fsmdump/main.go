@@ -1,13 +1,18 @@
 // Command fsmdump renders vids' protocol state machines — the
 // executable counterparts of the paper's Figures 2, 4, 5 and 6 — as
-// Graphviz DOT, and validates them (structural well-formedness plus
-// reachability of every attack and final state).
+// Graphviz DOT, and statically verifies them via internal/speclint:
+// structural well-formedness, reachability, livelock freedom,
+// shadowed transitions, the δ-synchronization contract between the
+// SIP and RTP machines, and bounded exploration of their
+// communicating product. Any finding makes the command exit nonzero,
+// so CI can gate on it.
 //
 // Usage:
 //
-//	fsmdump              # validate and list machines
+//	fsmdump              # verify every machine and the system
 //	fsmdump -dot sip     # print one machine as DOT
 //	fsmdump -dot all     # print every machine
+//	fsmdump -depth 24    # deepen the product exploration
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"vids/internal/core"
 	"vids/internal/ids"
+	"vids/internal/speclint"
 )
 
 func main() {
@@ -29,11 +35,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fsmdump", flag.ContinueOnError)
 	dot := fs.String("dot", "", "render this machine (or \"all\") as Graphviz DOT")
+	depth := fs.Int("depth", 0, "product exploration depth (0 = speclint default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	specs := ids.Specs(ids.DefaultConfig())
+	cfg := ids.DefaultConfig()
+	specs := ids.Specs(cfg)
 	if *dot != "" {
 		matched := false
 		for _, s := range specs {
@@ -48,17 +56,27 @@ func run(args []string) error {
 		return nil
 	}
 
-	for _, s := range specs {
-		status := "ok"
-		if err := s.Validate(); err != nil {
-			status = err.Error()
-		} else if err := s.CheckReachable(); err != nil {
-			status = err.Error()
-		}
-		fmt.Printf("%-16s states=%-2d transitions=%-3d attack=%d final=%d  %s\n",
-			s.Name, len(s.States()), len(s.Transitions()),
-			countIf(s, s.IsAttack), countIf(s, s.IsFinal), status)
+	opts := speclint.DefaultOptions()
+	if *depth > 0 {
+		opts.ProductDepth = *depth
 	}
+	// The first len(SystemSpecs) specs are the communicating triple;
+	// the standalone detectors that follow are linted per-machine
+	// only.
+	findings := speclint.LintAll(specs, len(ids.SystemSpecs(cfg)), opts)
+
+	for _, s := range specs {
+		fmt.Printf("%-16s states=%-2d transitions=%-3d attack=%d final=%d\n",
+			s.Name, len(s.States()), len(s.Transitions()),
+			countIf(s, s.IsAttack), countIf(s, s.IsFinal))
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Println("finding:", f)
+		}
+		return fmt.Errorf("%d speclint finding(s)", len(findings))
+	}
+	fmt.Println("speclint: all machines and the communicating system are clean")
 	return nil
 }
 

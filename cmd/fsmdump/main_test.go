@@ -2,8 +2,14 @@ package main
 
 import "testing"
 
-func TestValidateAllMachines(t *testing.T) {
+func TestVerifyAllMachines(t *testing.T) {
 	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyWithDeeperProduct(t *testing.T) {
+	if err := run([]string{"-depth", "20"}); err != nil {
 		t.Fatal(err)
 	}
 }

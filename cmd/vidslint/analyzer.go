@@ -1,0 +1,230 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// finding is one diagnostic anchored to a source position.
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s: %s", f.pos, f.msg)
+}
+
+// analyzer loads, typechecks and lints packages of one module using
+// only the standard library: go/parser for syntax, go/types for
+// semantics, and a module-aware importer that resolves in-module
+// import paths against the repo tree and everything else through the
+// compiler source importer. Test files are skipped (they exercise the
+// APIs loosely on purpose); `go vet` still covers them in CI.
+type analyzer struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	corePath   string // <module>/internal/core
+	std        types.ImporterFrom
+	cache      map[string]*types.Package
+}
+
+func newAnalyzer(moduleRoot, modulePath string) *analyzer {
+	fset := token.NewFileSet()
+	return &analyzer{
+		fset:       fset,
+		moduleRoot: moduleRoot,
+		modulePath: modulePath,
+		corePath:   modulePath + "/internal/core",
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:      make(map[string]*types.Package),
+	}
+}
+
+// Import implements types.Importer for the typechecker's benefit.
+func (a *analyzer) Import(path string) (*types.Package, error) {
+	return a.ImportFrom(path, "", 0)
+}
+
+// ImportFrom resolves module-internal packages from source under the
+// module root and delegates everything else (the standard library) to
+// the source importer.
+func (a *analyzer) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := a.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == a.modulePath || strings.HasPrefix(path, a.modulePath+"/") {
+		files, err := a.parseDir(a.dirFor(path))
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: a}
+		pkg, err := conf.Check(path, a.fset, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		a.cache[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := a.std.ImportFrom(path, dir, mode)
+	if err == nil {
+		a.cache[path] = pkg
+	}
+	return pkg, err
+}
+
+func (a *analyzer) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, a.modulePath), "/")
+	return filepath.Join(a.moduleRoot, filepath.FromSlash(rel))
+}
+
+func (a *analyzer) importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(a.moduleRoot, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return a.modulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, a.moduleRoot)
+	}
+	return a.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// parseDir parses every non-test .go file of one directory.
+func (a *analyzer) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(a.fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// analyzeDir typechecks one package directory and runs every rule.
+func (a *analyzer) analyzeDir(dir string) ([]finding, error) {
+	importPath, err := a.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := a.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: a}
+	if _, err := conf.Check(importPath, a.fset, files, info); err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+
+	var out []finding
+	out = append(out, a.checkDroppedErrors(files, info)...)
+	out = append(out, a.checkArgsIndexing(importPath, files, info)...)
+	if strings.HasSuffix(importPath, "internal/ids") {
+		out = append(out, a.checkSpecRegistry(importPath, files, info)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos.Filename != out[j].pos.Filename {
+			return out[i].pos.Filename < out[j].pos.Filename
+		}
+		return out[i].pos.Offset < out[j].pos.Offset
+	})
+	return out, nil
+}
+
+// expandPatterns turns go-style package patterns ("./...", "./cmd/x")
+// into package directories. testdata, hidden and underscore-prefixed
+// directories are skipped, mirroring the go tool.
+func (a *analyzer) expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Clean(strings.TrimSuffix(rest, "/"))
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(pat)
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+// Command vidslint is vids' repo-specific static analyzer, built on
+// the standard library's go/parser, go/ast and go/types only. It
+// enforces the source-level contracts that keep the EFSM engine
+// honest:
+//
+//   - results of (*core.Machine).Step / (*core.System).Deliver /
+//     DeliverSync must not be discarded outright — ErrNoTransition is
+//     the specification-deviation signal (paper Section 4);
+//   - core.Event.Args must not be indexed directly outside
+//     internal/core — the typed accessors own the wire-type handling;
+//   - every spec builder in internal/ids must declare Final or Attack
+//     states and be reachable from the ids.Specs registry, so
+//     cmd/fsmdump and internal/speclint actually verify it.
+//
+// Usage:
+//
+//	vidslint ./...          # lint the whole module (the CI gate)
+//	vidslint ./internal/ids # lint one package directory
+//
+// Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	findings, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidslint:", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		os.Exit(1)
+	}
+}
+
+func run(patterns []string, out *os.File) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	root, module, err := findModule(wd)
+	if err != nil {
+		return 0, err
+	}
+	a := newAnalyzer(root, module)
+	dirs, err := a.expandPatterns(patterns)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, dir := range dirs {
+		findings, err := a.analyzeDir(dir)
+		if err != nil {
+			return total, err
+		}
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+		total += len(findings)
+	}
+	return total, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns
+// the module root directory and module path.
+func findModule(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for cur := dir; ; {
+		modfile := filepath.Join(cur, "go.mod")
+		if _, statErr := os.Stat(modfile); statErr == nil {
+			mod, parseErr := modulePath(modfile)
+			if parseErr != nil {
+				return "", "", parseErr
+			}
+			return cur, mod, nil
+		}
+		parent := filepath.Dir(cur)
+		if parent == cur {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		cur = parent
+	}
+}
+
+func modulePath(modfile string) (string, error) {
+	f, err := os.Open(modfile)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("%s: no module directive", modfile)
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// newTestAnalyzer builds an analyzer rooted at the repo module
+// (cmd/vidslint is two levels below the module root).
+func newTestAnalyzer(t *testing.T) *analyzer {
+	t.Helper()
+	root, module, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if module != "vids" {
+		t.Fatalf("module = %q, want vids", module)
+	}
+	return newAnalyzer(root, module)
+}
+
+func countContaining(fs []finding, substr string) int {
+	n := 0
+	for _, f := range fs {
+		if strings.Contains(f.msg, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDroppedErrorAndArgsFixture(t *testing.T) {
+	a := newTestAnalyzer(t)
+	fs, err := a.analyzeDir(filepath.Join("testdata", "src", "badpkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Log(f)
+	}
+	if got := countContaining(fs, "discarded"); got != 4 {
+		t.Errorf("dropped-error findings = %d, want 4", got)
+	}
+	if got := countContaining(fs, "core.Event.Args"); got != 2 {
+		t.Errorf("Args-indexing findings = %d, want 2", got)
+	}
+	if len(fs) != 6 {
+		t.Errorf("total findings = %d, want 6", len(fs))
+	}
+}
+
+func TestSpecRegistryFixture(t *testing.T) {
+	a := newTestAnalyzer(t)
+	fs, err := a.analyzeDir(filepath.Join("testdata", "src", "internal", "ids"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Log(f)
+	}
+	if got := countContaining(fs, "neither Final nor Attack"); got != 1 {
+		t.Errorf("missing-Final/Attack findings = %d, want 1", got)
+	}
+	if got := countContaining(fs, "not reachable from the Specs registry"); got != 1 {
+		t.Errorf("unregistered-builder findings = %d, want 1", got)
+	}
+	for _, f := range fs {
+		if strings.Contains(f.msg, "helperSpec") || strings.Contains(f.msg, "goodSpec") {
+			t.Errorf("well-formed builder flagged: %s", f)
+		}
+	}
+}
+
+// TestRepoIsClean is the CI acceptance property: the real codebase
+// carries zero vidslint findings.
+func TestRepoIsClean(t *testing.T) {
+	a := newTestAnalyzer(t)
+	dirs, err := a.expandPatterns([]string{filepath.Join(a.moduleRoot, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("pattern expansion found only %d package dirs: %v", len(dirs), dirs)
+	}
+	sawIDS := false
+	for _, dir := range dirs {
+		fs, err := a.analyzeDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s", f)
+		}
+		if strings.HasSuffix(filepath.ToSlash(dir), "internal/ids") {
+			sawIDS = true
+		}
+	}
+	if !sawIDS {
+		t.Error("internal/ids was not analyzed")
+	}
+}
+
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	a := newTestAnalyzer(t)
+	dirs, err := a.expandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Fatalf("testdata dir not skipped: %s", d)
+		}
+	}
+}

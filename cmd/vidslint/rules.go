@@ -1,0 +1,208 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkDroppedErrors flags calls to (*core.Machine).Step,
+// (*core.System).Deliver and (*core.System).DeliverSync whose results
+// are discarded outright (expression statements, go/defer calls).
+// ErrNoTransition from these calls *is* the specification-deviation
+// signal of the paper — dropping it silently turns a detection into a
+// no-op. An explicit `_, _ =` assignment is accepted as a deliberate,
+// reviewable discard.
+func (a *analyzer) checkDroppedErrors(files []*ast.File, info *types.Info) []finding {
+	droppable := map[string]string{
+		"(*" + a.corePath + ".Machine).Step":       "(*core.Machine).Step",
+		"(*" + a.corePath + ".System).Deliver":     "(*core.System).Deliver",
+		"(*" + a.corePath + ".System).DeliverSync": "(*core.System).DeliverSync",
+	}
+	var out []finding
+	flag := func(call *ast.CallExpr) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		short, ok := droppable[fn.FullName()]
+		if !ok {
+			return
+		}
+		out = append(out, finding{
+			pos: a.fset.Position(call.Pos()),
+			msg: fmt.Sprintf("result of %s discarded: its error is the specification-deviation signal — handle it or assign it explicitly", short),
+		})
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					flag(call)
+				}
+			case *ast.GoStmt:
+				flag(n.Call)
+			case *ast.DeferStmt:
+				flag(n.Call)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkArgsIndexing flags direct indexing of core.Event.Args outside
+// internal/core. The typed accessors (StringArg, IntArg, Uint32Arg,
+// DurationArg) centralize the nil-map and type-assertion handling;
+// raw map indexing reintroduces per-call-site assumptions about the
+// wire types.
+func (a *analyzer) checkArgsIndexing(importPath string, files []*ast.File, info *types.Info) []finding {
+	if importPath == a.corePath {
+		return nil
+	}
+	var out []finding
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			idx, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(idx.X).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Args" {
+				return true
+			}
+			if !a.isCoreEvent(info.Types[sel.X].Type) {
+				return true
+			}
+			out = append(out, finding{
+				pos: a.fset.Position(idx.Pos()),
+				msg: "direct index into core.Event.Args: use the typed accessors (Arg, StringArg, IntArg, Uint32Arg, DurationArg) instead",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func (a *analyzer) isCoreEvent(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && obj.Pkg().Path() == a.corePath
+}
+
+// checkSpecRegistry enforces the package contract of internal/ids:
+// every function that constructs a core.Spec must (a) mark at least
+// one Final or Attack state — a spec with neither can never evict a
+// call nor raise an alert — and (b) be reachable from the Specs
+// registry, so cmd/fsmdump and speclint actually verify it.
+func (a *analyzer) checkSpecRegistry(importPath string, files []*ast.File, info *types.Info) []finding {
+	newSpecName := a.corePath + ".NewSpec"
+	finalName := "(*" + a.corePath + ".Spec).Final"
+	attackName := "(*" + a.corePath + ".Spec).Attack"
+
+	type builderInfo struct {
+		decl          *ast.FuncDecl
+		declaresState bool
+	}
+	builders := make(map[string]*builderInfo)
+	calls := make(map[string][]string) // function -> called package-level functions
+	var specsDecl *ast.FuncDecl
+
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv != nil {
+				continue
+			}
+			if fn.Name.Name == "Specs" {
+				specsDecl = fn
+			}
+			b := &builderInfo{decl: fn}
+			isBuilder := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.SelectorExpr:
+					if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+						switch obj.FullName() {
+						case newSpecName:
+							isBuilder = true
+						case finalName, attackName:
+							b.declaresState = true
+						}
+					}
+				case *ast.Ident:
+					if obj, ok := info.Uses[fun].(*types.Func); ok &&
+						obj.Pkg() != nil && obj.Pkg().Path() == importPath && obj.Parent() == obj.Pkg().Scope() {
+						calls[fn.Name.Name] = append(calls[fn.Name.Name], fun.Name)
+					}
+				}
+				return true
+			})
+			if isBuilder {
+				builders[fn.Name.Name] = b
+			}
+		}
+	}
+
+	var out []finding
+	if len(builders) == 0 {
+		return nil
+	}
+	if specsDecl == nil {
+		out = append(out, finding{
+			pos: a.fset.Position(files[0].Pos()),
+			msg: "package constructs core.Spec values but declares no Specs registry function",
+		})
+	}
+
+	// Reachability from Specs over the intra-package call graph.
+	reachable := make(map[string]bool)
+	if specsDecl != nil {
+		frontier := []string{"Specs"}
+		reachable["Specs"] = true
+		for len(frontier) > 0 {
+			cur := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			for _, callee := range calls[cur] {
+				if !reachable[callee] {
+					reachable[callee] = true
+					frontier = append(frontier, callee)
+				}
+			}
+		}
+	}
+
+	for name, b := range builders {
+		if !b.declaresState {
+			out = append(out, finding{
+				pos: a.fset.Position(b.decl.Pos()),
+				msg: fmt.Sprintf("spec builder %s declares neither Final nor Attack states: the machine can never be evicted or raise an alert", name),
+			})
+		}
+		if specsDecl != nil && !reachable[name] {
+			out = append(out, finding{
+				pos: a.fset.Position(b.decl.Pos()),
+				msg: fmt.Sprintf("spec builder %s is not reachable from the Specs registry: fsmdump and speclint never verify it", name),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+// Package ids mimics the real internal/ids just enough to trip the
+// spec-registry rule: its import path ends in "internal/ids", so
+// vidslint applies the builder contract.
+package ids
+
+import "vids/internal/core"
+
+// brokenSpec constructs a machine with neither Final nor Attack
+// states and is never reachable from Specs: two findings.
+func brokenSpec() *core.Spec {
+	s := core.NewSpec("broken", "A")
+	s.On("A", "e", nil, nil, "A")
+	return s
+}
+
+// helperSpec is reachable from Specs only through goodSpec; it must
+// not be flagged.
+func helperSpec(name string) *core.Spec {
+	s := core.NewSpec(name, "A")
+	s.On("A", "e", nil, nil, "A")
+	s.Attack("A")
+	return s
+}
+
+func goodSpec() *core.Spec {
+	return helperSpec("good")
+}
+
+// Specs is the registry the real package exposes.
+func Specs() []*core.Spec {
+	return []*core.Spec{goodSpec()}
+}
+
+var _ = brokenSpec // silence the unused-function vet in spirit

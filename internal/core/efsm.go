@@ -113,6 +113,13 @@ func (c *Ctx) Emit(target string, e Event) {
 	c.emits = append(c.emits, SyncMsg{Target: target, Event: e})
 }
 
+// Emitted returns the synchronization messages queued by Emit so
+// far. Static analysis (internal/speclint) builds a recording Ctx —
+// a synthetic event plus fresh variable stores — executes a
+// transition's Action against it, and reads the δ emissions back
+// through this accessor.
+func (c *Ctx) Emitted() []SyncMsg { return c.emits }
+
 // SyncMsg is one δ message in flight between machines.
 type SyncMsg struct {
 	Target string
@@ -149,6 +156,12 @@ type Spec struct {
 	// transitions indexed by from-state and event name.
 	transitions map[State]map[string][]Transition
 	states      map[State]bool
+	// declared tracks states the author named on purpose: the initial
+	// state, transition sources, Final/Attack states, and anything
+	// passed to Declare. A state that only ever appears as a
+	// transition *target* is not in this set — Validate flags it as a
+	// likely typo.
+	declared map[State]bool
 }
 
 // NewSpec creates a machine definition with its start state.
@@ -160,6 +173,7 @@ func NewSpec(name string, initial State) *Spec {
 		attacks:     make(map[State]bool),
 		transitions: make(map[State]map[string][]Transition),
 		states:      map[State]bool{initial: true},
+		declared:    map[State]bool{initial: true},
 	}
 }
 
@@ -184,6 +198,19 @@ func (s *Spec) OnLabeled(label string, from State, event string, guard Predicate
 	})
 	s.states[from] = true
 	s.states[to] = true
+	s.declared[from] = true
+	return s
+}
+
+// Declare names states explicitly without attaching semantics. A pure
+// sink that is intentionally neither final nor attack (rare — such a
+// state traps the machine forever) must be declared this way or
+// Validate rejects the transitions targeting it.
+func (s *Spec) Declare(states ...State) *Spec {
+	for _, st := range states {
+		s.states[st] = true
+		s.declared[st] = true
+	}
 	return s
 }
 
@@ -193,6 +220,7 @@ func (s *Spec) Final(states ...State) *Spec {
 	for _, st := range states {
 		s.finals[st] = true
 		s.states[st] = true
+		s.declared[st] = true
 	}
 	return s
 }
@@ -203,6 +231,7 @@ func (s *Spec) Attack(states ...State) *Spec {
 	for _, st := range states {
 		s.attacks[st] = true
 		s.states[st] = true
+		s.declared[st] = true
 	}
 	return s
 }
@@ -223,10 +252,26 @@ func (s *Spec) States() []State {
 	return out
 }
 
-// Validate checks structural well-formedness: every (state, event)
-// pair has at most one catch-all transition, and attack/final states
-// are reachable states of the graph.
+// Validate checks structural well-formedness: the initial state is
+// set and part of the declared graph, every (state, event) pair has
+// at most one catch-all transition, every transition targets a
+// declared state (a typo'd To would otherwise silently create a trap
+// state), and attack/final states belong to the graph. Deeper
+// semantic checks — reachability, livelock, the δ-channel contract —
+// live in internal/speclint.
 func (s *Spec) Validate() error {
+	if s.Initial == "" {
+		return fmt.Errorf("core: %s: no initial state", s.Name)
+	}
+	if !s.states[s.Initial] {
+		return fmt.Errorf("core: %s: initial state %q not in graph", s.Name, s.Initial)
+	}
+	for _, t := range s.Transitions() {
+		if !s.declared[t.To] {
+			return fmt.Errorf("core: %s: transition %q -%s-> %q targets an undeclared state (typo? declare it via Final/Attack/Declare or give it an outgoing transition)",
+				s.Name, t.From, t.Event, t.To)
+		}
+	}
 	for from, byEvent := range s.transitions {
 		for event, ts := range byEvent {
 			defaults := 0

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -131,8 +132,60 @@ func TestSpecValidate(t *testing.T) {
 	dup := NewSpec("dup", "A")
 	dup.On("A", "e", nil, nil, "B")
 	dup.On("A", "e", nil, nil, "C")
+	dup.Final("B", "C")
 	if err := dup.Validate(); err == nil {
 		t.Fatal("two catch-alls accepted")
+	}
+}
+
+func TestValidateRejectsUnsetInitial(t *testing.T) {
+	if err := (&Spec{Name: "zero"}).Validate(); err == nil {
+		t.Fatal("spec without initial state accepted")
+	}
+	s := NewSpec("detached", "A")
+	s.On("A", "e", nil, nil, "A")
+	s.Initial = "GHOST" // hand-edited after construction
+	if err := s.Validate(); err == nil {
+		t.Fatal("initial state outside the graph accepted")
+	}
+}
+
+func TestValidateRejectsUndeclaredTarget(t *testing.T) {
+	// "CLOSDE" is a typo'd target: it only ever appears as a To state,
+	// so nothing can leave it and it is neither final nor attack.
+	s := NewSpec("typo", "A")
+	s.On("A", "e", nil, nil, "CLOSDE")
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("transition to undeclared state accepted")
+	}
+	if !strings.Contains(err.Error(), "CLOSDE") {
+		t.Fatalf("error does not name the typo'd state: %v", err)
+	}
+
+	// Declaring the sink (any of the three ways) repairs it.
+	s.Declare("CLOSDE")
+	if err := s.Validate(); err != nil {
+		t.Fatalf("declared sink still rejected: %v", err)
+	}
+
+	f := NewSpec("final-sink", "A")
+	f.On("A", "e", nil, nil, "DONE").Final("DONE")
+	if err := f.Validate(); err != nil {
+		t.Fatalf("final sink rejected: %v", err)
+	}
+}
+
+func TestCtxEmittedRecordsSyncMessages(t *testing.T) {
+	ctx := &Ctx{Event: Event{Name: "e"}, Vars: make(Vars), Globals: make(Vars)}
+	if got := ctx.Emitted(); len(got) != 0 {
+		t.Fatalf("fresh ctx has emissions: %v", got)
+	}
+	ctx.Emit("peer", Event{Name: "delta.x"})
+	ctx.Emit("other", Event{Name: "delta.y"})
+	got := ctx.Emitted()
+	if len(got) != 2 || got[0].Target != "peer" || got[1].Event.Name != "delta.y" {
+		t.Fatalf("recorded emissions = %v", got)
 	}
 }
 

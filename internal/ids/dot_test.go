@@ -1,0 +1,76 @@
+package ids
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vids/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden DOT files under testdata/")
+
+// TestDOTGolden pins the rendered state-transition diagrams of the
+// communicating machines. A spec-graph change — a new transition, a
+// renamed state, a dropped attack edge — shows up as a reviewable
+// diff against testdata/*.dot instead of slipping through silently.
+// Regenerate intentionally with: go test ./internal/ids -run DOTGolden -update
+func TestDOTGolden(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, tc := range []struct {
+		name string
+		spec *core.Spec
+	}{
+		{"sip", sipSpec(cfg.CrossProtocol)},
+		{"rtp-caller", rtpSpec(MachineRTPCaller, cfg.RTP)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.spec.DOT()
+			golden := filepath.Join("testdata", tc.name+".dot")
+			if *updateGolden {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("DOT output for %q drifted from %s:\n%s\n(run with -update after reviewing the spec change)",
+					tc.name, golden, diffLines(string(want), got))
+			}
+		})
+	}
+}
+
+// diffLines reports the first few differing lines, enough to locate
+// the drift without a full diff implementation.
+func diffLines(want, got string) string {
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	var b strings.Builder
+	shown := 0
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl == gl {
+			continue
+		}
+		fmt.Fprintf(&b, "line %d:\n  golden: %s\n  got:    %s\n", i+1, wl, gl)
+		if shown++; shown >= 5 {
+			b.WriteString("  ...\n")
+			break
+		}
+	}
+	return b.String()
+}

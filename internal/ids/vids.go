@@ -918,17 +918,27 @@ func (d *IDS) MemoryFootprint() int {
 // PerCallMemory reports one call's state footprint in bytes.
 func (mon *CallMonitor) PerCallMemory() int { return mon.System.MemoryFootprint() }
 
+// SystemSpecs returns the communicating per-call triple — the SIP
+// machine and the two RTP direction machines — exactly as newMonitor
+// assembles them into one core.System. Tooling that verifies the
+// δ-synchronization contract (internal/speclint) lints this set as a
+// product.
+func SystemSpecs(cfg Config) []*core.Spec {
+	return []*core.Spec{
+		sipSpec(cfg.CrossProtocol),
+		rtpSpec(MachineRTPCaller, cfg.RTP),
+		rtpSpec(MachineRTPCallee, cfg.RTP),
+	}
+}
+
 // Specs returns the protocol machine definitions a configuration
 // builds: the SIP machine, the two RTP direction machines, the INVITE
 // and response flood detectors, and the standalone spam monitor. Used
 // by tooling that renders or validates the specifications.
 func Specs(cfg Config) []*core.Spec {
-	return []*core.Spec{
-		sipSpec(cfg.CrossProtocol),
-		rtpSpec(MachineRTPCaller, cfg.RTP),
-		rtpSpec(MachineRTPCallee, cfg.RTP),
+	return append(SystemSpecs(cfg),
 		floodSpec(cfg.FloodN),
 		respFloodSpec(cfg.ResponseFloodN),
 		spamSpec(cfg.RTP),
-	}
+	)
 }

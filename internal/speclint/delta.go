@@ -1,0 +1,161 @@
+package speclint
+
+import (
+	"sort"
+
+	"vids/internal/core"
+)
+
+// emission is one discovered δ message: spec source's transition
+// (from, event, to) was observed emitting event name to machine
+// target under at least one probe.
+type emission struct {
+	source string
+	from   core.State
+	event  string
+	to     core.State
+	name   string
+	target string
+}
+
+// emitAlt is one distinct emission sequence a transition was observed
+// producing (different probes can exercise different branches of the
+// action, so one transition can have several alternatives — including
+// the empty one).
+type emitAlt []qmsg
+
+// qmsg is a queued δ message reduced to what product exploration
+// needs: where it goes and what it is called.
+type qmsg struct {
+	target string
+	name   string
+}
+
+// emissions indexes everything discovery learned about the system's
+// δ traffic.
+type emissions struct {
+	// alts[specName][i] holds the distinct emission sequences of the
+	// i-th transition of that spec, parallel to Spec.Transitions().
+	alts map[string][]([]emitAlt)
+	// toMachine["machine\x00event"] records that some peer emits
+	// event toward machine.
+	toMachine map[string]bool
+	flat      []emission
+}
+
+func (em *emissions) all() []emission { return em.flat }
+
+func (em *emissions) emittedTo(machine, event string) bool {
+	return em.toMachine[machine+"\x00"+event]
+}
+
+// discoverEmissions executes every transition Action against a
+// recording core.Ctx, once per probe, and collects the δ messages it
+// queues. Guards are never evaluated and actions run against
+// synthetic state, so this is dynamic probing of statically known
+// code paths: an emission is discovered iff some probe drives the
+// action through its Emit call. Actions are assumed (per the paper's
+// A_t(v) contract) to touch only the Ctx they are handed, so running
+// them against scratch stores is safe; a panicking action is
+// tolerated and simply contributes no emissions for that probe.
+func discoverEmissions(specs []*core.Spec, opts Options) *emissions {
+	em := &emissions{
+		alts:      make(map[string][]([]emitAlt)),
+		toMachine: make(map[string]bool),
+	}
+	probes := make([]map[string]any, 0, len(opts.Probes)+1)
+	probes = append(probes, map[string]any{}) // the all-zero probe
+	probes = append(probes, opts.Probes...)
+
+	for _, s := range specs {
+		ts := s.Transitions()
+		perSpec := make([]([]emitAlt), len(ts))
+		for i, t := range ts {
+			if t.Do == nil {
+				perSpec[i] = []emitAlt{nil}
+				continue
+			}
+			seen := make(map[string]bool)
+			for _, probe := range probes {
+				msgs := runRecording(t, probe, opts.ProbeGlobals)
+				alt := make(emitAlt, 0, len(msgs))
+				for _, m := range msgs {
+					alt = append(alt, qmsg{target: m.Target, name: m.Event.Name})
+				}
+				key := altKey(alt)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				perSpec[i] = append(perSpec[i], alt)
+				for _, q := range alt {
+					em.toMachine[q.target+"\x00"+q.name] = true
+					em.flat = append(em.flat, emission{
+						source: s.Name, from: t.From, event: t.Event, to: t.To,
+						name: q.name, target: q.target,
+					})
+				}
+			}
+		}
+		em.alts[s.Name] = perSpec
+	}
+
+	// Deduplicate and order the flat list for stable findings.
+	sort.Slice(em.flat, func(i, j int) bool {
+		a, b := em.flat[i], em.flat[j]
+		if a.source != b.source {
+			return a.source < b.source
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.event != b.event {
+			return a.event < b.event
+		}
+		if a.target != b.target {
+			return a.target < b.target
+		}
+		return a.name < b.name
+	})
+	dedup := em.flat[:0]
+	for i, e := range em.flat {
+		if i == 0 || e != em.flat[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	em.flat = dedup
+	return em
+}
+
+// runRecording executes one transition's action against a recording
+// context seeded with the probe's event arguments and globals.
+func runRecording(t core.Transition, probe map[string]any, globals map[string]any) (msgs []core.SyncMsg) {
+	defer func() {
+		if recover() != nil {
+			msgs = nil
+		}
+	}()
+	args := make(map[string]any, len(probe))
+	for k, v := range probe {
+		args[k] = v
+	}
+	g := make(core.Vars, len(globals))
+	for k, v := range globals {
+		g[k] = v
+	}
+	ctx := &core.Ctx{
+		Event:   core.Event{Name: t.Event, Args: args},
+		Vars:    make(core.Vars),
+		Globals: g,
+	}
+	t.Do(ctx)
+	return ctx.Emitted()
+}
+
+func altKey(alt emitAlt) string {
+	key := ""
+	for _, q := range alt {
+		key += q.target + "\x1f" + q.name + "\x1e"
+	}
+	return key
+}

@@ -1,0 +1,253 @@
+package speclint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vids/internal/core"
+)
+
+// maxProductConfigs caps the explored product state space. If the cap
+// is hit the exploration is truncated and the (absence-based)
+// product-unreachable-attack check is suppressed to avoid false
+// positives; deadlocks found up to the cap are still reported.
+const maxProductConfigs = 100000
+
+// productTransition is one move of one machine, pre-resolved for
+// exploration: the event consumed, the target control state, and the
+// discovered emission alternatives of the underlying action.
+type productTransition struct {
+	event string
+	to    core.State
+	alts  []emitAlt
+}
+
+// config is one product configuration: the control state of every
+// machine plus the pending sync queue. Variable vectors are
+// deliberately abstracted away (guards are treated as "may be true"),
+// so exploration over-approximates per-machine behavior while keeping
+// the δ-channel causality exact: a sync event only circulates if some
+// transition actually emits it.
+type config struct {
+	states []core.State
+	queue  []qmsg
+	depth  int
+}
+
+func (c config) key() string {
+	var b strings.Builder
+	for _, st := range c.states {
+		b.WriteString(string(st))
+		b.WriteByte(0)
+	}
+	b.WriteByte(1)
+	for _, q := range c.queue {
+		b.WriteString(q.target)
+		b.WriteByte(0x1f)
+		b.WriteString(q.name)
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+// exploreProduct walks the communicating product breadth-first up to
+// opts.ProductDepth external inputs (sync cascades between inputs are
+// free) and reports two classes of findings: deadlocked
+// configurations, and attack states that are reachable in a machine's
+// own graph but never entered in the product — a detection that the
+// synchronization contract makes impossible.
+func exploreProduct(specs []*core.Spec, em *emissions, opts Options) []Finding {
+	idx := make(map[string]int, len(specs))
+	for i, s := range specs {
+		idx[s.Name] = i
+	}
+	external := make(map[string]bool, len(opts.ExternalEvents))
+	for _, e := range opts.ExternalEvents {
+		external[e] = true
+	}
+
+	// Pre-resolve each machine's transitions by source state.
+	byState := make([]map[core.State][]productTransition, len(specs))
+	for i, s := range specs {
+		ts := s.Transitions()
+		alts := em.alts[s.Name]
+		m := make(map[core.State][]productTransition)
+		for j, t := range ts {
+			m[t.From] = append(m[t.From], productTransition{
+				event: t.Event, to: t.To, alts: alts[j],
+			})
+		}
+		byState[i] = m
+	}
+	isInput := func(event string) bool {
+		return external[event] || !strings.HasPrefix(event, opts.SyncPrefix)
+	}
+
+	start := config{states: make([]core.State, len(specs))}
+	attackSeen := make([]map[core.State]bool, len(specs))
+	for i, s := range specs {
+		start.states[i] = s.Initial
+		attackSeen[i] = make(map[core.State]bool)
+	}
+
+	var findings []Finding
+	deadlocks := 0
+	truncated := false
+	visited := map[string]bool{start.key(): true}
+	frontier := []config{start}
+
+	note := func(c config) {
+		for i, st := range c.states {
+			if specs[i].IsAttack(st) {
+				attackSeen[i][st] = true
+			}
+		}
+	}
+	note(start)
+
+	for len(frontier) > 0 {
+		if len(visited) > maxProductConfigs {
+			truncated = true
+			break
+		}
+		cur := frontier[0]
+		frontier = frontier[1:]
+
+		push := func(next config) {
+			k := next.key()
+			if visited[k] {
+				return
+			}
+			visited[k] = true
+			note(next)
+			frontier = append(frontier, next)
+		}
+
+		if len(cur.queue) > 0 {
+			// Priority rule (paper Section 4.2): pending δ messages
+			// are delivered before any further input. Delivery of the
+			// head is the only enabled move.
+			msg := cur.queue[0]
+			rest := cur.queue[1:]
+			i, ok := idx[msg.target]
+			delivered := false
+			if ok {
+				for _, t := range byState[i][cur.states[i]] {
+					if t.event != msg.name {
+						continue
+					}
+					delivered = true
+					for _, alt := range t.alts {
+						q := appendQueue(rest, alt)
+						if len(q) > opts.MaxQueue {
+							continue
+						}
+						next := config{states: cloneWith(cur.states, i, t.to), queue: q, depth: cur.depth}
+						push(next)
+					}
+				}
+			}
+			if !delivered {
+				// The peer no longer cares (core.System tolerates
+				// this) or the target is unknown: the message drops.
+				push(config{states: cur.states, queue: cloneQueue(rest), depth: cur.depth})
+			}
+			continue
+		}
+
+		// Queue empty: feed any external input to any machine.
+		moved := false
+		if cur.depth < opts.ProductDepth {
+			for i := range specs {
+				for _, t := range byState[i][cur.states[i]] {
+					if !isInput(t.event) {
+						continue
+					}
+					moved = true
+					for _, alt := range t.alts {
+						if len(alt) > opts.MaxQueue {
+							continue
+						}
+						next := config{
+							states: cloneWith(cur.states, i, t.to),
+							queue:  cloneQueue(alt),
+							depth:  cur.depth + 1,
+						}
+						push(next)
+					}
+				}
+			}
+		} else {
+			continue // depth bound reached: neither expand nor judge
+		}
+
+		if !moved && !allTerminal(specs, cur.states) && deadlocks < 5 {
+			deadlocks++
+			findings = append(findings, Finding{
+				Machine: "system", Check: CheckDeadlock,
+				Detail: fmt.Sprintf("configuration %s accepts no input and has an empty sync queue, but not every machine is final or attack", describe(specs, cur.states)),
+			})
+		}
+	}
+
+	if !truncated {
+		for i, s := range specs {
+			reach := s.Reachable()
+			var missed []string
+			for _, st := range s.States() {
+				if s.IsAttack(st) && reach[st] && !attackSeen[i][st] {
+					missed = append(missed, string(st))
+				}
+			}
+			sort.Strings(missed)
+			for _, st := range missed {
+				findings = append(findings, Finding{
+					Machine: s.Name, Check: CheckProductAttack,
+					Detail: fmt.Sprintf("attack state %q is reachable in the machine's own graph but never entered in the communicating product (depth %d): its δ preconditions can never be met", st, opts.ProductDepth),
+				})
+			}
+		}
+	}
+	return findings
+}
+
+func cloneWith(states []core.State, i int, st core.State) []core.State {
+	out := make([]core.State, len(states))
+	copy(out, states)
+	out[i] = st
+	return out
+}
+
+func cloneQueue(q []qmsg) []qmsg {
+	if len(q) == 0 {
+		return nil
+	}
+	out := make([]qmsg, len(q))
+	copy(out, q)
+	return out
+}
+
+func appendQueue(rest []qmsg, alt emitAlt) []qmsg {
+	out := make([]qmsg, 0, len(rest)+len(alt))
+	out = append(out, rest...)
+	out = append(out, alt...)
+	return out
+}
+
+func allTerminal(specs []*core.Spec, states []core.State) bool {
+	for i, s := range specs {
+		if !s.IsFinal(states[i]) && !s.IsAttack(states[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func describe(specs []*core.Spec, states []core.State) string {
+	parts := make([]string, len(specs))
+	for i, s := range specs {
+		parts[i] = fmt.Sprintf("%s=%s", s.Name, states[i])
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

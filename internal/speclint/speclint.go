@@ -1,0 +1,350 @@
+// Package speclint statically verifies the EFSM specifications that
+// carry vids' detection power. A specification-based IDS (paper
+// Section 4) detects exactly what its specs describe: a mistyped
+// synchronization event name, an unreachable attack state, or a
+// transition shadowed by a catch-all silently becomes a missed
+// detection. speclint analyzes one core.Spec at a time (LintSpec) and
+// the assembled communicating system (LintSystem):
+//
+//   - per-machine graph checks beyond reachability: livelock sinks
+//     with no path to any final or attack state, transitions made
+//     redundant by a catch-all sibling, states declared but never
+//     targeted;
+//   - δ-channel contract checks: each transition's emitted sync
+//     events are discovered by executing its Action against a
+//     recording core.Ctx, then matched against the consuming
+//     transitions of the target machine (and vice versa);
+//   - bounded exploration of the communicating product (control
+//     states × sync-queue contents): deadlocked configurations, and
+//     attack states reachable per-machine but never entered in the
+//     product — a synchronization contract that can never fire.
+//
+// Findings are diagnostics, not errors: cmd/fsmdump turns a non-empty
+// finding list into a nonzero exit for CI.
+package speclint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"vids/internal/core"
+)
+
+// Check identifiers, stable for tooling and tests.
+const (
+	CheckValidate       = "validate"
+	CheckUnreachable    = "unreachable"
+	CheckLivelock       = "livelock"
+	CheckShadowed       = "shadowed-transition"
+	CheckNeverTargeted  = "never-targeted"
+	CheckDuplicateName  = "duplicate-machine"
+	CheckUnknownTarget  = "unknown-delta-target"
+	CheckOrphanEmitter  = "orphan-delta-emitter"
+	CheckOrphanConsumer = "orphan-delta-consumer"
+	CheckDeadlock       = "product-deadlock"
+	CheckProductAttack  = "product-unreachable-attack"
+)
+
+// Finding is one diagnostic produced by the linter.
+type Finding struct {
+	Machine string // spec name, or "system" for cross-machine findings
+	Check   string // one of the Check* identifiers
+	Detail  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Machine, f.Check, f.Detail)
+}
+
+// Options parameterize system-level linting.
+type Options struct {
+	// Probes are synthetic event-argument vectors. Every transition
+	// Action is executed once per probe (plus once with no arguments)
+	// against a recording core.Ctx, and the union of observed δ
+	// emissions over all probes is taken as the transition's emission
+	// set. Conditional emissions are discovered as long as some probe
+	// satisfies the condition, so probes should carry plausible
+	// non-zero values for every argument key the specs inspect.
+	Probes []map[string]any
+
+	// ProbeGlobals seeds the shared variable store for each probe run.
+	ProbeGlobals map[string]any
+
+	// SyncPrefix marks event names that arrive only on the δ
+	// synchronization channel. Transitions on such events are
+	// consumers and must have a matching emitter among their peers.
+	SyncPrefix string
+
+	// ExternalEvents are event names injected from outside the
+	// communicating system (e.g. IDS-scheduled timers via
+	// DeliverSync). They are exempt from the orphan-consumer check
+	// and treated as spontaneous inputs during product exploration.
+	ExternalEvents []string
+
+	// ProductDepth bounds the number of external input events fed to
+	// the system during product exploration. Sync cascades between
+	// inputs do not count against the bound.
+	ProductDepth int
+
+	// MaxQueue bounds the sync-queue length during product
+	// exploration; configurations that would exceed it are pruned.
+	MaxQueue int
+}
+
+// DefaultOptions returns options calibrated for the repo's SIP/RTP
+// specifications: one all-zero probe plus one probe carrying
+// plausible values for every event-argument key the specs read.
+func DefaultOptions() Options {
+	return Options{
+		Probes: []map[string]any{{
+			// SIP dialog identity and transport provenance.
+			"callID": "lint-call", "from": "sip:a@example.com", "to": "sip:b@example.com",
+			"fromTag": "lint-from", "toTag": "lint-to",
+			"src": "lint-src", "contact": "lint-contact", "dest": "b@example.com",
+			// Response classification.
+			"status": 200, "cseqMethod": "INVITE",
+			// SDP media offer/answer.
+			"sdpAddr": "198.51.100.1", "sdpPort": 49170, "sdpPayload": 0,
+			// δ open payload and RTP stream attributes.
+			"party": "caller", "payloadType": 0,
+			"seq": 1, "ts": uint32(1), "ssrc": uint32(1), "now": time.Duration(0),
+		}},
+		ProbeGlobals: map[string]any{
+			"g.payload": 0, "g.byeSender": "caller",
+		},
+		SyncPrefix:     "delta.",
+		ExternalEvents: []string{"timer.T", "timer.T1"},
+		ProductDepth:   16,
+		MaxQueue:       6,
+	}
+}
+
+// LintSpec runs every single-machine check against one specification.
+func LintSpec(s *core.Spec) []Finding {
+	var out []Finding
+	if err := s.Validate(); err != nil {
+		out = append(out, Finding{Machine: s.Name, Check: CheckValidate, Detail: err.Error()})
+	}
+
+	reach := s.Reachable()
+	for _, st := range s.States() {
+		if !reach[st] {
+			out = append(out, Finding{
+				Machine: s.Name, Check: CheckUnreachable,
+				Detail: fmt.Sprintf("state %q is unreachable from %q", st, s.Initial),
+			})
+		}
+	}
+
+	ts := s.Transitions()
+
+	// Livelock: a state that is neither final nor attack and from
+	// which no final or attack state can be reached traps the machine
+	// (and its fact-base entry) forever: it can neither be evicted
+	// nor raise an alert. Unreachable states are already reported.
+	next := make(map[core.State][]core.State)
+	incoming := make(map[core.State]int)
+	for _, t := range ts {
+		next[t.From] = append(next[t.From], t.To)
+		incoming[t.To]++
+	}
+	terminalOK := canReachTerminal(s, next)
+	for _, st := range s.States() {
+		if !reach[st] || s.IsFinal(st) || s.IsAttack(st) {
+			continue
+		}
+		if !terminalOK[st] {
+			out = append(out, Finding{
+				Machine: s.Name, Check: CheckLivelock,
+				Detail: fmt.Sprintf("state %q has no path to any final or attack state: the machine can never be evicted or alert once here", st),
+			})
+		}
+	}
+
+	// Never-targeted: a declared non-initial state with no incoming
+	// transition. Always also unreachable, but the distinct message
+	// points at the likely cause (a From/To swap or a missing edge).
+	for _, st := range s.States() {
+		if st == s.Initial || incoming[st] > 0 {
+			continue
+		}
+		out = append(out, Finding{
+			Machine: s.Name, Check: CheckNeverTargeted,
+			Detail: fmt.Sprintf("state %q is never the target of a transition", st),
+		})
+	}
+
+	// Shadowed transitions: a guarded transition whose observable
+	// outcome (target, action, label) is identical to a catch-all
+	// sibling on the same (from, event) adds a guard that changes
+	// nothing — usually a leftover from a refactor, sometimes a guard
+	// attached to the wrong transition.
+	byKey := make(map[string][]core.Transition)
+	for _, t := range ts {
+		k := string(t.From) + "\x00" + t.Event
+		byKey[k] = append(byKey[k], t)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		group := byKey[k]
+		var catchAll *core.Transition
+		for i := range group {
+			if group[i].Guard == nil {
+				catchAll = &group[i]
+			}
+		}
+		if catchAll == nil || catchAll.Do != nil {
+			continue
+		}
+		for i := range group {
+			t := &group[i]
+			if t.Guard == nil || t.Do != nil {
+				continue
+			}
+			if t.To == catchAll.To && t.Label == catchAll.Label {
+				out = append(out, Finding{
+					Machine: s.Name, Check: CheckShadowed,
+					Detail: fmt.Sprintf("guarded transition %q -%s-> %q duplicates the catch-all on the same event: the guard has no effect", t.From, t.Event, t.To),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// canReachTerminal computes, for every state, whether some final or
+// attack state is reachable from it (including the state itself).
+func canReachTerminal(s *core.Spec, next map[core.State][]core.State) map[core.State]bool {
+	// Reverse BFS from the terminal set.
+	prev := make(map[core.State][]core.State)
+	for from, tos := range next {
+		for _, to := range tos {
+			prev[to] = append(prev[to], from)
+		}
+	}
+	ok := make(map[core.State]bool)
+	var frontier []core.State
+	for _, st := range s.States() {
+		if s.IsFinal(st) || s.IsAttack(st) {
+			ok[st] = true
+			frontier = append(frontier, st)
+		}
+	}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, p := range prev[cur] {
+			if !ok[p] {
+				ok[p] = true
+				frontier = append(frontier, p)
+			}
+		}
+	}
+	return ok
+}
+
+// LintSystem checks the δ-synchronization contract of a set of
+// communicating specifications and explores their bounded product.
+// Pass the specs exactly as they are assembled into one core.System
+// (for vids: the SIP machine plus both RTP direction machines).
+func LintSystem(specs []*core.Spec, opts Options) []Finding {
+	if opts.SyncPrefix == "" {
+		opts.SyncPrefix = "delta."
+	}
+	if opts.ProductDepth <= 0 {
+		opts.ProductDepth = 16
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 6
+	}
+
+	var out []Finding
+	byName := make(map[string]*core.Spec, len(specs))
+	for _, s := range specs {
+		if _, dup := byName[s.Name]; dup {
+			out = append(out, Finding{
+				Machine: "system", Check: CheckDuplicateName,
+				Detail: fmt.Sprintf("machine name %q used by more than one spec", s.Name),
+			})
+			continue
+		}
+		byName[s.Name] = s
+	}
+
+	em := discoverEmissions(specs, opts)
+
+	// Orphan emitters: a discovered δ emission whose target machine
+	// does not exist, or exists but has no transition consuming the
+	// event — the message would be dropped on the floor at run time.
+	consumes := make(map[string]map[string]bool) // machine -> event -> consumed
+	for _, s := range specs {
+		evs := make(map[string]bool)
+		for _, t := range s.Transitions() {
+			evs[t.Event] = true
+		}
+		consumes[s.Name] = evs
+	}
+	for _, e := range em.all() {
+		if _, ok := byName[e.target]; !ok {
+			out = append(out, Finding{
+				Machine: e.source, Check: CheckUnknownTarget,
+				Detail: fmt.Sprintf("transition %q -%s-> %q emits %q to machine %q, which is not part of the system", e.from, e.event, e.to, e.name, e.target),
+			})
+			continue
+		}
+		if !consumes[e.target][e.name] {
+			out = append(out, Finding{
+				Machine: e.source, Check: CheckOrphanEmitter,
+				Detail: fmt.Sprintf("δ event %q emitted to %q (by %q -%s-> %q) is never consumed by any of its transitions", e.name, e.target, e.from, e.event, e.to),
+			})
+		}
+	}
+
+	// Orphan consumers: a transition waiting on a sync-channel event
+	// that no peer ever emits toward this machine can never fire.
+	external := make(map[string]bool, len(opts.ExternalEvents))
+	for _, e := range opts.ExternalEvents {
+		external[e] = true
+	}
+	for _, s := range specs {
+		seen := make(map[string]bool)
+		for _, t := range s.Transitions() {
+			if !strings.HasPrefix(t.Event, opts.SyncPrefix) || external[t.Event] || seen[t.Event] {
+				continue
+			}
+			seen[t.Event] = true
+			if !em.emittedTo(s.Name, t.Event) {
+				out = append(out, Finding{
+					Machine: s.Name, Check: CheckOrphanConsumer,
+					Detail: fmt.Sprintf("transitions on δ event %q can never fire: no peer machine emits it to %q", t.Event, s.Name),
+				})
+			}
+		}
+	}
+
+	out = append(out, exploreProduct(specs, em, opts)...)
+	return out
+}
+
+// LintAll is the convenience entry point used by cmd/fsmdump: it
+// lints every spec individually and the communicating subset (the
+// first systemSize specs) as a product.
+func LintAll(specs []*core.Spec, systemSize int, opts Options) []Finding {
+	var out []Finding
+	for _, s := range specs {
+		out = append(out, LintSpec(s)...)
+	}
+	if systemSize > len(specs) {
+		systemSize = len(specs)
+	}
+	if systemSize > 1 {
+		out = append(out, LintSystem(specs[:systemSize], opts)...)
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package speclint
+
+import (
+	"strings"
+	"testing"
+
+	"vids/internal/core"
+	"vids/internal/ids"
+)
+
+func findingsFor(fs []Finding, check string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func assertOnly(t *testing.T, fs []Finding, check string, wantCount int) {
+	t.Helper()
+	if got := len(findingsFor(fs, check)); got != wantCount {
+		t.Fatalf("%s findings = %d, want %d (all: %v)", check, got, wantCount, fs)
+	}
+	if len(fs) != wantCount {
+		t.Fatalf("unexpected extra findings: %v", fs)
+	}
+}
+
+// --- Single-machine checks ------------------------------------------------
+
+func TestLintSpecCleanMachine(t *testing.T) {
+	s := core.NewSpec("clean", "S0")
+	s.On("S0", "a", nil, nil, "S1")
+	s.On("S1", "b", nil, nil, "S0")
+	s.Final("S0")
+	if fs := LintSpec(s); len(fs) != 0 {
+		t.Fatalf("clean spec produced findings: %v", fs)
+	}
+}
+
+func TestLintSpecLivelockSink(t *testing.T) {
+	s := core.NewSpec("live", "S0")
+	s.On("S0", "a", nil, nil, "DONE")
+	s.On("S0", "b", nil, nil, "SINK")
+	s.On("SINK", "c", nil, nil, "SINK")
+	s.Final("DONE")
+	fs := LintSpec(s)
+	assertOnly(t, fs, CheckLivelock, 1)
+	if !strings.Contains(fs[0].Detail, "SINK") {
+		t.Fatalf("livelock finding does not name the sink: %v", fs[0])
+	}
+}
+
+func TestLintSpecAttackStateIsNotLivelock(t *testing.T) {
+	// An absorbing attack state is a legitimate terminal: the alert
+	// fired and the analysis engine will evict the call.
+	s := core.NewSpec("atk", "S0")
+	s.On("S0", "a", nil, nil, "ATTACK")
+	s.On("ATTACK", "a", nil, nil, "ATTACK")
+	s.Attack("ATTACK")
+	if fs := LintSpec(s); len(fs) != 0 {
+		t.Fatalf("attack terminal flagged: %v", fs)
+	}
+}
+
+func TestLintSpecShadowedCatchAll(t *testing.T) {
+	s := core.NewSpec("shadow", "S0")
+	s.On("S0", "e", nil, nil, "S1")
+	s.On("S0", "e", func(c *core.Ctx) bool { return c.Event.IntArg("x") > 0 }, nil, "S1")
+	s.On("S1", "e", nil, nil, "S1")
+	s.Final("S1")
+	fs := LintSpec(s)
+	assertOnly(t, fs, CheckShadowed, 1)
+}
+
+func TestLintSpecGuardedSiblingWithDistinctTargetIsFine(t *testing.T) {
+	s := core.NewSpec("okfallback", "S0")
+	s.On("S0", "e", nil, nil, "S0") // catch-all loops
+	s.On("S0", "e", func(c *core.Ctx) bool { return c.Event.IntArg("x") > 0 }, nil, "S1")
+	s.Final("S0", "S1")
+	if fs := LintSpec(s); len(fs) != 0 {
+		t.Fatalf("legitimate fallback flagged: %v", fs)
+	}
+}
+
+func TestLintSpecUnreachableAndNeverTargeted(t *testing.T) {
+	s := core.NewSpec("orphan", "S0")
+	s.On("S0", "a", nil, nil, "S0")
+	s.On("LOST", "a", nil, nil, "S0") // LOST has no inbound edge
+	s.Final("S0")
+	fs := LintSpec(s)
+	if len(findingsFor(fs, CheckUnreachable)) != 1 {
+		t.Fatalf("unreachable not flagged: %v", fs)
+	}
+	if len(findingsFor(fs, CheckNeverTargeted)) != 1 {
+		t.Fatalf("never-targeted not flagged: %v", fs)
+	}
+}
+
+func TestLintSpecReportsValidateFailure(t *testing.T) {
+	s := core.NewSpec("typo", "S0")
+	s.On("S0", "a", nil, nil, "TYPO")
+	fs := LintSpec(s)
+	if len(findingsFor(fs, CheckValidate)) != 1 {
+		t.Fatalf("validate failure not surfaced: %v", fs)
+	}
+}
+
+// --- δ-channel contract ---------------------------------------------------
+
+// loopSpec is a minimal well-formed peer: a final initial state with
+// a data self-loop, so it always accepts input and never deadlocks.
+func loopSpec(name string) *core.Spec {
+	s := core.NewSpec(name, "T0")
+	s.On("T0", name+".data", nil, nil, "T0")
+	s.Final("T0")
+	return s
+}
+
+func TestOrphanDeltaEmitter(t *testing.T) {
+	a := core.NewSpec("a", "S0")
+	a.On("S0", "go", nil, func(c *core.Ctx) {
+		c.Emit("b", core.Event{Name: "delta.gone"})
+	}, "S1")
+	a.On("S1", "go", nil, nil, "S1")
+	a.Final("S1")
+	b := loopSpec("b") // never consumes delta.gone
+
+	fs := LintSystem([]*core.Spec{a, b}, DefaultOptions())
+	got := findingsFor(fs, CheckOrphanEmitter)
+	if len(got) != 1 || !strings.Contains(got[0].Detail, "delta.gone") {
+		t.Fatalf("orphan emitter not flagged: %v", fs)
+	}
+}
+
+func TestOrphanDeltaConsumer(t *testing.T) {
+	a := loopSpec("a")
+	b := core.NewSpec("b", "T0")
+	b.On("T0", "b.data", nil, nil, "T0")
+	b.On("T0", "delta.ghost", nil, nil, "T1") // nobody emits delta.ghost
+	b.On("T1", "b.data", nil, nil, "T1")
+	b.Final("T0", "T1")
+
+	fs := LintSystem([]*core.Spec{a, b}, DefaultOptions())
+	got := findingsFor(fs, CheckOrphanConsumer)
+	if len(got) != 1 || !strings.Contains(got[0].Detail, "delta.ghost") {
+		t.Fatalf("orphan consumer not flagged: %v", fs)
+	}
+}
+
+func TestUnknownDeltaTarget(t *testing.T) {
+	a := core.NewSpec("a", "S0")
+	a.On("S0", "go", nil, func(c *core.Ctx) {
+		c.Emit("nobody", core.Event{Name: "delta.x"})
+	}, "S0")
+	a.Final("S0")
+
+	fs := LintSystem([]*core.Spec{a, loopSpec("b")}, DefaultOptions())
+	got := findingsFor(fs, CheckUnknownTarget)
+	if len(got) != 1 || !strings.Contains(got[0].Detail, "nobody") {
+		t.Fatalf("unknown target not flagged: %v", fs)
+	}
+}
+
+func TestConditionalEmissionDiscoveredThroughProbes(t *testing.T) {
+	// The emission only happens when the event carries an sdpAddr —
+	// exactly how the real SIP spec opens the RTP direction. The
+	// default probe set must drive the action through the branch.
+	a := core.NewSpec("a", "S0")
+	a.On("S0", "go", nil, func(c *core.Ctx) {
+		if c.Event.StringArg("sdpAddr") != "" {
+			c.Emit("b", core.Event{Name: "delta.open"})
+		}
+	}, "S0")
+	a.Final("S0")
+	b := core.NewSpec("b", "T0")
+	b.On("T0", "b.data", nil, nil, "T0")
+	b.On("T0", "delta.open", nil, nil, "T1")
+	b.On("T1", "b.data", nil, nil, "T1")
+	b.Final("T0", "T1")
+
+	fs := LintSystem([]*core.Spec{a, b}, DefaultOptions())
+	if len(fs) != 0 {
+		t.Fatalf("conditional emission not discovered: %v", fs)
+	}
+}
+
+// --- Product exploration --------------------------------------------------
+
+func TestProductDeadlock(t *testing.T) {
+	// After "go", machine a waits forever for a δ that nobody sends
+	// while b accepts nothing at all: a deadlocked configuration.
+	a := core.NewSpec("a", "S0")
+	a.On("S0", "go", nil, nil, "S1")
+	a.On("S1", "delta.x", nil, nil, "S2")
+	a.Final("S2")
+	b := core.NewSpec("b", "T0")
+
+	fs := LintSystem([]*core.Spec{a, b}, DefaultOptions())
+	got := findingsFor(fs, CheckDeadlock)
+	if len(got) != 1 {
+		t.Fatalf("deadlock not flagged exactly once: %v", fs)
+	}
+	if !strings.Contains(got[0].Detail, "a=S1") || !strings.Contains(got[0].Detail, "b=T0") {
+		t.Fatalf("deadlock finding does not describe the configuration: %v", got[0])
+	}
+}
+
+func TestProductUnreachableAttack(t *testing.T) {
+	// ATTACK is reachable in a's own graph (one δ transition away)
+	// but no peer ever emits delta.go, so the product never gets
+	// there: the detection can never fire.
+	a := core.NewSpec("a", "S0")
+	a.On("S0", "a.data", nil, nil, "S0")
+	a.On("S0", "delta.go", nil, nil, "ATTACK")
+	a.On("ATTACK", "a.data", nil, nil, "ATTACK")
+	a.Final("S0")
+	a.Attack("ATTACK")
+
+	fs := LintSystem([]*core.Spec{a, loopSpec("b")}, DefaultOptions())
+	if got := findingsFor(fs, CheckProductAttack); len(got) != 1 ||
+		!strings.Contains(got[0].Detail, "ATTACK") {
+		t.Fatalf("product-unreachable attack not flagged: %v", fs)
+	}
+	// The same broken contract also shows up as an orphan consumer.
+	if got := findingsFor(fs, CheckOrphanConsumer); len(got) != 1 {
+		t.Fatalf("orphan consumer missing: %v", fs)
+	}
+}
+
+func TestProductAttackReachableThroughDelta(t *testing.T) {
+	// Same machine, but now b emits the δ: both checks must go quiet.
+	a := core.NewSpec("a", "S0")
+	a.On("S0", "a.data", nil, nil, "S0")
+	a.On("S0", "delta.go", nil, nil, "ATTACK")
+	a.On("ATTACK", "a.data", nil, nil, "ATTACK")
+	a.Final("S0")
+	a.Attack("ATTACK")
+	b := core.NewSpec("b", "T0")
+	b.On("T0", "b.data", nil, func(c *core.Ctx) {
+		c.Emit("a", core.Event{Name: "delta.go"})
+	}, "T0")
+	b.Final("T0")
+
+	if fs := LintSystem([]*core.Spec{a, b}, DefaultOptions()); len(fs) != 0 {
+		t.Fatalf("healthy contract produced findings: %v", fs)
+	}
+}
+
+func TestDuplicateMachineNames(t *testing.T) {
+	fs := LintSystem([]*core.Spec{loopSpec("a"), loopSpec("a")}, DefaultOptions())
+	if got := findingsFor(fs, CheckDuplicateName); len(got) != 1 {
+		t.Fatalf("duplicate machine name not flagged: %v", fs)
+	}
+}
+
+// --- The real specifications must lint clean ------------------------------
+
+func TestRealSpecsLintClean(t *testing.T) {
+	cfg := ids.DefaultConfig()
+	for _, s := range ids.Specs(cfg) {
+		if fs := LintSpec(s); len(fs) != 0 {
+			t.Errorf("%s: %d finding(s):", s.Name, len(fs))
+			for _, f := range fs {
+				t.Errorf("  %s", f)
+			}
+		}
+	}
+	if fs := LintSystem(ids.SystemSpecs(cfg), DefaultOptions()); len(fs) != 0 {
+		t.Errorf("system: %d finding(s):", len(fs))
+		for _, f := range fs {
+			t.Errorf("  %s", f)
+		}
+	}
+}
+
+func TestRealSpecsProductCoversEveryAttack(t *testing.T) {
+	// Belt and braces for the acceptance criterion: every attack
+	// state of the communicating triple is entered during bounded
+	// product exploration (TestRealSpecsLintClean would fail with
+	// product-unreachable-attack findings otherwise, but this makes
+	// the coverage explicit).
+	cfg := ids.DefaultConfig()
+	specs := ids.SystemSpecs(cfg)
+	opts := DefaultOptions()
+	fs := exploreProduct(specs, discoverEmissions(specs, opts), opts)
+	if len(fs) != 0 {
+		t.Fatalf("product exploration findings: %v", fs)
+	}
+}
