@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fmt lint ci golden
+.PHONY: all build test race fmt lint ci golden bench-smoke
 
 all: build
 
@@ -27,8 +27,14 @@ lint: fmt
 	$(GO) run ./cmd/vidslint ./...
 	$(GO) run ./cmd/fsmdump
 
+# bench-smoke exercises the concurrent engine benchmark once per
+# shard count under the race detector — a cheap CI gate that the
+# sharded pipeline still builds, runs and drains cleanly.
+bench-smoke:
+	$(GO) test -race -run '^$$' -bench 'BenchmarkEngineThroughput' -benchtime=1x .
+
 # ci reproduces .github/workflows/ci.yml locally.
-ci: lint build race
+ci: lint build race bench-smoke
 
 # golden regenerates the spec-graph golden files after a reviewed
 # specification change.

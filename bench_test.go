@@ -2,12 +2,14 @@ package vids_test
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
 	"vids"
 	"vids/internal/attack"
 	"vids/internal/core"
+	"vids/internal/engine"
 	"vids/internal/ids"
 	"vids/internal/media"
 	"vids/internal/rtp"
@@ -422,6 +424,41 @@ func BenchmarkTraceReplay(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(entries)), "packets/replay")
+}
+
+// BenchmarkEngineThroughput measures the online sharded pipeline
+// (internal/engine) end to end: a synthetic benign-call workload
+// ingested, routed, analyzed and drained. Sub-benchmarks compare 1
+// and 4 shard workers — on a multi-core runner the 4-shard variant
+// shows the parallel speedup the paper's per-call independence
+// argument predicts (experiment E10 reports the same comparison).
+func BenchmarkEngineThroughput(b *testing.B) {
+	entries := engine.Synthesize(engine.SynthConfig{Calls: 200, RTPPerCall: 40})
+	pkts := make([]*sim.Packet, len(entries))
+	ats := make([]time.Duration, len(entries))
+	for i, en := range entries {
+		pkts[i] = en.Packet()
+		ats[i] = en.At()
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := engine.New(engine.Config{Shards: shards})
+				for j := range pkts {
+					if err := e.Ingest(pkts[j], ats[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := e.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if st := e.Stats(); st.Processed == 0 {
+					b.Fatal("nothing processed")
+				}
+			}
+			b.ReportMetric(float64(len(pkts)*b.N)/b.Elapsed().Seconds(), "pkts/sec")
+		})
+	}
 }
 
 // BenchmarkRTCPParse measures RTCP decoding.

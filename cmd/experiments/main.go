@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fast] [-seed N] [-uas N] [-duration D] [fig8|fig9|fig10|cpu|memory|accuracy|sensitivity|ablation|auth|prevention|all]
+//	experiments [-fast] [-seed N] [-uas N] [-duration D] [fig8|fig9|fig10|cpu|memory|accuracy|sensitivity|ablation|auth|prevention|engine|all]
 //
 // The default runs everything at paper scale (20 UAs, 120-minute
 // workload); -fast shrinks the runs for a quick look.
@@ -70,6 +70,7 @@ func run(args []string) error {
 		{"ablation", func() (interface{ Render() string }, error) { return vids.Ablation(attackScale(opts)) }},
 		{"auth", func() (interface{ Render() string }, error) { return vids.Auth(attackScale(opts)) }},
 		{"prevention", func() (interface{ Render() string }, error) { return vids.Prevention(attackScale(opts)) }},
+		{"engine", func() (interface{ Render() string }, error) { return vids.EngineScaling(opts) }},
 	}
 
 	matched := false
@@ -88,7 +89,7 @@ func run(args []string) error {
 		fmt.Printf("(%s completed in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want fig8|fig9|fig10|cpu|memory|accuracy|sensitivity|ablation|auth|prevention|all)", which)
+		return fmt.Errorf("unknown experiment %q (want fig8|fig9|fig10|cpu|memory|accuracy|sensitivity|ablation|auth|prevention|engine|all)", which)
 	}
 	return nil
 }

@@ -3,7 +3,7 @@ package main
 import "testing"
 
 func TestFastSingleExperiments(t *testing.T) {
-	for _, which := range []string{"memory", "ablation", "auth"} {
+	for _, which := range []string{"memory", "ablation", "auth", "engine"} {
 		if err := run([]string{"-fast", which}); err != nil {
 			t.Fatalf("%s: %v", which, err)
 		}

@@ -7,18 +7,25 @@
 // Usage:
 //
 //	vids [-scenario bye-dos|cancel-dos|invite-flood|media-spam|rtp-flood|codec-change|hijack|toll-fraud|drdos|register-hijack|rtcp-bye|clean|all] [-report alerts.json]
-//	vids -replay trace.jsonl
+//	vids -replay trace.jsonl [-shards N]
+//
+// With -shards N > 0 the replay runs through the concurrent sharded
+// engine (internal/engine) and the resulting alert set is verified
+// against a single-threaded replay of the same trace.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"strings"
 	"time"
 
 	"vids"
 	"vids/internal/attack"
+	"vids/internal/engine"
 	"vids/internal/sim"
 	"vids/internal/sipmsg"
 	"vids/internal/trace"
@@ -45,12 +52,13 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "workload seed")
 		replay   = fs.String("replay", "", "analyze a captured packet trace instead of running the testbed")
 		report   = fs.String("report", "", "write the alert report (JSON) to this file")
+		shards   = fs.Int("shards", 0, "replay through the concurrent engine with N shard workers (0 = single-threaded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *replay != "" {
-		return replayTrace(*replay, *report)
+		return replayTrace(*replay, *report, *shards)
 	}
 
 	names := scenarioNames
@@ -70,20 +78,36 @@ func writeReport(d *vids.IDS, path string) error {
 	if path == "" {
 		return nil
 	}
+	return writeAlerts(d.Alerts(), path)
+}
+
+// writeAlerts renders an alert slice in the same JSON format as
+// IDS.WriteAlerts.
+func writeAlerts(alerts []vids.Alert, path string) error {
+	if path == "" {
+		return nil
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := d.WriteAlerts(f); err != nil {
+	if alerts == nil {
+		alerts = []vids.Alert{}
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(alerts); err != nil {
 		return err
 	}
-	fmt.Printf("  report: %d alert(s) written to %s\n", len(d.Alerts()), path)
+	fmt.Printf("  report: %d alert(s) written to %s\n", len(alerts), path)
 	return nil
 }
 
-// replayTrace feeds a captured trace into a fresh IDS instance.
-func replayTrace(path, report string) error {
+// replayTrace feeds a captured trace into a fresh IDS instance, or —
+// with shards > 0 — into the concurrent sharded engine, in which case
+// the engine's alert set is checked against the single-threaded run.
+func replayTrace(path, report string, shards int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -92,6 +116,9 @@ func replayTrace(path, report string) error {
 	entries, err := trace.Read(f)
 	if err != nil {
 		return err
+	}
+	if shards > 0 {
+		return replayEngine(entries, report, shards)
 	}
 	s := vids.NewSimulator(1)
 	d := vids.New(s, vids.DefaultConfig())
@@ -106,6 +133,46 @@ func replayTrace(path, report string) error {
 	fmt.Printf("replayed %d packets: sip=%d rtp=%d parse-errors=%d deviations=%d alerts=%d\n",
 		len(entries), sipN, rtpN, parseErrs, deviations, len(d.Alerts()))
 	return writeReport(d, report)
+}
+
+// replayEngine pushes the trace through the sharded engine and
+// verifies the resulting alert set matches a sequential replay of the
+// same entries — the engine's correctness contract.
+func replayEngine(entries []trace.Entry, report string, shards int) error {
+	e := engine.New(engine.Config{Shards: shards})
+	for i, en := range entries {
+		if err := e.Ingest(en.Packet(), en.At()); err != nil {
+			return fmt.Errorf("entry %d: %w", i, err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		return err
+	}
+	alerts := e.Alerts()
+	for _, a := range alerts {
+		fmt.Printf("ALERT %s\n", a)
+	}
+	st := e.Stats()
+	fmt.Printf("replayed %d packets on %d shard(s): processed=%d absorbed=%d parse-errors=%d dropped=%d alerts=%d\n",
+		len(entries), e.Shards(), st.Processed, st.Absorbed, st.ParseErrors, st.Dropped, len(alerts))
+
+	// Cross-check against the single-threaded path: same trace, same
+	// detectors, one fact base.
+	s := vids.NewSimulator(1)
+	d := vids.New(s, vids.DefaultConfig())
+	if err := trace.Replay(s, entries, d); err != nil {
+		return err
+	}
+	if err := s.RunAll(); err != nil {
+		return err
+	}
+	seq := d.Alerts()
+	engine.SortAlerts(seq)
+	if !reflect.DeepEqual(alerts, seq) {
+		return fmt.Errorf("engine alerts diverge from the sequential run: %d vs %d", len(alerts), len(seq))
+	}
+	fmt.Printf("  verified: alert set matches the sequential run (%d alert(s))\n", len(seq))
+	return writeAlerts(alerts, report)
 }
 
 func runScenario(name string, seed int64, report string) error {

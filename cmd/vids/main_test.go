@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
+
+	"vids/internal/engine"
+	"vids/internal/trace"
 )
 
 func TestScenarioAndReplayWorkflow(t *testing.T) {
@@ -18,6 +22,39 @@ func TestScenarioAndReplayWorkflow(t *testing.T) {
 
 func TestCleanScenario(t *testing.T) {
 	if err := run([]string{"-scenario", "clean"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedReplay replays a synthetic attack trace through the
+// sharded engine; the command itself asserts the alert set matches
+// the single-threaded run.
+func TestShardedReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "synth.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	for _, en := range engine.Synthesize(engine.SynthConfig{Calls: 12, RTPPerCall: 6, Attacks: true}) {
+		if err := w.Record(en.Packet(), en.At()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	report := filepath.Join(dir, "alerts.json")
+	if err := run([]string{"-replay", path, "-shards", "4", "-report", report}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(report); err != nil || fi.Size() == 0 {
+		t.Fatalf("report not written: %v", err)
+	}
+	// The legacy single-threaded path must still work.
+	if err := run([]string{"-replay", path}); err != nil {
 		t.Fatal(err)
 	}
 }

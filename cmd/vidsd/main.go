@@ -1,0 +1,175 @@
+// Command vidsd runs vids as an online detection daemon: the sharded
+// concurrent engine (internal/engine) fed from a packet source, with
+// alerts streamed to stdout as they fire and pipeline statistics
+// reported periodically on stderr.
+//
+// Two sources are available:
+//
+//   - trace: replay a captured trace file (cmd/simnet -trace or
+//     cmd/vids -report companions) at a configurable pace. -pace 1
+//     reproduces the capture timeline in real time, -pace 0 pushes as
+//     fast as the engine accepts — the offline-analysis mode.
+//   - udp: bind real UDP sockets for SIP and media (RTCP is
+//     demultiplexed off the media socket per RFC 5761) and analyze
+//     whatever arrives, live.
+//
+// Usage:
+//
+//	vidsd -source trace -trace capture.jsonl [-pace 1] [-shards N]
+//	vidsd -source udp [-sip :5060] [-rtp :20000] [-policy drop]
+//
+// The daemon drains and exits when the source is exhausted or on
+// SIGINT/SIGTERM: queued packets are analyzed, final statistics are
+// printed, and -report writes the full alert log as JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vids/internal/engine"
+	"vids/internal/ids"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vidsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vidsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		shards    = fs.Int("shards", 0, "detection shard workers (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 0, "per-shard queue depth (0 = 1024)")
+		policy    = fs.String("policy", "block", "full-queue policy: block (lossless) or drop (drop-oldest)")
+		source    = fs.String("source", "trace", "packet source: trace or udp")
+		tracePath = fs.String("trace", "", "trace file to replay (source=trace)")
+		pace      = fs.Float64("pace", 1, "replay speed multiple; 0 = as fast as possible (source=trace)")
+		sipAddr   = fs.String("sip", ":5060", "SIP listen address (source=udp)")
+		rtpAddr   = fs.String("rtp", ":20000", "media listen address (source=udp)")
+		advertise = fs.String("advertise", "", "host recorded as packet destination; match your SDP (source=udp)")
+		statsIvl  = fs.Duration("stats", 10*time.Second, "statistics reporting interval (0 disables)")
+		report    = fs.String("report", "", "write the alert log (JSON) to this file on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := engine.Config{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		OnAlert: func(a ids.Alert) {
+			fmt.Fprintf(stdout, "ALERT %s\n", a)
+		},
+	}
+	switch *policy {
+	case "block":
+		cfg.Policy = engine.Block
+	case "drop":
+		cfg.Policy = engine.DropOldest
+	default:
+		return fmt.Errorf("unknown -policy %q (want block or drop)", *policy)
+	}
+
+	var src engine.Source
+	switch *source {
+	case "trace":
+		if *tracePath == "" {
+			return fmt.Errorf("source=trace needs -trace FILE")
+		}
+		src = &engine.TraceSource{Path: *tracePath, Pace: *pace}
+	case "udp":
+		src = &engine.UDPSource{SIPAddr: *sipAddr, RTPAddr: *rtpAddr, AdvertiseHost: *advertise}
+	default:
+		return fmt.Errorf("unknown -source %q (want trace or udp)", *source)
+	}
+
+	e := engine.New(cfg)
+	fmt.Fprintf(stderr, "vidsd: %d shard(s), queue %s, source %s\n",
+		e.Shards(), cfg.Policy, *source)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Periodic stats on stderr, so alert output on stdout stays clean
+	// for piping.
+	statsDone := make(chan struct{})
+	if *statsIvl > 0 {
+		go func() {
+			defer close(statsDone)
+			t := time.NewTicker(*statsIvl)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					printStats(stderr, e.Stats())
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	} else {
+		close(statsDone)
+	}
+
+	srcErr := src.Run(ctx, e)
+	if errors.Is(srcErr, context.Canceled) {
+		fmt.Fprintln(stderr, "vidsd: interrupted, draining")
+		srcErr = nil
+	}
+	stop()
+	<-statsDone
+	if err := e.Close(); err != nil {
+		return err
+	}
+
+	st := e.Stats()
+	printStats(stderr, st)
+	alerts := e.Alerts()
+	fmt.Fprintf(stderr, "vidsd: done: %d alert(s)\n", len(alerts))
+	if *report != "" {
+		if err := writeReport(alerts, *report); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "vidsd: report written to %s\n", *report)
+	}
+	return srcErr
+}
+
+func printStats(w io.Writer, st engine.Stats) {
+	fmt.Fprintf(w, "vidsd: ingested=%d processed=%d dropped=%d absorbed=%d ignored=%d parse-errors=%d alerts=%d pps=%.0f\n",
+		st.Ingested, st.Processed, st.Dropped, st.Absorbed, st.Ignored,
+		st.ParseErrors, st.Alerts, st.PacketsPerSec)
+	for i, sh := range st.Shards {
+		if sh.Depth > 0 {
+			fmt.Fprintf(w, "vidsd:   shard %d backlog: %d queued\n", i, sh.Depth)
+		}
+	}
+}
+
+// writeReport renders the alert log in the same JSON format as
+// ids.IDS.WriteAlerts.
+func writeReport(alerts []ids.Alert, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if alerts == nil {
+		alerts = []ids.Alert{}
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(alerts)
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vids/internal/engine"
+	"vids/internal/trace"
+)
+
+func writeSynthTrace(t *testing.T, cfg engine.SynthConfig) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "synth.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	for _, en := range engine.Synthesize(cfg) {
+		if err := w.Record(en.Packet(), en.At()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceRunToCompletion drives the daemon end to end on a synthetic
+// attack trace at maximum pace: it must detect, drain, report and
+// exit on its own.
+func TestTraceRunToCompletion(t *testing.T) {
+	path := writeSynthTrace(t, engine.SynthConfig{Calls: 10, RTPPerCall: 5, Attacks: true})
+	report := filepath.Join(t.TempDir(), "alerts.json")
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-source", "trace", "-trace", path, "-pace", "0",
+		"-shards", "3", "-policy", "block", "-report", report,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ALERT") {
+		t.Errorf("no alerts on stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "vidsd: done:") {
+		t.Errorf("no final summary on stderr:\n%s", stderr.String())
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "invite-flood") {
+		t.Errorf("report missing expected alert types:\n%s", data)
+	}
+}
+
+// TestDropPolicyFlag exercises the drop-oldest configuration path.
+func TestDropPolicyFlag(t *testing.T) {
+	path := writeSynthTrace(t, engine.SynthConfig{Calls: 2, RTPPerCall: 2})
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-source", "trace", "-trace", path, "-pace", "0",
+		"-shards", "1", "-queue", "4", "-policy", "drop", "-stats", "0",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-policy", "bogus"},
+		{"-source", "bogus"},
+		{"-source", "trace"}, // no -trace file
+		{"-nope"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

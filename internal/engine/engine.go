@@ -1,0 +1,569 @@
+// Package engine runs vids online: a sharded, concurrent detection
+// pipeline wrapping the per-call machinery of internal/ids.
+//
+// The paper argues vids scales because per-call EFSM pairs are
+// independent (Section 7.3): one call's SIP machine, its two RTP
+// machines and the δ channels between them never touch another call's
+// state. The engine exploits exactly that independence. It owns N
+// shard workers, each with its own ids.IDS fact base on its own
+// virtual clock, and routes every packet to the shard that owns its
+// call: SIP by FNV hash of the Call-ID, RTP and RTCP through a media
+// key → Call-ID index maintained from the SDP offers the router sees
+// crossing it. Both machines of a call and their δ channels therefore
+// always live on one shard, and the hot path takes no cross-shard
+// locks.
+//
+// The only detectors that cannot be shard-local are the cross-call
+// windowed ones — the per-destination INVITE flood (Figure 4) and the
+// DRDoS response-reflection counter — because a flood deliberately
+// spreads over many Call-IDs and would scatter across shards. The
+// router runs one shared ids.FloodWatch at its single serialized
+// ingestion point and configures every shard with ExternalFloods so
+// the shard-local copies stay silent.
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vids/internal/ids"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// Policy selects the backpressure behavior when a shard's queue is
+// full.
+type Policy int
+
+const (
+	// Block makes Ingest wait for queue space: lossless, the right
+	// policy for trace replay where input pacing is elastic.
+	Block Policy = iota
+	// DropOldest evicts the oldest queued packet to admit the newest,
+	// counting the eviction in the shard's drop counter: the right
+	// policy for live capture, where blocking the reader loses packets
+	// in the kernel instead — invisibly.
+	DropOldest
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return "policy(?)"
+	}
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the number of detection workers. Zero or negative
+	// means GOMAXPROCS.
+	Shards int
+	// QueueDepth bounds each shard's pending-packet queue. Zero or
+	// negative means 1024.
+	QueueDepth int
+	// Policy selects what Ingest does when a shard queue is full.
+	Policy Policy
+	// IDS configures each shard's detector instance. The zero value
+	// means ids.DefaultConfig(). ExternalFloods is forced on: the
+	// engine always runs the one shared FloodWatch itself.
+	IDS ids.Config
+	// OnAlert, when set, observes every alert as it is raised. The
+	// engine serializes the calls (alerts originate on shard workers
+	// and inside Ingest, but never overlap), so an unsynchronized
+	// writer is fine. The callback must not call back into the
+	// engine's Ingest or Close.
+	OnAlert func(ids.Alert)
+}
+
+// ErrClosed is returned by Ingest after Close has begun.
+var ErrClosed = errors.New("engine: closed")
+
+// item is one unit of shard work: a packet, its capture timestamp,
+// and — for SIP — the parse the router already did to route it.
+type item struct {
+	pkt *sim.Packet
+	at  time.Duration
+	sip *sipmsg.Message
+}
+
+// shard is one detection worker: a bounded queue feeding a
+// single-goroutine ids.IDS on its own virtual clock.
+type shard struct {
+	ch   chan item
+	sim  *sim.Simulator
+	ids  *ids.IDS
+	done chan struct{}
+
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+	alerts    atomic.Uint64
+}
+
+// Engine is the online detection pipeline. Create instances with New;
+// the zero value is not usable.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+
+	// Router state. The router is the single point that sees the whole
+	// packet stream, so the cross-call detectors and the routing
+	// indexes live here, under one mutex. Shard work happens outside
+	// it.
+	mu         sync.Mutex
+	clock      *sim.Simulator           // drives FloodWatch windows and index GC
+	fw         *ids.FloodWatch          // shared cross-call detectors
+	fwAlerts   []ids.Alert              // alerts the router itself raised
+	media      map[string]string        // media key -> owning Call-ID
+	calls      map[string]time.Duration // Call-ID -> last activity (stray-response test + GC)
+	gone       map[string]time.Duration // Call-ID -> when the sweep forgot it (router tombstones)
+	retain     time.Duration            // how long idle routing entries survive
+	sweepArmed bool
+
+	ingested    atomic.Uint64
+	parseErrors atomic.Uint64
+	absorbed    atomic.Uint64 // stray responses consumed by the router
+	ignored     atomic.Uint64 // non-VoIP packets
+	alertCount  atomic.Uint64
+
+	closed   atomic.Bool
+	ingestWG sync.WaitGroup // in-flight Ingest calls, so Close never races a queue send
+	start    time.Time
+
+	// cbMu serializes cfg.OnAlert delivery across shard workers and
+	// the router. Always acquired after e.mu, never before it.
+	cbMu sync.Mutex
+}
+
+// New creates an engine and starts its shard workers. The caller must
+// Close it to drain the queues and release the workers.
+func New(cfg Config) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.IDS == (ids.Config{}) {
+		cfg.IDS = ids.DefaultConfig()
+	}
+	cfg.IDS.ExternalFloods = true
+
+	e := &Engine{
+		cfg:    cfg,
+		clock:  sim.New(0),
+		media:  make(map[string]string),
+		calls:  make(map[string]time.Duration),
+		gone:   make(map[string]time.Duration),
+		retain: cfg.IDS.IdleEviction + cfg.IDS.CloseLinger,
+		start:  time.Now(),
+	}
+	e.fw = ids.NewFloodWatch(e.clock, cfg.IDS, func(a ids.Alert) {
+		// Runs under e.mu: FeedInvite/FeedStrayResponse and the router
+		// clock's timers only execute inside Ingest or Close.
+		e.fwAlerts = append(e.fwAlerts, a)
+		e.alertCount.Add(1)
+		e.deliver(a)
+	})
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		s := sim.New(int64(i) + 1)
+		sh := &shard{
+			ch:   make(chan item, cfg.QueueDepth),
+			sim:  s,
+			ids:  ids.New(s, cfg.IDS),
+			done: make(chan struct{}),
+		}
+		sh.ids.OnAlert = func(a ids.Alert) {
+			sh.alerts.Add(1)
+			e.alertCount.Add(1)
+			e.deliver(a)
+		}
+		e.shards[i] = sh
+		go sh.run()
+	}
+	return e
+}
+
+// deliver hands an alert to the user's OnAlert callback, serializing
+// across the shard workers and the router so the callback never runs
+// concurrently with itself.
+func (e *Engine) deliver(a ids.Alert) {
+	if e.cfg.OnAlert == nil {
+		return
+	}
+	e.cbMu.Lock()
+	defer e.cbMu.Unlock()
+	e.cfg.OnAlert(a)
+}
+
+// run is the shard worker loop: advance the shard clock to each
+// packet's capture time (firing due timers first, exactly as a
+// sequential replay would), analyze, repeat. When the queue closes the
+// remaining timers run to completion so grace-window alerts (Figure 5
+// timer T, the RTCP BYE window) still fire.
+func (sh *shard) run() {
+	defer close(sh.done)
+	for it := range sh.ch {
+		_ = sh.sim.RunUntil(it.at)
+		if it.sip != nil {
+			sh.ids.ProcessSIP(it.sip, it.pkt)
+		} else {
+			sh.ids.Process(it.pkt)
+		}
+		sh.processed.Add(1)
+	}
+	_ = sh.sim.RunAll()
+}
+
+// enqueue applies the backpressure policy. DropOldest uses two
+// non-blocking selects so concurrent producers never deadlock; the
+// accounting is approximate under contention (another producer may
+// take the slot this one freed), which is fine for a drop counter.
+func (sh *shard) enqueue(it item, p Policy) {
+	if p == Block {
+		sh.ch <- it
+		return
+	}
+	for {
+		select {
+		case sh.ch <- it:
+			return
+		default:
+		}
+		select {
+		case <-sh.ch:
+			sh.dropped.Add(1)
+		default:
+		}
+	}
+}
+
+// fnv32a is FNV-1a over the key string, inlined to keep the hot path
+// allocation-free.
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (e *Engine) shardFor(key string) *shard {
+	return e.shards[int(fnv32a(key)%uint32(len(e.shards)))]
+}
+
+// Ingest routes one captured packet into the pipeline. at is the
+// packet's capture timestamp on the trace clock; callers must deliver
+// packets in capture order. Ingest is safe for concurrent use and
+// returns ErrClosed once Close has begun. Parse failures are counted,
+// not returned: garbage on the wire is an observation, not an ingest
+// error.
+func (e *Engine) Ingest(pkt *sim.Packet, at time.Duration) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.ingestWG.Add(1)
+	defer e.ingestWG.Done()
+	// Re-check after joining the wait group: Close sets closed before
+	// waiting, so passing this check guarantees Close has not yet
+	// closed the shard queues.
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.ingested.Add(1)
+
+	switch pkt.Proto {
+	case sim.ProtoSIP:
+		e.ingestSIP(pkt, at)
+	case sim.ProtoRTP:
+		key, ok := e.lookupMedia(pkt.To.Host, pkt.To.Port, at)
+		if !ok {
+			// No SDP advertised this destination: the stream is
+			// unsolicited. Hash the media key itself so every packet
+			// of the stream still meets one shard's spam monitor.
+			key = ids.MediaKey(pkt.To.Host, pkt.To.Port)
+		}
+		e.shardFor(key).enqueue(item{pkt: pkt, at: at}, e.cfg.Policy)
+	case sim.ProtoRTCP:
+		// RTCP rides the media port + 1 (RFC 3550 convention the
+		// shard-side handler assumes too).
+		key, ok := e.lookupMedia(pkt.To.Host, pkt.To.Port-1, at)
+		if !ok {
+			key = ids.MediaKey(pkt.To.Host, pkt.To.Port-1)
+		}
+		e.shardFor(key).enqueue(item{pkt: pkt, at: at}, e.cfg.Policy)
+	default:
+		// Non-VoIP traffic is outside vids' scope.
+		e.ignored.Add(1)
+	}
+	return nil
+}
+
+// ingestSIP parses, feeds the cross-call detectors, maintains the
+// routing indexes, and forwards to the owning shard — or absorbs the
+// packet here when it is a stray response the shared FloodWatch owns.
+func (e *Engine) ingestSIP(pkt *sim.Packet, at time.Duration) {
+	raw, ok := pkt.Payload.([]byte)
+	if !ok {
+		e.parseErrors.Add(1)
+		return
+	}
+	m, err := sipmsg.Parse(raw)
+	if err != nil {
+		e.parseErrors.Add(1)
+		return
+	}
+
+	e.mu.Lock()
+	// Fire flood-window timers due before this packet, then feed.
+	_ = e.clock.RunUntil(at)
+	now := e.clock.Now()
+
+	if m.IsRequest() && m.Method == sipmsg.INVITE {
+		if m.To.Tag() == "" {
+			e.fw.FeedInvite(m.RequestURI.User+"@"+m.RequestURI.Host, pkt.From.Host, now)
+		}
+		// Any INVITE creates a call monitor on its shard; remember the
+		// Call-ID so later responses are recognized as answered, not
+		// stray.
+		e.noteCall(m.CallID, at)
+	}
+	_, known := e.calls[m.CallID]
+	if known {
+		e.calls[m.CallID] = at
+	}
+	if m.IsResponse() && !known {
+		// A response for a call this edge never initiated. The
+		// registrar's answer to a REGISTER is the echo of a request
+		// that already raised its own alert, and a response for a call
+		// the sweep only recently forgot is a straggler of a closed
+		// dialog (the sequential path swallows it on a tombstone);
+		// everything else counts toward the DRDoS reflection window.
+		// Either way the shards never see it — mirroring the sequential
+		// path, where such packets die in handleSIP without touching
+		// any machine.
+		_, evicted := e.gone[m.CallID]
+		if !evicted && m.CSeq.Method != sipmsg.REGISTER {
+			e.fw.FeedStrayResponse(m, pkt.To.Host, pkt.From.Host, now)
+		}
+		e.absorbed.Add(1)
+		e.mu.Unlock()
+		return
+	}
+	// Mirror ids.indexMedia: the INVITE's SDP names where the callee's
+	// stream will land, the 2xx answer's SDP where the caller's will.
+	if (m.IsRequest() && m.Method == sipmsg.INVITE) ||
+		(m.IsResponse() && m.IsSuccess() && m.CSeq.Method == sipmsg.INVITE) {
+		if addr, port, _, ok := ids.MediaFromSDP(m); ok {
+			e.media[ids.MediaKey(addr, port)] = m.CallID
+		}
+	}
+	e.mu.Unlock()
+
+	e.shardFor(m.CallID).enqueue(item{pkt: pkt, at: at, sip: m}, e.cfg.Policy)
+}
+
+// lookupMedia resolves a media destination to its owning Call-ID and
+// refreshes the call's activity stamp.
+func (e *Engine) lookupMedia(host string, port int, at time.Duration) (string, bool) {
+	key := ids.MediaKey(host, port)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	callID, ok := e.media[key]
+	if ok {
+		if _, live := e.calls[callID]; live {
+			e.calls[callID] = at
+		}
+	}
+	return callID, ok
+}
+
+// noteCall records Call-ID activity and arms the index GC. Caller
+// holds e.mu.
+func (e *Engine) noteCall(id string, at time.Duration) {
+	e.calls[id] = at
+	delete(e.gone, id)
+	e.armSweep()
+}
+
+// armSweep schedules the routing-index sweep on the router clock,
+// mirroring the shard-side idle eviction: entries idle longer than the
+// shard would keep their call (IdleEviction + CloseLinger) are
+// dropped, so the index cannot grow without bound under call churn.
+// Caller holds e.mu.
+func (e *Engine) armSweep() {
+	if e.sweepArmed || e.retain <= 0 {
+		return
+	}
+	e.sweepArmed = true
+	e.clock.Schedule(e.retain/2, func() {
+		e.sweepArmed = false
+		now := e.clock.Now()
+		for id, last := range e.calls {
+			if now-last > e.retain {
+				delete(e.calls, id)
+				// Tombstone the forgotten Call-ID so straggler responses
+				// of the closed dialog are still absorbed silently, the
+				// way the shard's (and the sequential path's) tombstones
+				// swallow them, instead of feeding the reflection window.
+				e.gone[id] = now
+			}
+		}
+		for id, at := range e.gone {
+			if now-at > e.retain {
+				delete(e.gone, id)
+			}
+		}
+		for key, id := range e.media {
+			if _, live := e.calls[id]; !live {
+				delete(e.media, key)
+			}
+		}
+		if len(e.calls)+len(e.gone) > 0 {
+			e.armSweep()
+		}
+	})
+}
+
+// Close drains the pipeline: it waits for in-flight Ingest calls,
+// closes every shard queue, waits for the workers to finish the
+// backlog and run their remaining timers, and finally drains the
+// router clock so open flood windows expire. Close is idempotent;
+// after the first call Ingest returns ErrClosed.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		for _, sh := range e.shards {
+			<-sh.done
+		}
+		return nil
+	}
+	e.ingestWG.Wait()
+	for _, sh := range e.shards {
+		close(sh.ch)
+	}
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+	e.mu.Lock()
+	err := e.clock.RunAll()
+	e.mu.Unlock()
+	return err
+}
+
+// Alerts merges every shard's alert log with the router's own into
+// one stream ordered by virtual time (ties broken on the alert fields
+// so the order is deterministic). Call it after Close; while shards
+// are still running it would race their fact bases.
+func (e *Engine) Alerts() []ids.Alert {
+	var out []ids.Alert
+	e.mu.Lock()
+	out = append(out, e.fwAlerts...)
+	e.mu.Unlock()
+	for _, sh := range e.shards {
+		out = append(out, sh.ids.Alerts()...)
+	}
+	SortAlerts(out)
+	return out
+}
+
+// SortAlerts orders alerts by virtual time, breaking ties on the
+// alert fields so equal-time alerts from different shards land in a
+// deterministic order.
+func SortAlerts(alerts []ids.Alert) {
+	sort.Slice(alerts, func(i, j int) bool {
+		a, b := alerts[i], alerts[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.CallID != b.CallID {
+			return a.CallID < b.CallID
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.Detail < b.Detail
+	})
+}
+
+// ShardStats is one worker's counters.
+type ShardStats struct {
+	Depth     int    // packets waiting in the queue
+	Processed uint64 // packets analyzed
+	Dropped   uint64 // packets evicted under DropOldest
+	Alerts    uint64 // alerts this shard raised
+}
+
+// Stats is a point-in-time snapshot of the pipeline.
+type Stats struct {
+	Shards      []ShardStats
+	Ingested    uint64 // packets accepted by Ingest
+	Processed   uint64 // sum of shard Processed
+	Dropped     uint64 // sum of shard Dropped
+	Alerts      uint64 // shard alerts + router (flood) alerts
+	ParseErrors uint64 // SIP payloads that failed to parse at the router
+	Absorbed    uint64 // stray responses consumed by the router's FloodWatch
+	Ignored     uint64 // non-VoIP packets
+
+	Elapsed       time.Duration // wall time since New
+	PacketsPerSec float64       // Processed / Elapsed
+}
+
+// Stats snapshots the pipeline counters. It reads only atomics and
+// channel lengths, so it is safe to call at any time from any
+// goroutine — including from an OnAlert callback.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Shards:      make([]ShardStats, len(e.shards)),
+		Ingested:    e.ingested.Load(),
+		Alerts:      e.alertCount.Load(),
+		ParseErrors: e.parseErrors.Load(),
+		Absorbed:    e.absorbed.Load(),
+		Ignored:     e.ignored.Load(),
+		Elapsed:     time.Since(e.start),
+	}
+	for i, sh := range e.shards {
+		s := ShardStats{
+			Depth:     len(sh.ch),
+			Processed: sh.processed.Load(),
+			Dropped:   sh.dropped.Load(),
+			Alerts:    sh.alerts.Load(),
+		}
+		st.Shards[i] = s
+		st.Processed += s.Processed
+		st.Dropped += s.Dropped
+	}
+	if secs := st.Elapsed.Seconds(); secs > 0 {
+		st.PacketsPerSec = float64(st.Processed) / secs
+	}
+	return st
+}
+
+// Shards reports the worker count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Tap adapts the engine to the simulator's passive-tap signature, so
+// an in-sim monitoring point can feed the online pipeline directly.
+func (e *Engine) Tap() func(pkt *sim.Packet, at time.Duration) {
+	return func(pkt *sim.Packet, at time.Duration) {
+		_ = e.Ingest(pkt, at)
+	}
+}

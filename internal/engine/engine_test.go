@@ -1,0 +1,397 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"vids/internal/ids"
+	"vids/internal/rtp"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+	"vids/internal/trace"
+)
+
+// replaySequential runs a trace through the plain single-threaded IDS
+// — the ground truth the engine must reproduce.
+func replaySequential(t *testing.T, entries []trace.Entry, cfg ids.Config) []ids.Alert {
+	t.Helper()
+	s := sim.New(0)
+	d := ids.New(s, cfg)
+	if err := trace.Replay(s, entries, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	alerts := d.Alerts()
+	SortAlerts(alerts)
+	return alerts
+}
+
+func replayEngine(t *testing.T, entries []trace.Entry, cfg Config) ([]ids.Alert, Stats) {
+	t.Helper()
+	e := New(cfg)
+	for i, en := range entries {
+		if err := e.Ingest(en.Packet(), en.At()); err != nil {
+			t.Fatalf("ingest entry %d: %v", i, err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Alerts(), e.Stats()
+}
+
+// TestEngineParityWithSequential is the core acceptance check: a trace
+// replayed through four shards yields the exact alert multiset of the
+// sequential ids path — same types, same virtual timestamps, same
+// details.
+func TestEngineParityWithSequential(t *testing.T) {
+	entries := Synthesize(SynthConfig{Calls: 40, RTPPerCall: 10, Attacks: true})
+	if len(entries) < 1000 {
+		t.Fatalf("suspiciously small trace: %d entries", len(entries))
+	}
+	want := replaySequential(t, entries, ids.DefaultConfig())
+	if len(want) == 0 {
+		t.Fatal("sequential replay raised no alerts; trace is not exercising the detectors")
+	}
+
+	got, st := replayEngine(t, entries, Config{Shards: 4})
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("alert streams diverge: sequential %d alerts, engine %d", len(want), len(got))
+		max := len(want)
+		if len(got) > max {
+			max = len(got)
+		}
+		for i := 0; i < max && i < 40; i++ {
+			var w, g ids.Alert
+			if i < len(want) {
+				w = want[i]
+			}
+			if i < len(got) {
+				g = got[i]
+			}
+			if !reflect.DeepEqual(w, g) {
+				t.Errorf("  [%d]\n    seq: %+v\n    eng: %+v", i, w, g)
+			}
+		}
+	}
+	if st.Dropped != 0 {
+		t.Errorf("Block policy dropped %d packets", st.Dropped)
+	}
+	if st.Processed+st.Absorbed+st.Ignored+st.ParseErrors != uint64(len(entries)) {
+		t.Errorf("accounting mismatch: processed %d + absorbed %d + ignored %d + parse errors %d != %d entries",
+			st.Processed, st.Absorbed, st.Ignored, st.ParseErrors, len(entries))
+	}
+
+	// The trace must exercise every detector family for parity to mean
+	// anything.
+	byType := make(map[ids.AlertType]int)
+	for _, a := range got {
+		byType[a.Type]++
+	}
+	for _, typ := range []ids.AlertType{
+		ids.AlertInviteFlood, ids.AlertDRDoS, ids.AlertByeDoS, ids.AlertTollFraud,
+		ids.AlertRTCPBye, ids.AlertUnsolicitedRTP, ids.AlertMediaSpam,
+		ids.AlertRogueRegister, ids.AlertDeviation,
+	} {
+		if byType[typ] == 0 {
+			t.Errorf("trace raised no %s alert", typ)
+		}
+	}
+}
+
+// TestEngineParityAcrossShardCounts: the alert stream must not depend
+// on the shard count at all.
+func TestEngineParityAcrossShardCounts(t *testing.T) {
+	entries := Synthesize(SynthConfig{Calls: 25, RTPPerCall: 6, Attacks: true})
+	base, _ := replayEngine(t, entries, Config{Shards: 1})
+	for _, shards := range []int{2, 3, 8} {
+		got, _ := replayEngine(t, entries, Config{Shards: shards})
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("shards=%d: %d alerts vs %d at shards=1", shards, len(got), len(base))
+		}
+	}
+}
+
+// TestShardRoutingInvariant is the routing property test: every
+// packet of one call — SIP, RTP in both directions, RTCP, and media
+// moved by a mid-call re-INVITE — lands on the same shard. Observed
+// black-box: ingest one call into an 8-shard engine and require that
+// exactly one shard processed anything.
+func TestShardRoutingInvariant(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		i := i
+		t.Run(fmt.Sprintf("call-%d", i), func(t *testing.T) {
+			g := &synthGen{}
+			d := g.benignCall(i*31, 0, 5, false)
+
+			// Mid-call re-INVITE moves the caller's media port.
+			reinv := d.inv.Clone()
+			reinv.To = d.ok.To // in-dialog: To carries the callee's tag
+			reinv.CSeq = sipmsg.CSeq{Seq: 3, Method: sipmsg.INVITE}
+			newMed := sim.Addr{Host: d.callerMed.Host, Port: d.callerMed.Port + 1000}
+			reinv.Body = d.inv.Body // same SDP shape…
+			reinv.Body = []byte(string(reinv.Body))
+			reinv.Body = replacePort(t, reinv.Body, d.callerMed.Port, newMed.Port)
+			g.add(300*time.Millisecond, sim.ProtoSIP, d.callerAddr, d.calleeAddr, reinv.Bytes())
+			rok := sipmsg.NewResponse(reinv, sipmsg.StatusOK)
+			rok.Body = d.ok.Body
+			rok.ContentType = "application/sdp"
+			g.add(320*time.Millisecond, sim.ProtoSIP, d.calleeAddr, d.callerAddr, rok.Bytes())
+
+			// Media to the re-negotiated port, plus RTCP beside it.
+			g.add(340*time.Millisecond, sim.ProtoRTP,
+				sim.Addr{Host: d.calleeHost, Port: d.calleeMed.Port},
+				newMed, rtpBytes(0xD0000000+uint32(i*31), 6, 6*160))
+			g.add(341*time.Millisecond, sim.ProtoRTCP,
+				sim.Addr{Host: d.calleeHost, Port: d.calleeMed.Port + 1},
+				sim.Addr{Host: newMed.Host, Port: newMed.Port + 1},
+				rtcpBytes(rtp.RTCPSenderReport, 0xD0000000+uint32(i*31)))
+
+			e := New(Config{Shards: 8})
+			for _, en := range g.entries {
+				if err := e.Ingest(en.Packet(), en.At()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st := e.Stats()
+			busy := 0
+			for _, sh := range st.Shards {
+				if sh.Processed > 0 {
+					busy++
+				}
+			}
+			if busy != 1 {
+				t.Fatalf("call scattered over %d shards: %+v", busy, st.Shards)
+			}
+			if st.Processed != uint64(len(g.entries)) {
+				t.Fatalf("processed %d of %d packets", st.Processed, len(g.entries))
+			}
+		})
+	}
+}
+
+// replacePort rewrites the SDP media port in a body.
+func replacePort(t *testing.T, body []byte, oldPort, newPort int) []byte {
+	t.Helper()
+	oldStr := fmt.Sprintf("m=audio %d", oldPort)
+	newStr := fmt.Sprintf("m=audio %d", newPort)
+	out := []byte(replaceOne(string(body), oldStr, newStr))
+	if string(out) == string(body) {
+		t.Fatalf("SDP body does not contain %q", oldStr)
+	}
+	return out
+}
+
+func replaceOne(s, old, new string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new + s[i+len(old):]
+		}
+	}
+	return s
+}
+
+// TestConcurrentIngestionStress hammers the engine from many
+// goroutines while a reader polls Stats — the -race exercise for the
+// whole hot path.
+func TestConcurrentIngestionStress(t *testing.T) {
+	const producers = 8
+	perProducer := Synthesize(SynthConfig{Calls: 12, RTPPerCall: 8})
+	e := New(Config{Shards: 4, QueueDepth: 64, OnAlert: func(ids.Alert) {}})
+
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = e.Stats()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, en := range perProducer {
+				if err := e.Ingest(en.Packet(), en.At()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	pollWG.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	want := uint64(producers * len(perProducer))
+	if st.Ingested != want {
+		t.Errorf("ingested %d, want %d", st.Ingested, want)
+	}
+	if st.Processed+st.Absorbed+st.Ignored+st.ParseErrors != want {
+		t.Errorf("accounting mismatch: %+v", st)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("Block policy dropped %d", st.Dropped)
+	}
+
+	if err := e.Ingest(perProducer[0].Packet(), 0); err != ErrClosed {
+		t.Errorf("Ingest after Close: got %v, want ErrClosed", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestDropOldestPolicy blocks the single shard worker on its first
+// alert, floods the depth-2 queue, and checks the eviction accounting.
+func TestDropOldestPolicy(t *testing.T) {
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	e := New(Config{
+		Shards:     1,
+		QueueDepth: 2,
+		Policy:     DropOldest,
+		OnAlert: func(ids.Alert) {
+			once.Do(func() {
+				close(blocked)
+				<-release
+			})
+		},
+	})
+
+	// A REGISTER always raises the rogue-register alert — the worker
+	// parks inside OnAlert holding the shard busy.
+	reg := sipmsg.NewRequest(sipmsg.REGISTER, sipmsg.URI{Host: "a.example.com"})
+	reg.Via = []sipmsg.Via{{Transport: "UDP", Host: "x.example.net", Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bKdrop"}}}
+	reg.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "a.example.com"}}.WithTag("d1")
+	reg.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "a.example.com"}}
+	reg.CallID = "drop@example.net"
+	reg.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.REGISTER}
+	regPkt := &sim.Packet{
+		From:  sim.Addr{Host: "x.example.net", Port: 5060},
+		To:    sim.Addr{Host: "reg.a.example.com", Port: 5060},
+		Proto: sim.ProtoSIP, Payload: reg.Bytes(),
+	}
+	if err := e.Ingest(regPkt, 0); err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+
+	// RTCP sender reports raise nothing; 10 of them against a depth-2
+	// queue must evict 8.
+	for i := 0; i < 10; i++ {
+		pkt := &sim.Packet{
+			From:    sim.Addr{Host: "m.example.net", Port: 40001},
+			To:      sim.Addr{Host: "n.example.net", Port: 40001},
+			Proto:   sim.ProtoRTCP,
+			Payload: rtcpBytes(rtp.RTCPSenderReport, 7),
+		}
+		if err := e.Ingest(pkt, time.Duration(i+1)*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Dropped != 8 {
+		t.Errorf("dropped %d, want 8", st.Dropped)
+	}
+	if st.Processed != 3 { // the REGISTER + the 2 surviving reports
+		t.Errorf("processed %d, want 3", st.Processed)
+	}
+}
+
+// TestTapAdapter feeds the engine straight from a trace entry list via
+// the in-sim tap signature.
+func TestTapAdapter(t *testing.T) {
+	entries := Synthesize(SynthConfig{Calls: 3, RTPPerCall: 4})
+	e := New(Config{Shards: 2})
+	tap := e.Tap()
+	for _, en := range entries {
+		tap(en.Packet(), en.At())
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Ingested != uint64(len(entries)) {
+		t.Errorf("tap ingested %d of %d", st.Ingested, len(entries))
+	}
+}
+
+// TestStatsThroughput sanity-checks the derived rate.
+func TestStatsThroughput(t *testing.T) {
+	entries := Synthesize(SynthConfig{Calls: 2, RTPPerCall: 2})
+	e := New(Config{Shards: 1})
+	for _, en := range entries {
+		if err := e.Ingest(en.Packet(), en.At()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Processed == 0 || st.PacketsPerSec <= 0 {
+		t.Errorf("throughput not derived: %+v", st)
+	}
+	if st.Elapsed <= 0 {
+		t.Errorf("elapsed %v", st.Elapsed)
+	}
+}
+
+// TestLateHangupParity regresses a divergence found on a real testbed
+// capture: a dialog that goes idle past the eviction horizon and only
+// then hangs up. Both the shard and the sequential IDS have already
+// evicted the monitor (leaving tombstones that swallow the BYE and its
+// 200), but the router's routing index had simply forgotten the
+// Call-ID, so it fed the straggler 200 to the shared reflection
+// detector — raising a deviation the sequential path never raises.
+// The router now tombstones swept calls the same way.
+func TestLateHangupParity(t *testing.T) {
+	d := newDialog(0, "late")
+	g := &synthGen{}
+	g.add(0, sim.ProtoSIP, d.callerAddr, d.calleeAddr, d.inv.Bytes())
+	g.add(20*time.Millisecond, sim.ProtoSIP, d.calleeAddr, d.callerAddr, d.ok.Bytes())
+	g.add(40*time.Millisecond, sim.ProtoSIP, d.callerAddr, d.calleeAddr, d.ack().Bytes())
+	// Silence until the sweeps (which run every half retention period)
+	// have provably fired on both the shards and the router, then the
+	// caller hangs up and the callee answers.
+	cfg := ids.DefaultConfig()
+	late := 2*(cfg.IdleEviction+cfg.CloseLinger) + time.Minute
+	g.add(late, sim.ProtoSIP, d.callerAddr, d.calleeAddr, d.bye().Bytes())
+	okBye := sipmsg.NewResponse(d.bye(), sipmsg.StatusOK)
+	g.add(late+20*time.Millisecond, sim.ProtoSIP, d.calleeAddr, d.callerAddr, okBye.Bytes())
+
+	want := replaySequential(t, g.entries, ids.DefaultConfig())
+	got, st := replayEngine(t, g.entries, Config{Shards: 4})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("alerts diverge:\nengine:     %v\nsequential: %v", got, want)
+	}
+	if st.Absorbed != 1 {
+		t.Errorf("absorbed = %d, want 1 (the straggler 200-for-BYE)", st.Absorbed)
+	}
+}

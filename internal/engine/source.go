@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"vids/internal/sim"
+	"vids/internal/trace"
+)
+
+// Source feeds packets into an engine. Run returns when the input is
+// exhausted or ctx is canceled; it must have returned before the
+// engine is Closed (Ingest on a closed engine reports ErrClosed).
+type Source interface {
+	Run(ctx context.Context, e *Engine) error
+}
+
+// TraceSource replays a captured trace file. With Pace 0 the entries
+// are pushed as fast as the engine accepts them (offline analysis);
+// with Pace p > 0 the capture's inter-packet gaps are reproduced at p
+// times real speed, so p = 1 replays the trace on its original
+// timeline — the mode for rehearsing live operation.
+type TraceSource struct {
+	Path    string
+	Entries []trace.Entry // used instead of Path when non-nil
+	Pace    float64
+}
+
+// Run implements Source.
+func (ts *TraceSource) Run(ctx context.Context, e *Engine) error {
+	entries := ts.Entries
+	if entries == nil {
+		f, err := os.Open(ts.Path)
+		if err != nil {
+			return fmt.Errorf("engine: open trace: %w", err)
+		}
+		entries, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	var prev time.Duration
+	for i, en := range entries {
+		at := en.At()
+		if ts.Pace > 0 && at > prev {
+			gap := time.Duration(float64(at-prev) / ts.Pace)
+			select {
+			case <-time.After(gap):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		} else if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		prev = at
+		if err := e.Ingest(en.Packet(), at); err != nil {
+			return fmt.Errorf("engine: entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// UDPSource ingests live traffic from real sockets: one for SIP, one
+// for media. RTCP is demultiplexed off the media socket by its
+// packet-type octet (200–204), the standard rtcp-mux discriminator.
+//
+// This is the daemon's lab-grade live path: traffic must be addressed
+// *at* the listener (point sipp, a softphone or a packet replayer at
+// it), so the destination vids records is the listener's own address.
+// A production deployment would instead feed the engine from a
+// capture interface; the engine does not care where packets come
+// from, only that Ingest sees them in arrival order.
+type UDPSource struct {
+	SIPAddr string // e.g. ":5060"
+	RTPAddr string // e.g. ":20000"
+	// AdvertiseHost is the host name recorded as the destination of
+	// ingested packets. It should match the address SDP bodies
+	// advertise so media routing finds the call. Defaults to the
+	// listener's IP.
+	AdvertiseHost string
+}
+
+// Run implements Source: it binds both sockets and pumps packets into
+// the engine until ctx is canceled. Packet timestamps are wall-clock
+// time since the first bind, which keeps the shard clocks on the
+// arrival timeline just as a trace replay would.
+func (us *UDPSource) Run(ctx context.Context, e *Engine) error {
+	sipConn, err := net.ListenPacket("udp", us.SIPAddr)
+	if err != nil {
+		return fmt.Errorf("engine: bind SIP: %w", err)
+	}
+	defer sipConn.Close()
+	rtpConn, err := net.ListenPacket("udp", us.RTPAddr)
+	if err != nil {
+		return fmt.Errorf("engine: bind RTP: %w", err)
+	}
+	defer rtpConn.Close()
+
+	start := time.Now()
+	errc := make(chan error, 2)
+	go func() { errc <- us.pump(ctx, e, sipConn, start, false) }()
+	go func() { errc <- us.pump(ctx, e, rtpConn, start, true) }()
+
+	select {
+	case err = <-errc:
+	case <-ctx.Done():
+		err = nil
+	}
+	// Unblock the readers and wait them out.
+	sipConn.Close()
+	rtpConn.Close()
+	<-errc
+	return err
+}
+
+// pump reads one socket until ctx cancellation or a read error.
+func (us *UDPSource) pump(ctx context.Context, e *Engine, conn net.PacketConn, start time.Time, media bool) error {
+	local, _ := conn.LocalAddr().(*net.UDPAddr)
+	toHost := us.AdvertiseHost
+	if toHost == "" && local != nil {
+		toHost = local.IP.String()
+	}
+	toPort := 0
+	if local != nil {
+		toPort = local.Port
+	}
+	buf := make([]byte, 64*1024)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		n, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				if ctx.Err() != nil {
+					return nil
+				}
+				continue
+			}
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("engine: read: %w", err)
+		}
+		payload := append([]byte(nil), buf[:n]...)
+		proto := sim.ProtoSIP
+		if media {
+			proto = sim.ProtoRTP
+			if isRTCP(payload) {
+				proto = sim.ProtoRTCP
+			}
+		}
+		fromAddr := sim.Addr{}
+		if ua, ok := from.(*net.UDPAddr); ok {
+			fromAddr = sim.Addr{Host: ua.IP.String(), Port: ua.Port}
+		}
+		pkt := &sim.Packet{
+			From:    fromAddr,
+			To:      sim.Addr{Host: toHost, Port: toPort},
+			Proto:   proto,
+			Size:    n,
+			Payload: payload,
+		}
+		if err := e.Ingest(pkt, time.Since(start)); err != nil {
+			return err
+		}
+	}
+}
+
+// isRTCP distinguishes RTCP from RTP sharing a socket: RTP payload
+// types stay below 128, while RTCP packet types occupy 200–204
+// (RFC 5761 §4).
+func isRTCP(data []byte) bool {
+	return len(data) >= 2 && data[0]>>6 == 2 && data[1] >= 200 && data[1] <= 204
+}

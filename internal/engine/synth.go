@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vids/internal/rtp"
+	"vids/internal/sdp"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+	"vids/internal/trace"
+)
+
+// SynthConfig sizes a synthetic trace. The generator exists because
+// the simulated testbed places calls at the paper's arrival rate — far
+// too few concurrent calls to load-balance a multi-shard engine — and
+// benchmarks need a workload whose call population actually spreads
+// over the shards.
+type SynthConfig struct {
+	// Calls is the number of benign dialogs.
+	Calls int
+	// RTPPerCall is how many RTP packets each direction carries.
+	RTPPerCall int
+	// Attacks injects one instance of each attack scenario the IDS
+	// detects, so a replay exercises every alert path.
+	Attacks bool
+}
+
+// Synthesize builds a time-ordered synthetic trace: Calls complete
+// SIP dialogs with two-way G.729 media and periodic RTCP sender
+// reports, starting 5 ms apart so many calls are concurrently active,
+// plus (optionally) the attack scenarios. The layout is deterministic:
+// the same config always yields byte-identical entries.
+func Synthesize(cfg SynthConfig) []trace.Entry {
+	g := &synthGen{}
+	for i := 0; i < cfg.Calls; i++ {
+		start := time.Duration(i) * 5 * time.Millisecond
+		g.benignCall(i, start, cfg.RTPPerCall, true)
+	}
+	if cfg.Attacks {
+		base := time.Duration(cfg.Calls)*5*time.Millisecond + 2*time.Second
+		g.inviteFlood(base, 25)
+		g.reflectedResponses(base+time.Second, 25)
+		g.spoofedBye(base + 2*time.Second)
+		g.rtcpByeInjection(base + 3*time.Second)
+		g.unsolicitedSpam(base + 4*time.Second)
+		g.rogueRegister(base + 4500*time.Millisecond)
+		g.unknownCallRequest(base + 4600*time.Millisecond)
+	}
+	sort.SliceStable(g.entries, func(i, j int) bool {
+		return g.entries[i].AtNanos < g.entries[j].AtNanos
+	})
+	return g.entries
+}
+
+type synthGen struct {
+	entries []trace.Entry
+}
+
+func (g *synthGen) add(at time.Duration, proto sim.Proto, from, to sim.Addr, payload []byte) {
+	g.entries = append(g.entries, trace.Entry{
+		AtNanos:  int64(at),
+		Proto:    proto.String(),
+		FromHost: from.Host,
+		FromPort: from.Port,
+		ToHost:   to.Host,
+		ToPort:   to.Port,
+		Size:     len(payload),
+		Data:     payload,
+	})
+}
+
+// dialog holds the endpoints of one synthetic call.
+type dialog struct {
+	callID     string
+	callerHost string
+	calleeHost string
+	callerAddr sim.Addr // caller's signaling endpoint
+	calleeAddr sim.Addr
+	callerMed  sim.Addr // where the callee's stream lands (caller's SDP)
+	calleeMed  sim.Addr // where the caller's stream lands (callee's SDP)
+	inv        *sipmsg.Message
+	ok         *sipmsg.Message
+}
+
+func newDialog(i int, tag string) *dialog {
+	d := &dialog{
+		callID:     fmt.Sprintf("%s-%d@a.example.com", tag, i),
+		callerHost: fmt.Sprintf("ua%d.a.example.com", i%97),
+		calleeHost: fmt.Sprintf("ua%d.b.example.com", i%89),
+	}
+	d.callerAddr = sim.Addr{Host: d.callerHost, Port: 5060}
+	d.calleeAddr = sim.Addr{Host: d.calleeHost, Port: 5060}
+	d.callerMed = sim.Addr{Host: d.callerHost, Port: 20000 + 4*(i%5000)}
+	d.calleeMed = sim.Addr{Host: d.calleeHost, Port: 40000 + 4*(i%5000)}
+
+	callerUser := fmt.Sprintf("alice%d", i)
+	calleeUser := fmt.Sprintf("bob%d", i)
+	inv := sipmsg.NewRequest(sipmsg.INVITE, sipmsg.URI{User: calleeUser, Host: "b.example.com"})
+	inv.Via = []sipmsg.Via{{Transport: "UDP", Host: d.callerHost, Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bK" + d.callID}}}
+	inv.From = sipmsg.NameAddr{URI: sipmsg.URI{User: callerUser, Host: "a.example.com"}}.
+		WithTag(fmt.Sprintf("ct%d", i))
+	inv.To = sipmsg.NameAddr{URI: sipmsg.URI{User: calleeUser, Host: "b.example.com"}}
+	contact := sipmsg.NameAddr{URI: sipmsg.URI{User: callerUser, Host: d.callerHost}}
+	inv.Contact = &contact
+	inv.CallID = d.callID
+	inv.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE}
+	inv.ContentType = "application/sdp"
+	inv.Body = sdp.New(callerUser, d.callerMed.Host, d.callerMed.Port, sdp.PayloadG729).Marshal()
+	d.inv = inv
+
+	ok := sipmsg.NewResponse(inv, sipmsg.StatusOK)
+	ok.To = ok.To.WithTag(fmt.Sprintf("et%d", i))
+	okContact := sipmsg.NameAddr{URI: sipmsg.URI{User: calleeUser, Host: d.calleeHost}}
+	ok.Contact = &okContact
+	ok.ContentType = "application/sdp"
+	ok.Body = sdp.New(calleeUser, d.calleeMed.Host, d.calleeMed.Port, sdp.PayloadG729).Marshal()
+	d.ok = ok
+	return d
+}
+
+func (d *dialog) ack() *sipmsg.Message {
+	ack := sipmsg.NewRequest(sipmsg.ACK, sipmsg.URI{User: d.ok.To.URI.User, Host: d.calleeHost})
+	ack.Via = d.inv.Via
+	ack.From = d.inv.From
+	ack.To = d.ok.To
+	ack.CallID = d.callID
+	ack.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.ACK}
+	return ack
+}
+
+func (d *dialog) bye() *sipmsg.Message {
+	bye := sipmsg.NewRequest(sipmsg.BYE, sipmsg.URI{User: d.ok.To.URI.User, Host: d.calleeHost})
+	bye.Via = d.inv.Via
+	bye.From = d.inv.From
+	bye.To = d.ok.To
+	bye.CallID = d.callID
+	bye.CSeq = sipmsg.CSeq{Seq: 2, Method: sipmsg.BYE}
+	return bye
+}
+
+func rtpBytes(ssrc uint32, seq uint16, ts uint32) []byte {
+	p := &rtp.Packet{PayloadType: sdp.PayloadG729, Sequence: seq, Timestamp: ts,
+		SSRC: ssrc, Payload: make([]byte, 20)}
+	raw, err := p.Marshal()
+	if err != nil {
+		panic(err) // static header fields; cannot fail
+	}
+	return raw
+}
+
+func rtcpBytes(typ uint8, ssrc uint32) []byte {
+	p := &rtp.RTCP{Type: typ, SSRC: ssrc}
+	raw, err := p.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+// benignCall emits one complete dialog: INVITE/200/ACK, n RTP packets
+// each way at the 20 ms G.729 cadence with one RTCP sender report per
+// direction, then BYE/200 if hangUp.
+func (g *synthGen) benignCall(i int, start time.Duration, n int, hangUp bool) *dialog {
+	d := newDialog(i, "synth")
+	g.add(start, sim.ProtoSIP, d.callerAddr, d.calleeAddr, d.inv.Bytes())
+	g.add(start+20*time.Millisecond, sim.ProtoSIP, d.calleeAddr, d.callerAddr, d.ok.Bytes())
+	g.add(start+40*time.Millisecond, sim.ProtoSIP, d.callerAddr, d.calleeAddr, d.ack().Bytes())
+
+	callerSSRC := 0xC0000000 + uint32(i)
+	calleeSSRC := 0xD0000000 + uint32(i)
+	mediaStart := start + 60*time.Millisecond
+	for k := 0; k < n; k++ {
+		at := mediaStart + time.Duration(k)*20*time.Millisecond
+		// Caller's stream lands on the callee's advertised address…
+		g.add(at, sim.ProtoRTP,
+			sim.Addr{Host: d.callerHost, Port: d.callerMed.Port},
+			d.calleeMed, rtpBytes(callerSSRC, uint16(k+1), uint32(k+1)*160))
+		// …and vice versa.
+		g.add(at+time.Millisecond, sim.ProtoRTP,
+			sim.Addr{Host: d.calleeHost, Port: d.calleeMed.Port},
+			d.callerMed, rtpBytes(calleeSSRC, uint16(k+1), uint32(k+1)*160))
+		if k == n/2 {
+			g.add(at+2*time.Millisecond, sim.ProtoRTCP,
+				sim.Addr{Host: d.callerHost, Port: d.callerMed.Port + 1},
+				sim.Addr{Host: d.calleeMed.Host, Port: d.calleeMed.Port + 1},
+				rtcpBytes(rtp.RTCPSenderReport, callerSSRC))
+		}
+	}
+	if hangUp {
+		end := mediaStart + time.Duration(n)*20*time.Millisecond
+		g.add(end, sim.ProtoSIP, d.callerAddr, d.calleeAddr, d.bye().Bytes())
+		byeOK := sipmsg.NewResponse(d.bye(), sipmsg.StatusOK)
+		g.add(end+20*time.Millisecond, sim.ProtoSIP, d.calleeAddr, d.callerAddr, byeOK.Bytes())
+	}
+	return d
+}
+
+// inviteFlood sends n initial INVITEs with distinct Call-IDs at one
+// victim AOR within the Figure 4 window.
+func (g *synthGen) inviteFlood(start time.Duration, n int) {
+	atk := sim.Addr{Host: "attacker.example.net", Port: 5060}
+	victim := sim.Addr{Host: "proxy.b.example.com", Port: 5060}
+	for i := 0; i < n; i++ {
+		inv := sipmsg.NewRequest(sipmsg.INVITE, sipmsg.URI{User: "victim", Host: "b.example.com"})
+		inv.Via = []sipmsg.Via{{Transport: "UDP", Host: atk.Host, Port: 5060,
+			Params: map[string]string{"branch": fmt.Sprintf("z9hG4bKflood%d", i)}}}
+		inv.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "prankster", Host: "example.net"}}.
+			WithTag(fmt.Sprintf("ft%d", i))
+		inv.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "victim", Host: "b.example.com"}}
+		contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "prankster", Host: atk.Host}}
+		inv.Contact = &contact
+		inv.CallID = fmt.Sprintf("flood-%d@example.net", i)
+		inv.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE}
+		inv.ContentType = "application/sdp"
+		inv.Body = sdp.New("prankster", atk.Host, 50000+4*i, sdp.PayloadG729).Marshal()
+		g.add(start+time.Duration(i)*10*time.Millisecond, sim.ProtoSIP, atk, victim, inv.Bytes())
+	}
+}
+
+// reflectedResponses sends n SIP responses for calls the victim never
+// initiated — the DRDoS reflection signature.
+func (g *synthGen) reflectedResponses(start time.Duration, n int) {
+	victim := sim.Addr{Host: "reflect.b.example.com", Port: 5060}
+	for i := 0; i < n; i++ {
+		// Build the response via the request the reflector pretends to
+		// have answered.
+		fake := sipmsg.NewRequest(sipmsg.INVITE, sipmsg.URI{User: "x", Host: "b.example.com"})
+		fake.Via = []sipmsg.Via{{Transport: "UDP", Host: victim.Host, Port: 5060,
+			Params: map[string]string{"branch": fmt.Sprintf("z9hG4bKrefl%d", i)}}}
+		fake.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "x", Host: "b.example.com"}}.
+			WithTag(fmt.Sprintf("rt%d", i))
+		fake.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "y", Host: "example.org"}}
+		fake.CallID = fmt.Sprintf("refl-%d@example.org", i)
+		fake.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE}
+		resp := sipmsg.NewResponse(fake, sipmsg.StatusOK)
+		resp.To = resp.To.WithTag(fmt.Sprintf("rr%d", i))
+		src := sim.Addr{Host: fmt.Sprintf("reflector%d.example.org", i%7), Port: 5060}
+		g.add(start+time.Duration(i)*10*time.Millisecond, sim.ProtoSIP, src, victim, resp.Bytes())
+	}
+}
+
+// spoofedBye runs the paper's flagship scenario (Figure 5): a call is
+// torn down by a BYE the caller never sent, then both parties keep
+// talking past the grace window — BYE DoS on the callee's stream,
+// toll fraud on the "hung up" caller's.
+func (g *synthGen) spoofedBye(start time.Duration) {
+	d := g.benignCall(1000, start, 3, false)
+	byeAt := start + 60*time.Millisecond + 3*20*time.Millisecond
+	// The attacker spoofs the caller's identity; at the IP layer the
+	// packet claims the caller's host, which is exactly what vids sees.
+	g.add(byeAt, sim.ProtoSIP, d.callerAddr, d.calleeAddr, d.bye().Bytes())
+	byeOK := sipmsg.NewResponse(d.bye(), sipmsg.StatusOK)
+	g.add(byeAt+20*time.Millisecond, sim.ProtoSIP, d.calleeAddr, d.callerAddr, byeOK.Bytes())
+	// Both media directions continue well past ByeGraceT (250 ms).
+	after := byeAt + 500*time.Millisecond
+	g.add(after, sim.ProtoRTP,
+		sim.Addr{Host: d.callerHost, Port: d.callerMed.Port},
+		d.calleeMed, rtpBytes(0xC0000000+1000, 4, 4*160))
+	g.add(after+time.Millisecond, sim.ProtoRTP,
+		sim.Addr{Host: d.calleeHost, Port: d.calleeMed.Port},
+		d.callerMed, rtpBytes(0xD0000000+1000, 4, 4*160))
+}
+
+// rtcpByeInjection tears down the media plane of a live call with a
+// forged RTCP BYE while the SIP dialog stays established.
+func (g *synthGen) rtcpByeInjection(start time.Duration) {
+	d := g.benignCall(1001, start, 3, false)
+	g.add(start+400*time.Millisecond, sim.ProtoRTCP,
+		sim.Addr{Host: "attacker.example.net", Port: 60001},
+		sim.Addr{Host: d.callerMed.Host, Port: d.callerMed.Port + 1},
+		rtcpBytes(rtp.RTCPBye, 0xD0000000+1001))
+}
+
+// unsolicitedSpam streams RTP at a destination no SDP ever advertised,
+// with a sequence jump past Δn.
+func (g *synthGen) unsolicitedSpam(start time.Duration) {
+	src := sim.Addr{Host: "spammer.example.net", Port: 61000}
+	dst := sim.Addr{Host: "open.b.example.com", Port: 40008}
+	g.add(start, sim.ProtoRTP, src, dst, rtpBytes(0xBEEF, 1, 160))
+	g.add(start+20*time.Millisecond, sim.ProtoRTP, src, dst, rtpBytes(0xBEEF, 500, 500*160))
+}
+
+// rogueRegister crosses the edge with a REGISTER (and the registrar's
+// answer, which must stay silent).
+func (g *synthGen) rogueRegister(start time.Duration) {
+	atk := sim.Addr{Host: "attacker.example.net", Port: 5060}
+	reg := sim.Addr{Host: "registrar.a.example.com", Port: 5060}
+	r := sipmsg.NewRequest(sipmsg.REGISTER, sipmsg.URI{Host: "a.example.com"})
+	r.Via = []sipmsg.Via{{Transport: "UDP", Host: atk.Host, Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bKrogue"}}}
+	r.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "alice0", Host: "a.example.com"}}.WithTag("rg1")
+	r.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "alice0", Host: "a.example.com"}}
+	r.CallID = "rogue-reg@example.net"
+	r.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.REGISTER}
+	g.add(start, sim.ProtoSIP, atk, reg, r.Bytes())
+	resp := sipmsg.NewResponse(r, sipmsg.StatusOK)
+	g.add(start+20*time.Millisecond, sim.ProtoSIP, reg, atk, resp.Bytes())
+}
+
+// unknownCallRequest sends a mid-dialog request for a call vids never
+// saw begin — a plain protocol deviation.
+func (g *synthGen) unknownCallRequest(start time.Duration) {
+	src := sim.Addr{Host: "stranger.example.net", Port: 5060}
+	dst := sim.Addr{Host: "proxy.b.example.com", Port: 5060}
+	ack := sipmsg.NewRequest(sipmsg.ACK, sipmsg.URI{User: "bob0", Host: "b.example.com"})
+	ack.Via = []sipmsg.Via{{Transport: "UDP", Host: src.Host, Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bKstray"}}}
+	ack.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "nobody", Host: "example.net"}}.WithTag("na")
+	ack.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "bob0", Host: "b.example.com"}}.WithTag("nb")
+	ack.CallID = "never-started@example.net"
+	ack.CSeq = sipmsg.CSeq{Seq: 9, Method: sipmsg.ACK}
+	g.add(start, sim.ProtoSIP, src, dst, ack.Bytes())
+}

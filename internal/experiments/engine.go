@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"vids/internal/engine"
+	"vids/internal/ids"
+	"vids/internal/sim"
+)
+
+// EngineResult holds experiment E10: scaling of the online sharded
+// detection pipeline. The same synthetic workload is pushed through
+// the engine with one shard and with NumCPU shards; the speedup bounds
+// what the paper's per-call independence argument (Section 7.3) buys
+// on this machine, and alert parity confirms sharding changes nothing
+// about what is detected.
+type EngineResult struct {
+	Packets      int
+	Calls        int
+	BaseTime     time.Duration // wall time, 1 shard
+	ScaledShards int           // NumCPU
+	ScaledTime   time.Duration // wall time, NumCPU shards
+	Speedup      float64
+	Alerts       int
+	AlertsMatch  bool // scaled alert stream identical to 1-shard stream
+}
+
+// pps converts a wall time into packets per second.
+func (r *EngineResult) pps(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Packets) / d.Seconds()
+}
+
+// Render formats the result for the experiment report.
+func (r *EngineResult) Render() string {
+	parity := "IDENTICAL alert streams"
+	if !r.AlertsMatch {
+		parity = "ALERT STREAMS DIVERGE (bug!)"
+	}
+	return fmt.Sprintf(`E10: online engine scaling (internal/engine)
+  workload:    %d packets over %d calls (benign + attack mix)
+  1 shard:     %v (%.0f pkts/s)
+  %d shard(s):  %v (%.0f pkts/s)
+  speedup:     %.2fx on %d CPU(s)
+  parity:      %s (%d alerts)
+  paper claim: per-call EFSM independence makes detection parallel (§7.3)`,
+		r.Packets, r.Calls,
+		r.BaseTime.Round(time.Millisecond), r.pps(r.BaseTime),
+		r.ScaledShards, r.ScaledTime.Round(time.Millisecond), r.pps(r.ScaledTime),
+		r.Speedup, runtime.NumCPU(),
+		parity, r.Alerts)
+}
+
+// EngineScaling runs experiment E10. The workload is synthesized (not
+// captured from the testbed) so its size tracks the options: one call
+// per MeanCallInterval per UA over the horizon, media packets capped
+// to keep paper-scale runs tractable.
+func EngineScaling(o Options) (*EngineResult, error) {
+	o = o.withDefaults()
+	calls := int(o.Duration/o.MeanCallInterval) * o.UAs
+	if calls < 8 {
+		calls = 8
+	}
+	if calls > 2000 {
+		calls = 2000
+	}
+	rtpPerCall := int(o.MeanCallDuration / (20 * time.Millisecond))
+	if rtpPerCall > 120 {
+		rtpPerCall = 120
+	}
+	if rtpPerCall < 4 {
+		rtpPerCall = 4
+	}
+	entries := engine.Synthesize(engine.SynthConfig{
+		Calls: calls, RTPPerCall: rtpPerCall, Attacks: true,
+	})
+	// Reconstruct packets once so both runs measure the engine, not
+	// trace decoding.
+	pkts := make([]*sim.Packet, len(entries))
+	ats := make([]time.Duration, len(entries))
+	for i, en := range entries {
+		pkts[i] = en.Packet()
+		ats[i] = en.At()
+	}
+
+	run := func(shards int) (time.Duration, []ids.Alert, error) {
+		e := engine.New(engine.Config{Shards: shards})
+		start := time.Now()
+		for i := range pkts {
+			if err := e.Ingest(pkts[i], ats[i]); err != nil {
+				return 0, nil, err
+			}
+		}
+		if err := e.Close(); err != nil {
+			return 0, nil, err
+		}
+		return time.Since(start), e.Alerts(), nil
+	}
+
+	baseTime, baseAlerts, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	n := runtime.NumCPU()
+	scaledTime, scaledAlerts, err := run(n)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &EngineResult{
+		Packets:      len(entries),
+		Calls:        calls,
+		BaseTime:     baseTime,
+		ScaledShards: n,
+		ScaledTime:   scaledTime,
+		Alerts:       len(scaledAlerts),
+		AlertsMatch:  reflect.DeepEqual(baseAlerts, scaledAlerts),
+	}
+	if scaledTime > 0 {
+		res.Speedup = float64(baseTime) / float64(scaledTime)
+	}
+	if !res.AlertsMatch {
+		return res, fmt.Errorf("experiments: engine alert streams diverge (1 shard: %d, %d shards: %d)",
+			len(baseAlerts), n, len(scaledAlerts))
+	}
+	return res, nil
+}

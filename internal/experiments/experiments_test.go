@@ -315,3 +315,25 @@ func TestPreventionRestoresAvailability(t *testing.T) {
 		t.Fatal("render missing header")
 	}
 }
+
+func TestEngineScaling(t *testing.T) {
+	res, err := EngineScaling(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 || res.Calls == 0 {
+		t.Fatalf("empty workload: %+v", res)
+	}
+	if !res.AlertsMatch {
+		t.Fatal("sharded alert stream diverges from 1-shard stream")
+	}
+	if res.Alerts == 0 {
+		t.Fatal("attack workload raised no alerts")
+	}
+	out := res.Render()
+	for _, want := range []string{"E10", "speedup", "IDENTICAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

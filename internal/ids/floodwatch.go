@@ -1,0 +1,152 @@
+package ids
+
+import (
+	"fmt"
+	"time"
+
+	"vids/internal/core"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// FloodWatch is the bank of windowed cross-call detectors: the
+// per-destination INVITE-flood machine (Figure 4), the DRDoS
+// response-reflection machine (the same windowed counter over stray
+// responses, Section 3.1) and the prevention-mode source quarantine.
+// Unlike the per-call EFSMs, these detectors aggregate over *many*
+// calls, so a sharded deployment cannot give each shard its own copy:
+// internal/engine runs exactly one FloodWatch in front of its shards
+// (with Config.ExternalFloods silencing the shard-local copies), while
+// a plain IDS embeds its own.
+//
+// FloodWatch is not safe for concurrent use; the embedding layer
+// serializes access (the IDS runs single-threaded, the engine feeds it
+// from its router under a lock).
+type FloodWatch struct {
+	sim *sim.Simulator
+	cfg Config
+
+	floodSp     *core.Spec
+	respFloodSp *core.Spec
+
+	floods     map[string]*core.Machine  // keyed by destination user@domain
+	floodSrcs  map[string]map[string]int // per-destination INVITE counts by source
+	respFloods map[string]*core.Machine  // keyed by destination host
+	quarantine map[string]time.Duration  // "dest|src" -> blocked until
+
+	raise func(Alert)
+}
+
+// NewFloodWatch creates a detector bank bound to the given clock.
+// Alerts are delivered to raise.
+func NewFloodWatch(s *sim.Simulator, cfg Config, raise func(Alert)) *FloodWatch {
+	return &FloodWatch{
+		sim:         s,
+		cfg:         cfg,
+		floodSp:     floodSpec(cfg.FloodN),
+		respFloodSp: respFloodSpec(cfg.ResponseFloodN),
+		floods:      make(map[string]*core.Machine),
+		floodSrcs:   make(map[string]map[string]int),
+		respFloods:  make(map[string]*core.Machine),
+		quarantine:  make(map[string]time.Duration),
+		raise:       raise,
+	}
+}
+
+// FeedInvite counts one initial INVITE toward dest's Figure 4 window
+// and raises AlertInviteFlood past threshold N. In prevention mode the
+// window's major contributors are quarantined.
+func (fw *FloodWatch) FeedInvite(dest, src string, now time.Duration) {
+	m, ok := fw.floods[dest]
+	if !ok {
+		m = core.NewMachine(fw.floodSp, nil)
+		fw.floods[dest] = m
+	}
+	srcs := fw.floodSrcs[dest]
+	if srcs == nil {
+		srcs = make(map[string]int)
+		fw.floodSrcs[dest] = srcs
+	}
+	srcs[src]++
+	res, err := m.Step(core.Event{Name: EvInvite, Args: map[string]any{
+		"dest": dest, "src": src,
+	}})
+	if err != nil {
+		return
+	}
+	if res.From == FloodInit && res.To == FloodCounting {
+		// First INVITE of the window: start timer T1 (Figure 4).
+		fw.sim.Schedule(fw.cfg.FloodT1, func() {
+			r, err := m.Step(core.Event{Name: EvTimerT1})
+			if err == nil && r.To == FloodInit {
+				delete(fw.floodSrcs, dest)
+			}
+		})
+	}
+	if res.EnteredAttack {
+		fw.raise(Alert{
+			At: now, Type: AlertInviteFlood, Target: dest, Source: src,
+			Detail: fmt.Sprintf("more than %d INVITEs within %v", fw.cfg.FloodN, fw.cfg.FloodT1),
+		})
+		if fw.cfg.Prevention {
+			// Quarantine the window's major contributors: the window
+			// detector alone would re-admit N INVITEs per T1.
+			for contributor, count := range srcs {
+				if count > fw.cfg.FloodN/2 {
+					fw.quarantine[dest+"|"+contributor] = now + fw.cfg.Quarantine
+				}
+			}
+		}
+	}
+}
+
+// FeedStrayResponse counts one SIP response for a call the destination
+// never initiated and raises AlertDRDoS when the windowed threshold
+// trips. The first stray response of a window is reported once as a
+// deviation.
+func (fw *FloodWatch) FeedStrayResponse(m *sipmsg.Message, dest, src string, now time.Duration) {
+	mach, ok := fw.respFloods[dest]
+	if !ok {
+		mach = core.NewMachine(fw.respFloodSp, nil)
+		fw.respFloods[dest] = mach
+	}
+	res, err := mach.Step(core.Event{Name: EvResponse, Args: map[string]any{
+		"dest": dest, "src": src,
+	}})
+	if err != nil {
+		return
+	}
+	if res.From == FloodInit && res.To == FloodCounting {
+		// First stray response of the window: report once, arm T1.
+		fw.raise(Alert{
+			At: now, Type: AlertDeviation, CallID: m.CallID,
+			Source: src, Target: dest,
+			Detail: fmt.Sprintf("%s for unknown call", m.Summary()),
+		})
+		fw.sim.Schedule(fw.cfg.FloodT1, func() {
+			_, _ = mach.Step(core.Event{Name: EvTimerT1})
+		})
+	}
+	if res.EnteredAttack {
+		fw.raise(Alert{
+			At: now, Type: AlertDRDoS, Target: dest, Source: src,
+			Detail: fmt.Sprintf("more than %d reflected responses within %v",
+				fw.cfg.ResponseFloodN, fw.cfg.FloodT1),
+		})
+	}
+}
+
+// Quarantined reports whether src is currently blocked toward dest in
+// prevention mode, clearing expired entries as a side effect.
+func (fw *FloodWatch) Quarantined(dest, src string, now time.Duration) bool {
+	key := dest + "|" + src
+	until, ok := fw.quarantine[key]
+	if !ok {
+		return false
+	}
+	if now < until {
+		return true
+	}
+	delete(fw.quarantine, key)
+	return false
+}

@@ -65,6 +65,15 @@ type Config struct {
 	// the paper's headline feature turned off.
 	CrossProtocol bool
 
+	// ExternalFloods disables this instance's own cross-call
+	// detectors (INVITE flood, DRDoS response reflection and the
+	// prevention quarantine): an embedding layer runs one shared
+	// FloodWatch in front of many IDS instances instead, as the
+	// sharded online engine does — per-destination windows must see
+	// the whole packet stream, not one shard's slice. Responses for
+	// unknown calls are then counted but raise nothing here.
+	ExternalFloods bool
+
 	// IdleEviction evicts call monitors with no traffic for this
 	// long (safety net for calls that never reach a final state).
 	IdleEviction time.Duration
@@ -129,20 +138,15 @@ type IDS struct {
 	sim *sim.Simulator
 	cfg Config
 
-	sipSpec     *core.Spec
-	rtpSpecs    map[string]*core.Spec
-	floodSp     *core.Spec
-	respFloodSp *core.Spec
-	spamSp      *core.Spec
+	sipSpec  *core.Spec
+	rtpSpecs map[string]*core.Spec
+	spamSp   *core.Spec
 
 	calls      map[string]*CallMonitor
 	mediaIndex map[string]mediaRef
-	floods     map[string]*core.Machine  // keyed by destination user@domain
-	floodSrcs  map[string]map[string]int // per-destination INVITE counts by source
-	quarantine map[string]time.Duration  // "dest|src" -> blocked until
-	respFloods map[string]*core.Machine  // keyed by destination host
-	spamMons   map[string]*core.Machine  // standalone monitors by media key
-	tombstones map[string]time.Duration  // recently evicted calls
+	fw         *FloodWatch              // cross-call windowed detectors
+	spamMons   map[string]*core.Machine // standalone monitors by media key
+	tombstones map[string]time.Duration // recently evicted calls
 
 	alerts  []Alert
 	OnAlert func(Alert)
@@ -152,35 +156,31 @@ type IDS struct {
 	OnPacket func(pkt *sim.Packet, at time.Duration)
 
 	// Counters for the evaluation harness.
-	sipPackets   uint64
-	rtpPackets   uint64
-	rtcpPackets  uint64
-	parseErrors  uint64
-	deviations   uint64
-	evicted      uint64
-	prevented    uint64
-	sweepArmed   bool
-	procWallTime time.Duration // real host CPU spent inside Process
+	sipPackets     uint64
+	rtpPackets     uint64
+	rtcpPackets    uint64
+	parseErrors    uint64
+	deviations     uint64
+	evicted        uint64
+	prevented      uint64
+	strayResponses uint64 // unknown-call responses deferred to an external FloodWatch
+	sweepArmed     bool
+	procWallTime   time.Duration // real host CPU spent inside Process
 }
 
 // New creates a vids instance bound to the simulator clock.
 func New(s *sim.Simulator, cfg Config) *IDS {
 	d := &IDS{
-		sim:         s,
-		cfg:         cfg,
-		sipSpec:     sipSpec(cfg.CrossProtocol),
-		floodSp:     floodSpec(cfg.FloodN),
-		respFloodSp: respFloodSpec(cfg.ResponseFloodN),
-		spamSp:      spamSpec(cfg.RTP),
-		calls:       make(map[string]*CallMonitor),
-		mediaIndex:  make(map[string]mediaRef),
-		floods:      make(map[string]*core.Machine),
-		floodSrcs:   make(map[string]map[string]int),
-		quarantine:  make(map[string]time.Duration),
-		respFloods:  make(map[string]*core.Machine),
-		spamMons:    make(map[string]*core.Machine),
-		tombstones:  make(map[string]time.Duration),
+		sim:        s,
+		cfg:        cfg,
+		sipSpec:    sipSpec(cfg.CrossProtocol),
+		spamSp:     spamSpec(cfg.RTP),
+		calls:      make(map[string]*CallMonitor),
+		mediaIndex: make(map[string]mediaRef),
+		spamMons:   make(map[string]*core.Machine),
+		tombstones: make(map[string]time.Duration),
 	}
+	d.fw = NewFloodWatch(s, cfg, func(a Alert) { d.raise(a, nil) })
 	d.rtpSpecs = map[string]*core.Spec{
 		MachineRTPCaller: rtpSpec(MachineRTPCaller, cfg.RTP),
 		MachineRTPCallee: rtpSpec(MachineRTPCallee, cfg.RTP),
@@ -230,11 +230,8 @@ func (d *IDS) malicious(pkt *sim.Packet) bool {
 		}
 		if m.IsRequest() && m.Method == sipmsg.INVITE && m.To.Tag() == "" {
 			dest := m.RequestURI.User + "@" + m.RequestURI.Host
-			if until, ok := d.quarantine[dest+"|"+pkt.From.Host]; ok {
-				if d.sim.Now() < until {
-					return true
-				}
-				delete(d.quarantine, dest+"|"+pkt.From.Host)
+			if d.fw.Quarantined(dest, pkt.From.Host, d.sim.Now()) {
+				return true
 			}
 		}
 		if mon, ok := d.calls[m.CallID]; ok && mon.SIP.InAttack() {
@@ -275,36 +272,42 @@ func (d *IDS) Process(pkt *sim.Packet) {
 	start := time.Now()
 	defer func() { d.procWallTime += time.Since(start) }()
 
-	raw, ok := pkt.Payload.([]byte)
-	if !ok {
+	cl, err := Classify(pkt)
+	if err != nil {
 		d.parseErrors++
 		return
 	}
-	switch pkt.Proto {
+	d.dispatch(cl, pkt)
+}
+
+// ProcessSIP is the classify-bypass entry point: it distributes an
+// already-parsed SIP message exactly as Process would after parsing.
+// The sharded engine routes on the Call-ID and hands the parsed form
+// straight to the owning shard, so each SIP packet is parsed once.
+func (d *IDS) ProcessSIP(m *sipmsg.Message, pkt *sim.Packet) {
+	if d.OnPacket != nil {
+		d.OnPacket(pkt, d.sim.Now())
+	}
+	start := time.Now()
+	defer func() { d.procWallTime += time.Since(start) }()
+
+	d.sipPackets++
+	d.handleSIP(m, pkt)
+}
+
+// dispatch is the Event Distributor: it hands each classified message
+// to its protocol handler and maintains the per-protocol counters.
+func (d *IDS) dispatch(cl Classified, pkt *sim.Packet) {
+	switch cl.Proto {
 	case sim.ProtoSIP:
-		m, err := sipmsg.Parse(raw)
-		if err != nil {
-			d.parseErrors++
-			return
-		}
 		d.sipPackets++
-		d.handleSIP(m, pkt)
+		d.handleSIP(cl.SIP, pkt)
 	case sim.ProtoRTP:
-		p, err := rtp.Parse(raw)
-		if err != nil {
-			d.parseErrors++
-			return
-		}
 		d.rtpPackets++
-		d.handleRTP(p, pkt)
+		d.handleRTP(cl.RTP, pkt)
 	case sim.ProtoRTCP:
-		p, err := rtp.ParseRTCP(raw)
-		if err != nil {
-			d.parseErrors++
-			return
-		}
 		d.rtcpPackets++
-		d.handleRTCP(p, pkt)
+		d.handleRTCP(cl.RTCP, pkt)
 	default:
 		// Non-VoIP traffic is outside vids' scope.
 	}
@@ -330,10 +333,10 @@ func (d *IDS) handleSIP(m *sipmsg.Message, pkt *sim.Packet) {
 		return
 	}
 
-	if m.IsRequest() && m.Method == sipmsg.INVITE && m.To.Tag() == "" {
+	if m.IsRequest() && m.Method == sipmsg.INVITE && m.To.Tag() == "" && !d.cfg.ExternalFloods {
 		// Initial INVITE: feed the flood detector keyed by the
 		// destination AOR (Figure 4 counts INVITEs per destination).
-		d.feedFlood(m.RequestURI.User+"@"+m.RequestURI.Host, pkt.From.Host, now)
+		d.fw.FeedInvite(m.RequestURI.User+"@"+m.RequestURI.Host, pkt.From.Host, now)
 	}
 
 	mon := d.calls[m.CallID]
@@ -351,10 +354,16 @@ func (d *IDS) handleSIP(m *sipmsg.Message, pkt *sim.Packet) {
 					// way in; not a separate event.
 					return
 				}
+				if d.cfg.ExternalFloods {
+					// The embedding engine's shared FloodWatch owns
+					// reflection detection; just account for it.
+					d.strayResponses++
+					return
+				}
 				// Responses for calls the destination never started:
 				// count them toward the DRDoS reflection detector and
 				// report the first as a deviation.
-				d.feedResponseFlood(m, pkt, now)
+				d.fw.FeedStrayResponse(m, pkt.To.Host, pkt.From.Host, now)
 				return
 			}
 			// SIP requests for a call vids never saw begin: deviation.
@@ -600,89 +609,6 @@ func (d *IDS) handleUnsolicitedRTP(key string, ev core.Event, pkt *sim.Packet, n
 			At: now, Type: AlertMediaSpam,
 			Source: pkt.From.Host, Target: key,
 			Detail: "unsolicited stream exceeded spam thresholds",
-		}, nil)
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Flood detector
-// ---------------------------------------------------------------------------
-
-func (d *IDS) feedFlood(dest, src string, now time.Duration) {
-	m, ok := d.floods[dest]
-	if !ok {
-		m = core.NewMachine(d.floodSp, nil)
-		d.floods[dest] = m
-	}
-	srcs := d.floodSrcs[dest]
-	if srcs == nil {
-		srcs = make(map[string]int)
-		d.floodSrcs[dest] = srcs
-	}
-	srcs[src]++
-	res, err := m.Step(core.Event{Name: EvInvite, Args: map[string]any{
-		"dest": dest, "src": src,
-	}})
-	if err != nil {
-		return
-	}
-	if res.From == FloodInit && res.To == FloodCounting {
-		// First INVITE of the window: start timer T1 (Figure 4).
-		d.sim.Schedule(d.cfg.FloodT1, func() {
-			r, err := m.Step(core.Event{Name: EvTimerT1})
-			if err == nil && r.To == FloodInit {
-				delete(d.floodSrcs, dest)
-			}
-		})
-	}
-	if res.EnteredAttack {
-		d.raise(Alert{
-			At: now, Type: AlertInviteFlood, Target: dest, Source: src,
-			Detail: fmt.Sprintf("more than %d INVITEs within %v", d.cfg.FloodN, d.cfg.FloodT1),
-		}, nil)
-		if d.cfg.Prevention {
-			// Quarantine the window's major contributors: the window
-			// detector alone would re-admit N INVITEs per T1.
-			for contributor, count := range srcs {
-				if count > d.cfg.FloodN/2 {
-					d.quarantine[dest+"|"+contributor] = now + d.cfg.Quarantine
-				}
-			}
-		}
-	}
-}
-
-// feedResponseFlood counts unknown-call responses per destination
-// host and raises a DRDoS alert when the windowed threshold trips.
-func (d *IDS) feedResponseFlood(m *sipmsg.Message, pkt *sim.Packet, now time.Duration) {
-	dest := pkt.To.Host
-	mach, ok := d.respFloods[dest]
-	if !ok {
-		mach = core.NewMachine(d.respFloodSp, nil)
-		d.respFloods[dest] = mach
-	}
-	res, err := mach.Step(core.Event{Name: EvResponse, Args: map[string]any{
-		"dest": dest, "src": pkt.From.Host,
-	}})
-	if err != nil {
-		return
-	}
-	if res.From == FloodInit && res.To == FloodCounting {
-		// First stray response of the window: report once, arm T1.
-		d.raise(Alert{
-			At: now, Type: AlertDeviation, CallID: m.CallID,
-			Source: pkt.From.Host, Target: dest,
-			Detail: fmt.Sprintf("%s for unknown call", m.Summary()),
-		}, nil)
-		d.sim.Schedule(d.cfg.FloodT1, func() {
-			_, _ = mach.Step(core.Event{Name: EvTimerT1})
-		})
-	}
-	if res.EnteredAttack {
-		d.raise(Alert{
-			At: now, Type: AlertDRDoS, Target: dest, Source: pkt.From.Host,
-			Detail: fmt.Sprintf("more than %d reflected responses within %v",
-				d.cfg.ResponseFloodN, d.cfg.FloodT1),
 		}, nil)
 	}
 }

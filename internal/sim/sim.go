@@ -153,5 +153,37 @@ func (s *Simulator) Run(horizon time.Duration) error {
 	return nil
 }
 
+// RunUntil executes events scheduled strictly before t, then advances
+// the clock to t without touching events at or after t. It is the
+// shard-clock primitive of the online engine: before processing a
+// packet stamped t, all timers due before t fire, while a timer due
+// exactly at t runs after the packet — the same tie-break a sequential
+// trace replay produces (packets are scheduled before any timer, so
+// equal-time packets run first). It returns ErrHalted if Halt was
+// called from inside an event.
+func (s *Simulator) RunUntil(t time.Duration) error {
+	s.halted = false
+	for len(s.queue) > 0 {
+		if s.halted {
+			return ErrHalted
+		}
+		next := s.queue[0]
+		if next.at >= t {
+			break
+		}
+		ev, ok := heap.Pop(&s.queue).(*event)
+		if !ok {
+			return fmt.Errorf("sim: corrupt event queue entry %T", next)
+		}
+		s.now = ev.at
+		s.executed++
+		ev.fn()
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return nil
+}
+
 // RunAll executes events until the queue drains, with no horizon.
 func (s *Simulator) RunAll() error { return s.Run(time.Duration(math.MaxInt64)) }

@@ -249,3 +249,57 @@ func TestRNGExpNonNegativeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunUntilStopsStrictlyBeforeHorizon(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+
+	// Events due exactly at the horizon must NOT run.
+	if err := s.RunUntil(20 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ran %v, want [1]", got)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v, want 20ms", s.Now())
+	}
+
+	// A later horizon picks up the deferred equal-time event with its
+	// original timestamp.
+	var at time.Duration
+	s.Schedule(0, func() { at = s.Now() }) // scheduled at now = 20ms
+	if err := s.RunUntil(25 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(got) != 2 || got[1] != 2 || at != 20*time.Millisecond {
+		t.Fatalf("deferred events = %v at %v", got, at)
+	}
+
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("final order = %v", got)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New(1)
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock = %v", s.Now())
+	}
+	// A horizon in the past never rewinds the clock.
+	if err := s.RunUntil(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock rewound to %v", s.Now())
+	}
+}

@@ -20,7 +20,7 @@ import (
 type Entry struct {
 	// AtNanos is the virtual capture time in nanoseconds.
 	AtNanos int64 `json:"atNanos"`
-	// Proto is the protocol label ("SIP", "RTP", "OTHER").
+	// Proto is the protocol label ("SIP", "RTP", "RTCP", "OTHER").
 	Proto string `json:"proto"`
 
 	FromHost string `json:"fromHost"`

@@ -22,13 +22,15 @@ func TestWriteReadRoundTrip(t *testing.T) {
 			Proto: sim.ProtoSIP, Size: 500, Payload: []byte("INVITE...")},
 		{From: sim.Addr{Host: "a", Port: 20000}, To: sim.Addr{Host: "b", Port: 30000},
 			Proto: sim.ProtoRTP, Size: 60, Payload: []byte{0x80, 0x12}},
+		{From: sim.Addr{Host: "a", Port: 20001}, To: sim.Addr{Host: "b", Port: 30001},
+			Proto: sim.ProtoRTCP, Size: 8, Payload: []byte{0x80, 0xC8}},
 	}
 	for i, p := range pkts {
 		if err := w.Record(p, time.Duration(i)*time.Second); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if w.Entries() != 2 {
+	if w.Entries() != 3 {
 		t.Fatalf("entries = %d", w.Entries())
 	}
 	if w.Err() != nil {
@@ -39,7 +41,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 2 {
+	if len(entries) != 3 {
 		t.Fatalf("read %d entries", len(entries))
 	}
 	if entries[0].At() != 0 || entries[1].At() != time.Second {
@@ -56,6 +58,10 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	p1 := entries[1].Packet()
 	if p1.Proto != sim.ProtoRTP {
 		t.Fatalf("packet 1 proto = %v", p1.Proto)
+	}
+	p2 := entries[2].Packet()
+	if p2.Proto != sim.ProtoRTCP || p2.To.Port != 30001 {
+		t.Fatalf("packet 2 = %+v", p2)
 	}
 }
 
@@ -84,7 +90,7 @@ func TestReadErrors(t *testing.T) {
 }
 
 func TestProtoRoundTrip(t *testing.T) {
-	for _, p := range []sim.Proto{sim.ProtoSIP, sim.ProtoRTP, sim.ProtoOther} {
+	for _, p := range []sim.Proto{sim.ProtoSIP, sim.ProtoRTP, sim.ProtoRTCP, sim.ProtoOther} {
 		if got := protoFromString(p.String()); got != p {
 			t.Fatalf("round-trip %v -> %v", p, got)
 		}

@@ -27,6 +27,7 @@
 package vids
 
 import (
+	"vids/internal/engine"
 	"vids/internal/experiments"
 	"vids/internal/ids"
 	"vids/internal/sim"
@@ -90,9 +91,42 @@ type (
 
 // Protocol labels for Packet.Proto.
 const (
-	ProtoSIP = sim.ProtoSIP
-	ProtoRTP = sim.ProtoRTP
+	ProtoSIP  = sim.ProtoSIP
+	ProtoRTP  = sim.ProtoRTP
+	ProtoRTCP = sim.ProtoRTCP
 )
+
+// Online engine types (internal/engine): the concurrent sharded
+// detection pipeline that runs vids against live or replayed traffic.
+type (
+	// Engine is the online pipeline: N shard workers, each owning the
+	// per-call machines of the calls hashed to it.
+	Engine = engine.Engine
+	// EngineConfig parameterizes shards, queues and backpressure.
+	EngineConfig = engine.Config
+	// EngineStats is a point-in-time pipeline snapshot.
+	EngineStats = engine.Stats
+	// QueuePolicy selects the full-queue behavior.
+	QueuePolicy = engine.Policy
+	// PacketSource feeds an engine (trace replay, UDP listener).
+	PacketSource = engine.Source
+	// TraceSource replays a captured trace file, optionally paced.
+	TraceSource = engine.TraceSource
+	// UDPSource ingests live traffic from real UDP sockets.
+	UDPSource = engine.UDPSource
+)
+
+// Queue policies.
+const (
+	// QueueBlock makes ingestion wait for space (lossless).
+	QueueBlock = engine.Block
+	// QueueDropOldest evicts the oldest queued packet (live capture).
+	QueueDropOldest = engine.DropOldest
+)
+
+// NewEngine starts the online sharded detection pipeline. Close it to
+// drain the shard queues and merge the alert logs.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
 // NewSimulator creates a seeded virtual clock.
 func NewSimulator(seed int64) *Simulator { return sim.New(seed) }
@@ -142,6 +176,8 @@ type (
 	// PreventionResult holds the detection-vs-prevention availability
 	// experiment.
 	PreventionResult = experiments.PreventionResult
+	// EngineScalingResult holds the online-engine scaling measurement.
+	EngineScalingResult = experiments.EngineResult
 )
 
 // Fig8 regenerates Figure 8 (call arrivals and durations).
@@ -181,4 +217,10 @@ func Auth(o ExperimentOptions) (*AuthResult, error) { return experiments.Auth(o)
 // "future of VoIP security").
 func Prevention(o ExperimentOptions) (*PreventionResult, error) {
 	return experiments.Prevention(o)
+}
+
+// EngineScaling runs experiment E10: the online sharded engine's
+// throughput at 1 vs. NumCPU shards, with alert-stream parity checked.
+func EngineScaling(o ExperimentOptions) (*EngineScalingResult, error) {
+	return experiments.EngineScaling(o)
 }
