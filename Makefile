@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race fmt lint ci golden bench-smoke
+# BENCHTIME paces the hot-path benchmarks (make bench). CI overrides
+# it with a fixed iteration count for a fast, deterministic smoke.
+BENCHTIME ?= 1s
+
+.PHONY: all build test race fmt lint ci golden bench bench-smoke
 
 all: build
 
@@ -26,6 +30,18 @@ lint: fmt
 	$(GO) vet ./...
 	$(GO) run ./cmd/vidslint ./...
 	$(GO) run ./cmd/fsmdump
+
+# bench runs the packet-path micro-benchmarks with allocation
+# reporting and archives the numbers as BENCH_hotpath.json — the
+# regression record for the zero-allocation hot path. Override the
+# pacing with BENCHTIME (e.g. `make bench BENCHTIME=100x`).
+bench:
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkSIPParse$$|BenchmarkRTPParse$$|BenchmarkRTCPParse$$|BenchmarkIDSProcessSIP$$|BenchmarkIDSProcessRTP$$|BenchmarkEFSMStep$$' \
+		-benchmem -benchtime $(BENCHTIME) . | tee BENCH_hotpath.txt
+	$(GO) run ./cmd/benchjson < BENCH_hotpath.txt > BENCH_hotpath.json
+	@rm -f BENCH_hotpath.txt
+	@echo "wrote BENCH_hotpath.json"
 
 # bench-smoke exercises the concurrent engine benchmark once per
 # shard count under the race detector — a cheap CI gate that the

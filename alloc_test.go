@@ -1,0 +1,98 @@
+package vids_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"vids/internal/ids"
+	"vids/internal/rtp"
+	"vids/internal/sdp"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// Allocation ceilings for the packet hot path. These are regression
+// budgets, not targets: they hold the measured post-optimization
+// counts (with a little headroom where the runtime gives no exact
+// guarantee) so an accidental per-packet allocation fails tier-1
+// tests instead of silently eroding throughput.
+const (
+	// maxSIPParseAllocs bounds sipmsg.Parse on a realistic INVITE
+	// with SDP: one allocation per retained header value plus the
+	// header slices. The seed parser took 33.
+	maxSIPParseAllocs = 16
+	// maxIDSProcessRTPAllocs bounds the full IDS path for one RTP
+	// packet on an established call in steady state. The seed path
+	// took 12 (excluding packet marshaling).
+	maxIDSProcessRTPAllocs = 2
+)
+
+// TestAllocBudgetSIPParse holds the parser to its allocation budget.
+func TestAllocBudgetSIPParse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	raw := benchInvite().Bytes()
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := sipmsg.Parse(raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > maxSIPParseAllocs {
+		t.Errorf("sipmsg.Parse allocates %.1f/op, budget %d", avg, maxSIPParseAllocs)
+	}
+}
+
+// TestAllocBudgetIDSProcessRTP holds the whole per-RTP-packet
+// detection path — classify, typed event, media-key probe, machine
+// step — to its allocation budget.
+func TestAllocBudgetIDSProcessRTP(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	s := sim.New(1)
+	cfg := ids.DefaultConfig()
+	// All runs land on one virtual instant, so disarm the rate window:
+	// this test measures the steady-state path, not the flood
+	// transition.
+	cfg.RTP.RatePackets = 1 << 30
+	d := ids.New(s, cfg)
+
+	// Establish one call so the stream has a live machine (same setup
+	// as BenchmarkIDSProcessRTP).
+	inv := benchInvite()
+	pa := sim.Addr{Host: "proxy.a.example.com", Port: 5060}
+	pb := sim.Addr{Host: "proxy.b.example.com", Port: 5060}
+	d.Process(&sim.Packet{From: pa, To: pb, Proto: sim.ProtoSIP, Size: 500, Payload: inv.Bytes()})
+	ok := sipmsg.NewResponse(inv, sipmsg.StatusOK)
+	ok.To = ok.To.WithTag("t2")
+	okContact := sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: "ua2.b.example.com"}}
+	ok.Contact = &okContact
+	ok.ContentType = "application/sdp"
+	ok.Body = sdp.New("bob", "ua2.b.example.com", 30000, sdp.PayloadG729).Marshal()
+	d.Process(&sim.Packet{From: pb, To: pa, Proto: sim.ProtoSIP, Size: 500, Payload: ok.Bytes()})
+
+	p := &rtp.Packet{PayloadType: 18, SSRC: 42, Payload: make([]byte, 20)}
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &sim.Packet{
+		From:  sim.Addr{Host: "ua1.a.example.com", Port: 20000},
+		To:    sim.Addr{Host: "ua2.b.example.com", Port: 30000},
+		Proto: sim.ProtoRTP, Size: len(raw), Payload: raw,
+	}
+	seq := uint16(0)
+	avg := testing.AllocsPerRun(200, func() {
+		seq++
+		binary.BigEndian.PutUint16(raw[2:], seq)
+		binary.BigEndian.PutUint32(raw[4:], uint32(seq)*160)
+		d.Process(pkt)
+	})
+	if avg > maxIDSProcessRTPAllocs {
+		t.Errorf("ids.Process(RTP) allocates %.1f/op, budget %d", avg, maxIDSProcessRTPAllocs)
+	}
+	if n := len(d.Alerts()); n != 0 {
+		t.Fatalf("steady-state stream raised %d alerts", n)
+	}
+}

@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, so the benchmark regression harness (`make
+// bench`) can archive machine-readable numbers — ns/op, B/op,
+// allocs/op and any custom ReportMetric units — per run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH.json
+//
+// It reads the benchmark text from stdin and writes JSON to stdout,
+// exiting non-zero when the input contains no benchmark results (an
+// empty report almost always means the bench invocation itself
+// failed).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	// Metrics holds custom b.ReportMetric units, keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole document: the run's environment header plus
+// every benchmark result in input order.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Package    string      `json:"package,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse consumes `go test -bench` output. Unrecognized lines (PASS,
+// ok, test log noise) are skipped: benchmark text is a stream meant
+// for humans and only its Benchmark* lines carry results.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, err := parseResult(line)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %v", err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseResult decodes one result line: the benchmark name, the
+// iteration count, then "value unit" pairs.
+func parseResult(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed result line %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count in %q: %v", line, err)
+	}
+	b := Benchmark{Name: f[0], Iterations: iters}
+	for i := 2; i < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q in %q: %v", f[i], line, err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = int64(val)
+		case "allocs/op":
+			b.AllocsPerOp = int64(val)
+		case "MB/s":
+			b.MBPerSec = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, nil
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

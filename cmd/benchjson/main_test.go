@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: vids
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSIPParse      	    2000	      3113 ns/op	 147.14 MB/s	    1448 B/op	      16 allocs/op
+BenchmarkIDSProcessRTP 	    2000	       324.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig9CallSetup 	       2	 128489810 ns/op	         0.4969 setup-overhead-ms
+PASS
+ok  	vids	0.029s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Package != "vids" {
+		t.Errorf("header = %q/%q/%q", rep.GOOS, rep.GOARCH, rep.Package)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	sip := rep.Benchmarks[0]
+	if sip.Name != "BenchmarkSIPParse" || sip.Iterations != 2000 {
+		t.Errorf("sip = %+v", sip)
+	}
+	if sip.NsPerOp != 3113 || sip.BytesPerOp != 1448 || sip.AllocsPerOp != 16 {
+		t.Errorf("sip measurements = %+v", sip)
+	}
+	if sip.MBPerSec != 147.14 {
+		t.Errorf("sip MB/s = %v", sip.MBPerSec)
+	}
+
+	idsRTP := rep.Benchmarks[1]
+	if idsRTP.BytesPerOp != 0 || idsRTP.AllocsPerOp != 0 || idsRTP.NsPerOp != 324.2 {
+		t.Errorf("ids rtp = %+v", idsRTP)
+	}
+
+	fig9 := rep.Benchmarks[2]
+	if got := fig9.Metrics["setup-overhead-ms"]; got != 0.4969 {
+		t.Errorf("custom metric = %v", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"BenchmarkX\n",               // no iteration count
+		"BenchmarkX 10 5\n",          // value without unit
+		"BenchmarkX ten 5 ns/op\n",   // bad iteration count
+		"BenchmarkX 10 fast ns/op\n", // bad value
+	} {
+		if _, err := parse(strings.NewReader(in)); err == nil {
+			t.Errorf("parse(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	rep, err := parse(strings.NewReader("PASS\nok \tvids\t0.1s\n--- BENCH: x\nBenchmarkY 5 2 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkY" {
+		t.Fatalf("rep = %+v", rep)
+	}
+}

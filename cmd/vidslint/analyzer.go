@@ -156,6 +156,9 @@ func (a *analyzer) analyzeDir(dir string) ([]finding, error) {
 	var out []finding
 	out = append(out, a.checkDroppedErrors(files, info)...)
 	out = append(out, a.checkArgsIndexing(importPath, files, info)...)
+	if !strings.HasSuffix(importPath, "internal/sipmsg") {
+		out = append(out, a.checkPayloadStringConv(files, info)...)
+	}
 	if strings.HasSuffix(importPath, "internal/ids") {
 		out = append(out, a.checkSpecRegistry(importPath, files, info)...)
 	}

@@ -45,8 +45,11 @@ func TestDroppedErrorAndArgsFixture(t *testing.T) {
 	if got := countContaining(fs, "core.Event.Args"); got != 2 {
 		t.Errorf("Args-indexing findings = %d, want 2", got)
 	}
-	if len(fs) != 6 {
-		t.Errorf("total findings = %d, want 6", len(fs))
+	if got := countContaining(fs, "Payload copies the body"); got != 2 {
+		t.Errorf("payload-string findings = %d, want 2", got)
+	}
+	if len(fs) != 8 {
+		t.Errorf("total findings = %d, want 8", len(fs))
 	}
 }
 

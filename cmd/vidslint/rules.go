@@ -89,6 +89,64 @@ func (a *analyzer) checkArgsIndexing(importPath string, files []*ast.File, info 
 	return out
 }
 
+// checkPayloadStringConv flags string(...) conversions whose operand
+// is a byte slice derived from a packet Payload field. Materializing
+// the whole packet body as a string copies it once per packet — the
+// exact allocation the single-pass parser removed from the hot path.
+// Only internal/sipmsg (where the parser lives) may do it; the
+// analyzer skips that package in analyzeDir.
+func (a *analyzer) checkPayloadStringConv(files []*ast.File, info *types.Info) []finding {
+	var out []finding
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Kind() != types.String {
+				return true
+			}
+			arg := call.Args[0]
+			if !isByteSlice(info.Types[arg].Type) || !mentionsPayload(arg) {
+				return true
+			}
+			out = append(out, finding{
+				pos: a.fset.Position(call.Pos()),
+				msg: "string conversion of a packet Payload copies the body per packet: parse the bytes in place (only internal/sipmsg materializes payload strings)",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func mentionsPayload(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Payload" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
 func (a *analyzer) isCoreEvent(t types.Type) bool {
 	if t == nil {
 		return false

@@ -3,7 +3,11 @@
 // tests (testdata is invisible to the go tool).
 package badpkg
 
-import "vids/internal/core"
+import (
+	"vids/internal/core"
+	"vids/internal/rtp"
+	"vids/internal/sim"
+)
 
 // DropEverything discards the results of every call the linter cares
 // about. Each of the four calls below must be flagged.
@@ -31,4 +35,28 @@ func RawArgs(e core.Event) any {
 // TypedAccess is the accepted idiom. Not flagged.
 func TypedAccess(e core.Event) string {
 	return e.StringArg("x")
+}
+
+// PayloadAssertString materializes the whole packet body as a string
+// via a type assertion — the per-packet copy the hot path forbids.
+// Must be flagged.
+func PayloadAssertString(pkt *sim.Packet) string {
+	return string(pkt.Payload.([]byte)) // finding: payload string conversion
+}
+
+// PayloadFieldString converts a typed []byte Payload field. Must be
+// flagged.
+func PayloadFieldString(p *rtp.Packet) string {
+	return string(p.Payload) // finding: payload string conversion
+}
+
+// ByteSliceString converts a byte slice that is not a packet payload.
+// Not flagged.
+func ByteSliceString(b []byte) string {
+	return string(b)
+}
+
+// PayloadLength reads the payload without copying it. Not flagged.
+func PayloadLength(p *rtp.Packet) int {
+	return len(p.Payload)
 }

@@ -26,36 +26,92 @@ import (
 // State names one control state of a machine.
 type State string
 
+// TypedArgs is a typed backing store for an Event's input vector x.
+// The per-packet hot path (internal/ids) hands events a pointer to a
+// reusable struct implementing this interface instead of building a
+// fresh map[string]any per packet, so classify→step runs without
+// boxing every argument through an interface allocation. Lookups
+// return ok=false for keys the payload does not carry; the Event
+// accessors then fall back to the Args map, which remains the
+// spec-authoring and tooling representation (δ emissions, speclint
+// probes).
+type TypedArgs interface {
+	StringArg(key string) (string, bool)
+	IntArg(key string) (int, bool)
+	Uint32Arg(key string) (uint32, bool)
+	DurationArg(key string) (time.Duration, bool)
+}
+
 // Event is an element of the event alphabet Σ: a name plus the input
-// vector x of named arguments.
+// vector x of named arguments. The vector lives either in Args (the
+// general map form) or in Typed (the allocation-free form); the typed
+// accessors below consult Typed first and fall back to Args, so
+// predicates and actions are agnostic to the representation.
 type Event struct {
-	Name string
-	Args map[string]any
+	Name  string
+	Args  map[string]any
+	Typed TypedArgs
 }
 
 // Arg returns an event argument (nil if absent).
-func (e Event) Arg(key string) any { return e.Args[key] }
+func (e Event) Arg(key string) any {
+	if e.Typed != nil {
+		if v, ok := e.Typed.StringArg(key); ok {
+			return v
+		}
+		if v, ok := e.Typed.IntArg(key); ok {
+			return v
+		}
+		if v, ok := e.Typed.Uint32Arg(key); ok {
+			return v
+		}
+		if v, ok := e.Typed.DurationArg(key); ok {
+			return v
+		}
+	}
+	return e.Args[key]
+}
 
 // StringArg returns a string argument ("" if absent or not a string).
 func (e Event) StringArg(key string) string {
+	if e.Typed != nil {
+		if v, ok := e.Typed.StringArg(key); ok {
+			return v
+		}
+	}
 	s, _ := e.Args[key].(string)
 	return s
 }
 
 // IntArg returns an int argument (0 if absent or not an int).
 func (e Event) IntArg(key string) int {
+	if e.Typed != nil {
+		if v, ok := e.Typed.IntArg(key); ok {
+			return v
+		}
+	}
 	v, _ := e.Args[key].(int)
 	return v
 }
 
 // Uint32Arg returns a uint32 argument (0 if absent).
 func (e Event) Uint32Arg(key string) uint32 {
+	if e.Typed != nil {
+		if v, ok := e.Typed.Uint32Arg(key); ok {
+			return v
+		}
+	}
 	v, _ := e.Args[key].(uint32)
 	return v
 }
 
 // DurationArg returns a time.Duration argument (0 if absent).
 func (e Event) DurationArg(key string) time.Duration {
+	if e.Typed != nil {
+		if v, ok := e.Typed.DurationArg(key); ok {
+			return v
+		}
+	}
 	v, _ := e.Args[key].(time.Duration)
 	return v
 }
@@ -318,6 +374,13 @@ type Machine struct {
 	vars    Vars
 	globals Vars
 
+	// ctx is the reusable evaluation context handed to guards and
+	// actions: keeping it on the machine (instead of allocating one
+	// per Step) keeps the per-packet hot path allocation-free. Step is
+	// not reentrant: an Action must not call Step on its own machine
+	// (δ messages go through Ctx.Emit and the System queue instead).
+	ctx Ctx
+
 	steps uint64
 }
 
@@ -380,7 +443,14 @@ func (m *Machine) Step(e Event) (StepResult, error) {
 		return StepResult{Machine: m.name, From: m.state, Event: e.Name}, ErrNoTransition
 	}
 
-	ctx := &Ctx{Event: e, Vars: m.vars, Globals: m.globals}
+	ctx := &m.ctx
+	ctx.Event = e
+	ctx.Vars = m.vars
+	ctx.Globals = m.globals
+	// Start each step with a nil emit buffer: the rare emitting
+	// transition allocates, and ownership of the buffer passes to the
+	// returned StepResult (it is never clobbered by a later Step).
+	ctx.emits = nil
 	var chosen *Transition
 	var fallback *Transition
 	enabled := 0

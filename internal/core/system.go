@@ -73,6 +73,11 @@ func (sys *System) PendingSync() int { return len(sys.queue) }
 // the *data* event is returned as a deviation; sync events that find
 // no transition are tolerated (the peer machine may legitimately have
 // moved past the state that cared).
+//
+// The returned slice is owned by the System and reused: it is valid
+// only until the next Deliver/DeliverSync call. The per-packet hot
+// path consumes it synchronously; callers that need to retain results
+// must copy them.
 func (sys *System) Deliver(machine string, e Event) ([]StepResult, error) {
 	m, ok := sys.machines[machine]
 	if !ok {
@@ -81,24 +86,26 @@ func (sys *System) Deliver(machine string, e Event) ([]StepResult, error) {
 	sys.results = sys.results[:0]
 
 	if err := sys.drain(); err != nil {
-		return append([]StepResult(nil), sys.results...), err
+		return sys.results, err
 	}
 
 	res, err := m.Step(e)
 	if err != nil {
-		return append([]StepResult(nil), sys.results...), err
+		return sys.results, err
 	}
 	sys.results = append(sys.results, res)
 	sys.queue = append(sys.queue, res.Emitted...)
 
 	if err := sys.drain(); err != nil {
-		return append([]StepResult(nil), sys.results...), err
+		return sys.results, err
 	}
-	return append([]StepResult(nil), sys.results...), nil
+	return sys.results, nil
 }
 
 // DeliverSync injects a sync event directly (used for timer expiries
-// that the IDS schedules on behalf of a machine).
+// that the IDS schedules on behalf of a machine). Like Deliver, the
+// returned slice is reused by the System and valid only until the
+// next Deliver/DeliverSync call.
 func (sys *System) DeliverSync(machine string, e Event) ([]StepResult, error) {
 	if _, ok := sys.machines[machine]; !ok {
 		return nil, fmt.Errorf("core: unknown machine %q", machine)
@@ -106,7 +113,7 @@ func (sys *System) DeliverSync(machine string, e Event) ([]StepResult, error) {
 	sys.results = sys.results[:0]
 	sys.queue = append(sys.queue, SyncMsg{Target: machine, Event: e})
 	err := sys.drain()
-	return append([]StepResult(nil), sys.results...), err
+	return sys.results, err
 }
 
 // drain processes the sync queue to exhaustion in FIFO order.

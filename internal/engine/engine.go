@@ -124,6 +124,7 @@ type Engine struct {
 	media      map[string]string        // media key -> owning Call-ID
 	calls      map[string]time.Duration // Call-ID -> last activity (stray-response test + GC)
 	gone       map[string]time.Duration // Call-ID -> when the sweep forgot it (router tombstones)
+	keyBuf     []byte                   // reusable media-key scratch, guarded by mu
 	retain     time.Duration            // how long idle routing entries survive
 	sweepArmed bool
 
@@ -261,6 +262,21 @@ func fnv32a(s string) uint32 {
 	return h
 }
 
+// fnv32aBytes is fnv32a over a byte slice, so a media key rendered
+// into a scratch buffer picks the same shard as its string form.
+func fnv32aBytes(b []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= prime32
+	}
+	return h
+}
+
 func (e *Engine) shardFor(key string) *shard {
 	return e.shards[int(fnv32a(key)%uint32(len(e.shards)))]
 }
@@ -289,22 +305,13 @@ func (e *Engine) Ingest(pkt *sim.Packet, at time.Duration) error {
 	case sim.ProtoSIP:
 		e.ingestSIP(pkt, at)
 	case sim.ProtoRTP:
-		key, ok := e.lookupMedia(pkt.To.Host, pkt.To.Port, at)
-		if !ok {
-			// No SDP advertised this destination: the stream is
-			// unsolicited. Hash the media key itself so every packet
-			// of the stream still meets one shard's spam monitor.
-			key = ids.MediaKey(pkt.To.Host, pkt.To.Port)
-		}
-		e.shardFor(key).enqueue(item{pkt: pkt, at: at}, e.cfg.Policy)
+		e.routeMedia(pkt.To.Host, pkt.To.Port, at).
+			enqueue(item{pkt: pkt, at: at}, e.cfg.Policy)
 	case sim.ProtoRTCP:
 		// RTCP rides the media port + 1 (RFC 3550 convention the
 		// shard-side handler assumes too).
-		key, ok := e.lookupMedia(pkt.To.Host, pkt.To.Port-1, at)
-		if !ok {
-			key = ids.MediaKey(pkt.To.Host, pkt.To.Port-1)
-		}
-		e.shardFor(key).enqueue(item{pkt: pkt, at: at}, e.cfg.Policy)
+		e.routeMedia(pkt.To.Host, pkt.To.Port-1, at).
+			enqueue(item{pkt: pkt, at: at}, e.cfg.Policy)
 	default:
 		// Non-VoIP traffic is outside vids' scope.
 		e.ignored.Add(1)
@@ -376,19 +383,24 @@ func (e *Engine) ingestSIP(pkt *sim.Packet, at time.Duration) {
 	e.shardFor(m.CallID).enqueue(item{pkt: pkt, at: at, sip: m}, e.cfg.Policy)
 }
 
-// lookupMedia resolves a media destination to its owning Call-ID and
-// refreshes the call's activity stamp.
-func (e *Engine) lookupMedia(host string, port int, at time.Duration) (string, bool) {
-	key := ids.MediaKey(host, port)
+// routeMedia resolves a media destination to the shard that owns it,
+// refreshing the owning call's activity stamp. Known streams route by
+// their Call-ID; a destination no SDP advertised is an unsolicited
+// stream, hashed by the media key itself so all its packets still meet
+// one shard's spam monitor. The key is rendered into a scratch buffer
+// under e.mu, so the per-packet path never allocates it.
+func (e *Engine) routeMedia(host string, port int, at time.Duration) *shard {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	callID, ok := e.media[key]
+	e.keyBuf = ids.AppendMediaKey(e.keyBuf[:0], host, port)
+	callID, ok := e.media[string(e.keyBuf)]
 	if ok {
 		if _, live := e.calls[callID]; live {
 			e.calls[callID] = at
 		}
+		return e.shardFor(callID)
 	}
-	return callID, ok
+	return e.shards[int(fnv32aBytes(e.keyBuf)%uint32(len(e.shards)))]
 }
 
 // noteCall records Call-ID activity and arms the index GC. Caller

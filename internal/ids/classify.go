@@ -58,6 +58,13 @@ func Classify(pkt *sim.Packet) (Classified, error) {
 // machine. Exposed so a sharding router can mirror the index.
 func MediaKey(host string, port int) string { return mediaKey(host, port) }
 
+// AppendMediaKey renders MediaKey(host, port) into b without
+// allocating, so a sharding router can probe its mirror of the index
+// through a reusable buffer.
+func AppendMediaKey(b []byte, host string, port int) []byte {
+	return appendMediaKey(b, host, port)
+}
+
 // MediaFromSDP extracts the advertised media destination (address,
 // port, first payload type) from a SIP message's SDP body, if any.
 // Exposed so a sharding router can maintain its media-key index from

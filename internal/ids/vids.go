@@ -166,6 +166,17 @@ type IDS struct {
 	strayResponses uint64 // unknown-call responses deferred to an external FloodWatch
 	sweepArmed     bool
 	procWallTime   time.Duration // real host CPU spent inside Process
+
+	// Per-packet scratch state. Process/ProcessSIP run single-threaded
+	// per instance (the sharded engine gives each shard its own IDS),
+	// so one reusable set keeps the classify→step path allocation-free:
+	// parsed RTP/RTCP packets, typed event args, and the media-key
+	// probe buffer for index lookups.
+	rtpScratch  rtp.Packet
+	rtcpScratch rtp.RTCP
+	sipScratch  sipArgs
+	rtpArgsScr  rtpArgs
+	keyBuf      []byte
 }
 
 // New creates a vids instance bound to the simulator clock.
@@ -239,8 +250,8 @@ func (d *IDS) malicious(pkt *sim.Packet) bool {
 		}
 		return false
 	case sim.ProtoRTP:
-		key := mediaKey(pkt.To.Host, pkt.To.Port)
-		if ref, ok := d.mediaIndex[key]; ok {
+		d.keyBuf = appendMediaKey(d.keyBuf[:0], pkt.To.Host, pkt.To.Port)
+		if ref, ok := d.mediaIndex[string(d.keyBuf)]; ok {
 			if mon := d.calls[ref.callID]; mon != nil {
 				machine, _ := mon.System.Machine(ref.machine)
 				if machine != nil && machine.InAttack() {
@@ -248,7 +259,7 @@ func (d *IDS) malicious(pkt *sim.Packet) bool {
 				}
 			}
 		}
-		if sp, ok := d.spamMons[key]; ok && sp.InAttack() {
+		if sp, ok := d.spamMons[string(d.keyBuf)]; ok && sp.InAttack() {
 			return true
 		}
 		return false
@@ -264,7 +275,9 @@ func (d *IDS) Prevented() uint64 { return d.prevented }
 func (d *IDS) Observe(pkt *sim.Packet, _ time.Duration) { d.Process(pkt) }
 
 // Process classifies one packet and distributes the resulting event
-// to the protocol machines.
+// to the protocol machines. It is the allocation-minimal hot path:
+// RTP/RTCP decode into the instance's scratch packets instead of
+// going through Classify's allocating form.
 func (d *IDS) Process(pkt *sim.Packet) {
 	if d.OnPacket != nil {
 		d.OnPacket(pkt, d.sim.Now())
@@ -272,12 +285,37 @@ func (d *IDS) Process(pkt *sim.Packet) {
 	start := time.Now()
 	defer func() { d.procWallTime += time.Since(start) }()
 
-	cl, err := Classify(pkt)
-	if err != nil {
+	raw, ok := pkt.Payload.([]byte)
+	if !ok {
 		d.parseErrors++
 		return
 	}
-	d.dispatch(cl, pkt)
+	switch pkt.Proto {
+	case sim.ProtoSIP:
+		m, err := sipmsg.Parse(raw)
+		if err != nil {
+			d.parseErrors++
+			return
+		}
+		d.sipPackets++
+		d.handleSIP(m, pkt)
+	case sim.ProtoRTP:
+		if err := rtp.ParseInto(&d.rtpScratch, raw); err != nil {
+			d.parseErrors++
+			return
+		}
+		d.rtpPackets++
+		d.handleRTP(&d.rtpScratch, pkt)
+	case sim.ProtoRTCP:
+		if err := rtp.ParseRTCPInto(&d.rtcpScratch, raw); err != nil {
+			d.parseErrors++
+			return
+		}
+		d.rtcpPackets++
+		d.handleRTCP(&d.rtcpScratch, pkt)
+	default:
+		// Non-VoIP traffic is outside vids' scope.
+	}
 }
 
 // ProcessSIP is the classify-bypass entry point: it distributes an
@@ -377,7 +415,7 @@ func (d *IDS) handleSIP(m *sipmsg.Message, pkt *sim.Packet) {
 	}
 	mon.LastActivity = now
 
-	ev := sipEvent(m, pkt)
+	ev := d.sipEvent(m, pkt)
 
 	// Register media destinations for the classifier before
 	// delivering, so RTP routing is ready the moment SDP crosses.
@@ -416,30 +454,33 @@ func (d *IDS) scheduleEvict(callID string) {
 
 // sipEvent builds the input vector x from a SIP message and its
 // carrying packet (paper Section 4.2: header fields, SDP body values,
-// and the transport source/destination).
-func sipEvent(m *sipmsg.Message, pkt *sim.Packet) core.Event {
-	args := map[string]any{
-		"src":     pkt.From.Host,
-		"dst":     pkt.To.Host,
-		"callID":  m.CallID,
-		"from":    m.From.URI.String(),
-		"to":      m.To.URI.String(),
-		"fromTag": m.From.Tag(),
-		"toTag":   m.To.Tag(),
+// and the transport source/destination). The vector lives in the
+// instance's reusable typed-args scratch: it is valid until the next
+// SIP packet, which is fine because Deliver consumes it synchronously.
+func (d *IDS) sipEvent(m *sipmsg.Message, pkt *sim.Packet) core.Event {
+	a := &d.sipScratch
+	*a = sipArgs{
+		src:     pkt.From.Host,
+		dst:     pkt.To.Host,
+		callID:  m.CallID,
+		from:    m.From.URI.String(),
+		to:      m.To.URI.String(),
+		fromTag: m.From.Tag(),
+		toTag:   m.To.Tag(),
 	}
 	if m.Contact != nil {
-		args["contact"] = m.Contact.URI.Host
+		a.contact = m.Contact.URI.Host
 	}
 	if addr, port, payload, ok := mediaFromSDP(m); ok {
-		args["sdpAddr"] = addr
-		args["sdpPort"] = port
-		args["sdpPayload"] = payload
+		a.sdpAddr = addr
+		a.sdpPort = port
+		a.sdpPayload = payload
 	}
 
 	if m.IsResponse() {
-		args["status"] = m.StatusCode
-		args["cseqMethod"] = string(m.CSeq.Method)
-		return core.Event{Name: EvResponse, Args: args}
+		a.status = m.StatusCode
+		a.cseqMethod = string(m.CSeq.Method)
+		return core.Event{Name: EvResponse, Typed: a}
 	}
 	name := EvResponse
 	switch m.Method {
@@ -454,7 +495,7 @@ func sipEvent(m *sipmsg.Message, pkt *sim.Packet) core.Event {
 	default:
 		name = "sip." + string(m.Method)
 	}
-	return core.Event{Name: name, Args: args}
+	return core.Event{Name: name, Typed: a}
 }
 
 // mediaFromSDP extracts (address, port, payload) from an SDP body.
@@ -501,20 +542,24 @@ func mediaKey(host string, port int) string {
 
 func (d *IDS) handleRTP(p *rtp.Packet, pkt *sim.Packet) {
 	now := d.sim.Now()
-	key := mediaKey(pkt.To.Host, pkt.To.Port)
-	ev := core.Event{Name: EvRTP, Args: map[string]any{
-		"src":         pkt.From.Host,
-		"dst":         pkt.To.Host,
-		"ssrc":        p.SSRC,
-		"seq":         int(p.Sequence),
-		"ts":          p.Timestamp,
-		"payloadType": int(p.PayloadType),
-		"now":         now,
-	}}
+	a := &d.rtpArgsScr
+	*a = rtpArgs{
+		src:         pkt.From.Host,
+		dst:         pkt.To.Host,
+		ssrc:        p.SSRC,
+		seq:         int(p.Sequence),
+		ts:          p.Timestamp,
+		payloadType: int(p.PayloadType),
+		now:         now,
+	}
+	ev := core.Event{Name: EvRTP, Typed: a}
 
-	ref, ok := d.mediaIndex[key]
+	// Probe the media index through the reusable key buffer; the key
+	// string is only materialized on the cold paths that retain it.
+	d.keyBuf = appendMediaKey(d.keyBuf[:0], pkt.To.Host, pkt.To.Port)
+	ref, ok := d.mediaIndex[string(d.keyBuf)]
 	if !ok {
-		d.handleUnsolicitedRTP(key, ev, pkt, now)
+		d.handleUnsolicitedRTP(ev, pkt, now)
 		return
 	}
 	mon := d.calls[ref.callID]
@@ -523,7 +568,7 @@ func (d *IDS) handleRTP(p *rtp.Packet, pkt *sim.Packet) {
 		if _, evicted := d.tombstones[ref.callID]; !evicted {
 			d.raise(Alert{
 				At: now, Type: AlertUnsolicitedRTP, CallID: ref.callID,
-				Source: pkt.From.Host, Target: key,
+				Source: pkt.From.Host, Target: string(d.keyBuf),
 				Detail: "RTP for a call with no live monitor",
 			}, nil)
 		}
@@ -537,7 +582,7 @@ func (d *IDS) handleRTP(p *rtp.Packet, pkt *sim.Packet) {
 		d.deviations++
 		d.raise(Alert{
 			At: now, Type: AlertDeviation, CallID: mon.CallID,
-			Source: pkt.From.Host, Target: key,
+			Source: pkt.From.Host, Target: string(d.keyBuf),
 			Detail: fmt.Sprintf("RTP not accepted by %s in its current state", ref.machine),
 		}, mon)
 	}
@@ -553,8 +598,8 @@ func (d *IDS) handleRTCP(p *rtp.RTCP, pkt *sim.Packet) {
 	}
 	now := d.sim.Now()
 	// RTCP runs on the media port + 1.
-	key := mediaKey(pkt.To.Host, pkt.To.Port-1)
-	ref, ok := d.mediaIndex[key]
+	d.keyBuf = appendMediaKey(d.keyBuf[:0], pkt.To.Host, pkt.To.Port-1)
+	ref, ok := d.mediaIndex[string(d.keyBuf)]
 	if !ok {
 		return // stream unknown (already closed or never negotiated)
 	}
@@ -571,6 +616,7 @@ func (d *IDS) handleRTCP(p *rtp.RTCP, pkt *sim.Packet) {
 	// the same path — and the SIP BYE may need a retransmission cycle
 	// if it was lost — so give the signaling plane a generous window
 	// before judging.
+	key := string(d.keyBuf)
 	src := pkt.From.Host
 	d.sim.Schedule(d.cfg.RTCPByeGrace, func() {
 		m := d.calls[ref.callID]
@@ -590,10 +636,13 @@ func (d *IDS) handleRTCP(p *rtp.RTCP, pkt *sim.Packet) {
 }
 
 // handleUnsolicitedRTP runs the standalone Figure 6 monitor for
-// streams no SDP advertised.
-func (d *IDS) handleUnsolicitedRTP(key string, ev core.Event, pkt *sim.Packet, now time.Duration) {
-	mon, ok := d.spamMons[key]
+// streams no SDP advertised. The media key is read from d.keyBuf
+// (set by handleRTP) and materialized only when a monitor is created
+// or an alert retains it.
+func (d *IDS) handleUnsolicitedRTP(ev core.Event, pkt *sim.Packet, now time.Duration) {
+	mon, ok := d.spamMons[string(d.keyBuf)]
 	if !ok {
+		key := string(d.keyBuf)
 		mon = core.NewMachine(d.spamSp, nil)
 		d.spamMons[key] = mon
 		d.armSweep()
@@ -607,7 +656,7 @@ func (d *IDS) handleUnsolicitedRTP(key string, ev core.Event, pkt *sim.Packet, n
 	if err == nil && res.EnteredAttack {
 		d.raise(Alert{
 			At: now, Type: AlertMediaSpam,
-			Source: pkt.From.Host, Target: key,
+			Source: pkt.From.Host, Target: string(d.keyBuf),
 			Detail: "unsolicited stream exceeded spam thresholds",
 		}, nil)
 	}

@@ -102,20 +102,32 @@ func marshalReports(dst []byte, reports []ReceptionReport) {
 
 // ParseRTCP decodes an RTCP packet.
 func ParseRTCP(data []byte) (*RTCP, error) {
+	p := &RTCP{}
+	if err := ParseRTCPInto(p, data); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseRTCPInto decodes an RTCP packet into p, overwriting every
+// field and reusing p's Reports backing array, so a caller-owned
+// scratch RTCP makes repeated parsing allocation-free. On error p is
+// left in an unspecified state.
+func ParseRTCPInto(p *RTCP, data []byte) error {
 	if len(data) < rtcpHeaderSize+4 {
-		return nil, fmt.Errorf("rtp: RTCP packet too short (%d bytes)", len(data))
+		return fmt.Errorf("rtp: RTCP packet too short (%d bytes)", len(data))
 	}
 	if v := data[0] >> 6; v != Version {
-		return nil, fmt.Errorf("rtp: unsupported RTCP version %d", v)
+		return fmt.Errorf("rtp: unsupported RTCP version %d", v)
 	}
 	count := int(data[0] & 0x1F)
-	p := &RTCP{Type: data[1]}
+	*p = RTCP{Type: data[1], Reports: p.Reports[:0]}
 	wantLen := (int(binary.BigEndian.Uint16(data[2:])) + 1) * 4
 	if wantLen > len(data) {
-		return nil, fmt.Errorf("rtp: RTCP length field %d exceeds packet %d", wantLen, len(data))
+		return fmt.Errorf("rtp: RTCP length field %d exceeds packet %d", wantLen, len(data))
 	}
 	if wantLen < rtcpHeaderSize+4 {
-		return nil, fmt.Errorf("rtp: RTCP length field %d too small", wantLen)
+		return fmt.Errorf("rtp: RTCP length field %d too small", wantLen)
 	}
 	body := data[rtcpHeaderSize:wantLen]
 	p.SSRC = binary.BigEndian.Uint32(body[0:])
@@ -123,37 +135,38 @@ func ParseRTCP(data []byte) (*RTCP, error) {
 	switch p.Type {
 	case RTCPSenderReport:
 		if len(body) < 24+count*receptionReportSize {
-			return nil, fmt.Errorf("rtp: truncated sender report")
+			return fmt.Errorf("rtp: truncated sender report")
 		}
 		p.NTPTime = binary.BigEndian.Uint64(body[4:])
 		p.RTPTime = binary.BigEndian.Uint32(body[12:])
 		p.PacketCount = binary.BigEndian.Uint32(body[16:])
 		p.OctetCount = binary.BigEndian.Uint32(body[20:])
-		p.Reports = parseReports(body[24:], count)
-		if p.Reports == nil && count > 0 {
-			return nil, fmt.Errorf("rtp: truncated reception reports")
+		var ok bool
+		p.Reports, ok = parseReportsInto(p.Reports, body[24:], count)
+		if !ok {
+			return fmt.Errorf("rtp: truncated reception reports")
 		}
 	case RTCPReceiverReport:
 		if len(body) < 4+count*receptionReportSize {
-			return nil, fmt.Errorf("rtp: truncated receiver report")
+			return fmt.Errorf("rtp: truncated receiver report")
 		}
-		p.Reports = parseReports(body[4:], count)
-		if p.Reports == nil && count > 0 {
-			return nil, fmt.Errorf("rtp: truncated reception reports")
+		var ok bool
+		p.Reports, ok = parseReportsInto(p.Reports, body[4:], count)
+		if !ok {
+			return fmt.Errorf("rtp: truncated reception reports")
 		}
 	case RTCPBye:
 		// SSRC already read; additional sources ignored.
 	default:
-		return nil, fmt.Errorf("rtp: unsupported RTCP type %d", p.Type)
+		return fmt.Errorf("rtp: unsupported RTCP type %d", p.Type)
 	}
-	return p, nil
+	return nil
 }
 
-func parseReports(data []byte, count int) []ReceptionReport {
+func parseReportsInto(out []ReceptionReport, data []byte, count int) ([]ReceptionReport, bool) {
 	if len(data) < count*receptionReportSize {
-		return nil
+		return nil, false
 	}
-	out := make([]ReceptionReport, 0, count)
 	for i := 0; i < count; i++ {
 		off := i * receptionReportSize
 		out = append(out, ReceptionReport{
@@ -165,5 +178,5 @@ func parseReports(data []byte, count int) []ReceptionReport {
 			Jitter:     binary.BigEndian.Uint32(data[off+12:]),
 		})
 	}
-	return out
+	return out, true
 }

@@ -53,34 +53,49 @@ func (p *Packet) Marshal() ([]byte, error) {
 	return buf, nil
 }
 
-// Parse decodes an RTP packet from wire form.
+// Parse decodes an RTP packet from wire form. The returned packet's
+// Payload aliases data; see ParseInto.
 func Parse(data []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := ParseInto(p, data); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseInto decodes an RTP packet from wire form into p, overwriting
+// every field and reusing p's CSRC backing array, so a caller-owned
+// scratch Packet makes repeated parsing allocation-free. Payload (and
+// CSRC capacity aside) alias data: the caller must not reuse or
+// mutate the buffer while the packet is live. On error p is left in
+// an unspecified state.
+func ParseInto(p *Packet, data []byte) error {
 	if len(data) < HeaderSize {
-		return nil, fmt.Errorf("rtp: packet too short (%d bytes)", len(data))
+		return fmt.Errorf("rtp: packet too short (%d bytes)", len(data))
 	}
 	if v := data[0] >> 6; v != Version {
-		return nil, fmt.Errorf("rtp: unsupported version %d", v)
+		return fmt.Errorf("rtp: unsupported version %d", v)
 	}
 	cc := int(data[0] & 0x0F)
 	if len(data) < HeaderSize+4*cc {
-		return nil, fmt.Errorf("rtp: truncated CSRC list")
+		return fmt.Errorf("rtp: truncated CSRC list")
 	}
-	p := &Packet{
-		Marker:      data[1]&0x80 != 0,
-		PayloadType: data[1] & 0x7F,
-		Sequence:    binary.BigEndian.Uint16(data[2:]),
-		Timestamp:   binary.BigEndian.Uint32(data[4:]),
-		SSRC:        binary.BigEndian.Uint32(data[8:]),
-	}
+	p.Marker = data[1]&0x80 != 0
+	p.PayloadType = data[1] & 0x7F
+	p.Sequence = binary.BigEndian.Uint16(data[2:])
+	p.Timestamp = binary.BigEndian.Uint32(data[4:])
+	p.SSRC = binary.BigEndian.Uint32(data[8:])
+	p.CSRC = p.CSRC[:0]
 	off := HeaderSize
 	for i := 0; i < cc; i++ {
 		p.CSRC = append(p.CSRC, binary.BigEndian.Uint32(data[off:]))
 		off += 4
 	}
+	p.Payload = nil
 	if off < len(data) {
-		p.Payload = append([]byte(nil), data[off:]...)
+		p.Payload = data[off:]
 	}
-	return p, nil
+	return nil
 }
 
 // WireSize reports the encoded size in bytes.

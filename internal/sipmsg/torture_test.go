@@ -1,6 +1,9 @@
 package sipmsg
 
 import (
+	"fmt"
+	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -136,5 +139,350 @@ func TestParseTotalOnMutations(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- Wire-level parity with the seed parser -------------------------
+//
+// seedParse below is a verbatim copy of the string-based parser this
+// package shipped with before the single-pass byte-oriented rewrite.
+// The parity tests feed both parsers the same borderline wire images
+// and require identical accept/reject decisions and deeply equal
+// messages, so the rewrite cannot drift from the reference semantics.
+
+func seedParse(data []byte) (*Message, error) {
+	text := string(data)
+	headerPart, body, _ := strings.Cut(text, "\r\n\r\n")
+	lines := strings.Split(headerPart, "\r\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+		return nil, fmt.Errorf("sipmsg: empty message")
+	}
+
+	m := &Message{Expires: -1, MaxForwards: -1}
+	if err := seedParseStartLine(m, lines[0]); err != nil {
+		return nil, err
+	}
+
+	// Unfold continuation lines (lines starting with SP/HT).
+	var folded []string
+	for _, ln := range lines[1:] {
+		if ln == "" {
+			continue
+		}
+		if (ln[0] == ' ' || ln[0] == '\t') && len(folded) > 0 {
+			folded[len(folded)-1] += " " + strings.TrimSpace(ln)
+			continue
+		}
+		folded = append(folded, ln)
+	}
+
+	contentLength := -1
+	for _, ln := range folded {
+		name, value, ok := strings.Cut(ln, ":")
+		if !ok {
+			return nil, fmt.Errorf("sipmsg: malformed header line %q", ln)
+		}
+		value = strings.TrimSpace(value)
+		switch CanonicalHeaderName(name) {
+		case "Via":
+			for _, part := range seedSplitTopLevel(value, ',') {
+				v, err := ParseVia(part)
+				if err != nil {
+					return nil, err
+				}
+				m.Via = append(m.Via, v)
+			}
+		case "From":
+			na, err := ParseNameAddr(value)
+			if err != nil {
+				return nil, fmt.Errorf("sipmsg: From: %w", err)
+			}
+			m.From = na
+		case "To":
+			na, err := ParseNameAddr(value)
+			if err != nil {
+				return nil, fmt.Errorf("sipmsg: To: %w", err)
+			}
+			m.To = na
+		case "Call-ID":
+			m.CallID = value
+		case "CSeq":
+			cs, err := ParseCSeq(value)
+			if err != nil {
+				return nil, err
+			}
+			m.CSeq = cs
+		case "Contact":
+			na, err := ParseNameAddr(value)
+			if err != nil {
+				return nil, fmt.Errorf("sipmsg: Contact: %w", err)
+			}
+			m.Contact = &na
+		case "Max-Forwards":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sipmsg: bad Max-Forwards %q", value)
+			}
+			m.MaxForwards = n
+		case "Expires":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sipmsg: bad Expires %q", value)
+			}
+			m.Expires = n
+		case "Content-Type":
+			m.ContentType = value
+		case "Content-Length":
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sipmsg: bad Content-Length %q", value)
+			}
+			contentLength = n
+		default:
+			if m.Other == nil {
+				m.Other = make(map[string][]string)
+			}
+			cn := CanonicalHeaderName(name)
+			m.Other[cn] = append(m.Other[cn], value)
+		}
+	}
+
+	if m.MaxForwards < 0 {
+		m.MaxForwards = 70
+	}
+	if contentLength >= 0 {
+		if contentLength > len(body) {
+			return nil, fmt.Errorf("sipmsg: Content-Length %d exceeds body size %d",
+				contentLength, len(body))
+		}
+		body = body[:contentLength]
+	}
+	if body != "" {
+		m.Body = []byte(body)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func seedParseStartLine(m *Message, line string) error {
+	line = strings.TrimSpace(line)
+	if rest, ok := strings.CutPrefix(line, sipVersion+" "); ok {
+		codeStr, reason, _ := strings.Cut(rest, " ")
+		code, err := strconv.Atoi(codeStr)
+		if err != nil || code < 100 || code > 699 {
+			return fmt.Errorf("sipmsg: bad status line %q", line)
+		}
+		m.StatusCode = code
+		m.Reason = reason
+		return nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[2] != sipVersion {
+		return fmt.Errorf("sipmsg: bad request line %q", line)
+	}
+	uri, err := ParseURI(fields[1])
+	if err != nil {
+		return err
+	}
+	m.Method = Method(fields[0])
+	m.RequestURI = uri
+	return nil
+}
+
+func seedSplitTopLevel(s string, sep byte) []string {
+	var out []string
+	depth, inQuote := 0, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			inQuote = !inQuote
+		case inQuote:
+		case c == '<':
+			depth++
+		case c == '>':
+			if depth > 0 {
+				depth--
+			}
+		case c == sep && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// seedParseParams is the pre-rewrite strings.Split implementation of
+// parseParams, kept as the reference for the in-place walker.
+func seedParseParams(s string) map[string]string {
+	params := make(map[string]string)
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			params[strings.TrimSpace(part[:eq])] = strings.TrimSpace(part[eq+1:])
+		} else {
+			params[part] = ""
+		}
+	}
+	return params
+}
+
+const parityHeaders = "From: \"Alice\" <sip:alice@a.com>;tag=1\r\n" +
+	"To: <sip:bob@b.com>\r\n" +
+	"Call-ID: parity@a.com\r\n" +
+	"CSeq: 7 INVITE\r\n"
+
+func TestParseParityWithSeed(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"sample invite", sampleInvite},
+		{"folded continuation header", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP a.com\r\n" +
+			" ;branch=z9hG4bKfold\r\n" +
+			"\t;received=10.0.0.1\r\n" +
+			parityHeaders + "\r\n"},
+		{"folded header with blank continuations", "OPTIONS sip:b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP h\r\n \r\n \r\n ;branch=z9hG4bKx\r\n" +
+			parityHeaders + "\r\n"},
+		{"colon only in continuation", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			"Subject\r\n x: split across fold\r\n" +
+			parityHeaders + "\r\n"},
+		{"compact form headers", "BYE sip:alice@a.com SIP/2.0\r\n" +
+			"v: SIP/2.0/UDP b.com;branch=z9hG4bKc\r\n" +
+			"f: <sip:bob@b.com>;tag=a6c85cf\r\n" +
+			"t: <sip:alice@a.com>;tag=19\r\n" +
+			"i: compact@b.com\r\n" +
+			"CSeq: 2 BYE\r\n" +
+			"m: <sip:bob@ua2.b.com>\r\n" +
+			"c: application/sdp\r\n" +
+			"l: 4\r\n\r\nv=0\r\n"},
+		{"mixed-case header names", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"VIA: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			"FROM: <sip:alice@a.com>;tag=1\r\n" +
+			"to: <sip:bob@b.com>\r\n" +
+			"CALL-id: mixed@a.com\r\n" +
+			"cseq: 7 INVITE\r\n" +
+			"x-cUSTOM-hdr: kept\r\n\r\n"},
+		{"comma-separated multi-Via", "SIP/2.0 200 OK\r\n" +
+			"Via: SIP/2.0/UDP p.b.com;branch=z9hG4bKp1, SIP/2.0/UDP a.com:5060;branch=z9hG4bKu1\r\n" +
+			"From: <sip:alice@a.com>;tag=1\r\n" +
+			"To: <sip:bob@b.com>;tag=2\r\n" +
+			"Call-ID: multivia@a.com\r\nCSeq: 7 INVITE\r\n\r\n"},
+		{"multi-Via with quoted comma", "SIP/2.0 180 Ringing\r\n" +
+			"Via: SIP/2.0/UDP p.b.com;branch=z9hG4bKp1;note=\"a,b\", SIP/2.0/UDP a.com;branch=z9hG4bKu2\r\n" +
+			"From: <sip:alice@a.com>;tag=1\r\n" +
+			"To: <sip:bob@b.com>;tag=2\r\n" +
+			"Call-ID: quoted@a.com\r\nCSeq: 7 INVITE\r\n\r\n"},
+		{"missing final CRLF", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			parityHeaders +
+			"Max-Forwards: 69"},
+		{"no blank line separator", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			parityHeaders},
+		{"content-length shorter than body", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			parityHeaders +
+			"Content-Length: 5\r\n\r\nv=0\r\no=trailing ignored\r\n"},
+		{"content-length zero truncates body", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			parityHeaders +
+			"Content-Length: 0\r\n\r\nleftover"},
+		{"content-length longer than body", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			parityHeaders +
+			"Content-Length: 999\r\n\r\nshort"},
+		{"negative content-length", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			parityHeaders +
+			"Content-Length: -3\r\n\r\n"},
+		{"status line without reason", "SIP/2.0 200\r\n" +
+			"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			parityHeaders + "\r\n"},
+		{"header without colon", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via SIP/2.0/UDP a.com\r\n" +
+			parityHeaders + "\r\n"},
+		{"unknown and duplicate headers", "OPTIONS sip:b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			parityHeaders +
+			"User-Agent: vids/1.0\r\n" +
+			"x--odd--name: v1\r\n" +
+			"X-Dup: one\r\n" +
+			"X-Dup: two\r\n" +
+			"Authorization: Digest username=\"alice\"\r\n" +
+			"WWW-Authenticate: Digest realm=\"b.com\"\r\n" +
+			"Expires: 3600\r\n\r\n"},
+		{"whitespace-padded values", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via:   SIP/2.0/UDP a.com;branch=z9hG4bK1  \r\n" +
+			"From:\t<sip:alice@a.com>;tag=1\r\n" +
+			"To: <sip:bob@b.com>\r\n" +
+			"Call-ID:  pad@a.com \r\n" +
+			"CSeq:  7   INVITE \r\n" +
+			"Max-Forwards:  70 \r\n\r\n"},
+		{"empty via value", "INVITE sip:bob@b.com SIP/2.0\r\nVia: \r\n" + parityHeaders + "\r\n"},
+		{"cseq overflow", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			"From: <sip:alice@a.com>;tag=1\r\nTo: <sip:bob@b.com>\r\n" +
+			"Call-ID: ovf@a.com\r\nCSeq: 99999999999999999999 INVITE\r\n\r\n"},
+		{"huge max-forwards", "INVITE sip:bob@b.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP a.com;branch=z9hG4bK1\r\n" +
+			parityHeaders +
+			"Max-Forwards: 99999999999999999999\r\n\r\n"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			want, wantErr := seedParse([]byte(tt.raw))
+			got, gotErr := Parse([]byte(tt.raw))
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("accept/reject drift: seed err=%v, new err=%v", wantErr, gotErr)
+			}
+			if wantErr != nil {
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parsed message drift:\nseed: %+v\nnew:  %+v", want, got)
+			}
+		})
+	}
+}
+
+// Parity under systematic truncation of a folded, multi-Via message:
+// every prefix must get the same accept/reject decision and message.
+func TestParseParityUnderTruncation(t *testing.T) {
+	raw := []byte("INVITE sip:bob@b.com SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP p.b.com;branch=z9hG4bKp1, SIP/2.0/UDP a.com;branch=z9hG4bKu1\r\n" +
+		"Via: SIP/2.0/UDP h\r\n ;branch=z9hG4bKfold\r\n" +
+		parityHeaders +
+		"Content-Length: 4\r\n\r\nv=0\r\n")
+	for i := 0; i <= len(raw); i++ {
+		want, wantErr := seedParse(raw[:i])
+		got, gotErr := Parse(raw[:i])
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("truncation %d: seed err=%v, new err=%v", i, wantErr, gotErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("truncation %d: message drift\nseed: %+v\nnew:  %+v", i, want, got)
+		}
+	}
+}
+
+func TestParseParamsParityWithSeed(t *testing.T) {
+	fragments := []string{
+		"", ";", ";;", ";tag=1", ";tag=1;lr", "; tag = 1 ; lr ",
+		";a=1;a=2", ";=v", ";bare", "junk;tag=x", ";tag=", ";x=a=b",
+	}
+	for _, s := range fragments {
+		if got, want := parseParams(s), seedParseParams(s); !reflect.DeepEqual(got, want) {
+			t.Fatalf("parseParams(%q) = %v, seed = %v", s, got, want)
+		}
 	}
 }

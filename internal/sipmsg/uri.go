@@ -146,10 +146,20 @@ func ParseNameAddr(s string) (NameAddr, error) {
 }
 
 // parseParams parses ";k=v;k2=v2" fragments into a map. Bare
-// parameters (";lr") map to "".
+// parameters (";lr") map to "". Segments are walked in place rather
+// than split into a slice, keeping the per-header cost to the map
+// itself.
 func parseParams(s string) map[string]string {
 	params := make(map[string]string)
-	for _, part := range strings.Split(s, ";") {
+	for start := 0; start <= len(s); {
+		var part string
+		if i := strings.IndexByte(s[start:], ';'); i >= 0 {
+			part = s[start : start+i]
+			start += i + 1
+		} else {
+			part = s[start:]
+			start = len(s) + 1
+		}
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue

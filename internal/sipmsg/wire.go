@@ -1,6 +1,7 @@
 package sipmsg
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
@@ -49,108 +50,85 @@ func CanonicalHeaderName(name string) string {
 	return strings.Join(parts, "-")
 }
 
-// Parse parses a SIP message from its wire form.
+// Header identities for the byte-level lookup. hdrOther covers both
+// unmodeled known headers (which carry a canonical name) and unknown
+// ones (canonicalized on demand).
+const (
+	hdrOther = iota
+	hdrVia
+	hdrFrom
+	hdrTo
+	hdrCallID
+	hdrCSeq
+	hdrContact
+	hdrMaxForwards
+	hdrExpires
+	hdrContentType
+	hdrContentLength
+)
+
+var crlfcrlf = []byte("\r\n\r\n")
+
+// Parse parses a SIP message from its wire form in a single pass over
+// data: no up-front copy of the input, no header-block split. Field
+// values are materialized as independent strings, but Body aliases
+// data — callers that reuse or mutate the buffer after Parse must
+// copy the body (Clone does).
 func Parse(data []byte) (*Message, error) {
-	text := string(data)
-	headerPart, body, _ := strings.Cut(text, "\r\n\r\n")
-	lines := strings.Split(headerPart, "\r\n")
-	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+	headerEnd, bodyStart := len(data), len(data)
+	if i := bytes.Index(data, crlfcrlf); i >= 0 {
+		headerEnd, bodyStart = i, i+4
+	}
+	hdr := data[:headerEnd]
+
+	line, pos := cutLine(hdr, 0)
+	if len(trimASCII(line)) == 0 {
 		return nil, fmt.Errorf("sipmsg: empty message")
 	}
-
 	m := &Message{Expires: -1, MaxForwards: -1}
-	if err := parseStartLine(m, lines[0]); err != nil {
+	if err := parseStartLineBytes(m, line); err != nil {
 		return nil, err
 	}
 
-	// Unfold continuation lines (lines starting with SP/HT).
-	var folded []string
-	for _, ln := range lines[1:] {
-		if ln == "" {
-			continue
-		}
-		if (ln[0] == ' ' || ln[0] == '\t') && len(folded) > 0 {
-			folded[len(folded)-1] += " " + strings.TrimSpace(ln)
-			continue
-		}
-		folded = append(folded, ln)
-	}
-
+	// Walk the header block one physical line at a time, unfolding
+	// continuation lines (SP/HT-led) into scratch only when they occur.
 	contentLength := -1
-	for _, ln := range folded {
-		name, value, ok := strings.Cut(ln, ":")
-		if !ok {
-			return nil, fmt.Errorf("sipmsg: malformed header line %q", ln)
+	var cur []byte     // pending logical header line
+	var scratch []byte // reused assembly buffer for folded lines
+	haveCur, curFolded := false, false
+	for pos <= len(hdr) {
+		var ln []byte
+		ln, pos = cutLine(hdr, pos)
+		if len(ln) == 0 {
+			continue
 		}
-		value = strings.TrimSpace(value)
-		switch CanonicalHeaderName(name) {
-		case "Via":
-			// Multiple Via values may share a line, comma-separated.
-			for _, part := range splitTopLevel(value, ',') {
-				v, err := ParseVia(part)
-				if err != nil {
-					return nil, err
-				}
-				m.Via = append(m.Via, v)
+		if (ln[0] == ' ' || ln[0] == '\t') && haveCur {
+			if !curFolded {
+				scratch = append(scratch[:0], cur...)
+				curFolded = true
 			}
-		case "From":
-			na, err := ParseNameAddr(value)
-			if err != nil {
-				return nil, fmt.Errorf("sipmsg: From: %w", err)
-			}
-			m.From = na
-		case "To":
-			na, err := ParseNameAddr(value)
-			if err != nil {
-				return nil, fmt.Errorf("sipmsg: To: %w", err)
-			}
-			m.To = na
-		case "Call-ID":
-			m.CallID = value
-		case "CSeq":
-			cs, err := ParseCSeq(value)
-			if err != nil {
+			scratch = append(scratch, ' ')
+			scratch = append(scratch, trimASCII(ln)...)
+			cur = scratch
+			continue
+		}
+		if haveCur {
+			if err := m.parseHeaderLine(cur, &contentLength); err != nil {
 				return nil, err
 			}
-			m.CSeq = cs
-		case "Contact":
-			na, err := ParseNameAddr(value)
-			if err != nil {
-				return nil, fmt.Errorf("sipmsg: Contact: %w", err)
-			}
-			m.Contact = &na
-		case "Max-Forwards":
-			n, err := strconv.Atoi(value)
-			if err != nil || n < 0 {
-				return nil, fmt.Errorf("sipmsg: bad Max-Forwards %q", value)
-			}
-			m.MaxForwards = n
-		case "Expires":
-			n, err := strconv.Atoi(value)
-			if err != nil || n < 0 {
-				return nil, fmt.Errorf("sipmsg: bad Expires %q", value)
-			}
-			m.Expires = n
-		case "Content-Type":
-			m.ContentType = value
-		case "Content-Length":
-			n, err := strconv.Atoi(value)
-			if err != nil || n < 0 {
-				return nil, fmt.Errorf("sipmsg: bad Content-Length %q", value)
-			}
-			contentLength = n
-		default:
-			if m.Other == nil {
-				m.Other = make(map[string][]string)
-			}
-			cn := CanonicalHeaderName(name)
-			m.Other[cn] = append(m.Other[cn], value)
+		}
+		cur, haveCur, curFolded = ln, true, false
+	}
+	if haveCur {
+		if err := m.parseHeaderLine(cur, &contentLength); err != nil {
+			return nil, err
 		}
 	}
 
 	if m.MaxForwards < 0 {
 		m.MaxForwards = 70
 	}
+	body := data[bodyStart:]
 	if contentLength >= 0 {
 		if contentLength > len(body) {
 			return nil, fmt.Errorf("sipmsg: Content-Length %d exceeds body size %d",
@@ -158,8 +136,8 @@ func Parse(data []byte) (*Message, error) {
 		}
 		body = body[:contentLength]
 	}
-	if body != "" {
-		m.Body = []byte(body)
+	if len(body) > 0 {
+		m.Body = body
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -167,57 +145,396 @@ func Parse(data []byte) (*Message, error) {
 	return m, nil
 }
 
-func parseStartLine(m *Message, line string) error {
-	line = strings.TrimSpace(line)
-	if rest, ok := strings.CutPrefix(line, sipVersion+" "); ok {
+// cutLine returns the line starting at pos (terminated by CRLF or end
+// of b) and the position after its terminator. Positions past len(b)
+// mean the input is exhausted; a final CRLF yields one trailing empty
+// line, matching a CRLF string split.
+func cutLine(b []byte, pos int) ([]byte, int) {
+	for i := pos; i+1 < len(b); i++ {
+		if b[i] == '\r' && b[i+1] == '\n' {
+			return b[pos:i], i + 2
+		}
+	}
+	return b[pos:], len(b) + 1
+}
+
+// parseHeaderLine dispatches one logical (unfolded) header line.
+func (m *Message) parseHeaderLine(ln []byte, contentLength *int) error {
+	colon := bytes.IndexByte(ln, ':')
+	if colon < 0 {
+		return fmt.Errorf("sipmsg: malformed header line %q", ln)
+	}
+	name := trimASCII(ln[:colon])
+	value := trimASCII(ln[colon+1:])
+	id, canon := lookupHeader(name)
+	switch id {
+	case hdrVia:
+		return m.parseViaLine(value)
+	case hdrFrom:
+		na, err := ParseNameAddr(string(value))
+		if err != nil {
+			return fmt.Errorf("sipmsg: From: %w", err)
+		}
+		m.From = na
+	case hdrTo:
+		na, err := ParseNameAddr(string(value))
+		if err != nil {
+			return fmt.Errorf("sipmsg: To: %w", err)
+		}
+		m.To = na
+	case hdrCallID:
+		m.CallID = string(value)
+	case hdrCSeq:
+		cs, err := parseCSeqBytes(value)
+		if err != nil {
+			return err
+		}
+		m.CSeq = cs
+	case hdrContact:
+		na, err := ParseNameAddr(string(value))
+		if err != nil {
+			return fmt.Errorf("sipmsg: Contact: %w", err)
+		}
+		m.Contact = &na
+	case hdrMaxForwards:
+		n, err := atoiBytes(value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("sipmsg: bad Max-Forwards %q", value)
+		}
+		m.MaxForwards = n
+	case hdrExpires:
+		n, err := atoiBytes(value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("sipmsg: bad Expires %q", value)
+		}
+		m.Expires = n
+	case hdrContentType:
+		m.ContentType = string(value)
+	case hdrContentLength:
+		n, err := atoiBytes(value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("sipmsg: bad Content-Length %q", value)
+		}
+		*contentLength = n
+	default:
+		if canon == "" {
+			canon = canonicalizeBytes(name)
+		}
+		if m.Other == nil {
+			m.Other = make(map[string][]string)
+		}
+		m.Other[canon] = append(m.Other[canon], string(value))
+	}
+	return nil
+}
+
+// parseViaLine splits a Via value on top-level commas (outside quotes
+// and angle brackets) and appends each entry.
+func (m *Message) parseViaLine(value []byte) error {
+	start, depth := 0, 0
+	inQuote := false
+	for i := 0; i <= len(value); i++ {
+		if i < len(value) {
+			c := value[i]
+			if c == '"' {
+				inQuote = !inQuote
+				continue
+			}
+			if inQuote {
+				continue
+			}
+			if c == '<' {
+				depth++
+				continue
+			}
+			if c == '>' {
+				if depth > 0 {
+					depth--
+				}
+				continue
+			}
+			if c != ',' || depth != 0 {
+				continue
+			}
+		}
+		v, err := ParseVia(string(trimASCII(value[start:i])))
+		if err != nil {
+			return err
+		}
+		m.Via = append(m.Via, v)
+		start = i + 1
+	}
+	return nil
+}
+
+func parseStartLineBytes(m *Message, line []byte) error {
+	line = trimASCII(line)
+	if len(line) > len(sipVersion) &&
+		string(line[:len(sipVersion)]) == sipVersion && line[len(sipVersion)] == ' ' {
 		// Status line: SIP/2.0 200 OK
-		codeStr, reason, _ := strings.Cut(rest, " ")
-		code, err := strconv.Atoi(codeStr)
+		rest := line[len(sipVersion)+1:]
+		codePart := rest
+		var reason []byte
+		if sp := bytes.IndexByte(rest, ' '); sp >= 0 {
+			codePart, reason = rest[:sp], rest[sp+1:]
+		}
+		code, err := atoiBytes(codePart)
 		if err != nil || code < 100 || code > 699 {
 			return fmt.Errorf("sipmsg: bad status line %q", line)
 		}
 		m.StatusCode = code
-		m.Reason = reason
+		m.Reason = string(reason)
 		return nil
 	}
 	// Request line: INVITE sip:bob@b.com SIP/2.0
-	fields := strings.Fields(line)
-	if len(fields) != 3 || fields[2] != sipVersion {
+	var fields [3][]byte
+	n := 0
+	for i := 0; i < len(line); {
+		for i < len(line) && asciiSpace(line[i]) {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && !asciiSpace(line[j]) {
+			j++
+		}
+		if n == len(fields) {
+			return fmt.Errorf("sipmsg: bad request line %q", line)
+		}
+		fields[n] = line[i:j]
+		n++
+		i = j
+	}
+	if n != 3 || string(fields[2]) != sipVersion {
 		return fmt.Errorf("sipmsg: bad request line %q", line)
 	}
-	uri, err := ParseURI(fields[1])
+	uri, err := ParseURI(string(fields[1]))
 	if err != nil {
 		return err
 	}
-	m.Method = Method(fields[0])
+	m.Method = internMethod(fields[0])
 	m.RequestURI = uri
 	return nil
 }
 
-// splitTopLevel splits on sep outside of quoted strings and angle
-// brackets.
-func splitTopLevel(s string, sep byte) []string {
-	var out []string
-	depth, inQuote := 0, false
-	start := 0
-	for i := 0; i < len(s); i++ {
-		switch c := s[i]; {
-		case c == '"':
-			inQuote = !inQuote
-		case inQuote:
-		case c == '<':
-			depth++
-		case c == '>':
-			if depth > 0 {
-				depth--
-			}
-		case c == sep && depth == 0:
-			out = append(out, strings.TrimSpace(s[start:i]))
-			start = i + 1
+// parseCSeqBytes parses a CSeq value ("314159 INVITE") without
+// intermediate strings; known methods are interned.
+func parseCSeqBytes(b []byte) (CSeq, error) {
+	var f0, f1 []byte
+	n := 0
+	for i := 0; i < len(b); {
+		for i < len(b) && asciiSpace(b[i]) {
+			i++
+		}
+		if i >= len(b) {
+			break
+		}
+		j := i
+		for j < len(b) && !asciiSpace(b[j]) {
+			j++
+		}
+		switch n {
+		case 0:
+			f0 = b[i:j]
+		case 1:
+			f1 = b[i:j]
+		default:
+			return CSeq{}, fmt.Errorf("sipmsg: CSeq %q: want <seq> <method>", b)
+		}
+		n++
+		i = j
+	}
+	if n != 2 {
+		return CSeq{}, fmt.Errorf("sipmsg: CSeq %q: want <seq> <method>", b)
+	}
+	var seq uint64
+	for _, c := range f0 {
+		if c < '0' || c > '9' {
+			return CSeq{}, fmt.Errorf("sipmsg: CSeq %q: bad sequence number", b)
+		}
+		seq = seq*10 + uint64(c-'0')
+		if seq > 1<<32-1 {
+			return CSeq{}, fmt.Errorf("sipmsg: CSeq %q: bad sequence number", b)
 		}
 	}
-	out = append(out, strings.TrimSpace(s[start:]))
-	return out
+	return CSeq{Seq: uint32(seq), Method: internMethod(f1)}, nil
+}
+
+// internMethod returns the shared constant for known methods so the
+// hot path never allocates a method string.
+func internMethod(b []byte) Method {
+	for _, k := range KnownMethods {
+		if string(b) == string(k) {
+			return k
+		}
+	}
+	return Method(b)
+}
+
+// lookupHeader resolves a header name (case-insensitively, including
+// compact forms) without allocating. For known-but-unmodeled headers
+// it returns hdrOther with the canonical name; for unknown ones the
+// canonical name is empty and computed by the caller.
+func lookupHeader(name []byte) (int, string) {
+	switch len(name) {
+	case 1:
+		switch lowerByte(name[0]) {
+		case 'v':
+			return hdrVia, "Via"
+		case 'f':
+			return hdrFrom, "From"
+		case 't':
+			return hdrTo, "To"
+		case 'i':
+			return hdrCallID, "Call-ID"
+		case 'm':
+			return hdrContact, "Contact"
+		case 'c':
+			return hdrContentType, "Content-Type"
+		case 'l':
+			return hdrContentLength, "Content-Length"
+		}
+	case 2:
+		if foldEq(name, "to") {
+			return hdrTo, "To"
+		}
+	case 3:
+		if foldEq(name, "via") {
+			return hdrVia, "Via"
+		}
+	case 4:
+		if foldEq(name, "from") {
+			return hdrFrom, "From"
+		}
+		if foldEq(name, "cseq") {
+			return hdrCSeq, "CSeq"
+		}
+	case 7:
+		if foldEq(name, "call-id") {
+			return hdrCallID, "Call-ID"
+		}
+		if foldEq(name, "contact") {
+			return hdrContact, "Contact"
+		}
+		if foldEq(name, "expires") {
+			return hdrExpires, "Expires"
+		}
+	case 12:
+		if foldEq(name, "content-type") {
+			return hdrContentType, "Content-Type"
+		}
+		if foldEq(name, "max-forwards") {
+			return hdrMaxForwards, "Max-Forwards"
+		}
+	case 13:
+		if foldEq(name, "authorization") {
+			return hdrOther, "Authorization"
+		}
+	case 14:
+		if foldEq(name, "content-length") {
+			return hdrContentLength, "Content-Length"
+		}
+	case 16:
+		if foldEq(name, "www-authenticate") {
+			return hdrOther, "WWW-Authenticate"
+		}
+	}
+	return hdrOther, ""
+}
+
+// canonicalizeBytes Title-By-Dash-cases an unknown header name,
+// mirroring CanonicalHeaderName's fallback for ASCII names.
+func canonicalizeBytes(name []byte) string {
+	out := make([]byte, len(name))
+	up := true
+	for i, c := range name {
+		switch {
+		case c == '-':
+			out[i] = c
+			up = true
+		case up:
+			out[i] = upperByte(c)
+			up = false
+		default:
+			out[i] = lowerByte(c)
+		}
+	}
+	return string(out)
+}
+
+// atoiBytes is strconv.Atoi for byte slices: optional sign, decimal
+// digits, error on anything else or overflow.
+func atoiBytes(b []byte) (int, error) {
+	i, neg := 0, false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		i = 1
+	}
+	if i == len(b) {
+		return 0, fmt.Errorf("sipmsg: bad number %q", b)
+	}
+	n := 0
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("sipmsg: bad number %q", b)
+		}
+		if n > (1<<62)/10 {
+			return 0, fmt.Errorf("sipmsg: number %q overflows", b)
+		}
+		n = n*10 + int(c-'0')
+		if n < 0 {
+			return 0, fmt.Errorf("sipmsg: number %q overflows", b)
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+func trimASCII(b []byte) []byte {
+	for len(b) > 0 && asciiSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && asciiSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+func lowerByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
+}
+
+func upperByte(c byte) byte {
+	if c >= 'a' && c <= 'z' {
+		return c - ('a' - 'A')
+	}
+	return c
+}
+
+// foldEq reports whether b equals the (lower-case) name s under ASCII
+// case folding.
+func foldEq(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if lowerByte(b[i]) != s[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Bytes serializes the message to its wire form with a correct

@@ -1,0 +1,7 @@
+//go:build race
+
+package vids_test
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation changes allocation counts.
+const raceEnabled = true
