@@ -3,8 +3,19 @@ GO ?= go
 # BENCHTIME paces the hot-path benchmarks (make bench). CI overrides
 # it with a fixed iteration count for a fast, deterministic smoke.
 BENCHTIME ?= 1s
+# CHURNTIME paces BenchmarkCallChurn with a fixed iteration count:
+# its allocs/op amortizes one-time warm-up (monitor pool, intern
+# table, timer wheel) over the run, so baseline and fresh runs must
+# use identical pacing for bench-compare to be meaningful.
+CHURNTIME ?= 5000x
 
-.PHONY: all build test race fmt lint ci golden bench bench-smoke
+# The benchmark suites behind the committed JSON baselines. HOTPATH
+# feeds BENCH_hotpath.json; the engine file merges a churn run
+# (allocation-gated) with a throughput run (timing only — engine
+# fan-out allocs vary with scheduling and are not a useful gate).
+HOTPATH_BENCH = BenchmarkSIPParse$$|BenchmarkRTPParse$$|BenchmarkRTCPParse$$|BenchmarkIDSProcessSIP$$|BenchmarkIDSProcessRTP$$|BenchmarkEFSMStep$$
+
+.PHONY: all build test race fmt lint ci golden bench bench-smoke bench-compare
 
 all: build
 
@@ -33,15 +44,38 @@ lint: fmt
 
 # bench runs the packet-path micro-benchmarks with allocation
 # reporting and archives the numbers as BENCH_hotpath.json — the
-# regression record for the zero-allocation hot path. Override the
-# pacing with BENCHTIME (e.g. `make bench BENCHTIME=100x`).
+# regression record for the zero-allocation hot path — plus the call
+# lifecycle and engine throughput benchmarks as BENCH_engine.json.
+# Override the pacing with BENCHTIME (e.g. `make bench BENCHTIME=100x`).
 bench:
-	$(GO) test -run '^$$' \
-		-bench 'BenchmarkSIPParse$$|BenchmarkRTPParse$$|BenchmarkRTCPParse$$|BenchmarkIDSProcessSIP$$|BenchmarkIDSProcessRTP$$|BenchmarkEFSMStep$$' \
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' \
 		-benchmem -benchtime $(BENCHTIME) . | tee BENCH_hotpath.txt
 	$(GO) run ./cmd/benchjson < BENCH_hotpath.txt > BENCH_hotpath.json
 	@rm -f BENCH_hotpath.txt
 	@echo "wrote BENCH_hotpath.json"
+	$(GO) test -run '^$$' -bench 'BenchmarkCallChurn$$' \
+		-benchmem -benchtime $(CHURNTIME) . | $(GO) run ./cmd/benchjson > BENCH_churn.part.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput$$' \
+		-benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_throughput.part.json
+	$(GO) run ./cmd/benchjson -merge BENCH_churn.part.json BENCH_throughput.part.json > BENCH_engine.json
+	@rm -f BENCH_churn.part.json BENCH_throughput.part.json
+	@echo "wrote BENCH_engine.json"
+
+# bench-compare reruns the pinned benchmarks and diffs allocs/op
+# against the committed baselines, failing on a >10% regression —
+# run it before `make bench` overwrites the baselines.
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' \
+		-benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_hotpath.fresh.json
+	$(GO) test -run '^$$' -bench 'BenchmarkCallChurn$$' \
+		-benchmem -benchtime $(CHURNTIME) . | $(GO) run ./cmd/benchjson > BENCH_churn.fresh.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput$$' \
+		-benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_throughput.fresh.json
+	$(GO) run ./cmd/benchjson -merge BENCH_churn.fresh.json BENCH_throughput.fresh.json > BENCH_engine.fresh.json
+	$(GO) run ./cmd/benchjson -compare BENCH_hotpath.json BENCH_hotpath.fresh.json
+	$(GO) run ./cmd/benchjson -compare BENCH_engine.json BENCH_engine.fresh.json
+	@rm -f BENCH_hotpath.fresh.json BENCH_churn.fresh.json BENCH_throughput.fresh.json BENCH_engine.fresh.json
+	@echo "allocation budgets hold vs committed baselines"
 
 # bench-smoke exercises the concurrent engine benchmark once per
 # shard count under the race detector — a cheap CI gate that the

@@ -3,6 +3,7 @@ package vids_test
 import (
 	"encoding/binary"
 	"testing"
+	"time"
 
 	"vids/internal/ids"
 	"vids/internal/rtp"
@@ -25,6 +26,18 @@ const (
 	// packet on an established call in steady state. The seed path
 	// took 12 (excluding packet marshaling).
 	maxIDSProcessRTPAllocs = 2
+	// maxIDSProcessSIPAllocs bounds the full IDS path for one SIP
+	// packet: parse, classify, typed event, machine step. Parsing
+	// itself owns most of the budget (see maxSIPParseAllocs); the
+	// detection layer on top is nearly allocation-free once URIs,
+	// media keys and alert strings are interned or built lazily. The
+	// pre-pooling path took 46.
+	maxIDSProcessSIPAllocs = 20
+	// maxCallChurnAllocs bounds one full INVITE→BYE dialog plus its
+	// timer drain in steady state, after the monitor pool, intern
+	// table and timer wheel are warm. Measured at 0; the headroom
+	// covers incidental map rehashing.
+	maxCallChurnAllocs = 4
 )
 
 // TestAllocBudgetSIPParse holds the parser to its allocation budget.
@@ -94,5 +107,65 @@ func TestAllocBudgetIDSProcessRTP(t *testing.T) {
 	}
 	if n := len(d.Alerts()); n != 0 {
 		t.Fatalf("steady-state stream raised %d alerts", n)
+	}
+}
+
+// TestAllocBudgetIDSProcessSIP holds the whole per-SIP-packet
+// detection path to its allocation budget (the setup mirrors
+// BenchmarkIDSProcessSIP).
+func TestAllocBudgetIDSProcessSIP(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	s := sim.New(1)
+	d := ids.New(s, ids.DefaultConfig())
+	raw := benchInvite().Bytes()
+	from := sim.Addr{Host: "proxy.a.example.com", Port: 5060}
+	to := sim.Addr{Host: "proxy.b.example.com", Port: 5060}
+	avg := testing.AllocsPerRun(200, func() {
+		d.Process(&sim.Packet{From: from, To: to, Proto: sim.ProtoSIP, Size: len(raw), Payload: raw})
+	})
+	if avg > maxIDSProcessSIPAllocs {
+		t.Errorf("ids.Process(SIP) allocates %.1f/op, budget %d", avg, maxIDSProcessSIPAllocs)
+	}
+}
+
+// TestAllocBudgetCallChurn holds the whole call lifecycle — monitor
+// creation, establishment, teardown, timer drain, eviction, recycling
+// — to its steady-state allocation budget (the dialog mirrors
+// BenchmarkCallChurn).
+func TestAllocBudgetCallChurn(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	s := sim.New(1)
+	cfg := ids.DefaultConfig()
+	d := ids.New(s, cfg)
+	dialogs := make([][]churnStep, 8)
+	for i := range dialogs {
+		dialogs[i] = churnDialog(i)
+	}
+	settle := cfg.ByeGraceT + cfg.CloseLinger + time.Second
+	i := 0
+	run := func() {
+		for _, step := range dialogs[i%len(dialogs)] {
+			d.ProcessSIP(step.m, step.pkt)
+		}
+		if err := s.Run(s.Now() + settle); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	// Warm up the monitor pool, intern table, flood windows and the
+	// simulator's event free list before measuring.
+	for j := 0; j < 32; j++ {
+		run()
+	}
+	avg := testing.AllocsPerRun(100, run)
+	if avg > maxCallChurnAllocs {
+		t.Errorf("call churn allocates %.1f/dialog, budget %d", avg, maxCallChurnAllocs)
+	}
+	if n := len(d.Alerts()); n != 0 {
+		t.Fatalf("benign churn raised %d alerts", n)
 	}
 }

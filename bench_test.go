@@ -265,13 +265,117 @@ func BenchmarkIDSProcessRTP(b *testing.B) {
 	}
 }
 
+// churnStep is one pre-parsed message of a churn dialog with its
+// addressed carrier packet (ProcessSIP never re-parses the payload).
+type churnStep struct {
+	m   *sipmsg.Message
+	pkt *sim.Packet
+}
+
+// churnDialog builds the complete benign dialog of call slot i —
+// INVITE, 180, 200 (SDP answer), ACK, BYE, 200 — pre-parsed, so the
+// churn benchmark measures monitor lifecycle cost, not the parser.
+func churnDialog(i int) []churnStep {
+	caller := sim.Addr{Host: "ua1.a.example.com", Port: 5060}
+	callee := sim.Addr{Host: "ua2.b.example.com", Port: 5060}
+	pa := sim.Addr{Host: "proxy.a.example.com", Port: 5060}
+	pb := sim.Addr{Host: "proxy.b.example.com", Port: 5060}
+	cid := fmt.Sprintf("churn-%d@ua1.a.example.com", i)
+
+	inv := sipmsg.NewRequest(sipmsg.INVITE, sipmsg.URI{User: "bob", Host: "b.example.com"})
+	inv.Via = []sipmsg.Via{{Transport: "UDP", Host: pa.Host, Port: 5060,
+		Params: map[string]string{"branch": fmt.Sprintf("z9hG4bKchurn%d", i)}}}
+	inv.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: "a.example.com"}}.WithTag("t1")
+	inv.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: "b.example.com"}}
+	inv.CallID = cid
+	inv.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.INVITE}
+	contact := sipmsg.NameAddr{URI: sipmsg.URI{User: "alice", Host: caller.Host}}
+	inv.Contact = &contact
+	inv.ContentType = "application/sdp"
+	inv.Body = sdp.New("alice", caller.Host, 20000+2*i, sdp.PayloadG729).Marshal()
+
+	ringing := sipmsg.NewResponse(inv, sipmsg.StatusRinging)
+	ringing.To = ringing.To.WithTag("t2")
+
+	okInv := sipmsg.NewResponse(inv, sipmsg.StatusOK)
+	okInv.To = okInv.To.WithTag("t2")
+	okContact := sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: callee.Host}}
+	okInv.Contact = &okContact
+	okInv.ContentType = "application/sdp"
+	okInv.Body = sdp.New("bob", callee.Host, 30000+2*i, sdp.PayloadG729).Marshal()
+
+	ack := sipmsg.NewRequest(sipmsg.ACK, sipmsg.URI{User: "bob", Host: callee.Host})
+	ack.From = inv.From
+	ack.To = okInv.To
+	ack.Via = []sipmsg.Via{{Transport: "UDP", Host: caller.Host, Port: 5060,
+		Params: map[string]string{"branch": fmt.Sprintf("z9hG4bKchurnack%d", i)}}}
+	ack.CallID = cid
+	ack.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.ACK}
+
+	bye := sipmsg.NewRequest(sipmsg.BYE, sipmsg.URI{User: "bob", Host: callee.Host})
+	bye.From = inv.From
+	bye.To = okInv.To
+	bye.Via = []sipmsg.Via{{Transport: "UDP", Host: caller.Host, Port: 5060,
+		Params: map[string]string{"branch": fmt.Sprintf("z9hG4bKchurnbye%d", i)}}}
+	bye.CallID = cid
+	bye.CSeq = sipmsg.CSeq{Seq: 2, Method: sipmsg.BYE}
+
+	okBye := sipmsg.NewResponse(bye, sipmsg.StatusOK)
+
+	return []churnStep{
+		{inv, &sim.Packet{From: pa, To: pb, Proto: sim.ProtoSIP, Size: 500}},
+		{ringing, &sim.Packet{From: pb, To: pa, Proto: sim.ProtoSIP, Size: 400}},
+		{okInv, &sim.Packet{From: pb, To: pa, Proto: sim.ProtoSIP, Size: 500}},
+		{ack, &sim.Packet{From: caller, To: callee, Proto: sim.ProtoSIP, Size: 300}},
+		{bye, &sim.Packet{From: caller, To: callee, Proto: sim.ProtoSIP, Size: 300}},
+		{okBye, &sim.Packet{From: callee, To: caller, Proto: sim.ProtoSIP, Size: 300}},
+	}
+}
+
+// BenchmarkCallChurn measures the full monitor lifecycle — create on
+// INVITE, establish, tear down on BYE, linger, evict, recycle — for
+// one complete dialog per iteration. With pooled monitors, wheel
+// timers and interned keys the steady state allocates (almost)
+// nothing: the budget in alloc_test.go pins it.
+func BenchmarkCallChurn(b *testing.B) {
+	const slots = 64
+	s := sim.New(1)
+	cfg := ids.DefaultConfig()
+	d := ids.New(s, cfg)
+	dialogs := make([][]churnStep, slots)
+	for i := range dialogs {
+		dialogs[i] = churnDialog(i)
+	}
+	// After the BYE the RTP machines wait out Figure 5's timer T and
+	// the monitor lingers CloseLinger before eviction; advance virtual
+	// time past both so every iteration recycles its monitor.
+	settle := cfg.ByeGraceT + cfg.CloseLinger + time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, step := range dialogs[i%slots] {
+			d.ProcessSIP(step.m, step.pkt)
+		}
+		if err := s.Run(s.Now() + settle); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if n := len(d.Alerts()); n != 0 {
+		b.Fatalf("benign churn raised %d alerts", n)
+	}
+	if d.ActiveCalls() != 0 {
+		b.Fatalf("%d monitors still resident", d.ActiveCalls())
+	}
+}
+
 // BenchmarkEFSMStep measures one guarded machine transition.
 func BenchmarkEFSMStep(b *testing.B) {
 	spec := core.NewSpec("bench", "A")
 	spec.On("A", "e", func(c *core.Ctx) bool {
 		return c.Event.IntArg("x") >= 0
 	}, func(c *core.Ctx) {
-		c.Vars["l.count"] = c.Vars.GetInt("l.count") + 1
+		c.Vars.SetInt("l.count", c.Vars.GetInt("l.count")+1)
 	}, "A")
 	m := core.NewMachine(spec, nil)
 	ev := core.Event{Name: "e", Args: map[string]any{"x": 1}}

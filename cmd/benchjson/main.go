@@ -6,16 +6,24 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson > BENCH.json
+//	benchjson -merge run1.json run2.json > BENCH.json
+//	benchjson -compare BENCH.json BENCH.fresh.json
 //
-// It reads the benchmark text from stdin and writes JSON to stdout,
-// exiting non-zero when the input contains no benchmark results (an
-// empty report almost always means the bench invocation itself
-// failed).
+// The default mode reads benchmark text from stdin and writes JSON to
+// stdout, exiting non-zero when the input contains no benchmark
+// results (an empty report almost always means the bench invocation
+// itself failed). -merge combines several JSON reports into one (a
+// later run of the same benchmark replaces the earlier entry), so a
+// bench target built from multiple `go test -bench` invocations still
+// archives a single file. -compare diffs allocs/op in a fresh report
+// against a committed baseline and exits non-zero on a >10%
+// regression in any benchmark the baseline pins.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -118,20 +126,147 @@ func parseResult(line string) (Benchmark, error) {
 	return b, nil
 }
 
-func main() {
-	rep, err := parse(os.Stdin)
+// merge combines reports in argument order: the environment header
+// comes from the first report that has one, and a later result for a
+// benchmark already seen replaces the earlier entry in place — the
+// rerun is the measurement of record.
+func merge(reports []*Report) *Report {
+	out := &Report{}
+	index := make(map[string]int)
+	for _, rep := range reports {
+		if out.GOOS == "" {
+			out.GOOS, out.GOARCH, out.Package, out.CPU = rep.GOOS, rep.GOARCH, rep.Package, rep.CPU
+		}
+		for _, b := range rep.Benchmarks {
+			if i, seen := index[b.Name]; seen {
+				out.Benchmarks[i] = b
+				continue
+			}
+			index[b.Name] = len(out.Benchmarks)
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	return out
+}
+
+// regressionTolerance is how much allocs/op may grow over the pinned
+// baseline before compare fails the run.
+const regressionTolerance = 0.10
+
+// baseName strips the -N GOMAXPROCS suffix `go test` appends to
+// benchmark names, so a baseline recorded on one machine matches a
+// fresh run on another core count.
+func baseName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compare diffs fresh allocs/op against every benchmark the baseline
+// pins, writing one line per comparison, and returns the list of
+// regressions past tolerance. A pinned benchmark missing from the
+// fresh run counts as a failure: a silently-skipped gate is no gate.
+func compare(baseline, fresh *Report, w io.Writer) []string {
+	freshBy := make(map[string]Benchmark)
+	for _, b := range fresh.Benchmarks {
+		freshBy[baseName(b.Name)] = b
+	}
+	var failures []string
+	for _, base := range baseline.Benchmarks {
+		name := baseName(base.Name)
+		f, ok := freshBy[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: pinned in baseline but missing from fresh run", name))
+			continue
+		}
+		limit := float64(base.AllocsPerOp) * (1 + regressionTolerance)
+		status := "ok"
+		if float64(f.AllocsPerOp) > limit {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: allocs/op %d -> %d (budget %.1f)", name, base.AllocsPerOp, f.AllocsPerOp, limit))
+		}
+		fmt.Fprintf(w, "%-50s allocs/op %6d -> %6d  %s\n", name, base.AllocsPerOp, f.AllocsPerOp, status)
+	}
+	return failures
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return nil, err
 	}
-	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
-		os.Exit(1)
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %v", path, err)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	return rep, nil
+}
+
+func writeJSON(rep *Report, w io.Writer) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	return enc.Encode(rep)
+}
+
+func main() {
+	mergeMode := flag.Bool("merge", false, "merge the JSON reports given as arguments into one on stdout")
+	compareMode := flag.Bool("compare", false, "compare allocs/op: BASELINE.json FRESH.json; exit 1 on >10% regression")
+	flag.Parse()
+
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	switch {
+	case *mergeMode:
+		if flag.NArg() < 1 {
+			fail(fmt.Errorf("benchjson: -merge needs at least one report file"))
+		}
+		reports := make([]*Report, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			rep, err := loadReport(path)
+			if err != nil {
+				fail(err)
+			}
+			reports = append(reports, rep)
+		}
+		if err := writeJSON(merge(reports), os.Stdout); err != nil {
+			fail(err)
+		}
+	case *compareMode:
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("benchjson: -compare needs exactly BASELINE.json FRESH.json"))
+		}
+		baseline, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		fresh, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fail(err)
+		}
+		failures := compare(baseline, fresh, os.Stdout)
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d allocation regression(s) vs %s:\n", len(failures), flag.Arg(0))
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "  "+f)
+			}
+			os.Exit(1)
+		}
+	default:
+		rep, err := parse(os.Stdin)
+		if err != nil {
+			fail(err)
+		}
+		if len(rep.Benchmarks) == 0 {
+			fail(fmt.Errorf("benchjson: no benchmark results in input"))
+		}
+		if err := writeJSON(rep, os.Stdout); err != nil {
+			fail(err)
+		}
 	}
 }

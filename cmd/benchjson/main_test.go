@@ -66,6 +66,106 @@ func TestParseRejectsMalformed(t *testing.T) {
 	}
 }
 
+func TestMerge(t *testing.T) {
+	a := &Report{GOOS: "linux", GOARCH: "amd64", Package: "vids", CPU: "x",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", AllocsPerOp: 3},
+			{Name: "BenchmarkB", AllocsPerOp: 7},
+		}}
+	b := &Report{GOOS: "linux",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkB", AllocsPerOp: 5}, // rerun replaces the earlier entry
+			{Name: "BenchmarkC", AllocsPerOp: 1},
+		}}
+	out := merge([]*Report{a, b})
+	if out.GOOS != "linux" || out.Package != "vids" {
+		t.Errorf("header = %+v", out)
+	}
+	if len(out.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(out.Benchmarks))
+	}
+	names := []string{out.Benchmarks[0].Name, out.Benchmarks[1].Name, out.Benchmarks[2].Name}
+	if names[0] != "BenchmarkA" || names[1] != "BenchmarkB" || names[2] != "BenchmarkC" {
+		t.Errorf("order = %v", names)
+	}
+	if out.Benchmarks[1].AllocsPerOp != 5 {
+		t.Errorf("rerun did not replace: %+v", out.Benchmarks[1])
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSIPParse-8":                   "BenchmarkSIPParse",
+		"BenchmarkEngineThroughput/shards=4-16": "BenchmarkEngineThroughput/shards=4",
+		"BenchmarkNoSuffix":                     "BenchmarkNoSuffix",
+		"BenchmarkDash-x":                       "BenchmarkDash-x",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkZeroAlloc-4", AllocsPerOp: 0},
+		{Name: "BenchmarkSmall-4", AllocsPerOp: 18},
+		{Name: "BenchmarkGone-4", AllocsPerOp: 2},
+	}}
+
+	t.Run("within tolerance", func(t *testing.T) {
+		fresh := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkZeroAlloc-8", AllocsPerOp: 0},
+			{Name: "BenchmarkSmall-8", AllocsPerOp: 19}, // +5.6% < 10%
+			{Name: "BenchmarkGone-8", AllocsPerOp: 2},
+		}}
+		var out strings.Builder
+		if failures := compare(baseline, fresh, &out); len(failures) != 0 {
+			t.Errorf("unexpected failures: %v", failures)
+		}
+		if !strings.Contains(out.String(), "BenchmarkSmall") {
+			t.Errorf("no per-benchmark report:\n%s", out.String())
+		}
+	})
+
+	t.Run("regression past tolerance", func(t *testing.T) {
+		fresh := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkZeroAlloc-8", AllocsPerOp: 0},
+			{Name: "BenchmarkSmall-8", AllocsPerOp: 21}, // +16.7%
+			{Name: "BenchmarkGone-8", AllocsPerOp: 2},
+		}}
+		var out strings.Builder
+		failures := compare(baseline, fresh, &out)
+		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkSmall") {
+			t.Errorf("failures = %v", failures)
+		}
+	})
+
+	t.Run("zero baseline stays zero", func(t *testing.T) {
+		fresh := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkZeroAlloc-8", AllocsPerOp: 1},
+			{Name: "BenchmarkSmall-8", AllocsPerOp: 18},
+			{Name: "BenchmarkGone-8", AllocsPerOp: 2},
+		}}
+		failures := compare(baseline, fresh, &strings.Builder{})
+		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkZeroAlloc") {
+			t.Errorf("failures = %v", failures)
+		}
+	})
+
+	t.Run("pinned benchmark missing from fresh run", func(t *testing.T) {
+		fresh := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkZeroAlloc-8", AllocsPerOp: 0},
+			{Name: "BenchmarkSmall-8", AllocsPerOp: 18},
+		}}
+		failures := compare(baseline, fresh, &strings.Builder{})
+		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkGone") {
+			t.Errorf("failures = %v", failures)
+		}
+	})
+}
+
 func TestParseSkipsNoise(t *testing.T) {
 	rep, err := parse(strings.NewReader("PASS\nok \tvids\t0.1s\n--- BENCH: x\nBenchmarkY 5 2 ns/op\n"))
 	if err != nil {

@@ -124,27 +124,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	srcErr := src.Run(ctx, e)
-	if errors.Is(srcErr, context.Canceled) {
+	switch {
+	case errors.Is(srcErr, context.Canceled):
 		fmt.Fprintln(stderr, "vidsd: interrupted, draining")
 		srcErr = nil
+	case srcErr == nil:
+		fmt.Fprintln(stderr, "vidsd: source exhausted, draining")
 	}
 	stop()
 	<-statsDone
-	if err := e.Close(); err != nil {
-		return err
-	}
+	closeErr := e.Close()
 
-	st := e.Stats()
-	printStats(stderr, st)
+	// The final counters and the report flush no matter how the run
+	// ended — source EOF, signal, or a drain failure. An operator
+	// diagnosing a failed run needs the numbers and the alert log most
+	// of all, and a clean EOF exit must leave the same artifacts a
+	// signal-triggered drain does.
+	printStats(stderr, e.Stats())
 	alerts := e.Alerts()
 	fmt.Fprintf(stderr, "vidsd: done: %d alert(s)\n", len(alerts))
+	var reportErr error
 	if *report != "" {
-		if err := writeReport(alerts, *report); err != nil {
-			return err
+		if reportErr = writeReport(alerts, *report); reportErr == nil {
+			fmt.Fprintf(stderr, "vidsd: report written to %s\n", *report)
 		}
-		fmt.Fprintf(stderr, "vidsd: report written to %s\n", *report)
 	}
-	return srcErr
+	return errors.Join(srcErr, closeErr, reportErr)
 }
 
 func printStats(w io.Writer, st engine.Stats) {

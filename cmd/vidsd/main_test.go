@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"vids/internal/engine"
+	"vids/internal/ids"
 	"vids/internal/trace"
 )
 
@@ -57,6 +59,47 @@ func TestTraceRunToCompletion(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "invite-flood") {
 		t.Errorf("report missing expected alert types:\n%s", data)
+	}
+}
+
+// TestEOFDrainFlushesStatsAndReport pins the EOF exit path: when the
+// trace source simply runs out (no signal involved), the daemon must
+// still announce the drain, print the final statistics line, and
+// write the JSON report.
+func TestEOFDrainFlushesStatsAndReport(t *testing.T) {
+	path := writeSynthTrace(t, engine.SynthConfig{Calls: 4, RTPPerCall: 3})
+	report := filepath.Join(t.TempDir(), "alerts.json")
+
+	var stdout, stderr bytes.Buffer
+	// -stats 0 disables the periodic reporter, so any stats line on
+	// stderr can only come from the final flush.
+	err := run([]string{
+		"-source", "trace", "-trace", path, "-pace", "0",
+		"-shards", "2", "-stats", "0", "-report", report,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "vidsd: source exhausted, draining") {
+		t.Errorf("no EOF drain notice:\n%s", out)
+	}
+	if !strings.Contains(out, "vidsd: ingested=") {
+		t.Errorf("final stats line not flushed on EOF:\n%s", out)
+	}
+	if !strings.Contains(out, "vidsd: done:") {
+		t.Errorf("no final summary:\n%s", out)
+	}
+	if !strings.Contains(out, "vidsd: report written to") {
+		t.Errorf("report not announced:\n%s", out)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("report not written on EOF exit: %v", err)
+	}
+	var alerts []ids.Alert
+	if err := json.Unmarshal(data, &alerts); err != nil {
+		t.Fatalf("report is not an alert log: %v\n%s", err, data)
 	}
 }
 

@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -116,39 +117,169 @@ func (e Event) DurationArg(key string) time.Duration {
 	return v
 }
 
+// Kind discriminates the representation held by a Val.
+type Kind uint8
+
+// Val kinds.
+const (
+	KindNone Kind = iota
+	KindString
+	KindInt
+	KindUint32
+	KindBool
+	KindDuration
+	KindFloat64
+	KindAny
+)
+
+// Val is one state variable: a small tagged union so that storing a
+// string or integer into the variable vector never boxes through an
+// interface allocation. The rare value of another type (tooling
+// probes, tests) rides in the KindAny escape hatch.
+type Val struct {
+	kind Kind
+	str  string
+	num  uint64
+	anyv any
+}
+
+// StringVal wraps a string.
+func StringVal(s string) Val { return Val{kind: KindString, str: s} }
+
+// IntVal wraps an int.
+func IntVal(n int) Val { return Val{kind: KindInt, num: uint64(n)} }
+
+// Uint32Val wraps a uint32.
+func Uint32Val(n uint32) Val { return Val{kind: KindUint32, num: uint64(n)} }
+
+// BoolVal wraps a bool.
+func BoolVal(b bool) Val {
+	v := Val{kind: KindBool}
+	if b {
+		v.num = 1
+	}
+	return v
+}
+
+// DurationVal wraps a time.Duration.
+func DurationVal(d time.Duration) Val { return Val{kind: KindDuration, num: uint64(d)} }
+
+// Float64Val wraps a float64.
+func Float64Val(f float64) Val { return Val{kind: KindFloat64, num: math.Float64bits(f)} }
+
+// AnyVal wraps an arbitrary value, unboxing the kinds Val represents
+// natively. Values of any other type are carried boxed — tooling and
+// tests only; hot-path actions use the typed constructors.
+func AnyVal(v any) Val {
+	switch tv := v.(type) {
+	case string:
+		return StringVal(tv)
+	case int:
+		return IntVal(tv)
+	case uint32:
+		return Uint32Val(tv)
+	case bool:
+		return BoolVal(tv)
+	case time.Duration:
+		return DurationVal(tv)
+	case float64:
+		return Float64Val(tv)
+	default:
+		return Val{kind: KindAny, anyv: v}
+	}
+}
+
+// Kind reports the representation tag.
+func (v Val) Kind() Kind { return v.kind }
+
+// Any re-materializes the value as an interface (boxing numerics) —
+// for tooling and tests, not the packet path.
+func (v Val) Any() any {
+	switch v.kind {
+	case KindString:
+		return v.str
+	case KindInt:
+		return int(v.num)
+	case KindUint32:
+		return uint32(v.num)
+	case KindBool:
+		return v.num != 0
+	case KindDuration:
+		return time.Duration(v.num)
+	case KindFloat64:
+		return math.Float64frombits(v.num)
+	case KindAny:
+		return v.anyv
+	}
+	return nil
+}
+
 // Vars is the state-variable vector v. By the paper's convention,
 // keys prefixed "l." are local to one machine and keys prefixed "g."
 // live in the globals shared across a System.
-type Vars map[string]any
+type Vars map[string]Val
+
+// SetString stores a string variable without boxing.
+func (v Vars) SetString(key, s string) { v[key] = StringVal(s) }
+
+// SetInt stores an int variable without boxing.
+func (v Vars) SetInt(key string, n int) { v[key] = IntVal(n) }
+
+// SetUint32 stores a uint32 variable without boxing.
+func (v Vars) SetUint32(key string, n uint32) { v[key] = Uint32Val(n) }
+
+// SetBool stores a bool variable without boxing.
+func (v Vars) SetBool(key string, b bool) { v[key] = BoolVal(b) }
+
+// SetDuration stores a time.Duration variable without boxing.
+func (v Vars) SetDuration(key string, d time.Duration) { v[key] = DurationVal(d) }
+
+// Set stores an arbitrary value (see AnyVal).
+func (v Vars) Set(key string, val any) { v[key] = AnyVal(val) }
+
+// Any reads a variable back as an interface value (nil if absent).
+func (v Vars) Any(key string) any { return v[key].Any() }
 
 // GetString reads a string variable.
 func (v Vars) GetString(key string) string {
-	s, _ := v[key].(string)
-	return s
+	val := v[key]
+	if val.kind != KindString {
+		return ""
+	}
+	return val.str
 }
 
 // GetInt reads an int variable.
 func (v Vars) GetInt(key string) int {
-	n, _ := v[key].(int)
-	return n
+	val := v[key]
+	if val.kind != KindInt {
+		return 0
+	}
+	return int(val.num)
 }
 
 // GetUint32 reads a uint32 variable.
 func (v Vars) GetUint32(key string) uint32 {
-	n, _ := v[key].(uint32)
-	return n
+	val := v[key]
+	if val.kind != KindUint32 {
+		return 0
+	}
+	return uint32(val.num)
 }
 
 // GetBool reads a bool variable.
 func (v Vars) GetBool(key string) bool {
-	b, _ := v[key].(bool)
-	return b
+	val := v[key]
+	return val.kind == KindBool && val.num != 0
 }
 
 // GetDuration reads a time.Duration variable.
 func (v Vars) GetDuration(key string) time.Duration {
-	d, _ := v[key].(time.Duration)
-	return d
+	val := v[key]
+	if val.kind != KindDuration {
+		return 0
+	}
+	return time.Duration(val.num)
 }
 
 // Ctx is handed to predicates and actions: the triggering event, the
@@ -418,10 +549,26 @@ func (m *Machine) Steps() uint64 { return m.steps }
 // InFinal reports whether the machine reached a final state.
 func (m *Machine) InFinal() bool { return m.spec.IsFinal(m.state) }
 
+// Reset returns the machine to its pristine configuration — initial
+// control state, empty variable vector, zero step count — while
+// keeping the allocated map and emit-buffer capacity. Monitor pooling
+// (internal/ids) recycles machines through this instead of
+// re-instantiating the spec per call.
+func (m *Machine) Reset() {
+	m.state = m.spec.Initial
+	clear(m.vars)
+	m.ctx.emits = m.ctx.emits[:0]
+	m.ctx.Event = Event{}
+	m.steps = 0
+}
+
 // InAttack reports whether the machine sits in an attack state.
 func (m *Machine) InAttack() bool { return m.spec.IsAttack(m.state) }
 
-// StepResult describes one transition.
+// StepResult describes one transition. Emitted aliases the machine's
+// reusable emit buffer: it is valid only until that machine's next
+// Step, so retainers must copy it (System.Deliver copies into its
+// FIFO queue immediately).
 type StepResult struct {
 	Machine       string
 	From, To      State
@@ -447,10 +594,11 @@ func (m *Machine) Step(e Event) (StepResult, error) {
 	ctx.Event = e
 	ctx.Vars = m.vars
 	ctx.Globals = m.globals
-	// Start each step with a nil emit buffer: the rare emitting
-	// transition allocates, and ownership of the buffer passes to the
-	// returned StepResult (it is never clobbered by a later Step).
-	ctx.emits = nil
+	// Reuse the machine's emit buffer: the returned StepResult aliases
+	// it, so Emitted is valid only until this machine's next Step. The
+	// System copies emissions into its FIFO queue immediately, which is
+	// the only consumer that outlives a step.
+	ctx.emits = ctx.emits[:0]
 	var chosen *Transition
 	var fallback *Transition
 	enabled := 0

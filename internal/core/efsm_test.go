@@ -11,10 +11,10 @@ import (
 // an attack state when the count exceeds limit.
 func counterSpec(limit int) *Spec {
 	s := NewSpec("counter", "INIT")
-	s.On("INIT", "tick", nil, func(c *Ctx) { c.Vars["l.count"] = 1 }, "COUNTING")
+	s.On("INIT", "tick", nil, func(c *Ctx) { c.Vars.SetInt("l.count", 1) }, "COUNTING")
 	s.On("COUNTING", "tick",
 		func(c *Ctx) bool { return c.Vars.GetInt("l.count") < limit },
-		func(c *Ctx) { c.Vars["l.count"] = c.Vars.GetInt("l.count") + 1 },
+		func(c *Ctx) { c.Vars.SetInt("l.count", c.Vars.GetInt("l.count")+1) },
 		"COUNTING")
 	s.OnLabeled("flood", "COUNTING", "tick",
 		func(c *Ctx) bool { return c.Vars.GetInt("l.count") >= limit },
@@ -226,7 +226,7 @@ func TestEventArgHelpers(t *testing.T) {
 }
 
 func TestVarsHelpers(t *testing.T) {
-	v := Vars{"s": "x", "i": 3, "u": uint32(9), "b": true}
+	v := Vars{"s": StringVal("x"), "i": IntVal(3), "u": Uint32Val(9), "b": BoolVal(true)}
 	if v.GetString("s") != "x" || v.GetInt("i") != 3 ||
 		v.GetUint32("u") != 9 || !v.GetBool("b") {
 		t.Fatal("vars getters wrong")

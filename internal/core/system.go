@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 )
 
 // System is a set of communicating EFSMs sharing a global variable
@@ -16,8 +15,11 @@ type System struct {
 	// queue holds pending δ messages in arrival order. The paper
 	// models one FIFO queue per machine pair; a single global FIFO
 	// with per-message targets preserves the same per-pair ordering
-	// because appends happen in emission order.
+	// because appends happen in emission order. qhead indexes the next
+	// message to pop so the backing array's capacity is reused instead
+	// of creeping away one element per pop.
 	queue []SyncMsg
+	qhead int
 
 	results []StepResult
 }
@@ -61,7 +63,21 @@ func (sys *System) Machines() []*Machine {
 }
 
 // PendingSync reports queued δ messages not yet consumed.
-func (sys *System) PendingSync() int { return len(sys.queue) }
+func (sys *System) PendingSync() int { return len(sys.queue) - sys.qhead }
+
+// Reset returns every member machine to its initial configuration and
+// clears the shared globals, FIFO queue and result buffer, keeping
+// all allocated capacity. Monitor pooling (internal/ids) recycles a
+// whole per-call system through this between calls.
+func (sys *System) Reset() {
+	for _, m := range sys.machines {
+		m.Reset()
+	}
+	clear(sys.globals)
+	sys.queue = sys.queue[:0]
+	sys.qhead = 0
+	sys.results = sys.results[:0]
+}
 
 // Deliver feeds a data-packet event to the named machine. Per the
 // paper's priority rule, all pending synchronization events are
@@ -118,9 +134,9 @@ func (sys *System) DeliverSync(machine string, e Event) ([]StepResult, error) {
 
 // drain processes the sync queue to exhaustion in FIFO order.
 func (sys *System) drain() error {
-	for len(sys.queue) > 0 {
-		msg := sys.queue[0]
-		sys.queue = sys.queue[1:]
+	for sys.qhead < len(sys.queue) {
+		msg := sys.queue[sys.qhead]
+		sys.qhead++
 		m, ok := sys.machines[msg.Target]
 		if !ok {
 			continue // emitted to a machine this system doesn't run
@@ -135,6 +151,10 @@ func (sys *System) drain() error {
 		sys.results = append(sys.results, res)
 		sys.queue = append(sys.queue, res.Emitted...)
 	}
+	// Empty: rewind onto the same backing array so the next Deliver
+	// appends from the front instead of creeping toward a realloc.
+	sys.queue = sys.queue[:0]
+	sys.qhead = 0
 	return nil
 }
 
@@ -176,12 +196,12 @@ func varsFootprint(v Vars) int {
 	total := 0
 	for k, val := range v {
 		total += len(k)
-		switch tv := val.(type) {
-		case string:
-			total += len(tv)
-		case int, uint32, int64, uint64, float64, time.Duration, uint16:
+		switch val.kind {
+		case KindString:
+			total += len(val.str)
+		case KindInt, KindUint32, KindDuration, KindFloat64:
 			total += 8
-		case bool:
+		case KindBool:
 			total++
 		default:
 			total += 16 // interface header approximation

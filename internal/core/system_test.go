@@ -12,7 +12,7 @@ import (
 func pingSpec() *Spec {
 	s := NewSpec("ping", "INIT")
 	s.On("INIT", "data", nil, func(c *Ctx) {
-		c.Globals["g.media"] = c.Event.StringArg("media")
+		c.Globals.SetString("g.media", c.Event.StringArg("media"))
 		c.Emit("pong", Event{Name: "delta"})
 	}, "SENT")
 	s.Final("SENT")
@@ -22,7 +22,7 @@ func pingSpec() *Spec {
 func pongSpec() *Spec {
 	s := NewSpec("pong", "INIT")
 	s.On("INIT", "delta", nil, func(c *Ctx) {
-		c.Vars["l.media"] = c.Globals.GetString("g.media")
+		c.Vars.SetString("l.media", c.Globals.GetString("g.media"))
 	}, "OPEN")
 	s.On("OPEN", "rtp", nil, nil, "OPEN")
 	s.Final("OPEN")
@@ -211,8 +211,9 @@ func TestMemoryFootprintGrowsWithVars(t *testing.T) {
 
 func TestVarsFootprintTypes(t *testing.T) {
 	v := Vars{
-		"str": "abcd", "int": 1, "u32": uint32(1), "f": 1.5, "b": true,
-		"other": struct{ X int }{1},
+		"str": StringVal("abcd"), "int": IntVal(1), "u32": Uint32Val(1),
+		"f": Float64Val(1.5), "b": BoolVal(true),
+		"other": AnyVal(struct{ X int }{1}),
 	}
 	got := varsFootprint(v)
 	// 3+4 + 3+8 + 3+8 + 1+8 + 1+1 + 5+16 = 61

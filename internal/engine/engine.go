@@ -31,6 +31,8 @@ import (
 	"time"
 
 	"vids/internal/ids"
+	"vids/internal/intern"
+	"vids/internal/sdp"
 	"vids/internal/sim"
 	"vids/internal/sipmsg"
 )
@@ -86,6 +88,11 @@ type Config struct {
 // ErrClosed is returned by Ingest after Close has begun.
 var ErrClosed = errors.New("engine: closed")
 
+// internTableCap bounds the router's string-intern table, sized like
+// the shard-side one: enough for the media keys and flood destinations
+// of a large live population without growing without bound.
+const internTableCap = 4096
+
 // item is one unit of shard work: a packet, its capture timestamp,
 // and — for SIP — the parse the router already did to route it.
 type item struct {
@@ -94,14 +101,32 @@ type item struct {
 	sip *sipmsg.Message
 }
 
-// shard is one detection worker: a bounded queue feeding a
-// single-goroutine ids.IDS on its own virtual clock.
+// shard is one detection worker: a bounded ring of pending items
+// feeding a single-goroutine ids.IDS on its own virtual clock.
+//
+// The router→worker handoff is batched: producers append single items
+// to the ring under the shard mutex, but the worker detaches the
+// whole backlog in one critical section and analyzes it outside the
+// lock, so a busy shard pays one synchronization round-trip per batch
+// rather than one channel send/receive per packet. FIFO order is the
+// ring order, which is the mutex acquisition order — exactly the
+// ordering the old per-item channel gave — so the sequential-parity
+// guarantee is untouched.
 type shard struct {
-	ch   chan item
 	sim  *sim.Simulator
 	ids  *ids.IDS
 	done chan struct{}
 
+	mu      sync.Mutex
+	ready   *sync.Cond // work arrived, or closing
+	space   *sync.Cond // ring slots freed (Block producers wait here)
+	buf     []item     // ring storage, len == QueueDepth
+	head    int        // index of the oldest queued item
+	n       int        // queued count
+	closing bool
+	batch   []item // worker-owned detach buffer, reused every pickup
+
+	queued    atomic.Int64 // mirrors n for lock-free Stats
 	processed atomic.Uint64
 	dropped   atomic.Uint64
 	alerts    atomic.Uint64
@@ -125,6 +150,7 @@ type Engine struct {
 	calls      map[string]time.Duration // Call-ID -> last activity (stray-response test + GC)
 	gone       map[string]time.Duration // Call-ID -> when the sweep forgot it (router tombstones)
 	keyBuf     []byte                   // reusable media-key scratch, guarded by mu
+	strings    *intern.Table            // media keys / flood dests, guarded by mu
 	retain     time.Duration            // how long idle routing entries survive
 	sweepArmed bool
 
@@ -158,13 +184,14 @@ func New(cfg Config) *Engine {
 	cfg.IDS.ExternalFloods = true
 
 	e := &Engine{
-		cfg:    cfg,
-		clock:  sim.New(0),
-		media:  make(map[string]string),
-		calls:  make(map[string]time.Duration),
-		gone:   make(map[string]time.Duration),
-		retain: cfg.IDS.IdleEviction + cfg.IDS.CloseLinger,
-		start:  time.Now(),
+		cfg:     cfg,
+		clock:   sim.New(0),
+		media:   make(map[string]string),
+		calls:   make(map[string]time.Duration),
+		gone:    make(map[string]time.Duration),
+		strings: intern.New(internTableCap),
+		retain:  cfg.IDS.IdleEviction + cfg.IDS.CloseLinger,
+		start:   time.Now(),
 	}
 	e.fw = ids.NewFloodWatch(e.clock, cfg.IDS, func(a ids.Alert) {
 		// Runs under e.mu: FeedInvite/FeedStrayResponse and the router
@@ -177,11 +204,14 @@ func New(cfg Config) *Engine {
 	for i := range e.shards {
 		s := sim.New(int64(i) + 1)
 		sh := &shard{
-			ch:   make(chan item, cfg.QueueDepth),
-			sim:  s,
-			ids:  ids.New(s, cfg.IDS),
-			done: make(chan struct{}),
+			sim:   s,
+			ids:   ids.New(s, cfg.IDS),
+			done:  make(chan struct{}),
+			buf:   make([]item, cfg.QueueDepth),
+			batch: make([]item, 0, cfg.QueueDepth),
 		}
+		sh.ready = sync.NewCond(&sh.mu)
+		sh.space = sync.NewCond(&sh.mu)
 		sh.ids.OnAlert = func(a ids.Alert) {
 			sh.alerts.Add(1)
 			e.alertCount.Add(1)
@@ -205,46 +235,89 @@ func (e *Engine) deliver(a ids.Alert) {
 	e.cfg.OnAlert(a)
 }
 
-// run is the shard worker loop: advance the shard clock to each
-// packet's capture time (firing due timers first, exactly as a
-// sequential replay would), analyze, repeat. When the queue closes the
-// remaining timers run to completion so grace-window alerts (Figure 5
+// run is the shard worker loop: detach the whole pending backlog in
+// one critical section, then — outside the lock — advance the shard
+// clock to each packet's capture time (firing due timers first,
+// exactly as a sequential replay would) and analyze, in ring order.
+// When the shard closes, the worker drains what remains and runs the
+// outstanding timers to completion so grace-window alerts (Figure 5
 // timer T, the RTCP BYE window) still fire.
 func (sh *shard) run() {
 	defer close(sh.done)
-	for it := range sh.ch {
-		_ = sh.sim.RunUntil(it.at)
-		if it.sip != nil {
-			sh.ids.ProcessSIP(it.sip, it.pkt)
-		} else {
-			sh.ids.Process(it.pkt)
+	for {
+		sh.mu.Lock()
+		for sh.n == 0 && !sh.closing {
+			sh.ready.Wait()
 		}
-		sh.processed.Add(1)
+		if sh.n == 0 {
+			sh.mu.Unlock()
+			break
+		}
+		batch := sh.batch[:0]
+		for sh.n > 0 {
+			batch = append(batch, sh.buf[sh.head])
+			sh.buf[sh.head] = item{} // drop packet references
+			sh.head = (sh.head + 1) % len(sh.buf)
+			sh.n--
+		}
+		sh.queued.Store(0)
+		sh.space.Broadcast()
+		sh.mu.Unlock()
+
+		for i := range batch {
+			it := batch[i]
+			_ = sh.sim.RunUntil(it.at)
+			if it.sip != nil {
+				sh.ids.ProcessSIP(it.sip, it.pkt)
+			} else {
+				sh.ids.Process(it.pkt)
+			}
+			sh.processed.Add(1)
+			batch[i] = item{}
+		}
+		sh.batch = batch[:0]
 	}
 	_ = sh.sim.RunAll()
 }
 
-// enqueue applies the backpressure policy. DropOldest uses two
-// non-blocking selects so concurrent producers never deadlock; the
-// accounting is approximate under contention (another producer may
-// take the slot this one freed), which is fine for a drop counter.
+// enqueue appends one item to the shard ring, applying the
+// backpressure policy when the ring is full: Block waits for the
+// worker to detach a batch; DropOldest advances the ring head past
+// the oldest queued item, counting the eviction. Items the worker has
+// already detached are beyond eviction — the same property the old
+// channel had once a packet was received.
 func (sh *shard) enqueue(it item, p Policy) {
+	sh.mu.Lock()
 	if p == Block {
-		sh.ch <- it
-		return
-	}
-	for {
-		select {
-		case sh.ch <- it:
-			return
-		default:
+		for sh.n == len(sh.buf) {
+			sh.space.Wait()
 		}
-		select {
-		case <-sh.ch:
+	} else {
+		for sh.n == len(sh.buf) {
+			sh.buf[sh.head] = item{}
+			sh.head = (sh.head + 1) % len(sh.buf)
+			sh.n--
 			sh.dropped.Add(1)
-		default:
+			sh.queued.Add(-1)
 		}
 	}
+	sh.buf[(sh.head+sh.n)%len(sh.buf)] = it
+	sh.n++
+	sh.queued.Add(1)
+	if sh.n == 1 {
+		sh.ready.Signal()
+	}
+	sh.mu.Unlock()
+}
+
+// shut marks the shard closing and wakes the worker so it drains the
+// backlog and exits. Close has already waited out in-flight Ingest
+// calls, so no producer can be blocked in enqueue at this point.
+func (sh *shard) shut() {
+	sh.mu.Lock()
+	sh.closing = true
+	sh.ready.Signal()
+	sh.mu.Unlock()
 }
 
 // fnv32a is FNV-1a over the key string, inlined to keep the hot path
@@ -341,7 +414,13 @@ func (e *Engine) ingestSIP(pkt *sim.Packet, at time.Duration) {
 
 	if m.IsRequest() && m.Method == sipmsg.INVITE {
 		if m.To.Tag() == "" {
-			e.fw.FeedInvite(m.RequestURI.User+"@"+m.RequestURI.Host, pkt.From.Host, now)
+			// Render user@host into the scratch and intern it, so a
+			// popular destination's window feeds stop materializing its
+			// AOR string on every INVITE.
+			e.keyBuf = append(e.keyBuf[:0], m.RequestURI.User...)
+			e.keyBuf = append(e.keyBuf, '@')
+			e.keyBuf = append(e.keyBuf, m.RequestURI.Host...)
+			e.fw.FeedInvite(e.strings.Bytes(e.keyBuf), pkt.From.Host, now)
 		}
 		// Any INVITE creates a call monitor on its shard; remember the
 		// Call-ID so later responses are recognized as answered, not
@@ -372,10 +451,15 @@ func (e *Engine) ingestSIP(pkt *sim.Packet, at time.Duration) {
 	}
 	// Mirror ids.indexMedia: the INVITE's SDP names where the callee's
 	// stream will land, the 2xx answer's SDP where the caller's will.
+	// One validating scan extracts the destination without building the
+	// session description, and the key is interned so re-INVITEs and
+	// recycled ports reuse the routing entry's string.
 	if (m.IsRequest() && m.Method == sipmsg.INVITE) ||
 		(m.IsResponse() && m.IsSuccess() && m.CSeq.Method == sipmsg.INVITE) {
-		if addr, port, _, ok := ids.MediaFromSDP(m); ok {
-			e.media[ids.MediaKey(addr, port)] = m.CallID
+		if addr, port, _, ok := sdp.MediaDest(m.Body); ok {
+			host := e.strings.Bytes(addr)
+			e.keyBuf = ids.AppendMediaKey(e.keyBuf[:0], host, port)
+			e.media[e.strings.Bytes(e.keyBuf)] = m.CallID
 		}
 	}
 	e.mu.Unlock()
@@ -451,7 +535,7 @@ func (e *Engine) armSweep() {
 }
 
 // Close drains the pipeline: it waits for in-flight Ingest calls,
-// closes every shard queue, waits for the workers to finish the
+// marks every shard closing, waits for the workers to finish the
 // backlog and run their remaining timers, and finally drains the
 // router clock so open flood windows expire. Close is idempotent;
 // after the first call Ingest returns ErrClosed.
@@ -464,7 +548,7 @@ func (e *Engine) Close() error {
 	}
 	e.ingestWG.Wait()
 	for _, sh := range e.shards {
-		close(sh.ch)
+		sh.shut()
 	}
 	for _, sh := range e.shards {
 		<-sh.done
@@ -539,9 +623,9 @@ type Stats struct {
 	PacketsPerSec float64       // Processed / Elapsed
 }
 
-// Stats snapshots the pipeline counters. It reads only atomics and
-// channel lengths, so it is safe to call at any time from any
-// goroutine — including from an OnAlert callback.
+// Stats snapshots the pipeline counters. It reads only atomics, so it
+// is safe to call at any time from any goroutine — including from an
+// OnAlert callback.
 func (e *Engine) Stats() Stats {
 	st := Stats{
 		Shards:      make([]ShardStats, len(e.shards)),
@@ -554,7 +638,7 @@ func (e *Engine) Stats() Stats {
 	}
 	for i, sh := range e.shards {
 		s := ShardStats{
-			Depth:     len(sh.ch),
+			Depth:     int(sh.queued.Load()),
 			Processed: sh.processed.Load(),
 			Dropped:   sh.dropped.Load(),
 			Alerts:    sh.alerts.Load(),

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"vids/internal/core"
 	"vids/internal/ids"
 	"vids/internal/sdp"
 	"vids/internal/sim"
@@ -206,13 +207,13 @@ func driveEstablishedCall(d *ids.IDS, i int) {
 
 // varBytes approximates the byte footprint of one variable vector the
 // same way core.System.MemoryFootprint does.
-func varBytes(vars map[string]any) int {
+func varBytes(vars core.Vars) int {
 	total := 0
-	for k, v := range vars {
+	for k := range vars {
 		total += len(k)
-		switch tv := v.(type) {
+		switch v := vars.Any(k).(type) {
 		case string:
-			total += len(tv)
+			total += len(v)
 		case bool:
 			total++
 		default:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vids/internal/rtp"
+	"vids/internal/sdp"
 	"vids/internal/sim"
 	"vids/internal/sipmsg"
 )
@@ -70,5 +71,9 @@ func AppendMediaKey(b []byte, host string, port int) []byte {
 // Exposed so a sharding router can maintain its media-key index from
 // the same SDP observations the per-call machines use.
 func MediaFromSDP(m *sipmsg.Message) (addr string, port int, payload int, ok bool) {
-	return mediaFromSDP(m)
+	a, p, pt, ok := sdp.MediaDest(m.Body)
+	if !ok {
+		return "", 0, 0, false
+	}
+	return string(a), p, pt, true
 }

@@ -3,6 +3,9 @@ package ids
 import (
 	"strconv"
 	"time"
+
+	"vids/internal/core"
+	"vids/internal/sipmsg"
 )
 
 // sipArgs is the typed input vector x for SIP events — the same keys
@@ -113,6 +116,35 @@ func (a *rtpArgs) DurationArg(key string) (time.Duration, bool) {
 	return 0, false
 }
 
+// floodArgs is the typed input vector for the windowed cross-call
+// detectors (Figure 4's INVITE flood and the DRDoS response counter).
+type floodArgs struct {
+	dest, src string
+}
+
+func (a *floodArgs) StringArg(key string) (string, bool) {
+	switch key {
+	case "dest":
+		return a.dest, true
+	case "src":
+		return a.src, true
+	}
+	return "", false
+}
+
+func (a *floodArgs) IntArg(string) (int, bool) { return 0, false }
+
+func (a *floodArgs) Uint32Arg(string) (uint32, bool) { return 0, false }
+
+func (a *floodArgs) DurationArg(string) (time.Duration, bool) { return 0, false }
+
+// Timer events are argument-free; sharing one static value keeps the
+// expiry paths from materializing an Event per fire.
+var (
+	evTimerT  = core.Event{Name: EvTimerT}
+	evTimerT1 = core.Event{Name: EvTimerT1}
+)
+
 // appendMediaKey renders mediaKey(host, port) into b without
 // allocating, for map probes via the compiler's byte-slice-keyed
 // lookup optimization.
@@ -120,4 +152,21 @@ func appendMediaKey(b []byte, host string, port int) []byte {
 	b = append(b, host...)
 	b = append(b, ':')
 	return strconv.AppendInt(b, int64(port), 10)
+}
+
+// appendURI renders u the way sipmsg.URI.String does, into b, so the
+// hot path can intern the result instead of allocating a fresh string
+// per message.
+func appendURI(b []byte, u sipmsg.URI) []byte {
+	b = append(b, "sip:"...)
+	if u.User != "" {
+		b = append(b, u.User...)
+		b = append(b, '@')
+	}
+	b = append(b, u.Host...)
+	if u.Port != 0 {
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(u.Port), 10)
+	}
+	return b
 }

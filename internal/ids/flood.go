@@ -44,14 +44,14 @@ func windowCounterSpec(name, event, label string, n int) *core.Spec {
 	// First event for destination D: initialize the packet counter
 	// and (via the IDS observing this transition) start timer T1.
 	s.On(FloodInit, event, nil, func(c *core.Ctx) {
-		c.Vars["l.dest"] = c.Event.StringArg("dest")
-		c.Vars["l.count"] = 1
+		c.Vars.SetString("l.dest", c.Event.StringArg("dest"))
+		c.Vars.SetInt("l.count", 1)
 	}, FloodCounting)
 
 	s.On(FloodCounting, event, func(c *core.Ctx) bool {
 		return c.Vars.GetInt("l.count") < n
 	}, func(c *core.Ctx) {
-		c.Vars["l.count"] = c.Vars.GetInt("l.count") + 1
+		c.Vars.SetInt("l.count", c.Vars.GetInt("l.count")+1)
 	}, FloodCounting)
 
 	s.OnLabeled(label, FloodCounting, event, func(c *core.Ctx) bool {

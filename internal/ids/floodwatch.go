@@ -7,6 +7,7 @@ import (
 	"vids/internal/core"
 	"vids/internal/sim"
 	"vids/internal/sipmsg"
+	"vids/internal/timerwheel"
 )
 
 // FloodWatch is the bank of windowed cross-call detectors: the
@@ -19,37 +20,73 @@ import (
 // (with Config.ExternalFloods silencing the shard-local copies), while
 // a plain IDS embeds its own.
 //
+// Window timers T1 live on the bank's own timer wheel (anchored to the
+// shared clock), so opening and expiring a window is allocation-free
+// once its per-destination machine exists.
+//
 // FloodWatch is not safe for concurrent use; the embedding layer
 // serializes access (the IDS runs single-threaded, the engine feeds it
 // from its router under a lock).
 type FloodWatch struct {
 	sim *sim.Simulator
+	wc  *wheelClock
 	cfg Config
 
 	floodSp     *core.Spec
 	respFloodSp *core.Spec
 
-	floods     map[string]*core.Machine  // keyed by destination user@domain
+	floods     map[string]*floodEntry    // keyed by destination user@domain
 	floodSrcs  map[string]map[string]int // per-destination INVITE counts by source
-	respFloods map[string]*core.Machine  // keyed by destination host
+	respFloods map[string]*floodEntry    // keyed by destination host
 	quarantine map[string]time.Duration  // "dest|src" -> blocked until
 
+	args floodArgs // reusable typed event vector
+
 	raise func(Alert)
+}
+
+// floodEntry pairs one windowed counter machine with its embedded T1
+// timer so opening a window never allocates.
+type floodEntry struct {
+	m     *core.Machine
+	dest  string
+	timer timerwheel.Timer
 }
 
 // NewFloodWatch creates a detector bank bound to the given clock.
 // Alerts are delivered to raise.
 func NewFloodWatch(s *sim.Simulator, cfg Config, raise func(Alert)) *FloodWatch {
-	return &FloodWatch{
+	fw := &FloodWatch{
 		sim:         s,
 		cfg:         cfg,
 		floodSp:     floodSpec(cfg.FloodN),
 		respFloodSp: respFloodSpec(cfg.ResponseFloodN),
-		floods:      make(map[string]*core.Machine),
+		floods:      make(map[string]*floodEntry),
 		floodSrcs:   make(map[string]map[string]int),
-		respFloods:  make(map[string]*core.Machine),
+		respFloods:  make(map[string]*floodEntry),
 		quarantine:  make(map[string]time.Duration),
 		raise:       raise,
+	}
+	fw.wc = newWheelClock(s, fw.fire)
+	return fw
+}
+
+// fire handles a T1 window expiry for either detector family.
+func (fw *FloodWatch) fire(t *timerwheel.Timer) {
+	e := t.Owner.(*floodEntry)
+	switch t.Kind {
+	case timerKindFloodWindow:
+		r, err := e.m.Step(evTimerT1)
+		if err == nil && r.To == FloodInit {
+			// Clear rather than delete: the next window for this
+			// destination reuses the map's buckets instead of
+			// reallocating them.
+			if srcs := fw.floodSrcs[e.dest]; srcs != nil {
+				clear(srcs)
+			}
+		}
+	case timerKindRespFloodWindow:
+		_, _ = e.m.Step(evTimerT1)
 	}
 }
 
@@ -57,10 +94,12 @@ func NewFloodWatch(s *sim.Simulator, cfg Config, raise func(Alert)) *FloodWatch 
 // and raises AlertInviteFlood past threshold N. In prevention mode the
 // window's major contributors are quarantined.
 func (fw *FloodWatch) FeedInvite(dest, src string, now time.Duration) {
-	m, ok := fw.floods[dest]
+	e, ok := fw.floods[dest]
 	if !ok {
-		m = core.NewMachine(fw.floodSp, nil)
-		fw.floods[dest] = m
+		e = &floodEntry{m: core.NewMachine(fw.floodSp, nil), dest: dest}
+		e.timer.Kind = timerKindFloodWindow
+		e.timer.Owner = e
+		fw.floods[dest] = e
 	}
 	srcs := fw.floodSrcs[dest]
 	if srcs == nil {
@@ -68,20 +107,14 @@ func (fw *FloodWatch) FeedInvite(dest, src string, now time.Duration) {
 		fw.floodSrcs[dest] = srcs
 	}
 	srcs[src]++
-	res, err := m.Step(core.Event{Name: EvInvite, Args: map[string]any{
-		"dest": dest, "src": src,
-	}})
+	fw.args = floodArgs{dest: dest, src: src}
+	res, err := e.m.Step(core.Event{Name: EvInvite, Typed: &fw.args})
 	if err != nil {
 		return
 	}
 	if res.From == FloodInit && res.To == FloodCounting {
 		// First INVITE of the window: start timer T1 (Figure 4).
-		fw.sim.Schedule(fw.cfg.FloodT1, func() {
-			r, err := m.Step(core.Event{Name: EvTimerT1})
-			if err == nil && r.To == FloodInit {
-				delete(fw.floodSrcs, dest)
-			}
-		})
+		fw.wc.arm(&e.timer, fw.cfg.FloodT1)
 	}
 	if res.EnteredAttack {
 		fw.raise(Alert{
@@ -105,14 +138,15 @@ func (fw *FloodWatch) FeedInvite(dest, src string, now time.Duration) {
 // trips. The first stray response of a window is reported once as a
 // deviation.
 func (fw *FloodWatch) FeedStrayResponse(m *sipmsg.Message, dest, src string, now time.Duration) {
-	mach, ok := fw.respFloods[dest]
+	e, ok := fw.respFloods[dest]
 	if !ok {
-		mach = core.NewMachine(fw.respFloodSp, nil)
-		fw.respFloods[dest] = mach
+		e = &floodEntry{m: core.NewMachine(fw.respFloodSp, nil), dest: dest}
+		e.timer.Kind = timerKindRespFloodWindow
+		e.timer.Owner = e
+		fw.respFloods[dest] = e
 	}
-	res, err := mach.Step(core.Event{Name: EvResponse, Args: map[string]any{
-		"dest": dest, "src": src,
-	}})
+	fw.args = floodArgs{dest: dest, src: src}
+	res, err := e.m.Step(core.Event{Name: EvResponse, Typed: &fw.args})
 	if err != nil {
 		return
 	}
@@ -123,9 +157,7 @@ func (fw *FloodWatch) FeedStrayResponse(m *sipmsg.Message, dest, src string, now
 			Source: src, Target: dest,
 			Detail: fmt.Sprintf("%s for unknown call", m.Summary()),
 		})
-		fw.sim.Schedule(fw.cfg.FloodT1, func() {
-			_, _ = mach.Step(core.Event{Name: EvTimerT1})
-		})
+		fw.wc.arm(&e.timer, fw.cfg.FloodT1)
 	}
 	if res.EnteredAttack {
 		fw.raise(Alert{

@@ -66,8 +66,8 @@ func rtpSpec(name string, th RTPThresholds) *core.Spec {
 	// INIT --δ open--> RTP_OPEN: bind the negotiated media and
 	// remember which party's stream this machine watches.
 	s.On(RTPInit, EvDeltaOpen, nil, func(c *core.Ctx) {
-		c.Vars["l.party"] = c.Event.StringArg("party")
-		c.Vars["l.payload"] = c.Globals.GetInt("g.payload")
+		c.Vars.SetString("l.party", c.Event.StringArg("party"))
+		c.Vars.SetInt("l.payload", c.Globals.GetInt("g.payload"))
 	}, RTPOpen)
 
 	payloadOK := func(c *core.Ctx) bool {
@@ -77,13 +77,13 @@ func rtpSpec(name string, th RTPThresholds) *core.Spec {
 	// First packet of the stream: record the source binding.
 	s.On(RTPOpen, EvRTP, payloadOK, func(c *core.Ctx) {
 		e := c.Event
-		c.Vars["l.started"] = true
-		c.Vars["l.ssrc"] = e.Uint32Arg("ssrc")
-		c.Vars["l.seq"] = uint32(e.IntArg("seq"))
-		c.Vars["l.ts"] = e.Uint32Arg("ts")
-		c.Vars["l.src"] = e.StringArg("src")
-		c.Vars["l.winStart"] = e.DurationArg("now")
-		c.Vars["l.winCount"] = 1
+		c.Vars.SetBool("l.started", true)
+		c.Vars.SetUint32("l.ssrc", e.Uint32Arg("ssrc"))
+		c.Vars.SetUint32("l.seq", uint32(e.IntArg("seq")))
+		c.Vars.SetUint32("l.ts", e.Uint32Arg("ts"))
+		c.Vars.SetString("l.src", e.StringArg("src"))
+		c.Vars.SetDuration("l.winStart", e.DurationArg("now"))
+		c.Vars.SetInt("l.winCount", 1)
 	}, RTPRcvd)
 	s.OnLabeled(labelCodec, RTPOpen, EvRTP, func(c *core.Ctx) bool {
 		return !payloadOK(c)
@@ -123,15 +123,15 @@ func rtpSpec(name string, th RTPThresholds) *core.Spec {
 	}
 	s.On(RTPRcvd, EvRTP, normal, func(c *core.Ctx) {
 		e := c.Event
-		c.Vars["l.seq"] = uint32(e.IntArg("seq"))
-		c.Vars["l.ts"] = e.Uint32Arg("ts")
+		c.Vars.SetUint32("l.seq", uint32(e.IntArg("seq")))
+		c.Vars.SetUint32("l.ts", e.Uint32Arg("ts"))
 		now := e.DurationArg("now")
 		if now-c.Vars.GetDuration("l.winStart") > th.RateWindow {
-			c.Vars["l.winStart"] = now
-			c.Vars["l.winCount"] = 1
+			c.Vars.SetDuration("l.winStart", now)
+			c.Vars.SetInt("l.winCount", 1)
 			return
 		}
-		c.Vars["l.winCount"] = c.Vars.GetInt("l.winCount") + 1
+		c.Vars.SetInt("l.winCount", c.Vars.GetInt("l.winCount")+1)
 	}, RTPRcvd)
 
 	// Attack branches, most specific first; the guards are mutually
@@ -205,9 +205,9 @@ func spamSpec(th RTPThresholds) *core.Spec {
 	s := core.NewSpec("rtp-spam", RTPInit)
 	s.On(RTPInit, EvRTP, nil, func(c *core.Ctx) {
 		e := c.Event
-		c.Vars["l.ssrc"] = e.Uint32Arg("ssrc")
-		c.Vars["l.seq"] = uint32(e.IntArg("seq"))
-		c.Vars["l.ts"] = e.Uint32Arg("ts")
+		c.Vars.SetUint32("l.ssrc", e.Uint32Arg("ssrc"))
+		c.Vars.SetUint32("l.seq", uint32(e.IntArg("seq")))
+		c.Vars.SetUint32("l.ts", e.Uint32Arg("ts"))
 	}, RTPRcvd)
 
 	gapOK := func(c *core.Ctx) bool {
@@ -223,8 +223,8 @@ func spamSpec(th RTPThresholds) *core.Spec {
 			c.Event.Uint32Arg("ssrc") == c.Vars.GetUint32("l.ssrc")
 	}
 	s.On(RTPRcvd, EvRTP, gapOK, func(c *core.Ctx) {
-		c.Vars["l.seq"] = uint32(c.Event.IntArg("seq"))
-		c.Vars["l.ts"] = c.Event.Uint32Arg("ts")
+		c.Vars.SetUint32("l.seq", uint32(c.Event.IntArg("seq")))
+		c.Vars.SetUint32("l.ts", c.Event.Uint32Arg("ts"))
 	}, RTPRcvd)
 	s.OnLabeled(labelMediaSpam, RTPRcvd, EvRTP, func(c *core.Ctx) bool {
 		return !gapOK(c)

@@ -41,6 +41,17 @@ const (
 	EvResponse = "sip.response"
 )
 
+// Pre-built δ synchronization events. Ctx.Emit copies the Event value
+// into the System queue, so sharing these across calls is safe (the
+// Args maps are never mutated) and keeps emitting transitions
+// allocation-free.
+var (
+	deltaOpenCallee = core.Event{Name: EvDeltaOpen, Args: map[string]any{"party": "callee"}}
+	deltaOpenCaller = core.Event{Name: EvDeltaOpen, Args: map[string]any{"party": "caller"}}
+	deltaBye        = core.Event{Name: EvDeltaBye}
+	deltaReopen     = core.Event{Name: EvDeltaReopen}
+)
+
 // Transition labels used for alert mapping.
 const (
 	labelSpoofedBye    = "spoofed-bye"
@@ -61,23 +72,21 @@ func sipSpec(crossProtocol bool) *core.Spec {
 	// caller's offered media; open the callee->caller RTP direction.
 	s.On(SIPInit, EvInvite, nil, func(c *core.Ctx) {
 		e := c.Event
-		c.Vars["l.callID"] = e.StringArg("callID")
-		c.Vars["l.fromTag"] = e.StringArg("fromTag")
-		c.Vars["l.inviteSrc"] = e.StringArg("src")
-		c.Vars["l.callerContact"] = e.StringArg("contact")
-		c.Vars["l.from"] = e.StringArg("from")
-		c.Vars["l.to"] = e.StringArg("to")
+		c.Vars.SetString("l.callID", e.StringArg("callID"))
+		c.Vars.SetString("l.fromTag", e.StringArg("fromTag"))
+		c.Vars.SetString("l.inviteSrc", e.StringArg("src"))
+		c.Vars.SetString("l.callerContact", e.StringArg("contact"))
+		c.Vars.SetString("l.from", e.StringArg("from"))
+		c.Vars.SetString("l.to", e.StringArg("to"))
 		if addr := e.StringArg("sdpAddr"); addr != "" {
-			c.Globals["g.callerMediaAddr"] = addr
-			c.Globals["g.callerMediaPort"] = e.IntArg("sdpPort")
-			c.Globals["g.payload"] = e.IntArg("sdpPayload")
+			c.Globals.SetString("g.callerMediaAddr", addr)
+			c.Globals.SetInt("g.callerMediaPort", e.IntArg("sdpPort"))
+			c.Globals.SetInt("g.payload", e.IntArg("sdpPayload"))
 			// Opening the RTP machine is session bookkeeping the
 			// classifier needs regardless of the cross-protocol
 			// ablation; only the δ teardown notifications below are
 			// the paper's cross-protocol *detection* channel.
-			c.Emit(MachineRTPCallee, core.Event{Name: EvDeltaOpen, Args: map[string]any{
-				"party": "callee",
-			}})
+			c.Emit(MachineRTPCallee, deltaOpenCallee)
 		}
 	}, SIPInviteRcvd)
 
@@ -110,14 +119,12 @@ func sipSpec(crossProtocol bool) *core.Spec {
 	}
 	establish := func(c *core.Ctx) {
 		e := c.Event
-		c.Vars["l.toTag"] = e.StringArg("toTag")
-		c.Vars["l.calleeContact"] = e.StringArg("contact")
+		c.Vars.SetString("l.toTag", e.StringArg("toTag"))
+		c.Vars.SetString("l.calleeContact", e.StringArg("contact"))
 		if addr := e.StringArg("sdpAddr"); addr != "" {
-			c.Globals["g.calleeMediaAddr"] = addr
-			c.Globals["g.calleeMediaPort"] = e.IntArg("sdpPort")
-			c.Emit(MachineRTPCaller, core.Event{Name: EvDeltaOpen, Args: map[string]any{
-				"party": "caller",
-			}})
+			c.Globals.SetString("g.calleeMediaAddr", addr)
+			c.Globals.SetInt("g.calleeMediaPort", e.IntArg("sdpPort"))
+			c.Emit(MachineRTPCaller, deltaOpenCaller)
 		}
 	}
 	s.On(SIPInviteRcvd, EvResponse, okForInvite, establish, SIPEstablished)
@@ -128,8 +135,8 @@ func sipSpec(crossProtocol bool) *core.Spec {
 	// evictable.
 	closeMedia := func(c *core.Ctx) {
 		if crossProtocol {
-			c.Emit(MachineRTPCaller, core.Event{Name: EvDeltaBye})
-			c.Emit(MachineRTPCallee, core.Event{Name: EvDeltaBye})
+			c.Emit(MachineRTPCaller, deltaBye)
+			c.Emit(MachineRTPCallee, deltaBye)
 		}
 	}
 
@@ -203,10 +210,10 @@ func sipSpec(crossProtocol bool) *core.Spec {
 		if c.Event.StringArg("fromTag") == c.Vars.GetString("l.toTag") {
 			sender = "callee"
 		}
-		c.Globals["g.byeSender"] = sender
+		c.Globals.SetString("g.byeSender", sender)
 		if crossProtocol {
-			c.Emit(MachineRTPCaller, core.Event{Name: EvDeltaBye})
-			c.Emit(MachineRTPCallee, core.Event{Name: EvDeltaBye})
+			c.Emit(MachineRTPCaller, deltaBye)
+			c.Emit(MachineRTPCallee, deltaBye)
 		}
 	}
 	s.OnLabeled(labelByeSeen, SIPEstablished, EvBye, knownParty, byeAction, SIPTeardown)
@@ -232,8 +239,8 @@ func sipSpec(crossProtocol bool) *core.Spec {
 			c.Event.IntArg("status") == 401
 	}, func(c *core.Ctx) {
 		if crossProtocol {
-			c.Emit(MachineRTPCaller, core.Event{Name: EvDeltaReopen})
-			c.Emit(MachineRTPCallee, core.Event{Name: EvDeltaReopen})
+			c.Emit(MachineRTPCaller, deltaReopen)
+			c.Emit(MachineRTPCallee, deltaReopen)
 		}
 	}, SIPEstablished)
 

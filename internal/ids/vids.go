@@ -8,10 +8,12 @@ import (
 	"time"
 
 	"vids/internal/core"
+	"vids/internal/intern"
 	"vids/internal/rtp"
 	"vids/internal/sdp"
 	"vids/internal/sim"
 	"vids/internal/sipmsg"
+	"vids/internal/timerwheel"
 )
 
 // Config parameterizes the detectors and the inline processing-cost
@@ -109,8 +111,27 @@ func DefaultConfig() Config {
 	}
 }
 
+// Timer kinds dispatched by (*IDS).fire and (*FloodWatch).fire. Each
+// intrusive timerwheel.Timer carries one of these so a single
+// wheel-wide callback can route expiries without per-arm closures.
+const (
+	timerKindTCaller uint8 = iota // Figure 5's timer T, caller stream
+	timerKindTCallee              // Figure 5's timer T, callee stream
+	timerKindRTCPGrace
+	timerKindEvict
+	timerKindSweep
+	timerKindFloodWindow
+	timerKindRespFloodWindow
+)
+
 // CallMonitor is one entry of the Call State Fact Base: the
 // communicating machines tracking one call (paper Figure 2(b)).
+// Monitors are pooled: eviction resets the machines and returns the
+// whole record — maps, scratch and embedded timers included — to the
+// IDS free list, so steady-state call churn allocates nothing. The
+// generation counter gen increments on every recycle; timers snapshot
+// it at arm time, so an expiry armed for a previous occupant of the
+// record can never act on (or alert about) the call that now owns it.
 type CallMonitor struct {
 	CallID    string
 	System    *core.System
@@ -121,8 +142,22 @@ type CallMonitor struct {
 	Created      time.Duration
 	LastActivity time.Duration
 
-	raised     map[string]bool // alert dedupe keys
-	evictArmed bool
+	raised map[string]bool // alert dedupe keys
+	gen    uint32
+
+	// Embedded lifecycle timers (armed on the owning IDS's wheel).
+	timerTCaller timerwheel.Timer
+	timerTCallee timerwheel.Timer
+	rtcpTimer    timerwheel.Timer
+	evictTimer   timerwheel.Timer
+
+	// Pending RTCP-BYE grace context (valid while rtcpTimer is armed).
+	rtcpSrc string
+	rtcpKey string
+
+	// Media-index keys owned by this call, so eviction removes exactly
+	// its entries instead of scanning the whole index.
+	mediaKeys []string
 }
 
 // mediaRef maps a media destination to the machine monitoring it.
@@ -147,6 +182,17 @@ type IDS struct {
 	fw         *FloodWatch              // cross-call windowed detectors
 	spamMons   map[string]*core.Machine // standalone monitors by media key
 	tombstones map[string]time.Duration // recently evicted calls
+	monPool    []*CallMonitor           // recycled monitors (free list)
+
+	// wc drives every lifecycle timer — Figure 5's timer T, the RTCP
+	// BYE grace, post-close eviction linger and the idle sweep — off
+	// one hierarchical wheel anchored to the simulator clock.
+	wc         *wheelClock
+	sweepTimer timerwheel.Timer
+
+	// strings interns Call-IDs, URIs, media keys and flood destinations
+	// so the per-packet path reuses one stable copy per distinct key.
+	strings *intern.Table
 
 	alerts  []Alert
 	OnAlert func(Alert)
@@ -163,8 +209,7 @@ type IDS struct {
 	deviations     uint64
 	evicted        uint64
 	prevented      uint64
-	strayResponses uint64 // unknown-call responses deferred to an external FloodWatch
-	sweepArmed     bool
+	strayResponses uint64        // unknown-call responses deferred to an external FloodWatch
 	procWallTime   time.Duration // real host CPU spent inside Process
 
 	// Per-packet scratch state. Process/ProcessSIP run single-threaded
@@ -179,6 +224,11 @@ type IDS struct {
 	keyBuf      []byte
 }
 
+// internTableCap bounds the per-instance string intern table at about
+// twice this many entries — enough for the distinct Call-IDs, URIs and
+// media keys of the resident call population plus recent churn.
+const internTableCap = 4096
+
 // New creates a vids instance bound to the simulator clock.
 func New(s *sim.Simulator, cfg Config) *IDS {
 	d := &IDS{
@@ -190,13 +240,41 @@ func New(s *sim.Simulator, cfg Config) *IDS {
 		mediaIndex: make(map[string]mediaRef),
 		spamMons:   make(map[string]*core.Machine),
 		tombstones: make(map[string]time.Duration),
+		strings:    intern.New(internTableCap),
 	}
+	d.wc = newWheelClock(s, d.fire)
+	d.sweepTimer.Kind = timerKindSweep
 	d.fw = NewFloodWatch(s, cfg, func(a Alert) { d.raise(a, nil) })
 	d.rtpSpecs = map[string]*core.Spec{
 		MachineRTPCaller: rtpSpec(MachineRTPCaller, cfg.RTP),
 		MachineRTPCallee: rtpSpec(MachineRTPCallee, cfg.RTP),
 	}
 	return d
+}
+
+// fire dispatches one expired wheel timer. Call-scoped timers carry
+// their monitor in Owner and a generation snapshot in Gen; a stale
+// generation (the record was recycled onto another call) or a monitor
+// no longer resident under its Call-ID makes the expiry a no-op.
+func (d *IDS) fire(t *timerwheel.Timer) {
+	if t.Kind == timerKindSweep {
+		d.sweep()
+		return
+	}
+	mon, _ := t.Owner.(*CallMonitor)
+	if mon == nil || t.Gen != mon.gen || d.calls[mon.CallID] != mon {
+		return
+	}
+	switch t.Kind {
+	case timerKindTCaller:
+		d.fireTimerT(mon, MachineRTPCaller)
+	case timerKindTCallee:
+		d.fireTimerT(mon, MachineRTPCallee)
+	case timerKindRTCPGrace:
+		d.fireRTCPGrace(mon)
+	case timerKindEvict:
+		d.evict(mon.CallID)
+	}
 }
 
 // Config returns the active configuration.
@@ -240,7 +318,7 @@ func (d *IDS) malicious(pkt *sim.Packet) bool {
 			return true // unparseable traffic is dropped in prevention mode
 		}
 		if m.IsRequest() && m.Method == sipmsg.INVITE && m.To.Tag() == "" {
-			dest := m.RequestURI.User + "@" + m.RequestURI.Host
+			dest := d.destKey(m.RequestURI.User, m.RequestURI.Host)
 			if d.fw.Quarantined(dest, pkt.From.Host, d.sim.Now()) {
 				return true
 			}
@@ -374,7 +452,7 @@ func (d *IDS) handleSIP(m *sipmsg.Message, pkt *sim.Packet) {
 	if m.IsRequest() && m.Method == sipmsg.INVITE && m.To.Tag() == "" && !d.cfg.ExternalFloods {
 		// Initial INVITE: feed the flood detector keyed by the
 		// destination AOR (Figure 4 counts INVITEs per destination).
-		d.fw.FeedInvite(m.RequestURI.User+"@"+m.RequestURI.Host, pkt.From.Host, now)
+		d.fw.FeedInvite(d.destKey(m.RequestURI.User, m.RequestURI.Host), pkt.From.Host, now)
 	}
 
 	mon := d.calls[m.CallID]
@@ -425,31 +503,39 @@ func (d *IDS) handleSIP(m *sipmsg.Message, pkt *sim.Packet) {
 	d.consumeResults(mon, results, pkt)
 	if err == core.ErrNoTransition {
 		d.deviations++
-		d.raise(Alert{
-			At: now, Type: AlertDeviation, CallID: m.CallID,
-			Source: pkt.From.Host, Target: pkt.To.Host,
-			Detail: fmt.Sprintf("%s not accepted in state %s", m.Summary(), mon.SIP.State()),
-		}, mon)
+		// Dedup before formatting: repeat deviations on one call skip
+		// the Sprintf entirely.
+		if d.shouldRaise(mon, AlertDeviation) {
+			d.raiseRaw(Alert{
+				At: now, Type: AlertDeviation, CallID: m.CallID,
+				Source: pkt.From.Host, Target: pkt.To.Host,
+				Detail: fmt.Sprintf("%s not accepted in state %s", m.Summary(), mon.SIP.State()),
+			})
+		}
 	}
 
 	if mon.System.AllFinal() {
-		d.scheduleEvict(mon.CallID)
+		d.scheduleEvict(mon)
 	}
 }
 
 // scheduleEvict removes a closed call's monitor after the linger
 // window (so post-close attack traffic is still recognized).
-func (d *IDS) scheduleEvict(callID string) {
-	mon := d.calls[callID]
-	if mon == nil || mon.evictArmed {
+func (d *IDS) scheduleEvict(mon *CallMonitor) {
+	if mon.evictTimer.Armed() {
 		return
 	}
-	mon.evictArmed = true
-	d.sim.Schedule(d.cfg.CloseLinger, func() {
-		if m := d.calls[callID]; m != nil {
-			d.evict(callID)
-		}
-	})
+	mon.evictTimer.Gen = mon.gen
+	d.wc.arm(&mon.evictTimer, d.cfg.CloseLinger)
+}
+
+// destKey renders and interns the destination AOR user@host the flood
+// detectors and the prevention quarantine key on.
+func (d *IDS) destKey(user, host string) string {
+	d.keyBuf = append(d.keyBuf[:0], user...)
+	d.keyBuf = append(d.keyBuf, '@')
+	d.keyBuf = append(d.keyBuf, host...)
+	return d.strings.Bytes(d.keyBuf)
 }
 
 // sipEvent builds the input vector x from a SIP message and its
@@ -463,16 +549,19 @@ func (d *IDS) sipEvent(m *sipmsg.Message, pkt *sim.Packet) core.Event {
 		src:     pkt.From.Host,
 		dst:     pkt.To.Host,
 		callID:  m.CallID,
-		from:    m.From.URI.String(),
-		to:      m.To.URI.String(),
+		from:    d.internURI(m.From.URI),
+		to:      d.internURI(m.To.URI),
 		fromTag: m.From.Tag(),
 		toTag:   m.To.Tag(),
 	}
 	if m.Contact != nil {
 		a.contact = m.Contact.URI.Host
 	}
-	if addr, port, payload, ok := mediaFromSDP(m); ok {
-		a.sdpAddr = addr
+	// One validating scan extracts the SDP media destination; both the
+	// event vector and indexMedia (which runs right after) read the
+	// scratch, so each message's body is examined exactly once.
+	if addr, port, payload, ok := sdp.MediaDest(m.Body); ok {
+		a.sdpAddr = d.strings.Bytes(addr)
 		a.sdpPort = port
 		a.sdpPayload = payload
 	}
@@ -498,38 +587,37 @@ func (d *IDS) sipEvent(m *sipmsg.Message, pkt *sim.Packet) core.Event {
 	return core.Event{Name: name, Typed: a}
 }
 
-// mediaFromSDP extracts (address, port, payload) from an SDP body.
-func mediaFromSDP(m *sipmsg.Message) (string, int, int, bool) {
-	if len(m.Body) == 0 {
-		return "", 0, 0, false
-	}
-	desc, err := sdp.Parse(m.Body)
-	if err != nil {
-		return "", 0, 0, false
-	}
-	audio, ok := desc.FirstAudio()
-	if !ok || len(audio.Payloads) == 0 {
-		return "", 0, 0, false
-	}
-	return desc.Address, audio.Port, audio.Payloads[0], true
+// internURI renders a URI into the scratch buffer and interns it, so
+// the recurring From/To identities of a call mix cost no allocation
+// after first sight.
+func (d *IDS) internURI(u sipmsg.URI) string {
+	d.keyBuf = appendURI(d.keyBuf[:0], u)
+	return d.strings.Bytes(d.keyBuf)
 }
 
-// indexMedia records the media destinations a SIP message advertises
+// indexMedia records the media destination the current SIP message
+// advertises (already extracted into the sipArgs scratch by sipEvent)
 // so the Event Distributor can route subsequent RTP packets to the
 // right machine (Call State Fact Base lookups, Figure 3).
 func (d *IDS) indexMedia(mon *CallMonitor, m *sipmsg.Message) {
-	addr, port, _, ok := mediaFromSDP(m)
-	if !ok {
+	a := &d.sipScratch
+	if a.sdpAddr == "" {
 		return
 	}
-	key := mediaKey(addr, port)
+	var machine string
 	switch {
 	case m.IsRequest() && m.Method == sipmsg.INVITE:
 		// Caller's SDP names where the *callee's* stream will land.
-		d.mediaIndex[key] = mediaRef{callID: mon.CallID, machine: MachineRTPCallee}
+		machine = MachineRTPCallee
 	case m.IsResponse() && m.IsSuccess() && m.CSeq.Method == sipmsg.INVITE:
-		d.mediaIndex[key] = mediaRef{callID: mon.CallID, machine: MachineRTPCaller}
+		machine = MachineRTPCaller
+	default:
+		return
 	}
+	d.keyBuf = appendMediaKey(d.keyBuf[:0], a.sdpAddr, a.sdpPort)
+	key := d.strings.Bytes(d.keyBuf)
+	d.mediaIndex[key] = mediaRef{callID: mon.CallID, machine: machine}
+	mon.mediaKeys = append(mon.mediaKeys, key)
 }
 
 func mediaKey(host string, port int) string {
@@ -615,24 +703,33 @@ func (d *IDS) handleRTCP(p *rtp.RTCP, pkt *sim.Packet) {
 	// A genuine hangup races its own RTCP BYE against the SIP BYE on
 	// the same path — and the SIP BYE may need a retransmission cycle
 	// if it was lost — so give the signaling plane a generous window
-	// before judging.
-	key := string(d.keyBuf)
-	src := pkt.From.Host
-	d.sim.Schedule(d.cfg.RTCPByeGrace, func() {
-		m := d.calls[ref.callID]
-		if m == nil || m.SIP.InAttack() {
-			return
-		}
-		switch m.SIP.State() {
-		case SIPTeardown, SIPClosed:
-			return
-		}
-		d.raise(Alert{
-			At: d.sim.Now(), Type: AlertRTCPBye, CallID: m.CallID,
-			Source: src, Target: key,
-			Detail: "RTCP BYE while the SIP dialog is still established",
-		}, m)
-	})
+	// before judging. One armed grace timer per call suffices: repeat
+	// BYEs within the window would only re-raise a deduplicated alert.
+	if mon.rtcpTimer.Armed() {
+		return
+	}
+	mon.rtcpSrc = pkt.From.Host
+	mon.rtcpKey = d.strings.Bytes(d.keyBuf)
+	mon.rtcpTimer.Gen = mon.gen
+	d.wc.arm(&mon.rtcpTimer, d.cfg.RTCPByeGrace)
+}
+
+// fireRTCPGrace judges a pending RTCP BYE once its grace window ends:
+// if the signaling plane still has the dialog established, the
+// media-plane teardown was injected.
+func (d *IDS) fireRTCPGrace(mon *CallMonitor) {
+	if mon.SIP.InAttack() {
+		return
+	}
+	switch mon.SIP.State() {
+	case SIPTeardown, SIPClosed:
+		return
+	}
+	d.raise(Alert{
+		At: d.sim.Now(), Type: AlertRTCPBye, CallID: mon.CallID,
+		Source: mon.rtcpSrc, Target: mon.rtcpKey,
+		Detail: "RTCP BYE while the SIP dialog is still established",
+	}, mon)
 }
 
 // handleUnsolicitedRTP runs the standalone Figure 6 monitor for
@@ -667,21 +764,33 @@ func (d *IDS) handleUnsolicitedRTP(ev core.Event, pkt *sim.Packet, now time.Dura
 // ---------------------------------------------------------------------------
 
 func (d *IDS) newMonitor(callID string, now time.Duration) *CallMonitor {
-	sys := core.NewSystem()
-	sipM, _ := sys.Add(d.sipSpec)
-	caller, _ := sys.Add(d.rtpSpecs[MachineRTPCaller])
-	callee, _ := sys.Add(d.rtpSpecs[MachineRTPCallee])
-	mon := &CallMonitor{
-		CallID:    callID,
-		System:    sys,
-		SIP:       sipM,
-		RTPCaller: caller,
-		RTPCallee: callee,
-		Created:   now,
-		raised:    make(map[string]bool),
+	var mon *CallMonitor
+	if n := len(d.monPool); n > 0 {
+		mon = d.monPool[n-1]
+		d.monPool[n-1] = nil
+		d.monPool = d.monPool[:n-1]
+	} else {
+		sys := core.NewSystem()
+		sipM, _ := sys.Add(d.sipSpec)
+		caller, _ := sys.Add(d.rtpSpecs[MachineRTPCaller])
+		callee, _ := sys.Add(d.rtpSpecs[MachineRTPCallee])
+		mon = &CallMonitor{
+			System:    sys,
+			SIP:       sipM,
+			RTPCaller: caller,
+			RTPCallee: callee,
+			raised:    make(map[string]bool),
+		}
+		mon.timerTCaller = timerwheel.Timer{Kind: timerKindTCaller, Owner: mon}
+		mon.timerTCallee = timerwheel.Timer{Kind: timerKindTCallee, Owner: mon}
+		mon.rtcpTimer = timerwheel.Timer{Kind: timerKindRTCPGrace, Owner: mon}
+		mon.evictTimer = timerwheel.Timer{Kind: timerKindEvict, Owner: mon}
 	}
-	d.calls[callID] = mon
-	delete(d.tombstones, callID)
+	mon.CallID = d.strings.String(callID)
+	mon.Created = now
+	mon.LastActivity = now
+	d.calls[mon.CallID] = mon
+	delete(d.tombstones, mon.CallID)
 	d.armSweep()
 	return mon
 }
@@ -692,27 +801,45 @@ func (d *IDS) consumeResults(mon *CallMonitor, results []core.StepResult, pkt *s
 	now := d.sim.Now()
 	for _, res := range results {
 		if res.To == RTPAfterBye && res.From != RTPAfterBye {
-			// Arm Figure 5's timer T for this machine.
-			machine := res.Machine
-			d.sim.Schedule(d.cfg.ByeGraceT, func() {
-				m := d.calls[mon.CallID]
-				if m == nil {
-					return
-				}
-				_, _ = m.System.DeliverSync(machine, core.Event{Name: EvTimerT})
-				if m.System.AllFinal() {
-					d.scheduleEvict(m.CallID)
-				}
-			})
+			d.armTimerT(mon, res.Machine)
 		}
 		if res.EnteredAttack {
-			d.raise(Alert{
-				At: now, Type: alertTypeForLabel(res.Label),
-				CallID: mon.CallID,
-				Source: pkt.From.Host, Target: pkt.To.Host,
-				Detail: fmt.Sprintf("%s: %s -> %s on %s", res.Machine, res.From, res.To, res.Event),
-			}, mon)
+			t := alertTypeForLabel(res.Label)
+			if d.shouldRaise(mon, t) {
+				d.raiseRaw(Alert{
+					At: now, Type: t,
+					CallID: mon.CallID,
+					Source: pkt.From.Host, Target: pkt.To.Host,
+					Detail: fmt.Sprintf("%s: %s -> %s on %s", res.Machine, res.From, res.To, res.Event),
+				})
+			}
 		}
+	}
+}
+
+// armTimerT arms Figure 5's timer T for one RTP direction machine. An
+// already-armed timer keeps its (earlier) deadline, matching the old
+// one-closure-per-entry behavior where the earliest expiry acted and
+// later ones found nothing left to do.
+func (d *IDS) armTimerT(mon *CallMonitor, machine string) {
+	t := &mon.timerTCallee
+	if machine == MachineRTPCaller {
+		t = &mon.timerTCaller
+	}
+	if t.Armed() {
+		return
+	}
+	t.Gen = mon.gen
+	d.wc.arm(t, d.cfg.ByeGraceT)
+}
+
+// fireTimerT delivers the timer-T expiry to its RTP machine: in-flight
+// media after a BYE was tolerated for the grace window; whatever state
+// the machine moves to now decides between clean closure and attack.
+func (d *IDS) fireTimerT(mon *CallMonitor, machine string) {
+	_, _ = mon.System.DeliverSync(machine, evTimerT)
+	if mon.System.AllFinal() {
+		d.scheduleEvict(mon)
 	}
 }
 
@@ -743,75 +870,116 @@ func alertTypeForLabel(label string) AlertType {
 	}
 }
 
-// raise records an alert, deduplicating per (call, type) so one
-// attack does not flood the operator.
-func (d *IDS) raise(a Alert, mon *CallMonitor) {
-	if mon != nil {
-		key := string(a.Type)
-		if mon.raised[key] {
-			return
-		}
-		mon.raised[key] = true
-	} else if a.CallID == "" && a.Type == AlertInviteFlood {
-		// Deduplicate flood alerts per destination per window: the
-		// detector machine stays in ATTACK until T1 resets it, and
-		// EnteredAttack fires only on the transition, so nothing to
-		// do here.
-		_ = a
+// shouldRaise applies the per-(call, type) alert dedup and records the
+// key. Call it before constructing an Alert whose Detail formatting
+// should be skipped for duplicates; a nil monitor always passes.
+func (d *IDS) shouldRaise(mon *CallMonitor, t AlertType) bool {
+	if mon == nil {
+		return true
 	}
+	key := string(t)
+	if mon.raised[key] {
+		return false
+	}
+	mon.raised[key] = true
+	return true
+}
+
+// raiseRaw records an alert that already passed (or does not need)
+// deduplication.
+func (d *IDS) raiseRaw(a Alert) {
 	d.alerts = append(d.alerts, a)
 	if d.OnAlert != nil {
 		d.OnAlert(a)
 	}
 }
 
+// raise records an alert, deduplicating per (call, type) so one
+// attack does not flood the operator.
+func (d *IDS) raise(a Alert, mon *CallMonitor) {
+	if !d.shouldRaise(mon, a.Type) {
+		return
+	}
+	d.raiseRaw(a)
+}
+
 // evict removes a finished call from the fact base (paper
 // Section 7.3: "Once the calls have successfully reached the final
-// state, the corresponding protocol state machines will be deleted").
+// state, the corresponding protocol state machines will be deleted")
+// and recycles its monitor onto the pool.
 func (d *IDS) evict(callID string) {
 	mon := d.calls[callID]
 	if mon == nil {
 		return
 	}
 	delete(d.calls, callID)
-	d.tombstones[callID] = d.sim.Now()
-	for key, ref := range d.mediaIndex {
-		if ref.callID == callID {
+	d.tombstones[mon.CallID] = d.sim.Now()
+	for _, key := range mon.mediaKeys {
+		// A key is deleted only while this call still owns it; a newer
+		// call reusing the same destination overwrote the entry.
+		if ref, ok := d.mediaIndex[key]; ok && ref.callID == callID {
 			delete(d.mediaIndex, key)
 		}
 	}
 	d.evicted++
+	d.recycle(mon)
 }
 
-// armSweep schedules the idle-eviction sweep if it is not already
+// recycle scrubs an evicted monitor and returns it to the pool:
+// pending timers are cancelled, the machines reset to their initial
+// states, and the generation counter advances so any expiry or
+// reference armed against the old call is recognizably stale. The next
+// call this record hosts starts from exactly the state a freshly
+// allocated monitor would.
+func (d *IDS) recycle(mon *CallMonitor) {
+	d.wc.cancel(&mon.timerTCaller)
+	d.wc.cancel(&mon.timerTCallee)
+	d.wc.cancel(&mon.rtcpTimer)
+	d.wc.cancel(&mon.evictTimer)
+	mon.gen++
+	mon.timerTCaller.Gen = mon.gen
+	mon.timerTCallee.Gen = mon.gen
+	mon.rtcpTimer.Gen = mon.gen
+	mon.evictTimer.Gen = mon.gen
+	mon.System.Reset()
+	clear(mon.raised)
+	mon.CallID = ""
+	mon.rtcpSrc, mon.rtcpKey = "", ""
+	mon.Created, mon.LastActivity = 0, 0
+	mon.mediaKeys = mon.mediaKeys[:0]
+	d.monPool = append(d.monPool, mon)
+}
+
+// armSweep arms the idle-eviction sweep timer if it is not already
 // pending. The sweep re-arms itself only while there is state to
 // reclaim, so a drained IDS leaves the simulator's event queue empty
 // and simulations terminate naturally.
 func (d *IDS) armSweep() {
-	if d.sweepArmed || d.cfg.IdleEviction <= 0 {
+	if d.cfg.IdleEviction <= 0 || d.sweepTimer.Armed() {
 		return
 	}
-	d.sweepArmed = true
-	d.sim.Schedule(d.cfg.IdleEviction/2, func() {
-		d.sweepArmed = false
-		now := d.sim.Now()
-		for id, mon := range d.calls {
-			if now-mon.LastActivity > d.cfg.IdleEviction {
-				d.evict(id)
-			}
+	d.wc.arm(&d.sweepTimer, d.cfg.IdleEviction/2)
+}
+
+// sweep evicts idle calls, expires tombstones and drops the standalone
+// spam monitors (their streams either stopped or will immediately
+// re-register).
+func (d *IDS) sweep() {
+	now := d.sim.Now()
+	for id, mon := range d.calls {
+		if now-mon.LastActivity > d.cfg.IdleEviction {
+			d.evict(id)
 		}
-		for id, at := range d.tombstones {
-			if now-at > d.cfg.IdleEviction {
-				delete(d.tombstones, id)
-			}
+	}
+	for id, at := range d.tombstones {
+		if now-at > d.cfg.IdleEviction {
+			delete(d.tombstones, id)
 		}
-		for key := range d.spamMons {
-			delete(d.spamMons, key)
-		}
-		if len(d.calls)+len(d.tombstones) > 0 {
-			d.armSweep()
-		}
-	})
+	}
+	clear(d.spamMons)
+	if len(d.calls)+len(d.tombstones) > 0 {
+		d.armSweep()
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,50 @@
+package intern
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBytesReturnsStableString(t *testing.T) {
+	tb := New(8)
+	a := tb.Bytes([]byte("call-1"))
+	b := tb.Bytes([]byte("call-1"))
+	if a != "call-1" || b != "call-1" {
+		t.Fatalf("got %q, %q", a, b)
+	}
+}
+
+func TestStringPromotesAcrossGenerations(t *testing.T) {
+	tb := New(2)
+	s := tb.String("keep")
+	// Fill cur to force a rotation; "keep" lands in prev.
+	tb.String("a")
+	tb.String("b")
+	if got := tb.String("keep"); got != s {
+		t.Fatalf("promotion returned %q", got)
+	}
+}
+
+func TestBounded(t *testing.T) {
+	tb := New(16)
+	for i := 0; i < 10000; i++ {
+		tb.Bytes([]byte(fmt.Sprintf("unique-%d", i)))
+	}
+	if tb.Len() > 2*16+1 {
+		t.Fatalf("table grew unbounded: %d entries", tb.Len())
+	}
+}
+
+func TestHitPathDoesNotAllocate(t *testing.T) {
+	tb := New(8)
+	key := []byte("media:10.0.0.1:4000")
+	tb.Bytes(key)
+	allocs := testing.AllocsPerRun(200, func() {
+		if tb.Bytes(key) == "" {
+			t.Fail()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hit path allocated %.1f", allocs)
+	}
+}

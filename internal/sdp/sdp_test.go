@@ -158,3 +158,95 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// mediaDestWant derives MediaDest's expected result from Parse: ok
+// exactly when Parse succeeds and the description carries media.
+func mediaDestWant(data []byte) (string, int, int, bool) {
+	desc, err := Parse(data)
+	if err != nil {
+		return "", 0, 0, false
+	}
+	audio, ok := desc.FirstAudio()
+	if !ok || len(audio.Payloads) == 0 {
+		return "", 0, 0, false
+	}
+	return desc.Address, audio.Port, audio.Payloads[0], true
+}
+
+// MediaDest must agree with Parse+FirstAudio on valid and invalid
+// bodies alike: the hot path and the reference parser are the same
+// oracle.
+func TestMediaDestMatchesParse(t *testing.T) {
+	cases := [][]byte{
+		New("alice", "10.0.0.1", 4000, 18).Marshal(),
+		New("bob", "media.example.com", 65535, 0).Marshal(),
+		[]byte("v=0\r\no=u 1 2 IN IP4 h\r\ns=-\r\nc=IN IP4 h\r\nt=0 0\r\nm=audio 100 RTP/AVP 0 8 18\r\n"),
+		[]byte("v=0\nc=IN IP4 h\nm=audio 100 RTP/AVP 0\n"),                         // bare LF
+		[]byte("v=0\r\nc=IN IP4 h\r\n"),                                            // no media
+		[]byte("c=IN IP4 h\r\nm=audio 100 RTP/AVP 0\r\n"),                          // missing v=
+		[]byte("v=1\r\nc=IN IP4 h\r\nm=audio 100 RTP/AVP 0\r\n"),                   // bad version
+		[]byte("v=0\r\nm=audio 100 RTP/AVP 0\r\n"),                                 // missing c=
+		[]byte("v=0\r\nc=IN IP6 h\r\nm=audio 100 RTP/AVP 0\r\n"),                   // not IP4
+		[]byte("v=0\r\nc=IN IP4\r\nm=audio 100 RTP/AVP 0\r\n"),                     // short c=
+		[]byte("v=0\r\nc=IN IP4 h x\r\nm=audio 100 RTP/AVP 0\r\n"),                 // long c=
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=video 100 RTP/AVP 0\r\n"),                   // not audio
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=audio 0 RTP/AVP 0\r\n"),                     // port 0
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=audio 70000 RTP/AVP 0\r\n"),                 // port too big
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=audio +99 RTP/AVP 0\r\n"),                   // Atoi sign
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=audio -1 RTP/AVP 0\r\n"),                    // negative port
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=audio x RTP/AVP 0\r\n"),                     // non-numeric port
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=audio 100 udp 0\r\n"),                       // wrong profile
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=audio 100 RTP/AVP\r\n"),                     // no payloads
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=audio 100 RTP/AVP 128\r\n"),                 // payload too big
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=audio 100 RTP/AVP -2\r\n"),                  // negative payload
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=audio 100 RTP/AVP 0 bad\r\n"),               // junk payload
+		[]byte("v=0\r\no=u x 2 IN IP4 h\r\nc=IN IP4 h\r\nm=audio 1 RTP/AVP 0\r\n"), // bad o= id
+		[]byte("v=0\r\no=u 1 x IN IP4 h\r\nc=IN IP4 h\r\nm=audio 1 RTP/AVP 0\r\n"), // bad o= ver
+		[]byte("v=0\r\no=u 1 2\r\nc=IN IP4 h\r\nm=audio 1 RTP/AVP 0\r\n"),          // short o=
+		[]byte("v=0\r\nbogus\r\nc=IN IP4 h\r\nm=audio 1 RTP/AVP 0\r\n"),            // malformed line
+		[]byte("v=0\r\nx\r\n"), // line shorter than 2
+		[]byte("v=0\r\nz=ignored\r\nc=IN IP4 h\r\nq=unknown\r\nm=audio 1 RTP/AVP 0\r\n"),
+		[]byte("v=0\r\nc=IN IP4 a\r\nc=IN IP4 b\r\nm=audio 1 RTP/AVP 5\r\n"), // last c= wins
+		[]byte("v=0\r\nc=IN IP4 h\r\nm=audio 1 RTP/AVP 3\r\nm=audio 2 RTP/AVP 4\r\n"),
+		[]byte(""),
+		[]byte("\r\n\r\n"),
+	}
+	for _, data := range cases {
+		wantAddr, wantPort, wantPT, wantOK := mediaDestWant(data)
+		addr, port, pt, ok := MediaDest(data)
+		if ok != wantOK {
+			t.Errorf("MediaDest(%q) ok=%v, Parse says %v", data, ok, wantOK)
+			continue
+		}
+		if ok && (string(addr) != wantAddr || port != wantPort || pt != wantPT) {
+			t.Errorf("MediaDest(%q) = (%q,%d,%d), want (%q,%d,%d)",
+				data, addr, port, pt, wantAddr, wantPort, wantPT)
+		}
+	}
+}
+
+// Truncation sweep: every prefix of a valid body must agree too.
+func TestMediaDestTruncationSweep(t *testing.T) {
+	full := New("alice", "10.0.0.1", 4000, 18).Marshal()
+	for i := 0; i <= len(full); i++ {
+		data := full[:i]
+		wantAddr, wantPort, wantPT, wantOK := mediaDestWant(data)
+		addr, port, pt, ok := MediaDest(data)
+		if ok != wantOK || (ok && (string(addr) != wantAddr || port != wantPort || pt != wantPT)) {
+			t.Fatalf("prefix %d: MediaDest=(%q,%d,%d,%v) want (%q,%d,%d,%v)",
+				i, addr, port, pt, ok, wantAddr, wantPort, wantPT, wantOK)
+		}
+	}
+}
+
+func TestMediaDestDoesNotAllocate(t *testing.T) {
+	body := New("alice", "10.0.0.1", 4000, 18).Marshal()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, _, ok := MediaDest(body); !ok {
+			t.Fail()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("MediaDest allocated %.1f per call, want 0", allocs)
+	}
+}

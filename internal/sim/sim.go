@@ -75,6 +75,12 @@ type Simulator struct {
 	halted  bool
 	rng     *RNG
 
+	// free recycles executed event records so a steady
+	// schedule/execute cadence (timer-wheel anchors, packet
+	// deliveries) does not allocate one event per Schedule. Bounded by
+	// the peak queue length.
+	free []*event
+
 	executed uint64
 }
 
@@ -115,9 +121,23 @@ func (s *Simulator) At(t time.Duration, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.nextSeq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*ev = event{at: t, seq: s.nextSeq, fn: fn}
+	} else {
+		ev = &event{at: t, seq: s.nextSeq, fn: fn}
+	}
 	s.nextSeq++
 	heap.Push(&s.queue, ev)
+}
+
+// recycle returns an executed event record to the free list.
+func (s *Simulator) recycle(ev *event) {
+	ev.fn = nil
+	s.free = append(s.free, ev)
 }
 
 // Halt stops the run loop after the currently executing event returns.
@@ -146,6 +166,7 @@ func (s *Simulator) Run(horizon time.Duration) error {
 		s.now = ev.at
 		s.executed++
 		ev.fn()
+		s.recycle(ev)
 	}
 	if s.now < horizon {
 		s.now = horizon
@@ -178,6 +199,7 @@ func (s *Simulator) RunUntil(t time.Duration) error {
 		s.now = ev.at
 		s.executed++
 		ev.fn()
+		s.recycle(ev)
 	}
 	if s.now < t {
 		s.now = t

@@ -141,7 +141,7 @@ func runRecording(t core.Transition, probe map[string]any, globals map[string]an
 	}
 	g := make(core.Vars, len(globals))
 	for k, v := range globals {
-		g[k] = v
+		g.Set(k, v)
 	}
 	ctx := &core.Ctx{
 		Event:   core.Event{Name: t.Event, Args: args},
