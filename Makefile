@@ -15,7 +15,7 @@ CHURNTIME ?= 5000x
 # fan-out allocs vary with scheduling and are not a useful gate).
 HOTPATH_BENCH = BenchmarkSIPParse$$|BenchmarkRTPParse$$|BenchmarkRTCPParse$$|BenchmarkIDSProcessSIP$$|BenchmarkIDSProcessRTP$$|BenchmarkEFSMStep$$
 
-.PHONY: all build test race fmt lint ci golden bench bench-smoke bench-compare
+.PHONY: all build test race fmt lint ci golden bench bench-smoke bench-compare speccover speccover-update
 
 all: build
 
@@ -83,8 +83,21 @@ bench-compare:
 bench-smoke:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkEngineThroughput' -benchtime=1x .
 
+# speccover measures specification transition coverage (scenario
+# suite + synthesized witness traces, merged with static product
+# reachability) and gates on the committed SPEC_COVERAGE.json
+# baseline. Witness traces land in coverage-traces/ for inspection and
+# replay via `vids -replay`.
+speccover:
+	$(GO) run ./cmd/speccover -baseline SPEC_COVERAGE.json -traces coverage-traces
+
+# speccover-update regenerates the coverage baseline after a reviewed
+# specification or scenario change.
+speccover-update:
+	$(GO) run ./cmd/speccover -write SPEC_COVERAGE.json
+
 # ci reproduces .github/workflows/ci.yml locally.
-ci: lint build race bench-smoke
+ci: lint build race bench-smoke speccover
 
 # golden regenerates the spec-graph golden files after a reviewed
 # specification change.

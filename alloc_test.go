@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"vids/internal/core"
 	"vids/internal/ids"
 	"vids/internal/rtp"
 	"vids/internal/sdp"
@@ -127,6 +128,76 @@ func TestAllocBudgetIDSProcessSIP(t *testing.T) {
 	})
 	if avg > maxIDSProcessSIPAllocs {
 		t.Errorf("ids.Process(SIP) allocates %.1f/op, budget %d", avg, maxIDSProcessSIPAllocs)
+	}
+}
+
+// countingObserver is a minimal core.CoverageObserver: plain counter
+// fields, no maps, so it adds zero allocations of its own and the
+// measurement isolates the hook mechanism in Machine.Step.
+type countingObserver struct {
+	fired, emitted, attacks int
+}
+
+func (o *countingObserver) TransitionFired(machine string, from core.State, event string, to core.State, label string) {
+	o.fired++
+}
+func (o *countingObserver) DeltaEmitted(machine, target, event string) { o.emitted++ }
+func (o *countingObserver) AttackEntered(machine string, state core.State) {
+	o.attacks++
+}
+
+// TestAllocBudgetCoverageHook holds the per-RTP-packet path to the
+// same allocation budget with a coverage observer installed: the
+// Machine.Step hook must not box its string/State parameters, so
+// observing coverage costs an interface call, not an allocation. (The
+// nil-observer case — production — is covered by the other budgets in
+// this file.)
+func TestAllocBudgetCoverageHook(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	s := sim.New(1)
+	cfg := ids.DefaultConfig()
+	cfg.RTP.RatePackets = 1 << 30
+	d := ids.New(s, cfg)
+	obs := &countingObserver{}
+	d.SetCoverage(obs)
+
+	inv := benchInvite()
+	pa := sim.Addr{Host: "proxy.a.example.com", Port: 5060}
+	pb := sim.Addr{Host: "proxy.b.example.com", Port: 5060}
+	d.Process(&sim.Packet{From: pa, To: pb, Proto: sim.ProtoSIP, Size: 500, Payload: inv.Bytes()})
+	ok := sipmsg.NewResponse(inv, sipmsg.StatusOK)
+	ok.To = ok.To.WithTag("t2")
+	okContact := sipmsg.NameAddr{URI: sipmsg.URI{User: "bob", Host: "ua2.b.example.com"}}
+	ok.Contact = &okContact
+	ok.ContentType = "application/sdp"
+	ok.Body = sdp.New("bob", "ua2.b.example.com", 30000, sdp.PayloadG729).Marshal()
+	d.Process(&sim.Packet{From: pb, To: pa, Proto: sim.ProtoSIP, Size: 500, Payload: ok.Bytes()})
+
+	p := &rtp.Packet{PayloadType: 18, SSRC: 42, Payload: make([]byte, 20)}
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &sim.Packet{
+		From:  sim.Addr{Host: "ua1.a.example.com", Port: 20000},
+		To:    sim.Addr{Host: "ua2.b.example.com", Port: 30000},
+		Proto: sim.ProtoRTP, Size: len(raw), Payload: raw,
+	}
+	seq := uint16(0)
+	before := obs.fired
+	avg := testing.AllocsPerRun(200, func() {
+		seq++
+		binary.BigEndian.PutUint16(raw[2:], seq)
+		binary.BigEndian.PutUint32(raw[4:], uint32(seq)*160)
+		d.Process(pkt)
+	})
+	if avg > maxIDSProcessRTPAllocs {
+		t.Errorf("ids.Process(RTP) with observer allocates %.1f/op, budget %d", avg, maxIDSProcessRTPAllocs)
+	}
+	if obs.fired <= before {
+		t.Fatalf("observer saw no transitions (fired=%d)", obs.fired)
 	}
 }
 

@@ -13,6 +13,7 @@
 //	fsmdump -dot sip     # print one machine as DOT
 //	fsmdump -dot all     # print every machine
 //	fsmdump -depth 24    # deepen the product exploration
+//	fsmdump -witness     # print a shortest path to every attack state
 package main
 
 import (
@@ -36,6 +37,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("fsmdump", flag.ContinueOnError)
 	dot := fs.String("dot", "", "render this machine (or \"all\") as Graphviz DOT")
 	depth := fs.Int("depth", 0, "product exploration depth (0 = speclint default)")
+	witness := fs.Bool("witness", false, "print a shortest event path to every attack state")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +62,9 @@ func run(args []string) error {
 	if *depth > 0 {
 		opts.ProductDepth = *depth
 	}
+	if *witness {
+		return printWitnesses(specs, opts)
+	}
 	// The first len(SystemSpecs) specs are the communicating triple;
 	// the standalone detectors that follow are linted per-machine
 	// only.
@@ -73,10 +78,39 @@ func run(args []string) error {
 	if len(findings) > 0 {
 		for _, f := range findings {
 			fmt.Println("finding:", f)
+			if len(f.Witness) > 0 {
+				fmt.Println("  witness:", speclint.FormatWitness(f.Witness))
+			}
 		}
 		return fmt.Errorf("%d speclint finding(s)", len(findings))
 	}
 	fmt.Println("speclint: all machines and the communicating system are clean")
+	return nil
+}
+
+// printWitnesses shows, for every attack state of every machine, the
+// shortest event sequence that reaches it — the counterexample a
+// analyst replays to understand what traffic pattern each detection
+// corresponds to.
+func printWitnesses(specs []*core.Spec, opts speclint.Options) error {
+	missing := 0
+	for _, s := range specs {
+		for _, st := range s.States() {
+			if !s.IsAttack(st) {
+				continue
+			}
+			path := speclint.Witness(s, st, opts)
+			if path == nil {
+				fmt.Printf("%s %s: NO PATH\n", s.Name, st)
+				missing++
+				continue
+			}
+			fmt.Printf("%s %s:\n  %s\n", s.Name, st, speclint.FormatWitness(path))
+		}
+	}
+	if missing > 0 {
+		return fmt.Errorf("%d attack state(s) without a witness path", missing)
+	}
 	return nil
 }
 

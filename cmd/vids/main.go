@@ -21,15 +21,11 @@ import (
 	"os"
 	"reflect"
 	"strings"
-	"time"
 
 	"vids"
-	"vids/internal/attack"
 	"vids/internal/engine"
-	"vids/internal/sim"
-	"vids/internal/sipmsg"
+	"vids/internal/scenario"
 	"vids/internal/trace"
-	"vids/internal/workload"
 )
 
 func main() {
@@ -39,20 +35,14 @@ func main() {
 	}
 }
 
-var scenarioNames = []string{
-	"clean", "bye-dos", "cancel-dos", "invite-flood",
-	"media-spam", "rtp-flood", "codec-change", "hijack", "toll-fraud",
-	"drdos", "register-hijack", "rtcp-bye",
-}
-
 func run(args []string) error {
 	fs := flag.NewFlagSet("vids", flag.ContinueOnError)
 	var (
-		scenario = fs.String("scenario", "all", "attack scenario to run ("+strings.Join(scenarioNames, "|")+"|all)")
-		seed     = fs.Int64("seed", 1, "workload seed")
-		replay   = fs.String("replay", "", "analyze a captured packet trace instead of running the testbed")
-		report   = fs.String("report", "", "write the alert report (JSON) to this file")
-		shards   = fs.Int("shards", 0, "replay through the concurrent engine with N shard workers (0 = single-threaded)")
+		scenarioName = fs.String("scenario", "all", "attack scenario to run ("+strings.Join(scenario.Names, "|")+"|all)")
+		seed         = fs.Int64("seed", 1, "workload seed")
+		replay       = fs.String("replay", "", "analyze a captured packet trace instead of running the testbed")
+		report       = fs.String("report", "", "write the alert report (JSON) to this file")
+		shards       = fs.Int("shards", 0, "replay through the concurrent engine with N shard workers (0 = single-threaded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,9 +51,9 @@ func run(args []string) error {
 		return replayTrace(*replay, *report, *shards)
 	}
 
-	names := scenarioNames
-	if *scenario != "all" {
-		names = []string{*scenario}
+	names := scenario.Names
+	if *scenarioName != "all" {
+		names = []string{*scenarioName}
 	}
 	for _, name := range names {
 		if err := runScenario(name, *seed, *report); err != nil {
@@ -177,120 +167,8 @@ func replayEngine(entries []trace.Entry, report string, shards int) error {
 
 func runScenario(name string, seed int64, report string) error {
 	fmt.Printf("==== scenario: %s ====\n", name)
-
-	cfg := vids.DefaultTestbedConfig()
-	cfg.Seed = seed
-	cfg.UAs = 4
-	cfg.WithMedia = true
-	cfg.AnswerDelay = time.Second
-	if name == "cancel-dos" {
-		cfg.AnswerDelay = 20 * time.Second // keep the INVITE pending
-	}
-	tb, err := vids.NewTestbed(cfg)
+	tb, err := scenario.Run(name, scenario.Options{Seed: seed, Out: os.Stdout})
 	if err != nil {
-		return err
-	}
-	tb.IDS.OnAlert = func(a vids.Alert) { fmt.Printf("  ALERT %s\n", a) }
-
-	sniff := attack.NewSniffer()
-	tb.Net.Tap(sniff.Tap)
-	atk := attack.New(tb.Sim, tb.Net, workload.AttackerHost)
-
-	if err := tb.Sim.Run(time.Second); err != nil {
-		return err
-	}
-	rec, err := tb.PlaceCall(0, 0, 2*time.Minute)
-	if err != nil {
-		return err
-	}
-	if err := tb.Sim.Run(tb.Sim.Now() + 8*time.Second); err != nil {
-		return err
-	}
-
-	call := rec.Call()
-	info := attack.DialogInfo{
-		CallID:          call.ID,
-		CallerTag:       call.LocalTag,
-		CalleeTag:       call.RemoteTag,
-		CallerAOR:       sipmsg.URI{User: workload.UAUser("a", 1), Host: workload.DomainA},
-		CalleeAOR:       sipmsg.URI{User: workload.UAUser("b", 1), Host: workload.DomainB},
-		CallerHost:      workload.UAHost("a", 1),
-		CalleeHost:      call.RemoteContact.Host,
-		CallerMediaPort: call.LocalRTPPort,
-	}
-	if call.RemoteSDP != nil {
-		if audio, ok := call.RemoteSDP.FirstAudio(); ok {
-			info.CalleeMediaPort = audio.Port
-		}
-	}
-	if st, ok := sniff.Stream(sim.Addr{Host: info.CalleeHost, Port: info.CalleeMediaPort}); ok {
-		info.SSRC, info.LastSeq, info.LastTS = st.SSRC, st.LastSeq, st.LastTS
-	}
-
-	switch name {
-	case "clean":
-		fmt.Println("  (no attack injected)")
-	case "bye-dos":
-		fmt.Println("  attacker: fully spoofed BYE impersonating the caller")
-		if err := atk.ByeDoS(info, true); err != nil {
-			return err
-		}
-	case "cancel-dos":
-		fmt.Println("  attacker: forged CANCEL for the pending INVITE")
-		if err := atk.CancelDoS(info, "z9hG4bKforged",
-			sim.Addr{Host: workload.ProxyBHost, Port: 5060}, ""); err != nil {
-			return err
-		}
-	case "invite-flood":
-		fmt.Println("  attacker: 40 INVITEs in 400ms at one phone")
-		atk.InviteFlood(sipmsg.URI{User: workload.UAUser("b", 2), Host: workload.DomainB},
-			sim.Addr{Host: workload.ProxyBHost, Port: 5060}, 40, 10*time.Millisecond)
-	case "media-spam":
-		fmt.Println("  attacker: fabricated RTP with sniffed SSRC, jumped seq/timestamp")
-		atk.MediaSpam(info, 20, 20*time.Millisecond)
-	case "rtp-flood":
-		fmt.Println("  attacker: RTP at 10x the codec rate")
-		atk.RTPFlood(info, 500, 2*time.Millisecond, false)
-	case "codec-change":
-		fmt.Println("  attacker: RTP with a non-negotiated payload type")
-		atk.RTPFlood(info, 10, 20*time.Millisecond, true)
-	case "hijack":
-		fmt.Println("  attacker: in-dialog re-INVITE redirecting media")
-		if err := atk.Hijack(info); err != nil {
-			return err
-		}
-	case "toll-fraud":
-		fmt.Println("  misbehaving caller: BYE to stop billing, media keeps flowing")
-		if err := tb.UAsA[0].Bye(call); err != nil {
-			return err
-		}
-		attack.NewTollFraudster(attack.New(tb.Sim, tb.Net, info.CallerHost)).
-			ContinueMedia(info, 100, 20*time.Millisecond)
-	case "drdos":
-		fmt.Println("  attacker: spoofed OPTIONS to every network-A phone; responses swamp a B phone")
-		var reflectors []sim.Addr
-		for i := 1; i <= cfg.UAs; i++ {
-			reflectors = append(reflectors, sim.Addr{Host: workload.UAHost("a", i), Port: 5060})
-		}
-		atk.DRDoS(sim.Addr{Host: workload.UAHost("b", 2), Port: 5060},
-			reflectors, 8, 5*time.Millisecond)
-	case "rtcp-bye":
-		fmt.Println("  attacker: forged RTCP BYE ending the media stream, SIP untouched")
-		if err := atk.RTCPBye(info); err != nil {
-			return err
-		}
-	case "register-hijack":
-		fmt.Println("  attacker: forged REGISTER rebinding a victim's AOR to the attacker")
-		victim := sipmsg.URI{User: workload.UAUser("b", 2), Host: workload.DomainB}
-		if err := atk.HijackRegistration(victim,
-			sim.Addr{Host: workload.ProxyBHost, Port: 5060}); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown scenario (want %s)", strings.Join(scenarioNames, "|"))
-	}
-
-	if err := tb.Sim.Run(tb.Sim.Now() + 15*time.Second); err != nil {
 		return err
 	}
 	alerts := tb.IDS.Alerts()

@@ -120,7 +120,7 @@ func (a *analyzer) parseDir(dir string) ([]*ast.File, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(a.fset, filepath.Join(dir, name), nil, 0)
+		f, err := parser.ParseFile(a.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -161,6 +161,10 @@ func (a *analyzer) analyzeDir(dir string) ([]finding, error) {
 	}
 	if strings.HasSuffix(importPath, "internal/ids") {
 		out = append(out, a.checkSpecRegistry(importPath, files, info)...)
+	}
+	out = append(out, a.checkGuardPurity(files, info)...)
+	if strings.HasSuffix(importPath, "internal/ids") || strings.HasSuffix(importPath, "internal/engine") {
+		out = append(out, a.checkWallClock(files, info)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].pos.Filename != out[j].pos.Filename {

@@ -10,26 +10,41 @@
 //     internal/core — the typed accessors own the wire-type handling;
 //   - every spec builder in internal/ids must declare Final or Attack
 //     states and be reachable from the ids.Specs registry, so
-//     cmd/fsmdump and internal/speclint actually verify it.
+//     cmd/fsmdump and internal/speclint actually verify it;
+//   - transition guards (the Predicate arguments of Spec.On and
+//     OnLabeled) must be side-effect free — no Ctx.Emit, no writes to
+//     Vars or Globals — because Step evaluates every guard to prove
+//     disjointness and speclint re-runs them under synthetic probes;
+//   - simulation-driven packages (internal/ids, internal/engine) must
+//     not call time.Now or time.Sleep: detection time comes from the
+//     virtual clock so trace replay reproduces live runs exactly.
+//     Deliberate wall-clock sites carry //vidslint:allow wallclock.
 //
 // Usage:
 //
 //	vidslint ./...          # lint the whole module (the CI gate)
 //	vidslint ./internal/ids # lint one package directory
+//	vidslint -json ./...    # findings as a JSON array on stdout
 //
 // Exit status: 0 clean, 1 findings, 2 operational error.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 )
 
 func main() {
-	findings, err := run(os.Args[1:], os.Stdout)
+	fs := flag.NewFlagSet("vidslint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of file:line lines")
+	_ = fs.Parse(os.Args[1:])
+	findings, err := run(fs.Args(), *jsonOut, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vidslint:", err)
 		os.Exit(2)
@@ -39,7 +54,17 @@ func main() {
 	}
 }
 
-func run(patterns []string, out *os.File) (int, error) {
+// jsonFinding is the machine-readable shape of one diagnostic, shared
+// conceptually with cmd/speccover's -json mode: tools consuming lint
+// output parse one array of {file, line, col, msg} objects.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+func run(patterns []string, jsonOut bool, out io.Writer) (int, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -56,18 +81,30 @@ func run(patterns []string, out *os.File) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	total := 0
+	all := make([]finding, 0, 8)
 	for _, dir := range dirs {
 		findings, err := a.analyzeDir(dir)
 		if err != nil {
-			return total, err
+			return len(all), err
 		}
-		for _, f := range findings {
-			fmt.Fprintln(out, f)
-		}
-		total += len(findings)
+		all = append(all, findings...)
 	}
-	return total, nil
+	if jsonOut {
+		recs := make([]jsonFinding, len(all))
+		for i, f := range all {
+			recs[i] = jsonFinding{File: f.pos.Filename, Line: f.pos.Line, Col: f.pos.Column, Msg: f.msg}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			return len(all), err
+		}
+		return len(all), nil
+	}
+	for _, f := range all {
+		fmt.Fprintln(out, f)
+	}
+	return len(all), nil
 }
 
 // findModule walks up from dir to the enclosing go.mod and returns

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -71,6 +73,74 @@ func TestSpecRegistryFixture(t *testing.T) {
 	for _, f := range fs {
 		if strings.Contains(f.msg, "helperSpec") || strings.Contains(f.msg, "goodSpec") {
 			t.Errorf("well-formed builder flagged: %s", f)
+		}
+	}
+}
+
+func TestGuardPurityFixture(t *testing.T) {
+	a := newTestAnalyzer(t)
+	fs, err := a.analyzeDir(filepath.Join("testdata", "src", "impure"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Log(f)
+	}
+	if got := countContaining(fs, "impure guard"); got != 3 {
+		t.Errorf("guard-purity findings = %d, want 3", got)
+	}
+	if got := countContaining(fs, "calls (*core.Ctx).Emit"); got != 1 {
+		t.Errorf("emit-in-guard findings = %d, want 1", got)
+	}
+	if got := countContaining(fs, "mutates machine variables"); got != 1 {
+		t.Errorf("mutator-in-guard findings = %d, want 1", got)
+	}
+	if got := countContaining(fs, "assigns into a core.Vars map"); got != 1 {
+		t.Errorf("index-assign-in-guard findings = %d, want 1", got)
+	}
+	if len(fs) != 3 {
+		t.Errorf("total findings = %d, want 3 (PureGuard must not be flagged)", len(fs))
+	}
+}
+
+func TestWallClockFixture(t *testing.T) {
+	a := newTestAnalyzer(t)
+	fs, err := a.analyzeDir(filepath.Join("testdata", "src", "internal", "engine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Log(f)
+	}
+	if got := countContaining(fs, "virtual-clock determinism"); got != 3 {
+		t.Errorf("wall-clock findings = %d, want 3 (annotated sites must not be flagged)", got)
+	}
+	if len(fs) != 3 {
+		t.Errorf("total findings = %d, want 3", len(fs))
+	}
+}
+
+// TestJSONOutput round-trips the -json mode: run over the badpkg
+// fixture, decode the array, and check it matches the plain findings.
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run([]string{filepath.Join("testdata", "src", "badpkg")}, true, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(recs) != n || n != 8 {
+		t.Fatalf("json records = %d, run reported %d, want 8", len(recs), n)
+	}
+	for _, r := range recs {
+		if r.File == "" || r.Line <= 0 || r.Msg == "" {
+			t.Errorf("incomplete record: %+v", r)
+		}
+		if !strings.HasSuffix(r.File, ".go") {
+			t.Errorf("file field %q is not a .go path", r.File)
 		}
 	}
 }

@@ -21,6 +21,15 @@ type System struct {
 	queue []SyncMsg
 	qhead int
 
+	// maxPending is the high-water mark of the δ FIFO: the largest
+	// number of queued-but-undelivered sync messages observed since the
+	// last Reset. speclint's queue-bound witnesses replay against it.
+	maxPending int
+
+	// cover is applied to every member machine (present and future);
+	// see CoverageObserver.
+	cover CoverageObserver
+
 	results []StepResult
 }
 
@@ -42,9 +51,19 @@ func (sys *System) Add(spec *Spec) (*Machine, error) {
 		return nil, fmt.Errorf("core: duplicate machine %q", spec.Name)
 	}
 	m := NewMachine(spec, sys.globals)
+	m.cover = sys.cover
 	sys.machines[spec.Name] = m
 	sys.order = append(sys.order, spec.Name)
 	return m, nil
+}
+
+// SetCoverage installs (or, with nil, removes) a coverage observer on
+// every member machine, including machines added later.
+func (sys *System) SetCoverage(obs CoverageObserver) {
+	sys.cover = obs
+	for _, m := range sys.machines {
+		m.cover = obs
+	}
 }
 
 // Machine returns a member machine by name.
@@ -65,6 +84,22 @@ func (sys *System) Machines() []*Machine {
 // PendingSync reports queued δ messages not yet consumed.
 func (sys *System) PendingSync() int { return len(sys.queue) - sys.qhead }
 
+// MaxPendingSync reports the δ FIFO's high-water mark since the last
+// Reset: the largest backlog of sync messages that ever waited for
+// delivery. A correctly specified system keeps this small (each
+// transition emits at most a couple of δs, drained immediately);
+// speclint's delta-queue-bound check flags specs that can push it
+// past Options.MaxQueue, and its replayed witnesses assert the
+// violation through this accessor.
+func (sys *System) MaxPendingSync() int { return sys.maxPending }
+
+// noteBacklog updates the high-water mark after an enqueue.
+func (sys *System) noteBacklog() {
+	if n := len(sys.queue) - sys.qhead; n > sys.maxPending {
+		sys.maxPending = n
+	}
+}
+
 // Reset returns every member machine to its initial configuration and
 // clears the shared globals, FIFO queue and result buffer, keeping
 // all allocated capacity. Monitor pooling (internal/ids) recycles a
@@ -76,6 +111,7 @@ func (sys *System) Reset() {
 	clear(sys.globals)
 	sys.queue = sys.queue[:0]
 	sys.qhead = 0
+	sys.maxPending = 0
 	sys.results = sys.results[:0]
 }
 
@@ -111,6 +147,7 @@ func (sys *System) Deliver(machine string, e Event) ([]StepResult, error) {
 	}
 	sys.results = append(sys.results, res)
 	sys.queue = append(sys.queue, res.Emitted...)
+	sys.noteBacklog()
 
 	if err := sys.drain(); err != nil {
 		return sys.results, err
@@ -128,6 +165,7 @@ func (sys *System) DeliverSync(machine string, e Event) ([]StepResult, error) {
 	}
 	sys.results = sys.results[:0]
 	sys.queue = append(sys.queue, SyncMsg{Target: machine, Event: e})
+	sys.noteBacklog()
 	err := sys.drain()
 	return sys.results, err
 }
@@ -150,6 +188,7 @@ func (sys *System) drain() error {
 		}
 		sys.results = append(sys.results, res)
 		sys.queue = append(sys.queue, res.Emitted...)
+		sys.noteBacklog()
 	}
 	// Empty: rewind onto the same backing array so the next Deliver
 	// appends from the front instead of creeping toward a realloc.

@@ -191,7 +191,7 @@ func New(cfg Config) *Engine {
 		gone:    make(map[string]time.Duration),
 		strings: intern.New(internTableCap),
 		retain:  cfg.IDS.IdleEviction + cfg.IDS.CloseLinger,
-		start:   time.Now(),
+		start:   time.Now(), //vidslint:allow wallclock — uptime display only
 	}
 	e.fw = ids.NewFloodWatch(e.clock, cfg.IDS, func(a ids.Alert) {
 		// Runs under e.mu: FeedInvite/FeedStrayResponse and the router

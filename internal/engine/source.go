@@ -100,7 +100,7 @@ func (us *UDPSource) Run(ctx context.Context, e *Engine) error {
 	}
 	defer rtpConn.Close()
 
-	start := time.Now()
+	start := time.Now() //vidslint:allow wallclock — live capture epoch for trace timestamps
 	errc := make(chan error, 2)
 	go func() { errc <- us.pump(ctx, e, sipConn, start, false) }()
 	go func() { errc <- us.pump(ctx, e, rtpConn, start, true) }()
@@ -130,6 +130,7 @@ func (us *UDPSource) pump(ctx context.Context, e *Engine, conn net.PacketConn, s
 	}
 	buf := make([]byte, 64*1024)
 	for {
+		//vidslint:allow wallclock — OS socket deadline, not detection time
 		_ = conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
 		n, from, err := conn.ReadFrom(buf)
 		if err != nil {

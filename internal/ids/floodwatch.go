@@ -42,7 +42,21 @@ type FloodWatch struct {
 
 	args floodArgs // reusable typed event vector
 
+	cover core.CoverageObserver // left nil in production
 	raise func(Alert)
+}
+
+// SetCoverage installs obs on every existing and future counter
+// machine of the bank. Like (*IDS).SetCoverage, it is a verification
+// hook: production leaves the observer nil.
+func (fw *FloodWatch) SetCoverage(obs core.CoverageObserver) {
+	fw.cover = obs
+	for _, e := range fw.floods {
+		e.m.SetCoverage(obs)
+	}
+	for _, e := range fw.respFloods {
+		e.m.SetCoverage(obs)
+	}
 }
 
 // floodEntry pairs one windowed counter machine with its embedded T1
@@ -97,6 +111,7 @@ func (fw *FloodWatch) FeedInvite(dest, src string, now time.Duration) {
 	e, ok := fw.floods[dest]
 	if !ok {
 		e = &floodEntry{m: core.NewMachine(fw.floodSp, nil), dest: dest}
+		e.m.SetCoverage(fw.cover)
 		e.timer.Kind = timerKindFloodWindow
 		e.timer.Owner = e
 		fw.floods[dest] = e
@@ -141,6 +156,7 @@ func (fw *FloodWatch) FeedStrayResponse(m *sipmsg.Message, dest, src string, now
 	e, ok := fw.respFloods[dest]
 	if !ok {
 		e = &floodEntry{m: core.NewMachine(fw.respFloodSp, nil), dest: dest}
+		e.m.SetCoverage(fw.cover)
 		e.timer.Kind = timerKindRespFloodWindow
 		e.timer.Owner = e
 		fw.respFloods[dest] = e

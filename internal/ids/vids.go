@@ -194,6 +194,11 @@ type IDS struct {
 	// so the per-packet path reuses one stable copy per distinct key.
 	strings *intern.Table
 
+	// cover, when set via SetCoverage, observes every transition the
+	// per-call systems and standalone monitors take (spec-coverage
+	// tooling; nil in production).
+	cover core.CoverageObserver
+
 	alerts  []Alert
 	OnAlert func(Alert)
 	// OnPacket, when set, observes every packet entering Process —
@@ -250,6 +255,26 @@ func New(s *sim.Simulator, cfg Config) *IDS {
 		MachineRTPCallee: rtpSpec(MachineRTPCallee, cfg.RTP),
 	}
 	return d
+}
+
+// SetCoverage installs (or, with nil, removes) a core.CoverageObserver
+// on every machine this instance runs — resident call monitors, the
+// recycled pool, standalone spam monitors, and every monitor created
+// later. cmd/speccover uses this to measure which spec transitions the
+// test suites actually exercise; production leaves it nil, which
+// alloc_test.go pins as allocation-free.
+func (d *IDS) SetCoverage(obs core.CoverageObserver) {
+	d.cover = obs
+	for _, mon := range d.calls {
+		mon.System.SetCoverage(obs)
+	}
+	for _, mon := range d.monPool {
+		mon.System.SetCoverage(obs)
+	}
+	for _, m := range d.spamMons {
+		m.SetCoverage(obs)
+	}
+	d.fw.SetCoverage(obs)
 }
 
 // fire dispatches one expired wheel timer. Call-scoped timers carry
@@ -360,7 +385,7 @@ func (d *IDS) Process(pkt *sim.Packet) {
 	if d.OnPacket != nil {
 		d.OnPacket(pkt, d.sim.Now())
 	}
-	start := time.Now()
+	start := time.Now() //vidslint:allow wallclock — self-instrumentation, never feeds detection
 	defer func() { d.procWallTime += time.Since(start) }()
 
 	raw, ok := pkt.Payload.([]byte)
@@ -404,7 +429,7 @@ func (d *IDS) ProcessSIP(m *sipmsg.Message, pkt *sim.Packet) {
 	if d.OnPacket != nil {
 		d.OnPacket(pkt, d.sim.Now())
 	}
-	start := time.Now()
+	start := time.Now() //vidslint:allow wallclock — self-instrumentation, never feeds detection
 	defer func() { d.procWallTime += time.Since(start) }()
 
 	d.sipPackets++
@@ -741,6 +766,7 @@ func (d *IDS) handleUnsolicitedRTP(ev core.Event, pkt *sim.Packet, now time.Dura
 	if !ok {
 		key := string(d.keyBuf)
 		mon = core.NewMachine(d.spamSp, nil)
+		mon.SetCoverage(d.cover)
 		d.spamMons[key] = mon
 		d.armSweep()
 		d.raise(Alert{
@@ -785,6 +811,7 @@ func (d *IDS) newMonitor(callID string, now time.Duration) *CallMonitor {
 		mon.timerTCallee = timerwheel.Timer{Kind: timerKindTCallee, Owner: mon}
 		mon.rtcpTimer = timerwheel.Timer{Kind: timerKindRTCPGrace, Owner: mon}
 		mon.evictTimer = timerwheel.Timer{Kind: timerKindEvict, Owner: mon}
+		sys.SetCoverage(d.cover)
 	}
 	mon.CallID = d.strings.String(callID)
 	mon.Created = now

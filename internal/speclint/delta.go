@@ -21,8 +21,12 @@ type emission struct {
 // emitAlt is one distinct emission sequence a transition was observed
 // producing (different probes can exercise different branches of the
 // action, so one transition can have several alternatives — including
-// the empty one).
-type emitAlt []qmsg
+// the empty one). probe remembers the argument vector that first
+// produced the sequence, so witness paths can replay the same branch.
+type emitAlt struct {
+	msgs  []qmsg
+	probe map[string]any
+}
 
 // qmsg is a queued δ message reduced to what product exploration
 // needs: where it goes and what it is called.
@@ -72,15 +76,15 @@ func discoverEmissions(specs []*core.Spec, opts Options) *emissions {
 		perSpec := make([]([]emitAlt), len(ts))
 		for i, t := range ts {
 			if t.Do == nil {
-				perSpec[i] = []emitAlt{nil}
+				perSpec[i] = []emitAlt{{}}
 				continue
 			}
 			seen := make(map[string]bool)
 			for _, probe := range probes {
 				msgs := runRecording(t, probe, opts.ProbeGlobals)
-				alt := make(emitAlt, 0, len(msgs))
+				alt := emitAlt{msgs: make([]qmsg, 0, len(msgs)), probe: probe}
 				for _, m := range msgs {
-					alt = append(alt, qmsg{target: m.Target, name: m.Event.Name})
+					alt.msgs = append(alt.msgs, qmsg{target: m.Target, name: m.Event.Name})
 				}
 				key := altKey(alt)
 				if seen[key] {
@@ -88,7 +92,7 @@ func discoverEmissions(specs []*core.Spec, opts Options) *emissions {
 				}
 				seen[key] = true
 				perSpec[i] = append(perSpec[i], alt)
-				for _, q := range alt {
+				for _, q := range alt.msgs {
 					em.toMachine[q.target+"\x00"+q.name] = true
 					em.flat = append(em.flat, emission{
 						source: s.Name, from: t.From, event: t.Event, to: t.To,
@@ -135,6 +139,31 @@ func runRecording(t core.Transition, probe map[string]any, globals map[string]an
 			msgs = nil
 		}
 	}()
+	ctx := recordingCtx(t.Event, probe, globals)
+	t.Do(ctx)
+	return ctx.Emitted()
+}
+
+// guardHolds evaluates one transition's guard against a recording
+// context. A nil guard always holds; a panicking guard (reading
+// arguments the probe does not carry in ways that trip it) counts as
+// unsatisfied.
+func guardHolds(t core.Transition, probe map[string]any, globals map[string]any) (ok bool) {
+	if t.Guard == nil {
+		return true
+	}
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return t.Guard(recordingCtx(t.Event, probe, globals))
+}
+
+// recordingCtx builds the synthetic evaluation context probing runs
+// against: the probe as event arguments, fresh local variables, and a
+// globals store seeded from the options.
+func recordingCtx(event string, probe map[string]any, globals map[string]any) *core.Ctx {
 	args := make(map[string]any, len(probe))
 	for k, v := range probe {
 		args[k] = v
@@ -143,18 +172,16 @@ func runRecording(t core.Transition, probe map[string]any, globals map[string]an
 	for k, v := range globals {
 		g.Set(k, v)
 	}
-	ctx := &core.Ctx{
-		Event:   core.Event{Name: t.Event, Args: args},
+	return &core.Ctx{
+		Event:   core.Event{Name: event, Args: args},
 		Vars:    make(core.Vars),
 		Globals: g,
 	}
-	t.Do(ctx)
-	return ctx.Emitted()
 }
 
 func altKey(alt emitAlt) string {
 	key := ""
-	for _, q := range alt {
+	for _, q := range alt.msgs {
 		key += q.target + "\x1f" + q.name + "\x1e"
 	}
 	return key

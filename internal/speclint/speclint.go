@@ -45,6 +45,8 @@ const (
 	CheckOrphanConsumer = "orphan-delta-consumer"
 	CheckDeadlock       = "product-deadlock"
 	CheckProductAttack  = "product-unreachable-attack"
+	CheckQueueBound     = "delta-queue-bound"
+	CheckAmbiguous      = "ambiguous-transition"
 )
 
 // Finding is one diagnostic produced by the linter.
@@ -52,6 +54,12 @@ type Finding struct {
 	Machine string // spec name, or "system" for cross-machine findings
 	Check   string // one of the Check* identifiers
 	Detail  string
+
+	// Witness, when the check derives one, is the concrete event
+	// sequence that leads to the finding: a counterexample rather than
+	// a bare verdict. ReplayWitness can execute it against a fresh
+	// core.System to reproduce the finding for real.
+	Witness []WitnessStep
 }
 
 func (f Finding) String() string {
@@ -328,7 +336,8 @@ func LintSystem(specs []*core.Spec, opts Options) []Finding {
 		}
 	}
 
-	out = append(out, exploreProduct(specs, em, opts)...)
+	out = append(out, checkAmbiguity(specs, opts)...)
+	out = append(out, exploreProduct(specs, em, opts, nil)...)
 	return out
 }
 

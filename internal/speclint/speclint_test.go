@@ -285,7 +285,7 @@ func TestRealSpecsProductCoversEveryAttack(t *testing.T) {
 	cfg := ids.DefaultConfig()
 	specs := ids.SystemSpecs(cfg)
 	opts := DefaultOptions()
-	fs := exploreProduct(specs, discoverEmissions(specs, opts), opts)
+	fs := exploreProduct(specs, discoverEmissions(specs, opts), opts, nil)
 	if len(fs) != 0 {
 		t.Fatalf("product exploration findings: %v", fs)
 	}

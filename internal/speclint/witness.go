@@ -1,0 +1,213 @@
+package speclint
+
+import (
+	"fmt"
+	"strings"
+
+	"vids/internal/core"
+)
+
+// WitnessEmit is one δ message a witness step queues.
+type WitnessEmit struct {
+	Target string `json:"target"`
+	Event  string `json:"event"`
+}
+
+// WitnessStep is one step of a witness path: a concrete event fed to
+// (or delivered inside) the communicating system. A sequence of steps
+// reconstructs how the product exploration reached a finding, and
+// ReplayWitness can drive a fresh core.System along it to reproduce
+// the finding for real.
+//
+// Steps with Sync set are δ-queue deliveries the system performs by
+// itself (including Dropped messages nobody consumes): they document
+// the causality but are skipped during replay. Steps without Sync are
+// injected inputs — wire events via System.Deliver, timer/sync events
+// via System.DeliverSync — carrying the probe Args under which the
+// exploration chose the transition.
+type WitnessStep struct {
+	Machine string         `json:"machine"`
+	Event   string         `json:"event"`
+	Sync    bool           `json:"sync,omitempty"`
+	Dropped bool           `json:"dropped,omitempty"`
+	From    core.State     `json:"from,omitempty"`
+	To      core.State     `json:"to,omitempty"`
+	Label   string         `json:"label,omitempty"`
+	Args    map[string]any `json:"args,omitempty"`
+	Emits   []WitnessEmit  `json:"emits,omitempty"`
+}
+
+func (w WitnessStep) String() string {
+	var b strings.Builder
+	switch {
+	case w.Dropped:
+		fmt.Fprintf(&b, "δ %s→%s dropped (no consumer)", w.Event, w.Machine)
+	case w.Sync:
+		fmt.Fprintf(&b, "δ %s→%s: %s→%s", w.Event, w.Machine, w.From, w.To)
+	default:
+		fmt.Fprintf(&b, "%s(%s): %s→%s", w.Machine, w.Event, w.From, w.To)
+	}
+	for _, e := range w.Emits {
+		fmt.Fprintf(&b, " !%s→%s", e.Event, e.Target)
+	}
+	return b.String()
+}
+
+// FormatWitness renders a witness path as one arrow-joined line.
+func FormatWitness(steps []WitnessStep) string {
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ; ")
+}
+
+// ReplayWitness assembles a fresh core.System from specs and drives
+// it along the witness path, so a static finding can be confirmed
+// against the real execution semantics. Sync-delivery steps (Sync or
+// Dropped set) are skipped — the System's own FIFO drain performs
+// them — while injected steps are fed via Deliver, or DeliverSync for
+// timer/sync-channel events that bypass the wire.
+//
+// The system is returned even when a step errors, so callers can
+// inspect the configuration the error left behind. An
+// ErrNondeterministic from the final step is the expected reproduction
+// of an ambiguous-transition finding; callers asserting deadlocks or
+// queue-bound violations should expect a nil error and then examine
+// the machine states, PendingSync and MaxPendingSync.
+func ReplayWitness(specs []*core.Spec, witness []WitnessStep, opts Options) (*core.System, error) {
+	if opts.SyncPrefix == "" {
+		opts.SyncPrefix = "delta."
+	}
+	external := make(map[string]bool, len(opts.ExternalEvents))
+	for _, e := range opts.ExternalEvents {
+		external[e] = true
+	}
+	sys := core.NewSystem()
+	for _, s := range specs {
+		if _, err := sys.Add(s); err != nil {
+			return sys, err
+		}
+	}
+	for _, step := range witness {
+		if step.Sync || step.Dropped {
+			continue
+		}
+		ev := core.Event{Name: step.Event, Args: step.Args}
+		var err error
+		if external[step.Event] || strings.HasPrefix(step.Event, opts.SyncPrefix) {
+			_, err = sys.DeliverSync(step.Machine, ev)
+		} else {
+			_, err = sys.Deliver(step.Machine, ev)
+		}
+		if err != nil {
+			return sys, fmt.Errorf("speclint: witness step %s: %w", step, err)
+		}
+	}
+	return sys, nil
+}
+
+// Witness returns a shortest event path from the machine's initial
+// state to target, or nil when no path exists. Steps carry probe
+// arguments under which each guard holds, so where possible the path
+// replays through a real Machine (see localWitness for the fallback
+// when no probe satisfies a guard).
+func Witness(s *core.Spec, target core.State, opts Options) []WitnessStep {
+	return localWitness(s, target, opts)
+}
+
+// localWitness searches one machine's own graph (breadth-first, so
+// the path is shortest) for an event sequence from the initial state
+// to target, choosing per-step probe arguments under which the
+// transition's guard actually holds so the path replays through a
+// real Machine. Edges whose guard no probe satisfies are used only if
+// nothing else reaches the target — the path still documents the
+// graph even if replay would stall there.
+func localWitness(s *core.Spec, target core.State, opts Options) []WitnessStep {
+	type edge struct {
+		t    core.Transition
+		args map[string]any
+		ok   bool // some probe satisfies the guard
+	}
+	outgoing := make(map[core.State][]edge)
+	for _, t := range s.Transitions() {
+		args, ok := satisfyingProbe(t, opts)
+		outgoing[t.From] = append(outgoing[t.From], edge{t: t, args: args, ok: ok})
+	}
+
+	// Two passes: first only replayable edges, then any edge.
+	for pass := 0; pass < 2; pass++ {
+		type node struct {
+			state  core.State
+			parent int
+			step   WitnessStep
+		}
+		nodes := []node{{state: s.Initial, parent: -1}}
+		seen := map[core.State]bool{s.Initial: true}
+		for head := 0; head < len(nodes); head++ {
+			cur := nodes[head]
+			if cur.state == target {
+				var path []WitnessStep
+				for i := head; nodes[i].parent >= 0; i = nodes[i].parent {
+					path = append(path, nodes[i].step)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			for _, e := range outgoing[cur.state] {
+				if pass == 0 && !e.ok {
+					continue
+				}
+				if seen[e.t.To] {
+					continue
+				}
+				seen[e.t.To] = true
+				nodes = append(nodes, node{
+					state:  e.t.To,
+					parent: head,
+					step: WitnessStep{
+						Machine: s.Name, Event: e.t.Event,
+						From: e.t.From, To: e.t.To, Label: e.t.Label,
+						Args: e.args,
+					},
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// satisfyingProbe returns event arguments under which the
+// transition's guard holds: the first probe (all-zero included) that
+// satisfies it. ok is false when every probe fails — the returned
+// args then default to the richest probe for documentation value.
+func satisfyingProbe(t core.Transition, opts Options) (map[string]any, bool) {
+	if t.Guard == nil {
+		return nil, true
+	}
+	probes := make([]map[string]any, 0, len(opts.Probes)+1)
+	probes = append(probes, map[string]any{})
+	probes = append(probes, opts.Probes...)
+	for _, p := range probes {
+		if guardHolds(t, p, opts.ProbeGlobals) {
+			return copyProbe(p), true
+		}
+	}
+	if len(opts.Probes) > 0 {
+		return copyProbe(opts.Probes[len(opts.Probes)-1]), false
+	}
+	return nil, false
+}
+
+func copyProbe(p map[string]any) map[string]any {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
