@@ -36,7 +36,11 @@ fmt:
 
 # lint runs every static gate: formatting, go vet, the repo-specific
 # source analyzer (cmd/vidslint) and the EFSM specification verifier
-# (internal/speclint via cmd/fsmdump).
+# (internal/speclint via cmd/fsmdump). vidslint's whole-module run
+# includes the whole-program passes: the //vids:noalloc escape gate
+# over the hot-path call closure, the lock-discipline gate over
+# internal/engine and internal/timerwheel, the directive-freshness
+# sweep, and the alloc-ceiling drift check against alloc_test.go.
 lint: fmt
 	$(GO) vet ./...
 	$(GO) run ./cmd/vidslint ./...

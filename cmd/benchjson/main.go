@@ -15,9 +15,11 @@
 // itself failed). -merge combines several JSON reports into one (a
 // later run of the same benchmark replaces the earlier entry), so a
 // bench target built from multiple `go test -bench` invocations still
-// archives a single file. -compare diffs allocs/op in a fresh report
-// against a committed baseline and exits non-zero on a >10%
-// regression in any benchmark the baseline pins.
+// archives a single file. -compare diffs a fresh report against a
+// committed baseline: allocs/op is the hard gate (exit non-zero on a
+// >10% regression in any benchmark the baseline pins), while ns/op
+// growth past 25% only prints a warning — wall-clock time varies
+// across machines, allocation counts do not.
 package main
 
 import (
@@ -153,6 +155,12 @@ func merge(reports []*Report) *Report {
 // baseline before compare fails the run.
 const regressionTolerance = 0.10
 
+// nsTolerance is how much ns/op may grow before compare *warns*.
+// Wall-clock time is noisy across machines and CI runners, so time
+// regressions are advisory; the deterministic allocs/op count stays
+// the hard gate.
+const nsTolerance = 0.25
+
 // baseName strips the -N GOMAXPROCS suffix `go test` appends to
 // benchmark names, so a baseline recorded on one machine matches a
 // fresh run on another core count.
@@ -165,16 +173,17 @@ func baseName(name string) string {
 	return name
 }
 
-// compare diffs fresh allocs/op against every benchmark the baseline
-// pins, writing one line per comparison, and returns the list of
-// regressions past tolerance. A pinned benchmark missing from the
-// fresh run counts as a failure: a silently-skipped gate is no gate.
-func compare(baseline, fresh *Report, w io.Writer) []string {
+// compare diffs a fresh report against every benchmark the baseline
+// pins, writing one line per comparison. It returns the allocs/op
+// regressions past tolerance as failures (a pinned benchmark missing
+// from the fresh run counts too: a silently-skipped gate is no gate)
+// and ns/op growth past nsTolerance as advisory warnings — time is
+// too machine-dependent to fail on, but worth a nudge.
+func compare(baseline, fresh *Report, w io.Writer) (failures, warnings []string) {
 	freshBy := make(map[string]Benchmark)
 	for _, b := range fresh.Benchmarks {
 		freshBy[baseName(b.Name)] = b
 	}
-	var failures []string
 	for _, base := range baseline.Benchmarks {
 		name := baseName(base.Name)
 		f, ok := freshBy[name]
@@ -188,10 +197,15 @@ func compare(baseline, fresh *Report, w io.Writer) []string {
 			status = "REGRESSION"
 			failures = append(failures,
 				fmt.Sprintf("%s: allocs/op %d -> %d (budget %.1f)", name, base.AllocsPerOp, f.AllocsPerOp, limit))
+		} else if base.NsPerOp > 0 && f.NsPerOp > base.NsPerOp*(1+nsTolerance) {
+			status = "slow"
+			warnings = append(warnings,
+				fmt.Sprintf("%s: ns/op %.1f -> %.1f (+%.0f%%, advisory threshold +%.0f%%)",
+					name, base.NsPerOp, f.NsPerOp, 100*(f.NsPerOp-base.NsPerOp)/base.NsPerOp, 100*nsTolerance))
 		}
 		fmt.Fprintf(w, "%-50s allocs/op %6d -> %6d  %s\n", name, base.AllocsPerOp, f.AllocsPerOp, status)
 	}
-	return failures
+	return failures, warnings
 }
 
 func loadReport(path string) (*Report, error) {
@@ -249,7 +263,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		failures := compare(baseline, fresh, os.Stdout)
+		failures, warnings := compare(baseline, fresh, os.Stdout)
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "benchjson: warning: "+w)
+		}
 		if len(failures) > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d allocation regression(s) vs %s:\n", len(failures), flag.Arg(0))
 			for _, f := range failures {

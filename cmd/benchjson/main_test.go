@@ -121,7 +121,7 @@ func TestCompare(t *testing.T) {
 			{Name: "BenchmarkGone-8", AllocsPerOp: 2},
 		}}
 		var out strings.Builder
-		if failures := compare(baseline, fresh, &out); len(failures) != 0 {
+		if failures, _ := compare(baseline, fresh, &out); len(failures) != 0 {
 			t.Errorf("unexpected failures: %v", failures)
 		}
 		if !strings.Contains(out.String(), "BenchmarkSmall") {
@@ -136,7 +136,7 @@ func TestCompare(t *testing.T) {
 			{Name: "BenchmarkGone-8", AllocsPerOp: 2},
 		}}
 		var out strings.Builder
-		failures := compare(baseline, fresh, &out)
+		failures, _ := compare(baseline, fresh, &out)
 		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkSmall") {
 			t.Errorf("failures = %v", failures)
 		}
@@ -148,7 +148,7 @@ func TestCompare(t *testing.T) {
 			{Name: "BenchmarkSmall-8", AllocsPerOp: 18},
 			{Name: "BenchmarkGone-8", AllocsPerOp: 2},
 		}}
-		failures := compare(baseline, fresh, &strings.Builder{})
+		failures, _ := compare(baseline, fresh, &strings.Builder{})
 		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkZeroAlloc") {
 			t.Errorf("failures = %v", failures)
 		}
@@ -159,7 +159,7 @@ func TestCompare(t *testing.T) {
 			{Name: "BenchmarkZeroAlloc-8", AllocsPerOp: 0},
 			{Name: "BenchmarkSmall-8", AllocsPerOp: 18},
 		}}
-		failures := compare(baseline, fresh, &strings.Builder{})
+		failures, _ := compare(baseline, fresh, &strings.Builder{})
 		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkGone") {
 			t.Errorf("failures = %v", failures)
 		}
@@ -174,4 +174,55 @@ func TestParseSkipsNoise(t *testing.T) {
 	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkY" {
 		t.Fatalf("rep = %+v", rep)
 	}
+}
+
+// TestCompareNsWarning pins the advisory time gate: ns/op growth past
+// 25% warns without failing, growth under it stays silent, and an
+// allocs/op regression still fails regardless of timing.
+func TestCompareNsWarning(t *testing.T) {
+	baseline := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkHot-4", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkWarm-4", NsPerOp: 200, AllocsPerOp: 4},
+	}}
+
+	t.Run("slow but allocation-clean warns only", func(t *testing.T) {
+		fresh := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkHot-8", NsPerOp: 130, AllocsPerOp: 2},  // +30% ns/op
+			{Name: "BenchmarkWarm-8", NsPerOp: 240, AllocsPerOp: 4}, // +20% ns/op
+		}}
+		var out strings.Builder
+		failures, warnings := compare(baseline, fresh, &out)
+		if len(failures) != 0 {
+			t.Errorf("unexpected failures: %v", failures)
+		}
+		if len(warnings) != 1 || !strings.Contains(warnings[0], "BenchmarkHot") {
+			t.Errorf("warnings = %v, want one about BenchmarkHot", warnings)
+		}
+		if !strings.Contains(out.String(), "slow") {
+			t.Errorf("report does not mark the slow benchmark:\n%s", out.String())
+		}
+	})
+
+	t.Run("alloc regression outranks the time warning", func(t *testing.T) {
+		fresh := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkHot-8", NsPerOp: 130, AllocsPerOp: 3}, // both worse
+			{Name: "BenchmarkWarm-8", NsPerOp: 200, AllocsPerOp: 4},
+		}}
+		failures, warnings := compare(baseline, fresh, &strings.Builder{})
+		if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkHot") {
+			t.Errorf("failures = %v, want one about BenchmarkHot", failures)
+		}
+		if len(warnings) != 0 {
+			t.Errorf("warnings = %v, want none (the failure already reports the benchmark)", warnings)
+		}
+	})
+
+	t.Run("zero-ns baseline never divides", func(t *testing.T) {
+		zb := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkNew-4", AllocsPerOp: 1}}}
+		fresh := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkNew-8", NsPerOp: 50, AllocsPerOp: 1}}}
+		failures, warnings := compare(zb, fresh, &strings.Builder{})
+		if len(failures) != 0 || len(warnings) != 0 {
+			t.Errorf("failures = %v, warnings = %v, want none", failures, warnings)
+		}
+	})
 }

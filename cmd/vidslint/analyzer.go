@@ -23,6 +23,18 @@ func (f finding) String() string {
 	return fmt.Sprintf("%s: %s", f.pos, f.msg)
 }
 
+// pkgInfo retains one typechecked module package — syntax, type
+// information and the package object — so the whole-program passes
+// (the escape gate and the alloc-ceiling drift check) can traverse
+// call graphs across package boundaries after the per-package rules
+// ran.
+type pkgInfo struct {
+	path  string
+	files []*ast.File
+	info  *types.Info
+	pkg   *types.Package
+}
+
 // analyzer loads, typechecks and lints packages of one module using
 // only the standard library: go/parser for syntax, go/types for
 // semantics, and a module-aware importer that resolves in-module
@@ -36,6 +48,15 @@ type analyzer struct {
 	corePath   string // <module>/internal/core
 	std        types.ImporterFrom
 	cache      map[string]*types.Package
+
+	// pkgs retains every module package loaded in this run (explicitly
+	// analyzed or pulled in as an import), keyed by import path.
+	// analyzed marks the subset that analyzeDir was pointed at: the
+	// whole-program passes report directive staleness only there, so
+	// linting one fixture directory never blames annotations in
+	// packages it merely imports.
+	pkgs     map[string]*pkgInfo
+	analyzed map[string]bool
 }
 
 func newAnalyzer(moduleRoot, modulePath string) *analyzer {
@@ -47,6 +68,17 @@ func newAnalyzer(moduleRoot, modulePath string) *analyzer {
 		corePath:   modulePath + "/internal/core",
 		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		cache:      make(map[string]*types.Package),
+		pkgs:       make(map[string]*pkgInfo),
+		analyzed:   make(map[string]bool),
+	}
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 }
 
@@ -70,12 +102,16 @@ func (a *analyzer) ImportFrom(path, dir string, mode types.ImportMode) (*types.P
 		if err != nil {
 			return nil, err
 		}
+		info := newTypesInfo()
 		conf := types.Config{Importer: a}
-		pkg, err := conf.Check(path, a.fset, files, nil)
+		pkg, err := conf.Check(path, a.fset, files, info)
 		if err != nil {
 			return nil, err
 		}
 		a.cache[path] = pkg
+		if _, ok := a.pkgs[path]; !ok {
+			a.pkgs[path] = &pkgInfo{path: path, files: files, info: info, pkg: pkg}
+		}
 		return pkg, nil
 	}
 	pkg, err := a.std.ImportFrom(path, dir, mode)
@@ -142,16 +178,14 @@ func (a *analyzer) analyzeDir(dir string) ([]finding, error) {
 	if len(files) == 0 {
 		return nil, nil
 	}
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-	}
+	info := newTypesInfo()
 	conf := types.Config{Importer: a}
-	if _, err := conf.Check(importPath, a.fset, files, info); err != nil {
+	pkg, err := conf.Check(importPath, a.fset, files, info)
+	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
 	}
+	a.pkgs[importPath] = &pkgInfo{path: importPath, files: files, info: info, pkg: pkg}
+	a.analyzed[importPath] = true
 
 	var out []finding
 	out = append(out, a.checkDroppedErrors(files, info)...)
@@ -165,6 +199,9 @@ func (a *analyzer) analyzeDir(dir string) ([]finding, error) {
 	out = append(out, a.checkGuardPurity(files, info)...)
 	if strings.HasSuffix(importPath, "internal/ids") || strings.HasSuffix(importPath, "internal/engine") {
 		out = append(out, a.checkWallClock(files, info)...)
+	}
+	if strings.HasSuffix(importPath, "internal/engine") || strings.HasSuffix(importPath, "internal/timerwheel") {
+		out = append(out, a.checkLockDiscipline(files, info)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].pos.Filename != out[j].pos.Filename {

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The escape gate's annotation vocabulary, harvested from function doc
+// comments and body comments:
+//
+//	//vids:noalloc [note]      — escape-gate root: the whole static
+//	                             call closure of this function is
+//	                             scanned for heap-allocation sites.
+//	//vids:alloc-ok <reason>   — function level (doc comment): every
+//	                             allocation site lexically inside this
+//	                             function is justified by <reason>;
+//	                             line level (body comment): justifies
+//	                             sites on the same or the next line.
+//	//vids:coldpath <reason>   — this function is off the per-packet
+//	                             path; the closure traversal does not
+//	                             descend into it.
+//
+// Both alloc-ok and coldpath are freshness-checked like speccover
+// waivers: a directive that no longer suppresses or cuts anything is
+// itself a finding, so justifications cannot rot in place.
+const (
+	dirNoalloc  = "vids:noalloc"
+	dirAllocOK  = "vids:alloc-ok"
+	dirColdpath = "vids:coldpath"
+)
+
+// funcNode is one module function in the whole-program index.
+type funcNode struct {
+	key  string
+	pkg  *pkgInfo
+	decl *ast.FuncDecl
+
+	noalloc     bool   // //vids:noalloc root
+	hasAllocOK  bool   // function-level //vids:alloc-ok present
+	allocOK     string // its reason (may be empty — rejected by freshness)
+	hasColdpath bool   // //vids:coldpath present
+	coldpath    string // its reason
+
+	reached    bool // visited by the closure traversal
+	cut        bool // skipped as a //vids:coldpath callee at least once
+	suppressed int  // sites suppressed by the function-level alloc-ok
+}
+
+// name returns a human-readable short name (pkg.Func or
+// pkg.Type.Method) for call-graph path diagnostics.
+func (n *funcNode) name() string {
+	pkg := n.pkg.path
+	if i := strings.LastIndex(pkg, "/"); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	if n.decl.Recv != nil && len(n.decl.Recv.List) == 1 {
+		if recv := recvTypeName(n.decl.Recv.List[0].Type); recv != "" {
+			return pkg + ".(" + recv + ")." + n.decl.Name.Name
+		}
+	}
+	return pkg + "." + n.decl.Name.Name
+}
+
+// program is the whole-module function index plus the line-level
+// suppression waivers, built once after all requested directories were
+// analyzed.
+type program struct {
+	funcs   map[string]*funcNode
+	waivers *waiverSet
+
+	// reached/parent record the escape traversal: which functions the
+	// noalloc closure visited and through which caller, for
+	// root-to-site path diagnostics.
+	parent map[string]string
+	rootOf map[string]string
+}
+
+// funcKey names a function unambiguously across type-checker runs:
+// package path, receiver type name (if any), function name. String
+// keys make the index robust against the same package being
+// typechecked more than once (imported first, analyzed later), which
+// yields distinct types.Func objects for one source function.
+func funcKey(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.FullName()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.FullName()
+}
+
+// recvTypeName extracts the receiver type name from a FuncDecl
+// receiver field ("*Wheel" and "Wheel" both yield "Wheel").
+func recvTypeName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver, unused in this module
+		return recvTypeName(e.X)
+	}
+	return ""
+}
+
+// directiveText returns the payload after a //vids:<name> marker, or
+// ("", false) when the comment is not that directive. The reason may
+// be empty ("", true) — the freshness check rejects that separately.
+func directiveText(comment, directive string) (string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	if text == directive {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(text, directive+" "); ok {
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// buildProgram indexes every function declaration of every module
+// package loaded so far and harvests the escape-gate directives.
+func (a *analyzer) buildProgram() *program {
+	prog := &program{
+		funcs:   make(map[string]*funcNode),
+		waivers: newWaiverSet(),
+		parent:  make(map[string]string),
+		rootOf:  make(map[string]string),
+	}
+	paths := make([]string, 0, len(a.pkgs))
+	for p := range a.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		pi := a.pkgs[p]
+		for _, f := range pi.files {
+			prog.waivers.collectFile(a, pi, f)
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pi.info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &funcNode{key: funcKey(fn), pkg: pi, decl: fd}
+				if fd.Doc != nil {
+					for _, c := range fd.Doc.List {
+						if _, ok := directiveText(c.Text, dirNoalloc); ok {
+							node.noalloc = true
+						}
+						if reason, ok := directiveText(c.Text, dirAllocOK); ok {
+							node.hasAllocOK, node.allocOK = true, reason
+						}
+						if reason, ok := directiveText(c.Text, dirColdpath); ok {
+							node.hasColdpath, node.coldpath = true, reason
+						}
+					}
+				}
+				if _, dup := prog.funcs[node.key]; !dup {
+					prog.funcs[node.key] = node
+				}
+			}
+		}
+	}
+	return prog
+}
+
+// pathTo renders the BFS call path from the traversal root down to
+// key, e.g. "sipmsg.Parse → sipmsg.parseHeaderLine".
+func (prog *program) pathTo(key string) string {
+	var chain []string
+	for cur := key; cur != ""; cur = prog.parent[cur] {
+		node := prog.funcs[cur]
+		if node == nil {
+			break
+		}
+		chain = append(chain, node.name())
+		if prog.parent[cur] == cur {
+			break
+		}
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return strings.Join(chain, " → ")
+}
+
+// programFindings runs the whole-program passes over everything loaded
+// so far: the escape/allocation gate over the //vids:noalloc closure,
+// directive freshness, and — when the real internal/ids package was
+// among the analyzed directories (i.e. a module-wide lint, not a
+// fixture run) — the alloc-ceiling drift gate against alloc_test.go.
+func (a *analyzer) programFindings() ([]finding, error) {
+	prog := a.buildProgram()
+	out := a.checkEscape(prog)
+	if a.analyzed[a.modulePath+"/internal/ids"] {
+		fs, err := a.checkAllocDrift(prog)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	sortFindings(a, out)
+	return out, nil
+}
+
+func sortFindings(a *analyzer, out []finding) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos.Filename != out[j].pos.Filename {
+			return out[i].pos.Filename < out[j].pos.Filename
+		}
+		if out[i].pos.Offset != out[j].pos.Offset {
+			return out[i].pos.Offset < out[j].pos.Offset
+		}
+		return out[i].msg < out[j].msg
+	})
+}

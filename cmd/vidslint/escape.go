@@ -1,0 +1,545 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The escape gate's model of the Go allocator, tuned for this
+// repository's hot-path idioms (PRs 3–4):
+//
+//   - make/new, &T{...}, map and slice literals, string concatenation,
+//     go statements, function literals and bound-method values are
+//     allocation sites.
+//   - append is accepted only in the self-append form
+//     `x = append(x, ...)` / `x = append(x[:0], ...)`: growth is
+//     amortized against reused capacity, which the AllocsPerRun
+//     ceilings in alloc_test.go bound at runtime. Any other append
+//     destination is a finding.
+//   - string([]byte) / []byte(string) conversions are findings except
+//     in the two forms the compiler compiles allocation-free: a map
+//     index key `m[string(b)]` and a comparison operand
+//     `string(b) == s`.
+//   - converting, passing or returning a non-pointer-shaped value as
+//     an interface boxes it; pointers, maps, channels and funcs fit in
+//     the interface word and do not.
+//   - calls the analysis cannot resolve statically — function values,
+//     interface methods — are findings: an unprovable callee is an
+//     unproven hot path.
+//   - calls out of the module are findings unless the package or
+//     function is on the allocation-free allowlist below.
+//
+// Map iteration and value-struct composite literals are deliberately
+// not flagged: neither allocates (a non-escaping struct literal lives
+// in its frame; flagging every one would drown the signal).
+
+// noallocPackages are non-module packages whose exported API is
+// allocation-free for the operations the hot path uses (atomics,
+// arithmetic, fixed-width codecs, intrusive-heap maintenance).
+var noallocPackages = map[string]bool{
+	"sync":            true,
+	"sync/atomic":     true,
+	"math":            true,
+	"math/bits":       true,
+	"time":            true, // Duration arithmetic; wall-clock reads are checkWallClock's concern
+	"encoding/binary": true,
+	"container/heap":  true, // pointer-shaped elements only; sim's event heap qualifies
+	"unicode/utf8":    true,
+}
+
+// noallocFuncs allowlists individual non-module functions from
+// packages that also export allocating APIs.
+var noallocFuncs = map[string]bool{
+	"strconv.AppendInt":   true,
+	"strconv.AppendUint":  true,
+	"bytes.Index":         true,
+	"bytes.IndexByte":     true,
+	"bytes.LastIndexByte": true,
+	"bytes.Equal":         true,
+	"bytes.Compare":       true,
+	"bytes.HasPrefix":     true,
+	"bytes.HasSuffix":     true,
+	"bytes.Contains":      true,
+	"bytes.TrimSpace":     true, // returns a subslice
+	"strings.Index":       true,
+	"strings.IndexByte":   true,
+	"strings.LastIndex":   true,
+	"strings.EqualFold":   true,
+	"strings.Compare":     true,
+	"strings.HasPrefix":   true,
+	"strings.HasSuffix":   true,
+	"strings.Contains":    true,
+	"strings.Count":       true,
+	"strings.TrimSpace":   true, // returns a substring
+	"strings.TrimPrefix":  true,
+	"strings.TrimSuffix":  true,
+	"strings.CutPrefix":   true,
+	"strings.CutSuffix":   true,
+	"strings.Cut":         true,
+	"strings.IndexAny":    true,
+	"strings.Trim":        true, // returns a substring
+	"strconv.Atoi":        true, // allocates only in its *NumError return
+	"errors.Is":           true,
+	"sort.Search":         true,
+}
+
+// escapePass walks the static call closure of every //vids:noalloc
+// root and reports potential heap-allocation sites with the call path
+// from the root, so a reviewer sees *why* a function is hot before
+// judging the justification.
+type escapePass struct {
+	a        *analyzer
+	prog     *program
+	findings []finding
+}
+
+// checkEscape runs the allocation/escape gate: BFS over the static
+// call graph from the annotated roots, scanning each function body
+// once, then the directive-freshness sweep.
+func (a *analyzer) checkEscape(prog *program) []finding {
+	ep := &escapePass{a: a, prog: prog}
+	var roots []string
+	for k, n := range prog.funcs {
+		if n.noalloc && a.analyzed[n.pkg.path] {
+			roots = append(roots, k)
+		}
+	}
+	sort.Strings(roots)
+	queue := make([]string, 0, len(roots))
+	for _, r := range roots {
+		prog.rootOf[r] = r
+		queue = append(queue, r)
+	}
+	seen := make(map[string]bool)
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		node := prog.funcs[key]
+		if node == nil {
+			continue
+		}
+		node.reached = true
+		callees := ep.scanFunc(node)
+		sort.Strings(callees)
+		for _, c := range callees {
+			if seen[c] {
+				continue
+			}
+			if _, known := prog.parent[c]; !known {
+				prog.parent[c] = key
+				prog.rootOf[c] = prog.rootOf[key]
+			}
+			queue = append(queue, c)
+		}
+	}
+	ep.findings = append(ep.findings, prog.waivers.staleness(a, prog)...)
+	return ep.findings
+}
+
+// site records one potential allocation finding, honoring line-level
+// waivers first and the enclosing function-level alloc-ok second.
+func (ep *escapePass) site(node *funcNode, pos token.Pos, what string) {
+	p := ep.a.fset.Position(pos)
+	if w := ep.prog.waivers.lookup(p); w != nil {
+		return
+	}
+	if node.hasAllocOK {
+		node.suppressed++
+		return
+	}
+	ep.findings = append(ep.findings, finding{
+		pos: p,
+		msg: fmt.Sprintf("noalloc: %s [hot path: %s]; justify with //vids:alloc-ok <reason> or restructure", what, ep.prog.pathTo(node.key)),
+	})
+}
+
+// scanFunc scans one function body for allocation sites and returns
+// the keys of module functions it statically calls.
+func (ep *escapePass) scanFunc(node *funcNode) []string {
+	info := node.pkg.info
+	var callees []string
+	selfAppend := make(map[ast.Expr]bool)
+	var stack []ast.Node
+	var sigs []*types.Signature
+	if fn, ok := info.Defs[node.decl.Name].(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			sigs = append(sigs, sig)
+		}
+	}
+
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			if _, wasLit := stack[len(stack)-1].(*ast.FuncLit); wasLit && len(sigs) > 0 {
+				sigs = sigs[:len(sigs)-1]
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		parent := parentSkippingParens(stack)
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			ep.site(node, x.Pos(), "function literal allocates a closure")
+			sig, _ := info.TypeOf(x).(*types.Signature)
+			sigs = append(sigs, sig)
+
+		case *ast.GoStmt:
+			ep.site(node, x.Pos(), "go statement allocates a goroutine")
+
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, isLit := ast.Unparen(x.X).(*ast.CompositeLit); isLit {
+					ep.site(node, x.Pos(), "composite literal escapes to the heap (&T{...})")
+				}
+			}
+
+		case *ast.CompositeLit:
+			if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				break // already flagged at the & above
+			}
+			switch info.TypeOf(x).Underlying().(type) {
+			case *types.Map:
+				ep.site(node, x.Pos(), "map literal allocates")
+			case *types.Slice:
+				ep.site(node, x.Pos(), "slice literal allocates its backing array")
+			}
+
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info.TypeOf(x)) {
+				if tv, ok := info.Types[x]; !ok || tv.Value == nil { // constants fold at compile time
+					ep.site(node, x.Pos(), "string concatenation allocates")
+				}
+			}
+
+		case *ast.SelectorExpr:
+			if sel := info.Selections[x]; sel != nil && sel.Kind() == types.MethodVal && !isCallFun(stack, x) {
+				ep.site(node, x.Pos(), "method value allocates a bound-method closure")
+			}
+
+		case *ast.AssignStmt:
+			ep.scanAssign(node, x, info, selfAppend)
+
+		case *ast.ReturnStmt:
+			if len(sigs) > 0 {
+				ep.scanReturn(node, x, sigs[len(sigs)-1], info)
+			}
+
+		case *ast.CallExpr:
+			ep.classifyCall(node, x, parent, info, &callees, selfAppend)
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return callees
+}
+
+// scanAssign handles the assignment-borne rules: self-append
+// recognition, map-growth on index assignment, and interface boxing.
+func (ep *escapePass) scanAssign(node *funcNode, as *ast.AssignStmt, info *types.Info, selfAppend map[ast.Expr]bool) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin &&
+					types.ExprString(as.Lhs[i]) == types.ExprString(appendBase(call.Args[0])) {
+					selfAppend[call] = true
+				}
+			}
+		}
+	}
+	for _, lhs := range as.Lhs {
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if _, isMap := info.TypeOf(idx.X).Underlying().(*types.Map); isMap {
+				ep.site(node, idx.Pos(), "map assignment may grow the bucket array")
+			}
+		}
+	}
+	if len(as.Lhs) == len(as.Rhs) && as.Tok == token.ASSIGN {
+		for i, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			lt := info.TypeOf(lhs)
+			if lt == nil || !types.IsInterface(lt) {
+				continue
+			}
+			if boxes(info, as.Rhs[i]) {
+				ep.site(node, as.Rhs[i].Pos(), fmt.Sprintf("assigning %s into an interface boxes it", info.TypeOf(as.Rhs[i])))
+			}
+		}
+	}
+}
+
+// scanReturn flags returns that box a concrete value into an
+// interface-typed result.
+func (ep *escapePass) scanReturn(node *funcNode, ret *ast.ReturnStmt, sig *types.Signature, info *types.Info) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return // naked return or multi-value passthrough: nothing new escapes here
+	}
+	for i, res := range ret.Results {
+		rt := sig.Results().At(i).Type()
+		if !types.IsInterface(rt) {
+			continue
+		}
+		if boxes(info, res) {
+			ep.site(node, res.Pos(), fmt.Sprintf("returning %s as %s boxes it", info.TypeOf(res), rt))
+		}
+	}
+}
+
+// classifyCall dispatches one call expression: conversions, builtins,
+// static module/stdlib calls, and the dynamic calls the analysis
+// cannot follow.
+func (ep *escapePass) classifyCall(node *funcNode, call *ast.CallExpr, parent ast.Node, info *types.Info, callees *[]string, selfAppend map[ast.Expr]bool) {
+	funExpr := ast.Unparen(call.Fun)
+
+	if tv, ok := info.Types[funExpr]; ok && tv.IsType() {
+		ep.checkConversion(node, call, tv.Type, parent, info)
+		return
+	}
+	if _, ok := funExpr.(*ast.FuncLit); ok {
+		return // the literal itself was flagged; its body is scanned inline
+	}
+
+	switch fx := funExpr.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fx].(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "make":
+				ep.site(node, call.Pos(), "make allocates")
+			case "new":
+				ep.site(node, call.Pos(), "new allocates")
+			case "append":
+				if !selfAppend[call] {
+					ep.site(node, call.Pos(), "append whose result is not reassigned to its own operand allocates or copies")
+				}
+			}
+			return
+		case *types.Func:
+			ep.staticCall(node, call, obj, info, callees)
+			return
+		case *types.Var:
+			ep.site(node, call.Pos(), fmt.Sprintf("dynamic call through function value %s cannot be proven allocation-free", fx.Name))
+			return
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fx]; sel != nil {
+			switch sel.Kind() {
+			case types.MethodVal:
+				if types.IsInterface(sel.Recv()) {
+					ep.site(node, call.Pos(), fmt.Sprintf("interface method call %s cannot be statically resolved", fx.Sel.Name))
+					return
+				}
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					ep.staticCall(node, call, fn, info, callees)
+					return
+				}
+			case types.FieldVal:
+				ep.site(node, call.Pos(), fmt.Sprintf("dynamic call through function field %s cannot be proven allocation-free", fx.Sel.Name))
+				return
+			case types.MethodExpr:
+				// T.Method used as a call target: resolves statically.
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					ep.staticCall(node, call, fn, info, callees)
+					return
+				}
+			}
+		}
+		if fn, ok := info.Uses[fx.Sel].(*types.Func); ok {
+			ep.staticCall(node, call, fn, info, callees)
+			return
+		}
+		if _, ok := info.Uses[fx.Sel].(*types.Var); ok {
+			ep.site(node, call.Pos(), fmt.Sprintf("dynamic call through function variable %s cannot be proven allocation-free", fx.Sel.Name))
+			return
+		}
+	}
+	ep.site(node, call.Pos(), "dynamic call through a computed function value cannot be proven allocation-free")
+}
+
+// staticCall handles a statically resolved callee: module functions
+// join the traversal (unless //vids:coldpath cuts them), non-module
+// callees must be allowlisted, and interface-typed parameters are
+// checked for boxing.
+func (ep *escapePass) staticCall(node *funcNode, call *ast.CallExpr, fn *types.Func, info *types.Info, callees *[]string) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return // error.Error and friends from the universe scope
+	}
+	path := pkg.Path()
+	sig, _ := fn.Type().(*types.Signature)
+	if path == ep.a.modulePath || strings.HasPrefix(path, ep.a.modulePath+"/") {
+		key := funcKey(fn)
+		callee := ep.prog.funcs[key]
+		switch {
+		case callee == nil:
+			ep.site(node, call.Pos(), fmt.Sprintf("call to %s has no body in the module index (generated or assembly?)", fn.FullName()))
+		case callee.hasColdpath:
+			callee.cut = true
+		default:
+			*callees = append(*callees, key)
+		}
+		ep.checkArgBoxing(node, call, sig, info)
+		return
+	}
+	if noallocPackages[path] || noallocFuncs[path+"."+fn.Name()] {
+		ep.checkArgBoxing(node, call, sig, info)
+		return
+	}
+	ep.site(node, call.Pos(), fmt.Sprintf("call into %s.%s is not on the allocation-free allowlist", path, fn.Name()))
+}
+
+// checkArgBoxing flags arguments boxed into interface-typed
+// parameters, and variadic calls that materialize an argument slice.
+func (ep *escapePass) checkArgBoxing(node *funcNode, call *ast.CallExpr, sig *types.Signature, info *types.Info) {
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through whole; no per-element boxing
+			}
+			if i == params.Len()-1 && params.Len() > 0 {
+				ep.site(node, call.Args[i].Pos(), "variadic call allocates its argument slice")
+			}
+			if params.Len() > 0 {
+				if sl, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if boxes(info, arg) {
+			ep.site(node, arg.Pos(), fmt.Sprintf("argument boxes %s into %s", info.TypeOf(arg), pt))
+		}
+	}
+}
+
+// checkConversion applies the conversion rules: interface boxing, and
+// string↔bytes copies outside the compiler's allocation-free forms.
+func (ep *escapePass) checkConversion(node *funcNode, call *ast.CallExpr, target types.Type, parent ast.Node, info *types.Info) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if types.IsInterface(target) {
+		if boxes(info, call.Args[0]) {
+			ep.site(node, call.Pos(), fmt.Sprintf("conversion boxes %s into %s", src, target))
+		}
+		return
+	}
+	tu, su := target.Underlying(), src.Underlying()
+	s2b := isStringType(tu) && isBytesType(su)
+	b2s := isBytesType(tu) && isStringType(su)
+	if !s2b && !b2s {
+		return
+	}
+	switch p := parent.(type) {
+	case *ast.IndexExpr:
+		if _, isMap := info.TypeOf(p.X).Underlying().(*types.Map); isMap && ast.Unparen(p.Index) == call {
+			return // m[string(b)]: the compiler probes without materializing the key
+		}
+	case *ast.BinaryExpr:
+		switch p.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return // string(b) == s: compiled as a byte comparison
+		}
+	}
+	ep.site(node, call.Pos(), fmt.Sprintf("conversion %s(%s) copies", target, src))
+}
+
+// boxes reports whether storing expr in an interface allocates: true
+// for concrete non-pointer-shaped values, false for nil, existing
+// interfaces and word-sized reference types.
+func boxes(info *types.Info, expr ast.Expr) bool {
+	if tv, ok := info.Types[expr]; ok && tv.IsNil() {
+		return false
+	}
+	t := info.TypeOf(expr)
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	return !pointerShaped(t)
+}
+
+// pointerShaped reports whether t occupies exactly one pointer word,
+// making interface conversion a header write instead of an allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// appendBase strips slicing from an append destination so
+// `x = append(x[:0], ...)` is recognized as self-append.
+func appendBase(expr ast.Expr) ast.Expr {
+	e := ast.Unparen(expr)
+	for {
+		sl, ok := e.(*ast.SliceExpr)
+		if !ok {
+			return e
+		}
+		e = ast.Unparen(sl.X)
+	}
+}
+
+// parentSkippingParens returns the nearest non-paren ancestor on the
+// walk stack.
+func parentSkippingParens(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// isCallFun reports whether sel is (possibly through parentheses) the
+// callee position of the nearest enclosing call expression.
+func isCallFun(stack []ast.Node, sel ast.Expr) bool {
+	if call, ok := parentSkippingParens(stack).(*ast.CallExpr); ok {
+		return ast.Unparen(call.Fun) == sel
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isBytesType(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	el, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (el.Kind() == types.Byte || el.Kind() == types.Rune || el.Kind() == types.Uint8 || el.Kind() == types.Int32)
+}

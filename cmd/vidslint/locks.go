@@ -1,0 +1,677 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The concurrency-discipline gate, run over internal/engine and
+// internal/timerwheel (and their fixtures). It models the repo's
+// locking vocabulary:
+//
+//   - A lock is identified by (owning struct type, mutex field) —
+//     "Engine.mu", "shard.mu" — so every instance of a struct shares
+//     one discipline.
+//   - A *queue lock* is a mutex declared in a struct that also carries
+//     sync.Cond fields (the shard ring buffer). Queue locks guard
+//     bounded hand-off state, so while one is held the gate forbids
+//     blocking channel operations, select, and dynamic calls
+//     (callbacks) — any of which can stall every producer parked on
+//     the condition variable.
+//   - Lock-order edges are observed whenever a mutex is acquired while
+//     another is held (directly or through a same-package callee's
+//     transitive acquire summary). `//vids:lockorder A -> B` declares
+//     an edge the analysis cannot see — e.g. a callback registered at
+//     construction time that runs under A and takes B. Cycles in the
+//     combined graph are deadlocks-in-waiting and are reported.
+//   - sync.Cond.Wait must sit inside a for statement: Wait's contract
+//     allows spurious wakeups, so an if-guarded Wait is a latent race.
+//   - No goroutine may be launched while any lock is held.
+//
+// The held-set walk is intraprocedural and source-ordered with a
+// branch-local approximation: Lock/Unlock effects inside a branch do
+// not leak past it, and a deferred Unlock keeps the lock held to the
+// end of the function. Function literals are analyzed as separate
+// bodies with an empty held set (they run at an unknown later time).
+type lockPass struct {
+	a     *analyzer
+	info  *types.Info
+	files []*ast.File
+
+	findings   []finding
+	queueLocks map[string]bool
+	// edges[from][to] is the position where the ordering from→to was
+	// first observed or declared.
+	edges     map[string]map[string]token.Position
+	summaries map[string]map[string]bool // funcKey → locks (transitively) acquired
+	decls     map[string]*ast.FuncDecl   // same-package funcKey → decl
+	pending   []*ast.FuncLit             // literals queued for separate walks
+}
+
+// checkLockDiscipline runs the concurrency gate over one package.
+func (a *analyzer) checkLockDiscipline(files []*ast.File, info *types.Info) []finding {
+	lp := &lockPass{
+		a:          a,
+		info:       info,
+		files:      files,
+		queueLocks: make(map[string]bool),
+		edges:      make(map[string]map[string]token.Position),
+		summaries:  make(map[string]map[string]bool),
+		decls:      make(map[string]*ast.FuncDecl),
+	}
+	lp.findQueueLocks()
+	lp.collectDeclaredEdges()
+	lp.buildSummaries()
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lp.walkBody(fd.Body, make(map[string]token.Position), 0)
+		}
+	}
+	for len(lp.pending) > 0 {
+		lit := lp.pending[0]
+		lp.pending = lp.pending[1:]
+		lp.walkBody(lit.Body, make(map[string]token.Position), 0)
+	}
+	lp.detectCycles()
+	sort.Slice(lp.findings, func(i, j int) bool {
+		if lp.findings[i].pos.Filename != lp.findings[j].pos.Filename {
+			return lp.findings[i].pos.Filename < lp.findings[j].pos.Filename
+		}
+		if lp.findings[i].pos.Offset != lp.findings[j].pos.Offset {
+			return lp.findings[i].pos.Offset < lp.findings[j].pos.Offset
+		}
+		return lp.findings[i].msg < lp.findings[j].msg
+	})
+	return lp.findings
+}
+
+// findQueueLocks marks every mutex field declared in a struct that
+// also carries sync.Cond state.
+func (lp *lockPass) findQueueLocks() {
+	for _, f := range lp.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var mutexes []string
+			hasCond := false
+			for _, field := range st.Fields.List {
+				t := lp.info.TypeOf(field.Type)
+				if t == nil {
+					continue
+				}
+				if isSyncNamed(t, "Cond") {
+					hasCond = true
+				}
+				if isSyncNamed(t, "Mutex") || isSyncNamed(t, "RWMutex") {
+					for _, name := range field.Names {
+						mutexes = append(mutexes, ts.Name.Name+"."+name.Name)
+					}
+				}
+			}
+			if hasCond {
+				for _, m := range mutexes {
+					lp.queueLocks[m] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectDeclaredEdges harvests `//vids:lockorder A -> B` directives.
+func (lp *lockPass) collectDeclaredEdges() {
+	for _, f := range lp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				payload, ok := directiveText(c.Text, "vids:lockorder")
+				if !ok {
+					continue
+				}
+				from, to, found := strings.Cut(payload, "->")
+				from, to = strings.TrimSpace(from), strings.TrimSpace(to)
+				if !found || from == "" || to == "" {
+					lp.findings = append(lp.findings, finding{
+						pos: lp.a.fset.Position(c.Pos()),
+						msg: "//vids:lockorder needs the form `//vids:lockorder Type.field -> Type.field`",
+					})
+					continue
+				}
+				lp.addEdge(from, to, lp.a.fset.Position(c.Pos()))
+			}
+		}
+	}
+}
+
+// buildSummaries computes, per function, the set of locks it may
+// acquire directly or through same-package static callees (fixpoint).
+// Function literals are excluded: they run at an unknown time, not at
+// their creation site.
+func (lp *lockPass) buildSummaries() {
+	calls := make(map[string]map[string]bool) // caller key → callee keys
+	for _, f := range lp.files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := lp.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			key := funcKey(fn)
+			lp.decls[key] = fd
+			direct := make(map[string]bool)
+			callees := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, method, ok := lp.lockOp(call); ok && (method == "Lock" || method == "RLock") {
+					direct[id] = true
+				}
+				if callee := lp.staticCalleeKey(call); callee != "" {
+					callees[callee] = true
+				}
+				return true
+			})
+			lp.summaries[key] = direct
+			calls[key] = callees
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for caller, callees := range calls {
+			sum := lp.summaries[caller]
+			for callee := range callees {
+				for l := range lp.summaries[callee] {
+					if !sum[l] {
+						sum[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// staticCalleeKey resolves a call to a same-package function or
+// method declared in the files under analysis, else "".
+func (lp *lockPass) staticCalleeKey(call *ast.CallExpr) string {
+	var obj types.Object
+	switch fx := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = lp.info.Uses[fx]
+	case *ast.SelectorExpr:
+		if sel := lp.info.Selections[fx]; sel != nil && sel.Kind() == types.MethodVal {
+			obj = sel.Obj()
+		} else {
+			obj = lp.info.Uses[fx.Sel]
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	key := funcKey(fn)
+	if _, samePkg := lp.summaries[key]; samePkg {
+		return key
+	}
+	if _, samePkg := lp.decls[key]; samePkg {
+		return key
+	}
+	return ""
+}
+
+// lockOp classifies a call as a mutex or condition-variable operation:
+// it returns the lock/cond identity ("Type.field") and the method name
+// (Lock, Unlock, RLock, RUnlock, Wait, Signal, Broadcast).
+func (lp *lockPass) lockOp(call *ast.CallExpr) (string, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	fn, ok := lp.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", false
+	}
+	recv := sig.Recv().Type()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex", "Cond":
+		return lp.lockIdent(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// lockIdent names the mutex/cond operand: "Type.field" when it is a
+// struct field, otherwise the expression text (local locks).
+func (lp *lockPass) lockIdent(expr ast.Expr) string {
+	if sel, ok := ast.Unparen(expr).(*ast.SelectorExpr); ok {
+		if s := lp.info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+			t := s.Recv()
+			if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + sel.Sel.Name
+			}
+		}
+	}
+	return types.ExprString(expr)
+}
+
+func (lp *lockPass) addEdge(from, to string, pos token.Position) {
+	m := lp.edges[from]
+	if m == nil {
+		m = make(map[string]token.Position)
+		lp.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+func (lp *lockPass) report(pos token.Pos, format string, args ...any) {
+	lp.findings = append(lp.findings, finding{pos: lp.a.fset.Position(pos), msg: fmt.Sprintf(format, args...)})
+}
+
+// heldQueueLock returns the name of a held queue lock, if any.
+func heldQueueLock(held map[string]token.Position, queue map[string]bool) string {
+	var names []string
+	for id := range held {
+		if queue[id] {
+			names = append(names, id)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0]
+}
+
+func anyHeld(held map[string]token.Position) string {
+	var names []string
+	for id := range held {
+		names = append(names, id)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return ""
+	}
+	return strings.Join(names, ", ")
+}
+
+func copyHeld(held map[string]token.Position) map[string]token.Position {
+	cp := make(map[string]token.Position, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+// walkBody walks one function (or literal) body in source order,
+// threading the held-lock set through straight-line code and giving
+// each branch its own copy.
+func (lp *lockPass) walkBody(body *ast.BlockStmt, held map[string]token.Position, loopDepth int) {
+	for _, stmt := range body.List {
+		lp.walkStmt(stmt, held, loopDepth)
+	}
+}
+
+func (lp *lockPass) walkStmt(stmt ast.Stmt, held map[string]token.Position, loopDepth int) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		lp.walkBody(s, held, loopDepth)
+	case *ast.ExprStmt:
+		lp.scanExpr(s.X, held, loopDepth, true)
+	case *ast.DeferStmt:
+		if id, method, ok := lp.lockOp(s.Call); ok && (method == "Unlock" || method == "RUnlock") {
+			_ = id // deferred unlock: the lock stays held to the end of the walk
+			return
+		}
+		lp.scanExpr(s.Call, held, loopDepth, false)
+	case *ast.GoStmt:
+		if names := anyHeld(held); names != "" {
+			lp.report(s.Pos(), "goroutine launched while holding %s: spawning under a lock hides the critical section's true extent", names)
+		}
+		// The goroutine body runs lock-free later; args evaluate now.
+		for _, arg := range s.Call.Args {
+			lp.scanExpr(arg, held, loopDepth, false)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lp.pending = append(lp.pending, lit)
+		}
+	case *ast.SendStmt:
+		if q := heldQueueLock(held, lp.queueLocks); q != "" {
+			lp.report(s.Pos(), "channel send while holding queue lock %s can block every producer parked on its condition variable", q)
+		}
+		lp.scanExpr(s.Chan, held, loopDepth, false)
+		lp.scanExpr(s.Value, held, loopDepth, false)
+	case *ast.SelectStmt:
+		if q := heldQueueLock(held, lp.queueLocks); q != "" {
+			lp.report(s.Pos(), "select while holding queue lock %s can block the shard hand-off", q)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				branch := copyHeld(held)
+				for _, st := range cc.Body {
+					lp.walkStmt(st, branch, loopDepth)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lp.walkStmt(s.Init, held, loopDepth)
+		}
+		lp.scanExpr(s.Cond, held, loopDepth, false)
+		lp.walkBody(s.Body, copyHeld(held), loopDepth)
+		if s.Else != nil {
+			lp.walkStmt(s.Else, copyHeld(held), loopDepth)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lp.walkStmt(s.Init, held, loopDepth)
+		}
+		if s.Cond != nil {
+			lp.scanExpr(s.Cond, held, loopDepth, false)
+		}
+		body := copyHeld(held)
+		lp.walkBody(s.Body, body, loopDepth+1)
+		if s.Post != nil {
+			lp.walkStmt(s.Post, body, loopDepth+1)
+		}
+	case *ast.RangeStmt:
+		lp.scanExpr(s.X, held, loopDepth, false)
+		lp.walkBody(s.Body, copyHeld(held), loopDepth+1)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lp.walkStmt(s.Init, held, loopDepth)
+		}
+		if s.Tag != nil {
+			lp.scanExpr(s.Tag, held, loopDepth, false)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				branch := copyHeld(held)
+				for _, st := range cc.Body {
+					lp.walkStmt(st, branch, loopDepth)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lp.walkStmt(s.Init, held, loopDepth)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				branch := copyHeld(held)
+				for _, st := range cc.Body {
+					lp.walkStmt(st, branch, loopDepth)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		lp.walkStmt(s.Stmt, held, loopDepth)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			lp.scanExpr(rhs, held, loopDepth, false)
+		}
+		for _, lhs := range s.Lhs {
+			lp.scanExpr(lhs, held, loopDepth, false)
+		}
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			lp.scanExpr(res, held, loopDepth, false)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lp.pending = append(lp.pending, lit)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// scanExpr examines one expression for lock operations, blocking
+// receives, dynamic calls under queue locks, and nested literals.
+// asStmt marks an expression-statement call, where Lock/Unlock mutate
+// the held set.
+func (lp *lockPass) scanExpr(expr ast.Expr, held map[string]token.Position, loopDepth int, asStmt bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.FuncLit:
+		lp.pending = append(lp.pending, e)
+		return
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			if q := heldQueueLock(held, lp.queueLocks); q != "" {
+				lp.report(e.Pos(), "channel receive while holding queue lock %s can block the shard hand-off", q)
+			}
+		}
+		lp.scanExpr(e.X, held, loopDepth, false)
+		return
+	case *ast.BinaryExpr:
+		lp.scanExpr(e.X, held, loopDepth, false)
+		lp.scanExpr(e.Y, held, loopDepth, false)
+		return
+	case *ast.CallExpr:
+		lp.scanCall(e, held, loopDepth, asStmt)
+		return
+	case *ast.IndexExpr:
+		lp.scanExpr(e.X, held, loopDepth, false)
+		lp.scanExpr(e.Index, held, loopDepth, false)
+		return
+	case *ast.SelectorExpr:
+		lp.scanExpr(e.X, held, loopDepth, false)
+		return
+	case *ast.StarExpr:
+		lp.scanExpr(e.X, held, loopDepth, false)
+		return
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				lp.scanExpr(kv.Value, held, loopDepth, false)
+			} else {
+				lp.scanExpr(el, held, loopDepth, false)
+			}
+		}
+		return
+	}
+}
+
+func (lp *lockPass) scanCall(call *ast.CallExpr, held map[string]token.Position, loopDepth int, asStmt bool) {
+	for _, arg := range call.Args {
+		lp.scanExpr(arg, held, loopDepth, false)
+	}
+	if id, method, ok := lp.lockOp(call); ok {
+		pos := lp.a.fset.Position(call.Pos())
+		switch method {
+		case "Lock", "RLock":
+			for h := range held {
+				if h == id {
+					lp.report(call.Pos(), "%s acquired while already held (self-deadlock)", id)
+					continue
+				}
+				lp.addEdge(h, id, pos)
+			}
+			if asStmt {
+				held[id] = pos
+			}
+		case "Unlock", "RUnlock":
+			if asStmt {
+				delete(held, id)
+			}
+		case "Wait":
+			if loopDepth == 0 {
+				lp.report(call.Pos(), "sync.Cond.Wait on %s outside a for loop: spurious wakeups make if-guarded waits a race", id)
+			}
+		}
+		return
+	}
+	if callee := lp.staticCalleeKey(call); callee != "" {
+		pos := lp.a.fset.Position(call.Pos())
+		for h := range held {
+			for l := range lp.summaries[callee] {
+				if h == l {
+					lp.report(call.Pos(), "call may re-acquire %s already held here (self-deadlock through %s)", h, callee)
+					continue
+				}
+				lp.addEdge(h, l, pos)
+			}
+		}
+		return
+	}
+	if lp.isDynamicCall(call) {
+		if q := heldQueueLock(held, lp.queueLocks); q != "" {
+			lp.report(call.Pos(), "callback invoked while holding queue lock %s: the callee can block or re-enter the shard", q)
+		}
+	}
+}
+
+// isDynamicCall reports whether the call target is a function value,
+// interface method, or struct function field — anything the analysis
+// cannot resolve to a declaration.
+func (lp *lockPass) isDynamicCall(call *ast.CallExpr) bool {
+	funExpr := ast.Unparen(call.Fun)
+	if tv, ok := lp.info.Types[funExpr]; ok && tv.IsType() {
+		return false // conversion
+	}
+	switch fx := funExpr.(type) {
+	case *ast.Ident:
+		switch lp.info.Uses[fx].(type) {
+		case *types.Builtin, *types.Func, *types.TypeName:
+			return false
+		case *types.Var:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if sel := lp.info.Selections[fx]; sel != nil {
+			switch sel.Kind() {
+			case types.MethodVal:
+				return types.IsInterface(sel.Recv())
+			case types.FieldVal:
+				return true
+			}
+			return false
+		}
+		switch lp.info.Uses[fx.Sel].(type) {
+		case *types.Func, *types.TypeName, *types.Builtin:
+			return false
+		case *types.Var:
+			return true
+		}
+	case *ast.FuncLit:
+		return false // body walked separately; the call itself is direct
+	}
+	return true
+}
+
+// detectCycles finds cycles in the combined observed+declared
+// lock-order graph and reports each once.
+func (lp *lockPass) detectCycles() {
+	nodes := make([]string, 0, len(lp.edges))
+	for n := range lp.edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	seenCycles := make(map[string]bool)
+
+	var visit func(n string)
+	visit = func(n string) {
+		color[n] = gray
+		stack = append(stack, n)
+		tos := make([]string, 0, len(lp.edges[n]))
+		for to := range lp.edges[n] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			switch color[to] {
+			case white:
+				visit(to)
+			case gray:
+				// Back edge: extract the cycle from the stack.
+				start := len(stack) - 1
+				for start >= 0 && stack[start] != to {
+					start--
+				}
+				if start < 0 {
+					continue
+				}
+				cycle := append([]string(nil), stack[start:]...)
+				canon := append([]string(nil), cycle...)
+				sort.Strings(canon)
+				sig := strings.Join(canon, "|")
+				if seenCycles[sig] {
+					continue
+				}
+				seenCycles[sig] = true
+				lp.findings = append(lp.findings, finding{
+					pos: lp.edges[n][to],
+					msg: fmt.Sprintf("lock-order cycle: %s → %s — acquiring in both orders deadlocks under contention", strings.Join(cycle, " → "), to),
+				})
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+}
+
+// isSyncNamed reports whether t is sync.<name> or *sync.<name>.
+func isSyncNamed(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}

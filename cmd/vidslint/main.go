@@ -89,6 +89,14 @@ func run(patterns []string, jsonOut bool, out io.Writer) (int, error) {
 		}
 		all = append(all, findings...)
 	}
+	// Whole-program passes run after every requested directory is
+	// loaded: the escape gate over the //vids:noalloc closure, the
+	// directive-freshness sweep, and the alloc-ceiling drift check.
+	progFindings, err := a.programFindings()
+	if err != nil {
+		return len(all), err
+	}
+	all = append(all, progFindings...)
 	if jsonOut {
 		recs := make([]jsonFinding, len(all))
 		for i, f := range all {

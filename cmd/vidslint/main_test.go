@@ -186,3 +186,143 @@ func TestExpandPatternsSkipsTestdata(t *testing.T) {
 		}
 	}
 }
+
+// TestEscapeGateFixture drives the whole-program allocation gate over
+// the seeded noalloc fixture: one finding per violation class, path
+// diagnostics from the root, and the directive-freshness sweep.
+func TestEscapeGateFixture(t *testing.T) {
+	a := newTestAnalyzer(t)
+	perPkg, err := a.analyzeDir(filepath.Join("testdata", "src", "noalloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perPkg) != 0 {
+		t.Errorf("per-package findings = %d, want 0 (all seeded violations are whole-program)", len(perPkg))
+	}
+	fs, err := a.programFindings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Log(f)
+	}
+	want := map[string]int{
+		"make allocates":                          1,
+		"map assignment may grow":                 1,
+		"conversion string([]byte) copies":        1,
+		"go statement allocates":                  1,
+		"dynamic call through function value":     1,
+		"into an interface boxes it":              1,
+		"composite literal escapes":               1,
+		"stale //vids:alloc-ok on noalloc.Frozen": 1,
+		"stale //vids:coldpath":                   2,
+		"both //vids:noalloc and //vids:coldpath": 1,
+		"needs a non-empty justification":         1,
+		"no hot-path allocation finding":          1,
+	}
+	for substr, n := range want {
+		if got := countContaining(fs, substr); got != n {
+			t.Errorf("findings containing %q = %d, want %d", substr, got, n)
+		}
+	}
+	if got := countContaining(fs, "noalloc.Hot → noalloc.escape"); got != 1 {
+		t.Errorf("call-graph path diagnostics = %d, want 1 (root-to-site path must name the chain)", got)
+	}
+	if len(fs) != 13 {
+		t.Errorf("total findings = %d, want 13", len(fs))
+	}
+}
+
+// TestEscapeGateExitsNonzero is the CI contract: run() reports the
+// seeded escape violations so `make lint` exits 1.
+func TestEscapeGateExitsNonzero(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run([]string{filepath.Join("testdata", "src", "noalloc")}, false, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 13 {
+		t.Errorf("run reported %d findings, want 13\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "hot path:") {
+		t.Errorf("plain output lacks a hot-path diagnostic:\n%s", buf.String())
+	}
+}
+
+// TestLockDisciplineFixture drives the concurrency gate over the
+// seeded fixture: lock-order cycle, if-guarded Wait, blocking send,
+// callback and goroutine under the queue lock, malformed directive.
+// The disciplined ok() shapes must stay clean.
+func TestLockDisciplineFixture(t *testing.T) {
+	a := newTestAnalyzer(t)
+	fs, err := a.analyzeDir(filepath.Join("testdata", "src", "internal", "timerwheel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Log(f)
+	}
+	want := map[string]int{
+		"lock-order cycle":                          1,
+		"outside a for loop":                        1,
+		"channel send while holding queue lock":     1,
+		"callback invoked while holding queue lock": 1,
+		"goroutine launched while holding":          1,
+		"//vids:lockorder needs the form":           1,
+	}
+	for substr, n := range want {
+		if got := countContaining(fs, substr); got != n {
+			t.Errorf("findings containing %q = %d, want %d", substr, got, n)
+		}
+	}
+	if len(fs) != 6 {
+		t.Errorf("total findings = %d, want 6 (ok() must not be flagged)", len(fs))
+	}
+}
+
+// TestGuardPurityEdgeCases covers the resolution paths the base
+// fixture does not: method-value guards, impurity behind a defer, and
+// guard closures delegating the write to a same-package helper.
+func TestGuardPurityEdgeCases(t *testing.T) {
+	a := newTestAnalyzer(t)
+	fs, err := a.analyzeDir(filepath.Join("testdata", "src", "impure2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Log(f)
+	}
+	if got := countContaining(fs, "mutates machine variables"); got != 2 {
+		t.Errorf("mutator findings = %d, want 2 (method value + helper call)", got)
+	}
+	if got := countContaining(fs, "calls (*core.Ctx).Emit"); got != 1 {
+		t.Errorf("deferred-emit findings = %d, want 1", got)
+	}
+	if len(fs) != 3 {
+		t.Errorf("total findings = %d, want 3 (CleanGuards must not be flagged)", len(fs))
+	}
+}
+
+// TestRepoProgramClean is the whole-program acceptance property: with
+// every module package loaded, the noalloc closure, the lock
+// discipline, the directive-freshness sweep and the alloc-ceiling
+// drift gate all report zero findings on the real codebase.
+func TestRepoProgramClean(t *testing.T) {
+	a := newTestAnalyzer(t)
+	dirs, err := a.expandPatterns([]string{filepath.Join(a.moduleRoot, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		if _, err := a.analyzeDir(dir); err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+	}
+	fs, err := a.programFindings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}

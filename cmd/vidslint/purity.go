@@ -25,12 +25,13 @@ func (a *analyzer) checkGuardPurity(files []*ast.File, info *types.Info) []findi
 	onLabeledName := "(*" + a.corePath + ".Spec).OnLabeled"
 
 	// Resolve guard identifiers package-wide: locals bound to a
-	// function literal and package-level function declarations.
+	// function literal, package-level function declarations, and
+	// methods (guards may be bound method values like f.guard).
 	lits := make(map[types.Object]*ast.FuncLit)
 	decls := make(map[types.Object]*ast.FuncDecl)
 	for _, f := range files {
 		for _, d := range f.Decls {
-			if fn, ok := d.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Body != nil {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
 				if obj := info.Defs[fn.Name]; obj != nil {
 					decls[obj] = fn
 				}
@@ -100,11 +101,23 @@ func (a *analyzer) checkGuardPurity(files []*ast.File, info *types.Info) []findi
 						body = fd.Body
 					}
 				}
+			case *ast.SelectorExpr:
+				// Bound method value (f.guard) or package-qualified
+				// function used as the predicate.
+				var obj types.Object
+				if sel := info.Selections[g]; sel != nil && sel.Kind() == types.MethodVal {
+					obj = sel.Obj()
+				} else {
+					obj = info.Uses[g.Sel]
+				}
+				if fd, ok := decls[obj]; ok {
+					body = fd.Body
+				}
 			}
 			if body == nil || flagged[body.Pos()] {
 				return true
 			}
-			if msg, pos, impure := a.guardImpurity(body, info); impure {
+			if msg, pos, impure := a.guardImpurity(body, info, decls); impure {
 				flagged[body.Pos()] = true
 				out = append(out, finding{pos: pos, msg: msg})
 			}
@@ -115,8 +128,11 @@ func (a *analyzer) checkGuardPurity(files []*ast.File, info *types.Info) []findi
 }
 
 // guardImpurity scans one guard body for side effects on machine
-// state and reports the first one found.
-func (a *analyzer) guardImpurity(body *ast.BlockStmt, info *types.Info) (msg string, pos token.Position, impure bool) {
+// state and reports the first one found. Same-package helpers the
+// guard calls (directly, through a method value, or under a defer) are
+// scanned transitively: delegating the write does not purify the
+// guard.
+func (a *analyzer) guardImpurity(body *ast.BlockStmt, info *types.Info, decls map[types.Object]*ast.FuncDecl) (msg string, pos token.Position, impure bool) {
 	emitName := "(*" + a.corePath + ".Ctx).Emit"
 	mutators := map[string]bool{
 		"(" + a.corePath + ".Vars).Set":         true,
@@ -126,46 +142,66 @@ func (a *analyzer) guardImpurity(body *ast.BlockStmt, info *types.Info) (msg str
 		"(" + a.corePath + ".Vars).SetBool":     true,
 		"(" + a.corePath + ".Vars).SetDuration": true,
 	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		if impure {
-			return false
+	visited := make(map[*ast.BlockStmt]bool)
+	var scan func(b *ast.BlockStmt)
+	scan = func(b *ast.BlockStmt) {
+		if visited[b] {
+			return
 		}
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
-			if !ok {
-				return true
+		visited[b] = true
+		ast.Inspect(b, func(n ast.Node) bool {
+			if impure {
+				return false
 			}
-			fn, ok := info.Uses[sel.Sel].(*types.Func)
-			if !ok {
-				return true
-			}
-			switch full := fn.FullName(); {
-			case full == emitName:
-				msg = "impure guard: calls (*core.Ctx).Emit — predicates are evaluated for every candidate transition, so a guard-side emission fires even when the transition is not taken; move the Emit into the Action"
-				pos = a.fset.Position(n.Pos())
-				impure = true
-			case mutators[full]:
-				msg = fmt.Sprintf("impure guard: %s mutates machine variables — guards must be side-effect free (speclint probes re-run them under synthetic contexts); move the write into the Action", fn.Name())
-				pos = a.fset.Position(n.Pos())
-				impure = true
-			}
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				var callee types.Object
+				switch fx := ast.Unparen(n.Fun).(type) {
+				case *ast.Ident:
+					callee = info.Uses[fx]
+				case *ast.SelectorExpr:
+					if sel := info.Selections[fx]; sel != nil && sel.Kind() == types.MethodVal {
+						callee = sel.Obj()
+					} else {
+						callee = info.Uses[fx.Sel]
+					}
+				}
+				fn, ok := callee.(*types.Func)
 				if !ok {
-					continue
+					return true
 				}
-				if a.isCoreVars(info.Types[idx.X].Type) {
-					msg = "impure guard: assigns into a core.Vars map — guards must be side-effect free (speclint probes re-run them under synthetic contexts); move the write into the Action"
-					pos = a.fset.Position(idx.Pos())
+				switch full := fn.FullName(); {
+				case full == emitName:
+					msg = "impure guard: calls (*core.Ctx).Emit — predicates are evaluated for every candidate transition, so a guard-side emission fires even when the transition is not taken; move the Emit into the Action"
+					pos = a.fset.Position(n.Pos())
 					impure = true
-					break
+				case mutators[full]:
+					msg = fmt.Sprintf("impure guard: %s mutates machine variables — guards must be side-effect free (speclint probes re-run them under synthetic contexts); move the write into the Action", fn.Name())
+					pos = a.fset.Position(n.Pos())
+					impure = true
+				default:
+					if fd, samePkg := decls[callee]; samePkg {
+						scan(fd.Body)
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+					if !ok {
+						continue
+					}
+					if a.isCoreVars(info.Types[idx.X].Type) {
+						msg = "impure guard: assigns into a core.Vars map — guards must be side-effect free (speclint probes re-run them under synthetic contexts); move the write into the Action"
+						pos = a.fset.Position(idx.Pos())
+						impure = true
+						break
+					}
 				}
 			}
-		}
-		return !impure
-	})
+			return !impure
+		})
+	}
+	scan(body)
 	return msg, pos, impure
 }
 

@@ -1,0 +1,73 @@
+// Package impure2 seeds the guard-purity edge cases: impurity hidden
+// behind a method value, behind a defer, and behind a same-package
+// helper call. Analyzed only by the analyzer's own tests.
+package impure2
+
+import "vids/internal/core"
+
+// flagger carries guard state so its methods are natural guards.
+type flagger struct{ armed bool }
+
+// guard is impure: it writes a machine variable. The rule must resolve
+// the method value f.guard back to this body.
+func (f *flagger) guard(c *core.Ctx) bool {
+	c.Vars.SetInt("armed", 1)
+	return f.armed
+}
+
+// pureGuard only reads; not flagged.
+func (f *flagger) pureGuard(c *core.Ctx) bool { return f.armed }
+
+// MethodValueGuard binds a method value as the predicate. Flagged.
+func MethodValueGuard() *core.Spec {
+	s := core.NewSpec("impure2-method", "S0")
+	f := &flagger{}
+	s.On("S0", "go", f.guard, nil, "S1")
+	s.Final("S1")
+	return s
+}
+
+// DeferredEmitGuard hides the δ-emission behind a defer: it still runs
+// on every guard evaluation, just later. Flagged.
+func DeferredEmitGuard() *core.Spec {
+	s := core.NewSpec("impure2-defer", "S0")
+	s.On("S0", "go", func(c *core.Ctx) bool {
+		defer c.Emit("peer", core.Event{Name: "delta.leak"})
+		return true
+	}, nil, "S1")
+	s.Final("S1")
+	return s
+}
+
+// markSeen is the impure helper a guard closure delegates to.
+func markSeen(c *core.Ctx) {
+	c.Vars.SetInt("seen", 1)
+}
+
+// HelperCallGuard calls the impure helper from a guard literal; the
+// rule must follow the same-package call. Flagged.
+func HelperCallGuard() *core.Spec {
+	s := core.NewSpec("impure2-helper", "S0")
+	s.On("S0", "go", func(c *core.Ctx) bool {
+		markSeen(c)
+		return c.Event.IntArg("x") > 0
+	}, nil, "S1")
+	s.Final("S1")
+	return s
+}
+
+// isPositive is a pure helper; calling it from a guard is the
+// sanctioned shape.
+func isPositive(c *core.Ctx) bool { return c.Event.IntArg("x") > 0 }
+
+// CleanGuards exercises the same resolution paths without impurity:
+// a pure method value and a guard closure calling a pure helper.
+// Not flagged.
+func CleanGuards() *core.Spec {
+	s := core.NewSpec("impure2-clean", "S0")
+	f := &flagger{}
+	s.On("S0", "a", f.pureGuard, nil, "S1")
+	s.On("S0", "b", func(c *core.Ctx) bool { return isPositive(c) }, nil, "S1")
+	s.Final("S1")
+	return s
+}

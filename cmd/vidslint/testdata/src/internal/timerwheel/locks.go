@@ -1,0 +1,94 @@
+// Package timerwheel (fixture) deliberately violates vidslint's
+// concurrency-discipline gate; its import path ends in
+// internal/timerwheel so analyzeDir applies the lock rules. Each
+// seeded function below is one violation class; ok demonstrates the
+// disciplined shapes and must stay clean.
+package timerwheel
+
+import "sync"
+
+// shard mirrors the engine's ring-buffer hand-off: mu is a *queue
+// lock* because the struct also carries condition variables.
+type shard struct {
+	mu    sync.Mutex
+	ready sync.Cond
+	space sync.Cond
+	buf   []int
+	cb    func(int)
+}
+
+// router holds the second lock of the seeded ordering cycle.
+type router struct {
+	mu sync.Mutex
+}
+
+// lockCycleA acquires shard.mu before router.mu.
+func lockCycleA(s *shard, r *router) {
+	s.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// lockCycleB acquires the same pair in the opposite order — the seeded
+// deadlock-in-waiting.
+func lockCycleB(s *shard, r *router) {
+	r.mu.Lock()
+	s.mu.Lock() // want: lock-order cycle
+	s.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// ifWait guards Wait with an if — the seeded spurious-wakeup race.
+func ifWait(s *shard) {
+	s.mu.Lock()
+	if len(s.buf) == 0 {
+		s.ready.Wait() // want: Wait outside a for loop
+	}
+	s.mu.Unlock()
+}
+
+// blockingSend sends on a channel while holding the queue lock.
+func blockingSend(s *shard, ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want: send under queue lock
+	s.mu.Unlock()
+}
+
+// callbackUnderLock invokes a function field inside the critical
+// section; the callee can block or re-enter the shard.
+func callbackUnderLock(s *shard) {
+	s.mu.Lock()
+	s.cb(1) // want: callback under queue lock
+	s.mu.Unlock()
+}
+
+// spawnUnderLock launches a goroutine inside the critical section.
+func spawnUnderLock(s *shard) {
+	s.mu.Lock()
+	go drain(s) // want: goroutine under lock
+	s.mu.Unlock()
+}
+
+func drain(s *shard) { _ = s }
+
+//vids:lockorder shard.mu before router.mu — malformed: the directive takes an arrow, not prose
+
+// ok demonstrates the disciplined shapes: Wait inside a for loop, the
+// channel send after the critical section, the callback invoked with
+// the lock released.
+func ok(s *shard, ch chan int) {
+	s.mu.Lock()
+	for len(s.buf) == 0 {
+		s.ready.Wait()
+	}
+	v := s.buf[len(s.buf)-1]
+	s.buf = s.buf[:len(s.buf)-1]
+	cb := s.cb
+	s.mu.Unlock()
+	if cb != nil {
+		cb(v)
+	}
+	ch <- v
+	s.space.Signal()
+}

@@ -1,0 +1,71 @@
+// Package noalloc deliberately violates vidslint's whole-program
+// escape/allocation gate; it is analyzed only by the analyzer's own
+// tests (testdata is invisible to the go tool). Every seeded site
+// below corresponds to one rule of the escape model, and the directive
+// misuses at the bottom exercise the freshness sweep.
+package noalloc
+
+// Box is a record the seeded sites force onto the heap.
+type Box struct{ N int }
+
+// Sink keeps boxed values reachable, mirroring how alert callbacks
+// retain interface values in the real codebase.
+var Sink any
+
+// hook is a function value the traversal cannot resolve.
+var hook = func() {}
+
+// Hot is the seeded hot-path root: each line below is one distinct
+// violation class.
+//
+//vids:noalloc fixture root; every site below is a seeded violation
+func Hot(b []byte) string {
+	m := make(map[string]int) // want: make allocates
+	m["k"] = len(b)           // want: map assignment may grow
+	s := string(b)            // want: conversion copies
+	go idle()                 // want: go statement allocates
+	hook()                    // want: dynamic call through a function value
+	Sink = len(s)             // want: interface boxing
+	escape()
+	return s
+}
+
+// escape allocates one level below the root, so its finding must carry
+// the call-graph path noalloc.Hot → noalloc.escape.
+func escape() *Box {
+	return &Box{N: 1} // want: composite literal escapes
+}
+
+func idle() {}
+
+// Frozen is reached from no root, so its function-level waiver is
+// stale by construction.
+//
+//vids:alloc-ok fixture: stale because Frozen is unreached
+func Frozen() []int {
+	return make([]int, 4)
+}
+
+// Detached is never reached either; its coldpath marker never cuts a
+// traversal and must be reported stale.
+//
+//vids:coldpath fixture: stale because no closure reaches Detached
+func Detached() {}
+
+// Confused carries contradictory directives: a function cannot be a
+// hot-path root and off the hot path at once.
+//
+//vids:noalloc fixture conflict root
+//vids:coldpath fixture conflict marker
+func Confused() {}
+
+// waivers seeds the two line-level hygiene findings: a waiver with no
+// justification, and a justified waiver with nothing left to justify.
+func waivers() int {
+	x := 0
+	//vids:alloc-ok
+	x++
+	//vids:alloc-ok fixture: nothing on this line allocates
+	x++
+	return x
+}

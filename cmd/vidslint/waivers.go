@@ -1,0 +1,151 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// lineWaiver is one line-level `//vids:alloc-ok <reason>` suppression.
+// It covers escape findings on its own line (end-of-line form) and the
+// line after it (preceding-line form), mirroring the established
+// `//vidslint:allow` convention. Like speccover's coverage waivers,
+// every suppression is freshness-checked: a waiver that no longer
+// matches any finding is itself reported, so justifications are
+// deleted with the code they excused instead of rotting in place.
+type lineWaiver struct {
+	pkg    *pkgInfo
+	pos    token.Position
+	reason string
+	used   bool
+}
+
+// waiverSet indexes line waivers by filename and line.
+type waiverSet struct {
+	byLine map[string]map[int]*lineWaiver
+	all    []*lineWaiver
+}
+
+func newWaiverSet() *waiverSet {
+	return &waiverSet{byLine: make(map[string]map[int]*lineWaiver)}
+}
+
+// collectFile harvests the line-level alloc-ok waivers of one file.
+// Doc-comment directives are function-level (handled by buildProgram),
+// so comment groups attached as documentation are skipped here.
+func (ws *waiverSet) collectFile(a *analyzer, pi *pkgInfo, f *ast.File) {
+	docGroups := make(map[*ast.CommentGroup]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Doc != nil {
+				docGroups[d.Doc] = true
+			}
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				docGroups[d.Doc] = true
+			}
+		}
+		return true
+	})
+	for _, cg := range f.Comments {
+		if docGroups[cg] {
+			continue
+		}
+		for _, c := range cg.List {
+			reason, ok := directiveText(c.Text, dirAllocOK)
+			if !ok {
+				continue
+			}
+			w := &lineWaiver{pkg: pi, pos: a.fset.Position(c.Pos()), reason: reason}
+			ws.all = append(ws.all, w)
+			m := ws.byLine[w.pos.Filename]
+			if m == nil {
+				m = make(map[int]*lineWaiver)
+				ws.byLine[w.pos.Filename] = m
+			}
+			m[w.pos.Line] = w
+		}
+	}
+}
+
+// lookup returns the waiver covering a finding at pos: a directive on
+// the same line or on the line above. The waiver is marked used.
+func (ws *waiverSet) lookup(pos token.Position) *lineWaiver {
+	m := ws.byLine[pos.Filename]
+	if m == nil {
+		return nil
+	}
+	if w := m[pos.Line]; w != nil {
+		w.used = true
+		return w
+	}
+	if w := m[pos.Line-1]; w != nil {
+		w.used = true
+		return w
+	}
+	return nil
+}
+
+// staleness reports directive-hygiene findings for the analyzed
+// packages: waivers with empty reasons, waivers that suppressed
+// nothing, function-level alloc-ok on functions off every hot path,
+// and coldpath markers that never cut a traversal.
+func (ws *waiverSet) staleness(a *analyzer, prog *program) []finding {
+	var out []finding
+	for _, w := range ws.all {
+		if !a.analyzed[w.pkg.path] {
+			continue
+		}
+		switch {
+		case w.reason == "":
+			out = append(out, finding{pos: w.pos, msg: "//vids:alloc-ok needs a non-empty justification (why is this allocation acceptable on the hot path?)"})
+		case !w.used:
+			out = append(out, finding{pos: w.pos, msg: "stale //vids:alloc-ok: no hot-path allocation finding on this or the next line — delete the waiver or move it to the site it justifies"})
+		}
+	}
+	for _, node := range sortedFuncs(prog) {
+		if !a.analyzed[node.pkg.path] {
+			continue
+		}
+		pos := a.fset.Position(node.decl.Pos())
+		if node.hasAllocOK {
+			switch {
+			case node.allocOK == "":
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("//vids:alloc-ok on %s needs a non-empty justification", node.name())})
+			case !node.reached:
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("stale //vids:alloc-ok on %s: the function is not reached from any //vids:noalloc root", node.name())})
+			case node.suppressed == 0:
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("stale //vids:alloc-ok on %s: the function body has no allocation site left to justify", node.name())})
+			}
+		}
+		if node.hasColdpath {
+			switch {
+			case node.coldpath == "":
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("//vids:coldpath on %s needs a non-empty justification", node.name())})
+			case !node.cut:
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("stale //vids:coldpath on %s: no //vids:noalloc closure ever reaches this function — delete the directive", node.name())})
+			}
+			if node.noalloc {
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("%s is both //vids:noalloc and //vids:coldpath — a function cannot be a hot-path root and off the hot path at once", node.name())})
+			}
+		}
+	}
+	return out
+}
+
+// sortedFuncs returns the program's function nodes in deterministic
+// key order.
+func sortedFuncs(prog *program) []*funcNode {
+	keys := make([]string, 0, len(prog.funcs))
+	for k := range prog.funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*funcNode, len(keys))
+	for i, k := range keys {
+		out[i] = prog.funcs[k]
+	}
+	return out
+}

@@ -536,6 +536,8 @@ type Machine struct {
 
 // NewMachine instantiates a spec. globals is the variable store
 // shared with peer machines (may be nil for a standalone machine).
+//
+//vids:coldpath machine construction happens on monitor-pool miss or first sight of an unsolicited stream, not per packet
 func NewMachine(spec *Spec, globals Vars) *Machine {
 	if globals == nil {
 		globals = make(Vars)
@@ -632,7 +634,7 @@ func (m *Machine) Step(e Event) (StepResult, error) {
 			fallback = t
 			continue
 		}
-		if t.Guard(ctx) {
+		if t.Guard(ctx) { //vids:alloc-ok guards are pure by the vidslint purity gate; pure predicates do not allocate
 			enabled++
 			chosen = t
 		}
@@ -648,18 +650,18 @@ func (m *Machine) Step(e Event) (StepResult, error) {
 	}
 
 	if chosen.Do != nil {
-		chosen.Do(ctx)
+		chosen.Do(ctx) //vids:alloc-ok transition actions mutate pre-allocated Vars; specs keep them scratch-based
 	}
 	from := m.state
 	m.state = chosen.To
 	m.steps++
 	if m.cover != nil {
-		m.cover.TransitionFired(m.name, from, e.Name, chosen.To, chosen.Label)
+		m.cover.TransitionFired(m.name, from, e.Name, chosen.To, chosen.Label) //vids:alloc-ok coverage observers take word-sized args; TestAllocBudgetCoverageHook holds the budget
 		for i := range ctx.emits {
-			m.cover.DeltaEmitted(m.name, ctx.emits[i].Target, ctx.emits[i].Event.Name)
+			m.cover.DeltaEmitted(m.name, ctx.emits[i].Target, ctx.emits[i].Event.Name) //vids:alloc-ok coverage observers take word-sized args; TestAllocBudgetCoverageHook holds the budget
 		}
 		if m.spec.IsAttack(chosen.To) && from != chosen.To {
-			m.cover.AttackEntered(m.name, chosen.To)
+			m.cover.AttackEntered(m.name, chosen.To) //vids:alloc-ok coverage observers take word-sized args; TestAllocBudgetCoverageHook holds the budget
 		}
 	}
 	return StepResult{

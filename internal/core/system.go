@@ -34,6 +34,8 @@ type System struct {
 }
 
 // NewSystem creates an empty communicating system.
+//
+//vids:coldpath system construction happens on monitor-pool miss only; steady-state churn recycles monitors
 func NewSystem() *System {
 	return &System{
 		machines: make(map[string]*Machine),
@@ -48,11 +50,11 @@ func (sys *System) Globals() Vars { return sys.globals }
 // unique.
 func (sys *System) Add(spec *Spec) (*Machine, error) {
 	if _, dup := sys.machines[spec.Name]; dup {
-		return nil, fmt.Errorf("core: duplicate machine %q", spec.Name)
+		return nil, fmt.Errorf("core: duplicate machine %q", spec.Name) //vids:alloc-ok unknown-machine registration is a wiring bug; error path only
 	}
 	m := NewMachine(spec, sys.globals)
 	m.cover = sys.cover
-	sys.machines[spec.Name] = m
+	sys.machines[spec.Name] = m //vids:alloc-ok one entry per machine, bound at monitor construction
 	sys.order = append(sys.order, spec.Name)
 	return m, nil
 }
@@ -133,7 +135,7 @@ func (sys *System) Reset() {
 func (sys *System) Deliver(machine string, e Event) ([]StepResult, error) {
 	m, ok := sys.machines[machine]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown machine %q", machine)
+		return nil, fmt.Errorf("core: unknown machine %q", machine) //vids:alloc-ok unknown-machine delivery is a wiring bug; error path only
 	}
 	sys.results = sys.results[:0]
 
@@ -161,7 +163,7 @@ func (sys *System) Deliver(machine string, e Event) ([]StepResult, error) {
 // next Deliver/DeliverSync call.
 func (sys *System) DeliverSync(machine string, e Event) ([]StepResult, error) {
 	if _, ok := sys.machines[machine]; !ok {
-		return nil, fmt.Errorf("core: unknown machine %q", machine)
+		return nil, fmt.Errorf("core: unknown machine %q", machine) //vids:alloc-ok unknown-machine delivery is a wiring bug; error path only
 	}
 	sys.results = sys.results[:0]
 	sys.queue = append(sys.queue, SyncMsg{Target: machine, Event: e})

@@ -166,6 +166,8 @@ type Engine struct {
 
 	// cbMu serializes cfg.OnAlert delivery across shard workers and
 	// the router. Always acquired after e.mu, never before it.
+	//
+	//vids:lockorder Engine.mu -> Engine.cbMu
 	cbMu sync.Mutex
 }
 

@@ -107,6 +107,8 @@ func (fw *FloodWatch) fire(t *timerwheel.Timer) {
 // FeedInvite counts one initial INVITE toward dest's Figure 4 window
 // and raises AlertInviteFlood past threshold N. In prevention mode the
 // window's major contributors are quarantined.
+//
+//vids:alloc-ok per-destination window state is first-sight-bounded; alert construction fires only on a detected flood
 func (fw *FloodWatch) FeedInvite(dest, src string, now time.Duration) {
 	e, ok := fw.floods[dest]
 	if !ok {
@@ -152,6 +154,8 @@ func (fw *FloodWatch) FeedInvite(dest, src string, now time.Duration) {
 // never initiated and raises AlertDRDoS when the windowed threshold
 // trips. The first stray response of a window is reported once as a
 // deviation.
+//
+//vids:alloc-ok per-destination window state is first-sight-bounded; alert construction fires only on a detected reflection attack
 func (fw *FloodWatch) FeedStrayResponse(m *sipmsg.Message, dest, src string, now time.Duration) {
 	e, ok := fw.respFloods[dest]
 	if !ok {

@@ -281,6 +281,8 @@ func (d *IDS) SetCoverage(obs core.CoverageObserver) {
 // their monitor in Owner and a generation snapshot in Gen; a stale
 // generation (the record was recycled onto another call) or a monitor
 // no longer resident under its Call-ID makes the expiry a no-op.
+//
+//vids:noalloc timer expiry runs on the simulated-instant drain
 func (d *IDS) fire(t *timerwheel.Timer) {
 	if t.Kind == timerKindSweep {
 		d.sweep()
@@ -381,12 +383,14 @@ func (d *IDS) Observe(pkt *sim.Packet, _ time.Duration) { d.Process(pkt) }
 // to the protocol machines. It is the allocation-minimal hot path:
 // RTP/RTCP decode into the instance's scratch packets instead of
 // going through Classify's allocating form.
+//
+//vids:noalloc the per-packet detection path; budgets alloc_test.go:maxIDSProcess*
 func (d *IDS) Process(pkt *sim.Packet) {
 	if d.OnPacket != nil {
-		d.OnPacket(pkt, d.sim.Now())
+		d.OnPacket(pkt, d.sim.Now()) //vids:alloc-ok trace/bench instrumentation hook; nil in production
 	}
-	start := time.Now() //vidslint:allow wallclock — self-instrumentation, never feeds detection
-	defer func() { d.procWallTime += time.Since(start) }()
+	start := time.Now()                                    //vidslint:allow wallclock — self-instrumentation, never feeds detection
+	defer func() { d.procWallTime += time.Since(start) }() //vids:alloc-ok open-coded defer; the timing closure does not escape
 
 	raw, ok := pkt.Payload.([]byte)
 	if !ok {
@@ -425,12 +429,14 @@ func (d *IDS) Process(pkt *sim.Packet) {
 // already-parsed SIP message exactly as Process would after parsing.
 // The sharded engine routes on the Call-ID and hands the parsed form
 // straight to the owning shard, so each SIP packet is parsed once.
+//
+//vids:noalloc the per-packet detection path for pre-parsed SIP
 func (d *IDS) ProcessSIP(m *sipmsg.Message, pkt *sim.Packet) {
 	if d.OnPacket != nil {
-		d.OnPacket(pkt, d.sim.Now())
+		d.OnPacket(pkt, d.sim.Now()) //vids:alloc-ok trace/bench instrumentation hook; nil in production
 	}
-	start := time.Now() //vidslint:allow wallclock — self-instrumentation, never feeds detection
-	defer func() { d.procWallTime += time.Since(start) }()
+	start := time.Now()                                    //vidslint:allow wallclock — self-instrumentation, never feeds detection
+	defer func() { d.procWallTime += time.Since(start) }() //vids:alloc-ok open-coded defer; the timing closure does not escape
 
 	d.sipPackets++
 	d.handleSIP(m, pkt)
@@ -511,7 +517,7 @@ func (d *IDS) handleSIP(m *sipmsg.Message, pkt *sim.Packet) {
 			d.raise(Alert{
 				At: now, Type: AlertDeviation, CallID: m.CallID,
 				Source: pkt.From.Host, Target: pkt.To.Host,
-				Detail: fmt.Sprintf("%s for unknown call", m.Summary()),
+				Detail: fmt.Sprintf("%s for unknown call", m.Summary()), //vids:alloc-ok alert detail renders only when raising
 			}, nil)
 			return
 		}
@@ -534,7 +540,7 @@ func (d *IDS) handleSIP(m *sipmsg.Message, pkt *sim.Packet) {
 			d.raiseRaw(Alert{
 				At: now, Type: AlertDeviation, CallID: m.CallID,
 				Source: pkt.From.Host, Target: pkt.To.Host,
-				Detail: fmt.Sprintf("%s not accepted in state %s", m.Summary(), mon.SIP.State()),
+				Detail: fmt.Sprintf("%s not accepted in state %s", m.Summary(), mon.SIP.State()), //vids:alloc-ok alert detail renders only when raising
 			})
 		}
 	}
@@ -607,7 +613,7 @@ func (d *IDS) sipEvent(m *sipmsg.Message, pkt *sim.Packet) core.Event {
 	case sipmsg.CANCEL:
 		name = EvCancel
 	default:
-		name = "sip." + string(m.Method)
+		name = "sip." + string(m.Method) //vids:alloc-ok unknown-method events only; every RFC 3261 method is pre-named
 	}
 	return core.Event{Name: name, Typed: a}
 }
@@ -641,7 +647,7 @@ func (d *IDS) indexMedia(mon *CallMonitor, m *sipmsg.Message) {
 	}
 	d.keyBuf = appendMediaKey(d.keyBuf[:0], a.sdpAddr, a.sdpPort)
 	key := d.strings.Bytes(d.keyBuf)
-	d.mediaIndex[key] = mediaRef{callID: mon.CallID, machine: machine}
+	d.mediaIndex[key] = mediaRef{callID: mon.CallID, machine: machine} //vids:alloc-ok one entry per advertised media stream; deleted on eviction
 	mon.mediaKeys = append(mon.mediaKeys, key)
 }
 
@@ -681,7 +687,7 @@ func (d *IDS) handleRTP(p *rtp.Packet, pkt *sim.Packet) {
 		if _, evicted := d.tombstones[ref.callID]; !evicted {
 			d.raise(Alert{
 				At: now, Type: AlertUnsolicitedRTP, CallID: ref.callID,
-				Source: pkt.From.Host, Target: string(d.keyBuf),
+				Source: pkt.From.Host, Target: string(d.keyBuf), //vids:alloc-ok alert-path materialization of the scratch media key
 				Detail: "RTP for a call with no live monitor",
 			}, nil)
 		}
@@ -695,8 +701,8 @@ func (d *IDS) handleRTP(p *rtp.Packet, pkt *sim.Packet) {
 		d.deviations++
 		d.raise(Alert{
 			At: now, Type: AlertDeviation, CallID: mon.CallID,
-			Source: pkt.From.Host, Target: string(d.keyBuf),
-			Detail: fmt.Sprintf("RTP not accepted by %s in its current state", ref.machine),
+			Source: pkt.From.Host, Target: string(d.keyBuf), //vids:alloc-ok alert-path materialization of the scratch media key
+			Detail: fmt.Sprintf("RTP not accepted by %s in its current state", ref.machine), //vids:alloc-ok alert detail renders only when raising
 		}, mon)
 	}
 }
@@ -764,10 +770,10 @@ func (d *IDS) fireRTCPGrace(mon *CallMonitor) {
 func (d *IDS) handleUnsolicitedRTP(ev core.Event, pkt *sim.Packet, now time.Duration) {
 	mon, ok := d.spamMons[string(d.keyBuf)]
 	if !ok {
-		key := string(d.keyBuf)
+		key := string(d.keyBuf) //vids:alloc-ok first packet of an unadvertised stream only
 		mon = core.NewMachine(d.spamSp, nil)
 		mon.SetCoverage(d.cover)
-		d.spamMons[key] = mon
+		d.spamMons[key] = mon //vids:alloc-ok one machine per unsolicited stream; swept on idle
 		d.armSweep()
 		d.raise(Alert{
 			At: now, Type: AlertUnsolicitedRTP,
@@ -779,7 +785,7 @@ func (d *IDS) handleUnsolicitedRTP(ev core.Event, pkt *sim.Packet, now time.Dura
 	if err == nil && res.EnteredAttack {
 		d.raise(Alert{
 			At: now, Type: AlertMediaSpam,
-			Source: pkt.From.Host, Target: string(d.keyBuf),
+			Source: pkt.From.Host, Target: string(d.keyBuf), //vids:alloc-ok alert-path materialization of the scratch media key
 			Detail: "unsolicited stream exceeded spam thresholds",
 		}, nil)
 	}
@@ -800,12 +806,12 @@ func (d *IDS) newMonitor(callID string, now time.Duration) *CallMonitor {
 		sipM, _ := sys.Add(d.sipSpec)
 		caller, _ := sys.Add(d.rtpSpecs[MachineRTPCaller])
 		callee, _ := sys.Add(d.rtpSpecs[MachineRTPCallee])
-		mon = &CallMonitor{
+		mon = &CallMonitor{ //vids:alloc-ok monitor-pool miss only; steady-state churn recycles
 			System:    sys,
 			SIP:       sipM,
 			RTPCaller: caller,
 			RTPCallee: callee,
-			raised:    make(map[string]bool),
+			raised:    make(map[string]bool), //vids:alloc-ok pool miss only; cleared and reused on recycle
 		}
 		mon.timerTCaller = timerwheel.Timer{Kind: timerKindTCaller, Owner: mon}
 		mon.timerTCallee = timerwheel.Timer{Kind: timerKindTCallee, Owner: mon}
@@ -816,7 +822,7 @@ func (d *IDS) newMonitor(callID string, now time.Duration) *CallMonitor {
 	mon.CallID = d.strings.String(callID)
 	mon.Created = now
 	mon.LastActivity = now
-	d.calls[mon.CallID] = mon
+	d.calls[mon.CallID] = mon //vids:alloc-ok one entry per live call; deleted on eviction
 	delete(d.tombstones, mon.CallID)
 	d.armSweep()
 	return mon
@@ -837,7 +843,7 @@ func (d *IDS) consumeResults(mon *CallMonitor, results []core.StepResult, pkt *s
 					At: now, Type: t,
 					CallID: mon.CallID,
 					Source: pkt.From.Host, Target: pkt.To.Host,
-					Detail: fmt.Sprintf("%s: %s -> %s on %s", res.Machine, res.From, res.To, res.Event),
+					Detail: fmt.Sprintf("%s: %s -> %s on %s", res.Machine, res.From, res.To, res.Event), //vids:alloc-ok alert detail renders only when raising
 				})
 			}
 		}
@@ -908,7 +914,7 @@ func (d *IDS) shouldRaise(mon *CallMonitor, t AlertType) bool {
 	if mon.raised[key] {
 		return false
 	}
-	mon.raised[key] = true
+	mon.raised[key] = true //vids:alloc-ok per-call dedup set, bounded by the alert-type vocabulary
 	return true
 }
 
@@ -917,7 +923,7 @@ func (d *IDS) shouldRaise(mon *CallMonitor, t AlertType) bool {
 func (d *IDS) raiseRaw(a Alert) {
 	d.alerts = append(d.alerts, a)
 	if d.OnAlert != nil {
-		d.OnAlert(a)
+		d.OnAlert(a) //vids:alloc-ok alert delivery callback; fires per alert, not per packet
 	}
 }
 
@@ -940,7 +946,7 @@ func (d *IDS) evict(callID string) {
 		return
 	}
 	delete(d.calls, callID)
-	d.tombstones[mon.CallID] = d.sim.Now()
+	d.tombstones[mon.CallID] = d.sim.Now() //vids:alloc-ok eviction tombstone; swept with the linger window
 	for _, key := range mon.mediaKeys {
 		// A key is deleted only while this call still owns it; a newer
 		// call reusing the same destination overwrote the entry.

@@ -36,6 +36,8 @@ func New(cap int) *Table {
 
 // Bytes returns the interned string equal to b, inserting it on first
 // sight. Lookups for known keys do not allocate.
+//
+//vids:noalloc per-packet Call-ID/media-key lookup
 func (t *Table) Bytes(b []byte) string {
 	if s, ok := t.cur[string(b)]; ok {
 		return s
@@ -44,7 +46,7 @@ func (t *Table) Bytes(b []byte) string {
 		t.put(s)
 		return s
 	}
-	s := string(b)
+	s := string(b) //vids:alloc-ok first sight of a key only; later lookups hit the generation maps
 	t.put(s)
 	return s
 }
@@ -52,6 +54,8 @@ func (t *Table) Bytes(b []byte) string {
 // String returns the interned string equal to s, inserting it on
 // first sight. Callers holding a transient string (a parsed Call-ID)
 // use this so the retained copy is shared across the call's lifetime.
+//
+//vids:noalloc per-packet interning of already-materialized keys
 func (t *Table) String(s string) string {
 	if is, ok := t.cur[s]; ok {
 		return is
@@ -72,5 +76,5 @@ func (t *Table) put(s string) {
 		t.prev, t.cur = t.cur, t.prev
 		clear(t.cur)
 	}
-	t.cur[s] = s
+	t.cur[s] = s //vids:alloc-ok insert on first sight; generation rotation bounds both maps
 }

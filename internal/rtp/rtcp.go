@@ -113,21 +113,23 @@ func ParseRTCP(data []byte) (*RTCP, error) {
 // field and reusing p's Reports backing array, so a caller-owned
 // scratch RTCP makes repeated parsing allocation-free. On error p is
 // left in an unspecified state.
+//
+//vids:noalloc per-packet RTCP decode into caller-owned scratch
 func ParseRTCPInto(p *RTCP, data []byte) error {
 	if len(data) < rtcpHeaderSize+4 {
-		return fmt.Errorf("rtp: RTCP packet too short (%d bytes)", len(data))
+		return fmt.Errorf("rtp: RTCP packet too short (%d bytes)", len(data)) //vids:alloc-ok error path: malformed packet aborts processing
 	}
 	if v := data[0] >> 6; v != Version {
-		return fmt.Errorf("rtp: unsupported RTCP version %d", v)
+		return fmt.Errorf("rtp: unsupported RTCP version %d", v) //vids:alloc-ok error path: malformed packet aborts processing
 	}
 	count := int(data[0] & 0x1F)
 	*p = RTCP{Type: data[1], Reports: p.Reports[:0]}
 	wantLen := (int(binary.BigEndian.Uint16(data[2:])) + 1) * 4
 	if wantLen > len(data) {
-		return fmt.Errorf("rtp: RTCP length field %d exceeds packet %d", wantLen, len(data))
+		return fmt.Errorf("rtp: RTCP length field %d exceeds packet %d", wantLen, len(data)) //vids:alloc-ok error path: malformed packet aborts processing
 	}
 	if wantLen < rtcpHeaderSize+4 {
-		return fmt.Errorf("rtp: RTCP length field %d too small", wantLen)
+		return fmt.Errorf("rtp: RTCP length field %d too small", wantLen) //vids:alloc-ok error path: malformed packet aborts processing
 	}
 	body := data[rtcpHeaderSize:wantLen]
 	p.SSRC = binary.BigEndian.Uint32(body[0:])
@@ -135,7 +137,7 @@ func ParseRTCPInto(p *RTCP, data []byte) error {
 	switch p.Type {
 	case RTCPSenderReport:
 		if len(body) < 24+count*receptionReportSize {
-			return fmt.Errorf("rtp: truncated sender report")
+			return fmt.Errorf("rtp: truncated sender report") //vids:alloc-ok error path: malformed packet aborts processing
 		}
 		p.NTPTime = binary.BigEndian.Uint64(body[4:])
 		p.RTPTime = binary.BigEndian.Uint32(body[12:])
@@ -144,21 +146,21 @@ func ParseRTCPInto(p *RTCP, data []byte) error {
 		var ok bool
 		p.Reports, ok = parseReportsInto(p.Reports, body[24:], count)
 		if !ok {
-			return fmt.Errorf("rtp: truncated reception reports")
+			return fmt.Errorf("rtp: truncated reception reports") //vids:alloc-ok error path: malformed packet aborts processing
 		}
 	case RTCPReceiverReport:
 		if len(body) < 4+count*receptionReportSize {
-			return fmt.Errorf("rtp: truncated receiver report")
+			return fmt.Errorf("rtp: truncated receiver report") //vids:alloc-ok error path: malformed packet aborts processing
 		}
 		var ok bool
 		p.Reports, ok = parseReportsInto(p.Reports, body[4:], count)
 		if !ok {
-			return fmt.Errorf("rtp: truncated reception reports")
+			return fmt.Errorf("rtp: truncated reception reports") //vids:alloc-ok error path: malformed packet aborts processing
 		}
 	case RTCPBye:
 		// SSRC already read; additional sources ignored.
 	default:
-		return fmt.Errorf("rtp: unsupported RTCP type %d", p.Type)
+		return fmt.Errorf("rtp: unsupported RTCP type %d", p.Type) //vids:alloc-ok error path: malformed packet aborts processing
 	}
 	return nil
 }

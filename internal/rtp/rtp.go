@@ -69,16 +69,18 @@ func Parse(data []byte) (*Packet, error) {
 // CSRC capacity aside) alias data: the caller must not reuse or
 // mutate the buffer while the packet is live. On error p is left in
 // an unspecified state.
+//
+//vids:noalloc per-packet RTP decode into caller-owned scratch
 func ParseInto(p *Packet, data []byte) error {
 	if len(data) < HeaderSize {
-		return fmt.Errorf("rtp: packet too short (%d bytes)", len(data))
+		return fmt.Errorf("rtp: packet too short (%d bytes)", len(data)) //vids:alloc-ok error path: malformed packet aborts processing
 	}
 	if v := data[0] >> 6; v != Version {
-		return fmt.Errorf("rtp: unsupported version %d", v)
+		return fmt.Errorf("rtp: unsupported version %d", v) //vids:alloc-ok error path: malformed packet aborts processing
 	}
 	cc := int(data[0] & 0x0F)
 	if len(data) < HeaderSize+4*cc {
-		return fmt.Errorf("rtp: truncated CSRC list")
+		return fmt.Errorf("rtp: truncated CSRC list") //vids:alloc-ok error path: malformed packet aborts processing
 	}
 	p.Marker = data[1]&0x80 != 0
 	p.PayloadType = data[1] & 0x7F

@@ -128,7 +128,7 @@ func (s *Simulator) At(t time.Duration, fn func()) {
 		s.free = s.free[:n-1]
 		*ev = event{at: t, seq: s.nextSeq, fn: fn}
 	} else {
-		ev = &event{at: t, seq: s.nextSeq, fn: fn}
+		ev = &event{at: t, seq: s.nextSeq, fn: fn} //vids:alloc-ok event free-list miss only; churn warms the pool
 	}
 	s.nextSeq++
 	heap.Push(&s.queue, ev)
@@ -146,6 +146,8 @@ func (s *Simulator) Halt() { s.halted = true }
 // Run executes queued events in timestamp order until the queue drains
 // or the clock passes horizon. Events scheduled exactly at the horizon
 // still run. It returns ErrHalted if Halt was called.
+//
+//vids:noalloc the churn budget measures dialog plus timer drain
 func (s *Simulator) Run(horizon time.Duration) error {
 	s.halted = false
 	for len(s.queue) > 0 {
@@ -161,11 +163,11 @@ func (s *Simulator) Run(horizon time.Duration) error {
 		}
 		ev, ok := heap.Pop(&s.queue).(*event)
 		if !ok {
-			return fmt.Errorf("sim: corrupt event queue entry %T", next)
+			return fmt.Errorf("sim: corrupt event queue entry %T", next) //vids:alloc-ok corrupt-queue error path is fatal, not per-event
 		}
 		s.now = ev.at
 		s.executed++
-		ev.fn()
+		ev.fn() //vids:alloc-ok scheduled-callback dispatch; hot callees are their own noalloc roots
 		s.recycle(ev)
 	}
 	if s.now < horizon {

@@ -114,6 +114,8 @@ func (v Via) String() string {
 }
 
 // ParseVia parses a Via header value.
+//
+//vids:alloc-ok params map and error paths are per-Via-header; bounded by maxSIPParseAllocs
 func ParseVia(s string) (Via, error) {
 	s = strings.TrimSpace(s)
 	rest, ok := strings.CutPrefix(s, "SIP/2.0/")
@@ -325,6 +327,8 @@ func NewResponse(req *Message, code int) *Message {
 }
 
 // Validate checks the invariants the rest of the stack relies on.
+//
+//vids:alloc-ok allocates only for protocol violations, which abort the packet
 func (m *Message) Validate() error {
 	switch {
 	case m.IsRequest() && m.IsResponse():
@@ -361,6 +365,8 @@ func (m *Message) Validate() error {
 }
 
 // Summary renders a one-line description for logs and alerts.
+//
+//vids:coldpath alert text rendering; runs per raised alert, not per packet
 func (m *Message) Summary() string {
 	if m.IsRequest() {
 		return fmt.Sprintf("%s %s (Call-ID %s)", m.Method, m.RequestURI, m.CallID)

@@ -22,6 +22,8 @@ type URI struct {
 
 // ParseURI parses "sip:user@host:port" and friends. The scheme must be
 // "sip" (sips is out of scope: the testbed runs plain UDP).
+//
+//vids:alloc-ok materializes URI fields; bounded by maxSIPParseAllocs
 func ParseURI(s string) (URI, error) {
 	s = strings.TrimSpace(s)
 	// Strip enclosing angle brackets if present.
@@ -60,6 +62,8 @@ func ParseURI(s string) (URI, error) {
 }
 
 // String renders the URI in canonical sip: form.
+//
+//vids:coldpath serialization for alerts and tests; the hot path renders keys with ids.AppendURI
 func (u URI) String() string {
 	var b strings.Builder
 	b.WriteString("sip:")
@@ -107,6 +111,8 @@ func (n NameAddr) WithTag(tag string) NameAddr {
 
 // ParseNameAddr parses `"Alice" <sip:alice@a.com>;tag=xyz` or the
 // addr-spec short form `sip:alice@a.com;tag=xyz`.
+//
+//vids:alloc-ok materializes name-addr fields; bounded by maxSIPParseAllocs
 func ParseNameAddr(s string) (NameAddr, error) {
 	s = strings.TrimSpace(s)
 	var na NameAddr
@@ -149,6 +155,8 @@ func ParseNameAddr(s string) (NameAddr, error) {
 // parameters (";lr") map to "". Segments are walked in place rather
 // than split into a slice, keeping the per-header cost to the map
 // itself.
+//
+//vids:alloc-ok params map per name-addr header; bounded by maxSIPParseAllocs
 func parseParams(s string) map[string]string {
 	params := make(map[string]string)
 	for start := 0; start <= len(s); {

@@ -74,6 +74,8 @@ var crlfcrlf = []byte("\r\n\r\n")
 // values are materialized as independent strings, but Body aliases
 // data — callers that reuse or mutate the buffer after Parse must
 // copy the body (Clone does).
+//
+//vids:noalloc per-packet SIP decode; budget alloc_test.go:maxSIPParseAllocs
 func Parse(data []byte) (*Message, error) {
 	headerEnd, bodyStart := len(data), len(data)
 	if i := bytes.Index(data, crlfcrlf); i >= 0 {
@@ -83,9 +85,9 @@ func Parse(data []byte) (*Message, error) {
 
 	line, pos := cutLine(hdr, 0)
 	if len(trimASCII(line)) == 0 {
-		return nil, fmt.Errorf("sipmsg: empty message")
+		return nil, fmt.Errorf("sipmsg: empty message") //vids:alloc-ok error path: malformed message aborts parsing
 	}
-	m := &Message{Expires: -1, MaxForwards: -1}
+	m := &Message{Expires: -1, MaxForwards: -1} //vids:alloc-ok one message object per packet; budgeted by alloc_test.go:maxSIPParseAllocs
 	if err := parseStartLineBytes(m, line); err != nil {
 		return nil, err
 	}
@@ -131,7 +133,7 @@ func Parse(data []byte) (*Message, error) {
 	body := data[bodyStart:]
 	if contentLength >= 0 {
 		if contentLength > len(body) {
-			return nil, fmt.Errorf("sipmsg: Content-Length %d exceeds body size %d",
+			return nil, fmt.Errorf("sipmsg: Content-Length %d exceeds body size %d", //vids:alloc-ok error path: malformed message aborts parsing
 				contentLength, len(body))
 		}
 		body = body[:contentLength]
@@ -159,6 +161,8 @@ func cutLine(b []byte, pos int) ([]byte, int) {
 }
 
 // parseHeaderLine dispatches one logical (unfolded) header line.
+//
+//vids:alloc-ok materializes the retained header values; bounded by alloc_test.go:maxSIPParseAllocs
 func (m *Message) parseHeaderLine(ln []byte, contentLength *int) error {
 	colon := bytes.IndexByte(ln, ':')
 	if colon < 0 {
@@ -230,6 +234,8 @@ func (m *Message) parseHeaderLine(ln []byte, contentLength *int) error {
 
 // parseViaLine splits a Via value on top-level commas (outside quotes
 // and angle brackets) and appends each entry.
+//
+//vids:alloc-ok Via entries are materialized per header; bounded by maxSIPParseAllocs
 func (m *Message) parseViaLine(value []byte) error {
 	start, depth := 0, 0
 	inQuote := false
@@ -267,6 +273,7 @@ func (m *Message) parseViaLine(value []byte) error {
 	return nil
 }
 
+//vids:alloc-ok URI/status materialization plus malformed-line error paths; bounded by maxSIPParseAllocs
 func parseStartLineBytes(m *Message, line []byte) error {
 	line = trimASCII(line)
 	if len(line) > len(sipVersion) &&
@@ -321,6 +328,8 @@ func parseStartLineBytes(m *Message, line []byte) error {
 
 // parseCSeqBytes parses a CSeq value ("314159 INVITE") without
 // intermediate strings; known methods are interned.
+//
+//vids:alloc-ok allocates only for malformed CSeq lines, which abort the packet
 func parseCSeqBytes(b []byte) (CSeq, error) {
 	var f0, f1 []byte
 	n := 0
@@ -364,6 +373,8 @@ func parseCSeqBytes(b []byte) (CSeq, error) {
 
 // internMethod returns the shared constant for known methods so the
 // hot path never allocates a method string.
+//
+//vids:alloc-ok unknown methods only; the static table covers every RFC 3261 method
 func internMethod(b []byte) Method {
 	for _, k := range KnownMethods {
 		if string(b) == string(k) {
@@ -446,6 +457,8 @@ func lookupHeader(name []byte) (int, string) {
 
 // canonicalizeBytes Title-By-Dash-cases an unknown header name,
 // mirroring CanonicalHeaderName's fallback for ASCII names.
+//
+//vids:alloc-ok unknown header names only; known headers hit the static table
 func canonicalizeBytes(name []byte) string {
 	out := make([]byte, len(name))
 	up := true
@@ -466,6 +479,8 @@ func canonicalizeBytes(name []byte) string {
 
 // atoiBytes is strconv.Atoi for byte slices: optional sign, decimal
 // digits, error on anything else or overflow.
+//
+//vids:alloc-ok allocates only for malformed digits, which abort the packet
 func atoiBytes(b []byte) (int, error) {
 	i, neg := 0, false
 	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {

@@ -93,6 +93,8 @@ func (w *Wheel) Len() int { return w.count }
 // Arm schedules t to fire at the absolute virtual deadline. Re-arming
 // a pending timer moves it. Deadlines in the past are clamped to the
 // present and fire on the next Advance.
+//
+//vids:noalloc armed on every dialog transition; intrusive links only
 func (w *Wheel) Arm(t *Timer, deadline time.Duration) {
 	if t.wheel != nil {
 		t.wheel.unlink(t)
@@ -107,6 +109,8 @@ func (w *Wheel) Arm(t *Timer, deadline time.Duration) {
 
 // Cancel removes t from the wheel (or suppresses its pending fire
 // when it already expired in the current Advance batch).
+//
+//vids:noalloc cancelled on every dialog transition; intrusive links only
 func (w *Wheel) Cancel(t *Timer) {
 	t.expiring = false
 	if t.wheel == nil {
@@ -197,6 +201,8 @@ func (w *Wheel) Next() (time.Duration, bool) {
 // Advance moves the clock to now and fires every timer whose deadline
 // is at or before it, including timers armed by expiry callbacks for
 // instants at or before now. The clock never moves backwards.
+//
+//vids:noalloc runs on the timer drain of every simulated instant
 func (w *Wheel) Advance(now time.Duration) {
 	if now < w.now {
 		return
@@ -215,7 +221,7 @@ func (w *Wheel) Advance(now time.Duration) {
 				continue
 			}
 			t.expiring = false
-			w.fire(t)
+			w.fire(t) //vids:alloc-ok expiry dispatch; the IDS fire path is its own noalloc root
 		}
 		w.expired = w.expired[:0]
 	}
