@@ -39,8 +39,9 @@ fmt:
 # (internal/speclint via cmd/fsmdump). vidslint's whole-module run
 # includes the whole-program passes: the //vids:noalloc escape gate
 # over the hot-path call closure, the lock-discipline gate over
-# internal/engine and internal/timerwheel, the directive-freshness
-# sweep, and the alloc-ceiling drift check against alloc_test.go.
+# internal/engine, internal/timerwheel and internal/ingress, the
+# directive-freshness sweep, and the alloc-ceiling drift check
+# against alloc_test.go.
 lint: fmt
 	$(GO) vet ./...
 	$(GO) run ./cmd/vidslint ./...
@@ -64,6 +65,8 @@ bench:
 	$(GO) run ./cmd/benchjson -merge BENCH_churn.part.json BENCH_throughput.part.json > BENCH_engine.json
 	@rm -f BENCH_churn.part.json BENCH_throughput.part.json
 	@echo "wrote BENCH_engine.json"
+	$(GO) run ./cmd/benchjson -scaling BENCH_engine.json \
+		'BenchmarkEngineThroughput/shards=4' 'BenchmarkEngineThroughput/shards=1'
 
 # bench-compare reruns the pinned benchmarks and diffs allocs/op
 # against the committed baselines, failing on a >10% regression —
@@ -78,8 +81,10 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -merge BENCH_churn.fresh.json BENCH_throughput.fresh.json > BENCH_engine.fresh.json
 	$(GO) run ./cmd/benchjson -compare BENCH_hotpath.json BENCH_hotpath.fresh.json
 	$(GO) run ./cmd/benchjson -compare BENCH_engine.json BENCH_engine.fresh.json
+	$(GO) run ./cmd/benchjson -scaling BENCH_engine.fresh.json \
+		'BenchmarkEngineThroughput/shards=4' 'BenchmarkEngineThroughput/shards=1'
 	@rm -f BENCH_hotpath.fresh.json BENCH_churn.fresh.json BENCH_throughput.fresh.json BENCH_engine.fresh.json
-	@echo "allocation budgets hold vs committed baselines"
+	@echo "allocation budgets hold vs committed baselines; ingestion tier scaling floor holds"
 
 # bench-smoke exercises the concurrent engine benchmark once per
 # shard count under the race detector — a cheap CI gate that the

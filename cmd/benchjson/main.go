@@ -8,6 +8,7 @@
 //	go test -run '^$' -bench . -benchmem . | benchjson > BENCH.json
 //	benchjson -merge run1.json run2.json > BENCH.json
 //	benchjson -compare BENCH.json BENCH.fresh.json
+//	benchjson -scaling BENCH.json BenchmarkEngineThroughput/shards=4 BenchmarkEngineThroughput/shards=1
 //
 // The default mode reads benchmark text from stdin and writes JSON to
 // stdout, exiting non-zero when the input contains no benchmark
@@ -19,7 +20,11 @@
 // committed baseline: allocs/op is the hard gate (exit non-zero on a
 // >10% regression in any benchmark the baseline pins), while ns/op
 // growth past 25% only prints a warning — wall-clock time varies
-// across machines, allocation counts do not.
+// across machines, allocation counts do not. -scaling asserts a
+// throughput-scaling floor between two benchmarks of one report
+// (shards=4 must beat shards=1 by -scale-ratio in -scale-metric),
+// skipping with a notice when the run's recorded "cores" metric shows
+// the machine cannot exhibit parallel speedup.
 package main
 
 import (
@@ -208,6 +213,56 @@ func compare(baseline, fresh *Report, w io.Writer) (failures, warnings []string)
 	return failures, warnings
 }
 
+// scalingCheck enforces a throughput-scaling floor between two
+// benchmarks of one report: the numerator's metric must be at least
+// ratio times the denominator's. It is the gate that keeps the
+// multi-lane ingestion tier honest — if the sharded pipeline ever
+// re-serializes (the failure mode the old single-router design had),
+// shards=4 collapses to shards=1 throughput and this check fails the
+// run. Machines without enough cores to exhibit parallel speedup
+// cannot measure the property at all, so when the numerator's "cores"
+// metric is below minCores the check skips with a notice instead of
+// producing a meaningless verdict.
+func scalingCheck(rep *Report, numName, denName, metric string, ratio, minCores float64, w io.Writer) error {
+	find := func(name string) (Benchmark, bool) {
+		for _, b := range rep.Benchmarks {
+			if baseName(b.Name) == name {
+				return b, true
+			}
+		}
+		return Benchmark{}, false
+	}
+	num, ok := find(numName)
+	if !ok {
+		return fmt.Errorf("benchjson: scaling numerator %q not in report", numName)
+	}
+	den, ok := find(denName)
+	if !ok {
+		return fmt.Errorf("benchjson: scaling denominator %q not in report", denName)
+	}
+	if cores, ok := num.Metrics["cores"]; ok && cores < minCores {
+		fmt.Fprintf(w, "benchjson: scaling check skipped: run recorded %.0f core(s), need >= %.0f to measure parallel speedup\n",
+			cores, minCores)
+		return nil
+	}
+	nv, ok := num.Metrics[metric]
+	if !ok || nv <= 0 {
+		return fmt.Errorf("benchjson: %s has no %s metric", numName, metric)
+	}
+	dv, ok := den.Metrics[metric]
+	if !ok || dv <= 0 {
+		return fmt.Errorf("benchjson: %s has no %s metric", denName, metric)
+	}
+	got := nv / dv
+	if got < ratio {
+		return fmt.Errorf("benchjson: scaling floor violated: %s %s = %.0f vs %s = %.0f — ratio %.2fx < required %.2fx",
+			metric, numName, nv, denName, dv, got, ratio)
+	}
+	fmt.Fprintf(w, "benchjson: scaling ok: %s %.0f / %.0f = %.2fx (floor %.2fx)\n",
+		metric, nv, dv, got, ratio)
+	return nil
+}
+
 func loadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -229,6 +284,10 @@ func writeJSON(rep *Report, w io.Writer) error {
 func main() {
 	mergeMode := flag.Bool("merge", false, "merge the JSON reports given as arguments into one on stdout")
 	compareMode := flag.Bool("compare", false, "compare allocs/op: BASELINE.json FRESH.json; exit 1 on >10% regression")
+	scalingMode := flag.Bool("scaling", false, "scaling floor: REPORT.json NUMERATOR DENOMINATOR; exit 1 when the metric ratio is below -scale-ratio")
+	scaleMetric := flag.String("scale-metric", "pkts/sec", "custom metric the -scaling check compares")
+	scaleRatio := flag.Float64("scale-ratio", 2, "minimum NUMERATOR/DENOMINATOR metric ratio for -scaling")
+	scaleMinCores := flag.Float64("scale-min-cores", 4, "skip -scaling when the run's recorded 'cores' metric is below this")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -249,6 +308,18 @@ func main() {
 			reports = append(reports, rep)
 		}
 		if err := writeJSON(merge(reports), os.Stdout); err != nil {
+			fail(err)
+		}
+	case *scalingMode:
+		if flag.NArg() != 3 {
+			fail(fmt.Errorf("benchjson: -scaling needs REPORT.json NUMERATOR DENOMINATOR"))
+		}
+		rep, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		if err := scalingCheck(rep, flag.Arg(1), flag.Arg(2),
+			*scaleMetric, *scaleRatio, *scaleMinCores, os.Stdout); err != nil {
 			fail(err)
 		}
 	case *compareMode:

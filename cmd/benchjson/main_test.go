@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -223,6 +224,70 @@ func TestCompareNsWarning(t *testing.T) {
 		failures, warnings := compare(zb, fresh, &strings.Builder{})
 		if len(failures) != 0 || len(warnings) != 0 {
 			t.Errorf("failures = %v, warnings = %v, want none", failures, warnings)
+		}
+	})
+}
+
+func TestScalingCheck(t *testing.T) {
+	mk := func(cores, s1, s4 float64) *Report {
+		return &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkEngineThroughput/shards=1-8",
+				Metrics: map[string]float64{"pkts/sec": s1, "cores": cores}},
+			{Name: "BenchmarkEngineThroughput/shards=4-8",
+				Metrics: map[string]float64{"pkts/sec": s4, "cores": cores}},
+		}}
+	}
+	num := "BenchmarkEngineThroughput/shards=4"
+	den := "BenchmarkEngineThroughput/shards=1"
+
+	t.Run("scaling holds", func(t *testing.T) {
+		var out strings.Builder
+		err := scalingCheck(mk(8, 100000, 310000), num, den, "pkts/sec", 2, 4, &out)
+		if err != nil {
+			t.Fatalf("unexpected failure: %v", err)
+		}
+		if !strings.Contains(out.String(), "scaling ok") {
+			t.Errorf("no verdict line:\n%s", out.String())
+		}
+	})
+
+	t.Run("re-serialized pipeline fails", func(t *testing.T) {
+		// The old single-router failure mode: shards=4 flat at shards=1.
+		err := scalingCheck(mk(8, 670419, 663984), num, den, "pkts/sec", 2, 4, io.Discard)
+		if err == nil {
+			t.Fatal("flat scaling accepted")
+		}
+		if !strings.Contains(err.Error(), "scaling floor violated") {
+			t.Errorf("wrong error: %v", err)
+		}
+	})
+
+	t.Run("too few cores skips", func(t *testing.T) {
+		var out strings.Builder
+		err := scalingCheck(mk(1, 670419, 663984), num, den, "pkts/sec", 2, 4, &out)
+		if err != nil {
+			t.Fatalf("single-core run must skip, got: %v", err)
+		}
+		if !strings.Contains(out.String(), "skipped") {
+			t.Errorf("no skip notice:\n%s", out.String())
+		}
+	})
+
+	t.Run("missing benchmark fails", func(t *testing.T) {
+		rep := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkEngineThroughput/shards=1-8",
+				Metrics: map[string]float64{"pkts/sec": 1, "cores": 8}},
+		}}
+		if err := scalingCheck(rep, num, den, "pkts/sec", 2, 4, io.Discard); err == nil {
+			t.Fatal("missing numerator accepted")
+		}
+	})
+
+	t.Run("missing metric fails", func(t *testing.T) {
+		rep := mk(8, 100000, 310000)
+		delete(rep.Benchmarks[1].Metrics, "pkts/sec")
+		if err := scalingCheck(rep, num, den, "pkts/sec", 2, 4, io.Discard); err == nil {
+			t.Fatal("metric-less numerator accepted")
 		}
 	})
 }

@@ -13,14 +13,22 @@
 //     demultiplexed off the media socket per RFC 5761) and analyze
 //     whatever arrives, live.
 //
+// With -lanes N (N > 0) packets enter through the multi-lane
+// ingestion tier (internal/ingress): parsing moves onto the shard
+// workers, flood windows onto the lanes, and with -source udp the
+// -listeners flag binds several SO_REUSEPORT socket pairs feeding the
+// lanes concurrently. -lanes 0 keeps the classic serial router path.
+//
 // Usage:
 //
 //	vidsd -source trace -trace capture.jsonl [-pace 1] [-shards N]
 //	vidsd -source udp [-sip :5060] [-rtp :20000] [-policy drop]
+//	vidsd -source udp -lanes 4 -listeners 2 [-policy shed] [-srtp]
 //
 // The daemon drains and exits when the source is exhausted or on
 // SIGINT/SIGTERM: queued packets are analyzed, final statistics are
-// printed, and -report writes the full alert log as JSON.
+// printed, and -report writes the alert log plus the final pipeline
+// counters as JSON.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 
 	"vids/internal/engine"
 	"vids/internal/ids"
+	"vids/internal/ingress"
 )
 
 func main() {
@@ -52,7 +61,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		shards    = fs.Int("shards", 0, "detection shard workers (0 = GOMAXPROCS)")
 		queue     = fs.Int("queue", 0, "per-shard queue depth (0 = 1024)")
-		policy    = fs.String("policy", "block", "full-queue policy: block (lossless) or drop (drop-oldest)")
+		policy    = fs.String("policy", "block", "full-queue policy: block (lossless), drop (drop-oldest) or shed (media before signaling)")
+		lanes     = fs.Int("lanes", 0, "ingestion lanes; 0 = classic serial router path")
+		listeners = fs.Int("listeners", 1, "UDP socket pairs, SO_REUSEPORT permitting (source=udp, lanes>0)")
+		srtp      = fs.Bool("srtp", false, "SRTP-degraded mode: inspect only cleartext RTP headers, skip media payloads and RTCP")
 		source    = fs.String("source", "trace", "packet source: trace or udp")
 		tracePath = fs.String("trace", "", "trace file to replay (source=trace)")
 		pace      = fs.Float64("pace", 1, "replay speed multiple; 0 = as fast as possible (source=trace)")
@@ -60,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rtpAddr   = fs.String("rtp", ":20000", "media listen address (source=udp)")
 		advertise = fs.String("advertise", "", "host recorded as packet destination; match your SDP (source=udp)")
 		statsIvl  = fs.Duration("stats", 10*time.Second, "statistics reporting interval (0 disables)")
-		report    = fs.String("report", "", "write the alert log (JSON) to this file on exit")
+		report    = fs.String("report", "", "write the alert log and final counters (JSON) to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,35 +81,70 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg := engine.Config{
 		Shards:     *shards,
 		QueueDepth: *queue,
+		IDS:        ids.DefaultConfig(),
 		OnAlert: func(a ids.Alert) {
 			fmt.Fprintf(stdout, "ALERT %s\n", a)
 		},
 	}
+	cfg.IDS.MediaHeaderOnly = *srtp
 	switch *policy {
 	case "block":
 		cfg.Policy = engine.Block
 	case "drop":
 		cfg.Policy = engine.DropOldest
+	case "shed":
+		cfg.Policy = engine.Shed
 	default:
-		return fmt.Errorf("unknown -policy %q (want block or drop)", *policy)
+		return fmt.Errorf("unknown -policy %q (want block, drop or shed)", *policy)
+	}
+	if *lanes < 0 {
+		return fmt.Errorf("-lanes must be >= 0")
 	}
 
-	var src engine.Source
+	// The tier in front of the engine: with -lanes 0 the engine's own
+	// serial router ingests; otherwise the multi-lane tier does, and
+	// stats/alerts/drain all go through it.
+	var (
+		sink   engine.Sink
+		stats  func() engine.Stats
+		alerts func() []ids.Alert
+		drain  func() error
+		ing    *ingress.Ingress
+	)
+	if *lanes > 0 {
+		ing = ingress.New(ingress.Config{Lanes: *lanes, Engine: cfg})
+		sink, stats, alerts, drain = ing, ing.Stats, ing.Alerts, ing.Close
+		fmt.Fprintf(stderr, "vidsd: %d lane(s) -> %d shard(s), queue %s, source %s\n",
+			ing.Lanes(), ing.Engine().Shards(), cfg.Policy, *source)
+	} else {
+		e := engine.New(cfg)
+		sink, stats, alerts, drain = e, e.Stats, e.Alerts, e.Close
+		fmt.Fprintf(stderr, "vidsd: %d shard(s), queue %s, source %s\n",
+			e.Shards(), cfg.Policy, *source)
+	}
+
+	var runSrc func(context.Context) error
 	switch *source {
 	case "trace":
 		if *tracePath == "" {
 			return fmt.Errorf("source=trace needs -trace FILE")
 		}
-		src = &engine.TraceSource{Path: *tracePath, Pace: *pace}
+		src := &engine.TraceSource{Path: *tracePath, Pace: *pace}
+		runSrc = func(ctx context.Context) error { return src.Run(ctx, sink) }
 	case "udp":
-		src = &engine.UDPSource{SIPAddr: *sipAddr, RTPAddr: *rtpAddr, AdvertiseHost: *advertise}
+		if ing != nil {
+			ul := &ingress.UDPListeners{
+				SIPAddr: *sipAddr, RTPAddr: *rtpAddr,
+				AdvertiseHost: *advertise, Listeners: *listeners,
+			}
+			runSrc = func(ctx context.Context) error { return ul.Run(ctx, ing) }
+		} else {
+			src := &engine.UDPSource{SIPAddr: *sipAddr, RTPAddr: *rtpAddr, AdvertiseHost: *advertise}
+			runSrc = func(ctx context.Context) error { return src.Run(ctx, sink) }
+		}
 	default:
 		return fmt.Errorf("unknown -source %q (want trace or udp)", *source)
 	}
-
-	e := engine.New(cfg)
-	fmt.Fprintf(stderr, "vidsd: %d shard(s), queue %s, source %s\n",
-		e.Shards(), cfg.Policy, *source)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -113,7 +160,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			for {
 				select {
 				case <-t.C:
-					printStats(stderr, e.Stats())
+					printStats(stderr, stats())
 				case <-ctx.Done():
 					return
 				}
@@ -123,7 +170,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		close(statsDone)
 	}
 
-	srcErr := src.Run(ctx, e)
+	srcErr := runSrc(ctx)
 	switch {
 	case errors.Is(srcErr, context.Canceled):
 		fmt.Fprintln(stderr, "vidsd: interrupted, draining")
@@ -133,19 +180,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	stop()
 	<-statsDone
-	closeErr := e.Close()
+	closeErr := drain()
 
 	// The final counters and the report flush no matter how the run
 	// ended — source EOF, signal, or a drain failure. An operator
 	// diagnosing a failed run needs the numbers and the alert log most
 	// of all, and a clean EOF exit must leave the same artifacts a
 	// signal-triggered drain does.
-	printStats(stderr, e.Stats())
-	alerts := e.Alerts()
-	fmt.Fprintf(stderr, "vidsd: done: %d alert(s)\n", len(alerts))
+	finalStats := stats()
+	printStats(stderr, finalStats)
+	alertLog := alerts()
+	fmt.Fprintf(stderr, "vidsd: done: %d alert(s)\n", len(alertLog))
 	var reportErr error
 	if *report != "" {
-		if reportErr = writeReport(alerts, *report); reportErr == nil {
+		if reportErr = writeReport(alertLog, finalStats, *report); reportErr == nil {
 			fmt.Fprintf(stderr, "vidsd: report written to %s\n", *report)
 		}
 	}
@@ -153,9 +201,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 func printStats(w io.Writer, st engine.Stats) {
-	fmt.Fprintf(w, "vidsd: ingested=%d processed=%d dropped=%d absorbed=%d ignored=%d parse-errors=%d alerts=%d pps=%.0f\n",
-		st.Ingested, st.Processed, st.Dropped, st.Absorbed, st.Ignored,
-		st.ParseErrors, st.Alerts, st.PacketsPerSec)
+	fmt.Fprintf(w, "vidsd: ingested=%d processed=%d dropped=%d dropped-media=%d dropped-signaling=%d absorbed=%d ignored=%d parse-errors=%d alerts=%d pps=%.0f\n",
+		st.Ingested, st.Processed, st.Dropped, st.DroppedMedia, st.DroppedSignaling,
+		st.Absorbed, st.Ignored, st.ParseErrors, st.Alerts, st.PacketsPerSec)
 	for i, sh := range st.Shards {
 		if sh.Depth > 0 {
 			fmt.Fprintf(w, "vidsd:   shard %d backlog: %d queued\n", i, sh.Depth)
@@ -163,9 +211,16 @@ func printStats(w io.Writer, st engine.Stats) {
 	}
 }
 
-// writeReport renders the alert log in the same JSON format as
-// ids.IDS.WriteAlerts.
-func writeReport(alerts []ids.Alert, path string) error {
+// reportDoc is the on-disk report shape: the alert log plus the final
+// pipeline counters, so a drained run documents its own backpressure
+// behavior (what was shed, and of which tier) next to what it
+// detected.
+type reportDoc struct {
+	Alerts []ids.Alert  `json:"alerts"`
+	Stats  engine.Stats `json:"stats"`
+}
+
+func writeReport(alerts []ids.Alert, st engine.Stats, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -176,5 +231,5 @@ func writeReport(alerts []ids.Alert, path string) error {
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	return enc.Encode(alerts)
+	return enc.Encode(reportDoc{Alerts: alerts, Stats: st})
 }

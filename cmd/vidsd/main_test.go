@@ -97,9 +97,76 @@ func TestEOFDrainFlushesStatsAndReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("report not written on EOF exit: %v", err)
 	}
-	var alerts []ids.Alert
-	if err := json.Unmarshal(data, &alerts); err != nil {
-		t.Fatalf("report is not an alert log: %v\n%s", err, data)
+	var doc struct {
+		Alerts []ids.Alert  `json:"alerts"`
+		Stats  engine.Stats `json:"stats"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("report is not an alert+stats document: %v\n%s", err, data)
+	}
+	if doc.Alerts == nil {
+		t.Errorf("report has no alerts array:\n%s", data)
+	}
+	if doc.Stats.Ingested == 0 {
+		t.Errorf("report stats empty:\n%s", data)
+	}
+}
+
+// TestLanesRunToCompletion drives the multi-lane ingestion tier end to
+// end from the daemon: same trace, -lanes 2, shed policy and the
+// widened report. The attack trace must still be fully detected.
+func TestLanesRunToCompletion(t *testing.T) {
+	path := writeSynthTrace(t, engine.SynthConfig{Calls: 10, RTPPerCall: 5, Attacks: true})
+	report := filepath.Join(t.TempDir(), "alerts.json")
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-source", "trace", "-trace", path, "-pace", "0",
+		"-shards", "4", "-lanes", "2", "-policy", "shed",
+		"-stats", "0", "-report", report,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "vidsd: 2 lane(s) -> 4 shard(s)") {
+		t.Errorf("lane banner missing:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ALERT") {
+		t.Errorf("no alerts on stdout:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Alerts []ids.Alert  `json:"alerts"`
+		Stats  engine.Stats `json:"stats"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("report: %v\n%s", err, data)
+	}
+	if !strings.Contains(string(data), "invite-flood") {
+		t.Errorf("report missing expected alert types:\n%s", data)
+	}
+	if doc.Stats.Dropped != 0 {
+		t.Errorf("lossless trace replay dropped %d packets", doc.Stats.Dropped)
+	}
+}
+
+// TestSRTPFlag: header-only mode must run clean end to end and stay
+// silent on a benign trace.
+func TestSRTPFlag(t *testing.T) {
+	path := writeSynthTrace(t, engine.SynthConfig{Calls: 3, RTPPerCall: 4})
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-source", "trace", "-trace", path, "-pace", "0",
+		"-shards", "2", "-lanes", "2", "-srtp", "-stats", "0",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "ALERT") {
+		t.Errorf("benign trace raised alerts in -srtp mode:\n%s", stdout.String())
 	}
 }
 

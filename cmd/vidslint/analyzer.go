@@ -3,12 +3,14 @@ package main
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -160,9 +162,37 @@ func (a *analyzer) parseDir(dir string) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildConstraintSatisfied(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// buildConstraintSatisfied mirrors the go tool's //go:build file
+// selection for the analyzer's own GOOS/GOARCH, so platform variants
+// of one symbol (e.g. the SO_REUSEPORT pair in internal/ingress)
+// don't collide in the typechecker.
+func buildConstraintSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed constraints are the compiler's problem
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH
+			})
+		}
+	}
+	return true
 }
 
 // analyzeDir typechecks one package directory and runs every rule.
@@ -197,10 +227,12 @@ func (a *analyzer) analyzeDir(dir string) ([]finding, error) {
 		out = append(out, a.checkSpecRegistry(importPath, files, info)...)
 	}
 	out = append(out, a.checkGuardPurity(files, info)...)
-	if strings.HasSuffix(importPath, "internal/ids") || strings.HasSuffix(importPath, "internal/engine") {
+	if strings.HasSuffix(importPath, "internal/ids") || strings.HasSuffix(importPath, "internal/engine") ||
+		strings.HasSuffix(importPath, "internal/ingress") {
 		out = append(out, a.checkWallClock(files, info)...)
 	}
-	if strings.HasSuffix(importPath, "internal/engine") || strings.HasSuffix(importPath, "internal/timerwheel") {
+	if strings.HasSuffix(importPath, "internal/engine") || strings.HasSuffix(importPath, "internal/timerwheel") ||
+		strings.HasSuffix(importPath, "internal/ingress") {
 		out = append(out, a.checkLockDiscipline(files, info)...)
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,72 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetPutRecycles(t *testing.T) {
+	p := New(128)
+	a := p.Get()
+	if len(a) != 128 || cap(a) != 128 {
+		t.Fatalf("Get returned len %d cap %d, want 128/128", len(a), cap(a))
+	}
+	p.Put(a[:17]) // short reads come back re-sliced; the pool restores full length
+	b := p.Get()
+	if &a[0] != &b[0] {
+		t.Error("second Get did not recycle the returned buffer")
+	}
+	if len(b) != 128 {
+		t.Errorf("recycled buffer has len %d, want full 128", len(b))
+	}
+	gets, misses, free := p.Stats()
+	if gets != 2 || misses != 1 || free != 0 {
+		t.Errorf("stats gets=%d misses=%d free=%d, want 2/1/0", gets, misses, free)
+	}
+}
+
+func TestPutDropsForeignBuffers(t *testing.T) {
+	p := New(128)
+	p.Put(make([]byte, 64))       // trace payload retired through the same hook
+	p.Put(make([]byte, 128, 256)) // wrong capacity even with matching length
+	if _, _, free := p.Stats(); free != 0 {
+		t.Errorf("foreign buffers entered the free list (%d)", free)
+	}
+	own := p.Get()
+	p.Put(own)
+	if _, _, free := p.Stats(); free != 1 {
+		t.Errorf("own buffer rejected: free=%d", free)
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	if s := New(0).Size(); s != DefaultSize {
+		t.Errorf("New(0).Size() = %d, want %d", s, DefaultSize)
+	}
+}
+
+// TestConcurrentChurn exercises the pool from many goroutines under
+// the race detector.
+func TestConcurrentChurn(t *testing.T) {
+	p := New(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := p.Get()
+				b[0] = byte(i)
+				p.Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+	gets, _, free := p.Stats()
+	if gets != 4000 {
+		t.Errorf("gets = %d, want 4000", gets)
+	}
+	if free == 0 {
+		t.Error("nothing returned to the free list")
+	}
+}

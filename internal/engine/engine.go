@@ -50,6 +50,16 @@ const (
 	// policy for live capture, where blocking the reader loses packets
 	// in the kernel instead — invisibly.
 	DropOldest
+	// Shed is tiered overload shedding for live capture under attack:
+	// when a shard queue fills, media is sacrificed before signaling.
+	// An arriving RTP/RTCP packet is dropped on the floor; an arriving
+	// SIP packet evicts the oldest queued media packet instead (falling
+	// back to the oldest signaling packet only when the whole ring is
+	// signaling). A media flood therefore cannot starve the SIP stream
+	// the detectors need most — losing an RTP packet costs a little
+	// media-plane sensitivity, losing an INVITE or BYE loses call state
+	// the monitors never recover.
+	Shed
 )
 
 func (p Policy) String() string {
@@ -58,6 +68,8 @@ func (p Policy) String() string {
 		return "block"
 	case DropOldest:
 		return "drop-oldest"
+	case Shed:
+		return "shed-media-first"
 	default:
 		return "policy(?)"
 	}
@@ -83,6 +95,14 @@ type Config struct {
 	// writer is fine. The callback must not call back into the
 	// engine's Ingest or Close.
 	OnAlert func(ids.Alert)
+	// OnRetire, when set, observes every ingested packet exactly once
+	// after the engine is finished with it — analyzed by a shard,
+	// absorbed at the router, evicted under DropOldest/Shed, counted
+	// as a parse error, or ignored as non-VoIP. Live sources use it to
+	// return receive buffers to a bufpool free list. It may run on any
+	// goroutine, is never invoked under an engine lock, and must not
+	// call back into Ingest or Close.
+	OnRetire func(*sim.Packet)
 }
 
 // ErrClosed is returned by Ingest after Close has begun.
@@ -117,6 +137,14 @@ type shard struct {
 	ids  *ids.IDS
 	done chan struct{}
 
+	// parseErrs aliases the engine's parse-error counter: raw SIP
+	// handed over by the ingress tier is parsed here on the worker,
+	// and a failure is pipeline accounting, not shard accounting.
+	parseErrs *atomic.Uint64
+	// retire is Config.OnRetire (nil when unset), invoked outside the
+	// queue lock for every packet this shard consumes or evicts.
+	retire func(*sim.Packet)
+
 	mu      sync.Mutex
 	ready   *sync.Cond // work arrived, or closing
 	space   *sync.Cond // ring slots freed (Block producers wait here)
@@ -126,10 +154,12 @@ type shard struct {
 	closing bool
 	batch   []item // worker-owned detach buffer, reused every pickup
 
-	queued    atomic.Int64 // mirrors n for lock-free Stats
-	processed atomic.Uint64
-	dropped   atomic.Uint64
-	alerts    atomic.Uint64
+	queued     atomic.Int64 // mirrors n for lock-free Stats
+	processed  atomic.Uint64
+	dropped    atomic.Uint64
+	shedMedia  atomic.Uint64 // Shed evictions that hit media
+	shedSignal atomic.Uint64 // Shed evictions that had to hit signaling
+	alerts     atomic.Uint64
 }
 
 // Engine is the online detection pipeline. Create instances with New;
@@ -206,11 +236,13 @@ func New(cfg Config) *Engine {
 	for i := range e.shards {
 		s := sim.New(int64(i) + 1)
 		sh := &shard{
-			sim:   s,
-			ids:   ids.New(s, cfg.IDS),
-			done:  make(chan struct{}),
-			buf:   make([]item, cfg.QueueDepth),
-			batch: make([]item, 0, cfg.QueueDepth),
+			sim:       s,
+			ids:       ids.New(s, cfg.IDS),
+			done:      make(chan struct{}),
+			parseErrs: &e.parseErrors,
+			retire:    cfg.OnRetire,
+			buf:       make([]item, cfg.QueueDepth),
+			batch:     make([]item, 0, cfg.QueueDepth),
 		}
 		sh.ready = sync.NewCond(&sh.mu)
 		sh.space = sync.NewCond(&sh.mu)
@@ -269,12 +301,32 @@ func (sh *shard) run() {
 		for i := range batch {
 			it := batch[i]
 			_ = sh.sim.RunUntil(it.at)
-			if it.sip != nil {
+			switch {
+			case it.sip != nil:
+				// Router path: the serial router already parsed to route.
 				sh.ids.ProcessSIP(it.sip, it.pkt)
-			} else {
+				sh.processed.Add(1)
+			case it.pkt.Proto == sim.ProtoSIP:
+				// Ingress path: the lane routed on a lite extract and the
+				// shard owns the full parse, so the serial tier never
+				// pays for it.
+				if raw, ok := it.pkt.Payload.([]byte); ok {
+					if m, err := sipmsg.Parse(raw); err == nil {
+						sh.ids.ProcessSIP(m, it.pkt)
+						sh.processed.Add(1)
+					} else {
+						sh.parseErrs.Add(1)
+					}
+				} else {
+					sh.parseErrs.Add(1)
+				}
+			default:
 				sh.ids.Process(it.pkt)
+				sh.processed.Add(1)
 			}
-			sh.processed.Add(1)
+			if sh.retire != nil {
+				sh.retire(it.pkt)
+			}
 			batch[i] = item{}
 		}
 		sh.batch = batch[:0]
@@ -285,31 +337,103 @@ func (sh *shard) run() {
 // enqueue appends one item to the shard ring, applying the
 // backpressure policy when the ring is full: Block waits for the
 // worker to detach a batch; DropOldest advances the ring head past
-// the oldest queued item, counting the eviction. Items the worker has
+// the oldest queued item, counting the eviction; Shed sacrifices
+// media before signaling (see the Policy docs). Items the worker has
 // already detached are beyond eviction — the same property the old
-// channel had once a packet was received.
+// channel had once a packet was received. Victims are retired outside
+// the queue lock: the retire hook is user code and must never run
+// while producers are parked on the condition variable.
 func (sh *shard) enqueue(it item, p Policy) {
+	var victim *sim.Packet
+	admitted := true
 	sh.mu.Lock()
-	if p == Block {
+	switch p {
+	case Block:
 		for sh.n == len(sh.buf) {
 			sh.space.Wait()
 		}
-	} else {
+	case DropOldest:
 		for sh.n == len(sh.buf) {
+			victim = sh.buf[sh.head].pkt
 			sh.buf[sh.head] = item{}
 			sh.head = (sh.head + 1) % len(sh.buf)
 			sh.n--
 			sh.dropped.Add(1)
 			sh.queued.Add(-1)
 		}
+	case Shed:
+		if sh.n == len(sh.buf) {
+			if isMedia(it.pkt) {
+				// Tier 1: an arriving media packet yields to whatever
+				// is already queued.
+				admitted = false
+				sh.dropped.Add(1)
+				sh.shedMedia.Add(1)
+			} else {
+				victim = sh.evictForSignaling()
+			}
+		}
 	}
-	sh.buf[(sh.head+sh.n)%len(sh.buf)] = it
-	sh.n++
-	sh.queued.Add(1)
-	if sh.n == 1 {
-		sh.ready.Signal()
+	if admitted {
+		sh.buf[(sh.head+sh.n)%len(sh.buf)] = it
+		sh.n++
+		sh.queued.Add(1)
+		if sh.n == 1 {
+			sh.ready.Signal()
+		}
 	}
 	sh.mu.Unlock()
+	if victim != nil && sh.retire != nil {
+		sh.retire(victim) //vids:alloc-ok retire hook recycles pooled receive buffers; nil in replay
+	}
+	if !admitted && sh.retire != nil {
+		sh.retire(it.pkt) //vids:alloc-ok retire hook recycles pooled receive buffers; nil in replay
+	}
+}
+
+// evictForSignaling makes room for an arriving SIP packet under Shed:
+// the oldest queued media packet goes first, and only a ring full of
+// signaling sacrifices its own oldest entry. Caller holds sh.mu; the
+// evicted packet is returned for retirement outside the lock.
+func (sh *shard) evictForSignaling() *sim.Packet {
+	n := len(sh.buf)
+	at := -1
+	for j := 0; j < sh.n; j++ {
+		if isMedia(sh.buf[(sh.head+j)%n].pkt) {
+			at = j
+			break
+		}
+	}
+	if at < 0 {
+		// Tier 2: all signaling — the oldest entry is the least
+		// valuable (its dialog state is most likely already built).
+		victim := sh.buf[sh.head].pkt
+		sh.buf[sh.head] = item{}
+		sh.head = (sh.head + 1) % n
+		sh.n--
+		sh.dropped.Add(1)
+		sh.shedSignal.Add(1)
+		sh.queued.Add(-1)
+		return victim
+	}
+	victim := sh.buf[(sh.head+at)%n].pkt
+	// Close the gap toward the tail, preserving FIFO order of the
+	// survivors.
+	for j := at; j < sh.n-1; j++ {
+		sh.buf[(sh.head+j)%n] = sh.buf[(sh.head+j+1)%n]
+	}
+	sh.buf[(sh.head+sh.n-1)%n] = item{}
+	sh.n--
+	sh.dropped.Add(1)
+	sh.shedMedia.Add(1)
+	sh.queued.Add(-1)
+	return victim
+}
+
+// isMedia reports whether pkt rides the media plane (RTP or RTCP) —
+// the shedding tiers' discriminator.
+func isMedia(pkt *sim.Packet) bool {
+	return pkt.Proto == sim.ProtoRTP || pkt.Proto == sim.ProtoRTCP
 }
 
 // shut marks the shard closing and wakes the worker so it drains the
@@ -356,6 +480,68 @@ func (e *Engine) shardFor(key string) *shard {
 	return e.shards[int(fnv32a(key)%uint32(len(e.shards)))]
 }
 
+// ShardIndexFor exposes the Call-ID → shard mapping to the ingress
+// tier, which routes on a lite extract and must land a call's packets
+// on the same worker the router path would pick.
+func (e *Engine) ShardIndexFor(callID string) int {
+	return int(fnv32a(callID) % uint32(len(e.shards)))
+}
+
+// ShardIndexForBytes is ShardIndexFor over a key still sitting in a
+// receive buffer, so the per-packet route never materializes a string.
+func (e *Engine) ShardIndexForBytes(key []byte) int {
+	return int(fnv32aBytes(key) % uint32(len(e.shards)))
+}
+
+// EnqueueRaw hands a packet straight to shard idx, bypassing the
+// serial router: the ingress tier has already made the routing
+// decision and fed the cross-call detectors on its lanes. Raw SIP
+// payloads (no parsed message attached) are parsed on the shard
+// worker, which is exactly the point — parse and classify scale with
+// the shard count instead of serializing at one router goroutine.
+// Callers own per-call packet ordering, as with Ingest.
+func (e *Engine) EnqueueRaw(idx int, pkt *sim.Packet, at time.Duration) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.ingestWG.Add(1)
+	defer e.ingestWG.Done()
+	// Same double-check as Ingest: Close sets closed before waiting on
+	// the group, so passing this check means the queues are still open.
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.shards[idx].enqueue(item{pkt: pkt, at: at}, e.cfg.Policy)
+	return nil
+}
+
+// RecordAlert merges an alert raised outside the engine — an ingress
+// lane's FloodWatch — into the router's alert log, the alert counter,
+// and the serialized OnAlert stream.
+func (e *Engine) RecordAlert(a ids.Alert) {
+	e.mu.Lock()
+	e.fwAlerts = append(e.fwAlerts, a)
+	e.mu.Unlock()
+	e.alertCount.Add(1)
+	e.deliver(a)
+}
+
+// NoteIngested, NoteParseError, NoteAbsorbed and NoteIgnored let the
+// ingress tier account for packets it accepts or disposes of before
+// they reach a shard, so Stats stays a complete census of the
+// pipeline no matter which tier fed it.
+func (e *Engine) NoteIngested() { e.ingested.Add(1) }
+
+// NoteParseError counts a datagram that failed the SIP lite extract
+// and the full parse fallback.
+func (e *Engine) NoteParseError() { e.parseErrors.Add(1) }
+
+// NoteAbsorbed counts a stray response consumed at the ingress tier.
+func (e *Engine) NoteAbsorbed() { e.absorbed.Add(1) }
+
+// NoteIgnored counts a non-VoIP packet dropped at the ingress tier.
+func (e *Engine) NoteIgnored() { e.ignored.Add(1) }
+
 // Ingest routes one captured packet into the pipeline. at is the
 // packet's capture timestamp on the trace clock; callers must deliver
 // packets in capture order. Ingest is safe for concurrent use and
@@ -390,8 +576,17 @@ func (e *Engine) Ingest(pkt *sim.Packet, at time.Duration) error {
 	default:
 		// Non-VoIP traffic is outside vids' scope.
 		e.ignored.Add(1)
+		e.retirePkt(pkt)
 	}
 	return nil
+}
+
+// retirePkt hands a packet the engine has finished with to the
+// OnRetire hook. Never called under a lock.
+func (e *Engine) retirePkt(pkt *sim.Packet) {
+	if e.cfg.OnRetire != nil {
+		e.cfg.OnRetire(pkt)
+	}
 }
 
 // ingestSIP parses, feeds the cross-call detectors, maintains the
@@ -401,11 +596,13 @@ func (e *Engine) ingestSIP(pkt *sim.Packet, at time.Duration) {
 	raw, ok := pkt.Payload.([]byte)
 	if !ok {
 		e.parseErrors.Add(1)
+		e.retirePkt(pkt)
 		return
 	}
 	m, err := sipmsg.Parse(raw)
 	if err != nil {
 		e.parseErrors.Add(1)
+		e.retirePkt(pkt)
 		return
 	}
 
@@ -449,6 +646,9 @@ func (e *Engine) ingestSIP(pkt *sim.Packet, at time.Duration) {
 		}
 		e.absorbed.Add(1)
 		e.mu.Unlock()
+		// The alert detail (if any) was rendered inside the feed, so
+		// nothing references the payload anymore.
+		e.retirePkt(pkt)
 		return
 	}
 	// Mirror ids.indexMedia: the INVITE's SDP names where the callee's
@@ -606,20 +806,28 @@ func SortAlerts(alerts []ids.Alert) {
 type ShardStats struct {
 	Depth     int    // packets waiting in the queue
 	Processed uint64 // packets analyzed
-	Dropped   uint64 // packets evicted under DropOldest
-	Alerts    uint64 // alerts this shard raised
+	Dropped   uint64 // packets evicted under DropOldest or Shed
+	ShedMedia uint64 // Shed evictions that hit the media plane
+	// ShedSignaling counts Shed evictions that had to hit signaling
+	// because the whole ring was SIP — the tier the policy defends.
+	ShedSignaling uint64
+	Alerts        uint64 // alerts this shard raised
 }
 
 // Stats is a point-in-time snapshot of the pipeline.
 type Stats struct {
-	Shards      []ShardStats
-	Ingested    uint64 // packets accepted by Ingest
-	Processed   uint64 // sum of shard Processed
-	Dropped     uint64 // sum of shard Dropped
-	Alerts      uint64 // shard alerts + router (flood) alerts
-	ParseErrors uint64 // SIP payloads that failed to parse at the router
-	Absorbed    uint64 // stray responses consumed by the router's FloodWatch
-	Ignored     uint64 // non-VoIP packets
+	Shards       []ShardStats
+	Ingested     uint64 // packets accepted by Ingest/EnqueueRaw (or noted by ingress)
+	Processed    uint64 // sum of shard Processed
+	Dropped      uint64 // sum of shard Dropped
+	DroppedMedia uint64 // Shed evictions that hit media, summed
+	// DroppedSignaling is the shed count the operator watches: while
+	// it stays zero, overload has cost only media-plane sensitivity.
+	DroppedSignaling uint64
+	Alerts           uint64 // shard alerts + router/lane (flood) alerts
+	ParseErrors      uint64 // SIP payloads that failed to parse (router, lane, or shard)
+	Absorbed         uint64 // stray responses consumed by the router or an ingress lane
+	Ignored          uint64 // non-VoIP packets
 
 	Elapsed       time.Duration // wall time since New
 	PacketsPerSec float64       // Processed / Elapsed
@@ -640,14 +848,18 @@ func (e *Engine) Stats() Stats {
 	}
 	for i, sh := range e.shards {
 		s := ShardStats{
-			Depth:     int(sh.queued.Load()),
-			Processed: sh.processed.Load(),
-			Dropped:   sh.dropped.Load(),
-			Alerts:    sh.alerts.Load(),
+			Depth:         int(sh.queued.Load()),
+			Processed:     sh.processed.Load(),
+			Dropped:       sh.dropped.Load(),
+			ShedMedia:     sh.shedMedia.Load(),
+			ShedSignaling: sh.shedSignal.Load(),
+			Alerts:        sh.alerts.Load(),
 		}
 		st.Shards[i] = s
 		st.Processed += s.Processed
 		st.Dropped += s.Dropped
+		st.DroppedMedia += s.ShedMedia
+		st.DroppedSignaling += s.ShedSignaling
 	}
 	if secs := st.Elapsed.Seconds(); secs > 0 {
 		st.PacketsPerSec = float64(st.Processed) / secs

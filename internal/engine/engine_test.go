@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -393,5 +394,101 @@ func TestLateHangupParity(t *testing.T) {
 	}
 	if st.Absorbed != 1 {
 		t.Errorf("absorbed = %d, want 1 (the straggler 200-for-BYE)", st.Absorbed)
+	}
+}
+
+// TestShedPolicyMediaFirst blocks the single shard worker, fills the
+// depth-4 queue with media, and verifies the shedding tiers with exact
+// counters: arriving media is dropped on the floor once the ring is
+// full, arriving signaling evicts the oldest queued media, and only a
+// ring full of signaling sacrifices its own oldest entry. The retire
+// hook must see every ingested packet exactly once, evicted or not.
+func TestShedPolicyMediaFirst(t *testing.T) {
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	var retired atomic.Uint64
+	e := New(Config{
+		Shards:     1,
+		QueueDepth: 4,
+		Policy:     Shed,
+		OnAlert: func(ids.Alert) {
+			once.Do(func() {
+				close(blocked)
+				<-release
+			})
+		},
+		OnRetire: func(*sim.Packet) { retired.Add(1) },
+	})
+
+	// A REGISTER always raises the rogue-register alert — the worker
+	// parks inside OnAlert holding the shard busy.
+	reg := sipmsg.NewRequest(sipmsg.REGISTER, sipmsg.URI{Host: "a.example.com"})
+	reg.Via = []sipmsg.Via{{Transport: "UDP", Host: "x.example.net", Port: 5060,
+		Params: map[string]string{"branch": "z9hG4bKshed"}}}
+	reg.From = sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "a.example.com"}}.WithTag("s1")
+	reg.To = sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "a.example.com"}}
+	reg.CallID = "shed@example.net"
+	reg.CSeq = sipmsg.CSeq{Seq: 1, Method: sipmsg.REGISTER}
+	regPkt := &sim.Packet{
+		From:  sim.Addr{Host: "x.example.net", Port: 5060},
+		To:    sim.Addr{Host: "reg.a.example.com", Port: 5060},
+		Proto: sim.ProtoSIP, Payload: reg.Bytes(),
+	}
+	if err := e.Ingest(regPkt, 0); err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+
+	media := func(i int) *sim.Packet {
+		return &sim.Packet{
+			From:    sim.Addr{Host: "m.example.net", Port: 40001},
+			To:      sim.Addr{Host: "n.example.net", Port: 40001},
+			Proto:   sim.ProtoRTCP,
+			Payload: rtcpBytes(rtp.RTCPSenderReport, uint32(i)),
+		}
+	}
+	// Fill the ring with 4 media packets, then 2 more: the ring is full
+	// and the arrivals are media, so tier 1 drops them on the floor.
+	for i := 0; i < 6; i++ {
+		if err := e.Ingest(media(i), time.Duration(i+1)*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 5 INVITEs against the full ring: the first 4 evict the 4 queued
+	// media packets (tier 1), the 5th finds all-signaling and evicts
+	// the oldest INVITE (tier 2).
+	for i := 0; i < 5; i++ {
+		d := newDialog(i, "shedsip")
+		pkt := &sim.Packet{
+			From: d.callerAddr, To: d.calleeAddr,
+			Proto: sim.ProtoSIP, Payload: d.inv.Bytes(),
+		}
+		if err := e.Ingest(pkt, time.Duration(10+i)*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.DroppedMedia != 6 {
+		t.Errorf("DroppedMedia = %d, want 6 (2 floor drops + 4 evictions)", st.DroppedMedia)
+	}
+	if st.DroppedSignaling != 1 {
+		t.Errorf("DroppedSignaling = %d, want 1 (all-signaling fallback)", st.DroppedSignaling)
+	}
+	if st.Dropped != 7 {
+		t.Errorf("Dropped = %d, want 7", st.Dropped)
+	}
+	if st.Processed != 5 { // the REGISTER + the 4 surviving INVITEs
+		t.Errorf("processed %d, want 5", st.Processed)
+	}
+	if st.Processed+st.Absorbed+st.Ignored+st.ParseErrors+st.Dropped != st.Ingested {
+		t.Errorf("accounting mismatch: %+v", st)
+	}
+	if got := retired.Load(); got != st.Ingested {
+		t.Errorf("retired %d of %d ingested packets", got, st.Ingested)
 	}
 }

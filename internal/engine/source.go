@@ -7,15 +7,25 @@ import (
 	"os"
 	"time"
 
+	"vids/internal/bufpool"
 	"vids/internal/sim"
 	"vids/internal/trace"
 )
 
-// Source feeds packets into an engine. Run returns when the input is
+// Sink is the packet-ingestion side of a detection pipeline: the
+// engine itself, or the ingress tier standing in front of it. Ingest
+// must be safe for concurrent use and returns ErrClosed once the
+// pipeline is shutting down; on error the caller keeps ownership of
+// the packet's payload buffer.
+type Sink interface {
+	Ingest(pkt *sim.Packet, at time.Duration) error
+}
+
+// Source feeds packets into a pipeline. Run returns when the input is
 // exhausted or ctx is canceled; it must have returned before the
-// engine is Closed (Ingest on a closed engine reports ErrClosed).
+// pipeline is Closed (Ingest on a closed pipeline reports ErrClosed).
 type Source interface {
-	Run(ctx context.Context, e *Engine) error
+	Run(ctx context.Context, dst Sink) error
 }
 
 // TraceSource replays a captured trace file. With Pace 0 the entries
@@ -30,7 +40,7 @@ type TraceSource struct {
 }
 
 // Run implements Source.
-func (ts *TraceSource) Run(ctx context.Context, e *Engine) error {
+func (ts *TraceSource) Run(ctx context.Context, dst Sink) error {
 	entries := ts.Entries
 	if entries == nil {
 		f, err := os.Open(ts.Path)
@@ -57,7 +67,7 @@ func (ts *TraceSource) Run(ctx context.Context, e *Engine) error {
 			return ctx.Err()
 		}
 		prev = at
-		if err := e.Ingest(en.Packet(), at); err != nil {
+		if err := dst.Ingest(en.Packet(), at); err != nil {
 			return fmt.Errorf("engine: entry %d: %w", i, err)
 		}
 	}
@@ -82,13 +92,20 @@ type UDPSource struct {
 	// advertise so media routing finds the call. Defaults to the
 	// listener's IP.
 	AdvertiseHost string
+	// Buffers is the receive-buffer free list. Each datagram is read
+	// into a pooled buffer and handed to the sink still in that
+	// buffer; configure the pipeline's OnRetire hook to Put buffers
+	// back so the steady-state read loop allocates nothing. Nil means
+	// a private pool (correct, but nothing recycles it unless the
+	// retire hook is wired to it).
+	Buffers *bufpool.Pool
 }
 
 // Run implements Source: it binds both sockets and pumps packets into
-// the engine until ctx is canceled. Packet timestamps are wall-clock
+// the sink until ctx is canceled. Packet timestamps are wall-clock
 // time since the first bind, which keeps the shard clocks on the
 // arrival timeline just as a trace replay would.
-func (us *UDPSource) Run(ctx context.Context, e *Engine) error {
+func (us *UDPSource) Run(ctx context.Context, dst Sink) error {
 	sipConn, err := net.ListenPacket("udp", us.SIPAddr)
 	if err != nil {
 		return fmt.Errorf("engine: bind SIP: %w", err)
@@ -102,8 +119,8 @@ func (us *UDPSource) Run(ctx context.Context, e *Engine) error {
 
 	start := time.Now() //vidslint:allow wallclock — live capture epoch for trace timestamps
 	errc := make(chan error, 2)
-	go func() { errc <- us.pump(ctx, e, sipConn, start, false) }()
-	go func() { errc <- us.pump(ctx, e, rtpConn, start, true) }()
+	go func() { errc <- us.pump(ctx, dst, sipConn, start, false) }()
+	go func() { errc <- us.pump(ctx, dst, rtpConn, start, true) }()
 
 	select {
 	case err = <-errc:
@@ -117,8 +134,13 @@ func (us *UDPSource) Run(ctx context.Context, e *Engine) error {
 	return err
 }
 
-// pump reads one socket until ctx cancellation or a read error.
-func (us *UDPSource) pump(ctx context.Context, e *Engine, conn net.PacketConn, start time.Time, media bool) error {
+// pump reads one socket until ctx cancellation or a read error. Each
+// datagram lands in a pooled buffer that travels with the packet
+// through the pipeline (the retire hook recycles it), and the packet
+// is stamped at receive time — before classification and routing — so
+// queueing inside the pipeline never skews the arrival timeline the
+// detectors reason about.
+func (us *UDPSource) pump(ctx context.Context, dst Sink, conn net.PacketConn, start time.Time, media bool) error {
 	local, _ := conn.LocalAddr().(*net.UDPAddr)
 	toHost := us.AdvertiseHost
 	if toHost == "" && local != nil {
@@ -128,12 +150,17 @@ func (us *UDPSource) pump(ctx context.Context, e *Engine, conn net.PacketConn, s
 	if local != nil {
 		toPort = local.Port
 	}
-	buf := make([]byte, 64*1024)
+	pool := us.Buffers
+	if pool == nil {
+		pool = bufpool.New(0)
+	}
 	for {
+		buf := pool.Get()
 		//vidslint:allow wallclock — OS socket deadline, not detection time
 		_ = conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
 		n, from, err := conn.ReadFrom(buf)
 		if err != nil {
+			pool.Put(buf)
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				if ctx.Err() != nil {
 					return nil
@@ -145,7 +172,8 @@ func (us *UDPSource) pump(ctx context.Context, e *Engine, conn net.PacketConn, s
 			}
 			return fmt.Errorf("engine: read: %w", err)
 		}
-		payload := append([]byte(nil), buf[:n]...)
+		at := time.Since(start) // receive time, not enqueue time
+		payload := buf[:n]
 		proto := sim.ProtoSIP
 		if media {
 			proto = sim.ProtoRTP
@@ -164,7 +192,8 @@ func (us *UDPSource) pump(ctx context.Context, e *Engine, conn net.PacketConn, s
 			Size:    n,
 			Payload: payload,
 		}
-		if err := e.Ingest(pkt, time.Since(start)); err != nil {
+		if err := dst.Ingest(pkt, at); err != nil {
+			pool.Put(buf)
 			return err
 		}
 	}

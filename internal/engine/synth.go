@@ -22,6 +22,11 @@ type SynthConfig struct {
 	Calls int
 	// RTPPerCall is how many RTP packets each direction carries.
 	RTPPerCall int
+	// FirstCall offsets the dialog numbering, so several Synthesize
+	// invocations with disjoint [FirstCall, FirstCall+Calls) ranges
+	// produce traces that can be fed concurrently without Call-ID or
+	// media-port collisions.
+	FirstCall int
 	// Attacks injects one instance of each attack scenario the IDS
 	// detects, so a replay exercises every alert path.
 	Attacks bool
@@ -36,7 +41,7 @@ func Synthesize(cfg SynthConfig) []trace.Entry {
 	g := &synthGen{}
 	for i := 0; i < cfg.Calls; i++ {
 		start := time.Duration(i) * 5 * time.Millisecond
-		g.benignCall(i, start, cfg.RTPPerCall, true)
+		g.benignCall(cfg.FirstCall+i, start, cfg.RTPPerCall, true)
 	}
 	if cfg.Attacks {
 		base := time.Duration(cfg.Calls)*5*time.Millisecond + 2*time.Second

@@ -76,6 +76,15 @@ type Config struct {
 	// unknown calls are then counted but raise nothing here.
 	ExternalFloods bool
 
+	// MediaHeaderOnly restricts media inspection to the cleartext RTP
+	// header, the view an observer retains when calls use SRTP
+	// (RFC 3711): SSRC, sequence and timestamp stay visible, so the
+	// RTP protocol state machine and the Figure 6 thresholds keep
+	// working, but payloads are ciphertext and RTCP compound packets
+	// ride inside encrypted SRTCP — the forged-RTCP-BYE detector goes
+	// blind. Detection degrades; it does not fail.
+	MediaHeaderOnly bool
+
 	// IdleEviction evicts call monitors with no traffic for this
 	// long (safety net for calls that never reach a final state).
 	IdleEviction time.Duration
@@ -407,7 +416,14 @@ func (d *IDS) Process(pkt *sim.Packet) {
 		d.sipPackets++
 		d.handleSIP(m, pkt)
 	case sim.ProtoRTP:
-		if err := rtp.ParseInto(&d.rtpScratch, raw); err != nil {
+		if d.cfg.MediaHeaderOnly {
+			// SRTP: payload is ciphertext with a trailing auth tag;
+			// only the cleartext header is meaningful.
+			if err := rtp.ParseHeaderInto(&d.rtpScratch, raw); err != nil {
+				d.parseErrors++
+				return
+			}
+		} else if err := rtp.ParseInto(&d.rtpScratch, raw); err != nil {
 			d.parseErrors++
 			return
 		}
@@ -713,6 +729,13 @@ func (d *IDS) handleRTP(p *rtp.Packet, pkt *sim.Packet) {
 // and receiver reports are counted but raise nothing.
 func (d *IDS) handleRTCP(p *rtp.RTCP, pkt *sim.Packet) {
 	if p.Type != rtp.RTCPBye {
+		return
+	}
+	if d.cfg.MediaHeaderOnly {
+		// Under SRTP the RTCP BYE rides inside an encrypted SRTCP
+		// compound packet: the plaintext BYE this handler keys on is
+		// not observable, so acting on one would mean trusting a
+		// packet an SRTP deployment could never have shown us.
 		return
 	}
 	now := d.sim.Now()

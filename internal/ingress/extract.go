@@ -1,0 +1,334 @@
+package ingress
+
+import "bytes"
+
+// sipSummary is the routing-relevant skeleton of one SIP datagram: the
+// handful of fields a lane needs to pick a shard, feed the cross-call
+// detectors, and maintain its routing indexes. Every byte-slice field
+// aliases the receive buffer — nothing is materialized — so a summary
+// is only valid until the buffer is handed onward or retired.
+type sipSummary struct {
+	req        bool // request (method set) vs response (status set)
+	method     []byte
+	status     int
+	callID     []byte
+	toTag      bool // the To header carries a non-empty tag parameter
+	cseqMethod []byte
+	ruriUser   []byte // request only: Request-URI user part
+	ruriHost   []byte // request only: Request-URI host part
+	body       []byte // Content-Length-clamped message body
+}
+
+var liteCRLFCRLF = []byte("\r\n\r\n")
+
+// extractSIP fills s from raw without allocating: one pass over the
+// start line and header block, touching only the five header families
+// routing needs (Via, From, To, Call-ID, CSeq, Content-Length). It is
+// deliberately less tolerant than sipmsg.Parse — folded continuation
+// lines, quoted display names in To, or any malformed field make it
+// report false, and the caller falls back to the full parser. It must
+// never accept a shape it might misread: a false negative costs one
+// cold-path parse, a false positive misroutes a packet.
+//
+//vids:noalloc the per-datagram SIP routing extract on the lane hot path
+func extractSIP(raw []byte, s *sipSummary) bool {
+	*s = sipSummary{}
+	headerEnd, bodyStart := len(raw), len(raw)
+	if i := bytes.Index(raw, liteCRLFCRLF); i >= 0 {
+		headerEnd, bodyStart = i, i+4
+	}
+	hdr := raw[:headerEnd]
+
+	line, pos := liteCutLine(hdr, 0)
+	if !extractStartLine(s, liteTrim(line)) {
+		return false
+	}
+
+	var haveVia, haveFrom, haveTo, haveCallID, haveCSeq bool
+	contentLength := -1
+	for pos <= len(hdr) {
+		var ln []byte
+		ln, pos = liteCutLine(hdr, pos)
+		if len(ln) == 0 {
+			continue
+		}
+		if ln[0] == ' ' || ln[0] == '\t' {
+			return false // folded header: the full parser unfolds, we bail
+		}
+		colon := bytes.IndexByte(ln, ':')
+		if colon < 0 {
+			return false
+		}
+		name := liteTrim(ln[:colon])
+		value := liteTrim(ln[colon+1:])
+		switch {
+		case liteFold(name, "via") || liteFold(name, "v"):
+			haveVia = true
+		case liteFold(name, "from") || liteFold(name, "f"):
+			haveFrom = true
+		case liteFold(name, "to") || liteFold(name, "t"):
+			tag, ok := extractToTag(value)
+			if !ok {
+				return false
+			}
+			s.toTag = tag
+			haveTo = true
+		case liteFold(name, "call-id") || liteFold(name, "i"):
+			if len(value) == 0 {
+				return false
+			}
+			s.callID = value // duplicates: last wins, like the full parser
+			haveCallID = true
+		case liteFold(name, "cseq"):
+			method, ok := extractCSeqMethod(value)
+			if !ok {
+				return false
+			}
+			s.cseqMethod = method
+			haveCSeq = true
+		case liteFold(name, "content-length") || liteFold(name, "l"):
+			n, ok := liteAtoi(value)
+			if !ok {
+				return false
+			}
+			contentLength = n
+		}
+	}
+	// Mirror sipmsg's Validate: the headers it requires must be present,
+	// or the full parser would have rejected the message.
+	if !haveVia || !haveFrom || !haveTo || !haveCallID || !haveCSeq {
+		return false
+	}
+	body := raw[bodyStart:]
+	if contentLength >= 0 {
+		if contentLength > len(body) {
+			return false
+		}
+		body = body[:contentLength]
+	}
+	s.body = body
+	return true
+}
+
+const liteSIPVersion = "SIP/2.0"
+
+// extractStartLine parses `METHOD URI SIP/2.0` or `SIP/2.0 code
+// reason`, filling the request/response discriminator and the routing
+// fields. Only the exact single-space shape the protocol serializes is
+// accepted; anything looser falls back.
+func extractStartLine(s *sipSummary, line []byte) bool {
+	if len(line) > len(liteSIPVersion) &&
+		string(line[:len(liteSIPVersion)]) == liteSIPVersion &&
+		line[len(liteSIPVersion)] == ' ' {
+		rest := line[len(liteSIPVersion)+1:]
+		codePart := rest
+		if sp := bytes.IndexByte(rest, ' '); sp >= 0 {
+			codePart = rest[:sp]
+		}
+		code, ok := liteAtoi(codePart)
+		if !ok || code < 100 || code > 699 {
+			return false
+		}
+		s.status = code
+		return true
+	}
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 <= 0 {
+		return false
+	}
+	sp2 := bytes.IndexByte(line[sp1+1:], ' ')
+	if sp2 <= 0 {
+		return false
+	}
+	sp2 += sp1 + 1
+	if string(line[sp2+1:]) != liteSIPVersion {
+		return false
+	}
+	method := line[:sp1]
+	if !liteKnownMethod(method) {
+		return false // the full parser decides; unknown methods are rejects
+	}
+	user, host, ok := extractURI(line[sp1+1 : sp2])
+	if !ok {
+		return false
+	}
+	s.req = true
+	s.method = method
+	s.ruriUser = user
+	s.ruriHost = host
+	return true
+}
+
+// extractURI splits `sip:user@host[:port]` (optionally angle-quoted,
+// parameters and headers stripped) the way sipmsg.ParseURI does.
+func extractURI(u []byte) (user, host []byte, ok bool) {
+	if len(u) >= 2 && u[0] == '<' && u[len(u)-1] == '>' {
+		u = u[1 : len(u)-1]
+	}
+	if len(u) < 4 || string(u[:4]) != "sip:" {
+		return nil, nil, false
+	}
+	rest := u[4:]
+	// Truncate at the first parameter or header delimiter; truncating
+	// at ';' first and then '?' finds whichever comes first.
+	if i := bytes.IndexByte(rest, ';'); i >= 0 {
+		rest = rest[:i]
+	}
+	if i := bytes.IndexByte(rest, '?'); i >= 0 {
+		rest = rest[:i]
+	}
+	if at := bytes.IndexByte(rest, '@'); at >= 0 {
+		user = rest[:at]
+		rest = rest[at+1:]
+	}
+	if c := bytes.IndexByte(rest, ':'); c >= 0 {
+		port, okp := liteAtoi(rest[c+1:])
+		if !okp || port <= 0 || port > 65535 {
+			return nil, nil, false
+		}
+		rest = rest[:c]
+	}
+	if len(rest) == 0 {
+		return nil, nil, false
+	}
+	return user, rest, true
+}
+
+// extractToTag reports whether a To header value carries a non-empty
+// tag parameter. Quoted display names could hide separators, so their
+// presence fails the extract and defers to the full parser.
+func extractToTag(value []byte) (tag, ok bool) {
+	if bytes.IndexByte(value, '"') >= 0 {
+		return false, false
+	}
+	params := value
+	if i := bytes.IndexByte(value, '<'); i >= 0 {
+		j := bytes.IndexByte(value, '>')
+		if j < i {
+			return false, false
+		}
+		params = value[j+1:]
+	} else if k := bytes.IndexByte(value, ';'); k >= 0 {
+		params = value[k:]
+	} else {
+		return false, true
+	}
+	for len(params) > 0 {
+		var seg []byte
+		if i := bytes.IndexByte(params, ';'); i >= 0 {
+			seg, params = params[:i], params[i+1:]
+		} else {
+			seg, params = params, nil
+		}
+		seg = liteTrim(seg)
+		if eq := bytes.IndexByte(seg, '='); eq >= 0 {
+			if string(liteTrim(seg[:eq])) == "tag" && len(liteTrim(seg[eq+1:])) > 0 {
+				return true, true
+			}
+		}
+	}
+	return false, true
+}
+
+// extractCSeqMethod validates `seq method` exactly as the full parser
+// does (decimal 32-bit sequence, single method token) and returns the
+// method bytes.
+func extractCSeqMethod(value []byte) ([]byte, bool) {
+	sp := bytes.IndexByte(value, ' ')
+	if sp <= 0 {
+		return nil, false
+	}
+	seq := value[:sp]
+	method := liteTrim(value[sp+1:])
+	if len(method) == 0 || bytes.IndexByte(method, ' ') >= 0 {
+		return nil, false
+	}
+	var n uint64
+	for _, c := range seq {
+		if c < '0' || c > '9' {
+			return nil, false
+		}
+		n = n*10 + uint64(c-'0')
+		if n > 1<<32-1 {
+			return nil, false
+		}
+	}
+	return method, true
+}
+
+// liteCutLine mirrors sipmsg's cutLine: the line starting at pos up to
+// CRLF (or end of b), and the position after the terminator.
+func liteCutLine(b []byte, pos int) ([]byte, int) {
+	for i := pos; i+1 < len(b); i++ {
+		if b[i] == '\r' && b[i+1] == '\n' {
+			return b[pos:i], i + 2
+		}
+	}
+	return b[pos:], len(b) + 1
+}
+
+func liteTrim(b []byte) []byte {
+	for len(b) > 0 && liteSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && liteSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func liteSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// liteFold reports whether b equals the lower-case name s under ASCII
+// case folding.
+func liteFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := b[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// liteAtoi parses a non-negative decimal integer; anything else fails.
+func liteAtoi(b []byte) (int, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if n > (1<<31-1)/10 {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// knownMethods matches sipmsg.KnownMethods: methods are
+// case-sensitive tokens, compared exactly.
+var knownMethods = [][]byte{
+	[]byte("INVITE"), []byte("ACK"), []byte("BYE"),
+	[]byte("CANCEL"), []byte("REGISTER"), []byte("OPTIONS"),
+}
+
+func liteKnownMethod(m []byte) bool {
+	for _, k := range knownMethods {
+		if bytes.Equal(m, k) {
+			return true
+		}
+	}
+	return false
+}

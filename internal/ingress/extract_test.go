@@ -1,0 +1,124 @@
+package ingress
+
+import (
+	"bytes"
+	"testing"
+
+	"vids/internal/engine"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// TestExtractMatchesFullParse is the lite extract's ground-truth
+// property: over every SIP datagram the synthesizer can emit —
+// including every attack shape — each field the lanes route on must
+// agree exactly with the full parser.
+func TestExtractMatchesFullParse(t *testing.T) {
+	entries := engine.Synthesize(engine.SynthConfig{Calls: 30, RTPPerCall: 4, Attacks: true})
+	sipSeen := 0
+	for i, en := range entries {
+		pkt := en.Packet()
+		if pkt.Proto != sim.ProtoSIP {
+			continue
+		}
+		raw, ok := pkt.Payload.([]byte)
+		if !ok {
+			t.Fatalf("entry %d: SIP payload is %T", i, pkt.Payload)
+		}
+		m, err := sipmsg.Parse(raw)
+		if err != nil {
+			t.Fatalf("entry %d: full parse rejected synthesized SIP: %v", i, err)
+		}
+		sipSeen++
+
+		var sum sipSummary
+		if !extractSIP(raw, &sum) {
+			t.Errorf("entry %d: extract bailed on a serialized %s", i, m.Summary())
+			continue
+		}
+		if sum.req != m.IsRequest() {
+			t.Errorf("entry %d: req = %v, parser says %v", i, sum.req, m.IsRequest())
+		}
+		if sum.req && string(sum.method) != string(m.Method) {
+			t.Errorf("entry %d: method %q vs %q", i, sum.method, m.Method)
+		}
+		if !sum.req && sum.status != m.StatusCode {
+			t.Errorf("entry %d: status %d vs %d", i, sum.status, m.StatusCode)
+		}
+		if string(sum.callID) != m.CallID {
+			t.Errorf("entry %d: callID %q vs %q", i, sum.callID, m.CallID)
+		}
+		if sum.toTag != (m.To.Tag() != "") {
+			t.Errorf("entry %d: toTag %v, parser tag %q", i, sum.toTag, m.To.Tag())
+		}
+		if string(sum.cseqMethod) != string(m.CSeq.Method) {
+			t.Errorf("entry %d: CSeq method %q vs %q", i, sum.cseqMethod, m.CSeq.Method)
+		}
+		if sum.req {
+			if string(sum.ruriUser) != m.RequestURI.User {
+				t.Errorf("entry %d: R-URI user %q vs %q", i, sum.ruriUser, m.RequestURI.User)
+			}
+			if string(sum.ruriHost) != m.RequestURI.Host {
+				t.Errorf("entry %d: R-URI host %q vs %q", i, sum.ruriHost, m.RequestURI.Host)
+			}
+		}
+		if !bytes.Equal(sum.body, m.Body) {
+			t.Errorf("entry %d: body diverges (%d vs %d bytes)", i, len(sum.body), len(m.Body))
+		}
+	}
+	if sipSeen < 100 {
+		t.Fatalf("only %d SIP datagrams in trace; property check is too weak", sipSeen)
+	}
+}
+
+// TestExtractBailsToSlowPath: shapes the lite extract must refuse —
+// each is either malformed (the slow path counts the parse error) or
+// legal-but-rare (the slow path handles it with the full parser). The
+// invariant protecting parity is that extract NEVER misreads; bailing
+// is always safe.
+func TestExtractBailsToSlowPath(t *testing.T) {
+	base := "INVITE sip:bob@b.example.com SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP ua1.a.example.com:5060;branch=z9hG4bKx\r\n" +
+		"From: <sip:alice@a.example.com>;tag=1\r\n" +
+		"To: <sip:bob@b.example.com>\r\n" +
+		"Call-ID: bail@a.example.com\r\n" +
+		"CSeq: 1 INVITE\r\n\r\n"
+	var sum sipSummary
+	if !extractSIP([]byte(base), &sum) {
+		t.Fatal("extract rejected the baseline message")
+	}
+
+	cases := map[string]string{
+		"folded header": "INVITE sip:bob@b.example.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP ua1.a.example.com:5060\r\n" +
+			"From: <sip:alice@a.example.com>;tag=1\r\n" +
+			"To: <sip:bob@b.example.com>\r\n" +
+			"Call-ID: bail@a.example.com\r\n" +
+			"CSeq: 1\r\n INVITE\r\n\r\n",
+		"quoted display name": "INVITE sip:bob@b.example.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP ua1.a.example.com:5060\r\n" +
+			"From: <sip:alice@a.example.com>;tag=1\r\n" +
+			"To: \"Bob; tag=evil\" <sip:bob@b.example.com>\r\n" +
+			"Call-ID: bail@a.example.com\r\n" +
+			"CSeq: 1 INVITE\r\n\r\n",
+		"unknown method":  "FONDLE sip:b@b SIP/2.0\r\n\r\n",
+		"missing call-id": "INVITE sip:bob@b.example.com SIP/2.0\r\nVia: v\r\nFrom: f\r\nTo: t\r\nCSeq: 1 INVITE\r\n\r\n",
+		"no start line":   "\r\n\r\n",
+		"garbage":         "\x00\x01\x02\x03",
+		"bad status":      "SIP/2.0 9x9 Weird\r\nCall-ID: a@b\r\n\r\n",
+		"cseq overflow":   "INVITE sip:b@b SIP/2.0\r\nVia: v\r\nFrom: f\r\nTo: t\r\nCall-ID: a@b\r\nCSeq: 99999999999 INVITE\r\n\r\n",
+		"truncated body": "INVITE sip:bob@b.example.com SIP/2.0\r\n" +
+			"Via: SIP/2.0/UDP ua1.a.example.com:5060\r\n" +
+			"From: <sip:alice@a.example.com>;tag=1\r\n" +
+			"To: <sip:bob@b.example.com>\r\n" +
+			"Call-ID: bail@a.example.com\r\n" +
+			"CSeq: 1 INVITE\r\n" +
+			"Content-Length: 999\r\n\r\nshort",
+	}
+	for name, raw := range cases {
+		var s sipSummary
+		if extractSIP([]byte(raw), &s) {
+			t.Errorf("%s: extract accepted a shape it must defer to the full parser", name)
+		}
+	}
+}

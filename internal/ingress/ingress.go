@@ -1,0 +1,603 @@
+// Package ingress is the production ingestion tier between packet
+// sources and the detection engine: M independent lanes standing in
+// front of N shard workers, with the serial work the engine's router
+// used to do — parse, classify, flood accounting, media-index
+// maintenance — either moved onto the shard workers (the full SIP
+// parse) or spread over the lanes (everything else).
+//
+// A lane is a lock stripe, not a goroutine: listener goroutines call
+// Ingest concurrently, and each packet takes the lane lock (or locks —
+// a SIP packet may touch the flood lane, the call lane and a media
+// lane, always sequentially, never nested) that its keys hash to. The
+// per-packet work under a lane lock is deliberately tiny: a zero-alloc
+// lite extract of the Call-ID/media key (no full parse — the owning
+// shard does that, so parsing scales with the shard count), a map
+// probe, and a clock advance. The engine's single router mutex, which
+// BENCH_engine.json showed flattening shards=4 to shards=1 throughput,
+// is out of the hot path entirely: lanes hand raw buffers straight to
+// shard queues via EnqueueRaw.
+//
+// Cross-call detection stays exact under the partitioning because the
+// flood detectors are per-destination: every INVITE toward one AOR
+// hashes to the same lane, so that lane's FloodWatch sees the
+// destination's whole stream, exactly as the engine's shared one
+// would. Lane alerts merge into the engine's alert plane via
+// RecordAlert.
+package ingress
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"vids/internal/bufpool"
+	"vids/internal/engine"
+	"vids/internal/ids"
+	"vids/internal/intern"
+	"vids/internal/sdp"
+	"vids/internal/sim"
+	"vids/internal/sipmsg"
+)
+
+// laneTableCap bounds each lane's string-intern table, matching the
+// engine router's sizing per serialized ingestion point.
+const laneTableCap = 4096
+
+// Config parameterizes an Ingress.
+type Config struct {
+	// Lanes is the number of lock stripes. Zero or negative means one
+	// lane per shard. The count is normalized down to the largest
+	// divisor of the shard count, so each lane owns an equal, disjoint
+	// subset of shards (lane = shard index mod lanes).
+	Lanes int
+	// BufferSize is the receive-buffer capacity handed to the free
+	// list. Zero means bufpool.DefaultSize.
+	BufferSize int
+	// Engine configures the wrapped detection engine. OnRetire is
+	// chained: the ingress installs the pool recycler first and then
+	// calls any hook set here.
+	Engine engine.Config
+}
+
+// mediaEntry is one lane's routing record for an advertised media
+// destination.
+type mediaEntry struct {
+	callID      string        // interned owning Call-ID
+	lastSeen    time.Duration // last packet toward this destination
+	lastRefresh time.Duration // last cross-lane refresh of the owning call
+}
+
+// lane is one lock stripe of the ingestion tier. All fields after mu
+// are guarded by it. Lane locks never nest with each other or with the
+// engine's: a packet acquires each lane it needs in sequence, and
+// everything engine-facing (EnqueueRaw, RecordAlert, Note*) happens
+// after the lane lock is released.
+type lane struct {
+	mu      sync.Mutex
+	clock   *sim.Simulator           // per-lane virtual clock: flood windows, sweeps
+	fw      *ids.FloodWatch          // per-destination detectors for keys hashed here
+	pending []ids.Alert              // alerts raised under mu, drained outside it
+	calls   map[string]time.Duration // Call-ID -> last activity
+	gone    map[string]time.Duration // Call-ID -> when the sweep forgot it
+	media   map[string]*mediaEntry   // media key -> routing record
+	keyBuf  []byte                   // reusable key scratch
+	strings *intern.Table
+	swept   bool // a sweep is scheduled on clock
+}
+
+// Ingress is the multi-lane ingestion tier. Create instances with New;
+// the zero value is not usable. Close drains the lanes and the wrapped
+// engine.
+type Ingress struct {
+	e      *engine.Engine
+	lanes  []*lane
+	pool   *bufpool.Pool
+	retire func(*sim.Packet) // the chained retire hook, for lane-side disposal
+	retain time.Duration     // idle lifetime of routing entries, mirroring the engine
+
+	// refreshEvery throttles the cross-lane "this call is still
+	// streaming" touch a media packet makes on its call's lane: one
+	// extra lock acquisition per quarter-retain instead of per packet.
+	refreshEvery time.Duration
+}
+
+// New builds the tier: the buffer pool, the wrapped engine (with the
+// pool recycler chained into OnRetire), and the lanes. The engine's
+// IDS config is normalized here so the lane FloodWatch instances run
+// the same thresholds the shards do.
+func New(cfg Config) *Ingress {
+	if cfg.Engine.Shards <= 0 {
+		cfg.Engine.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Engine.IDS == (ids.Config{}) {
+		cfg.Engine.IDS = ids.DefaultConfig()
+	}
+	lanes := cfg.Lanes
+	if lanes <= 0 || lanes > cfg.Engine.Shards {
+		lanes = cfg.Engine.Shards
+	}
+	for cfg.Engine.Shards%lanes != 0 {
+		lanes-- // largest divisor ≤ requested: lanes partition shards evenly
+	}
+
+	pool := bufpool.New(cfg.BufferSize)
+	user := cfg.Engine.OnRetire
+	cfg.Engine.OnRetire = func(pkt *sim.Packet) {
+		if raw, ok := pkt.Payload.([]byte); ok {
+			pool.Put(raw) // foreign (trace/synthetic) payloads are dropped by the pool
+		}
+		if user != nil {
+			user(pkt)
+		}
+	}
+
+	ing := &Ingress{
+		e:            engine.New(cfg.Engine),
+		lanes:        make([]*lane, lanes),
+		pool:         pool,
+		retire:       cfg.Engine.OnRetire,
+		retain:       cfg.Engine.IDS.IdleEviction + cfg.Engine.IDS.CloseLinger,
+		refreshEvery: (cfg.Engine.IDS.IdleEviction + cfg.Engine.IDS.CloseLinger) / 4,
+	}
+	idsCfg := cfg.Engine.IDS
+	idsCfg.ExternalFloods = true // mirror the engine: lanes own the windows
+	for i := range ing.lanes {
+		l := &lane{
+			clock:   sim.New(int64(1000 + i)),
+			calls:   make(map[string]time.Duration),
+			gone:    make(map[string]time.Duration),
+			media:   make(map[string]*mediaEntry),
+			strings: intern.New(laneTableCap),
+		}
+		l.fw = ids.NewFloodWatch(l.clock, idsCfg, func(a ids.Alert) {
+			// Runs under l.mu (feeds and clock timers execute only
+			// there); the alert is delivered to the engine after unlock.
+			l.pending = append(l.pending, a)
+		})
+		ing.lanes[i] = l
+	}
+	return ing
+}
+
+// Engine exposes the wrapped engine for stats, alerts, and direct
+// (router-path) ingestion.
+func (ing *Ingress) Engine() *engine.Engine { return ing.e }
+
+// Buffers exposes the receive-buffer free list for listeners to draw
+// from.
+func (ing *Ingress) Buffers() *bufpool.Pool { return ing.pool }
+
+// Lanes reports the normalized lane count.
+func (ing *Ingress) Lanes() int { return len(ing.lanes) }
+
+// Stats snapshots the wrapped engine's counters (lane dispositions are
+// folded into them via the engine's Note hooks).
+func (ing *Ingress) Stats() engine.Stats { return ing.e.Stats() }
+
+// Alerts merges lane, router and shard alerts. Call after Close.
+func (ing *Ingress) Alerts() []ids.Alert { return ing.e.Alerts() }
+
+// Ingest routes one packet into the tier. It implements
+// engine.Sink: on error the caller keeps ownership of the payload
+// buffer; on success the tier owns it and the retire hook will recycle
+// it exactly once. Safe for concurrent use; per-call packet ordering
+// is the caller's (per-listener) responsibility.
+func (ing *Ingress) Ingest(pkt *sim.Packet, at time.Duration) error {
+	switch pkt.Proto {
+	case sim.ProtoSIP:
+		return ing.ingestSIP(pkt, at)
+	case sim.ProtoRTP:
+		return ing.ingestMedia(pkt, pkt.To.Host, pkt.To.Port, at)
+	case sim.ProtoRTCP:
+		// RTCP rides the media port + 1 (RFC 3550), same keying the
+		// shard-side handler assumes.
+		return ing.ingestMedia(pkt, pkt.To.Host, pkt.To.Port-1, at)
+	default:
+		ing.e.NoteIngested()
+		ing.e.NoteIgnored()
+		ing.retirePkt(pkt)
+		return nil
+	}
+}
+
+func (ing *Ingress) retirePkt(pkt *sim.Packet) {
+	if ing.retire != nil {
+		ing.retire(pkt) //vids:alloc-ok retire hook recycles pooled receive buffers; nil in replay
+	}
+}
+
+// laneForShard maps a shard index to its owning lane: lanes divide the
+// shard count, so shard s belongs to lane s mod M.
+func (ing *Ingress) laneForShard(shardIdx int) *lane {
+	return ing.lanes[shardIdx%len(ing.lanes)]
+}
+
+// laneForMedia stripes media destinations over lanes independently of
+// the shard mapping, so a media flood at one host spreads its lock
+// pressure away from the victim's signaling lane. Install (host from
+// an SDP body) and lookup (host from a packet) hash identical strings.
+func (ing *Ingress) laneForMedia(host string, port int) *lane {
+	h := fnvString(host)
+	h ^= uint32(port) * 2654435761 // Knuth multiplicative mix
+	return ing.lanes[int(h%uint32(len(ing.lanes)))]
+}
+
+func (ing *Ingress) laneForMediaBytes(host []byte, port int) *lane {
+	h := fnvBytes(fnvOffset, host)
+	h ^= uint32(port) * 2654435761
+	return ing.lanes[int(h%uint32(len(ing.lanes)))]
+}
+
+// laneForDest stripes flood destinations (user@host AORs for INVITE
+// windows, plain hosts for reflection windows) over lanes.
+func (ing *Ingress) laneForDest(user, host []byte) *lane {
+	h := fnvBytes(fnvOffset, user)
+	h = fnvByte(h, '@')
+	h = fnvBytes(h, host)
+	return ing.lanes[int(h%uint32(len(ing.lanes)))]
+}
+
+func (ing *Ingress) laneForHost(host string) *lane {
+	return ing.lanes[int(fnvString(host)%uint32(len(ing.lanes)))]
+}
+
+const (
+	fnvOffset = 2166136261
+	fnvPrime  = 16777619
+)
+
+func fnvBytes(h uint32, b []byte) uint32 {
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvByte(h uint32, c byte) uint32 {
+	h ^= uint32(c)
+	h *= fnvPrime
+	return h
+}
+
+func fnvString(s string) uint32 {
+	h := uint32(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// ingestSIP is the signaling lane path: lite-extract the routing
+// fields, feed the flood window for initial INVITEs, maintain the
+// call/tombstone maps, install media routes from SDP, and hand the raw
+// buffer to the owning shard, which parses it there. Anything the
+// extract cannot commit to falls back to a full parse (cold path).
+//
+//vids:noalloc the per-datagram signaling path; alert/absorb/install branches are cold
+func (ing *Ingress) ingestSIP(pkt *sim.Packet, at time.Duration) error {
+	raw, ok := pkt.Payload.([]byte)
+	if !ok {
+		ing.e.NoteIngested()
+		ing.e.NoteParseError()
+		ing.retirePkt(pkt)
+		return nil
+	}
+	var sum sipSummary
+	if !extractSIP(raw, &sum) {
+		return ing.ingestSIPSlow(pkt, raw, at)
+	}
+
+	isInvite := sum.req && string(sum.method) == "INVITE"
+	if isInvite && !sum.toTag {
+		// Initial INVITE: feed the per-destination Figure 4 window on
+		// the destination's lane.
+		ing.feedInvite(sum.ruriUser, sum.ruriHost, pkt.From.Host, at)
+	}
+
+	shardIdx := ing.e.ShardIndexForBytes(sum.callID)
+	l := ing.laneForShard(shardIdx)
+	l.mu.Lock()
+	_ = l.clock.RunUntil(at)
+	if isInvite {
+		cid := l.strings.Bytes(sum.callID)
+		l.calls[cid] = at //vids:alloc-ok one dialog slot per INVITE; the sweep bounds the table
+		delete(l.gone, cid)
+		ing.armSweep(l)
+	} else if _, known := l.calls[string(sum.callID)]; known {
+		l.calls[l.strings.Bytes(sum.callID)] = at //vids:alloc-ok refreshes the slot the probe above found
+	} else if !sum.req {
+		// A response for a call this edge never initiated: absorbed
+		// here, exactly as the engine's router absorbs it — the shards
+		// never see it. Tombstoned calls swallow their stragglers
+		// silently.
+		_, evicted := l.gone[string(sum.callID)]
+		alerts := l.takePending()
+		l.mu.Unlock()
+		ing.drain(alerts)
+		return ing.absorbStray(pkt, raw, evicted, at)
+	}
+	alerts := l.takePending()
+	l.mu.Unlock()
+	ing.drain(alerts)
+
+	// Mirror ids.indexMedia: the INVITE's SDP names where the callee's
+	// stream will land, the 2xx answer's where the caller's will.
+	if isInvite || (!sum.req && sum.status >= 200 && sum.status < 300 &&
+		string(sum.cseqMethod) == "INVITE") {
+		if addr, port, _, ok := sdp.MediaDest(sum.body); ok {
+			ing.installMedia(addr, port, sum.callID, at)
+		}
+	}
+
+	if err := ing.e.EnqueueRaw(shardIdx, pkt, at); err != nil {
+		return err
+	}
+	ing.e.NoteIngested()
+	return nil
+}
+
+// feedInvite renders user@host into the destination lane's scratch,
+// interns it, and feeds that lane's INVITE-flood window.
+func (ing *Ingress) feedInvite(user, host []byte, src string, at time.Duration) {
+	l := ing.laneForDest(user, host)
+	l.mu.Lock()
+	_ = l.clock.RunUntil(at)
+	l.keyBuf = append(l.keyBuf[:0], user...)
+	l.keyBuf = append(l.keyBuf, '@')
+	l.keyBuf = append(l.keyBuf, host...)
+	l.fw.FeedInvite(l.strings.Bytes(l.keyBuf), src, l.clock.Now())
+	alerts := l.takePending()
+	l.mu.Unlock()
+	ing.drain(alerts)
+}
+
+// installMedia records an advertised media destination on its lane.
+// The install is per-SDP-observation (cold next to the media stream it
+// routes), so interning the host and key here is fine.
+func (ing *Ingress) installMedia(addr []byte, port int, callID []byte, at time.Duration) {
+	l := ing.laneForMediaBytes(addr, port)
+	l.mu.Lock()
+	_ = l.clock.RunUntil(at)
+	host := l.strings.Bytes(addr)
+	l.keyBuf = ids.AppendMediaKey(l.keyBuf[:0], host, port)
+	key := l.strings.Bytes(l.keyBuf)
+	if ent, ok := l.media[key]; ok {
+		ent.callID = l.strings.Bytes(callID)
+		ent.lastSeen = at
+		ent.lastRefresh = at
+	} else {
+		l.media[key] = &mediaEntry{ //vids:alloc-ok one routing record per advertised destination
+			callID: l.strings.Bytes(callID), lastSeen: at, lastRefresh: at,
+		}
+	}
+	ing.armSweep(l)
+	alerts := l.takePending()
+	l.mu.Unlock()
+	ing.drain(alerts)
+}
+
+// absorbStray handles a response for an unknown call. The full parse
+// happens here — strays are off the forwarding path, and the exact
+// message (Summary, CSeq method) drives the reflection detector with
+// router-path fidelity.
+//
+//vids:coldpath stray responses never reach a shard; volume is bounded by the reflection window
+func (ing *Ingress) absorbStray(pkt *sim.Packet, raw []byte, evicted bool, at time.Duration) error {
+	m, err := sipmsg.Parse(raw)
+	if err != nil {
+		ing.e.NoteIngested()
+		ing.e.NoteParseError()
+		ing.retirePkt(pkt)
+		return nil
+	}
+	if !evicted && m.CSeq.Method != sipmsg.REGISTER {
+		l := ing.laneForHost(pkt.To.Host)
+		l.mu.Lock()
+		_ = l.clock.RunUntil(at)
+		l.fw.FeedStrayResponse(m, pkt.To.Host, pkt.From.Host, l.clock.Now())
+		alerts := l.takePending()
+		l.mu.Unlock()
+		ing.drain(alerts)
+	}
+	ing.e.NoteIngested()
+	ing.e.NoteAbsorbed()
+	ing.retirePkt(pkt)
+	return nil
+}
+
+// ingestSIPSlow is the fallback for datagrams the lite extract cannot
+// commit to: a full parse, then the same routing decisions. Parse
+// failures are counted and retired here, so the shards only ever
+// re-parse messages known to be well-formed.
+//
+//vids:coldpath the lite extract covers the protocol's serialized shapes; this path is for the torture cases
+func (ing *Ingress) ingestSIPSlow(pkt *sim.Packet, raw []byte, at time.Duration) error {
+	m, err := sipmsg.Parse(raw)
+	if err != nil {
+		ing.e.NoteIngested()
+		ing.e.NoteParseError()
+		ing.retirePkt(pkt)
+		return nil
+	}
+	var sum sipSummary
+	sum.req = m.IsRequest()
+	if sum.req {
+		sum.method = []byte(m.Method)
+		sum.ruriUser = []byte(m.RequestURI.User)
+		sum.ruriHost = []byte(m.RequestURI.Host)
+	} else {
+		sum.status = m.StatusCode
+	}
+	sum.callID = []byte(m.CallID)
+	sum.toTag = m.To.Tag() != ""
+	sum.cseqMethod = []byte(m.CSeq.Method)
+	sum.body = m.Body
+
+	isInvite := sum.req && m.Method == sipmsg.INVITE
+	if isInvite && !sum.toTag {
+		ing.feedInvite(sum.ruriUser, sum.ruriHost, pkt.From.Host, at)
+	}
+	shardIdx := ing.e.ShardIndexFor(m.CallID)
+	l := ing.laneForShard(shardIdx)
+	l.mu.Lock()
+	_ = l.clock.RunUntil(at)
+	if isInvite {
+		cid := l.strings.String(m.CallID)
+		l.calls[cid] = at
+		delete(l.gone, cid)
+		ing.armSweep(l)
+	} else if _, known := l.calls[m.CallID]; known {
+		l.calls[l.strings.String(m.CallID)] = at
+	} else if !sum.req {
+		_, evicted := l.gone[m.CallID]
+		alerts := l.takePending()
+		l.mu.Unlock()
+		ing.drain(alerts)
+		return ing.absorbStray(pkt, raw, evicted, at)
+	}
+	alerts := l.takePending()
+	l.mu.Unlock()
+	ing.drain(alerts)
+
+	if isInvite || (m.IsResponse() && m.IsSuccess() && m.CSeq.Method == sipmsg.INVITE) {
+		if addr, port, _, ok := sdp.MediaDest(m.Body); ok {
+			ing.installMedia(addr, port, sum.callID, at)
+		}
+	}
+	if err := ing.e.EnqueueRaw(shardIdx, pkt, at); err != nil {
+		return err
+	}
+	ing.e.NoteIngested()
+	return nil
+}
+
+// ingestMedia is the media hot path: one lane lock, one key render,
+// one map probe, one shard enqueue. A known destination routes to its
+// call's shard; a destination no SDP advertised hashes by its key, so
+// an unsolicited stream still lands all its packets on one shard's
+// spam monitor — exactly the engine router's semantics.
+//
+//vids:noalloc the per-datagram media path
+func (ing *Ingress) ingestMedia(pkt *sim.Packet, host string, port int, at time.Duration) error {
+	l := ing.laneForMedia(host, port)
+	var (
+		shardIdx int
+		touchCID string
+		alerts   []ids.Alert
+	)
+	l.mu.Lock()
+	_ = l.clock.RunUntil(at)
+	l.keyBuf = ids.AppendMediaKey(l.keyBuf[:0], host, port)
+	if ent, ok := l.media[string(l.keyBuf)]; ok {
+		ent.lastSeen = at
+		shardIdx = ing.e.ShardIndexFor(ent.callID)
+		if at-ent.lastRefresh > ing.refreshEvery {
+			// Amortized cross-lane touch: keep the owning call alive on
+			// its signaling lane without paying a second lock per packet.
+			ent.lastRefresh = at
+			touchCID = ent.callID
+		}
+	} else {
+		shardIdx = ing.e.ShardIndexForBytes(l.keyBuf)
+	}
+	alerts = l.takePending()
+	l.mu.Unlock()
+	ing.drain(alerts)
+
+	if touchCID != "" {
+		cl := ing.laneForShard(ing.e.ShardIndexFor(touchCID))
+		cl.mu.Lock()
+		if _, live := cl.calls[touchCID]; live {
+			cl.calls[touchCID] = at //vids:alloc-ok refreshes the slot the guard above found
+		}
+		cl.mu.Unlock()
+	}
+	if err := ing.e.EnqueueRaw(shardIdx, pkt, at); err != nil {
+		return err
+	}
+	ing.e.NoteIngested()
+	return nil
+}
+
+// takePending detaches the lane's raised-alert backlog. Caller holds
+// l.mu; the returned slice is delivered via drain after unlock. The
+// common case is empty and free; the alert case hands the whole slice
+// over and lets the next raise start a fresh one.
+func (l *lane) takePending() []ids.Alert {
+	if len(l.pending) == 0 {
+		return nil
+	}
+	out := l.pending
+	l.pending = nil
+	return out
+}
+
+// drain merges lane-raised alerts into the engine's alert plane.
+//
+//vids:coldpath alerts are detections, not traffic; the common-case call carries a nil slice
+func (ing *Ingress) drain(alerts []ids.Alert) {
+	for _, a := range alerts {
+		ing.e.RecordAlert(a)
+	}
+}
+
+// armSweep schedules the lane's routing-index sweep on its clock,
+// mirroring the engine router's GC: entries idle longer than the shard
+// would keep their call are dropped, and forgotten Call-IDs leave
+// tombstones so straggler responses stay silent. Media entries carry
+// their own activity stamp because their owning call may live on
+// another lane, which this lane must not lock. Caller holds l.mu.
+func (ing *Ingress) armSweep(l *lane) {
+	if l.swept || ing.retain <= 0 {
+		return
+	}
+	l.swept = true
+	l.clock.Schedule(ing.retain/2, func() { //vids:alloc-ok one sweep closure per retain/2 window, not per packet
+		l.swept = false
+		now := l.clock.Now()
+		for id, last := range l.calls {
+			if now-last > ing.retain {
+				delete(l.calls, id)
+				l.gone[id] = now //vids:alloc-ok one tombstone per forgotten call, expired by the next sweep
+			}
+		}
+		for id, at := range l.gone {
+			if now-at > ing.retain {
+				delete(l.gone, id)
+			}
+		}
+		for key, ent := range l.media {
+			if now-ent.lastSeen > ing.retain {
+				delete(l.media, key)
+			}
+		}
+		if len(l.calls)+len(l.gone)+len(l.media) > 0 {
+			ing.armSweep(l)
+		}
+	})
+}
+
+// Close drains the tier: every lane's clock runs to completion (open
+// flood windows expire, sweeps settle), lane alerts merge, and the
+// wrapped engine is closed — which drains the shard queues and their
+// timers. Callers must stop feeding Ingest first (listeners stop on
+// ctx cancellation before their Run returns).
+func (ing *Ingress) Close() error {
+	var firstErr error
+	for _, l := range ing.lanes {
+		l.mu.Lock()
+		err := l.clock.RunAll()
+		alerts := l.takePending()
+		l.mu.Unlock()
+		ing.drain(alerts)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := ing.e.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,38 @@
+//go:build linux
+
+package ingress
+
+import (
+	"net"
+	"syscall"
+)
+
+// reusePortAvailable gates multi-listener binding: on Linux,
+// SO_REUSEPORT lets K sockets share one UDP address with the kernel
+// flow-hashing datagrams across them.
+const reusePortAvailable = true
+
+// soReusePort is SO_REUSEPORT; the constant is absent from the stdlib
+// syscall package, so it is spelled here (same value on every Linux
+// architecture this repo targets).
+const soReusePort = 0xf
+
+// listenConfig returns a ListenConfig whose sockets opt into
+// SO_REUSEPORT when shared binding is requested.
+func listenConfig(shared bool) net.ListenConfig {
+	if !shared {
+		return net.ListenConfig{}
+	}
+	return net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package ingress
+
+import "net"
+
+// reusePortAvailable gates multi-listener binding; without a portable
+// SO_REUSEPORT spelling the tier falls back to a single socket pair.
+const reusePortAvailable = false
+
+func listenConfig(bool) net.ListenConfig { return net.ListenConfig{} }

@@ -100,6 +100,41 @@ func ParseInto(p *Packet, data []byte) error {
 	return nil
 }
 
+// ParseHeaderInto decodes only the cleartext RTP header into p,
+// leaving Payload nil. This is the SRTP-degraded path (RFC 3711): SRTP
+// encrypts the payload and appends an authentication tag but leaves
+// the header — version, payload type, sequence, timestamp, SSRC, CSRC
+// — in the clear, so the RTP protocol state machine keeps running on
+// encrypted media. The trailing ciphertext and auth tag are ignored,
+// not validated.
+//
+//vids:noalloc per-packet SRTP header decode into caller-owned scratch
+func ParseHeaderInto(p *Packet, data []byte) error {
+	if len(data) < HeaderSize {
+		return fmt.Errorf("rtp: packet too short (%d bytes)", len(data)) //vids:alloc-ok error path: malformed packet aborts processing
+	}
+	if v := data[0] >> 6; v != Version {
+		return fmt.Errorf("rtp: unsupported version %d", v) //vids:alloc-ok error path: malformed packet aborts processing
+	}
+	cc := int(data[0] & 0x0F)
+	if len(data) < HeaderSize+4*cc {
+		return fmt.Errorf("rtp: truncated CSRC list") //vids:alloc-ok error path: malformed packet aborts processing
+	}
+	p.Marker = data[1]&0x80 != 0
+	p.PayloadType = data[1] & 0x7F
+	p.Sequence = binary.BigEndian.Uint16(data[2:])
+	p.Timestamp = binary.BigEndian.Uint32(data[4:])
+	p.SSRC = binary.BigEndian.Uint32(data[8:])
+	p.CSRC = p.CSRC[:0]
+	off := HeaderSize
+	for i := 0; i < cc; i++ {
+		p.CSRC = append(p.CSRC, binary.BigEndian.Uint32(data[off:]))
+		off += 4
+	}
+	p.Payload = nil
+	return nil
+}
+
 // WireSize reports the encoded size in bytes.
 func (p *Packet) WireSize() int {
 	return HeaderSize + 4*len(p.CSRC) + len(p.Payload)

@@ -36,6 +36,10 @@ type Options struct {
 	// any traffic flows — the hook cmd/speccover uses to install its
 	// coverage observer on the IDS.
 	Prepare func(tb *workload.Testbed)
+	// Configure, when set, edits the workload config before the
+	// testbed is built — the hook the SRTP survival matrix uses to
+	// flip the IDS into header-only media mode.
+	Configure func(cfg *workload.Config)
 }
 
 // Run builds a fresh testbed, plays the named scenario through it,
@@ -53,6 +57,9 @@ func Run(name string, opts Options) (*workload.Testbed, error) {
 	cfg.AnswerDelay = time.Second
 	if name == "cancel-dos" {
 		cfg.AnswerDelay = 20 * time.Second // keep the INVITE pending
+	}
+	if opts.Configure != nil {
+		opts.Configure(&cfg)
 	}
 	tb, err := workload.New(cfg)
 	if err != nil {

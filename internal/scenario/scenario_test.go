@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"testing"
+
+	"vids/internal/ids"
+	"vids/internal/workload"
+)
+
+// TestSRTPScenarioSurvival is the committed SRTP degradation matrix:
+// every evaluation scenario runs twice, against the full-inspection
+// baseline and against header-only media mode (SRTP deployments — RFC
+// 3711 leaves the RTP header in the clear but encrypts payloads and
+// SRTCP). The signaling detectors and the header-driven media
+// detectors must survive unchanged; the single casualty is forged
+// RTCP BYE, whose evidence rides encrypted SRTCP. The benign baseline
+// must stay silent in both modes.
+func TestSRTPScenarioSurvival(t *testing.T) {
+	// survives records whether header-only mode must still detect the
+	// scenario. Everything keyed on SIP or on cleartext RTP header
+	// fields (SSRC, sequence, timestamp, payload type) survives.
+	survives := map[string]bool{
+		"bye-dos":         true,  // SIP + RTP-header cross-protocol evidence
+		"cancel-dos":      true,  // pure SIP
+		"invite-flood":    true,  // pure SIP
+		"media-spam":      true,  // SSRC/seq/ts jumps: cleartext header
+		"rtp-flood":       true,  // packet rate: needs no payload
+		"codec-change":    true,  // payload type: cleartext header
+		"hijack":          true,  // SIP re-INVITE
+		"toll-fraud":      true,  // BYE + continuing RTP headers
+		"drdos":           true,  // pure SIP
+		"register-hijack": true,  // pure SIP
+		"rtcp-bye":        false, // the forged BYE rides encrypted SRTCP
+	}
+
+	for _, headerOnly := range []bool{false, true} {
+		mode := "baseline"
+		if headerOnly {
+			mode = "header-only"
+		}
+		for _, name := range Names {
+			tb, err := Run(name, Options{
+				Seed: 7,
+				Configure: func(cfg *workload.Config) {
+					cfg.IDS.MediaHeaderOnly = headerOnly
+				},
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mode, name, err)
+			}
+			alerts := tb.IDS.Alerts()
+			switch {
+			case name == "clean":
+				if len(alerts) != 0 {
+					t.Errorf("%s/clean: %d false alerts; first: %+v", mode, len(alerts), alerts[0])
+				}
+			case !headerOnly || survives[name]:
+				if len(alerts) == 0 {
+					t.Errorf("%s/%s: attack went undetected", mode, name)
+				}
+			default:
+				// The documented casualty: header-only mode must go
+				// blind here, not misfire with a different alert.
+				if len(alerts) != 0 {
+					t.Errorf("%s/%s: expected blindness, got %d alerts; first: %+v",
+						mode, name, len(alerts), alerts[0])
+				}
+			}
+			if headerOnly {
+				for _, a := range alerts {
+					if a.Type == ids.AlertRTCPBye {
+						t.Errorf("%s/%s: rtcp-bye alert without RTCP payload access: %+v",
+							mode, name, a)
+					}
+				}
+			}
+		}
+	}
+}

@@ -196,11 +196,11 @@ func (s *Simulator) RunUntil(t time.Duration) error {
 		}
 		ev, ok := heap.Pop(&s.queue).(*event)
 		if !ok {
-			return fmt.Errorf("sim: corrupt event queue entry %T", next)
+			return fmt.Errorf("sim: corrupt event queue entry %T", next) //vids:alloc-ok corrupt-queue error path is fatal, not per-event
 		}
 		s.now = ev.at
 		s.executed++
-		ev.fn()
+		ev.fn() //vids:alloc-ok scheduled-callback dispatch; hot callees are their own noalloc roots
 		s.recycle(ev)
 	}
 	if s.now < t {

@@ -27,9 +27,11 @@
 package vids
 
 import (
+	"vids/internal/bufpool"
 	"vids/internal/engine"
 	"vids/internal/experiments"
 	"vids/internal/ids"
+	"vids/internal/ingress"
 	"vids/internal/sim"
 	"vids/internal/workload"
 )
@@ -110,6 +112,9 @@ type (
 	QueuePolicy = engine.Policy
 	// PacketSource feeds an engine (trace replay, UDP listener).
 	PacketSource = engine.Source
+	// PacketSink accepts timestamped packets (Engine and Ingress both
+	// implement it, so sources can feed either tier).
+	PacketSink = engine.Sink
 	// TraceSource replays a captured trace file, optionally paced.
 	TraceSource = engine.TraceSource
 	// UDPSource ingests live traffic from real UDP sockets.
@@ -122,7 +127,32 @@ const (
 	QueueBlock = engine.Block
 	// QueueDropOldest evicts the oldest queued packet (live capture).
 	QueueDropOldest = engine.DropOldest
+	// QueueShed drops media before signaling under overload (tiered
+	// live-capture degradation).
+	QueueShed = engine.Shed
 )
+
+// Ingestion-tier types (internal/ingress): the multi-lane front end
+// that moves parsing onto the shard workers and flood accounting onto
+// lock-striped lanes, with pooled receive buffers.
+type (
+	// Ingress is the multi-lane ingestion tier wrapping an Engine.
+	Ingress = ingress.Ingress
+	// IngressConfig parameterizes lanes, buffers and the wrapped engine.
+	IngressConfig = ingress.Config
+	// UDPListeners binds SO_REUSEPORT socket pairs feeding an Ingress.
+	UDPListeners = ingress.UDPListeners
+	// BufferPool is the fixed-size receive-buffer free list.
+	BufferPool = bufpool.Pool
+)
+
+// NewIngress builds the multi-lane ingestion tier. Close it to drain
+// the lanes and the wrapped engine.
+func NewIngress(cfg IngressConfig) *Ingress { return ingress.New(cfg) }
+
+// NewBufferPool creates a receive-buffer free list (size <= 0 picks
+// the default 64 KiB datagram capacity).
+func NewBufferPool(size int) *BufferPool { return bufpool.New(size) }
 
 // NewEngine starts the online sharded detection pipeline. Close it to
 // drain the shard queues and merge the alert logs.
