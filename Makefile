@@ -13,9 +13,9 @@ CHURNTIME ?= 5000x
 # feeds BENCH_hotpath.json; the engine file merges a churn run
 # (allocation-gated) with a throughput run (timing only — engine
 # fan-out allocs vary with scheduling and are not a useful gate).
-HOTPATH_BENCH = BenchmarkSIPParse$$|BenchmarkRTPParse$$|BenchmarkRTCPParse$$|BenchmarkIDSProcessSIP$$|BenchmarkIDSProcessRTP$$|BenchmarkEFSMStep$$
+HOTPATH_BENCH = BenchmarkSIPParse$$|BenchmarkRTPParse$$|BenchmarkRTCPParse$$|BenchmarkIDSProcessSIP$$|BenchmarkIDSProcessSIPCompiled$$|BenchmarkIDSProcessRTP$$|BenchmarkEFSMStep$$|BenchmarkEFSMStepCompiled$$
 
-.PHONY: all build test race fmt lint ci golden bench bench-smoke bench-compare speccover speccover-update
+.PHONY: all build test race fmt lint ci golden bench bench-smoke bench-compare speccover speccover-update specgen specgen-check
 
 all: build
 
@@ -105,8 +105,20 @@ speccover:
 speccover-update:
 	$(GO) run ./cmd/speccover -write SPEC_COVERAGE.json
 
+# specgen regenerates internal/idsgen/tables_gen.go from the
+# interpreted EFSM specifications — run it after any spec change, then
+# commit the result. specgen-check verifies the committed file is
+# byte-identical to what the generator would emit (the CI freshness
+# gate: stale compiled tables fail instead of silently diverging from
+# the specs).
+specgen:
+	$(GO) run ./cmd/specgen
+
+specgen-check:
+	$(GO) run ./cmd/specgen -check
+
 # ci reproduces .github/workflows/ci.yml locally.
-ci: lint build race bench-smoke speccover
+ci: lint specgen-check build race bench-smoke speccover
 
 # golden regenerates the spec-graph golden files after a reviewed
 # specification change.

@@ -7,6 +7,7 @@ import (
 
 	"vids/internal/core"
 	"vids/internal/ids"
+	"vids/internal/idsgen"
 	"vids/internal/rtp"
 	"vids/internal/sdp"
 	"vids/internal/sim"
@@ -39,6 +40,19 @@ const (
 	// table and timer wheel are warm. Measured at 0; the headroom
 	// covers incidental map rehashing.
 	maxCallChurnAllocs = 4
+	// maxIDSProcessSIPCompiledAllocs bounds the detection layer alone
+	// on the specgen-compiled backend: ProcessSIP on a pre-parsed
+	// INVITE — classify, fact-base lookup, typed event, compiled
+	// machine step — with the parser's share factored out. Measured
+	// at 0 in steady state; the budget leaves room for incidental
+	// map rehashing while staying far below the interpreted seed's
+	// 18 (16 of which were the parse).
+	maxIDSProcessSIPCompiledAllocs = 9
+	// maxEFSMStepCompiledAllocs pins the compiled transition itself:
+	// dense-table lookup, devirtualized guard, struct-field action.
+	// Zero, exactly — the //vids:noalloc gate in cmd/vidslint proves
+	// it statically and this budget proves it dynamically.
+	maxEFSMStepCompiledAllocs = 0
 )
 
 // TestAllocBudgetSIPParse holds the parser to its allocation budget.
@@ -128,6 +142,62 @@ func TestAllocBudgetIDSProcessSIP(t *testing.T) {
 	})
 	if avg > maxIDSProcessSIPAllocs {
 		t.Errorf("ids.Process(SIP) allocates %.1f/op, budget %d", avg, maxIDSProcessSIPAllocs)
+	}
+}
+
+// TestAllocBudgetIDSProcessSIPCompiled holds the compiled-backend
+// per-SIP-packet detection layer to its allocation budget. The setup
+// mirrors BenchmarkIDSProcessSIPCompiled: one INVITE parsed once,
+// then re-delivered as a retransmission of the same dialog, so the
+// measurement isolates ProcessSIP from the parser.
+func TestAllocBudgetIDSProcessSIPCompiled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	s := sim.New(1)
+	cfg := ids.DefaultConfig()
+	cfg.Backend = ids.BackendCompiled
+	// Retransmissions land on one frozen virtual instant; disarm the
+	// windowed flood counter so the benign path is what gets measured.
+	cfg.FloodN = 1 << 40
+	d := ids.New(s, cfg)
+	inv := benchInvite()
+	from := sim.Addr{Host: "proxy.a.example.com", Port: 5060}
+	to := sim.Addr{Host: "proxy.b.example.com", Port: 5060}
+	pkt := &sim.Packet{From: from, To: to, Proto: sim.ProtoSIP, Size: 500}
+	d.ProcessSIP(inv, pkt) // create the monitor outside the measured runs
+	avg := testing.AllocsPerRun(200, func() {
+		d.ProcessSIP(inv, pkt)
+	})
+	if avg > maxIDSProcessSIPCompiledAllocs {
+		t.Errorf("compiled ids.ProcessSIP allocates %.1f/op, budget %d", avg, maxIDSProcessSIPCompiledAllocs)
+	}
+	if n := len(d.Alerts()); n != 0 {
+		t.Fatalf("retransmitted INVITE raised %d alerts", n)
+	}
+}
+
+// TestAllocBudgetEFSMStepCompiled holds one compiled transition to
+// exactly zero allocations: the invite-flood counter spinning on its
+// guarded counting self-loop with a typed argument vector, the same
+// step BenchmarkEFSMStepCompiled times.
+func TestAllocBudgetEFSMStepCompiled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	m := idsgen.NewFloodMachine(idsgen.FloodInvite, 1<<40)
+	args := idsgen.FloodArgs{Dest: "bob@b.example.com", Src: "attacker.example.net"}
+	ev := core.Event{Name: ids.EvInvite, Typed: &args}
+	if _, err := m.Step(ev); err != nil { // INIT -> counting: arm the self-loop
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := m.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > maxEFSMStepCompiledAllocs {
+		t.Errorf("compiled Step allocates %.1f/op, budget %d", avg, maxEFSMStepCompiledAllocs)
 	}
 }
 

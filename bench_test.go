@@ -14,6 +14,7 @@ import (
 	"vids/internal/core"
 	"vids/internal/engine"
 	"vids/internal/ids"
+	"vids/internal/idsgen"
 	"vids/internal/ingress"
 	"vids/internal/media"
 	"vids/internal/rtp"
@@ -230,6 +231,39 @@ func BenchmarkIDSProcessSIP(b *testing.B) {
 	}
 }
 
+// BenchmarkIDSProcessSIPCompiled measures the per-SIP-packet detection
+// path on the specgen-compiled backend with the parser factored out:
+// the INVITE is parsed once and each iteration runs ProcessSIP —
+// classification, fact-base lookup, compiled machine step — as a
+// retransmission of the same dialog. BenchmarkIDSProcessSIP times the
+// same path including the parse (16 of its 18 baseline allocations);
+// this variant isolates what the compiled dispatch is responsible
+// for, and alloc_test.go pins its single-digit budget.
+func BenchmarkIDSProcessSIPCompiled(b *testing.B) {
+	s := sim.New(1)
+	cfg := ids.DefaultConfig()
+	cfg.Backend = ids.BackendCompiled
+	// Every iteration re-sends the same INVITE with virtual time frozen,
+	// which the windowed flood counter would (correctly) flag; raise the
+	// threshold so the benchmark measures the benign path.
+	cfg.FloodN = 1 << 40
+	d := ids.New(s, cfg)
+	inv := benchInvite()
+	from := sim.Addr{Host: "proxy.a.example.com", Port: 5060}
+	to := sim.Addr{Host: "proxy.b.example.com", Port: 5060}
+	pkt := &sim.Packet{From: from, To: to, Proto: sim.ProtoSIP, Size: 500}
+	d.ProcessSIP(inv, pkt) // create the monitor outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ProcessSIP(inv, pkt)
+	}
+	b.StopTimer()
+	if n := len(d.Alerts()); n != 0 {
+		b.Fatalf("retransmitted INVITE raised %d alerts", n)
+	}
+}
+
 // BenchmarkIDSProcessRTP measures the full per-RTP-packet IDS path on
 // an established call's stream.
 func BenchmarkIDSProcessRTP(b *testing.B) {
@@ -389,6 +423,36 @@ func BenchmarkEFSMStep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEFSMStepCompiled measures one guarded transition through
+// the specgen-compiled dispatch — dense table lookup, devirtualized
+// guard, inlined action on struct-field locals — the compiled
+// counterpart of BenchmarkEFSMStep's interpreted walk. The machine is
+// the invite-flood counter spinning on its counting self-loop with a
+// typed argument vector, threshold set high enough that b.N
+// iterations never trip it.
+func BenchmarkEFSMStepCompiled(b *testing.B) {
+	m := idsgen.NewFloodMachine(idsgen.FloodInvite, 1<<40)
+	args := idsgen.FloodArgs{Dest: "bob@b.example.com", Src: "attacker.example.net"}
+	ev := core.Event{Name: ids.EvInvite, Typed: &args}
+	if _, err := m.Step(ev); err != nil { // INIT -> counting: arm the self-loop
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Reuse one result variable: a fresh temporary per iteration would
+	// add a per-call zeroing of the 14-word StepResult that no real
+	// caller pays (the delivery path appends into a reused buffer).
+	var res core.StepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = m.Step(ev)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = res
 }
 
 // BenchmarkSimulatorEvents measures raw event scheduling throughput.

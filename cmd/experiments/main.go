@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fast] [-seed N] [-uas N] [-duration D] [fig8|fig9|fig10|cpu|memory|accuracy|sensitivity|ablation|auth|prevention|engine|all]
+//	experiments [-fast] [-seed N] [-uas N] [-duration D] [fig8|fig9|fig10|cpu|memory|accuracy|sensitivity|ablation|auth|prevention|engine|backends|all]
 //
 // The default runs everything at paper scale (20 UAs, 120-minute
 // workload); -fast shrinks the runs for a quick look.
@@ -71,6 +71,7 @@ func run(args []string) error {
 		{"auth", func() (interface{ Render() string }, error) { return vids.Auth(attackScale(opts)) }},
 		{"prevention", func() (interface{ Render() string }, error) { return vids.Prevention(attackScale(opts)) }},
 		{"engine", func() (interface{ Render() string }, error) { return vids.EngineScaling(opts) }},
+		{"backends", func() (interface{ Render() string }, error) { return vids.Backends(opts) }},
 	}
 
 	matched := false
@@ -89,7 +90,7 @@ func run(args []string) error {
 		fmt.Printf("(%s completed in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want fig8|fig9|fig10|cpu|memory|accuracy|sensitivity|ablation|auth|prevention|engine|all)", which)
+		return fmt.Errorf("unknown experiment %q (want fig8|fig9|fig10|cpu|memory|accuracy|sensitivity|ablation|auth|prevention|engine|backends|all)", which)
 	}
 	return nil
 }

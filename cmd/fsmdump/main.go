@@ -9,11 +9,17 @@
 //
 // Usage:
 //
-//	fsmdump              # verify every machine and the system
-//	fsmdump -dot sip     # print one machine as DOT
-//	fsmdump -dot all     # print every machine
-//	fsmdump -depth 24    # deepen the product exploration
-//	fsmdump -witness     # print a shortest path to every attack state
+//	fsmdump                        # verify every machine and the system
+//	fsmdump -dot sip               # print one machine as DOT
+//	fsmdump -dot all               # print every machine
+//	fsmdump -dot all -backend compiled  # ... from specgen's dispatch tables
+//	fsmdump -depth 24              # deepen the product exploration
+//	fsmdump -witness               # print a shortest path to every attack state
+//
+// -backend compiled renders the spec graphs reconstructed from the
+// generated dense transition tables (internal/idsgen) instead of the
+// interpreted spec builders; identical DOT from both backends is part
+// of the compiled-dispatch parity gate.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"vids/internal/core"
 	"vids/internal/ids"
+	"vids/internal/idsgen"
 	"vids/internal/speclint"
 )
 
@@ -38,12 +45,30 @@ func run(args []string) error {
 	dot := fs.String("dot", "", "render this machine (or \"all\") as Graphviz DOT")
 	depth := fs.Int("depth", 0, "product exploration depth (0 = speclint default)")
 	witness := fs.Bool("witness", false, "print a shortest event path to every attack state")
+	backend := fs.String("backend", "interpreted", "spec source for -dot: interpreted (the ids spec builders) or compiled (reconstructed from specgen's dispatch tables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cfg := ids.DefaultConfig()
 	specs := ids.Specs(cfg)
+	switch *backend {
+	case "interpreted":
+	case "compiled":
+		// Rebuild the spec graphs from the generated dense tables. Only
+		// the structure (states, events, labels, guard/action flags,
+		// final/attack annotations) round-trips — guards and actions in
+		// the compiled backend are Go functions, so speclint's semantic
+		// passes keep running against the interpreted specs below. -dot
+		// on both backends producing identical output is the structural
+		// half of the parity gate.
+		if *dot == "" {
+			return fmt.Errorf("-backend compiled only affects -dot; lint always runs on the interpreted specs")
+		}
+		specs = idsgen.ReconstructSpecs()
+	default:
+		return fmt.Errorf("unknown -backend %q (want interpreted or compiled)", *backend)
+	}
 	if *dot != "" {
 		matched := false
 		for _, s := range specs {

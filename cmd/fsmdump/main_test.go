@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"testing"
+)
 
 func TestVerifyAllMachines(t *testing.T) {
 	if err := run(nil); err != nil {
@@ -22,5 +26,53 @@ func TestDOTOutput(t *testing.T) {
 	}
 	if err := run([]string{"-dot", "nope"}); err == nil {
 		t.Fatal("unknown machine accepted")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// The golden equivalence gate: -dot all must print byte-identical
+// output whether the specs come from the interpreted builders or are
+// reconstructed from specgen's compiled dispatch tables.
+func TestDOTBackendEquivalence(t *testing.T) {
+	interp := captureStdout(t, func() error { return run([]string{"-dot", "all"}) })
+	comp := captureStdout(t, func() error { return run([]string{"-dot", "all", "-backend", "compiled"}) })
+	if interp != comp {
+		t.Errorf("compiled-backend DOT diverges from interpreted\n--- interpreted ---\n%s\n--- compiled ---\n%s", interp, comp)
+	}
+	if interp == "" {
+		t.Fatal("no DOT output captured")
+	}
+}
+
+func TestBackendFlagValidation(t *testing.T) {
+	if err := run([]string{"-backend", "compiled"}); err == nil {
+		t.Fatal("-backend compiled without -dot accepted; lint must stay on the interpreted specs")
+	}
+	if err := run([]string{"-dot", "sip", "-backend", "bogus"}); err == nil {
+		t.Fatal("unknown backend accepted")
 	}
 }

@@ -9,6 +9,10 @@
 //	vids [-scenario bye-dos|cancel-dos|invite-flood|media-spam|rtp-flood|codec-change|hijack|toll-fraud|drdos|register-hijack|rtcp-bye|clean|all] [-report alerts.json]
 //	vids -replay trace.jsonl [-shards N]
 //
+// Both modes run the specgen-compiled EFSM backend by default;
+// -compiled=false switches to the interpreted reference walker (the
+// two are differentially tested to produce identical alerts).
+//
 // With -shards N > 0 the replay runs through the concurrent sharded
 // engine (internal/engine) and the resulting alert set is verified
 // against a single-threaded replay of the same trace.
@@ -26,6 +30,7 @@ import (
 	"vids/internal/engine"
 	"vids/internal/scenario"
 	"vids/internal/trace"
+	"vids/internal/workload"
 )
 
 func main() {
@@ -43,12 +48,17 @@ func run(args []string) error {
 		replay       = fs.String("replay", "", "analyze a captured packet trace instead of running the testbed")
 		report       = fs.String("report", "", "write the alert report (JSON) to this file")
 		shards       = fs.Int("shards", 0, "replay through the concurrent engine with N shard workers (0 = single-threaded)")
+		compiled     = fs.Bool("compiled", true, "run the specgen-compiled EFSM backend (false = interpreted reference walker)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	backend := vids.BackendCompiled
+	if !*compiled {
+		backend = vids.BackendInterpreted
+	}
 	if *replay != "" {
-		return replayTrace(*replay, *report, *shards)
+		return replayTrace(*replay, *report, *shards, backend)
 	}
 
 	names := scenario.Names
@@ -56,7 +66,7 @@ func run(args []string) error {
 		names = []string{*scenarioName}
 	}
 	for _, name := range names {
-		if err := runScenario(name, *seed, *report); err != nil {
+		if err := runScenario(name, *seed, *report, backend); err != nil {
 			return fmt.Errorf("scenario %s: %w", name, err)
 		}
 	}
@@ -97,7 +107,7 @@ func writeAlerts(alerts []vids.Alert, path string) error {
 // replayTrace feeds a captured trace into a fresh IDS instance, or —
 // with shards > 0 — into the concurrent sharded engine, in which case
 // the engine's alert set is checked against the single-threaded run.
-func replayTrace(path, report string, shards int) error {
+func replayTrace(path, report string, shards int, backend vids.Backend) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -108,10 +118,12 @@ func replayTrace(path, report string, shards int) error {
 		return err
 	}
 	if shards > 0 {
-		return replayEngine(entries, report, shards)
+		return replayEngine(entries, report, shards, backend)
 	}
+	cfg := vids.DefaultConfig()
+	cfg.Backend = backend
 	s := vids.NewSimulator(1)
-	d := vids.New(s, vids.DefaultConfig())
+	d := vids.New(s, cfg)
 	d.OnAlert = func(a vids.Alert) { fmt.Printf("ALERT %s\n", a) }
 	if err := trace.Replay(s, entries, d); err != nil {
 		return err
@@ -128,8 +140,10 @@ func replayTrace(path, report string, shards int) error {
 // replayEngine pushes the trace through the sharded engine and
 // verifies the resulting alert set matches a sequential replay of the
 // same entries — the engine's correctness contract.
-func replayEngine(entries []trace.Entry, report string, shards int) error {
-	e := engine.New(engine.Config{Shards: shards})
+func replayEngine(entries []trace.Entry, report string, shards int, backend vids.Backend) error {
+	idsCfg := vids.DefaultConfig()
+	idsCfg.Backend = backend
+	e := engine.New(engine.Config{Shards: shards, IDS: idsCfg})
 	for i, en := range entries {
 		if err := e.Ingest(en.Packet(), en.At()); err != nil {
 			return fmt.Errorf("entry %d: %w", i, err)
@@ -149,7 +163,7 @@ func replayEngine(entries []trace.Entry, report string, shards int) error {
 	// Cross-check against the single-threaded path: same trace, same
 	// detectors, one fact base.
 	s := vids.NewSimulator(1)
-	d := vids.New(s, vids.DefaultConfig())
+	d := vids.New(s, idsCfg)
 	if err := trace.Replay(s, entries, d); err != nil {
 		return err
 	}
@@ -165,9 +179,12 @@ func replayEngine(entries []trace.Entry, report string, shards int) error {
 	return writeAlerts(alerts, report)
 }
 
-func runScenario(name string, seed int64, report string) error {
+func runScenario(name string, seed int64, report string, backend vids.Backend) error {
 	fmt.Printf("==== scenario: %s ====\n", name)
-	tb, err := scenario.Run(name, scenario.Options{Seed: seed, Out: os.Stdout})
+	tb, err := scenario.Run(name, scenario.Options{
+		Seed: seed, Out: os.Stdout,
+		Configure: func(cfg *workload.Config) { cfg.IDS.Backend = backend },
+	})
 	if err != nil {
 		return err
 	}

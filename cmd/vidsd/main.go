@@ -65,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		lanes     = fs.Int("lanes", 0, "ingestion lanes; 0 = classic serial router path")
 		listeners = fs.Int("listeners", 1, "UDP socket pairs, SO_REUSEPORT permitting (source=udp, lanes>0)")
 		srtp      = fs.Bool("srtp", false, "SRTP-degraded mode: inspect only cleartext RTP headers, skip media payloads and RTCP")
+		compiled  = fs.Bool("compiled", true, "run the specgen-compiled EFSM backend (false = interpreted reference walker)")
 		source    = fs.String("source", "trace", "packet source: trace or udp")
 		tracePath = fs.String("trace", "", "trace file to replay (source=trace)")
 		pace      = fs.Float64("pace", 1, "replay speed multiple; 0 = as fast as possible (source=trace)")
@@ -87,6 +88,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 	}
 	cfg.IDS.MediaHeaderOnly = *srtp
+	if !*compiled {
+		cfg.IDS.Backend = ids.BackendInterpreted
+	}
 	switch *policy {
 	case "block":
 		cfg.Policy = engine.Block

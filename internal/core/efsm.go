@@ -76,7 +76,7 @@ func (e Event) Arg(key string) any {
 // StringArg returns a string argument ("" if absent or not a string).
 func (e Event) StringArg(key string) string {
 	if e.Typed != nil {
-		if v, ok := e.Typed.StringArg(key); ok {
+		if v, ok := e.Typed.StringArg(key); ok { //vids:alloc-ok TypedArgs implementations are field reads on pre-allocated scratch structs
 			return v
 		}
 	}
@@ -87,7 +87,7 @@ func (e Event) StringArg(key string) string {
 // IntArg returns an int argument (0 if absent or not an int).
 func (e Event) IntArg(key string) int {
 	if e.Typed != nil {
-		if v, ok := e.Typed.IntArg(key); ok {
+		if v, ok := e.Typed.IntArg(key); ok { //vids:alloc-ok TypedArgs implementations are field reads on pre-allocated scratch structs
 			return v
 		}
 	}
@@ -98,7 +98,7 @@ func (e Event) IntArg(key string) int {
 // Uint32Arg returns a uint32 argument (0 if absent).
 func (e Event) Uint32Arg(key string) uint32 {
 	if e.Typed != nil {
-		if v, ok := e.Typed.Uint32Arg(key); ok {
+		if v, ok := e.Typed.Uint32Arg(key); ok { //vids:alloc-ok TypedArgs implementations are field reads on pre-allocated scratch structs
 			return v
 		}
 	}
@@ -109,7 +109,7 @@ func (e Event) Uint32Arg(key string) uint32 {
 // DurationArg returns a time.Duration argument (0 if absent).
 func (e Event) DurationArg(key string) time.Duration {
 	if e.Typed != nil {
-		if v, ok := e.Typed.DurationArg(key); ok {
+		if v, ok := e.Typed.DurationArg(key); ok { //vids:alloc-ok TypedArgs implementations are field reads on pre-allocated scratch structs
 			return v
 		}
 	}
@@ -609,6 +609,8 @@ type StepResult struct {
 // transition taken plus any emitted sync messages; ErrNoTransition
 // signals a specification deviation, ErrNondeterministic a broken
 // spec.
+//
+//vids:noalloc interpreted EFSM step — reference-backend hot path behind the core.Stepper seam
 func (m *Machine) Step(e Event) (StepResult, error) {
 	byEvent := m.spec.transitions[m.state]
 	candidates := byEvent[e.Name]

@@ -1,0 +1,64 @@
+package core
+
+// MachineLike is the behavioral surface of one running EFSM instance,
+// implemented both by the interpreted Machine and by the compiled
+// machines of internal/idsgen. The detection layer (internal/ids)
+// holds machines behind this interface so a per-call monitor can run
+// either backend; everything here is either cold-path introspection or
+// the Step hot path, which both backends keep allocation-free.
+type MachineLike interface {
+	Name() string
+	State() State
+	// Vars exposes the local variable vector. The interpreted machine
+	// returns its live store; a compiled machine materializes an
+	// equivalent map on demand (cold path — tooling and tests only).
+	Vars() Vars
+	Steps() uint64
+	InAttack() bool
+	InFinal() bool
+	Step(e Event) (StepResult, error)
+	Reset()
+	SetCoverage(obs CoverageObserver)
+}
+
+// Stepper is the per-call communicating-system seam: the surface of a
+// System that the detection layer depends on, implemented both by the
+// interpreted System and by internal/idsgen's compiled CallSystem.
+// Deliver/DeliverSync carry the paper's δ-priority contract (drain
+// pending sync messages first, tolerate ErrNoTransition on sync
+// events, return the reused result slice); the rest is lifecycle and
+// introspection.
+type Stepper interface {
+	// Globals exposes the shared variable store. Like MachineLike.Vars,
+	// a compiled system materializes the map view on demand.
+	Globals() Vars
+	Deliver(machine string, e Event) ([]StepResult, error)
+	DeliverSync(machine string, e Event) ([]StepResult, error)
+	// Find returns a member machine by name (ok=false if absent).
+	Find(machine string) (MachineLike, bool)
+	SetCoverage(obs CoverageObserver)
+	Reset()
+	InAttack() bool
+	AllFinal() bool
+	PendingSync() int
+	MaxPendingSync() int
+	MemoryFootprint() int
+}
+
+// Compile-time checks that the interpreted implementations satisfy the
+// seam (internal/idsgen asserts the same for the compiled ones).
+var (
+	_ MachineLike = (*Machine)(nil)
+	_ Stepper     = (*System)(nil)
+)
+
+// Find returns a member machine behind the MachineLike seam. The
+// explicit not-found branch avoids wrapping a typed nil pointer in a
+// non-nil interface value.
+func (sys *System) Find(name string) (MachineLike, bool) {
+	m, ok := sys.machines[name]
+	if !ok {
+		return nil, false
+	}
+	return m, true
+}

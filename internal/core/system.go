@@ -132,6 +132,8 @@ func (sys *System) Reset() {
 // only until the next Deliver/DeliverSync call. The per-packet hot
 // path consumes it synchronously; callers that need to retain results
 // must copy them.
+//
+//vids:noalloc interpreted per-packet delivery path behind the core.Stepper seam
 func (sys *System) Deliver(machine string, e Event) ([]StepResult, error) {
 	m, ok := sys.machines[machine]
 	if !ok {
@@ -161,6 +163,8 @@ func (sys *System) Deliver(machine string, e Event) ([]StepResult, error) {
 // that the IDS schedules on behalf of a machine). Like Deliver, the
 // returned slice is reused by the System and valid only until the
 // next Deliver/DeliverSync call.
+//
+//vids:noalloc interpreted timer/sync delivery path behind the core.Stepper seam
 func (sys *System) DeliverSync(machine string, e Event) ([]StepResult, error) {
 	if _, ok := sys.machines[machine]; !ok {
 		return nil, fmt.Errorf("core: unknown machine %q", machine) //vids:alloc-ok unknown-machine delivery is a wiring bug; error path only

@@ -337,3 +337,28 @@ func TestEngineScaling(t *testing.T) {
 		}
 	}
 }
+
+func TestBackends(t *testing.T) {
+	res, err := Backends(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 || res.Calls == 0 {
+		t.Fatalf("empty workload: %+v", res)
+	}
+	if !res.AlertsMatch {
+		t.Fatal("compiled alert stream diverges from interpreted stream")
+	}
+	if res.Alerts == 0 {
+		t.Fatal("attack workload raised no alerts")
+	}
+	if len(res.Rows) != len(backendShards) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(backendShards))
+	}
+	out := res.Render()
+	for _, want := range []string{"E12", "compiled", "IDENTICAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -2,141 +2,26 @@ package ids
 
 import (
 	"strconv"
-	"time"
 
 	"vids/internal/core"
+	"vids/internal/idsgen"
 	"vids/internal/sipmsg"
 )
 
-// sipArgs is the typed input vector x for SIP events — the same keys
-// sipEvent historically packed into a map[string]any, held in a
-// reusable struct so the per-packet path does not allocate a map and
-// box every field. Absent fields read as zero values, exactly as a
-// missing map key does through the Event accessors.
-type sipArgs struct {
-	src, dst   string
-	callID     string
-	from, to   string
-	fromTag    string
-	toTag      string
-	contact    string
-	cseqMethod string
-	sdpAddr    string
-	sdpPort    int
-	sdpPayload int
-	status     int
-}
-
-func (a *sipArgs) StringArg(key string) (string, bool) {
-	switch key {
-	case "src":
-		return a.src, true
-	case "dst":
-		return a.dst, true
-	case "callID":
-		return a.callID, true
-	case "from":
-		return a.from, true
-	case "to":
-		return a.to, true
-	case "fromTag":
-		return a.fromTag, true
-	case "toTag":
-		return a.toTag, true
-	case "contact":
-		return a.contact, true
-	case "cseqMethod":
-		return a.cseqMethod, true
-	case "sdpAddr":
-		return a.sdpAddr, true
-	}
-	return "", false
-}
-
-func (a *sipArgs) IntArg(key string) (int, bool) {
-	switch key {
-	case "status":
-		return a.status, true
-	case "sdpPort":
-		return a.sdpPort, true
-	case "sdpPayload":
-		return a.sdpPayload, true
-	}
-	return 0, false
-}
-
-func (a *sipArgs) Uint32Arg(string) (uint32, bool) { return 0, false }
-
-func (a *sipArgs) DurationArg(string) (time.Duration, bool) { return 0, false }
-
-// rtpArgs is the typed input vector for EvRTP events.
-type rtpArgs struct {
-	src, dst    string
-	ssrc        uint32
-	ts          uint32
-	seq         int
-	payloadType int
-	now         time.Duration
-}
-
-func (a *rtpArgs) StringArg(key string) (string, bool) {
-	switch key {
-	case "src":
-		return a.src, true
-	case "dst":
-		return a.dst, true
-	}
-	return "", false
-}
-
-func (a *rtpArgs) IntArg(key string) (int, bool) {
-	switch key {
-	case "seq":
-		return a.seq, true
-	case "payloadType":
-		return a.payloadType, true
-	}
-	return 0, false
-}
-
-func (a *rtpArgs) Uint32Arg(key string) (uint32, bool) {
-	switch key {
-	case "ssrc":
-		return a.ssrc, true
-	case "ts":
-		return a.ts, true
-	}
-	return 0, false
-}
-
-func (a *rtpArgs) DurationArg(key string) (time.Duration, bool) {
-	if key == "now" {
-		return a.now, true
-	}
-	return 0, false
-}
-
-// floodArgs is the typed input vector for the windowed cross-call
-// detectors (Figure 4's INVITE flood and the DRDoS response counter).
-type floodArgs struct {
-	dest, src string
-}
-
-func (a *floodArgs) StringArg(key string) (string, bool) {
-	switch key {
-	case "dest":
-		return a.dest, true
-	case "src":
-		return a.src, true
-	}
-	return "", false
-}
-
-func (a *floodArgs) IntArg(string) (int, bool) { return 0, false }
-
-func (a *floodArgs) Uint32Arg(string) (uint32, bool) { return 0, false }
-
-func (a *floodArgs) DurationArg(string) (time.Duration, bool) { return 0, false }
+// The typed event vectors are shared with the compiled backend: the
+// guard functions internal/idsgen generates read them as struct fields
+// while the interpreted specs read them through the core.TypedArgs
+// accessors, so one scratch value feeds both. The aliases keep the
+// historical local names used throughout this package.
+type (
+	// sipArgs is the typed input vector x for SIP events.
+	sipArgs = idsgen.SIPArgs
+	// rtpArgs is the typed input vector for EvRTP events.
+	rtpArgs = idsgen.RTPArgs
+	// floodArgs is the typed input vector for the windowed cross-call
+	// detectors (Figure 4's INVITE flood and the DRDoS response counter).
+	floodArgs = idsgen.FloodArgs
+)
 
 // Timer events are argument-free; sharing one static value keeps the
 // expiry paths from materializing an Event per fire.

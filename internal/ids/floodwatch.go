@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vids/internal/core"
+	"vids/internal/idsgen"
 	"vids/internal/sim"
 	"vids/internal/sipmsg"
 	"vids/internal/timerwheel"
@@ -62,9 +63,25 @@ func (fw *FloodWatch) SetCoverage(obs core.CoverageObserver) {
 // floodEntry pairs one windowed counter machine with its embedded T1
 // timer so opening a window never allocates.
 type floodEntry struct {
-	m     *core.Machine
+	m     core.MachineLike
 	dest  string
 	timer timerwheel.Timer
+}
+
+// newCounter builds one windowed counter on the configured backend.
+func (fw *FloodWatch) newCounter(kind idsgen.FloodKind) core.MachineLike {
+	if fw.cfg.Backend == BackendInterpreted {
+		sp := fw.floodSp
+		if kind == idsgen.FloodResponse {
+			sp = fw.respFloodSp
+		}
+		return core.NewMachine(sp, nil)
+	}
+	n := fw.cfg.FloodN
+	if kind == idsgen.FloodResponse {
+		n = fw.cfg.ResponseFloodN
+	}
+	return idsgen.NewFloodMachine(kind, n)
 }
 
 // NewFloodWatch creates a detector bank bound to the given clock.
@@ -112,7 +129,7 @@ func (fw *FloodWatch) fire(t *timerwheel.Timer) {
 func (fw *FloodWatch) FeedInvite(dest, src string, now time.Duration) {
 	e, ok := fw.floods[dest]
 	if !ok {
-		e = &floodEntry{m: core.NewMachine(fw.floodSp, nil), dest: dest}
+		e = &floodEntry{m: fw.newCounter(idsgen.FloodInvite), dest: dest}
 		e.m.SetCoverage(fw.cover)
 		e.timer.Kind = timerKindFloodWindow
 		e.timer.Owner = e
@@ -124,7 +141,7 @@ func (fw *FloodWatch) FeedInvite(dest, src string, now time.Duration) {
 		fw.floodSrcs[dest] = srcs
 	}
 	srcs[src]++
-	fw.args = floodArgs{dest: dest, src: src}
+	fw.args = floodArgs{Dest: dest, Src: src}
 	res, err := e.m.Step(core.Event{Name: EvInvite, Typed: &fw.args})
 	if err != nil {
 		return
@@ -159,13 +176,13 @@ func (fw *FloodWatch) FeedInvite(dest, src string, now time.Duration) {
 func (fw *FloodWatch) FeedStrayResponse(m *sipmsg.Message, dest, src string, now time.Duration) {
 	e, ok := fw.respFloods[dest]
 	if !ok {
-		e = &floodEntry{m: core.NewMachine(fw.respFloodSp, nil), dest: dest}
+		e = &floodEntry{m: fw.newCounter(idsgen.FloodResponse), dest: dest}
 		e.m.SetCoverage(fw.cover)
 		e.timer.Kind = timerKindRespFloodWindow
 		e.timer.Owner = e
 		fw.respFloods[dest] = e
 	}
-	fw.args = floodArgs{dest: dest, src: src}
+	fw.args = floodArgs{Dest: dest, Src: src}
 	res, err := e.m.Step(core.Event{Name: EvResponse, Typed: &fw.args})
 	if err != nil {
 		return

@@ -1,0 +1,33 @@
+package idsgen_test
+
+import (
+	"testing"
+
+	"vids/internal/ids"
+	"vids/internal/idsgen"
+)
+
+// The reconstructed specs must be structurally indistinguishable from
+// the interpreted spec builders' output: same machines in the same
+// order, and byte-identical DOT (states, initial/final/attack
+// markings, transitions with labels and guard placement). This pins
+// the generated dense tables to the specification structure — a
+// regenerated tables_gen.go that drops or reorders a transition fails
+// here even if every behavioral test still passes.
+func TestReconstructedSpecsMatchInterpretedDOT(t *testing.T) {
+	interp := ids.Specs(ids.DefaultConfig())
+	comp := idsgen.ReconstructSpecs()
+	if len(comp) != len(interp) {
+		t.Fatalf("ReconstructSpecs returned %d specs, ids.Specs %d", len(comp), len(interp))
+	}
+	for i, want := range interp {
+		got := comp[i]
+		if got.Name != want.Name {
+			t.Fatalf("spec %d: reconstructed %q, interpreted %q", i, got.Name, want.Name)
+		}
+		if gd, wd := got.DOT(), want.DOT(); gd != wd {
+			t.Errorf("%s: compiled-table DOT diverges from interpreted spec\n--- interpreted ---\n%s\n--- compiled ---\n%s",
+				want.Name, wd, gd)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package idsgen
+
+import (
+	"time"
+
+	"vids/internal/core"
+	"vids/internal/rtp"
+)
+
+// RTPMachine is the compiled per-direction media machine (paper
+// Figures 2(a), 5, 6): one struct per watched stream holding the l.*
+// vector as fields. Both directions (rtp-caller / rtp-callee) share
+// one transition-table shape; only the table's name differs.
+type RTPMachine struct {
+	tbl   *machTable
+	state uint8
+	set   uint16
+
+	party    string
+	payload  int
+	started  bool
+	ssrc     uint32
+	seq      uint32
+	ts       uint32
+	src      string
+	winStart time.Duration
+	winCount int
+
+	g *SysGlobals
+	p *Params
+
+	cover core.CoverageObserver
+	steps uint64
+}
+
+// Presence bits of RTPMachine.set.
+const (
+	rSetParty = 1 << iota
+	rSetPayload
+	rSetStarted
+	rSetSSRC
+	rSetSeq
+	rSetTS
+	rSetSrc
+	rSetWinStart
+	rSetWinCount
+)
+
+// Name returns the machine's name.
+func (m *RTPMachine) Name() string { return m.tbl.name }
+
+// State returns the current control state.
+func (m *RTPMachine) State() core.State { return m.tbl.states[m.state] }
+
+// Steps reports transitions taken since the last Reset.
+func (m *RTPMachine) Steps() uint64 { return m.steps }
+
+// InAttack reports whether the machine sits in an attack state.
+func (m *RTPMachine) InAttack() bool { return m.tbl.attack[m.state] }
+
+// InFinal reports whether the machine reached a final state.
+func (m *RTPMachine) InFinal() bool { return m.tbl.final[m.state] }
+
+// SetCoverage installs (or, with nil, removes) a coverage observer.
+func (m *RTPMachine) SetCoverage(obs core.CoverageObserver) { m.cover = obs }
+
+// Reset returns the machine to its pristine configuration.
+func (m *RTPMachine) Reset() {
+	m.state = m.tbl.initial
+	m.set = 0
+	m.party, m.src = "", ""
+	m.payload, m.winCount = 0, 0
+	m.started = false
+	m.ssrc, m.seq, m.ts = 0, 0, 0
+	m.winStart = 0
+	m.steps = 0
+}
+
+// Vars materializes the l.* vector as a map (cold path).
+func (m *RTPMachine) Vars() core.Vars {
+	v := make(core.Vars)
+	if m.set&rSetParty != 0 {
+		v.SetString("l.party", m.party)
+	}
+	if m.set&rSetPayload != 0 {
+		v.SetInt("l.payload", m.payload)
+	}
+	if m.set&rSetStarted != 0 {
+		v.SetBool("l.started", m.started)
+	}
+	if m.set&rSetSSRC != 0 {
+		v.SetUint32("l.ssrc", m.ssrc)
+	}
+	if m.set&rSetSeq != 0 {
+		v.SetUint32("l.seq", m.seq)
+	}
+	if m.set&rSetTS != 0 {
+		v.SetUint32("l.ts", m.ts)
+	}
+	if m.set&rSetSrc != 0 {
+		v.SetString("l.src", m.src)
+	}
+	if m.set&rSetWinStart != 0 {
+		v.SetDuration("l.winStart", m.winStart)
+	}
+	if m.set&rSetWinCount != 0 {
+		v.SetInt("l.winCount", m.winCount)
+	}
+	return v
+}
+
+// varsFootprint mirrors core.varsFootprint over the present keys.
+func (m *RTPMachine) varsFootprint() int {
+	total := 0
+	if m.set&rSetParty != 0 {
+		total += len("l.party") + len(m.party)
+	}
+	if m.set&rSetPayload != 0 {
+		total += len("l.payload") + 8
+	}
+	if m.set&rSetStarted != 0 {
+		total += len("l.started") + 1
+	}
+	if m.set&rSetSSRC != 0 {
+		total += len("l.ssrc") + 8
+	}
+	if m.set&rSetSeq != 0 {
+		total += len("l.seq") + 8
+	}
+	if m.set&rSetTS != 0 {
+		total += len("l.ts") + 8
+	}
+	if m.set&rSetSrc != 0 {
+		total += len("l.src") + len(m.src)
+	}
+	if m.set&rSetWinStart != 0 {
+		total += len("l.winStart") + 8
+	}
+	if m.set&rSetWinCount != 0 {
+		total += len("l.winCount") + 8
+	}
+	return total
+}
+
+// Step replicates core.Machine.Step over the compiled tables. RTP
+// machines never emit δ messages, so Emitted is always nil.
+//
+//vids:noalloc compiled RTP step — the generated-dispatch hot path
+func (m *RTPMachine) Step(e core.Event) (core.StepResult, error) {
+	t := m.tbl
+	var cands []trans
+	if eid := t.eventID(e.Name); eid >= 0 {
+		cands = t.cell(m.state, eid)
+	}
+	if len(cands) == 0 {
+		return core.StepResult{Machine: t.name, From: t.states[m.state], Event: e.Name}, core.ErrNoTransition
+	}
+	a, _ := e.Typed.(*RTPArgs)
+	chosen, fallback := -1, -1
+	enabled := 0
+	for i := range cands {
+		if !cands[i].guarded {
+			fallback = i
+			continue
+		}
+		if rtpGuardFn(cands[i].fn, m, &e, a) {
+			enabled++
+			chosen = i
+		}
+	}
+	if enabled > 1 {
+		return core.StepResult{Machine: t.name, From: t.states[m.state], Event: e.Name}, core.ErrNondeterministic
+	}
+	if chosen < 0 {
+		chosen = fallback
+	}
+	if chosen < 0 {
+		return core.StepResult{Machine: t.name, From: t.states[m.state], Event: e.Name}, core.ErrNoTransition
+	}
+	tr := &cands[chosen]
+	if tr.action {
+		rtpActionFn(tr.fn, m, &e, a)
+	}
+	from := m.state
+	m.state = tr.to
+	m.steps++
+	if m.cover != nil {
+		m.cover.TransitionFired(t.name, t.states[from], e.Name, t.states[tr.to], tr.label) //vids:alloc-ok coverage observers take word-sized args; nil in production
+		if t.attack[tr.to] && from != tr.to {
+			m.cover.AttackEntered(t.name, t.states[tr.to]) //vids:alloc-ok coverage observers take word-sized args; nil in production
+		}
+	}
+	return core.StepResult{
+		Machine:       t.name,
+		From:          t.states[from],
+		To:            t.states[tr.to],
+		Event:         e.Name,
+		Label:         tr.label,
+		EnteredAttack: t.attack[tr.to] && from != tr.to,
+		EnteredFinal:  t.final[tr.to] && from != tr.to,
+	}, nil
+}
+
+// Typed-payload accessors (map fallback for hand-built events).
+
+func rtpSeq(e *core.Event, a *RTPArgs) int {
+	if a != nil {
+		return a.Seq
+	}
+	return e.IntArg("seq")
+}
+
+func rtpTS(e *core.Event, a *RTPArgs) uint32 {
+	if a != nil {
+		return a.TS
+	}
+	return e.Uint32Arg("ts")
+}
+
+func rtpSSRC(e *core.Event, a *RTPArgs) uint32 {
+	if a != nil {
+		return a.SSRC
+	}
+	return e.Uint32Arg("ssrc")
+}
+
+func rtpPayloadType(e *core.Event, a *RTPArgs) int {
+	if a != nil {
+		return a.PayloadType
+	}
+	return e.IntArg("payloadType")
+}
+
+func rtpSrc(e *core.Event, a *RTPArgs) string {
+	if a != nil {
+		return a.Src
+	}
+	return e.StringArg("src")
+}
+
+func rtpNow(e *core.Event, a *RTPArgs) time.Duration {
+	if a != nil {
+		return a.Now
+	}
+	return e.DurationArg("now")
+}
+
+// Shared predicates (Figure 6's media-stream legitimacy checks).
+
+func rtpPayloadOK(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return rtpPayloadType(e, a) == m.payload
+}
+
+func rtpSameSSRC(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return rtpSSRC(e, a) == m.ssrc
+}
+
+func rtpGapOK(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	prevSeq := uint16(m.seq)
+	seq := uint16(rtpSeq(e, a))
+	// Backward packets (reordering) are tolerated; only forward jumps
+	// beyond the thresholds indicate injection.
+	if !rtp.SeqLess(prevSeq, seq) && seq != prevSeq {
+		return true
+	}
+	return rtp.SeqGap(prevSeq, seq) <= m.p.SeqGap &&
+		rtp.TimestampGap(m.ts, rtpTS(e, a)) <= m.p.TSGap
+}
+
+func rtpRateOK(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	if rtpNow(e, a)-m.winStart > m.p.RateWindow {
+		return true // window rolls over; reset happens in action
+	}
+	return m.winCount < m.p.RatePackets
+}
+
+// Structural dispatch targets (see the naming contract in sip.go).
+
+func rtpGuard_RTP_OPEN_rtp_packet_0(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return rtpPayloadOK(m, e, a)
+}
+
+func rtpGuard_RTP_OPEN_rtp_packet_1(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return !rtpPayloadOK(m, e, a)
+}
+
+func rtpGuard_RTP_RCVD_rtp_packet_0(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return rtpPayloadOK(m, e, a) && rtpSameSSRC(m, e, a) && rtpGapOK(m, e, a) && rtpRateOK(m, e, a)
+}
+
+func rtpGuard_RTP_RCVD_rtp_packet_1(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return !rtpPayloadOK(m, e, a)
+}
+
+func rtpGuard_RTP_RCVD_rtp_packet_2(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return rtpPayloadOK(m, e, a) && (!rtpSameSSRC(m, e, a) || !rtpGapOK(m, e, a))
+}
+
+func rtpGuard_RTP_RCVD_rtp_packet_3(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return rtpPayloadOK(m, e, a) && rtpSameSSRC(m, e, a) && rtpGapOK(m, e, a) && !rtpRateOK(m, e, a)
+}
+
+func rtpGuard_RTP_RCVD_AFTER_BYE_delta_reopen_0(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return m.started
+}
+
+func rtpGuard_RTP_RCVD_AFTER_BYE_delta_reopen_1(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return !m.started
+}
+
+func rtpGuard_RTP_CLOSE_delta_reopen_0(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return m.started
+}
+
+func rtpGuard_RTP_CLOSE_delta_reopen_1(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return !m.started
+}
+
+func rtpGuard_RTP_CLOSE_rtp_packet_0(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return m.party == m.g.byeSender
+}
+
+func rtpGuard_RTP_CLOSE_rtp_packet_1(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
+	return m.party != m.g.byeSender
+}
+
+func rtpAction_INIT_delta_open_0(m *RTPMachine, e *core.Event, a *RTPArgs) {
+	// δ-open events carry the party in the shared Args map (cold path:
+	// one per call direction), not a typed payload.
+	m.party = e.StringArg("party")
+	m.payload = m.g.payload
+	m.set |= rSetParty | rSetPayload
+}
+
+func rtpAction_RTP_OPEN_rtp_packet_0(m *RTPMachine, e *core.Event, a *RTPArgs) {
+	m.started = true
+	m.ssrc = rtpSSRC(e, a)
+	m.seq = uint32(rtpSeq(e, a))
+	m.ts = rtpTS(e, a)
+	m.src = rtpSrc(e, a)
+	m.winStart = rtpNow(e, a)
+	m.winCount = 1
+	m.set |= rSetStarted | rSetSSRC | rSetSeq | rSetTS | rSetSrc | rSetWinStart | rSetWinCount
+}
+
+func rtpAction_RTP_RCVD_rtp_packet_0(m *RTPMachine, e *core.Event, a *RTPArgs) {
+	m.seq = uint32(rtpSeq(e, a))
+	m.ts = rtpTS(e, a)
+	now := rtpNow(e, a)
+	if now-m.winStart > m.p.RateWindow {
+		m.winStart = now
+		m.winCount = 1
+		return
+	}
+	m.winCount++
+}

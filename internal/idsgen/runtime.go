@@ -1,0 +1,171 @@
+package idsgen
+
+import (
+	"time"
+
+	"vids/internal/core"
+)
+
+// Machine names inside one call's communicating system, matching the
+// spec names internal/ids registers. cmd/specgen classifies the specs
+// by these names when assigning transitions to dispatch families, so a
+// renamed spec fails generation rather than silently drifting.
+const (
+	MachineSIP       = "sip"
+	MachineRTPCaller = "rtp-caller"
+	MachineRTPCallee = "rtp-callee"
+	MachineSpam      = "rtp-spam"
+)
+
+// Event names shared with the interpreted specs.
+const (
+	evDeltaOpen   = "delta.open"
+	evDeltaBye    = "delta.bye"
+	evDeltaReopen = "delta.reopen"
+)
+
+// Pre-built δ synchronization events, value-identical to the ones the
+// interpreted sipSpec emits (same Args maps, shared across calls and
+// never mutated) so both backends enqueue indistinguishable SyncMsgs.
+var (
+	deltaOpenCallee = core.Event{Name: evDeltaOpen, Args: map[string]any{"party": "callee"}}
+	deltaOpenCaller = core.Event{Name: evDeltaOpen, Args: map[string]any{"party": "caller"}}
+	deltaBye        = core.Event{Name: evDeltaBye}
+	deltaReopen     = core.Event{Name: evDeltaReopen}
+)
+
+// Params carries the configuration the compiled guards and actions
+// close over: the Figure 6 media thresholds and the cross-protocol
+// ablation switch. It is a value copy of the relevant ids.Config
+// fields (idsgen cannot import internal/ids — ids imports idsgen).
+type Params struct {
+	// SeqGap / TSGap are the paper's Δn and Δt spam thresholds.
+	SeqGap uint16
+	TSGap  uint32
+	// RateWindow / RatePackets bound the legitimate packet rate.
+	RateWindow  time.Duration
+	RatePackets int
+	// CrossProtocol enables the δ teardown/reopen notifications from
+	// the SIP machine to the RTP machines (ablation A1 disables it).
+	CrossProtocol bool
+}
+
+// trans is one compiled transition: a dense-table cell entry. fn is
+// the family-wide transition index the generated guard/action switch
+// dispatches on; guarded/action mirror the spec's nil checks.
+type trans struct {
+	to      uint8
+	fn      uint16
+	guarded bool
+	action  bool
+	label   string
+}
+
+// machTable is one machine's compiled shape: states and events in
+// their canonical (sorted) order, the final/attack masks, and the
+// dense state×event candidate cells in spec insertion order — the
+// exact order the interpreted Machine.Step walks. cells is flattened
+// row-major (cells[state*len(events)+event]) so the per-step lookup is
+// one bounds check and no intermediate slice-header chase. The tables
+// live in tables_gen.go (written by cmd/specgen); everything that
+// interprets them is handwritten here.
+type machTable struct {
+	name    string
+	initial uint8
+	states  []core.State
+	events  []string
+	final   []bool
+	attack  []bool
+	cells   [][]trans
+}
+
+// cell returns the candidate list for (state, event column).
+func (t *machTable) cell(state uint8, eid int) []trans {
+	return t.cells[int(state)*len(t.events)+eid]
+}
+
+// eventID resolves an event name to its column, or -1. The alphabets
+// are tiny (≤5 events), so a linear scan beats a map probe.
+func (t *machTable) eventID(name string) int {
+	for i := range t.events {
+		if t.events[i] == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SysGlobals is the compiled form of one call system's shared variable
+// store: the g.* keys the SIP machine writes and the RTP machines
+// read, as struct fields plus a presence bitmask so the Vars view and
+// the memory accounting match the interpreted map exactly.
+type SysGlobals struct {
+	set             uint8
+	callerMediaAddr string
+	callerMediaPort int
+	payload         int
+	calleeMediaAddr string
+	calleeMediaPort int
+	byeSender       string
+}
+
+// Presence bits of SysGlobals.set.
+const (
+	gSetCallerMediaAddr = 1 << iota
+	gSetCallerMediaPort
+	gSetPayload
+	gSetCalleeMediaAddr
+	gSetCalleeMediaPort
+	gSetByeSender
+)
+
+func (g *SysGlobals) reset() { *g = SysGlobals{} }
+
+// vars materializes the map view (cold path: tooling and tests).
+func (g *SysGlobals) vars() core.Vars {
+	v := make(core.Vars)
+	if g.set&gSetCallerMediaAddr != 0 {
+		v.SetString("g.callerMediaAddr", g.callerMediaAddr)
+	}
+	if g.set&gSetCallerMediaPort != 0 {
+		v.SetInt("g.callerMediaPort", g.callerMediaPort)
+	}
+	if g.set&gSetPayload != 0 {
+		v.SetInt("g.payload", g.payload)
+	}
+	if g.set&gSetCalleeMediaAddr != 0 {
+		v.SetString("g.calleeMediaAddr", g.calleeMediaAddr)
+	}
+	if g.set&gSetCalleeMediaPort != 0 {
+		v.SetInt("g.calleeMediaPort", g.calleeMediaPort)
+	}
+	if g.set&gSetByeSender != 0 {
+		v.SetString("g.byeSender", g.byeSender)
+	}
+	return v
+}
+
+// footprint mirrors core.varsFootprint over the present keys: len(key)
+// plus len(string value) or 8 bytes per numeric.
+func (g *SysGlobals) footprint() int {
+	total := 0
+	if g.set&gSetCallerMediaAddr != 0 {
+		total += len("g.callerMediaAddr") + len(g.callerMediaAddr)
+	}
+	if g.set&gSetCallerMediaPort != 0 {
+		total += len("g.callerMediaPort") + 8
+	}
+	if g.set&gSetPayload != 0 {
+		total += len("g.payload") + 8
+	}
+	if g.set&gSetCalleeMediaAddr != 0 {
+		total += len("g.calleeMediaAddr") + len(g.calleeMediaAddr)
+	}
+	if g.set&gSetCalleeMediaPort != 0 {
+		total += len("g.calleeMediaPort") + 8
+	}
+	if g.set&gSetByeSender != 0 {
+		total += len("g.byeSender") + len(g.byeSender)
+	}
+	return total
+}

@@ -1,0 +1,524 @@
+package idsgen
+
+import "vids/internal/core"
+
+// SIPMachine is the compiled per-call SIP protocol machine: the l.*
+// variable vector of the interpreted spec as struct fields (plus a
+// presence bitmask for the map view and the memory accounting), the
+// shared globals, and the reusable δ emit buffer. Field zero values
+// mirror the interpreted GetString-on-absent-key semantics, so guards
+// read fields directly without consulting the presence bits.
+type SIPMachine struct {
+	tbl   *machTable
+	state uint8
+	set   uint8
+
+	callID        string
+	fromTag       string
+	inviteSrc     string
+	callerContact string
+	from          string
+	to            string
+	toTag         string
+	calleeContact string
+
+	g *SysGlobals
+	p *Params
+
+	emits []core.SyncMsg
+	cover core.CoverageObserver
+	steps uint64
+}
+
+// Presence bits of SIPMachine.set.
+const (
+	sSetCallID = 1 << iota
+	sSetFromTag
+	sSetInviteSrc
+	sSetCallerContact
+	sSetFrom
+	sSetTo
+	sSetToTag
+	sSetCalleeContact
+)
+
+// Name returns the machine's name.
+func (m *SIPMachine) Name() string { return m.tbl.name }
+
+// State returns the current control state.
+func (m *SIPMachine) State() core.State { return m.tbl.states[m.state] }
+
+// Steps reports transitions taken since the last Reset.
+func (m *SIPMachine) Steps() uint64 { return m.steps }
+
+// InAttack reports whether the machine sits in an attack state.
+func (m *SIPMachine) InAttack() bool { return m.tbl.attack[m.state] }
+
+// InFinal reports whether the machine reached a final state.
+func (m *SIPMachine) InFinal() bool { return m.tbl.final[m.state] }
+
+// SetCoverage installs (or, with nil, removes) a coverage observer.
+func (m *SIPMachine) SetCoverage(obs core.CoverageObserver) { m.cover = obs }
+
+// Reset returns the machine to its pristine configuration, keeping the
+// emit buffer capacity (and, like the interpreted machine, the
+// coverage observer).
+func (m *SIPMachine) Reset() {
+	m.state = m.tbl.initial
+	m.set = 0
+	m.callID, m.fromTag, m.inviteSrc, m.callerContact = "", "", "", ""
+	m.from, m.to, m.toTag, m.calleeContact = "", "", "", ""
+	m.emits = m.emits[:0]
+	m.steps = 0
+}
+
+// Vars materializes the l.* vector as a map (cold path).
+func (m *SIPMachine) Vars() core.Vars {
+	v := make(core.Vars)
+	if m.set&sSetCallID != 0 {
+		v.SetString("l.callID", m.callID)
+	}
+	if m.set&sSetFromTag != 0 {
+		v.SetString("l.fromTag", m.fromTag)
+	}
+	if m.set&sSetInviteSrc != 0 {
+		v.SetString("l.inviteSrc", m.inviteSrc)
+	}
+	if m.set&sSetCallerContact != 0 {
+		v.SetString("l.callerContact", m.callerContact)
+	}
+	if m.set&sSetFrom != 0 {
+		v.SetString("l.from", m.from)
+	}
+	if m.set&sSetTo != 0 {
+		v.SetString("l.to", m.to)
+	}
+	if m.set&sSetToTag != 0 {
+		v.SetString("l.toTag", m.toTag)
+	}
+	if m.set&sSetCalleeContact != 0 {
+		v.SetString("l.calleeContact", m.calleeContact)
+	}
+	return v
+}
+
+// varsFootprint mirrors core.varsFootprint over the present keys.
+func (m *SIPMachine) varsFootprint() int {
+	total := 0
+	if m.set&sSetCallID != 0 {
+		total += len("l.callID") + len(m.callID)
+	}
+	if m.set&sSetFromTag != 0 {
+		total += len("l.fromTag") + len(m.fromTag)
+	}
+	if m.set&sSetInviteSrc != 0 {
+		total += len("l.inviteSrc") + len(m.inviteSrc)
+	}
+	if m.set&sSetCallerContact != 0 {
+		total += len("l.callerContact") + len(m.callerContact)
+	}
+	if m.set&sSetFrom != 0 {
+		total += len("l.from") + len(m.from)
+	}
+	if m.set&sSetTo != 0 {
+		total += len("l.to") + len(m.to)
+	}
+	if m.set&sSetToTag != 0 {
+		total += len("l.toTag") + len(m.toTag)
+	}
+	if m.set&sSetCalleeContact != 0 {
+		total += len("l.calleeContact") + len(m.calleeContact)
+	}
+	return total
+}
+
+// Step replicates core.Machine.Step over the compiled tables: walk the
+// (state, event) cell in spec order, record the unguarded fallback,
+// evaluate every guard (last enabled wins; two enabled is the
+// nondeterminism error), run the action, fire the coverage callbacks
+// in interpreter order, and return the reused emit buffer.
+//
+//vids:noalloc compiled SIP step — the generated-dispatch hot path
+func (m *SIPMachine) Step(e core.Event) (core.StepResult, error) {
+	t := m.tbl
+	var cands []trans
+	if eid := t.eventID(e.Name); eid >= 0 {
+		cands = t.cell(m.state, eid)
+	}
+	if len(cands) == 0 {
+		return core.StepResult{Machine: t.name, From: t.states[m.state], Event: e.Name}, core.ErrNoTransition
+	}
+	a, _ := e.Typed.(*SIPArgs)
+	m.emits = m.emits[:0]
+	chosen, fallback := -1, -1
+	enabled := 0
+	for i := range cands {
+		if !cands[i].guarded {
+			fallback = i
+			continue
+		}
+		if sipGuardFn(cands[i].fn, m, &e, a) {
+			enabled++
+			chosen = i
+		}
+	}
+	if enabled > 1 {
+		return core.StepResult{Machine: t.name, From: t.states[m.state], Event: e.Name}, core.ErrNondeterministic
+	}
+	if chosen < 0 {
+		chosen = fallback
+	}
+	if chosen < 0 {
+		return core.StepResult{Machine: t.name, From: t.states[m.state], Event: e.Name}, core.ErrNoTransition
+	}
+	tr := &cands[chosen]
+	if tr.action {
+		sipActionFn(tr.fn, m, &e, a)
+	}
+	from := m.state
+	m.state = tr.to
+	m.steps++
+	if m.cover != nil {
+		m.cover.TransitionFired(t.name, t.states[from], e.Name, t.states[tr.to], tr.label) //vids:alloc-ok coverage observers take word-sized args; nil in production
+		for i := range m.emits {
+			m.cover.DeltaEmitted(t.name, m.emits[i].Target, m.emits[i].Event.Name) //vids:alloc-ok coverage observers take word-sized args; nil in production
+		}
+		if t.attack[tr.to] && from != tr.to {
+			m.cover.AttackEntered(t.name, t.states[tr.to]) //vids:alloc-ok coverage observers take word-sized args; nil in production
+		}
+	}
+	return core.StepResult{
+		Machine:       t.name,
+		From:          t.states[from],
+		To:            t.states[tr.to],
+		Event:         e.Name,
+		Label:         tr.label,
+		EnteredAttack: t.attack[tr.to] && from != tr.to,
+		EnteredFinal:  t.final[tr.to] && from != tr.to,
+		Emitted:       m.emits,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Typed-payload accessors: struct-field reads when the event carries
+// the SIPArgs scratch, core.Event map fallback otherwise (tests and
+// tooling hand-build Args-map events).
+// ---------------------------------------------------------------------------
+
+func sipSrc(e *core.Event, a *SIPArgs) string {
+	if a != nil {
+		return a.Src
+	}
+	return e.StringArg("src")
+}
+
+func sipFromTag(e *core.Event, a *SIPArgs) string {
+	if a != nil {
+		return a.FromTag
+	}
+	return e.StringArg("fromTag")
+}
+
+func sipToTag(e *core.Event, a *SIPArgs) string {
+	if a != nil {
+		return a.ToTag
+	}
+	return e.StringArg("toTag")
+}
+
+func sipCallIDArg(e *core.Event, a *SIPArgs) string {
+	if a != nil {
+		return a.CallID
+	}
+	return e.StringArg("callID")
+}
+
+func sipContact(e *core.Event, a *SIPArgs) string {
+	if a != nil {
+		return a.Contact
+	}
+	return e.StringArg("contact")
+}
+
+func sipFrom(e *core.Event, a *SIPArgs) string {
+	if a != nil {
+		return a.From
+	}
+	return e.StringArg("from")
+}
+
+func sipTo(e *core.Event, a *SIPArgs) string {
+	if a != nil {
+		return a.To
+	}
+	return e.StringArg("to")
+}
+
+func sipCseqMethod(e *core.Event, a *SIPArgs) string {
+	if a != nil {
+		return a.CseqMethod
+	}
+	return e.StringArg("cseqMethod")
+}
+
+func sipSdpAddr(e *core.Event, a *SIPArgs) string {
+	if a != nil {
+		return a.SdpAddr
+	}
+	return e.StringArg("sdpAddr")
+}
+
+func sipSdpPort(e *core.Event, a *SIPArgs) int {
+	if a != nil {
+		return a.SdpPort
+	}
+	return e.IntArg("sdpPort")
+}
+
+func sipSdpPayload(e *core.Event, a *SIPArgs) int {
+	if a != nil {
+		return a.SdpPayload
+	}
+	return e.IntArg("sdpPayload")
+}
+
+func sipStatus(e *core.Event, a *SIPArgs) int {
+	if a != nil {
+		return a.Status
+	}
+	return e.IntArg("status")
+}
+
+// ---------------------------------------------------------------------------
+// Shared predicates/actions (the semantic bodies the structural
+// dispatch wrappers below delegate to; one per closure of the
+// interpreted sipSpec).
+// ---------------------------------------------------------------------------
+
+func sipRetransInvite(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipSrc(e, a) == m.inviteSrc && sipToTag(e, a) == ""
+}
+
+func sipOKForInvite(e *core.Event, a *SIPArgs) bool {
+	st := sipStatus(e, a)
+	return st >= 200 && st < 300 && sipCseqMethod(e, a) == "INVITE"
+}
+
+func sipFailedFinal(e *core.Event, a *SIPArgs) bool {
+	return sipStatus(e, a) >= 300 && sipCseqMethod(e, a) == "INVITE"
+}
+
+func sipCancelLegit(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipSrc(e, a) == m.inviteSrc && sipFromTag(e, a) == m.fromTag
+}
+
+func sipKnownParty(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	src := sipSrc(e, a)
+	fromTag := sipFromTag(e, a)
+	fromCaller := src == m.callerContact && fromTag == m.fromTag
+	fromCallee := src == m.calleeContact && fromTag == m.toTag
+	viaProxy := src == m.inviteSrc && fromTag == m.fromTag
+	return fromCaller || fromCallee || viaProxy
+}
+
+func sipInitInvite(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	m.callID = sipCallIDArg(e, a)
+	m.fromTag = sipFromTag(e, a)
+	m.inviteSrc = sipSrc(e, a)
+	m.callerContact = sipContact(e, a)
+	m.from = sipFrom(e, a)
+	m.to = sipTo(e, a)
+	m.set |= sSetCallID | sSetFromTag | sSetInviteSrc | sSetCallerContact | sSetFrom | sSetTo
+	if addr := sipSdpAddr(e, a); addr != "" {
+		m.g.callerMediaAddr = addr
+		m.g.callerMediaPort = sipSdpPort(e, a)
+		m.g.payload = sipSdpPayload(e, a)
+		m.g.set |= gSetCallerMediaAddr | gSetCallerMediaPort | gSetPayload
+		// Opening the RTP machine is session bookkeeping, emitted
+		// regardless of the cross-protocol ablation (as interpreted).
+		m.emits = append(m.emits, core.SyncMsg{Target: MachineRTPCallee, Event: deltaOpenCallee})
+	}
+}
+
+func sipEstablish(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	m.toTag = sipToTag(e, a)
+	m.calleeContact = sipContact(e, a)
+	m.set |= sSetToTag | sSetCalleeContact
+	if addr := sipSdpAddr(e, a); addr != "" {
+		m.g.calleeMediaAddr = addr
+		m.g.calleeMediaPort = sipSdpPort(e, a)
+		m.g.set |= gSetCalleeMediaAddr | gSetCalleeMediaPort
+		m.emits = append(m.emits, core.SyncMsg{Target: MachineRTPCaller, Event: deltaOpenCaller})
+	}
+}
+
+func sipCloseMedia(m *SIPMachine) {
+	if m.p.CrossProtocol {
+		m.emits = append(m.emits,
+			core.SyncMsg{Target: MachineRTPCaller, Event: deltaBye},
+			core.SyncMsg{Target: MachineRTPCallee, Event: deltaBye})
+	}
+}
+
+func sipBye(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	sender := "caller"
+	if sipFromTag(e, a) == m.toTag {
+		sender = "callee"
+	}
+	m.g.byeSender = sender
+	m.g.set |= gSetByeSender
+	if m.p.CrossProtocol {
+		m.emits = append(m.emits,
+			core.SyncMsg{Target: MachineRTPCaller, Event: deltaBye},
+			core.SyncMsg{Target: MachineRTPCallee, Event: deltaBye})
+	}
+}
+
+func sipReopenMedia(m *SIPMachine) {
+	if m.p.CrossProtocol {
+		m.emits = append(m.emits,
+			core.SyncMsg{Target: MachineRTPCaller, Event: deltaReopen},
+			core.SyncMsg{Target: MachineRTPCallee, Event: deltaReopen})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Structural dispatch targets. One function per guarded/acting
+// transition, named after its (from-state, event, cell-index) slot;
+// cmd/specgen emits the switch that references them, so any structural
+// spec change regenerates into names that fail to compile until the
+// semantics here are updated to match.
+// ---------------------------------------------------------------------------
+
+func sipGuard_INVITE_RCVD_sip_invite_0(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipRetransInvite(m, e, a)
+}
+
+func sipGuard_RINGING_sip_invite_0(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipRetransInvite(m, e, a)
+}
+
+func sipGuard_INVITE_RCVD_sip_response_0(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	st := sipStatus(e, a)
+	return st >= 100 && st < 200 && st != 180
+}
+
+func sipGuard_INVITE_RCVD_sip_response_1(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipStatus(e, a) == 180
+}
+
+func sipGuard_INVITE_RCVD_sip_response_2(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipOKForInvite(e, a)
+}
+
+func sipGuard_INVITE_RCVD_sip_response_3(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipFailedFinal(e, a)
+}
+
+func sipGuard_RINGING_sip_response_0(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipStatus(e, a) < 200
+}
+
+func sipGuard_RINGING_sip_response_1(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipOKForInvite(e, a)
+}
+
+func sipGuard_RINGING_sip_response_2(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipFailedFinal(e, a)
+}
+
+func sipGuard_INVITE_RCVD_sip_cancel_0(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipCancelLegit(m, e, a)
+}
+
+func sipGuard_INVITE_RCVD_sip_cancel_1(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return !sipCancelLegit(m, e, a)
+}
+
+func sipGuard_RINGING_sip_cancel_0(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipCancelLegit(m, e, a)
+}
+
+func sipGuard_RINGING_sip_cancel_1(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return !sipCancelLegit(m, e, a)
+}
+
+func sipGuard_CANCEL_WAIT_sip_response_0(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipStatus(e, a) < 300 // 200 for CANCEL
+}
+
+func sipGuard_CANCEL_WAIT_sip_response_1(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipStatus(e, a) >= 300 // 487 for the INVITE
+}
+
+func sipGuard_CANCEL_WAIT_sip_cancel_0(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipCancelLegit(m, e, a)
+}
+
+func sipGuard_CALL_ESTABLISHED_sip_response_0(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipOKForInvite(e, a)
+}
+
+func sipGuard_CALL_ESTABLISHED_sip_response_1(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return !sipOKForInvite(e, a)
+}
+
+func sipGuard_CALL_ESTABLISHED_sip_invite_0(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipKnownParty(m, e, a)
+}
+
+func sipGuard_CALL_ESTABLISHED_sip_invite_1(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return !sipKnownParty(m, e, a)
+}
+
+func sipGuard_CALL_ESTABLISHED_sip_bye_0(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipKnownParty(m, e, a)
+}
+
+func sipGuard_CALL_ESTABLISHED_sip_bye_1(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return !sipKnownParty(m, e, a)
+}
+
+func sipGuard_CALL_TEARDOWN_sip_response_1(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipCseqMethod(e, a) == "BYE" && sipStatus(e, a) < 300
+}
+
+func sipGuard_CALL_TEARDOWN_sip_response_2(m *SIPMachine, e *core.Event, a *SIPArgs) bool {
+	return sipCseqMethod(e, a) == "BYE" && sipStatus(e, a) == 401
+}
+
+func sipAction_INIT_sip_invite_0(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	sipInitInvite(m, e, a)
+}
+
+func sipAction_INVITE_RCVD_sip_response_2(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	sipEstablish(m, e, a)
+}
+
+func sipAction_INVITE_RCVD_sip_response_3(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	sipCloseMedia(m)
+}
+
+func sipAction_RINGING_sip_response_1(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	sipEstablish(m, e, a)
+}
+
+func sipAction_RINGING_sip_response_2(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	sipCloseMedia(m)
+}
+
+func sipAction_CANCEL_WAIT_sip_response_1(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	sipCloseMedia(m)
+}
+
+func sipAction_CALL_ESTABLISHED_sip_bye_0(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	sipBye(m, e, a)
+}
+
+func sipAction_CALL_ESTABLISHED_sip_bye_1(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	sipBye(m, e, a)
+}
+
+func sipAction_CALL_TEARDOWN_sip_response_2(m *SIPMachine, e *core.Event, a *SIPArgs) {
+	sipReopenMedia(m)
+}

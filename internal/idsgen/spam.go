@@ -1,0 +1,167 @@
+package idsgen
+
+import (
+	"vids/internal/core"
+	"vids/internal/rtp"
+)
+
+// SpamMachine is the compiled standalone media-spamming monitor of
+// Figure 6: one per unsolicited (source, destination) stream, tracking
+// SSRC/seq/timestamp evolution from the first observed packet.
+type SpamMachine struct {
+	tbl   *machTable
+	state uint8
+	set   uint8
+
+	ssrc uint32
+	seq  uint32
+	ts   uint32
+
+	p Params
+
+	cover core.CoverageObserver
+	steps uint64
+}
+
+// Presence bits of SpamMachine.set.
+const (
+	spSetSSRC = 1 << iota
+	spSetSeq
+	spSetTS
+)
+
+// Name returns the machine's name.
+func (m *SpamMachine) Name() string { return m.tbl.name }
+
+// State returns the current control state.
+func (m *SpamMachine) State() core.State { return m.tbl.states[m.state] }
+
+// Steps reports transitions taken since the last Reset.
+func (m *SpamMachine) Steps() uint64 { return m.steps }
+
+// InAttack reports whether the machine sits in an attack state.
+func (m *SpamMachine) InAttack() bool { return m.tbl.attack[m.state] }
+
+// InFinal reports whether the machine reached a final state.
+func (m *SpamMachine) InFinal() bool { return m.tbl.final[m.state] }
+
+// SetCoverage installs (or, with nil, removes) a coverage observer.
+func (m *SpamMachine) SetCoverage(obs core.CoverageObserver) { m.cover = obs }
+
+// Reset returns the machine to its pristine configuration.
+func (m *SpamMachine) Reset() {
+	m.state = m.tbl.initial
+	m.set = 0
+	m.ssrc, m.seq, m.ts = 0, 0, 0
+	m.steps = 0
+}
+
+// Vars materializes the l.* vector as a map (cold path).
+func (m *SpamMachine) Vars() core.Vars {
+	v := make(core.Vars)
+	if m.set&spSetSSRC != 0 {
+		v.SetUint32("l.ssrc", m.ssrc)
+	}
+	if m.set&spSetSeq != 0 {
+		v.SetUint32("l.seq", m.seq)
+	}
+	if m.set&spSetTS != 0 {
+		v.SetUint32("l.ts", m.ts)
+	}
+	return v
+}
+
+// Step replicates core.Machine.Step over the compiled tables.
+//
+//vids:noalloc compiled spam-monitor step — the generated-dispatch hot path
+func (m *SpamMachine) Step(e core.Event) (core.StepResult, error) {
+	t := m.tbl
+	var cands []trans
+	if eid := t.eventID(e.Name); eid >= 0 {
+		cands = t.cell(m.state, eid)
+	}
+	if len(cands) == 0 {
+		return core.StepResult{Machine: t.name, From: t.states[m.state], Event: e.Name}, core.ErrNoTransition
+	}
+	a, _ := e.Typed.(*RTPArgs)
+	chosen, fallback := -1, -1
+	enabled := 0
+	for i := range cands {
+		if !cands[i].guarded {
+			fallback = i
+			continue
+		}
+		if spamGuardFn(cands[i].fn, m, &e, a) {
+			enabled++
+			chosen = i
+		}
+	}
+	if enabled > 1 {
+		return core.StepResult{Machine: t.name, From: t.states[m.state], Event: e.Name}, core.ErrNondeterministic
+	}
+	if chosen < 0 {
+		chosen = fallback
+	}
+	if chosen < 0 {
+		return core.StepResult{Machine: t.name, From: t.states[m.state], Event: e.Name}, core.ErrNoTransition
+	}
+	tr := &cands[chosen]
+	if tr.action {
+		spamActionFn(tr.fn, m, &e, a)
+	}
+	from := m.state
+	m.state = tr.to
+	m.steps++
+	if m.cover != nil {
+		m.cover.TransitionFired(t.name, t.states[from], e.Name, t.states[tr.to], tr.label) //vids:alloc-ok coverage observers take word-sized args; nil in production
+		if t.attack[tr.to] && from != tr.to {
+			m.cover.AttackEntered(t.name, t.states[tr.to]) //vids:alloc-ok coverage observers take word-sized args; nil in production
+		}
+	}
+	return core.StepResult{
+		Machine:       t.name,
+		From:          t.states[from],
+		To:            t.states[tr.to],
+		Event:         e.Name,
+		Label:         tr.label,
+		EnteredAttack: t.attack[tr.to] && from != tr.to,
+		EnteredFinal:  t.final[tr.to] && from != tr.to,
+	}, nil
+}
+
+// spamGapOK is the Figure 6 predicate of the standalone monitor: like
+// the in-call version but with the SSRC equality folded in (there is
+// no separate same-SSRC branch on this machine).
+func spamGapOK(m *SpamMachine, e *core.Event, a *RTPArgs) bool {
+	prevSeq := uint16(m.seq)
+	seq := uint16(rtpSeq(e, a))
+	if !rtp.SeqLess(prevSeq, seq) && seq != prevSeq {
+		return true
+	}
+	return rtp.SeqGap(prevSeq, seq) <= m.p.SeqGap &&
+		rtp.TimestampGap(m.ts, rtpTS(e, a)) <= m.p.TSGap &&
+		rtpSSRC(e, a) == m.ssrc
+}
+
+// Structural dispatch targets (see the naming contract in sip.go).
+
+func spamGuard_RTP_RCVD_rtp_packet_0(m *SpamMachine, e *core.Event, a *RTPArgs) bool {
+	return spamGapOK(m, e, a)
+}
+
+func spamGuard_RTP_RCVD_rtp_packet_1(m *SpamMachine, e *core.Event, a *RTPArgs) bool {
+	return !spamGapOK(m, e, a)
+}
+
+func spamAction_INIT_rtp_packet_0(m *SpamMachine, e *core.Event, a *RTPArgs) {
+	m.ssrc = rtpSSRC(e, a)
+	m.seq = uint32(rtpSeq(e, a))
+	m.ts = rtpTS(e, a)
+	m.set |= spSetSSRC | spSetSeq | spSetTS
+}
+
+func spamAction_RTP_RCVD_rtp_packet_0(m *SpamMachine, e *core.Event, a *RTPArgs) {
+	m.seq = uint32(rtpSeq(e, a))
+	m.ts = rtpTS(e, a)
+	m.set |= spSetSeq | spSetTS
+}

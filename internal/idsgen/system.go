@@ -1,0 +1,233 @@
+package idsgen
+
+import (
+	"fmt"
+
+	"vids/internal/core"
+)
+
+// CallSystem is the compiled per-call communicating system: the SIP
+// machine and the two RTP direction machines of Figure 2(b) wired to
+// one shared SysGlobals and one δ FIFO, replicating core.System's
+// delivery discipline (drain pending sync first, tolerate
+// ErrNoTransition on sync events, reuse the result slice) without map
+// lookups or per-call spec interpretation.
+type CallSystem struct {
+	g SysGlobals
+	p Params
+
+	sip    SIPMachine
+	caller RTPMachine
+	callee RTPMachine
+
+	queue      []core.SyncMsg
+	qhead      int
+	maxPending int
+
+	results []core.StepResult
+}
+
+// Compile-time checks that the compiled implementations satisfy the
+// backend seam.
+var (
+	_ core.Stepper     = (*CallSystem)(nil)
+	_ core.MachineLike = (*SIPMachine)(nil)
+	_ core.MachineLike = (*RTPMachine)(nil)
+	_ core.MachineLike = (*FloodMachine)(nil)
+	_ core.MachineLike = (*SpamMachine)(nil)
+)
+
+// NewCallSystem builds one compiled call monitor system.
+//
+//vids:coldpath system construction happens on monitor-pool miss only; steady-state churn recycles monitors
+func NewCallSystem(p Params) *CallSystem {
+	cs := &CallSystem{p: p}
+	cs.sip = SIPMachine{tbl: &tblSIP, state: tblSIP.initial, g: &cs.g, p: &cs.p}
+	cs.caller = RTPMachine{tbl: &tblRTPCaller, state: tblRTPCaller.initial, g: &cs.g, p: &cs.p}
+	cs.callee = RTPMachine{tbl: &tblRTPCallee, state: tblRTPCallee.initial, g: &cs.g, p: &cs.p}
+	return cs
+}
+
+// NewFloodMachine builds one compiled windowed flood counter with
+// threshold n (Figure 4).
+//
+//vids:coldpath flood machines are created once per watched destination
+func NewFloodMachine(kind FloodKind, n int) *FloodMachine {
+	tbl := &tblInviteFlood
+	if kind == FloodResponse {
+		tbl = &tblRespFlood
+	}
+	return &FloodMachine{tbl: tbl, state: tbl.initial, n: n}
+}
+
+// NewSpamMachine builds one compiled standalone media-spam monitor
+// (Figure 6). The Params value is copied; only the media thresholds
+// are consulted.
+//
+//vids:coldpath spam monitors are created once per unsolicited stream
+func NewSpamMachine(p Params) *SpamMachine {
+	return &SpamMachine{tbl: &tblSpam, state: tblSpam.initial, p: p}
+}
+
+// SIP exposes the member SIP machine behind the backend seam.
+func (cs *CallSystem) SIP() core.MachineLike { return &cs.sip }
+
+// Caller exposes the caller→callee media machine.
+func (cs *CallSystem) Caller() core.MachineLike { return &cs.caller }
+
+// Callee exposes the callee→caller media machine.
+func (cs *CallSystem) Callee() core.MachineLike { return &cs.callee }
+
+// Globals materializes the shared variable store (cold path).
+func (cs *CallSystem) Globals() core.Vars { return cs.g.vars() }
+
+// Find returns a member machine by name.
+func (cs *CallSystem) Find(machine string) (core.MachineLike, bool) {
+	switch machine {
+	case MachineSIP:
+		return &cs.sip, true
+	case MachineRTPCaller:
+		return &cs.caller, true
+	case MachineRTPCallee:
+		return &cs.callee, true
+	}
+	return nil, false
+}
+
+// stepNamed dispatches one event to the named member machine.
+func (cs *CallSystem) stepNamed(machine string, e core.Event) (core.StepResult, error, bool) {
+	switch machine {
+	case MachineSIP:
+		res, err := cs.sip.Step(e)
+		return res, err, true
+	case MachineRTPCaller:
+		res, err := cs.caller.Step(e)
+		return res, err, true
+	case MachineRTPCallee:
+		res, err := cs.callee.Step(e)
+		return res, err, true
+	}
+	return core.StepResult{}, nil, false
+}
+
+// SetCoverage installs (or, with nil, removes) a coverage observer on
+// every member machine.
+func (cs *CallSystem) SetCoverage(obs core.CoverageObserver) {
+	cs.sip.cover = obs
+	cs.caller.cover = obs
+	cs.callee.cover = obs
+}
+
+// Reset returns every member machine to its initial configuration and
+// clears the globals, FIFO queue and result buffer, keeping capacity.
+func (cs *CallSystem) Reset() {
+	cs.sip.Reset()
+	cs.caller.Reset()
+	cs.callee.Reset()
+	cs.g.reset()
+	cs.queue = cs.queue[:0]
+	cs.qhead = 0
+	cs.maxPending = 0
+	cs.results = cs.results[:0]
+}
+
+// PendingSync reports queued δ messages not yet consumed.
+func (cs *CallSystem) PendingSync() int { return len(cs.queue) - cs.qhead }
+
+// MaxPendingSync reports the δ FIFO's high-water mark since Reset.
+func (cs *CallSystem) MaxPendingSync() int { return cs.maxPending }
+
+// noteBacklog updates the high-water mark after an enqueue.
+func (cs *CallSystem) noteBacklog() {
+	if n := len(cs.queue) - cs.qhead; n > cs.maxPending {
+		cs.maxPending = n
+	}
+}
+
+// Deliver feeds a data-packet event to the named machine under the
+// paper's sync-first priority rule; see core.System.Deliver for the
+// full contract (the returned slice is reused across calls).
+//
+//vids:noalloc compiled per-packet delivery path
+func (cs *CallSystem) Deliver(machine string, e core.Event) ([]core.StepResult, error) {
+	if _, ok := cs.Find(machine); !ok {
+		return nil, fmt.Errorf("idsgen: unknown machine %q", machine) //vids:alloc-ok unknown-machine delivery is a wiring bug; error path only
+	}
+	cs.results = cs.results[:0]
+
+	if err := cs.drain(); err != nil {
+		return cs.results, err
+	}
+
+	res, err, _ := cs.stepNamed(machine, e)
+	if err != nil {
+		return cs.results, err
+	}
+	cs.results = append(cs.results, res)
+	cs.queue = append(cs.queue, res.Emitted...)
+	cs.noteBacklog()
+
+	if err := cs.drain(); err != nil {
+		return cs.results, err
+	}
+	return cs.results, nil
+}
+
+// DeliverSync injects a sync event directly (timer expiries the IDS
+// schedules on behalf of a machine).
+//
+//vids:noalloc compiled timer/sync delivery path
+func (cs *CallSystem) DeliverSync(machine string, e core.Event) ([]core.StepResult, error) {
+	if _, ok := cs.Find(machine); !ok {
+		return nil, fmt.Errorf("idsgen: unknown machine %q", machine) //vids:alloc-ok unknown-machine delivery is a wiring bug; error path only
+	}
+	cs.results = cs.results[:0]
+	cs.queue = append(cs.queue, core.SyncMsg{Target: machine, Event: e})
+	cs.noteBacklog()
+	err := cs.drain()
+	return cs.results, err
+}
+
+// drain processes the sync queue to exhaustion in FIFO order.
+func (cs *CallSystem) drain() error {
+	for cs.qhead < len(cs.queue) {
+		msg := cs.queue[cs.qhead]
+		cs.qhead++
+		res, err, ok := cs.stepNamed(msg.Target, msg.Event)
+		if !ok {
+			continue // emitted to a machine this system doesn't run
+		}
+		if err != nil {
+			if err == core.ErrNoTransition {
+				continue // peer no longer cares; not a deviation
+			}
+			return err
+		}
+		cs.results = append(cs.results, res)
+		cs.queue = append(cs.queue, res.Emitted...)
+		cs.noteBacklog()
+	}
+	cs.queue = cs.queue[:0]
+	cs.qhead = 0
+	return nil
+}
+
+// InAttack reports whether any member machine sits in an attack state.
+func (cs *CallSystem) InAttack() bool {
+	return cs.sip.InAttack() || cs.caller.InAttack() || cs.callee.InAttack()
+}
+
+// AllFinal reports whether every member machine reached a final state.
+func (cs *CallSystem) AllFinal() bool {
+	return cs.sip.InFinal() && cs.caller.InFinal() && cs.callee.InFinal()
+}
+
+// MemoryFootprint mirrors core.System.MemoryFootprint: control-state
+// plus variable bytes per machine, plus the shared globals.
+func (cs *CallSystem) MemoryFootprint() int {
+	total := len(cs.sip.State()) + cs.sip.varsFootprint()
+	total += len(cs.caller.State()) + cs.caller.varsFootprint()
+	total += len(cs.callee.State()) + cs.callee.varsFootprint()
+	total += cs.g.footprint()
+	return total
+}

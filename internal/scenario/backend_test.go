@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"vids/internal/engine"
+	"vids/internal/ids"
+	"vids/internal/workload"
+)
+
+// TestBackendScenarioParity is the behavioral half of the compiled
+// dispatch gate: every evaluation scenario runs once on the
+// specgen-compiled backend and once on the interpreted reference
+// walker, and the two must raise the identical alert multiset —
+// same types, same timestamps, same calls, same detail strings. Any
+// semantic drift between a generated guard and its interpreted
+// counterpart shows up here as a diverging alert list.
+func TestBackendScenarioParity(t *testing.T) {
+	for _, name := range Names {
+		alerts := make(map[ids.Backend][]ids.Alert, 2)
+		for _, backend := range []ids.Backend{ids.BackendCompiled, ids.BackendInterpreted} {
+			tb, err := Run(name, Options{
+				Seed: 7,
+				Configure: func(cfg *workload.Config) {
+					cfg.IDS.Backend = backend
+				},
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", backend, name, err)
+			}
+			got := tb.IDS.Alerts()
+			engine.SortAlerts(got)
+			alerts[backend] = got
+		}
+		compiled, interpreted := alerts[ids.BackendCompiled], alerts[ids.BackendInterpreted]
+		if !reflect.DeepEqual(compiled, interpreted) {
+			t.Errorf("%s: compiled backend raised %d alert(s), interpreted %d; alert sets diverge\ncompiled:    %+v\ninterpreted: %+v",
+				name, len(compiled), len(interpreted), compiled, interpreted)
+		}
+	}
+}

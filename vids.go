@@ -53,6 +53,18 @@ type (
 	CallMonitor = ids.CallMonitor
 	// RTPThresholds are the media-stream detector parameters.
 	RTPThresholds = ids.RTPThresholds
+	// Backend selects the EFSM execution backend (Config.Backend):
+	// specgen-compiled dispatch tables or the interpreted reference
+	// walker.
+	Backend = ids.Backend
+)
+
+// EFSM execution backends. Compiled is the default (zero value); the
+// interpreted reference backend remains available for differential
+// testing and spec debugging.
+const (
+	BackendCompiled    = ids.BackendCompiled
+	BackendInterpreted = ids.BackendInterpreted
 )
 
 // Alert types (see the paper's Sections 3 and 6).
@@ -208,6 +220,9 @@ type (
 	PreventionResult = experiments.PreventionResult
 	// EngineScalingResult holds the online-engine scaling measurement.
 	EngineScalingResult = experiments.EngineResult
+	// BackendsResult holds the compiled-vs-interpreted dispatch
+	// comparison.
+	BackendsResult = experiments.BackendsResult
 )
 
 // Fig8 regenerates Figure 8 (call arrivals and durations).
@@ -253,4 +268,12 @@ func Prevention(o ExperimentOptions) (*PreventionResult, error) {
 // throughput at 1 vs. NumCPU shards, with alert-stream parity checked.
 func EngineScaling(o ExperimentOptions) (*EngineScalingResult, error) {
 	return experiments.EngineScaling(o)
+}
+
+// Backends runs experiment E12: the specgen-compiled EFSM dispatch
+// against the interpreted reference walker on one synthesized
+// workload, swept across engine shard counts with alert-stream parity
+// checked in every cell.
+func Backends(o ExperimentOptions) (*BackendsResult, error) {
+	return experiments.Backends(o)
 }
