@@ -13,7 +13,11 @@ CHURNTIME ?= 5000x
 # feeds BENCH_hotpath.json; the engine file merges a churn run
 # (allocation-gated) with a throughput run (timing only — engine
 # fan-out allocs vary with scheduling and are not a useful gate).
-HOTPATH_BENCH = BenchmarkSIPParse$$|BenchmarkRTPParse$$|BenchmarkRTCPParse$$|BenchmarkIDSProcessSIP$$|BenchmarkIDSProcessSIPCompiled$$|BenchmarkIDSProcessRTP$$|BenchmarkEFSMStep$$|BenchmarkEFSMStepCompiled$$
+HOTPATH_BENCH = BenchmarkSIPParse$$|BenchmarkRTPParse$$|BenchmarkRTCPParse$$|BenchmarkIDSProcessSIP$$|BenchmarkIDSProcessSIPCompiled$$|BenchmarkIDSProcessRTP$$|BenchmarkEFSMStep$$|BenchmarkEFSMStepCompiled$$|BenchmarkFastpathLookup$$
+# THROUGHPUT_BENCH pairs the SIP-heavy engine mix with the media-heavy
+# one so the fast-path absorption numbers are pinned alongside the
+# baseline fan-out numbers in BENCH_engine.json.
+THROUGHPUT_BENCH = BenchmarkEngineThroughput$$|BenchmarkEngineThroughputMedia$$
 
 .PHONY: all build test race fmt lint ci golden bench bench-smoke bench-compare speccover speccover-update specgen specgen-check
 
@@ -60,13 +64,17 @@ bench:
 	@echo "wrote BENCH_hotpath.json"
 	$(GO) test -run '^$$' -bench 'BenchmarkCallChurn$$' \
 		-benchmem -benchtime $(CHURNTIME) . | $(GO) run ./cmd/benchjson > BENCH_churn.part.json
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput$$' \
+	$(GO) test -run '^$$' -bench '$(THROUGHPUT_BENCH)' \
 		-benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_throughput.part.json
 	$(GO) run ./cmd/benchjson -merge BENCH_churn.part.json BENCH_throughput.part.json > BENCH_engine.json
 	@rm -f BENCH_churn.part.json BENCH_throughput.part.json
 	@echo "wrote BENCH_engine.json"
 	$(GO) run ./cmd/benchjson -scaling BENCH_engine.json \
 		'BenchmarkEngineThroughput/shards=4' 'BenchmarkEngineThroughput/shards=1'
+	$(GO) run ./cmd/benchjson -scaling BENCH_engine.json \
+		'BenchmarkEngineThroughputMedia/fastpath=on/shards=4' 'BenchmarkEngineThroughputMedia/fastpath=on/shards=1'
+	$(GO) run ./cmd/benchjson -scaling -scale-ratio 4 -scale-min-cores 1 BENCH_engine.json \
+		'BenchmarkEngineThroughputMedia/fastpath=on/shards=1' 'BenchmarkEngineThroughputMedia/fastpath=off/shards=1'
 
 # bench-compare reruns the pinned benchmarks and diffs allocs/op
 # against the committed baselines, failing on a >10% regression —
@@ -76,15 +84,19 @@ bench-compare:
 		-benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_hotpath.fresh.json
 	$(GO) test -run '^$$' -bench 'BenchmarkCallChurn$$' \
 		-benchmem -benchtime $(CHURNTIME) . | $(GO) run ./cmd/benchjson > BENCH_churn.fresh.json
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput$$' \
+	$(GO) test -run '^$$' -bench '$(THROUGHPUT_BENCH)' \
 		-benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_throughput.fresh.json
 	$(GO) run ./cmd/benchjson -merge BENCH_churn.fresh.json BENCH_throughput.fresh.json > BENCH_engine.fresh.json
 	$(GO) run ./cmd/benchjson -compare BENCH_hotpath.json BENCH_hotpath.fresh.json
 	$(GO) run ./cmd/benchjson -compare BENCH_engine.json BENCH_engine.fresh.json
 	$(GO) run ./cmd/benchjson -scaling BENCH_engine.fresh.json \
 		'BenchmarkEngineThroughput/shards=4' 'BenchmarkEngineThroughput/shards=1'
+	$(GO) run ./cmd/benchjson -scaling BENCH_engine.fresh.json \
+		'BenchmarkEngineThroughputMedia/fastpath=on/shards=4' 'BenchmarkEngineThroughputMedia/fastpath=on/shards=1'
+	$(GO) run ./cmd/benchjson -scaling -scale-ratio 4 -scale-min-cores 1 BENCH_engine.fresh.json \
+		'BenchmarkEngineThroughputMedia/fastpath=on/shards=1' 'BenchmarkEngineThroughputMedia/fastpath=off/shards=1'
 	@rm -f BENCH_hotpath.fresh.json BENCH_churn.fresh.json BENCH_throughput.fresh.json BENCH_engine.fresh.json
-	@echo "allocation budgets hold vs committed baselines; ingestion tier scaling floor holds"
+	@echo "allocation budgets hold vs committed baselines; ingestion tier scaling and fast-path absorption floors hold"
 
 # bench-smoke exercises the concurrent engine benchmark once per
 # shard count under the race detector — a cheap CI gate that the

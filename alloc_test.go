@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vids/internal/core"
+	"vids/internal/fastpath"
 	"vids/internal/ids"
 	"vids/internal/idsgen"
 	"vids/internal/rtp"
@@ -53,6 +54,11 @@ const (
 	// Zero, exactly — the //vids:noalloc gate in cmd/vidslint proves
 	// it statically and this budget proves it dynamically.
 	maxEFSMStepCompiledAllocs = 0
+	// maxFastpathConsultAllocs pins the media fast-path hit: key render
+	// into a stack buffer, stripe hash, hot-slot probe, predicate check,
+	// window advance. Zero, exactly — an allocation here is paid by
+	// ~90% of all packets in a media-heavy mix.
+	maxFastpathConsultAllocs = 0
 )
 
 // TestAllocBudgetSIPParse holds the parser to its allocation budget.
@@ -308,5 +314,51 @@ func TestAllocBudgetCallChurn(t *testing.T) {
 	}
 	if n := len(d.Alerts()); n != 0 {
 		t.Fatalf("benign churn raised %d alerts", n)
+	}
+}
+
+// TestAllocBudgetFastpathConsult holds the fast-path hit — the exact
+// call shape the ingress lanes use: render the media key into a stack
+// buffer, consult through the out-param API — to zero allocations.
+func TestAllocBudgetFastpathConsult(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	c := fastpath.New(fastpath.Config{
+		Stripes:     8,
+		SeqGap:      50,
+		TSGap:       8000,
+		RateWindow:  time.Second,
+		RatePackets: 1 << 30, // never trip the flood predicate here
+	})
+	host, port := "media.a.example.com", 30000
+	var kb [96]byte
+	key := ids.AppendMediaKey(kb[:0], host, port)
+	c.Install(key, "alloc-budget-call", 0)
+	// Arm the way a shard worker would: first consult escalates with
+	// the flow pinned, then Update publishes the machine snapshot.
+	v, f, epoch, _, _ := c.Lookup(key, 18, 42, 100, 1600, 0)
+	if v != fastpath.Miss || f == nil {
+		t.Fatalf("priming lookup = %v, want Miss with flow", v)
+	}
+	if !c.Update(key, epoch, 18, fastpath.Snapshot{Gen: 1, SSRC: 42, Seq: 100, TS: 1600, WinCount: 1}) {
+		t.Fatal("arm refused")
+	}
+	f.Release()
+
+	seq, ts, at := uint16(100), uint32(1600), time.Duration(0)
+	var res fastpath.Consult
+	avg := testing.AllocsPerRun(200, func() {
+		seq++
+		ts += 160
+		at += 20 * time.Millisecond
+		var buf [96]byte
+		c.ConsultKey(ids.AppendMediaKey(buf[:0], host, port), 18, 42, seq, ts, at, &res)
+		if res.Verdict != fastpath.Hit {
+			t.Fatalf("consult = %v at seq %d, want Hit", res.Verdict, seq)
+		}
+	})
+	if avg > maxFastpathConsultAllocs {
+		t.Errorf("fastpath consult allocates %.1f/packet, budget %d", avg, maxFastpathConsultAllocs)
 	}
 }

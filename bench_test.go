@@ -13,6 +13,7 @@ import (
 	"vids/internal/attack"
 	"vids/internal/core"
 	"vids/internal/engine"
+	"vids/internal/fastpath"
 	"vids/internal/ids"
 	"vids/internal/idsgen"
 	"vids/internal/ingress"
@@ -683,6 +684,212 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			b.ReportMetric(float64(runtime.NumCPU()), "cores")
 		})
 	}
+}
+
+// BenchmarkFastpathLookup measures one armed-flow validation hit —
+// the per-packet price the ingress lanes pay to absorb in-profile
+// media instead of enqueueing it. This is the cost every absorbed RTP
+// packet pays, so it sits in the hot-path suite with the parsers: its
+// allocs/op is pinned at zero in BENCH_hotpath.json and any
+// allocation is a gated regression.
+func BenchmarkFastpathLookup(b *testing.B) {
+	c := fastpath.New(fastpath.Config{
+		Stripes: 8, SeqGap: 50, TSGap: 8000,
+		RateWindow: time.Second, RatePackets: 1 << 30,
+	})
+	key := []byte("m|ua2.b.example.com|30000")
+	c.Install(key, "bench-call", 0)
+	v, f, epoch, _, _ := c.Lookup(key, 18, 42, 0, 0, 0)
+	if v != fastpath.Miss || f == nil {
+		b.Fatalf("priming lookup = %v, want Miss with flow", v)
+	}
+	if !c.Update(key, epoch, 18, fastpath.Snapshot{Gen: 1, SSRC: 42, WinCount: 1}) {
+		b.Fatal("arm refused")
+	}
+	f.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	seq, ts := uint16(0), uint32(0)
+	var res fastpath.Consult
+	for i := 0; i < b.N; i++ {
+		seq++
+		ts += 160
+		c.ConsultKey(key, 18, 42, seq, ts, time.Duration(i)*20*time.Millisecond, &res)
+		if res.Verdict != fastpath.Hit {
+			b.Fatalf("packet %d: verdict %v, want Hit", i, res.Verdict)
+		}
+	}
+}
+
+// mediaPart splits one lane's synthetic trace by pipeline role:
+// setup is the dialog establishment (INVITE/200/ACK) plus each media
+// flow's first packet — everything a flow needs to reach the armed
+// state; blast is the steady-state media stream (plus its RTCP); tail
+// is the BYE and its 200. Indices into pkts/ats preserve arrival
+// order within each class.
+type mediaPart struct {
+	setup []int
+	blast []int
+	tail  []int
+	pkts  []*sim.Packet
+	ats   []time.Duration
+}
+
+func splitMediaPart(entries []trace.Entry) mediaPart {
+	p := mediaPart{
+		pkts: make([]*sim.Packet, len(entries)),
+		ats:  make([]time.Duration, len(entries)),
+	}
+	firstMedia := make(map[sim.Addr]bool)
+	for i, en := range entries {
+		p.pkts[i] = en.Packet()
+		p.ats[i] = en.At()
+		switch p.pkts[i].Proto {
+		case sim.ProtoSIP:
+			if bytes.HasPrefix(en.Data, []byte("BYE ")) ||
+				bytes.Contains(en.Data, []byte("CSeq: 2 BYE")) {
+				p.tail = append(p.tail, i)
+			} else {
+				p.setup = append(p.setup, i)
+			}
+		case sim.ProtoRTP:
+			to := sim.Addr{Host: en.ToHost, Port: en.ToPort}
+			if !firstMedia[to] {
+				firstMedia[to] = true
+				p.setup = append(p.setup, i)
+			} else {
+				p.blast = append(p.blast, i)
+			}
+		default:
+			p.blast = append(p.blast, i)
+		}
+	}
+	return p
+}
+
+// BenchmarkEngineThroughputMedia measures the pipeline on the paper's
+// dominant traffic shape: ~91% RTP (30 media packets per direction
+// per dialog against 5 signaling messages and one RTCP report).
+// Sub-benchmarks toggle the ingress-side validation cache
+// (internal/fastpath) against the full slow path and sweep shard
+// counts; fastpath=off is the control that prices absorption, and
+// shards=4/shards=1 under fastpath=on feeds the -scaling floor. Each
+// iteration establishes the dialogs and arms the flows untimed — the
+// steady state a long-lived call spends its life in — then times the
+// media blast, the hangups and the drain.
+func BenchmarkEngineThroughputMedia(b *testing.B) {
+	const totalCalls = 96 // divisible by every lane count below
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fastpath=on", false}, {"fastpath=off", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for _, shards := range []int{1, 4} {
+				b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+					benchMediaThroughput(b, totalCalls, shards, mode.disable)
+				})
+			}
+		})
+	}
+}
+
+func benchMediaThroughput(b *testing.B, totalCalls, shards int, disable bool) {
+	lanes := shards
+	parts := make([]mediaPart, lanes)
+	blastTotal := 0
+	for i := range parts {
+		entries := engine.Synthesize(engine.SynthConfig{
+			Calls: totalCalls / lanes, RTPPerCall: 30,
+			FirstCall: i * (totalCalls / lanes),
+		})
+		parts[i] = splitMediaPart(entries)
+		blastTotal += len(parts[i].blast)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		ing := ingress.New(ingress.Config{
+			Lanes:  lanes,
+			Engine: engine.Config{Shards: shards, DisableFastpath: disable},
+		})
+		// Arming needs the shard worker caught up when the flow's first
+		// packet is processed, so the setup feed is drain-paced: each
+		// packet is fully accounted before the next goes in.
+		fed := uint64(0)
+		accounted := func() uint64 {
+			st := ing.Stats()
+			return st.Processed + st.Absorbed + st.Ignored + st.ParseErrors
+		}
+		for _, p := range parts {
+			for _, j := range p.setup {
+				if err := ing.Ingest(p.pkts[j], p.ats[j]); err != nil {
+					b.Fatal(err)
+				}
+				fed++
+				for accounted() < fed {
+					runtime.Gosched()
+				}
+			}
+		}
+		// The timed region is the media blast alone: ingest plus full
+		// drain, so the slow-path control pays for emptying its shard
+		// queues, not just for enqueueing. Collect the setup's garbage
+		// first — on small boxes the GC debt of dialog establishment
+		// otherwise comes due mid-blast.
+		runtime.GC()
+		b.StartTimer()
+
+		errc := make(chan error, lanes)
+		var wg sync.WaitGroup
+		for _, p := range parts {
+			wg.Add(1)
+			go func(p mediaPart) {
+				defer wg.Done()
+				for _, j := range p.blast {
+					if err := ing.Ingest(p.pkts[j], p.ats[j]); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			b.Fatal(err)
+		}
+		fed += uint64(blastTotal)
+		for accounted() < fed {
+			runtime.Gosched()
+		}
+		b.StopTimer()
+
+		for _, p := range parts {
+			for _, j := range p.tail {
+				if err := ing.Ingest(p.pkts[j], p.ats[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := ing.Close(); err != nil {
+			b.Fatal(err)
+		}
+		st := ing.Stats()
+		if st.Processed == 0 {
+			b.Fatal("nothing processed")
+		}
+		if disable && st.FastpathHits != 0 {
+			b.Fatalf("disabled cache absorbed packets: %+v", st)
+		}
+		if !disable && st.FastpathHits == 0 {
+			b.Fatalf("cache never absorbed the media blast: %+v", st)
+		}
+		if alerts := ing.Alerts(); len(alerts) != 0 {
+			b.Fatalf("benign media workload raised %d alerts, first %+v", len(alerts), alerts[0])
+		}
+	}
+	b.ReportMetric(float64(blastTotal)*float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+	b.ReportMetric(float64(runtime.NumCPU()), "cores")
 }
 
 // BenchmarkRTCPParse measures RTCP decoding.

@@ -13,8 +13,10 @@
 // -compiled=false switches to the interpreted reference walker (the
 // two are differentially tested to produce identical alerts).
 //
-// With -shards N > 0 the replay runs through the concurrent sharded
-// engine (internal/engine) and the resulting alert set is verified
+// With -shards N > 0 the replay runs through the multi-lane ingestion
+// tier feeding the concurrent sharded engine (internal/ingress,
+// internal/engine) — including the per-flow RTP validation cache
+// unless -fastpath=false — and the resulting alert set is verified
 // against a single-threaded replay of the same trace.
 package main
 
@@ -28,6 +30,7 @@ import (
 
 	"vids"
 	"vids/internal/engine"
+	"vids/internal/ingress"
 	"vids/internal/scenario"
 	"vids/internal/trace"
 	"vids/internal/workload"
@@ -49,6 +52,7 @@ func run(args []string) error {
 		report       = fs.String("report", "", "write the alert report (JSON) to this file")
 		shards       = fs.Int("shards", 0, "replay through the concurrent engine with N shard workers (0 = single-threaded)")
 		compiled     = fs.Bool("compiled", true, "run the specgen-compiled EFSM backend (false = interpreted reference walker)")
+		fastpath     = fs.Bool("fastpath", true, "per-flow RTP validation cache in the sharded replay (shards>0); false = every packet takes the slow path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,7 +62,7 @@ func run(args []string) error {
 		backend = vids.BackendInterpreted
 	}
 	if *replay != "" {
-		return replayTrace(*replay, *report, *shards, backend)
+		return replayTrace(*replay, *report, *shards, backend, *fastpath)
 	}
 
 	names := scenario.Names
@@ -107,7 +111,7 @@ func writeAlerts(alerts []vids.Alert, path string) error {
 // replayTrace feeds a captured trace into a fresh IDS instance, or —
 // with shards > 0 — into the concurrent sharded engine, in which case
 // the engine's alert set is checked against the single-threaded run.
-func replayTrace(path, report string, shards int, backend vids.Backend) error {
+func replayTrace(path, report string, shards int, backend vids.Backend, fastpath bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -118,7 +122,7 @@ func replayTrace(path, report string, shards int, backend vids.Backend) error {
 		return err
 	}
 	if shards > 0 {
-		return replayEngine(entries, report, shards, backend)
+		return replayEngine(entries, report, shards, backend, fastpath)
 	}
 	cfg := vids.DefaultConfig()
 	cfg.Backend = backend
@@ -137,28 +141,35 @@ func replayTrace(path, report string, shards int, backend vids.Backend) error {
 	return writeReport(d, report)
 }
 
-// replayEngine pushes the trace through the sharded engine and
-// verifies the resulting alert set matches a sequential replay of the
-// same entries — the engine's correctness contract.
-func replayEngine(entries []trace.Entry, report string, shards int, backend vids.Backend) error {
+// replayEngine pushes the trace through the multi-lane ingestion tier
+// feeding the sharded engine — the path where the per-flow RTP
+// validation cache absorbs in-profile media — and verifies the
+// resulting alert set matches a sequential replay of the same entries:
+// the engine's correctness contract, and with -fastpath on, the
+// cache's alert-parity contract.
+func replayEngine(entries []trace.Entry, report string, shards int, backend vids.Backend, fastpath bool) error {
 	idsCfg := vids.DefaultConfig()
 	idsCfg.Backend = backend
-	e := engine.New(engine.Config{Shards: shards, IDS: idsCfg})
+	ing := ingress.New(ingress.Config{
+		Lanes:  1,
+		Engine: engine.Config{Shards: shards, IDS: idsCfg, DisableFastpath: !fastpath},
+	})
+	e := ing.Engine()
 	for i, en := range entries {
-		if err := e.Ingest(en.Packet(), en.At()); err != nil {
+		if err := ing.Ingest(en.Packet(), en.At()); err != nil {
 			return fmt.Errorf("entry %d: %w", i, err)
 		}
 	}
-	if err := e.Close(); err != nil {
+	if err := ing.Close(); err != nil {
 		return err
 	}
-	alerts := e.Alerts()
+	alerts := ing.Alerts()
 	for _, a := range alerts {
 		fmt.Printf("ALERT %s\n", a)
 	}
-	st := e.Stats()
-	fmt.Printf("replayed %d packets on %d shard(s): processed=%d absorbed=%d parse-errors=%d dropped=%d alerts=%d\n",
-		len(entries), e.Shards(), st.Processed, st.Absorbed, st.ParseErrors, st.Dropped, len(alerts))
+	st := ing.Stats()
+	fmt.Printf("replayed %d packets on %d shard(s): processed=%d absorbed=%d parse-errors=%d dropped=%d fastpath-hits=%d alerts=%d\n",
+		len(entries), e.Shards(), st.Processed, st.Absorbed, st.ParseErrors, st.Dropped, st.FastpathHits, len(alerts))
 
 	// Cross-check against the single-threaded path: same trace, same
 	// detectors, one fact base.

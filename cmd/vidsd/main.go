@@ -18,6 +18,9 @@
 // workers, flood windows onto the lanes, and with -source udp the
 // -listeners flag binds several SO_REUSEPORT socket pairs feeding the
 // lanes concurrently. -lanes 0 keeps the classic serial router path.
+// The lane tier consults the per-flow RTP validation cache and absorbs
+// in-profile media before shard enqueue; -fastpath=false disables the
+// cache so every packet takes the slow path.
 //
 // Usage:
 //
@@ -65,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		lanes     = fs.Int("lanes", 0, "ingestion lanes; 0 = classic serial router path")
 		listeners = fs.Int("listeners", 1, "UDP socket pairs, SO_REUSEPORT permitting (source=udp, lanes>0)")
 		srtp      = fs.Bool("srtp", false, "SRTP-degraded mode: inspect only cleartext RTP headers, skip media payloads and RTCP")
+		fastpath  = fs.Bool("fastpath", true, "per-flow RTP validation cache in front of the shards (consulted by the lane tier); false = every packet takes the slow path")
 		compiled  = fs.Bool("compiled", true, "run the specgen-compiled EFSM backend (false = interpreted reference walker)")
 		source    = fs.String("source", "trace", "packet source: trace or udp")
 		tracePath = fs.String("trace", "", "trace file to replay (source=trace)")
@@ -88,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 	}
 	cfg.IDS.MediaHeaderOnly = *srtp
+	cfg.DisableFastpath = !*fastpath
 	if !*compiled {
 		cfg.IDS.Backend = ids.BackendInterpreted
 	}
@@ -205,9 +210,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 func printStats(w io.Writer, st engine.Stats) {
-	fmt.Fprintf(w, "vidsd: ingested=%d processed=%d dropped=%d dropped-media=%d dropped-signaling=%d absorbed=%d ignored=%d parse-errors=%d alerts=%d pps=%.0f\n",
+	fmt.Fprintf(w, "vidsd: ingested=%d processed=%d dropped=%d dropped-media=%d dropped-signaling=%d absorbed=%d ignored=%d parse-errors=%d alerts=%d pps=%.0f fp-hits=%d fp-misses=%d fp-escalations=%d fp-invalidations=%d\n",
 		st.Ingested, st.Processed, st.Dropped, st.DroppedMedia, st.DroppedSignaling,
-		st.Absorbed, st.Ignored, st.ParseErrors, st.Alerts, st.PacketsPerSec)
+		st.Absorbed, st.Ignored, st.ParseErrors, st.Alerts, st.PacketsPerSec,
+		st.FastpathHits, st.FastpathMisses, st.FastpathEscalations, st.FastpathInvalidations)
 	for i, sh := range st.Shards {
 		if sh.Depth > 0 {
 			fmt.Fprintf(w, "vidsd:   shard %d backlog: %d queued\n", i, sh.Depth)

@@ -153,6 +153,78 @@ func TestLanesRunToCompletion(t *testing.T) {
 	}
 }
 
+// TestFastpathCountersSurfaced pins the operator-visible fast-path
+// accounting: on a benign media-heavy trace through the lane tier the
+// cache must absorb packets, the stderr stats line must carry the
+// fp-* counters, and the JSON report must record them. The same trace
+// with -fastpath=false must absorb nothing — and detect identically.
+func TestFastpathCountersSurfaced(t *testing.T) {
+	path := writeSynthTrace(t, engine.SynthConfig{Calls: 4, RTPPerCall: 40})
+	report := filepath.Join(t.TempDir(), "alerts.json")
+
+	var stdout, stderr bytes.Buffer
+	// A small queue keeps ingestion within a few packets of the shard
+	// worker, so flows reach the armable state (no queued escalations)
+	// instead of the whole trace being enqueued before any arm lands.
+	err := run([]string{
+		"-source", "trace", "-trace", path, "-pace", "0",
+		"-shards", "1", "-lanes", "1", "-queue", "4",
+		"-stats", "0", "-report", report,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "fp-hits=") {
+		t.Errorf("stats line missing fast-path counters:\n%s", stderr.String())
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Alerts []ids.Alert  `json:"alerts"`
+		Stats  engine.Stats `json:"stats"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("report: %v\n%s", err, data)
+	}
+	if doc.Stats.FastpathHits == 0 {
+		t.Errorf("benign media-heavy trace absorbed nothing: %+v", doc.Stats)
+	}
+	if got := doc.Stats.FastpathHits + doc.Stats.FastpathMisses + doc.Stats.FastpathEscalations; got == 0 {
+		t.Errorf("fast-path counters all zero in report:\n%s", data)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	offReport := filepath.Join(t.TempDir(), "alerts-off.json")
+	err = run([]string{
+		"-source", "trace", "-trace", path, "-pace", "0",
+		"-shards", "1", "-lanes", "1", "-queue", "4", "-stats", "0",
+		"-fastpath=false", "-report", offReport,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run -fastpath=false: %v\nstderr: %s", err, stderr.String())
+	}
+	offData, err := os.ReadFile(offReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offDoc struct {
+		Alerts []ids.Alert  `json:"alerts"`
+		Stats  engine.Stats `json:"stats"`
+	}
+	if err := json.Unmarshal(offData, &offDoc); err != nil {
+		t.Fatalf("report: %v\n%s", err, offData)
+	}
+	if offDoc.Stats.FastpathHits != 0 || offDoc.Stats.FastpathMisses != 0 {
+		t.Errorf("-fastpath=false still consulted the cache: %+v", offDoc.Stats)
+	}
+	if len(doc.Alerts) != len(offDoc.Alerts) {
+		t.Errorf("alert count diverges across -fastpath: on=%d off=%d", len(doc.Alerts), len(offDoc.Alerts))
+	}
+}
+
 // TestSRTPFlag: header-only mode must run clean end to end and stay
 // silent on a benign trace.
 func TestSRTPFlag(t *testing.T) {

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vids/internal/fastpath"
 	"vids/internal/ids"
 	"vids/internal/intern"
 	"vids/internal/sdp"
@@ -89,6 +90,10 @@ type Config struct {
 	// means ids.DefaultConfig(). ExternalFloods is forced on: the
 	// engine always runs the one shared FloodWatch itself.
 	IDS ids.Config
+	// DisableFastpath turns off the per-flow RTP validation cache the
+	// ingress tier consults before shard enqueue (the -fastpath=false
+	// escape hatch). The zero value keeps it on.
+	DisableFastpath bool
 	// OnAlert, when set, observes every alert as it is raised. The
 	// engine serializes the calls (alerts originate on shard workers
 	// and inside Ingest, but never overlap), so an unsynchronized
@@ -114,11 +119,20 @@ var ErrClosed = errors.New("engine: closed")
 const internTableCap = 4096
 
 // item is one unit of shard work: a packet, its capture timestamp,
-// and — for SIP — the parse the router already did to route it.
+// and — for SIP — the parse the router already did to route it. Media
+// escalated by the fast-path cache additionally carries its flow's
+// in-flight reference, the epoch its arm offer must match, and — for
+// the first packet after a stretch of absorption — the resync
+// snapshot the worker applies before delivery.
 type item struct {
 	pkt *sim.Packet
 	at  time.Duration
 	sip *sipmsg.Message
+
+	fpFlow    *fastpath.Flow
+	fpEpoch   uint64
+	fpSnap    fastpath.Snapshot
+	fpHasSnap bool
 }
 
 // shard is one detection worker: a bounded ring of pending items
@@ -154,11 +168,17 @@ type shard struct {
 	closing bool
 	batch   []item // worker-owned detach buffer, reused every pickup
 
+	// fpEpoch is the fast-path epoch of the item the worker is
+	// currently processing; the detector's Arm hook closes over it.
+	// Written and read only on the worker goroutine.
+	fpEpoch uint64
+
 	queued     atomic.Int64 // mirrors n for lock-free Stats
 	processed  atomic.Uint64
 	dropped    atomic.Uint64
 	shedMedia  atomic.Uint64 // Shed evictions that hit media
 	shedSignal atomic.Uint64 // Shed evictions that had to hit signaling
+	fpHits     atomic.Uint64 // packets the fast path absorbed on this shard's behalf
 	alerts     atomic.Uint64
 }
 
@@ -167,6 +187,10 @@ type shard struct {
 type Engine struct {
 	cfg    Config
 	shards []*shard
+
+	// fp is the per-flow RTP validation cache the ingress tier consults
+	// before shard enqueue; nil when Config.DisableFastpath is set.
+	fp *fastpath.Cache
 
 	// Router state. The router is the single point that sees the whole
 	// packet stream, so the cross-call detectors and the routing
@@ -232,6 +256,17 @@ func New(cfg Config) *Engine {
 		e.alertCount.Add(1)
 		e.deliver(a)
 	})
+	if !cfg.DisableFastpath {
+		e.fp = fastpath.New(fastpath.Config{
+			SeqGap:      cfg.IDS.RTP.SeqGap,
+			TSGap:       cfg.IDS.RTP.TSGap,
+			RateWindow:  cfg.IDS.RTP.RateWindow,
+			RatePackets: cfg.IDS.RTP.RatePackets,
+			// One Touch per quarter of the routing-entry lifetime keeps
+			// the ingress sweeps fed without per-packet bookkeeping.
+			RefreshEvery: e.retain / 4,
+		})
+	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		s := sim.New(int64(i) + 1)
@@ -251,11 +286,28 @@ func New(cfg Config) *Engine {
 			e.alertCount.Add(1)
 			e.deliver(a)
 		}
+		if e.fp != nil {
+			sh.ids.SetMediaFastpath(ids.MediaFastpath{
+				Arm: func(key []byte, payload uint8, snap fastpath.Snapshot) {
+					// sh.fpEpoch is the epoch of the packet this worker is
+					// processing right now — the Arm hook fires inside
+					// Process, on the worker goroutine.
+					e.fp.Update(key, sh.fpEpoch, payload, snap)
+				},
+				Invalidate: e.fp.Invalidate,
+				Remove:     e.fp.Remove,
+				Activity:   e.fp.LastSeen,
+			})
+		}
 		e.shards[i] = sh
 		go sh.run()
 	}
 	return e
 }
+
+// Fastpath exposes the per-flow RTP validation cache to the ingress
+// tier; nil when disabled.
+func (e *Engine) Fastpath() *fastpath.Cache { return e.fp }
 
 // deliver hands an alert to the user's OnAlert callback, serializing
 // across the shard workers and the router so the callback never runs
@@ -321,8 +373,19 @@ func (sh *shard) run() {
 					sh.parseErrs.Add(1)
 				}
 			default:
+				if it.fpHasSnap {
+					// First packet after a stretch of fast-path
+					// absorption: bring the machine's window variables
+					// up to date before it judges this packet.
+					sh.ids.ResyncMedia(it.pkt.To.Host, it.pkt.To.Port, it.fpSnap)
+				}
+				sh.fpEpoch = it.fpEpoch
 				sh.ids.Process(it.pkt)
+				sh.fpEpoch = 0
 				sh.processed.Add(1)
+			}
+			if it.fpFlow != nil {
+				it.fpFlow.Release()
 			}
 			if sh.retire != nil {
 				sh.retire(it.pkt)
@@ -355,6 +418,9 @@ func (sh *shard) enqueue(it item, p Policy) {
 	case DropOldest:
 		for sh.n == len(sh.buf) {
 			victim = sh.buf[sh.head].pkt
+			if f := sh.buf[sh.head].fpFlow; f != nil {
+				f.Release()
+			}
 			sh.buf[sh.head] = item{}
 			sh.head = (sh.head + 1) % len(sh.buf)
 			sh.n--
@@ -369,6 +435,9 @@ func (sh *shard) enqueue(it item, p Policy) {
 				admitted = false
 				sh.dropped.Add(1)
 				sh.shedMedia.Add(1)
+				if it.fpFlow != nil {
+					it.fpFlow.Release()
+				}
 			} else {
 				victim = sh.evictForSignaling()
 			}
@@ -417,6 +486,9 @@ func (sh *shard) evictForSignaling() *sim.Packet {
 		return victim
 	}
 	victim := sh.buf[(sh.head+at)%n].pkt
+	if f := sh.buf[(sh.head+at)%n].fpFlow; f != nil {
+		f.Release()
+	}
 	// Close the gap toward the tail, preserving FIFO order of the
 	// survivors.
 	for j := at; j < sh.n-1; j++ {
@@ -513,6 +585,42 @@ func (e *Engine) EnqueueRaw(idx int, pkt *sim.Packet, at time.Duration) error {
 	}
 	e.shards[idx].enqueue(item{pkt: pkt, at: at}, e.cfg.Policy)
 	return nil
+}
+
+// EnqueueMedia is EnqueueRaw for an RTP packet the fast-path cache
+// declined to absorb: the flow's in-flight reference rides to the
+// worker (which Releases it after analysis), epoch gates the arm offer
+// the worker may make, and snap — when hasSnap — is applied to the
+// machine before this packet is delivered. On ErrClosed the flow is
+// released here, since no worker will see the item.
+func (e *Engine) EnqueueMedia(idx int, pkt *sim.Packet, at time.Duration, f *fastpath.Flow, epoch uint64, snap fastpath.Snapshot, hasSnap bool) error {
+	if e.closed.Load() {
+		if f != nil {
+			f.Release()
+		}
+		return ErrClosed
+	}
+	e.ingestWG.Add(1)
+	defer e.ingestWG.Done()
+	if e.closed.Load() {
+		if f != nil {
+			f.Release()
+		}
+		return ErrClosed
+	}
+	e.shards[idx].enqueue(item{pkt: pkt, at: at, fpFlow: f, fpEpoch: epoch, fpSnap: snap, fpHasSnap: hasSnap}, e.cfg.Policy)
+	return nil
+}
+
+// NoteFastpathHit accounts one packet the cache absorbed on shard
+// idx's behalf. Only the dedicated hit counter is written here; the
+// shard's Processed and the pipeline's Ingested fold the hit count in
+// at Stats read time, so the absorb path pays one atomic add instead
+// of three while the aggregates still see every absorbed packet.
+//
+//vids:noalloc one atomic add per absorbed packet
+func (e *Engine) NoteFastpathHit(idx int) {
+	e.shards[idx].fpHits.Add(1)
 }
 
 // RecordAlert merges an alert raised outside the engine — an ingress
@@ -811,7 +919,10 @@ type ShardStats struct {
 	// ShedSignaling counts Shed evictions that had to hit signaling
 	// because the whole ring was SIP — the tier the policy defends.
 	ShedSignaling uint64
-	Alerts        uint64 // alerts this shard raised
+	// FastpathHits counts packets the validation cache absorbed on this
+	// shard's behalf (included in Processed).
+	FastpathHits uint64
+	Alerts       uint64 // alerts this shard raised
 }
 
 // Stats is a point-in-time snapshot of the pipeline.
@@ -828,6 +939,17 @@ type Stats struct {
 	ParseErrors      uint64 // SIP payloads that failed to parse (router, lane, or shard)
 	Absorbed         uint64 // stray responses consumed by the router or an ingress lane
 	Ignored          uint64 // non-VoIP packets
+
+	// Fast-path cache outcomes (all zero when the cache is disabled).
+	// Hits are in-profile packets absorbed before shard enqueue (also
+	// counted in Processed); Misses took the slow path with no armed
+	// entry; Escalations are armed-entry predicate failures; and
+	// Invalidations count armed entries flipped by signaling, RTCP, or
+	// monitor eviction.
+	FastpathHits          uint64
+	FastpathMisses        uint64
+	FastpathEscalations   uint64
+	FastpathInvalidations uint64
 
 	Elapsed       time.Duration // wall time since New
 	PacketsPerSec float64       // Processed / Elapsed
@@ -846,16 +968,29 @@ func (e *Engine) Stats() Stats {
 		Ignored:     e.ignored.Load(),
 		Elapsed:     time.Since(e.start),
 	}
+	if e.fp != nil {
+		fs := e.fp.Counters()
+		st.FastpathHits = fs.Hits
+		st.FastpathMisses = fs.Misses
+		st.FastpathEscalations = fs.Escalations
+		st.FastpathInvalidations = fs.Invalidations
+	}
 	for i, sh := range e.shards {
+		// Absorbed packets are accounted once, in fpHits; the shard's
+		// Processed and the pipeline's Ingested include them by
+		// derivation here, not by per-hit atomics on the absorb path.
+		hits := sh.fpHits.Load()
 		s := ShardStats{
 			Depth:         int(sh.queued.Load()),
-			Processed:     sh.processed.Load(),
+			Processed:     sh.processed.Load() + hits,
 			Dropped:       sh.dropped.Load(),
 			ShedMedia:     sh.shedMedia.Load(),
 			ShedSignaling: sh.shedSignal.Load(),
+			FastpathHits:  hits,
 			Alerts:        sh.alerts.Load(),
 		}
 		st.Shards[i] = s
+		st.Ingested += hits
 		st.Processed += s.Processed
 		st.Dropped += s.Dropped
 		st.DroppedMedia += s.ShedMedia

@@ -1,0 +1,294 @@
+package fastpath
+
+import (
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		Stripes:     4,
+		SeqGap:      50,
+		TSGap:       8000,
+		RateWindow:  time.Second,
+		RatePackets: 100,
+	}
+}
+
+func arm(t *testing.T, c *Cache, key []byte, callID string) {
+	t.Helper()
+	c.Install(key, callID, 0)
+	// First packet escalates (never armed) ...
+	v, f, epoch, _, _ := c.Lookup(key, 0, 1, 100, 1600, 0)
+	if v != Miss || f == nil {
+		t.Fatalf("first lookup = %v, want Miss with flow", v)
+	}
+	// ... and the worker arms from machine state.
+	if !c.Update(key, epoch, 0, Snapshot{Gen: 1, SSRC: 1, Seq: 100, TS: 1600, WinStart: 0, WinCount: 1}) {
+		t.Fatal("arm refused")
+	}
+	f.Release()
+}
+
+func TestLookupHitAbsorbsInProfile(t *testing.T) {
+	c := New(testConfig())
+	key := []byte("m|10.0.0.2|20000")
+	arm(t, c, key, "call-1")
+
+	for i := 1; i <= 10; i++ {
+		v, _, _, _, _ := c.Lookup(key, 0, 1, uint16(100+i), uint32(1600+160*i), time.Duration(i)*20*time.Millisecond)
+		if v != Hit {
+			t.Fatalf("packet %d: verdict %v, want Hit", i, v)
+		}
+	}
+	st := c.Counters()
+	if st.Hits != 10 || st.Escalations != 0 {
+		t.Fatalf("counters = %+v, want 10 hits", st)
+	}
+	if seen, ok := c.LastSeen(string(key)); !ok || seen != 200*time.Millisecond {
+		t.Fatalf("LastSeen = %v, %v", seen, ok)
+	}
+}
+
+func TestLookupEscalatesAnomalies(t *testing.T) {
+	cases := []struct {
+		name string
+		pt   uint8
+		ssrc uint32
+		seq  uint16
+		ts   uint32
+	}{
+		{"payload", 9, 1, 101, 1760},
+		{"ssrc", 0, 2, 101, 1760},
+		{"seq jump", 0, 1, 151, 1760},
+		{"ts jump", 0, 1, 101, 99999},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(testConfig())
+			key := []byte("m|10.0.0.2|20000")
+			arm(t, c, key, "call-1")
+			v, f, _, snap, hasSnap := c.Lookup(key, tc.pt, tc.ssrc, tc.seq, tc.ts, 20*time.Millisecond)
+			if v != Escalate || !hasSnap {
+				t.Fatalf("verdict = %v hasSnap=%v, want Escalate with snapshot", v, hasSnap)
+			}
+			if snap.Seq != 100 || snap.WinCount != 1 || snap.Gen != 1 {
+				t.Fatalf("snapshot = %+v, want pre-escalation window", snap)
+			}
+			f.Release()
+			// Disarmed now: the next packet misses without a snapshot
+			// (the escalated packet carried it).
+			v, f2, _, _, hasSnap := c.Lookup(key, 0, 1, 102, 1920, 40*time.Millisecond)
+			if v != Miss || hasSnap {
+				t.Fatalf("post-escalation lookup = %v hasSnap=%v, want plain Miss", v, hasSnap)
+			}
+			f2.Release()
+		})
+	}
+}
+
+func TestLookupEscalatesRateFlood(t *testing.T) {
+	cfg := testConfig()
+	cfg.RatePackets = 5
+	c := New(cfg)
+	key := []byte("m|10.0.0.2|20000")
+	arm(t, c, key, "call-1") // winCount = 1
+	for i := 1; i <= 4; i++ {
+		v, _, _, _, _ := c.Lookup(key, 0, 1, uint16(100+i), uint32(1600+160*i), time.Millisecond*time.Duration(i))
+		if v != Hit {
+			t.Fatalf("packet %d: verdict %v, want Hit", i, v)
+		}
+	}
+	v, f, _, snap, hasSnap := c.Lookup(key, 0, 1, 105, 2400, 5*time.Millisecond)
+	if v != Escalate || !hasSnap || snap.WinCount != 5 {
+		t.Fatalf("flood lookup = %v hasSnap=%v snap=%+v, want Escalate at winCount 5", v, hasSnap, snap)
+	}
+	f.Release()
+}
+
+func TestRateWindowRollsOver(t *testing.T) {
+	cfg := testConfig()
+	cfg.RatePackets = 5
+	c := New(cfg)
+	key := []byte("m|10.0.0.2|20000")
+	arm(t, c, key, "call-1")
+	for i := 1; i <= 40; i++ {
+		// 4 packets per window: always under budget as windows roll.
+		at := time.Duration(i) * 300 * time.Millisecond
+		v, _, _, _, _ := c.Lookup(key, 0, 1, uint16(100+i), uint32(1600+160*i), at)
+		if v != Hit {
+			t.Fatalf("packet %d: verdict %v, want Hit", i, v)
+		}
+	}
+}
+
+func TestDisarmCallStopsAbsorption(t *testing.T) {
+	c := New(testConfig())
+	key := []byte("m|10.0.0.2|20000")
+	arm(t, c, key, "call-1")
+
+	c.DisarmCall([]byte("call-1"))
+
+	v, f, _, snap, hasSnap := c.Lookup(key, 0, 1, 101, 1760, 20*time.Millisecond)
+	if v != Miss || !hasSnap {
+		t.Fatalf("post-BYE lookup = %v hasSnap=%v, want Miss carrying resync snapshot", v, hasSnap)
+	}
+	if snap.Seq != 100 {
+		t.Fatalf("snapshot seq = %d, want 100", snap.Seq)
+	}
+	f.Release()
+	if st := c.Counters(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestStaleArmRejectedAfterInvalidation(t *testing.T) {
+	c := New(testConfig())
+	key := []byte("m|10.0.0.2|20000")
+	c.Install(key, "call-1", 0)
+	v, f, epoch, _, _ := c.Lookup(key, 0, 1, 100, 1600, 0)
+	if v != Miss {
+		t.Fatal("expected Miss")
+	}
+	// A BYE lands at ingress before the worker processes the packet.
+	c.DisarmCall([]byte("call-1"))
+	if c.Update(key, epoch, 0, Snapshot{Gen: 1, SSRC: 1, Seq: 100, TS: 1600}) {
+		t.Fatal("stale arm accepted after invalidation")
+	}
+	f.Release()
+}
+
+func TestArmRefusedWithQueuedPackets(t *testing.T) {
+	c := New(testConfig())
+	key := []byte("m|10.0.0.2|20000")
+	c.Install(key, "call-1", 0)
+	_, f1, epoch, _, _ := c.Lookup(key, 0, 1, 100, 1600, 0)
+	_, f2, _, _, _ := c.Lookup(key, 0, 1, 101, 1760, time.Millisecond)
+	if f1 != f2 {
+		t.Fatal("expected one flow entry")
+	}
+	// Worker processes the first packet while the second still queues:
+	// arming now would let the mirror miss the queued packet.
+	if c.Update(key, epoch, 0, Snapshot{Gen: 1, SSRC: 1, Seq: 100, TS: 1600}) {
+		t.Fatal("arm accepted with a queued slow-path packet in flight")
+	}
+	f1.Release()
+	if !c.Update(key, epoch, 0, Snapshot{Gen: 1, SSRC: 1, Seq: 101, TS: 1760}) {
+		t.Fatal("arm refused for the last in-flight packet")
+	}
+	f2.Release()
+}
+
+func TestInstallRenegotiationInvalidates(t *testing.T) {
+	c := New(testConfig())
+	key := []byte("m|10.0.0.2|20000")
+	arm(t, c, key, "call-1")
+	// Re-advertised destination (SDP renegotiation): must invalidate.
+	c.Install(key, "call-1", 0)
+	v, f, _, _, hasSnap := c.Lookup(key, 0, 1, 101, 1760, 20*time.Millisecond)
+	if v != Miss || !hasSnap {
+		t.Fatalf("post-renegotiation lookup = %v, want Miss with snapshot", v)
+	}
+	f.Release()
+}
+
+func TestInstallReassignsCallOwnership(t *testing.T) {
+	c := New(testConfig())
+	key := []byte("m|10.0.0.2|20000")
+	arm(t, c, key, "call-1")
+	c.Install(key, "call-2", 0)
+	// The old call no longer owns the flow ...
+	c.DisarmCall([]byte("call-1"))
+	// ... the new one does: re-arm under the new epoch and check that
+	// call-2's signaling disarms it.
+	v, f, epoch, _, _ := c.Lookup(key, 0, 1, 101, 1760, 20*time.Millisecond)
+	if v != Miss {
+		t.Fatal("expected Miss")
+	}
+	if !c.Update(key, epoch, 0, Snapshot{Gen: 2, SSRC: 1, Seq: 101, TS: 1760, WinCount: 1}) {
+		t.Fatal("re-arm refused")
+	}
+	f.Release()
+	c.DisarmCall([]byte("call-2"))
+	if v, f, _, _, _ := c.Lookup(key, 0, 1, 102, 1920, 40*time.Millisecond); v != Miss {
+		t.Fatalf("lookup after new-owner disarm = %v, want Miss", v)
+	} else {
+		f.Release()
+	}
+}
+
+func TestRemoveDeletesFlow(t *testing.T) {
+	c := New(testConfig())
+	key := []byte("m|10.0.0.2|20000")
+	arm(t, c, key, "call-1")
+	c.Remove(string(key))
+	if _, ok := c.LastSeen(string(key)); ok {
+		t.Fatal("flow survived Remove")
+	}
+	if v, f, _, _, _ := c.Lookup(key, 0, 1, 101, 1760, 0); v != Miss || f != nil {
+		t.Fatalf("lookup after Remove = %v flow=%v, want entry-less Miss", v, f)
+	}
+	// The call index is cleaned too: DisarmCall finds nothing to count.
+	before := c.Counters().Invalidations
+	c.DisarmCall([]byte("call-1"))
+	if got := c.Counters().Invalidations; got != before {
+		t.Fatalf("DisarmCall after Remove bumped invalidations %d -> %d", before, got)
+	}
+}
+
+func TestReorderedPacketDoesNotRewindWindow(t *testing.T) {
+	c := New(testConfig())
+	key := []byte("m|10.0.0.2|20000")
+	c.Install(key, "call-1", 0)
+	_, f, epoch, _, _ := c.Lookup(key, 0, 1, 65533, 1600, 0)
+	if !c.Update(key, epoch, 0, Snapshot{Gen: 1, SSRC: 1, Seq: 65533, TS: 1600, WinCount: 1}) {
+		t.Fatal("arm refused")
+	}
+	f.Release()
+	// In-order across the wrap with one late straggler.
+	seqs := []uint16{65534, 0, 65535, 1, 2}
+	for i, s := range seqs {
+		v, _, _, _, _ := c.Lookup(key, 0, 1, s, uint32(1600+160*(i+1)), time.Duration(i+1)*20*time.Millisecond)
+		if v != Hit {
+			t.Fatalf("seq %d: verdict %v, want Hit", s, v)
+		}
+	}
+}
+
+// TestLookupHitAllocsZero pins the tentpole's 0 allocs/op contract:
+// the absorb path — predicate check, window advance, rate accounting,
+// counter bump — must not allocate. The benchmark reports the same
+// number; this test makes it a hard gate wherever `go test` runs.
+func TestLookupHitAllocsZero(t *testing.T) {
+	c := New(testConfig())
+	key := []byte("m|10.0.0.2|20000")
+	arm(t, c, key, "call-1")
+
+	seq, ts, at := uint16(100), uint32(1600), time.Duration(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		seq++
+		ts += 160
+		at += 20 * time.Millisecond
+		if v, _, _, _, _ := c.Lookup(key, 0, 1, seq, ts, at); v != Hit {
+			t.Fatalf("verdict %v, want Hit", v)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("fast-path hit allocated %.1f per op, want 0", allocs)
+	}
+}
+
+// TestDisarmCallAllocsZero: the per-SIP-datagram invalidation sweep
+// runs on the signaling ingestion path and must not allocate either.
+func TestDisarmCallAllocsZero(t *testing.T) {
+	c := New(testConfig())
+	key := []byte("m|10.0.0.2|20000")
+	arm(t, c, key, "call-1")
+	callID := []byte("call-1")
+	allocs := testing.AllocsPerRun(500, func() {
+		c.DisarmCall(callID)
+	})
+	if allocs != 0 {
+		t.Fatalf("DisarmCall allocated %.1f per op, want 0", allocs)
+	}
+}

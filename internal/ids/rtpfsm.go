@@ -100,14 +100,9 @@ func rtpSpec(name string, th RTPThresholds) *core.Spec {
 		prevTS := c.Vars.GetUint32("l.ts")
 		seq := uint16(c.Event.IntArg("seq"))
 		ts := c.Event.Uint32Arg("ts")
-		seqGap := rtp.SeqGap(prevSeq, seq)
-		tsGap := rtp.TimestampGap(prevTS, ts)
 		// Backward packets (reordering) are tolerated; only forward
 		// jumps beyond the thresholds indicate injection.
-		if !rtp.SeqLess(prevSeq, seq) && seq != prevSeq {
-			return true
-		}
-		return seqGap <= th.SeqGap && tsGap <= th.TSGap
+		return rtp.WindowOK(prevSeq, seq, prevTS, ts, th.SeqGap, th.TSGap)
 	}
 	rateOK := func(c *core.Ctx) bool {
 		now := c.Event.DurationArg("now")
@@ -123,8 +118,14 @@ func rtpSpec(name string, th RTPThresholds) *core.Spec {
 	}
 	s.On(RTPRcvd, EvRTP, normal, func(c *core.Ctx) {
 		e := c.Event
-		c.Vars.SetUint32("l.seq", uint32(e.IntArg("seq")))
-		c.Vars.SetUint32("l.ts", e.Uint32Arg("ts"))
+		// Advance-only: a tolerated reordered packet must not rewind
+		// the window high-water mark (rtp.WindowAdvance), or the next
+		// in-order packet reads as a spurious gap across the seq wrap.
+		seq, ts := rtp.WindowAdvance(
+			uint16(c.Vars.GetUint32("l.seq")), uint16(e.IntArg("seq")),
+			c.Vars.GetUint32("l.ts"), e.Uint32Arg("ts"))
+		c.Vars.SetUint32("l.seq", uint32(seq))
+		c.Vars.SetUint32("l.ts", ts)
 		now := e.DurationArg("now")
 		if now-c.Vars.GetDuration("l.winStart") > th.RateWindow {
 			c.Vars.SetDuration("l.winStart", now)
@@ -216,15 +217,18 @@ func spamSpec(th RTPThresholds) *core.Spec {
 		seq := uint16(c.Event.IntArg("seq"))
 		ts := c.Event.Uint32Arg("ts")
 		if !rtp.SeqLess(prevSeq, seq) && seq != prevSeq {
-			return true
+			return true // reordered behind the window: tolerated, SSRC unchecked
 		}
-		return rtp.SeqGap(prevSeq, seq) <= th.SeqGap &&
-			rtp.TimestampGap(prevTS, ts) <= th.TSGap &&
+		return rtp.WindowOK(prevSeq, seq, prevTS, ts, th.SeqGap, th.TSGap) &&
 			c.Event.Uint32Arg("ssrc") == c.Vars.GetUint32("l.ssrc")
 	}
 	s.On(RTPRcvd, EvRTP, gapOK, func(c *core.Ctx) {
-		c.Vars.SetUint32("l.seq", uint32(c.Event.IntArg("seq")))
-		c.Vars.SetUint32("l.ts", c.Event.Uint32Arg("ts"))
+		// Advance-only, mirroring the negotiated-stream machine.
+		seq, ts := rtp.WindowAdvance(
+			uint16(c.Vars.GetUint32("l.seq")), uint16(c.Event.IntArg("seq")),
+			c.Vars.GetUint32("l.ts"), c.Event.Uint32Arg("ts"))
+		c.Vars.SetUint32("l.seq", uint32(seq))
+		c.Vars.SetUint32("l.ts", ts)
 	}, RTPRcvd)
 	s.OnLabeled(labelMediaSpam, RTPRcvd, EvRTP, func(c *core.Ctx) bool {
 		return !gapOK(c)

@@ -1,0 +1,22 @@
+package idsgen
+
+import "time"
+
+// MediaWindow reports the compiled machine's negotiated payload type
+// and window variables — the state mirrored into the ingress fast-path
+// cache at arm time.
+func (m *RTPMachine) MediaWindow() (payload int, ssrc uint32, seq uint16, ts uint32, winStart time.Duration, winCount int) {
+	return m.payload, m.ssrc, uint16(m.seq), m.ts, m.winStart, m.winCount
+}
+
+// SetMediaWindow applies an absorbed-window resync snapshot from the
+// fast-path cache: the variable evolution the RTP_RCVD self-loop would
+// have computed had the machine processed every absorbed packet.
+func (m *RTPMachine) SetMediaWindow(ssrc uint32, seq uint16, ts uint32, winStart time.Duration, winCount int) {
+	m.ssrc = ssrc
+	m.seq = uint32(seq)
+	m.ts = ts
+	m.winStart = winStart
+	m.winCount = winCount
+	m.set |= rSetSSRC | rSetSeq | rSetTS | rSetWinStart | rSetWinCount
+}

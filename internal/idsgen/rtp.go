@@ -256,15 +256,10 @@ func rtpSameSSRC(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
 }
 
 func rtpGapOK(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
-	prevSeq := uint16(m.seq)
-	seq := uint16(rtpSeq(e, a))
 	// Backward packets (reordering) are tolerated; only forward jumps
 	// beyond the thresholds indicate injection.
-	if !rtp.SeqLess(prevSeq, seq) && seq != prevSeq {
-		return true
-	}
-	return rtp.SeqGap(prevSeq, seq) <= m.p.SeqGap &&
-		rtp.TimestampGap(m.ts, rtpTS(e, a)) <= m.p.TSGap
+	return rtp.WindowOK(uint16(m.seq), uint16(rtpSeq(e, a)),
+		m.ts, rtpTS(e, a), m.p.SeqGap, m.p.TSGap)
 }
 
 func rtpRateOK(m *RTPMachine, e *core.Event, a *RTPArgs) bool {
@@ -344,8 +339,11 @@ func rtpAction_RTP_OPEN_rtp_packet_0(m *RTPMachine, e *core.Event, a *RTPArgs) {
 }
 
 func rtpAction_RTP_RCVD_rtp_packet_0(m *RTPMachine, e *core.Event, a *RTPArgs) {
-	m.seq = uint32(rtpSeq(e, a))
-	m.ts = rtpTS(e, a)
+	// Advance-only window bookkeeping, mirroring the interpreted spec:
+	// tolerated reordered packets must not rewind the high-water mark.
+	seq, ts := rtp.WindowAdvance(uint16(m.seq), uint16(rtpSeq(e, a)), m.ts, rtpTS(e, a))
+	m.seq = uint32(seq)
+	m.ts = ts
 	now := rtpNow(e, a)
 	if now-m.winStart > m.p.RateWindow {
 		m.winStart = now

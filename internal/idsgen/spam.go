@@ -136,10 +136,9 @@ func spamGapOK(m *SpamMachine, e *core.Event, a *RTPArgs) bool {
 	prevSeq := uint16(m.seq)
 	seq := uint16(rtpSeq(e, a))
 	if !rtp.SeqLess(prevSeq, seq) && seq != prevSeq {
-		return true
+		return true // reordered behind the window: tolerated, SSRC unchecked
 	}
-	return rtp.SeqGap(prevSeq, seq) <= m.p.SeqGap &&
-		rtp.TimestampGap(m.ts, rtpTS(e, a)) <= m.p.TSGap &&
+	return rtp.WindowOK(prevSeq, seq, m.ts, rtpTS(e, a), m.p.SeqGap, m.p.TSGap) &&
 		rtpSSRC(e, a) == m.ssrc
 }
 
@@ -161,7 +160,9 @@ func spamAction_INIT_rtp_packet_0(m *SpamMachine, e *core.Event, a *RTPArgs) {
 }
 
 func spamAction_RTP_RCVD_rtp_packet_0(m *SpamMachine, e *core.Event, a *RTPArgs) {
-	m.seq = uint32(rtpSeq(e, a))
-	m.ts = rtpTS(e, a)
+	// Advance-only window bookkeeping, mirroring the interpreted spec.
+	seq, ts := rtp.WindowAdvance(uint16(m.seq), uint16(rtpSeq(e, a)), m.ts, rtpTS(e, a))
+	m.seq = uint32(seq)
+	m.ts = ts
 	m.set |= spSetSeq | spSetTS
 }

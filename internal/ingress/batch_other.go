@@ -1,0 +1,25 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package ingress
+
+import (
+	"net"
+
+	"vids/internal/sim"
+)
+
+// batchSize on platforms without recvmmsg: the pump's portable
+// one-datagram loop is used instead, so the vector width is nominal.
+const batchSize = 1
+
+// batchReader is the no-batching stub: newBatchReader always returns
+// nil and the pump falls back to the ReadFrom loop. The type exists so
+// the batch pump compiles everywhere.
+type batchReader struct {
+	sizes [batchSize]int
+	addrs [batchSize]sim.Addr
+}
+
+func newBatchReader(net.PacketConn) *batchReader { return nil }
+
+func (br *batchReader) read([][]byte) (int, error) { return 0, nil }

@@ -32,8 +32,10 @@ import (
 
 	"vids/internal/bufpool"
 	"vids/internal/engine"
+	"vids/internal/fastpath"
 	"vids/internal/ids"
 	"vids/internal/intern"
+	"vids/internal/rtp"
 	"vids/internal/sdp"
 	"vids/internal/sim"
 	"vids/internal/sipmsg"
@@ -63,6 +65,7 @@ type Config struct {
 // destination.
 type mediaEntry struct {
 	callID      string        // interned owning Call-ID
+	shardIdx    int           // the owning call's shard, resolved at install time
 	lastSeen    time.Duration // last packet toward this destination
 	lastRefresh time.Duration // last cross-lane refresh of the owning call
 }
@@ -90,6 +93,7 @@ type lane struct {
 // engine.
 type Ingress struct {
 	e      *engine.Engine
+	fp     *fastpath.Cache // the engine's RTP validation cache; nil when disabled
 	lanes  []*lane
 	pool   *bufpool.Pool
 	retire func(*sim.Packet) // the chained retire hook, for lane-side disposal
@@ -139,6 +143,7 @@ func New(cfg Config) *Ingress {
 		retain:       cfg.Engine.IDS.IdleEviction + cfg.Engine.IDS.CloseLinger,
 		refreshEvery: (cfg.Engine.IDS.IdleEviction + cfg.Engine.IDS.CloseLinger) / 4,
 	}
+	ing.fp = ing.e.Fastpath()
 	idsCfg := cfg.Engine.IDS
 	idsCfg.ExternalFloods = true // mirror the engine: lanes own the windows
 	for i := range ing.lanes {
@@ -331,6 +336,13 @@ func (ing *Ingress) ingestSIP(pkt *sim.Packet, at time.Duration) error {
 		}
 	}
 
+	if ing.fp != nil {
+		// Signaling can change what this call's RTP means (BYE, CANCEL,
+		// renegotiation): disarm its flows before the event is enqueued,
+		// so an RTP packet racing this datagram on another lane can no
+		// longer be absorbed against pre-transition state.
+		ing.fp.DisarmCall(sum.callID)
+	}
 	if err := ing.e.EnqueueRaw(shardIdx, pkt, at); err != nil {
 		return err
 	}
@@ -363,14 +375,26 @@ func (ing *Ingress) installMedia(addr []byte, port int, callID []byte, at time.D
 	host := l.strings.Bytes(addr)
 	l.keyBuf = ids.AppendMediaKey(l.keyBuf[:0], host, port)
 	key := l.strings.Bytes(l.keyBuf)
-	if ent, ok := l.media[key]; ok {
-		ent.callID = l.strings.Bytes(callID)
+	cid := l.strings.Bytes(callID)
+	ent, ok := l.media[key]
+	if ok {
+		ent.callID = cid
+		ent.shardIdx = ing.e.ShardIndexFor(cid)
 		ent.lastSeen = at
 		ent.lastRefresh = at
 	} else {
-		l.media[key] = &mediaEntry{ //vids:alloc-ok one routing record per advertised destination
-			callID: l.strings.Bytes(callID), lastSeen: at, lastRefresh: at,
+		ent = &mediaEntry{ //vids:alloc-ok one routing record per advertised destination
+			callID: cid, shardIdx: ing.e.ShardIndexFor(cid),
+			lastSeen: at, lastRefresh: at,
 		}
+		l.media[key] = ent //vids:alloc-ok per-SDP-observation insert, cold next to the stream it routes
+	}
+	if ing.fp != nil {
+		// Register (or, on SDP renegotiation, invalidate) the flow in
+		// the validation cache under the interned owner. The cache
+		// mirrors the shard index so its consult can route absorbed
+		// packets without touching this lane again.
+		ing.fp.Install(l.keyBuf, cid, ent.shardIdx)
 	}
 	ing.armSweep(l)
 	alerts := l.takePending()
@@ -466,6 +490,9 @@ func (ing *Ingress) ingestSIPSlow(pkt *sim.Packet, raw []byte, at time.Duration)
 			ing.installMedia(addr, port, sum.callID, at)
 		}
 	}
+	if ing.fp != nil {
+		ing.fp.DisarmCall(sum.callID)
+	}
 	if err := ing.e.EnqueueRaw(shardIdx, pkt, at); err != nil {
 		return err
 	}
@@ -473,52 +500,135 @@ func (ing *Ingress) ingestSIPSlow(pkt *sim.Packet, raw []byte, at time.Duration)
 	return nil
 }
 
-// ingestMedia is the media hot path: one lane lock, one key render,
-// one map probe, one shard enqueue. A known destination routes to its
+// ingestMedia is the media hot path. An RTP packet consults the
+// validation cache first — key rendered into a stack buffer, one
+// stripe lock, no lane lock — and an in-profile packet is absorbed
+// right there: one hit-counter add, buffer back to the pool, done.
+// Everything else (predicate miss, unknown flow, RTCP, cache
+// disabled) takes the lane path: clock advance, routing-map
+// bookkeeping, shard enqueue. A known destination routes to its
 // call's shard; a destination no SDP advertised hashes by its key, so
 // an unsolicited stream still lands all its packets on one shard's
 // spam monitor — exactly the engine router's semantics.
 //
 //vids:noalloc the per-datagram media path
 func (ing *Ingress) ingestMedia(pkt *sim.Packet, host string, port int, at time.Duration) error {
+	var (
+		res       fastpath.Consult
+		consulted bool
+	)
+	if ing.fp != nil && pkt.Proto == sim.ProtoRTP {
+		if raw, isRaw := pkt.Payload.([]byte); isRaw {
+			if ssrc, pt, seq, ts, extracted := rtp.ExtractLite(raw); extracted {
+				var kb [96]byte // media keys are "m|host|port"; hosts are DNS labels, never near 96 bytes
+				ing.fp.ConsultKey(ids.AppendMediaKey(kb[:0], host, port), pt, ssrc, seq, ts, at, &res)
+				consulted = true
+				if res.Verdict == fastpath.Hit {
+					if res.Touch {
+						// Amortized liveness: the absorbed stream no
+						// longer walks the lanes, so once per refresh
+						// interval a hit pays the bookkeeping the slow
+						// path pays per packet.
+						ing.touchMedia(host, port, at)
+					}
+					ing.e.NoteFastpathHit(res.ShardIdx)
+					ing.retirePkt(pkt)
+					return nil
+				}
+			}
+		}
+	}
+
 	l := ing.laneForMedia(host, port)
 	var (
 		shardIdx int
 		touchCID string
-		alerts   []ids.Alert
 	)
 	l.mu.Lock()
 	_ = l.clock.RunUntil(at)
 	l.keyBuf = ids.AppendMediaKey(l.keyBuf[:0], host, port)
 	if ent, ok := l.media[string(l.keyBuf)]; ok {
 		ent.lastSeen = at
-		shardIdx = ing.e.ShardIndexFor(ent.callID)
+		shardIdx = ent.shardIdx
 		if at-ent.lastRefresh > ing.refreshEvery {
 			// Amortized cross-lane touch: keep the owning call alive on
 			// its signaling lane without paying a second lock per packet.
 			ent.lastRefresh = at
 			touchCID = ent.callID
 		}
+		if ing.fp != nil && pkt.Proto == sim.ProtoRTCP {
+			if raw, isRaw := pkt.Payload.([]byte); isRaw &&
+				len(raw) >= 2 && raw[1] == rtp.RTCPBye {
+				// An RTCP BYE starts the media-plane teardown clock on
+				// the worker: stop absorbing before it gets there.
+				ing.fp.Disarm(l.keyBuf)
+			}
+		}
+	} else if consulted && res.Flow != nil {
+		// The lane's routing entry was swept but the cache still knows
+		// the flow: route by its mirrored shard, keeping the packet on
+		// the owning call's monitor.
+		shardIdx = res.ShardIdx
 	} else {
 		shardIdx = ing.e.ShardIndexForBytes(l.keyBuf)
 	}
-	alerts = l.takePending()
+	alerts := l.takePending()
 	l.mu.Unlock()
 	ing.drain(alerts)
 
-	if touchCID != "" {
-		cl := ing.laneForShard(ing.e.ShardIndexFor(touchCID))
-		cl.mu.Lock()
-		if _, live := cl.calls[touchCID]; live {
-			cl.calls[touchCID] = at //vids:alloc-ok refreshes the slot the guard above found
+	ing.touchCall(touchCID, at)
+	if consulted && res.Flow != nil {
+		if err := ing.e.EnqueueMedia(shardIdx, pkt, at, res.Flow, res.Epoch, res.Snap, res.HasSnap); err != nil {
+			return err
 		}
-		cl.mu.Unlock()
+		ing.e.NoteIngested()
+		return nil
 	}
 	if err := ing.e.EnqueueRaw(shardIdx, pkt, at); err != nil {
 		return err
 	}
 	ing.e.NoteIngested()
 	return nil
+}
+
+// touchMedia refreshes the lane bookkeeping for an absorbed flow: the
+// routing entry's activity stamp (its lane's sweep) and the owning
+// call's slot (the signaling lane's sweep). The cache's Touch signal
+// rates this at once per quarter-retain per flow, so absorption never
+// looks like idleness to either sweep.
+//
+//vids:coldpath one refresh per quarter-retain per absorbed flow, not per packet
+func (ing *Ingress) touchMedia(host string, port int, at time.Duration) {
+	l := ing.laneForMedia(host, port)
+	var touchCID string
+	l.mu.Lock()
+	_ = l.clock.RunUntil(at)
+	l.keyBuf = ids.AppendMediaKey(l.keyBuf[:0], host, port)
+	if ent, ok := l.media[string(l.keyBuf)]; ok {
+		ent.lastSeen = at
+		ent.lastRefresh = at
+		touchCID = ent.callID
+	}
+	alerts := l.takePending()
+	l.mu.Unlock()
+	ing.drain(alerts)
+	ing.touchCall(touchCID, at)
+}
+
+// touchCall refreshes a live call's activity slot on its signaling
+// lane; tombstoned or forgotten calls are left alone.
+//
+//vids:noalloc empty-cid common case returns before any lock
+func (ing *Ingress) touchCall(cid string, at time.Duration) {
+	if cid == "" {
+		return
+	}
+	cl := ing.laneForShard(ing.e.ShardIndexFor(cid))
+	cl.mu.Lock()
+	if _, live := cl.calls[cid]; live {
+		cl.calls[cid] = at //vids:alloc-ok refreshes the slot the guard above found
+	}
+	cl.mu.Unlock()
 }
 
 // takePending detaches the lane's raised-alert backlog. Caller holds

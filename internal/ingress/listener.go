@@ -106,6 +106,9 @@ func (ul *UDPListeners) pump(ctx context.Context, ing *Ingress, conn net.PacketC
 		toPort = local.Port
 	}
 	pool := ing.Buffers()
+	if br := newBatchReader(conn); br != nil {
+		return ul.pumpBatch(ctx, ing, conn, br, start, toHost, toPort, media)
+	}
 	for {
 		buf := pool.Get()
 		//vidslint:allow wallclock — OS socket deadline, not detection time
@@ -150,6 +153,76 @@ func (ul *UDPListeners) pump(ctx context.Context, ing *Ingress, conn net.PacketC
 				return nil
 			}
 			return err
+		}
+	}
+}
+
+// pumpBatch is the Linux fast pump: recvmmsg(2) drains up to
+// batchSize datagrams per syscall into pooled buffers. Consumed
+// buffers travel with their packets (the retire hook recycles them);
+// slots the batch did not fill keep their buffer for the next read, so
+// idle wakeups touch the free list not at all. All datagrams of one
+// batch share a receive timestamp — the kernel delivered them
+// together, and a finer stamp than the wakeup that surfaced them does
+// not exist.
+func (ul *UDPListeners) pumpBatch(ctx context.Context, ing *Ingress, conn net.PacketConn, br *batchReader, start time.Time, toHost string, toPort int, media bool) error {
+	pool := ing.Buffers()
+	var bufs [batchSize][]byte
+	defer func() {
+		for i, b := range bufs {
+			if b != nil {
+				pool.Put(b)
+				bufs[i] = nil
+			}
+		}
+	}()
+	for {
+		for i := range bufs {
+			if bufs[i] == nil {
+				bufs[i] = pool.Get()
+			}
+		}
+		//vidslint:allow wallclock — OS socket deadline, not detection time
+		_ = conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		n, err := br.read(bufs[:])
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				if ctx.Err() != nil {
+					return nil
+				}
+				continue
+			}
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("ingress: read: %w", err)
+		}
+		at := time.Since(start) // receive time for the whole batch
+		for i := 0; i < n; i++ {
+			buf := bufs[i]
+			payload := buf[:br.sizes[i]]
+			proto := sim.ProtoSIP
+			if media {
+				proto = sim.ProtoRTP
+				if isRTCP(payload) {
+					proto = sim.ProtoRTCP
+				}
+			}
+			pkt := &sim.Packet{
+				From:    br.addrs[i],
+				To:      sim.Addr{Host: toHost, Port: toPort},
+				Proto:   proto,
+				Size:    len(payload),
+				Payload: payload,
+			}
+			bufs[i] = nil // handed off with the packet
+			if err := ing.Ingest(pkt, at); err != nil {
+				pool.Put(buf)
+				if err == engine.ErrClosed {
+					return nil
+				}
+				return err
+			}
 		}
 	}
 }

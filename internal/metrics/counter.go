@@ -1,0 +1,24 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a lock-free monotonically increasing event counter for
+// hot-path instrumentation: one cache line of state, incremented with
+// a single atomic add, read without coordination. The fast-path cache
+// uses a Counter per outcome (hit/miss/escalation/invalidation) so the
+// stats plane can observe absorption rates without touching the
+// per-stripe locks.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+//
+//vids:noalloc single atomic add on the packet hot path
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load reads the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }

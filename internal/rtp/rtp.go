@@ -153,3 +153,58 @@ func SeqGap(a, b uint16) uint16 { return b - a }
 // TimestampGap returns the forward distance from a to b in timestamp
 // space, modulo 2^32.
 func TimestampGap(a, b uint32) uint32 { return b - a }
+
+// WindowOK is the media-spam window comparator shared by the EFSM gap
+// guards (both backends, both spam machines) and the fast-path cache:
+// given the stream's high-water pair (prevSeq, prevTS), a packet
+// bearing (seq, ts) is in-profile when it sits at or behind the
+// high-water mark (a duplicate or tolerated reordering — including
+// reordering across the 65535→0 wrap) or advances it by at most
+// maxSeqGap sequence numbers and maxTSGap timestamp units.
+//
+//vids:noalloc per-packet gap guard shared by EFSM guards and fastpath
+func WindowOK(prevSeq, seq uint16, prevTS, ts uint32, maxSeqGap uint16, maxTSGap uint32) bool {
+	if !SeqLess(prevSeq, seq) && seq != prevSeq {
+		// Strictly behind the high-water mark: reordered delivery of a
+		// packet the window already admitted.
+		return true
+	}
+	return SeqGap(prevSeq, seq) <= maxSeqGap && TimestampGap(prevTS, ts) <= maxTSGap
+}
+
+// WindowAdvance returns the high-water pair after accepting (seq, ts):
+// it advances only when seq is ahead of prevSeq in wraparound order.
+// A tolerated reordered packet must not rewind the window — otherwise
+// the next in-order packet is measured against the stale mark and a
+// legitimate stream is flagged as a gap, worst across the 65535→0
+// wrap where the rewound distance looks like a ~64k jump.
+//
+//vids:noalloc per-packet window bookkeeping shared by EFSM actions and fastpath
+func WindowAdvance(prevSeq, seq uint16, prevTS, ts uint32) (uint16, uint32) {
+	if SeqLess(prevSeq, seq) {
+		return seq, ts
+	}
+	return prevSeq, prevTS
+}
+
+// ExtractLite pulls the four fast-path fields out of an RTP datagram
+// without materializing a Packet: the per-flow validation cache needs
+// only SSRC, payload type, sequence and timestamp to decide whether a
+// packet is in-profile. Malformed datagrams (short, wrong version,
+// truncated CSRC list) return ok=false and must take the slow path,
+// which reports the parse error exactly as before.
+//
+//vids:noalloc fast-path field extraction, no header materialization
+func ExtractLite(data []byte) (ssrc uint32, pt uint8, seq uint16, ts uint32, ok bool) {
+	if len(data) < HeaderSize || data[0]>>6 != Version {
+		return 0, 0, 0, 0, false
+	}
+	if len(data) < HeaderSize+4*int(data[0]&0x0F) {
+		return 0, 0, 0, 0, false
+	}
+	return binary.BigEndian.Uint32(data[8:]),
+		data[1] & 0x7F,
+		binary.BigEndian.Uint16(data[2:]),
+		binary.BigEndian.Uint32(data[4:]),
+		true
+}

@@ -1,0 +1,129 @@
+package rtp
+
+import "testing"
+
+// The window comparator is shared by the media-spam gap guards (both
+// EFSM backends, both spam machines) and the fast-path cache, so its
+// wraparound behavior is pinned here once, table-driven, with the
+// 65535→0 wrap and reordering across the wrap called out explicitly.
+func TestWindowOK(t *testing.T) {
+	const maxSeq = 50
+	const maxTS = 8000
+	cases := []struct {
+		name         string
+		prevSeq, seq uint16
+		prevTS, ts   uint32
+		ok           bool
+	}{
+		{"in-order next", 100, 101, 160, 320, true},
+		{"duplicate", 100, 100, 160, 160, true},
+		{"reordered behind", 100, 97, 800, 320, true},
+		{"far behind is reorder not jump", 100, 60, 8000, 1600, true},
+		{"at gap threshold", 100, 150, 0, 8000, true},
+		{"past gap threshold", 100, 151, 0, 8000, false},
+		{"ts jump alone", 100, 101, 0, 8001, false},
+		{"seq jump alone", 100, 151, 0, 160, false},
+
+		// 65535→0 wraparound: the increment crosses zero and must be
+		// measured modulo 2^16, not as a 64k rewind.
+		{"wrap in-order", 65535, 0, 160, 320, true},
+		{"wrap small jump", 65530, 19, 0, 8000, true},
+		{"wrap at threshold", 65535, 49, 0, 8000, true},
+		{"wrap past threshold", 65535, 50, 0, 8000, false},
+
+		// Reordering across the wrap: high-water already wrapped to a
+		// low value, a pre-wrap straggler arrives late. It is behind
+		// the mark in wraparound order and must be tolerated, not read
+		// as a ~64k forward jump.
+		{"straggler across wrap", 2, 65534, 1120, 320, true},
+		{"straggler at wrap edge", 0, 65535, 160, 0, true},
+
+		// Duplicates still honor the timestamp bound (same seq, wild
+		// timestamp — spoofed stream reusing a sequence number).
+		{"duplicate with ts jump", 100, 100, 0, 8001, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := WindowOK(tc.prevSeq, tc.seq, tc.prevTS, tc.ts, maxSeq, maxTS)
+			if got != tc.ok {
+				t.Fatalf("WindowOK(prev=%d, seq=%d, prevTS=%d, ts=%d) = %v, want %v",
+					tc.prevSeq, tc.seq, tc.prevTS, tc.ts, got, tc.ok)
+			}
+		})
+	}
+}
+
+// WindowAdvance must be monotone: tolerated reordered packets leave the
+// high-water mark alone, so the next in-order packet is measured against
+// the true front of the stream.
+func TestWindowAdvance(t *testing.T) {
+	cases := []struct {
+		name         string
+		prevSeq, seq uint16
+		prevTS, ts   uint32
+		wantSeq      uint16
+		wantTS       uint32
+	}{
+		{"advance in order", 100, 101, 160, 320, 101, 320},
+		{"hold on duplicate", 100, 100, 160, 999, 100, 160},
+		{"hold on reorder", 100, 97, 800, 320, 100, 800},
+		{"advance across wrap", 65535, 0, 160, 320, 0, 320},
+		{"hold on straggler across wrap", 2, 65534, 1120, 320, 2, 1120},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gotSeq, gotTS := WindowAdvance(tc.prevSeq, tc.seq, tc.prevTS, tc.ts)
+			if gotSeq != tc.wantSeq || gotTS != tc.wantTS {
+				t.Fatalf("WindowAdvance(prev=%d, seq=%d) = (%d, %d), want (%d, %d)",
+					tc.prevSeq, tc.seq, gotSeq, gotTS, tc.wantSeq, tc.wantTS)
+			}
+		})
+	}
+}
+
+// The regression the advance-only rule fixes: a tolerated reordered
+// packet used to rewind the window, so the following in-order packet
+// was measured against the stale mark. Across the wrap the rewound
+// distance looks like a ~64k jump and a clean stream raised media-spam.
+func TestWindowReorderAcrossWrapSequence(t *testing.T) {
+	const maxSeq = 50
+	const maxTS = 8000
+	// In-order stream ...65534, 65535, 0, 1... with 65535 delivered late.
+	seqs := []uint16{65533, 65534, 0, 65535, 1, 2}
+	hwSeq, hwTS := seqs[0], uint32(0)
+	for i, s := range seqs[1:] {
+		ts := uint32(i+1) * 160
+		if !WindowOK(hwSeq, s, hwTS, ts, maxSeq, maxTS) {
+			t.Fatalf("packet seq=%d flagged as gap (high-water %d)", s, hwSeq)
+		}
+		hwSeq, hwTS = WindowAdvance(hwSeq, s, hwTS, ts)
+	}
+	if hwSeq != 2 {
+		t.Fatalf("high-water = %d, want 2", hwSeq)
+	}
+}
+
+func TestExtractLite(t *testing.T) {
+	p := &Packet{PayloadType: 8, Sequence: 4242, Timestamp: 987654, SSRC: 0xDEADBEEF, Payload: []byte("voice")}
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssrc, pt, seq, ts, ok := ExtractLite(raw)
+	if !ok || ssrc != p.SSRC || pt != p.PayloadType || seq != p.Sequence || ts != p.Timestamp {
+		t.Fatalf("ExtractLite = (%#x, %d, %d, %d, %v), want packet fields", ssrc, pt, seq, ts, ok)
+	}
+	if _, _, _, _, ok := ExtractLite(raw[:HeaderSize-1]); ok {
+		t.Fatal("ExtractLite accepted a short datagram")
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] = 1 << 6 // wrong version
+	if _, _, _, _, ok := ExtractLite(bad); ok {
+		t.Fatal("ExtractLite accepted a wrong-version datagram")
+	}
+	trunc := append([]byte(nil), raw...)
+	trunc[0] = Version<<6 | 0x0F // claims 15 CSRC entries the datagram lacks
+	if _, _, _, _, ok := ExtractLite(trunc[:HeaderSize]); ok {
+		t.Fatal("ExtractLite accepted a truncated CSRC list")
+	}
+}
