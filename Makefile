@@ -19,7 +19,7 @@ HOTPATH_BENCH = BenchmarkSIPParse$$|BenchmarkRTPParse$$|BenchmarkRTCPParse$$|Ben
 # baseline fan-out numbers in BENCH_engine.json.
 THROUGHPUT_BENCH = BenchmarkEngineThroughput$$|BenchmarkEngineThroughputMedia$$
 
-.PHONY: all build test race fmt lint ci golden bench bench-smoke bench-compare speccover speccover-update specgen specgen-check
+.PHONY: all build test race fmt lint ci golden bench bench-smoke bench-compare fuzz-smoke speccover speccover-update specgen specgen-check
 
 all: build
 
@@ -42,7 +42,8 @@ fmt:
 # source analyzer (cmd/vidslint) and the EFSM specification verifier
 # (internal/speclint via cmd/fsmdump). vidslint's whole-module run
 # includes the whole-program passes: the //vids:noalloc escape gate
-# over the hot-path call closure, the lock-discipline gate over
+# over the hot-path call closure, the //vids:nopanic panic-freedom
+# gate over the untrusted-input closure, the lock-discipline gate over
 # internal/engine, internal/timerwheel and internal/ingress, the
 # directive-freshness sweep, and the alloc-ceiling drift check
 # against alloc_test.go.
@@ -104,6 +105,19 @@ bench-compare:
 bench-smoke:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkEngineThroughput' -benchtime=1x .
 
+# fuzz-smoke briefly runs the native fuzz targets that hammer the
+# //vids:nopanic roots with hostile bytes — the dynamic cross-check of
+# the static panic-freedom gate. Each target also replays its
+# committed corpus (testdata/fuzz/) as regression cases under plain
+# `go test`. FUZZTIME paces the smoke; raise it for a deeper local run
+# (e.g. `make fuzz-smoke FUZZTIME=2m`).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/sipmsg -run '^$$' -fuzz 'FuzzSIPParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sipmsg -run '^$$' -fuzz 'FuzzURIParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rtp -run '^$$' -fuzz 'FuzzRTPParseInto$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ingress -run '^$$' -fuzz 'FuzzLiteExtract$$' -fuzztime $(FUZZTIME)
+
 # speccover measures specification transition coverage (scenario
 # suite + synthesized witness traces, merged with static product
 # reachability) and gates on the committed SPEC_COVERAGE.json
@@ -130,7 +144,7 @@ specgen-check:
 	$(GO) run ./cmd/specgen -check
 
 # ci reproduces .github/workflows/ci.yml locally.
-ci: lint specgen-check build race bench-smoke speccover
+ci: lint specgen-check build race bench-smoke fuzz-smoke speccover
 
 # golden regenerates the spec-graph golden files after a reviewed
 # specification change.

@@ -15,10 +15,14 @@ import (
 	"strings"
 )
 
-// finding is one diagnostic anchored to a source position.
+// finding is one diagnostic anchored to a source position. kind
+// classifies it for the machine-readable output ("noalloc",
+// "nopanic", "directive"); the per-package style and concurrency
+// rules leave it empty and render as "lint".
 type finding struct {
-	pos token.Position
-	msg string
+	pos  token.Position
+	msg  string
+	kind string
 }
 
 func (f finding) String() string {
@@ -59,6 +63,10 @@ type analyzer struct {
 	// packages it merely imports.
 	pkgs     map[string]*pkgInfo
 	analyzed map[string]bool
+
+	// prog is the whole-program index of the latest programFindings
+	// run, kept for the -json waiver inventory.
+	prog *program
 }
 
 func newAnalyzer(moduleRoot, modulePath string) *analyzer {

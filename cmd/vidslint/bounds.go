@@ -1,0 +1,1169 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// bounds.go is the nopanic gate's facts engine: a flow-sensitive,
+// intraprocedural dataflow over the statement structure of one
+// function body. It tracks three kinds of facts, keyed by the
+// canonical source text of the expression they describe
+// (types.ExprString, so `m.Other` and `buf` are both valid keys):
+//
+//   - length facts: len(X) >= c for a proven constant minimum c,
+//     established by guards like `if len(b) < 4 { return }` and by
+//     re-slicing (`h := b[2:6]` gives len(h) >= 4 when the bounds
+//     prove it);
+//   - integer facts: a constant interval [lo, hi] plus an optional
+//     symbolic upper bound  i <= len(X)+delta, established by
+//     comparisons, `bytes.IndexByte` results, range loops and the
+//     classic counted-for idiom; `nonzero` feeds the division rule;
+//   - nil facts: expressions proven non-nil (make/literal/&T{}
+//     assignments, `!= nil` guards) or definitely nil (declared
+//     without initialization, assigned a nil literal).
+//
+// The lattice is deliberately small: joins intersect fact maps
+// (keeping the weaker bound), assignments invalidate every fact whose
+// key mentions the assigned name (so guards killed by mutation stop
+// proving anything — soundness over precision), and anything the
+// engine cannot prove is a finding for the human to either guard or
+// waive with a concrete impossibility argument.
+
+// intFact bounds one integer-valued expression.
+type intFact struct {
+	lo, hi       int64
+	hasLo, hasHi bool
+	lenRef       string // value <= len(lenRef)+lenDelta when hasLenRef
+	lenDelta     int64
+	hasLenRef    bool
+	nonzero      bool
+}
+
+// facts is the environment at one program point.
+type facts struct {
+	info   *types.Info
+	lens   map[string]int64 // key -> proven minimum length
+	ints   map[string]intFact
+	nonNil map[string]bool
+	defNil map[string]bool
+
+	// rels holds pairwise orderings "a\x00b" -> d meaning a <= b+d,
+	// from guards comparing two non-constant expressions (`if j <= i
+	// { return }` proves i+1 <= j afterwards).
+	rels map[string]int64
+	// eqLen maps expressions proven to have equal lengths (`if len(b)
+	// != len(s) { return false }`), so a bound proven against one
+	// transfers to the other.
+	eqLen map[string]string
+}
+
+func newFacts(info *types.Info) *facts {
+	return &facts{
+		info:   info,
+		lens:   make(map[string]int64),
+		ints:   make(map[string]intFact),
+		nonNil: make(map[string]bool),
+		defNil: make(map[string]bool),
+		rels:   make(map[string]int64),
+		eqLen:  make(map[string]string),
+	}
+}
+
+func relKey(a, b string) string { return a + "\x00" + b }
+
+// setRel records a <= b+d, keeping the stronger (smaller) d.
+func (e *facts) setRel(a, b string, d int64) {
+	k := relKey(a, b)
+	if cur, ok := e.rels[k]; !ok || d < cur {
+		e.rels[k] = d
+	}
+}
+
+// relLEQ reports whether a <= b+d is recorded at least that strongly.
+func (e *facts) relLEQ(a, b string, d int64) bool {
+	cur, ok := e.rels[relKey(a, b)]
+	return ok && cur <= d
+}
+
+// lenEquiv reports whether a and b are the same expression or proven
+// equal-length.
+func (e *facts) lenEquiv(a, b string) bool {
+	return a == b || e.eqLen[a] == b || e.eqLen[b] == a
+}
+
+func (e *facts) clone() *facts {
+	c := newFacts(e.info)
+	for k, v := range e.lens {
+		c.lens[k] = v
+	}
+	for k, v := range e.ints {
+		c.ints[k] = v
+	}
+	for k := range e.nonNil {
+		c.nonNil[k] = true
+	}
+	for k := range e.defNil {
+		c.defNil[k] = true
+	}
+	for k, v := range e.rels {
+		c.rels[k] = v
+	}
+	for k, v := range e.eqLen {
+		c.eqLen[k] = v
+	}
+	return c
+}
+
+// join intersects two environments: only facts that hold on both
+// paths survive, at their weaker bound.
+func (e *facts) join(o *facts) *facts {
+	j := newFacts(e.info)
+	for k, v := range e.lens {
+		if ov, ok := o.lens[k]; ok {
+			j.lens[k] = min64(v, ov)
+		}
+	}
+	for k, v := range e.ints {
+		ov, ok := o.ints[k]
+		if !ok {
+			continue
+		}
+		var m intFact
+		if v.hasLo && ov.hasLo {
+			m.hasLo, m.lo = true, min64(v.lo, ov.lo)
+		}
+		if v.hasHi && ov.hasHi {
+			m.hasHi, m.hi = true, max64(v.hi, ov.hi)
+		}
+		if v.hasLenRef && ov.hasLenRef && v.lenRef == ov.lenRef {
+			m.hasLenRef, m.lenRef, m.lenDelta = true, v.lenRef, max64(v.lenDelta, ov.lenDelta)
+		}
+		m.nonzero = v.nonzero && ov.nonzero
+		if m.hasLo || m.hasHi || m.hasLenRef || m.nonzero {
+			j.ints[k] = m
+		}
+	}
+	for k := range e.nonNil {
+		if o.nonNil[k] {
+			j.nonNil[k] = true
+		}
+	}
+	for k := range e.defNil {
+		if o.defNil[k] {
+			j.defNil[k] = true
+		}
+	}
+	for k, v := range e.rels {
+		if ov, ok := o.rels[k]; ok {
+			j.rels[k] = max64(v, ov)
+		}
+	}
+	for k, v := range e.eqLen {
+		if o.eqLen[k] == v {
+			j.eqLen[k] = v
+		}
+	}
+	return j
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// exprKey canonicalizes an expression into its fact-map key.
+func exprKey(e ast.Expr) string {
+	return types.ExprString(ast.Unparen(e))
+}
+
+// mentions reports whether the fact key refers to identifier name
+// (whole-word match, so invalidating `i` leaves `size` alone).
+func mentions(key, name string) bool {
+	for i := 0; i+len(name) <= len(key); i++ {
+		j := strings.Index(key[i:], name)
+		if j < 0 {
+			return false
+		}
+		j += i
+		before := j == 0 || !isIdentChar(key[j-1])
+		afterIdx := j + len(name)
+		after := afterIdx == len(key) || !isIdentChar(key[afterIdx])
+		if before && after {
+			return true
+		}
+		i = j
+	}
+	return false
+}
+
+func isIdentChar(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// invalidate drops every fact whose key mentions name — a mutated
+// variable takes all guards that referenced it down with it.
+func (e *facts) invalidate(name string) {
+	if name == "" || name == "_" {
+		return
+	}
+	for k := range e.lens {
+		if mentions(k, name) {
+			delete(e.lens, k)
+		}
+	}
+	for k := range e.ints {
+		if mentions(k, name) {
+			delete(e.ints, k)
+		}
+	}
+	for k := range e.nonNil {
+		if mentions(k, name) {
+			delete(e.nonNil, k)
+		}
+	}
+	for k := range e.defNil {
+		if mentions(k, name) {
+			delete(e.defNil, k)
+		}
+	}
+	for k := range e.rels {
+		if mentions(k, name) {
+			delete(e.rels, k)
+		}
+	}
+	for k, v := range e.eqLen {
+		if mentions(k, name) || mentions(v, name) {
+			delete(e.eqLen, k)
+		}
+	}
+}
+
+// invalidateContents handles writes through a variable's contents
+// (m[k] = v, p.f = v, *p = v): every derived fact about expressions
+// involving the base dies, but the base binding itself cannot have
+// been made nil by a content write, so its own nil-ness survives —
+// this is what keeps `params := make(map[...]...)` provably non-nil
+// across the map fills inside a loop.
+func (e *facts) invalidateContents(name string) {
+	if name == "" || name == "_" {
+		return
+	}
+	wasNonNil, wasDefNil := e.nonNil[name], e.defNil[name]
+	e.invalidate(name)
+	if wasNonNil {
+		e.nonNil[name] = true
+	}
+	if wasDefNil {
+		e.defNil[name] = true
+	}
+}
+
+// baseIdent returns the left-most identifier of an lvalue-ish
+// expression (`m.Other[k]` -> "m"), the invalidation granularity.
+func baseIdent(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return baseIdent(x.X)
+	case *ast.IndexExpr:
+		return baseIdent(x.X)
+	case *ast.SliceExpr:
+		return baseIdent(x.X)
+	case *ast.StarExpr:
+		return baseIdent(x.X)
+	}
+	return ""
+}
+
+// setMinLen records len(key) >= n, keeping the stronger bound.
+func (e *facts) setMinLen(key string, n int64) {
+	if n < 0 {
+		n = 0
+	}
+	if cur, ok := e.lens[key]; !ok || n > cur {
+		e.lens[key] = n
+	}
+}
+
+// mergeInt strengthens the recorded fact for key with f.
+func (e *facts) mergeInt(key string, f intFact) {
+	cur := e.ints[key]
+	if f.hasLo && (!cur.hasLo || f.lo > cur.lo) {
+		cur.hasLo, cur.lo = true, f.lo
+	}
+	if f.hasHi && (!cur.hasHi || f.hi < cur.hi) {
+		cur.hasHi, cur.hi = true, f.hi
+	}
+	// A fresh symbolic bound replaces a different-slice bound: the
+	// most recent guard is the one the code below it relies on.
+	if f.hasLenRef && (!cur.hasLenRef || cur.lenRef != f.lenRef || f.lenDelta < cur.lenDelta) {
+		cur.hasLenRef, cur.lenRef, cur.lenDelta = true, f.lenRef, f.lenDelta
+	}
+	if f.nonzero {
+		cur.nonzero = true
+	}
+	e.ints[key] = cur
+}
+
+// constVal extracts a compile-time integer constant, folding
+// len("lit") and named constants through the type checker.
+func (e *facts) constVal(x ast.Expr) (int64, bool) {
+	if tv, ok := e.info.Types[x]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// minLen returns the proven minimum length of a slice/string/array
+// expression: fixed array sizes, constant strings, or a length fact.
+func (e *facts) minLen(x ast.Expr) (int64, bool) {
+	x = ast.Unparen(x)
+	if t := e.info.TypeOf(x); t != nil {
+		if n, ok := arrayLen(t); ok {
+			return n, true
+		}
+	}
+	if tv, ok := e.info.Types[x]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return int64(len(constant.StringVal(tv.Value))), true
+	}
+	key := exprKey(x)
+	if n, ok := e.lens[key]; ok {
+		return n, true
+	}
+	if other, ok := e.eqLen[key]; ok {
+		if n, ok := e.lens[other]; ok {
+			return n, true
+		}
+	}
+	// Lengths are never negative, so zero is always a sound floor —
+	// this is what proves the universally safe x[:0] reset idiom.
+	return 0, true
+}
+
+// arrayLen unwraps [N]T and *[N]T.
+func arrayLen(t types.Type) (int64, bool) {
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	if arr, ok := u.(*types.Array); ok {
+		return arr.Len(), true
+	}
+	return 0, false
+}
+
+// isLenCall matches len(X) / cap(X) and returns X.
+func (e *facts) isLenCall(x ast.Expr) (arg ast.Expr, isCap, ok bool) {
+	call, isCall := ast.Unparen(x).(*ast.CallExpr)
+	if !isCall || len(call.Args) != 1 {
+		return nil, false, false
+	}
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent {
+		return nil, false, false
+	}
+	if _, isBuiltin := e.info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil, false, false
+	}
+	switch id.Name {
+	case "len":
+		return call.Args[0], false, true
+	case "cap":
+		return call.Args[0], true, true
+	}
+	return nil, false, false
+}
+
+// rangeOf evaluates the provable interval of an integer expression:
+// constants, fact lookups, unsigned-type floors, len/cap calls and a
+// structural arithmetic over +, -, *, /, %, &, >> and conversions.
+// The symbolic lenRef component survives ± constant adjustment, so
+// `i+1` inherits `i <= len(b)-1` as `<= len(b)`.
+func (e *facts) rangeOf(x ast.Expr) intFact {
+	x = ast.Unparen(x)
+	if v, ok := e.constVal(x); ok {
+		return intFact{lo: v, hi: v, hasLo: true, hasHi: true, nonzero: v != 0}
+	}
+	var f intFact
+	switch b := x.(type) {
+	case *ast.BinaryExpr:
+		f = e.rangeBinary(b)
+	case *ast.CallExpr:
+		if arg, isCap, ok := e.isLenCall(x); ok {
+			if n, known := e.minLen(arg); known {
+				f.hasLo, f.lo = true, n
+			} else {
+				f.hasLo, f.lo = true, 0
+			}
+			if !isCap {
+				f.hasLenRef, f.lenRef, f.lenDelta = true, exprKey(arg), 0
+			}
+			break
+		}
+		if conv, ok := e.conversionOperand(b); ok {
+			f = e.rangeConv(b, conv)
+		}
+	case *ast.UnaryExpr:
+		if b.Op == token.SUB {
+			r := e.rangeOf(b.X)
+			if r.hasHi {
+				f.hasLo, f.lo = true, -r.hi
+			}
+			if r.hasLo {
+				f.hasHi, f.hi = true, -r.lo
+			}
+			f.nonzero = r.nonzero
+		}
+	default:
+		if fact, ok := e.ints[exprKey(x)]; ok {
+			f = fact
+		}
+	}
+	// Unsigned-typed expressions never go below zero, and the narrow
+	// unsigned kinds carry a width ceiling for free.
+	if t := e.info.TypeOf(x); t != nil {
+		if bt, ok := t.Underlying().(*types.Basic); ok && bt.Info()&types.IsUnsigned != 0 {
+			if !f.hasLo || f.lo < 0 {
+				f.hasLo, f.lo = true, 0
+			}
+			if w, ok := narrowUnsignedMax(bt.Kind()); ok && (!f.hasHi || f.hi > w) {
+				f.hasHi, f.hi = true, w
+			}
+		}
+	}
+	// An ident can carry facts on top of its structural range.
+	if fact, ok := e.ints[exprKey(x)]; ok {
+		if fact.hasLo && (!f.hasLo || fact.lo > f.lo) {
+			f.hasLo, f.lo = true, fact.lo
+		}
+		if fact.hasHi && (!f.hasHi || fact.hi < f.hi) {
+			f.hasHi, f.hi = true, fact.hi
+		}
+		if fact.hasLenRef && !f.hasLenRef {
+			f.hasLenRef, f.lenRef, f.lenDelta = true, fact.lenRef, fact.lenDelta
+		}
+		f.nonzero = f.nonzero || fact.nonzero
+	}
+	return f
+}
+
+func narrowUnsignedMax(k types.BasicKind) (int64, bool) {
+	switch k {
+	case types.Uint8:
+		return 255, true
+	case types.Uint16:
+		return 65535, true
+	}
+	return 0, false
+}
+
+// conversionOperand returns the operand when call is a type
+// conversion to a basic integer type.
+func (e *facts) conversionOperand(call *ast.CallExpr) (ast.Expr, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, ok := e.info.Types[ast.Unparen(call.Fun)]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	if bt, ok := tv.Type.Underlying().(*types.Basic); !ok || bt.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// rangeConv propagates a range through an integer conversion when the
+// operand's interval provably fits the target type, so no wrap or
+// truncation can occur.
+func (e *facts) rangeConv(call *ast.CallExpr, operand ast.Expr) intFact {
+	r := e.rangeOf(operand)
+	tv := e.info.Types[ast.Unparen(call.Fun)]
+	bt, _ := tv.Type.Underlying().(*types.Basic)
+	if bt == nil {
+		return intFact{}
+	}
+	lo, hi, ok := intKindRange(bt.Kind())
+	if !ok {
+		return intFact{}
+	}
+	if r.hasLo && r.lo >= lo && ((r.hasHi && r.hi <= hi) || widerOrEqual(bt.Kind(), e.operandKind(operand))) {
+		return r
+	}
+	// Otherwise only the target type's own unsigned floor is safe,
+	// which the caller's unsigned handling already adds.
+	return intFact{}
+}
+
+func (e *facts) operandKind(x ast.Expr) types.BasicKind {
+	if t := e.info.TypeOf(x); t != nil {
+		if bt, ok := t.Underlying().(*types.Basic); ok {
+			return bt.Kind()
+		}
+	}
+	return types.Invalid
+}
+
+// intKindRange returns the representable range of an integer kind
+// (64-bit platform model, matching the repo's deployment targets).
+func intKindRange(k types.BasicKind) (lo, hi int64, ok bool) {
+	switch k {
+	case types.Int, types.Int64:
+		return -1 << 63, 1<<63 - 1, true
+	case types.Int32:
+		return -1 << 31, 1<<31 - 1, true
+	case types.Int16:
+		return -1 << 15, 1<<15 - 1, true
+	case types.Int8:
+		return -128, 127, true
+	case types.Uint, types.Uint64, types.Uintptr:
+		return 0, 1<<63 - 1, true // hi clamped to int64 range
+	case types.Uint32:
+		return 0, 1<<32 - 1, true
+	case types.Uint16:
+		return 0, 65535, true
+	case types.Uint8:
+		return 0, 255, true
+	}
+	return 0, 0, false
+}
+
+// intKindBits is the storage width used by the truncating-conversion
+// rule.
+func intKindBits(k types.BasicKind) int {
+	switch k {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	case types.Int, types.Uint, types.Int64, types.Uint64, types.Uintptr:
+		return 64
+	}
+	return 0
+}
+
+func widerOrEqual(target, source types.BasicKind) bool {
+	tb, sb := intKindBits(target), intKindBits(source)
+	return tb != 0 && sb != 0 && tb >= sb
+}
+
+func (e *facts) rangeBinary(b *ast.BinaryExpr) intFact {
+	l, r := e.rangeOf(b.X), e.rangeOf(b.Y)
+	var f intFact
+	switch b.Op {
+	case token.ADD:
+		if l.hasLo && r.hasLo {
+			f.hasLo, f.lo = true, l.lo+r.lo
+		}
+		if l.hasHi && r.hasHi {
+			f.hasHi, f.hi = true, l.hi+r.hi
+		}
+		if l.hasLenRef && r.hasLo && r.hasHi && r.lo == r.hi {
+			f.hasLenRef, f.lenRef, f.lenDelta = true, l.lenRef, l.lenDelta+r.lo
+		} else if r.hasLenRef && l.hasLo && l.hasHi && l.lo == l.hi {
+			f.hasLenRef, f.lenRef, f.lenDelta = true, r.lenRef, r.lenDelta+l.lo
+		}
+	case token.SUB:
+		if l.hasLo && r.hasHi {
+			f.hasLo, f.lo = true, l.lo-r.hi
+		}
+		if l.hasHi && r.hasLo {
+			f.hasHi, f.hi = true, l.hi-r.lo
+		}
+		if l.hasLenRef && r.hasLo && r.hasHi && r.lo == r.hi {
+			f.hasLenRef, f.lenRef, f.lenDelta = true, l.lenRef, l.lenDelta-r.lo
+		}
+	case token.MUL:
+		if l.hasLo && r.hasLo && l.lo >= 0 && r.lo >= 0 {
+			f.hasLo, f.lo = true, l.lo*r.lo
+			if l.hasHi && r.hasHi {
+				f.hasHi, f.hi = true, l.hi*r.hi
+			}
+		}
+	case token.QUO:
+		if l.hasLo && l.lo >= 0 && r.hasLo && r.lo >= 1 {
+			f.hasLo, f.lo = true, 0
+			if l.hasHi {
+				f.hasHi, f.hi = true, l.hi
+			}
+		}
+	case token.REM:
+		if l.hasLo && l.lo >= 0 && r.hasLo && r.lo >= 1 {
+			f.hasLo, f.lo = true, 0
+			if r.hasHi {
+				f.hasHi, f.hi = true, r.hi-1
+			}
+		}
+	case token.AND:
+		// x & c with constant c >= 0 lands in [0, c] for any x.
+		if c, ok := e.constVal(b.Y); ok && c >= 0 {
+			f = intFact{lo: 0, hi: c, hasLo: true, hasHi: true}
+		} else if c, ok := e.constVal(b.X); ok && c >= 0 {
+			f = intFact{lo: 0, hi: c, hasLo: true, hasHi: true}
+		}
+	case token.SHR:
+		if l.hasLo && l.lo >= 0 {
+			f.hasLo, f.lo = true, 0
+			if l.hasHi {
+				if c, ok := e.constVal(b.Y); ok && c >= 0 && c < 63 {
+					f.hasHi, f.hi = true, l.hi>>uint(c)
+				} else {
+					f.hasHi, f.hi = true, l.hi
+				}
+			}
+		}
+	}
+	return f
+}
+
+// ---- condition-derived facts ----
+
+// applyCond augments the environment with what holds when cond
+// evaluated to (!negate): comparison guards, nil checks, &&/|| under
+// the usual De Morgan decomposition.
+func (e *facts) applyCond(cond ast.Expr, negate bool) {
+	cond = ast.Unparen(cond)
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			e.applyCond(c.X, !negate)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if !negate { // A && B true: both hold
+				e.applyCond(c.X, false)
+				e.applyCond(c.Y, false)
+			}
+		case token.LOR:
+			if negate { // !(A || B): both negations hold
+				e.applyCond(c.X, true)
+				e.applyCond(c.Y, true)
+			}
+		default:
+			op := c.Op
+			if negate {
+				op = negateCmp(op)
+				if op == token.ILLEGAL {
+					return
+				}
+			}
+			e.applyCompare(c.X, op, c.Y)
+		}
+	}
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	}
+	return token.ILLEGAL
+}
+
+// applyCompare records facts from `lhs op rhs` holding true.
+func (e *facts) applyCompare(lhs ast.Expr, op token.Token, rhs ast.Expr) {
+	// Normalize so the interesting operand sits on the left.
+	if _, lConst := e.constVal(lhs); (lConst || e.isNilExpr(lhs)) && !e.isNilExpr(rhs) {
+		lhs, rhs = rhs, lhs
+		op = flipCmp(op)
+	}
+	switch {
+	case e.isNilExpr(rhs):
+		key := exprKey(lhs)
+		switch op {
+		case token.EQL:
+			e.defNil[key] = true
+			delete(e.nonNil, key)
+		case token.NEQ:
+			e.nonNil[key] = true
+			delete(e.defNil, key)
+		}
+		return
+	}
+	// len(x) guards establish length facts from the other side.
+	lArg, lIsCap, lIsLen := e.isLenCall(lhs)
+	rArg, rIsCap, rIsLen := e.isLenCall(rhs)
+	if lIsLen && !lIsCap {
+		e.applyLenCompare(lArg, op, rhs)
+	}
+	if rIsLen && !rIsCap {
+		e.applyLenCompare(rArg, flipCmp(op), lhs)
+	}
+	// len(a) == len(b) makes the two containers interchangeable for
+	// bounds proofs.
+	if op == token.EQL && lIsLen && rIsLen && !lIsCap && !rIsCap {
+		ka, kb := exprKey(lArg), exprKey(rArg)
+		e.eqLen[ka] = kb
+		e.eqLen[kb] = ka
+	}
+	// Integer facts for the left side from the right side's range.
+	if !isIntExpr(e.info, lhs) {
+		return
+	}
+	// Two non-constant operands yield a pairwise ordering fact.
+	if _, rConst := e.constVal(rhs); !rConst && isIntExpr(e.info, rhs) {
+		lk, rk := exprKey(lhs), exprKey(rhs)
+		switch op {
+		case token.LSS:
+			e.setRel(lk, rk, -1)
+		case token.LEQ:
+			e.setRel(lk, rk, 0)
+		case token.GTR:
+			e.setRel(rk, lk, -1)
+		case token.GEQ:
+			e.setRel(rk, lk, 0)
+		case token.EQL:
+			e.setRel(lk, rk, 0)
+			e.setRel(rk, lk, 0)
+		}
+	}
+	key := exprKey(lhs)
+	r := e.rangeOf(rhs)
+	var f intFact
+	switch op {
+	case token.LSS: // lhs < rhs
+		if r.hasHi {
+			f.hasHi, f.hi = true, r.hi-1
+		}
+		if r.hasLenRef {
+			f.hasLenRef, f.lenRef, f.lenDelta = true, r.lenRef, r.lenDelta-1
+		}
+	case token.LEQ:
+		if r.hasHi {
+			f.hasHi, f.hi = true, r.hi
+		}
+		if r.hasLenRef {
+			f.hasLenRef, f.lenRef, f.lenDelta = true, r.lenRef, r.lenDelta
+		}
+	case token.GTR:
+		if r.hasLo {
+			f.hasLo, f.lo = true, r.lo+1
+		}
+	case token.GEQ:
+		if r.hasLo {
+			f.hasLo, f.lo = true, r.lo
+		}
+	case token.EQL:
+		f = r
+	case token.NEQ:
+		if r.hasLo && r.hasHi && r.lo == 0 && r.hi == 0 {
+			f.nonzero = true
+		}
+	}
+	f.nonzero = f.nonzero || (f.hasLo && f.lo > 0) || (f.hasHi && f.hi < 0)
+	if f.hasLo || f.hasHi || f.hasLenRef || f.nonzero {
+		e.mergeInt(key, f)
+	}
+}
+
+// applyLenCompare records a minimum-length fact for arg from
+// `len(arg) op rhs` and a symbolic upper bound for rhs when the
+// comparison caps it by the length.
+func (e *facts) applyLenCompare(arg ast.Expr, op token.Token, rhs ast.Expr) {
+	key := exprKey(arg)
+	r := e.rangeOf(rhs)
+	switch op {
+	case token.GTR: // len(arg) > rhs
+		if r.hasLo {
+			e.setMinLen(key, r.lo+1)
+		}
+		if isIntExpr(e.info, rhs) {
+			e.mergeInt(exprKey(rhs), intFact{hasLenRef: true, lenRef: key, lenDelta: -1})
+			e.lenRefAddend(rhs, key, -1)
+		}
+	case token.GEQ, token.EQL: // len(arg) >= rhs (== implies >=)
+		if r.hasLo {
+			e.setMinLen(key, r.lo)
+		}
+		if isIntExpr(e.info, rhs) {
+			e.mergeInt(exprKey(rhs), intFact{hasLenRef: true, lenRef: key, lenDelta: 0})
+			e.lenRefAddend(rhs, key, 0)
+		}
+		if op == token.EQL && r.hasLo && r.hasHi && r.lo == r.hi {
+			// Exact length: also cap indices proven < len elsewhere.
+			e.mergeInt("len("+key+")", intFact{hasLo: true, lo: r.lo, hasHi: true, hi: r.hi})
+		}
+	case token.NEQ:
+		// len(arg) != 0 on an unsigned length means >= 1.
+		if r.hasLo && r.hasHi && r.lo == 0 && r.hi == 0 {
+			e.setMinLen(key, 1)
+		}
+	}
+}
+
+// lenRefAddend propagates a symbolic cap from a compound operand to
+// its base: `i+c ≤ len(arg)+delta` implies `i ≤ len(arg)+delta-c`, so
+// a guard like `i+1 < len(b)` also caps the bare i (proving b[i], not
+// just b[i+1]).
+func (e *facts) lenRefAddend(rhs ast.Expr, key string, delta int64) {
+	if base, c := e.splitAddend(rhs); base != "" && c != 0 {
+		e.mergeInt(base, intFact{hasLenRef: true, lenRef: key, lenDelta: delta - c})
+	}
+}
+
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op // ==, != are symmetric
+}
+
+func (e *facts) isNilExpr(x ast.Expr) bool {
+	tv, ok := e.info.Types[ast.Unparen(x)]
+	return ok && tv.IsNil()
+}
+
+func isIntExpr(info *types.Info, x ast.Expr) bool {
+	t := info.TypeOf(ast.Unparen(x))
+	if t == nil {
+		return false
+	}
+	bt, ok := t.Underlying().(*types.Basic)
+	return ok && bt.Info()&types.IsInteger != 0
+}
+
+// ---- assignment-derived facts ----
+
+// learnAssign records facts flowing from `lhs := rhs` / `lhs = rhs`
+// after the caller invalidated lhs's old facts: re-slice lengths,
+// index-search results, copy results, non-nil allocations, nil
+// literals and plain arithmetic ranges.
+func (e *facts) learnAssign(lhs, rhs ast.Expr) {
+	key := exprKey(lhs)
+	if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+		if baseIdent(lhs) == "" {
+			return
+		}
+	}
+	rhs = ast.Unparen(rhs)
+	if e.isNilExpr(rhs) {
+		e.defNil[key] = true
+		return
+	}
+	switch r := rhs.(type) {
+	case *ast.SliceExpr:
+		if n, ok := e.sliceResultMinLen(r); ok {
+			e.setMinLen(key, n)
+		}
+		return
+	case *ast.CompositeLit:
+		e.nonNil[key] = true
+		if t := e.info.TypeOf(r); t != nil {
+			if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+				// Keyed elements only push the length up, so the
+				// element count is a sound minimum.
+				e.setMinLen(key, int64(len(r.Elts)))
+			}
+		}
+		return
+	case *ast.UnaryExpr:
+		if r.Op == token.AND {
+			e.nonNil[key] = true
+			return
+		}
+	case *ast.CallExpr:
+		if f, ok := e.callResultFact(r); ok {
+			e.mergeInt(key, f)
+			return
+		}
+		if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok {
+			if b, isBuiltin := e.info.Uses[id].(*types.Builtin); isBuiltin {
+				switch b.Name() {
+				case "make", "new":
+					e.nonNil[key] = true
+					if b.Name() == "make" && len(r.Args) >= 2 {
+						if n, ok := e.constVal(r.Args[1]); ok {
+							e.setMinLen(key, n)
+						}
+					}
+					return
+				case "append":
+					e.nonNil[key] = true
+					return
+				}
+			}
+		}
+	}
+	if isIntExpr(e.info, lhs) {
+		f := e.rangeOf(rhs)
+		if f.hasLo || f.hasHi || f.hasLenRef || f.nonzero {
+			e.mergeInt(key, f)
+		}
+	}
+}
+
+// sliceResultMinLen computes a guaranteed minimum length for the
+// value of x[a:b]: min(b) - max(a), with missing bounds defaulting to
+// 0 and len(x).
+func (e *facts) sliceResultMinLen(se *ast.SliceExpr) (int64, bool) {
+	var aHi int64
+	if se.Low != nil {
+		ra := e.rangeOf(se.Low)
+		if !ra.hasHi {
+			return 0, false
+		}
+		aHi = ra.hi
+	}
+	var bLo int64
+	if se.High == nil {
+		n, ok := e.minLen(se.X)
+		if !ok {
+			return 0, false
+		}
+		bLo = n
+	} else {
+		rb := e.rangeOf(se.High)
+		if !rb.hasLo {
+			return 0, false
+		}
+		bLo = rb.lo
+	}
+	if bLo-aHi < 0 {
+		return 0, false
+	}
+	return bLo - aHi, true
+}
+
+// callResultFact models the stdlib search/copy results the parsers
+// lean on: bytes/strings Index* return < len(haystack) (and >= -1),
+// copy returns [0, len(dst)].
+func (e *facts) callResultFact(call *ast.CallExpr) (intFact, bool) {
+	// copy builtin.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := e.info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "copy" && len(call.Args) == 2 {
+			return intFact{hasLo: true, lo: 0, hasLenRef: true, lenRef: exprKey(call.Args[0]), lenDelta: 0}, true
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return intFact{}, false
+	}
+	fn, ok := e.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return intFact{}, false
+	}
+	pkg := fn.Pkg().Path()
+	if pkg != "bytes" && pkg != "strings" {
+		return intFact{}, false
+	}
+	if len(call.Args) < 1 {
+		return intFact{}, false
+	}
+	hay := exprKey(call.Args[0])
+	switch fn.Name() {
+	case "IndexByte", "LastIndexByte", "IndexRune":
+		// result in [-1, len(hay)-1]
+		return intFact{hasLo: true, lo: -1, hasLenRef: true, lenRef: hay, lenDelta: -1}, true
+	case "Index", "LastIndex", "IndexAny", "LastIndexAny":
+		if len(call.Args) == 2 {
+			var sepMin int64
+			if n, ok := e.minLen(call.Args[1]); ok {
+				sepMin = n
+			}
+			return intFact{hasLo: true, lo: -1, hasLenRef: true, lenRef: hay, lenDelta: -sepMin}, true
+		}
+	}
+	return intFact{}, false
+}
+
+// ---- proofs consumed by the nopanic pass ----
+
+// indexOK reports whether x[idx] is provably in bounds.
+func (e *facts) indexOK(x, idx ast.Expr) bool {
+	r := e.rangeOf(idx)
+	if !r.hasLo || r.lo < 0 {
+		return false
+	}
+	if r.hasLenRef && e.lenEquiv(r.lenRef, exprKey(x)) && r.lenDelta <= -1 {
+		return true
+	}
+	if r.hasHi {
+		if n, ok := e.minLen(x); ok && r.hi < n {
+			return true
+		}
+	}
+	return false
+}
+
+// boundLEQLen reports whether bound <= len(x) [+slack] provably
+// holds; slack -1 asks for strictly less.
+func (e *facts) boundLEQLen(bound ast.Expr, x ast.Expr, slack int64) bool {
+	r := e.rangeOf(bound)
+	if r.hasLenRef && e.lenEquiv(r.lenRef, exprKey(x)) && r.lenDelta <= slack {
+		return true
+	}
+	if r.hasHi {
+		if n, ok := e.minLen(x); ok && r.hi <= n+slack {
+			return true
+		}
+	}
+	return false
+}
+
+// sliceExprOK proves x[a:b] (and the rarely used x[a:b:c]) in
+// bounds: a >= 0, b <= len(x), a <= b.
+func (e *facts) sliceExprOK(se *ast.SliceExpr) bool {
+	x := se.X
+	// Low bound >= 0.
+	var loRange intFact
+	if se.Low != nil {
+		loRange = e.rangeOf(se.Low)
+		if !loRange.hasLo || loRange.lo < 0 {
+			return false
+		}
+	} else {
+		loRange = intFact{hasLo: true, lo: 0, hasHi: true, hi: 0}
+	}
+	// High bound <= len(x) — for slices (not arrays/strings) the true
+	// limit is cap, and len is a sound lower bound on cap.
+	if se.High != nil {
+		if !e.boundLEQLen(se.High, x, 0) {
+			return false
+		}
+	}
+	// Low <= High.
+	high := se.High
+	if high == nil {
+		// a <= len(x)
+		if !e.boundLEQLen(se.Low, x, 0) {
+			return false
+		}
+	} else {
+		if !e.leq(se.Low, high, loRange) {
+			return false
+		}
+	}
+	// A 3-index max bound is provable only in the structural cap form.
+	if se.Slice3 && se.Max != nil {
+		if arg, isCap, ok := e.isLenCall(se.Max); !ok || !isCap || exprKey(arg) != exprKey(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// leq proves low <= high for slice bounds: structurally (high ==
+// low+c, c >= 0) or via ranges.
+func (e *facts) leq(low, high ast.Expr, loRange intFact) bool {
+	var lowKey string
+	if low != nil {
+		lowKey = exprKey(low)
+	}
+	if b, ok := ast.Unparen(high).(*ast.BinaryExpr); ok && low != nil {
+		if b.Op == token.ADD && exprKey(b.X) == lowKey {
+			if c, ok := e.constVal(b.Y); ok && c >= 0 {
+				return true
+			}
+		}
+	}
+	hr := e.rangeOf(high)
+	if low == nil {
+		return hr.hasLo && hr.lo >= 0
+	}
+	if loRange.hasHi && hr.hasLo && loRange.hi <= hr.lo {
+		return true
+	}
+	// Pairwise ordering facts: low = X+cx, high = Y+cy, and a guard
+	// proved X <= Y+d with d <= cy-cx.
+	lb, lc := e.splitAddend(low)
+	hb, hc := e.splitAddend(high)
+	if lb != "" && hb != "" {
+		if lb == hb && lc <= hc {
+			return true
+		}
+		if e.relLEQ(lb, hb, hc-lc) {
+			return true
+		}
+	}
+	// Identical expressions are trivially equal.
+	return lowKey == exprKey(high)
+}
+
+// splitAddend decomposes x into base expression plus constant offset
+// ("i+1" -> ("i", 1), "j" -> ("j", 0)); constants return base "".
+func (e *facts) splitAddend(x ast.Expr) (string, int64) {
+	x = ast.Unparen(x)
+	if _, ok := e.constVal(x); ok {
+		return "", 0
+	}
+	if b, ok := x.(*ast.BinaryExpr); ok {
+		if b.Op == token.ADD {
+			if c, ok := e.constVal(b.Y); ok {
+				base, off := e.splitAddend(b.X)
+				return base, off + c
+			}
+			if c, ok := e.constVal(b.X); ok {
+				base, off := e.splitAddend(b.Y)
+				return base, off + c
+			}
+		}
+		if b.Op == token.SUB {
+			if c, ok := e.constVal(b.Y); ok {
+				base, off := e.splitAddend(b.X)
+				return base, off - c
+			}
+		}
+	}
+	return exprKey(x), 0
+}
+
+// argLenAtLeast proves len(arg) >= need — used for the
+// encoding/binary fixed-width decoders, which panic on short slices.
+func (e *facts) argLenAtLeast(arg ast.Expr, need int64) bool {
+	arg = ast.Unparen(arg)
+	if n, ok := e.minLen(arg); ok && n >= need {
+		return true
+	}
+	if se, ok := arg.(*ast.SliceExpr); ok && !se.Slice3 {
+		if n, ok := e.sliceResultMinLen(se); ok && n >= need {
+			return true
+		}
+		// x[a:] has len len(x)-a >= need iff a <= len(x)-need.
+		if se.High == nil {
+			if se.Low == nil {
+				if n, ok := e.minLen(se.X); ok && n >= need {
+					return true
+				}
+				return false
+			}
+			return e.boundLEQLen(se.Low, se.X, -need)
+		}
+	}
+	return false
+}

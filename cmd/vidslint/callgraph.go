@@ -22,13 +22,29 @@ import (
 //	                             path; the closure traversal does not
 //	                             descend into it.
 //
+// The nopanic gate (nopanic.go) adds a parallel vocabulary:
+//
+//	//vids:nopanic [note]      — panic-gate root: the whole static
+//	                             call closure of this function is
+//	                             scanned for potential runtime panic
+//	                             sites (it handles untrusted input).
+//	//vids:panic-ok <reason>   — function level (doc comment): every
+//	                             potential panic site lexically inside
+//	                             this function is impossible for
+//	                             <reason>; line level (body comment):
+//	                             justifies sites on the same or the
+//	                             next line.
+//
 // Both alloc-ok and coldpath are freshness-checked like speccover
 // waivers: a directive that no longer suppresses or cuts anything is
-// itself a finding, so justifications cannot rot in place.
+// itself a finding, so justifications cannot rot in place. panic-ok
+// gets the identical treatment.
 const (
 	dirNoalloc  = "vids:noalloc"
 	dirAllocOK  = "vids:alloc-ok"
 	dirColdpath = "vids:coldpath"
+	dirNopanic  = "vids:nopanic"
+	dirPanicOK  = "vids:panic-ok"
 )
 
 // funcNode is one module function in the whole-program index.
@@ -42,10 +58,15 @@ type funcNode struct {
 	allocOK     string // its reason (may be empty — rejected by freshness)
 	hasColdpath bool   // //vids:coldpath present
 	coldpath    string // its reason
+	nopanic     bool   // //vids:nopanic root
+	hasPanicOK  bool   // function-level //vids:panic-ok present
+	panicOK     string // its reason
 
-	reached    bool // visited by the closure traversal
-	cut        bool // skipped as a //vids:coldpath callee at least once
-	suppressed int  // sites suppressed by the function-level alloc-ok
+	reached      bool // visited by the escape closure traversal
+	cut          bool // skipped as a //vids:coldpath callee at least once
+	suppressed   int  // sites suppressed by the function-level alloc-ok
+	npReached    bool // visited by the nopanic closure traversal
+	npSuppressed int  // sites suppressed by the function-level panic-ok
 }
 
 // name returns a human-readable short name (pkg.Func or
@@ -67,14 +88,19 @@ func (n *funcNode) name() string {
 // suppression waivers, built once after all requested directories were
 // analyzed.
 type program struct {
-	funcs   map[string]*funcNode
-	waivers *waiverSet
+	funcs        map[string]*funcNode
+	waivers      *waiverSet // //vids:alloc-ok line waivers
+	panicWaivers *waiverSet // //vids:panic-ok line waivers
 
 	// reached/parent record the escape traversal: which functions the
 	// noalloc closure visited and through which caller, for
-	// root-to-site path diagnostics.
-	parent map[string]string
-	rootOf map[string]string
+	// root-to-site path diagnostics. npParent/npRootOf are the nopanic
+	// gate's equivalents (the two closures differ: nopanic descends
+	// into //vids:coldpath functions too — a crash has no cold path).
+	parent   map[string]string
+	rootOf   map[string]string
+	npParent map[string]string
+	npRootOf map[string]string
 }
 
 // funcKey names a function unambiguously across type-checker runs:
@@ -131,10 +157,13 @@ func directiveText(comment, directive string) (string, bool) {
 // package loaded so far and harvests the escape-gate directives.
 func (a *analyzer) buildProgram() *program {
 	prog := &program{
-		funcs:   make(map[string]*funcNode),
-		waivers: newWaiverSet(),
-		parent:  make(map[string]string),
-		rootOf:  make(map[string]string),
+		funcs:        make(map[string]*funcNode),
+		waivers:      newWaiverSet(dirAllocOK),
+		panicWaivers: newWaiverSet(dirPanicOK),
+		parent:       make(map[string]string),
+		rootOf:       make(map[string]string),
+		npParent:     make(map[string]string),
+		npRootOf:     make(map[string]string),
 	}
 	paths := make([]string, 0, len(a.pkgs))
 	for p := range a.pkgs {
@@ -145,6 +174,7 @@ func (a *analyzer) buildProgram() *program {
 		pi := a.pkgs[p]
 		for _, f := range pi.files {
 			prog.waivers.collectFile(a, pi, f)
+			prog.panicWaivers.collectFile(a, pi, f)
 			for _, d := range f.Decls {
 				fd, ok := d.(*ast.FuncDecl)
 				if !ok || fd.Body == nil {
@@ -166,6 +196,12 @@ func (a *analyzer) buildProgram() *program {
 						if reason, ok := directiveText(c.Text, dirColdpath); ok {
 							node.hasColdpath, node.coldpath = true, reason
 						}
+						if _, ok := directiveText(c.Text, dirNopanic); ok {
+							node.nopanic = true
+						}
+						if reason, ok := directiveText(c.Text, dirPanicOK); ok {
+							node.hasPanicOK, node.panicOK = true, reason
+						}
 					}
 				}
 				if _, dup := prog.funcs[node.key]; !dup {
@@ -177,17 +213,26 @@ func (a *analyzer) buildProgram() *program {
 	return prog
 }
 
-// pathTo renders the BFS call path from the traversal root down to
-// key, e.g. "sipmsg.Parse → sipmsg.parseHeaderLine".
+// pathTo renders the BFS call path from the escape traversal root
+// down to key, e.g. "sipmsg.Parse → sipmsg.parseHeaderLine".
 func (prog *program) pathTo(key string) string {
+	return prog.pathIn(prog.parent, key)
+}
+
+// npPathTo is pathTo over the nopanic traversal.
+func (prog *program) npPathTo(key string) string {
+	return prog.pathIn(prog.npParent, key)
+}
+
+func (prog *program) pathIn(parent map[string]string, key string) string {
 	var chain []string
-	for cur := key; cur != ""; cur = prog.parent[cur] {
+	for cur := key; cur != ""; cur = parent[cur] {
 		node := prog.funcs[cur]
 		if node == nil {
 			break
 		}
 		chain = append(chain, node.name())
-		if prog.parent[cur] == cur {
+		if parent[cur] == cur {
 			break
 		}
 	}
@@ -204,7 +249,9 @@ func (prog *program) pathTo(key string) string {
 // fixture run) — the alloc-ceiling drift gate against alloc_test.go.
 func (a *analyzer) programFindings() ([]finding, error) {
 	prog := a.buildProgram()
+	a.prog = prog
 	out := a.checkEscape(prog)
+	out = append(out, a.checkNopanic(prog)...)
 	if a.analyzed[a.modulePath+"/internal/ids"] {
 		fs, err := a.checkAllocDrift(prog)
 		if err != nil {

@@ -156,8 +156,9 @@ func (ep *escapePass) site(node *funcNode, pos token.Pos, what string) {
 		return
 	}
 	ep.findings = append(ep.findings, finding{
-		pos: p,
-		msg: fmt.Sprintf("noalloc: %s [hot path: %s]; justify with //vids:alloc-ok <reason> or restructure", what, ep.prog.pathTo(node.key)),
+		pos:  p,
+		msg:  fmt.Sprintf("noalloc: %s [hot path: %s]; justify with //vids:alloc-ok <reason> or restructure", what, ep.prog.pathTo(node.key)),
+		kind: "noalloc",
 	})
 }
 

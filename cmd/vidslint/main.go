@@ -19,12 +19,23 @@
 //     not call time.Now or time.Sleep: detection time comes from the
 //     virtual clock so trace replay reproduces live runs exactly.
 //     Deliberate wall-clock sites carry //vidslint:allow wallclock.
+//   - the static call closure of every //vids:nopanic root — the
+//     parsers and dispatchers that consume raw network bytes — must be
+//     free of potential runtime panics: every index, slice, type
+//     assertion, map write, pointer dereference, division and shift
+//     must be dominated by a proving guard, or carry a justified
+//     //vids:panic-ok waiver (freshness-checked like alloc-ok).
 //
 // Usage:
 //
 //	vidslint ./...          # lint the whole module (the CI gate)
 //	vidslint ./internal/ids # lint one package directory
-//	vidslint -json ./...    # findings as a JSON array on stdout
+//	vidslint -json ./...    # {findings, waivers} JSON on stdout
+//
+// The -json document carries each finding's owning gate in kind and a
+// full inventory of alloc-ok/panic-ok waivers (file, line, scope,
+// justification, whether it suppressed anything), so CI artifacts
+// expose the complete suppression surface for audit.
 //
 // Exit status: 0 clean, 1 findings, 2 operational error.
 package main
@@ -37,6 +48,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -54,14 +66,89 @@ func main() {
 	}
 }
 
-// jsonFinding is the machine-readable shape of one diagnostic, shared
-// conceptually with cmd/speccover's -json mode: tools consuming lint
-// output parse one array of {file, line, col, msg} objects.
+// jsonFinding is the machine-readable shape of one diagnostic. kind
+// names the owning gate ("lint" for per-package style rules, "escape",
+// "nopanic", "lockorder", "directive" for waiver hygiene), so CI
+// artifacts can be filtered per gate.
 type jsonFinding struct {
 	File string `json:"file"`
 	Line int    `json:"line"`
 	Col  int    `json:"col"`
 	Msg  string `json:"msg"`
+	Kind string `json:"kind"`
+}
+
+// jsonWaiver is one entry of the waiver inventory: every
+// //vids:alloc-ok and //vids:panic-ok in the analyzed packages, line
+// or function scoped, with its justification and whether it
+// suppressed anything this run. The inventory makes the suppression
+// surface auditable from the CI artifact alone.
+type jsonWaiver struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Directive string `json:"directive"`
+	Reason    string `json:"reason"`
+	Used      bool   `json:"used"`
+	Scope     string `json:"scope"` // "line" or "function"
+	Func      string `json:"func,omitempty"`
+}
+
+// jsonReport is the -json document: the findings plus the full waiver
+// inventory.
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Waivers  []jsonWaiver  `json:"waivers"`
+}
+
+// waiverInventory collects every alloc-ok/panic-ok waiver of the
+// analyzed packages from the whole-program state.
+func waiverInventory(a *analyzer) []jsonWaiver {
+	out := []jsonWaiver{}
+	if a.prog == nil {
+		return out
+	}
+	for _, set := range []*waiverSet{a.prog.waivers, a.prog.panicWaivers} {
+		for _, w := range set.all {
+			if !a.analyzed[w.pkg.path] {
+				continue
+			}
+			out = append(out, jsonWaiver{
+				File: w.pos.Filename, Line: w.pos.Line,
+				Directive: "//" + set.directive, Reason: w.reason,
+				Used: w.used, Scope: "line",
+			})
+		}
+	}
+	for _, node := range sortedFuncs(a.prog) {
+		if !a.analyzed[node.pkg.path] {
+			continue
+		}
+		pos := a.fset.Position(node.decl.Pos())
+		if node.hasAllocOK {
+			out = append(out, jsonWaiver{
+				File: pos.Filename, Line: pos.Line,
+				Directive: "//" + dirAllocOK, Reason: node.allocOK,
+				Used: node.suppressed > 0, Scope: "function", Func: node.name(),
+			})
+		}
+		if node.hasPanicOK {
+			out = append(out, jsonWaiver{
+				File: pos.Filename, Line: pos.Line,
+				Directive: "//" + dirPanicOK, Reason: node.panicOK,
+				Used: node.npSuppressed > 0, Scope: "function", Func: node.name(),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Directive < out[j].Directive
+	})
+	return out
 }
 
 func run(patterns []string, jsonOut bool, out io.Writer) (int, error) {
@@ -98,13 +185,17 @@ func run(patterns []string, jsonOut bool, out io.Writer) (int, error) {
 	}
 	all = append(all, progFindings...)
 	if jsonOut {
-		recs := make([]jsonFinding, len(all))
+		report := jsonReport{Findings: make([]jsonFinding, len(all)), Waivers: waiverInventory(a)}
 		for i, f := range all {
-			recs[i] = jsonFinding{File: f.pos.Filename, Line: f.pos.Line, Col: f.pos.Column, Msg: f.msg}
+			kind := f.kind
+			if kind == "" {
+				kind = "lint"
+			}
+			report.Findings[i] = jsonFinding{File: f.pos.Filename, Line: f.pos.Line, Col: f.pos.Column, Msg: f.msg, Kind: kind}
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(recs); err != nil {
+		if err := enc.Encode(report); err != nil {
 			return len(all), err
 		}
 		return len(all), nil

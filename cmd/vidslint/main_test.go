@@ -121,27 +121,67 @@ func TestWallClockFixture(t *testing.T) {
 }
 
 // TestJSONOutput round-trips the -json mode: run over the badpkg
-// fixture, decode the array, and check it matches the plain findings.
+// fixture, decode the {findings, waivers} document, and check it
+// matches the plain findings.
 func TestJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
 	n, err := run([]string{filepath.Join("testdata", "src", "badpkg")}, true, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var recs []jsonFinding
-	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+	var report jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
 	}
-	if len(recs) != n || n != 8 {
-		t.Fatalf("json records = %d, run reported %d, want 8", len(recs), n)
+	if len(report.Findings) != n || n != 8 {
+		t.Fatalf("json records = %d, run reported %d, want 8", len(report.Findings), n)
 	}
-	for _, r := range recs {
-		if r.File == "" || r.Line <= 0 || r.Msg == "" {
+	for _, r := range report.Findings {
+		if r.File == "" || r.Line <= 0 || r.Msg == "" || r.Kind == "" {
 			t.Errorf("incomplete record: %+v", r)
 		}
 		if !strings.HasSuffix(r.File, ".go") {
 			t.Errorf("file field %q is not a .go path", r.File)
 		}
+	}
+	if report.Waivers == nil {
+		t.Error("waiver inventory missing: want [] even when no waivers exist")
+	}
+}
+
+// TestJSONWaiverInventory checks the suppression surface is exported:
+// over the real module, the -json document lists the repo's panic-ok
+// and alloc-ok waivers with non-empty justifications, all used.
+func TestJSONWaiverInventory(t *testing.T) {
+	root := newTestAnalyzer(t).moduleRoot
+	var buf bytes.Buffer
+	if _, err := run([]string{filepath.Join(root, "...")}, true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(report.Findings) != 0 {
+		t.Errorf("repo findings = %d, want 0", len(report.Findings))
+	}
+	sawPanicOK := false
+	for _, w := range report.Waivers {
+		if w.Directive == "//"+dirPanicOK {
+			sawPanicOK = true
+		}
+		if w.Reason == "" {
+			t.Errorf("%s:%d: waiver with empty reason in inventory", w.File, w.Line)
+		}
+		if !w.Used {
+			t.Errorf("%s:%d: unused waiver %s survived the freshness sweep", w.File, w.Line, w.Directive)
+		}
+		if w.Scope != "line" && w.Scope != "function" {
+			t.Errorf("%s:%d: bad scope %q", w.File, w.Line, w.Scope)
+		}
+	}
+	if !sawPanicOK {
+		t.Error("inventory lists no //vids:panic-ok waivers; the repo carries several")
 	}
 }
 
@@ -300,6 +340,71 @@ func TestGuardPurityEdgeCases(t *testing.T) {
 	}
 	if len(fs) != 3 {
 		t.Errorf("total findings = %d, want 3 (CleanGuards must not be flagged)", len(fs))
+	}
+}
+
+// TestNopanicGateFixture drives the panic-freedom gate over the
+// seeded nopanic fixture: one finding per panic class from the Entry
+// root, the positive/negative bounds-dominance table in bounds.go, a
+// path diagnostic through helper, and the panic-ok freshness sweep.
+// The waived data[9] site and every ok* shape must stay silent.
+func TestNopanicGateFixture(t *testing.T) {
+	a := newTestAnalyzer(t)
+	perPkg, err := a.analyzeDir(filepath.Join("testdata", "src", "nopanic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perPkg) != 0 {
+		t.Errorf("per-package findings = %d, want 0 (all seeded violations are whole-program)", len(perPkg))
+	}
+	fs, err := a.programFindings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Log(f)
+	}
+	want := map[string]int{
+		"single-result type assertion":         1,
+		"write to nil map":                     1,
+		"dereference of nil pointer":           1,
+		"integer division/modulo":              2,
+		"explicit panic call":                  1,
+		"truncating conversion":                1,
+		"dynamic call through function value":  1,
+		"interface method call":                1,
+		"is not on the panic-free allowlist":   1,
+		"slice expression":                     1,
+		"binary.Uint64 panics on slices":       1,
+		"needs a non-empty justification":      1,
+		"no nopanic finding on this or the":    1,
+		"the function is not reached from any": 1,
+		"the function body has no potential":   1,
+	}
+	for substr, n := range want {
+		if got := countContaining(fs, substr); got != n {
+			t.Errorf("findings containing %q = %d, want %d", substr, got, n)
+		}
+	}
+	// Unproven bounds sites: data[4] and data[2:] in Entry, b[8] in
+	// helper, and the three bad* dominance negatives in bounds.go (the
+	// truncating-conversion index reports once, under its own class).
+	if got := countContaining(fs, "is not dominated by a bounds check"); got != 6 {
+		t.Errorf("bounds findings = %d, want 6 (5 index + 1 slice)", got)
+	}
+	if got := countContaining(fs, "nopanic.Entry → nopanic.helper"); got != 1 {
+		t.Errorf("call-graph path diagnostics = %d, want 1 (root-to-site path must name the chain)", got)
+	}
+	for _, f := range fs {
+		if strings.Contains(f.msg, "data[9]") {
+			t.Errorf("waived site flagged despite its //vids:panic-ok: %s", f)
+		}
+		if strings.Contains(f.msg, "ok") && strings.Contains(f.msg, "bounds.go") {
+			t.Errorf("positive dominance case flagged: %s", f)
+		}
+	}
+	if len(fs) != 21 {
+		t.Errorf("total findings = %d, want 21", len(fs))
 	}
 }
 

@@ -7,8 +7,9 @@ import (
 	"sort"
 )
 
-// lineWaiver is one line-level `//vids:alloc-ok <reason>` suppression.
-// It covers escape findings on its own line (end-of-line form) and the
+// lineWaiver is one line-level suppression (`//vids:alloc-ok <reason>`
+// for the escape gate, `//vids:panic-ok <reason>` for the nopanic
+// gate). It covers findings on its own line (end-of-line form) and the
 // line after it (preceding-line form), mirroring the established
 // `//vidslint:allow` convention. Like speccover's coverage waivers,
 // every suppression is freshness-checked: a waiver that no longer
@@ -21,19 +22,22 @@ type lineWaiver struct {
 	used   bool
 }
 
-// waiverSet indexes line waivers by filename and line.
+// waiverSet indexes the line waivers of one directive by filename and
+// line.
 type waiverSet struct {
-	byLine map[string]map[int]*lineWaiver
-	all    []*lineWaiver
+	directive string // e.g. dirAllocOK, dirPanicOK
+	byLine    map[string]map[int]*lineWaiver
+	all       []*lineWaiver
 }
 
-func newWaiverSet() *waiverSet {
-	return &waiverSet{byLine: make(map[string]map[int]*lineWaiver)}
+func newWaiverSet(directive string) *waiverSet {
+	return &waiverSet{directive: directive, byLine: make(map[string]map[int]*lineWaiver)}
 }
 
-// collectFile harvests the line-level alloc-ok waivers of one file.
-// Doc-comment directives are function-level (handled by buildProgram),
-// so comment groups attached as documentation are skipped here.
+// collectFile harvests the line-level waivers of one file for this
+// set's directive. Doc-comment directives are function-level (handled
+// by buildProgram), so comment groups attached as documentation are
+// skipped here.
 func (ws *waiverSet) collectFile(a *analyzer, pi *pkgInfo, f *ast.File) {
 	docGroups := make(map[*ast.CommentGroup]bool)
 	ast.Inspect(f, func(n ast.Node) bool {
@@ -54,7 +58,7 @@ func (ws *waiverSet) collectFile(a *analyzer, pi *pkgInfo, f *ast.File) {
 			continue
 		}
 		for _, c := range cg.List {
-			reason, ok := directiveText(c.Text, dirAllocOK)
+			reason, ok := directiveText(c.Text, ws.directive)
 			if !ok {
 				continue
 			}
@@ -88,11 +92,11 @@ func (ws *waiverSet) lookup(pos token.Position) *lineWaiver {
 	return nil
 }
 
-// staleness reports directive-hygiene findings for the analyzed
-// packages: waivers with empty reasons, waivers that suppressed
-// nothing, function-level alloc-ok on functions off every hot path,
-// and coldpath markers that never cut a traversal.
-func (ws *waiverSet) staleness(a *analyzer, prog *program) []finding {
+// lineStaleness reports directive-hygiene findings for this set's line
+// waivers in the analyzed packages: empty reasons and waivers that
+// suppressed nothing. emptyMsg and staleMsg word the two cases for the
+// owning gate.
+func (ws *waiverSet) lineStaleness(a *analyzer, emptyMsg, staleMsg string) []finding {
 	var out []finding
 	for _, w := range ws.all {
 		if !a.analyzed[w.pkg.path] {
@@ -100,11 +104,21 @@ func (ws *waiverSet) staleness(a *analyzer, prog *program) []finding {
 		}
 		switch {
 		case w.reason == "":
-			out = append(out, finding{pos: w.pos, msg: "//vids:alloc-ok needs a non-empty justification (why is this allocation acceptable on the hot path?)"})
+			out = append(out, finding{pos: w.pos, msg: emptyMsg, kind: "directive"})
 		case !w.used:
-			out = append(out, finding{pos: w.pos, msg: "stale //vids:alloc-ok: no hot-path allocation finding on this or the next line — delete the waiver or move it to the site it justifies"})
+			out = append(out, finding{pos: w.pos, msg: staleMsg, kind: "directive"})
 		}
 	}
+	return out
+}
+
+// staleness reports the escape gate's directive-hygiene findings:
+// line-waiver freshness, function-level alloc-ok on functions off
+// every hot path, and coldpath markers that never cut a traversal.
+func (ws *waiverSet) staleness(a *analyzer, prog *program) []finding {
+	out := ws.lineStaleness(a,
+		"//vids:alloc-ok needs a non-empty justification (why is this allocation acceptable on the hot path?)",
+		"stale //vids:alloc-ok: no hot-path allocation finding on this or the next line — delete the waiver or move it to the site it justifies")
 	for _, node := range sortedFuncs(prog) {
 		if !a.analyzed[node.pkg.path] {
 			continue
@@ -113,22 +127,22 @@ func (ws *waiverSet) staleness(a *analyzer, prog *program) []finding {
 		if node.hasAllocOK {
 			switch {
 			case node.allocOK == "":
-				out = append(out, finding{pos: pos, msg: fmt.Sprintf("//vids:alloc-ok on %s needs a non-empty justification", node.name())})
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("//vids:alloc-ok on %s needs a non-empty justification", node.name()), kind: "directive"})
 			case !node.reached:
-				out = append(out, finding{pos: pos, msg: fmt.Sprintf("stale //vids:alloc-ok on %s: the function is not reached from any //vids:noalloc root", node.name())})
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("stale //vids:alloc-ok on %s: the function is not reached from any //vids:noalloc root", node.name()), kind: "directive"})
 			case node.suppressed == 0:
-				out = append(out, finding{pos: pos, msg: fmt.Sprintf("stale //vids:alloc-ok on %s: the function body has no allocation site left to justify", node.name())})
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("stale //vids:alloc-ok on %s: the function body has no allocation site left to justify", node.name()), kind: "directive"})
 			}
 		}
 		if node.hasColdpath {
 			switch {
 			case node.coldpath == "":
-				out = append(out, finding{pos: pos, msg: fmt.Sprintf("//vids:coldpath on %s needs a non-empty justification", node.name())})
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("//vids:coldpath on %s needs a non-empty justification", node.name()), kind: "directive"})
 			case !node.cut:
-				out = append(out, finding{pos: pos, msg: fmt.Sprintf("stale //vids:coldpath on %s: no //vids:noalloc closure ever reaches this function — delete the directive", node.name())})
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("stale //vids:coldpath on %s: no //vids:noalloc closure ever reaches this function — delete the directive", node.name()), kind: "directive"})
 			}
 			if node.noalloc {
-				out = append(out, finding{pos: pos, msg: fmt.Sprintf("%s is both //vids:noalloc and //vids:coldpath — a function cannot be a hot-path root and off the hot path at once", node.name())})
+				out = append(out, finding{pos: pos, msg: fmt.Sprintf("%s is both //vids:noalloc and //vids:coldpath — a function cannot be a hot-path root and off the hot path at once", node.name()), kind: "directive"})
 			}
 		}
 	}

@@ -76,6 +76,7 @@ func (e Event) Arg(key string) any {
 // StringArg returns a string argument ("" if absent or not a string).
 func (e Event) StringArg(key string) string {
 	if e.Typed != nil {
+		//vids:panic-ok TypedArgs implementations are in-repo field-read accessors on scratch structs
 		if v, ok := e.Typed.StringArg(key); ok { //vids:alloc-ok TypedArgs implementations are field reads on pre-allocated scratch structs
 			return v
 		}
@@ -87,6 +88,7 @@ func (e Event) StringArg(key string) string {
 // IntArg returns an int argument (0 if absent or not an int).
 func (e Event) IntArg(key string) int {
 	if e.Typed != nil {
+		//vids:panic-ok TypedArgs implementations are in-repo field-read accessors on scratch structs
 		if v, ok := e.Typed.IntArg(key); ok { //vids:alloc-ok TypedArgs implementations are field reads on pre-allocated scratch structs
 			return v
 		}
@@ -98,6 +100,7 @@ func (e Event) IntArg(key string) int {
 // Uint32Arg returns a uint32 argument (0 if absent).
 func (e Event) Uint32Arg(key string) uint32 {
 	if e.Typed != nil {
+		//vids:panic-ok TypedArgs implementations are in-repo field-read accessors on scratch structs
 		if v, ok := e.Typed.Uint32Arg(key); ok { //vids:alloc-ok TypedArgs implementations are field reads on pre-allocated scratch structs
 			return v
 		}
@@ -109,6 +112,7 @@ func (e Event) Uint32Arg(key string) uint32 {
 // DurationArg returns a time.Duration argument (0 if absent).
 func (e Event) DurationArg(key string) time.Duration {
 	if e.Typed != nil {
+		//vids:panic-ok TypedArgs implementations are in-repo field-read accessors on scratch structs
 		if v, ok := e.Typed.DurationArg(key); ok { //vids:alloc-ok TypedArgs implementations are field reads on pre-allocated scratch structs
 			return v
 		}

@@ -236,7 +236,7 @@ func (c *Cache) stripeHash(key []byte) (*stripe, uint32) {
 	for _, b := range key {
 		h = (h ^ uint32(b)) * 16777619
 	}
-	return &c.stripes[h&c.mask], h
+	return &c.stripes[h&c.mask], h //vids:panic-ok mask is len(stripes)-1 with len a power of two, both fixed at New
 }
 
 func (c *Cache) stripeHashString(key string) (*stripe, uint32) {
@@ -277,6 +277,7 @@ type Consult struct {
 // Release it exactly once.
 //
 //vids:noalloc the keyed consult: map probe, predicate, window update under one stripe lock
+//vids:nopanic per-packet consult keyed by attacker-controlled header fields
 func (c *Cache) Lookup(key []byte, pt uint8, ssrc uint32, seq uint16, ts uint32, at time.Duration) (v Verdict, f *Flow, epoch uint64, snap Snapshot, hasSnap bool) {
 	var res Consult
 	c.ConsultKey(key, pt, ssrc, seq, ts, at, &res)
@@ -290,9 +291,10 @@ func (c *Cache) Lookup(key []byte, pt uint8, ssrc uint32, seq uint16, ts uint32,
 // Snap is overwritten; Snap is meaningful only when HasSnap is set.
 //
 //vids:noalloc the fast-path hit root: one stripe lock per RTP packet
+//vids:nopanic per-packet consult keyed by attacker-controlled header fields
 func (c *Cache) ConsultKey(key []byte, pt uint8, ssrc uint32, seq uint16, ts uint32, at time.Duration, res *Consult) {
 	st, h := c.stripeHash(key)
-	slot := &st.hot[hotIndex(h)]
+	slot := &st.hot[hotIndex(h)] //vids:panic-ok hotIndex masks with hotSlots-1 and hot has exactly hotSlots entries
 	st.mu.Lock()
 	f := slot.f
 	if f == nil || slot.h != h || f.key != string(key) {
@@ -381,6 +383,7 @@ func (c *Cache) consultLocked(st *stripe, f *Flow, pt uint8, ssrc uint32, seq ui
 // the mirror would miss).
 //
 //vids:noalloc the fast-path arm root, called per clean steady-state packet from the shard worker
+//vids:nopanic runs on the shard worker against attacker-driven flow state
 func (c *Cache) Update(key []byte, epoch uint64, payload uint8, snap Snapshot) bool {
 	st, _ := c.stripeHash(key)
 	st.mu.Lock()
@@ -474,6 +477,7 @@ func (c *Cache) Install(key []byte, callID string, shardIdx int) *Flow {
 // unknown keys.
 //
 //vids:noalloc per-RTCP-datagram invalidation on the ingestion path
+//vids:nopanic per-datagram invalidation keyed by attacker-controlled bytes
 func (c *Cache) Disarm(key []byte) {
 	st, _ := c.stripeHash(key)
 	st.mu.Lock()
@@ -503,6 +507,7 @@ func (c *Cache) Invalidate(key string) {
 // interleaving resolves exactly as the serialized slow path would.
 //
 //vids:noalloc per-SIP-datagram invalidation on the ingestion path
+//vids:nopanic per-datagram invalidation keyed by attacker-controlled bytes
 func (c *Cache) DisarmCall(callID []byte) {
 	c.byCallMu.RLock()
 	flows := c.byCall[string(callID)]

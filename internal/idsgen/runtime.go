@@ -79,9 +79,35 @@ type machTable struct {
 	cells   [][]trans
 }
 
-// cell returns the candidate list for (state, event column).
+// cell returns the candidate list for (state, event column). The
+// guard is dead for specgen-emitted tables — every state id and event
+// column is in range by construction — but it makes the lookup total,
+// so the nopanic gate needs no waiver here.
 func (t *machTable) cell(state uint8, eid int) []trans {
-	return t.cells[int(state)*len(t.events)+eid]
+	i := int(state)*len(t.events) + eid
+	if i < 0 || i >= len(t.cells) {
+		return nil
+	}
+	return t.cells[i]
+}
+
+// stateName resolves a state id to its canonical name. Out-of-range
+// ids cannot occur (specgen emits only in-range ids and every Step
+// writes tr.to straight from the table), so the empty fallback is
+// dead; it exists to make the read total.
+func (t *machTable) stateName(id uint8) core.State {
+	i := int(id)
+	if i < len(t.states) {
+		return t.states[i]
+	}
+	return ""
+}
+
+// stateFlag reads a per-state bitmask (final/attack) with the same
+// dead defensive bound as stateName.
+func stateFlag(bits []bool, id uint8) bool {
+	i := int(id)
+	return i < len(bits) && bits[i]
 }
 
 // eventID resolves an event name to its column, or -1. The alphabets

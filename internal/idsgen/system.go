@@ -149,6 +149,7 @@ func (cs *CallSystem) noteBacklog() {
 // full contract (the returned slice is reused across calls).
 //
 //vids:noalloc compiled per-packet delivery path
+//vids:nopanic dispatches attacker-driven events through the call system
 func (cs *CallSystem) Deliver(machine string, e core.Event) ([]core.StepResult, error) {
 	if _, ok := cs.Find(machine); !ok {
 		return nil, fmt.Errorf("idsgen: unknown machine %q", machine) //vids:alloc-ok unknown-machine delivery is a wiring bug; error path only
@@ -177,6 +178,7 @@ func (cs *CallSystem) Deliver(machine string, e core.Event) ([]core.StepResult, 
 // schedules on behalf of a machine).
 //
 //vids:noalloc compiled timer/sync delivery path
+//vids:nopanic dispatches attacker-driven events through the call system
 func (cs *CallSystem) DeliverSync(machine string, e core.Event) ([]core.StepResult, error) {
 	if _, ok := cs.Find(machine); !ok {
 		return nil, fmt.Errorf("idsgen: unknown machine %q", machine) //vids:alloc-ok unknown-machine delivery is a wiring bug; error path only
@@ -188,9 +190,12 @@ func (cs *CallSystem) DeliverSync(machine string, e core.Event) ([]core.StepResu
 	return cs.results, err
 }
 
-// drain processes the sync queue to exhaustion in FIFO order.
+// drain processes the sync queue to exhaustion in FIFO order. The
+// cursor starts at 0 and only ever advances, so the >= 0 arm of the
+// loop condition is dead; it states the invariant the queue read
+// depends on.
 func (cs *CallSystem) drain() error {
-	for cs.qhead < len(cs.queue) {
+	for cs.qhead >= 0 && cs.qhead < len(cs.queue) {
 		msg := cs.queue[cs.qhead]
 		cs.qhead++
 		res, err, ok := cs.stepNamed(msg.Target, msg.Event)

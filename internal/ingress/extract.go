@@ -31,6 +31,7 @@ var liteCRLFCRLF = []byte("\r\n\r\n")
 // cold-path parse, a false positive misroutes a packet.
 //
 //vids:noalloc the per-datagram SIP routing extract on the lane hot path
+//vids:nopanic one pass over raw network bytes before any validation
 func extractSIP(raw []byte, s *sipSummary) bool {
 	*s = sipSummary{}
 	headerEnd, bodyStart := len(raw), len(raw)
@@ -99,7 +100,7 @@ func extractSIP(raw []byte, s *sipSummary) bool {
 	if !haveVia || !haveFrom || !haveTo || !haveCallID || !haveCSeq {
 		return false
 	}
-	body := raw[bodyStart:]
+	body := raw[bodyStart:] //vids:panic-ok bodyStart is len(raw) or bytes.Index(raw, liteCRLFCRLF)+4 ≤ len(raw) when the 4-byte needle is found
 	if contentLength >= 0 {
 		if contentLength > len(body) {
 			return false
@@ -136,19 +137,19 @@ func extractStartLine(s *sipSummary, line []byte) bool {
 	if sp1 <= 0 {
 		return false
 	}
-	sp2 := bytes.IndexByte(line[sp1+1:], ' ')
+	tail := line[sp1+1:]
+	sp2 := bytes.IndexByte(tail, ' ')
 	if sp2 <= 0 {
 		return false
 	}
-	sp2 += sp1 + 1
-	if string(line[sp2+1:]) != liteSIPVersion {
+	if string(tail[sp2+1:]) != liteSIPVersion {
 		return false
 	}
 	method := line[:sp1]
 	if !liteKnownMethod(method) {
 		return false // the full parser decides; unknown methods are rejects
 	}
-	user, host, ok := extractURI(line[sp1+1 : sp2])
+	user, host, ok := extractURI(tail[:sp2])
 	if !ok {
 		return false
 	}
@@ -259,12 +260,16 @@ func extractCSeqMethod(value []byte) ([]byte, bool) {
 // liteCutLine mirrors sipmsg's cutLine: the line starting at pos up to
 // CRLF (or end of b), and the position after the terminator.
 func liteCutLine(b []byte, pos int) ([]byte, int) {
-	for i := pos; i+1 < len(b); i++ {
-		if b[i] == '\r' && b[i+1] == '\n' {
-			return b[pos:i], i + 2
+	if pos < 0 || pos > len(b) {
+		return nil, len(b) + 1
+	}
+	rest := b[pos:]
+	for i := 0; i+1 < len(rest); i++ {
+		if rest[i] == '\r' && rest[i+1] == '\n' {
+			return rest[:i], pos + i + 2
 		}
 	}
-	return b[pos:], len(b) + 1
+	return rest, len(b) + 1
 }
 
 func liteTrim(b []byte) []byte {

@@ -1,0 +1,76 @@
+package ingress
+
+import (
+	"bytes"
+	"testing"
+
+	"vids/internal/sipmsg"
+)
+
+// FuzzLiteExtract is the differential fuzz target for the lane fast
+// path: extractSIP must be total on arbitrary datagrams, and whenever
+// both the lite extract and the full parser accept the same bytes,
+// every field the lanes route on must agree — the misroute-vs-bail
+// invariant TestExtractMatchesFullParse checks over synthesized
+// traffic, here driven by mutation. An extract accept that the full
+// parser rejects is fine: the shard's slow path re-parses and counts
+// the error.
+func FuzzLiteExtract(f *testing.F) {
+	f.Add([]byte("INVITE sip:bob@b.example.com SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP ua1.a.example.com:5060;branch=z9hG4bKx\r\n" +
+		"From: <sip:alice@a.example.com>;tag=1\r\n" +
+		"To: <sip:bob@b.example.com>\r\n" +
+		"Call-ID: bail@a.example.com\r\n" +
+		"CSeq: 1 INVITE\r\n\r\n"))
+	f.Add([]byte("SIP/2.0 180 Ringing\r\n" +
+		"Via: SIP/2.0/UDP p.example.com;branch=z9hG4bKp\r\n" +
+		"From: <sip:alice@a.example.com>;tag=1\r\n" +
+		"To: <sip:bob@b.example.com>;tag=2\r\n" +
+		"Call-ID: ring@a.example.com\r\n" +
+		"CSeq: 1 INVITE\r\n\r\n"))
+	f.Add([]byte("INVITE sip:bob@b SIP/2.0\r\n" +
+		"Via: v\r\nFrom: f\r\nTo: t\r\nCall-ID: c\r\nCSeq: 1 INVITE\r\n" +
+		"Content-Length: 4\r\n\r\nv=0\r\ntrailing"))
+	f.Add([]byte("\r\n\r\n"))
+	f.Add([]byte("\x00\x01\x02\x03"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var sum sipSummary
+		if !extractSIP(raw, &sum) {
+			return
+		}
+		m, err := sipmsg.Parse(raw)
+		if err != nil {
+			return
+		}
+		if sum.req != m.IsRequest() {
+			t.Fatalf("req = %v, parser says %v\nwire: %q", sum.req, m.IsRequest(), raw)
+		}
+		if sum.req && string(sum.method) != string(m.Method) {
+			t.Fatalf("method %q vs %q\nwire: %q", sum.method, m.Method, raw)
+		}
+		if !sum.req && sum.status != m.StatusCode {
+			t.Fatalf("status %d vs %d\nwire: %q", sum.status, m.StatusCode, raw)
+		}
+		if string(sum.callID) != m.CallID {
+			t.Fatalf("callID %q vs %q\nwire: %q", sum.callID, m.CallID, raw)
+		}
+		if sum.toTag != (m.To.Tag() != "") {
+			t.Fatalf("toTag %v, parser tag %q\nwire: %q", sum.toTag, m.To.Tag(), raw)
+		}
+		if string(sum.cseqMethod) != string(m.CSeq.Method) {
+			t.Fatalf("CSeq method %q vs %q\nwire: %q", sum.cseqMethod, m.CSeq.Method, raw)
+		}
+		if sum.req {
+			if string(sum.ruriUser) != m.RequestURI.User {
+				t.Fatalf("R-URI user %q vs %q\nwire: %q", sum.ruriUser, m.RequestURI.User, raw)
+			}
+			if string(sum.ruriHost) != m.RequestURI.Host {
+				t.Fatalf("R-URI host %q vs %q\nwire: %q", sum.ruriHost, m.RequestURI.Host, raw)
+			}
+		}
+		if !bytes.Equal(sum.body, m.Body) {
+			t.Fatalf("body diverges (%d vs %d bytes)\nwire: %q", len(sum.body), len(m.Body), raw)
+		}
+	})
+}

@@ -58,7 +58,13 @@ func MOSFromR(r float64) float64 {
 	case r >= 100:
 		return 4.5
 	}
-	return 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+	m := 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+	if m < 1 {
+		// The cubic dips below 1 for R < 6.5; the MOS scale bottoms
+		// out at 1, and clamping also keeps the mapping monotone.
+		return 1
+	}
+	return m
 }
 
 // MOS is the convenience composition of RFactor and MOSFromR.

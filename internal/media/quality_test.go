@@ -49,6 +49,12 @@ func TestMOSBounds(t *testing.T) {
 	if m := MOSFromR(150); m != 4.5 {
 		t.Fatalf("MOS(R>100) = %v", m)
 	}
+	// The raw G.107 cubic evaluates below 1 for R in (0, 6.5); the
+	// conversion must clamp to the scale floor. 232 ms + 69% loss puts
+	// R ~ 4.8, squarely in the dip.
+	if m := MOS(232*time.Millisecond, 0.69); m != 1 {
+		t.Fatalf("MOS in the low-R dip = %v, want the floor 1", m)
+	}
 }
 
 // Property: MOS is monotone non-increasing in both delay and loss,

@@ -1,0 +1,85 @@
+package rtp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRTPParseInto is the dynamic cross-check of the nopanic gate over
+// the media decoders: ParseInto, ParseHeaderInto and ParseRTCPInto
+// must be total on arbitrary datagrams, the header-only decode must
+// agree with the full decode, and accepted packets must round-trip
+// through Marshal.
+func FuzzRTPParseInto(f *testing.F) {
+	seed := &Packet{
+		PayloadType: 0, Marker: true, Sequence: 7, Timestamp: 160,
+		SSRC: 0xdecafbad, CSRC: []uint32{1, 2}, Payload: []byte("voice"),
+	}
+	wire, err := seed.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	for i := 0; i < len(wire); i += 5 {
+		f.Add(wire[:i])
+	}
+	sr := &RTCP{
+		Type: RTCPSenderReport, SSRC: 0xfeedface, NTPTime: 1 << 40,
+		RTPTime: 160, PacketCount: 3, OctetCount: 480,
+		Reports: []ReceptionReport{{SSRC: 9, FractionLost: 1, TotalLost: 2, HighestSeq: 7, Jitter: 4}},
+	}
+	srWire, err := sr.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(srWire)
+	bye := &RTCP{Type: RTCPBye, SSRC: 0xfeedface}
+	byeWire, err := bye.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(byeWire)
+	f.Add([]byte{0x80, 203, 0xFF, 0xFF})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p, hdr Packet
+		if err := ParseInto(&p, data); err == nil {
+			if err := ParseHeaderInto(&hdr, data); err != nil {
+				t.Fatalf("full decode accepted but header-only decode rejected: %v", err)
+			}
+			if hdr.PayloadType != p.PayloadType || hdr.Marker != p.Marker ||
+				hdr.Sequence != p.Sequence || hdr.Timestamp != p.Timestamp ||
+				hdr.SSRC != p.SSRC {
+				t.Fatalf("header decode drifted from full decode:\nfull:   %+v\nheader: %+v", p, hdr)
+			}
+			out, err := p.Marshal()
+			if err != nil {
+				t.Fatalf("accepted packet failed to marshal: %v", err)
+			}
+			var p2 Packet
+			if err := ParseInto(&p2, out); err != nil {
+				t.Fatalf("marshaled packet failed to re-parse: %v", err)
+			}
+			if p2.Sequence != p.Sequence || p2.Timestamp != p.Timestamp ||
+				p2.SSRC != p.SSRC || !bytes.Equal(p2.Payload, p.Payload) {
+				t.Fatalf("packet drifted across round-trip:\nfirst:  %+v\nsecond: %+v", p, p2)
+			}
+		}
+
+		var rp RTCP
+		if err := ParseRTCPInto(&rp, data); err == nil {
+			out, err := rp.Marshal()
+			if err != nil {
+				t.Fatalf("accepted RTCP packet failed to marshal: %v", err)
+			}
+			var rp2 RTCP
+			if err := ParseRTCPInto(&rp2, out); err != nil {
+				t.Fatalf("marshaled RTCP packet failed to re-parse: %v", err)
+			}
+			if rp2.Type != rp.Type || rp2.SSRC != rp.SSRC || len(rp2.Reports) != len(rp.Reports) {
+				t.Fatalf("RTCP drifted across round-trip:\nfirst:  %+v\nsecond: %+v", rp, rp2)
+			}
+		}
+	})
+}

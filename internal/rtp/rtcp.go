@@ -115,6 +115,7 @@ func ParseRTCP(data []byte) (*RTCP, error) {
 // left in an unspecified state.
 //
 //vids:noalloc per-packet RTCP decode into caller-owned scratch
+//vids:nopanic decodes raw network bytes
 func ParseRTCPInto(p *RTCP, data []byte) error {
 	if len(data) < rtcpHeaderSize+4 {
 		return fmt.Errorf("rtp: RTCP packet too short (%d bytes)", len(data)) //vids:alloc-ok error path: malformed packet aborts processing
@@ -169,16 +170,22 @@ func parseReportsInto(out []ReceptionReport, data []byte, count int) ([]Receptio
 	if len(data) < count*receptionReportSize {
 		return nil, false
 	}
-	for i := 0; i < count; i++ {
-		off := i * receptionReportSize
+	// The per-iteration length check re-establishes the bound the
+	// nopanic gate needs after each re-slice; the aggregate check above
+	// already guaranteed it, so it never fails.
+	for ; count > 0; count-- {
+		if len(data) < receptionReportSize {
+			return nil, false
+		}
 		out = append(out, ReceptionReport{
-			SSRC:         binary.BigEndian.Uint32(data[off:]),
-			FractionLost: data[off+4],
-			TotalLost: uint32(data[off+5])<<16 |
-				uint32(data[off+6])<<8 | uint32(data[off+7]),
-			HighestSeq: binary.BigEndian.Uint32(data[off+8:]),
-			Jitter:     binary.BigEndian.Uint32(data[off+12:]),
+			SSRC:         binary.BigEndian.Uint32(data),
+			FractionLost: data[4],
+			TotalLost: uint32(data[5])<<16 |
+				uint32(data[6])<<8 | uint32(data[7]),
+			HighestSeq: binary.BigEndian.Uint32(data[8:]),
+			Jitter:     binary.BigEndian.Uint32(data[12:]),
 		})
+		data = data[receptionReportSize:]
 	}
 	return out, true
 }

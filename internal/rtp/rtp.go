@@ -71,6 +71,7 @@ func Parse(data []byte) (*Packet, error) {
 // an unspecified state.
 //
 //vids:noalloc per-packet RTP decode into caller-owned scratch
+//vids:nopanic decodes raw network bytes
 func ParseInto(p *Packet, data []byte) error {
 	if len(data) < HeaderSize {
 		return fmt.Errorf("rtp: packet too short (%d bytes)", len(data)) //vids:alloc-ok error path: malformed packet aborts processing
@@ -88,14 +89,17 @@ func ParseInto(p *Packet, data []byte) error {
 	p.Timestamp = binary.BigEndian.Uint32(data[4:])
 	p.SSRC = binary.BigEndian.Uint32(data[8:])
 	p.CSRC = p.CSRC[:0]
-	off := HeaderSize
-	for i := 0; i < cc; i++ {
-		p.CSRC = append(p.CSRC, binary.BigEndian.Uint32(data[off:]))
-		off += 4
+	// Walk the CSRC list by re-slicing a window whose bounds the
+	// length guard above established, instead of open-coding offsets —
+	// every step here is machine-checkably in bounds.
+	csrc := data[HeaderSize : HeaderSize+4*cc]
+	for len(csrc) >= 4 {
+		p.CSRC = append(p.CSRC, binary.BigEndian.Uint32(csrc))
+		csrc = csrc[4:]
 	}
 	p.Payload = nil
-	if off < len(data) {
-		p.Payload = data[off:]
+	if HeaderSize+4*cc < len(data) {
+		p.Payload = data[HeaderSize+4*cc:]
 	}
 	return nil
 }
@@ -109,6 +113,7 @@ func ParseInto(p *Packet, data []byte) error {
 // not validated.
 //
 //vids:noalloc per-packet SRTP header decode into caller-owned scratch
+//vids:nopanic decodes raw network bytes
 func ParseHeaderInto(p *Packet, data []byte) error {
 	if len(data) < HeaderSize {
 		return fmt.Errorf("rtp: packet too short (%d bytes)", len(data)) //vids:alloc-ok error path: malformed packet aborts processing
@@ -126,10 +131,10 @@ func ParseHeaderInto(p *Packet, data []byte) error {
 	p.Timestamp = binary.BigEndian.Uint32(data[4:])
 	p.SSRC = binary.BigEndian.Uint32(data[8:])
 	p.CSRC = p.CSRC[:0]
-	off := HeaderSize
-	for i := 0; i < cc; i++ {
-		p.CSRC = append(p.CSRC, binary.BigEndian.Uint32(data[off:]))
-		off += 4
+	csrc := data[HeaderSize : HeaderSize+4*cc]
+	for len(csrc) >= 4 {
+		p.CSRC = append(p.CSRC, binary.BigEndian.Uint32(csrc))
+		csrc = csrc[4:]
 	}
 	p.Payload = nil
 	return nil
@@ -195,6 +200,7 @@ func WindowAdvance(prevSeq, seq uint16, prevTS, ts uint32) (uint16, uint32) {
 // which reports the parse error exactly as before.
 //
 //vids:noalloc fast-path field extraction, no header materialization
+//vids:nopanic decodes raw network bytes
 func ExtractLite(data []byte) (ssrc uint32, pt uint8, seq uint16, ts uint32, ok bool) {
 	if len(data) < HeaderSize || data[0]>>6 != Version {
 		return 0, 0, 0, 0, false

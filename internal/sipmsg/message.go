@@ -116,6 +116,7 @@ func (v Via) String() string {
 // ParseVia parses a Via header value.
 //
 //vids:alloc-ok params map and error paths are per-Via-header; bounded by maxSIPParseAllocs
+//vids:nopanic parses untrusted wire input
 func ParseVia(s string) (Via, error) {
 	s = strings.TrimSpace(s)
 	rest, ok := strings.CutPrefix(s, "SIP/2.0/")
@@ -162,6 +163,8 @@ func (c CSeq) String() string {
 }
 
 // ParseCSeq parses a CSeq header value.
+//
+//vids:nopanic parses untrusted wire input
 func ParseCSeq(s string) (CSeq, error) {
 	fields := strings.Fields(s)
 	if len(fields) != 2 {

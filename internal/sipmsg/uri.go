@@ -24,10 +24,11 @@ type URI struct {
 // "sip" (sips is out of scope: the testbed runs plain UDP).
 //
 //vids:alloc-ok materializes URI fields; bounded by maxSIPParseAllocs
+//vids:nopanic parses untrusted wire input
 func ParseURI(s string) (URI, error) {
 	s = strings.TrimSpace(s)
 	// Strip enclosing angle brackets if present.
-	if strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">") {
+	if len(s) >= 2 && s[0] == '<' && s[len(s)-1] == '>' {
 		s = s[1 : len(s)-1]
 	}
 	rest, ok := strings.CutPrefix(s, "sip:")
@@ -57,8 +58,32 @@ func ParseURI(s string) (URI, error) {
 	if rest == "" {
 		return URI{}, fmt.Errorf("sipmsg: URI %q: empty host", s)
 	}
+	// Reject user/host parts that can never round-trip through the
+	// canonical rendering: angle brackets terminate the name-addr
+	// <...> wrapper early, an '@' in the host re-splits at the wrong
+	// separator, and whitespace or control bytes are eaten by the
+	// re-parse trim.
+	if !uriPartOK(u.User, false) || !uriPartOK(rest, true) {
+		return URI{}, fmt.Errorf("sipmsg: URI %q: reserved byte in user or host", s)
+	}
 	u.Host = rest
 	return u, nil
+}
+
+// uriPartOK reports whether a user or host part survives the
+// serialize/re-parse cycle: no whitespace, control bytes or angle
+// brackets, and no '@' inside a host.
+func uriPartOK(s string, host bool) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == 0x7f || c == '<' || c == '>' {
+			return false
+		}
+		if host && c == '@' {
+			return false
+		}
+	}
+	return true
 }
 
 // String renders the URI in canonical sip: form.
@@ -113,6 +138,7 @@ func (n NameAddr) WithTag(tag string) NameAddr {
 // addr-spec short form `sip:alice@a.com;tag=xyz`.
 //
 //vids:alloc-ok materializes name-addr fields; bounded by maxSIPParseAllocs
+//vids:nopanic parses untrusted wire input
 func ParseNameAddr(s string) (NameAddr, error) {
 	s = strings.TrimSpace(s)
 	var na NameAddr
@@ -120,7 +146,9 @@ func ParseNameAddr(s string) (NameAddr, error) {
 
 	if i := strings.IndexByte(s, '<'); i >= 0 {
 		j := strings.IndexByte(s, '>')
-		if j < i {
+		// j == i is impossible (one byte cannot be both brackets), so
+		// <= is equivalent to < and gives the gate i < j directly.
+		if j <= i {
 			return na, fmt.Errorf("sipmsg: name-addr %q: unbalanced angle brackets", s)
 		}
 		na.Display = strings.Trim(strings.TrimSpace(s[:i]), `"`)
@@ -159,14 +187,13 @@ func ParseNameAddr(s string) (NameAddr, error) {
 //vids:alloc-ok params map per name-addr header; bounded by maxSIPParseAllocs
 func parseParams(s string) map[string]string {
 	params := make(map[string]string)
-	for start := 0; start <= len(s); {
+	rest := s
+	for rest != "" {
 		var part string
-		if i := strings.IndexByte(s[start:], ';'); i >= 0 {
-			part = s[start : start+i]
-			start += i + 1
+		if i := strings.IndexByte(rest, ';'); i >= 0 {
+			part, rest = rest[:i], rest[i+1:]
 		} else {
-			part = s[start:]
-			start = len(s) + 1
+			part, rest = rest, ""
 		}
 		part = strings.TrimSpace(part)
 		if part == "" {

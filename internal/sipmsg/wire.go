@@ -76,6 +76,7 @@ var crlfcrlf = []byte("\r\n\r\n")
 // copy the body (Clone does).
 //
 //vids:noalloc per-packet SIP decode; budget alloc_test.go:maxSIPParseAllocs
+//vids:nopanic parses untrusted wire input
 func Parse(data []byte) (*Message, error) {
 	headerEnd, bodyStart := len(data), len(data)
 	if i := bytes.Index(data, crlfcrlf); i >= 0 {
@@ -130,7 +131,7 @@ func Parse(data []byte) (*Message, error) {
 	if m.MaxForwards < 0 {
 		m.MaxForwards = 70
 	}
-	body := data[bodyStart:]
+	body := data[bodyStart:] //vids:panic-ok bodyStart is len(data) or bytes.Index(data, crlfcrlf)+4 ≤ len(data) when the 4-byte needle is found
 	if contentLength >= 0 {
 		if contentLength > len(body) {
 			return nil, fmt.Errorf("sipmsg: Content-Length %d exceeds body size %d", //vids:alloc-ok error path: malformed message aborts parsing
@@ -152,12 +153,16 @@ func Parse(data []byte) (*Message, error) {
 // mean the input is exhausted; a final CRLF yields one trailing empty
 // line, matching a CRLF string split.
 func cutLine(b []byte, pos int) ([]byte, int) {
-	for i := pos; i+1 < len(b); i++ {
-		if b[i] == '\r' && b[i+1] == '\n' {
-			return b[pos:i], i + 2
+	if pos < 0 || pos > len(b) {
+		return nil, len(b) + 1
+	}
+	rest := b[pos:]
+	for i := 0; i+1 < len(rest); i++ {
+		if rest[i] == '\r' && rest[i+1] == '\n' {
+			return rest[:i], pos + i + 2
 		}
 	}
-	return b[pos:], len(b) + 1
+	return rest, len(b) + 1
 }
 
 // parseHeaderLine dispatches one logical (unfolded) header line.
@@ -263,7 +268,7 @@ func (m *Message) parseViaLine(value []byte) error {
 				continue
 			}
 		}
-		v, err := ParseVia(string(trimASCII(value[start:i])))
+		v, err := ParseVia(string(trimASCII(value[start:i]))) //vids:panic-ok start is 0 or i+1 for an earlier loop index, so 0 ≤ start ≤ i ≤ len(value)
 		if err != nil {
 			return err
 		}
@@ -296,23 +301,29 @@ func parseStartLineBytes(m *Message, line []byte) error {
 	// Request line: INVITE sip:bob@b.com SIP/2.0
 	var fields [3][]byte
 	n := 0
-	for i := 0; i < len(line); {
-		for i < len(line) && asciiSpace(line[i]) {
-			i++
+	rest := line
+	for len(rest) > 0 {
+		for len(rest) > 0 && asciiSpace(rest[0]) {
+			rest = rest[1:]
 		}
-		if i >= len(line) {
+		if len(rest) == 0 {
 			break
 		}
-		j := i
-		for j < len(line) && !asciiSpace(line[j]) {
+		j := 0
+		for j < len(rest) && !asciiSpace(rest[j]) {
 			j++
 		}
-		if n == len(fields) {
+		if n >= len(fields) {
 			return fmt.Errorf("sipmsg: bad request line %q", line)
 		}
-		fields[n] = line[i:j]
+		if j < len(rest) {
+			fields[n] = rest[:j]
+			rest = rest[j:]
+		} else {
+			fields[n] = rest
+			rest = rest[:0]
+		}
 		n++
-		i = j
 	}
 	if n != 3 || string(fields[2]) != sipVersion {
 		return fmt.Errorf("sipmsg: bad request line %q", line)
@@ -333,27 +344,33 @@ func parseStartLineBytes(m *Message, line []byte) error {
 func parseCSeqBytes(b []byte) (CSeq, error) {
 	var f0, f1 []byte
 	n := 0
-	for i := 0; i < len(b); {
-		for i < len(b) && asciiSpace(b[i]) {
-			i++
+	rest := b
+	for len(rest) > 0 {
+		for len(rest) > 0 && asciiSpace(rest[0]) {
+			rest = rest[1:]
 		}
-		if i >= len(b) {
+		if len(rest) == 0 {
 			break
 		}
-		j := i
-		for j < len(b) && !asciiSpace(b[j]) {
+		j := 0
+		for j < len(rest) && !asciiSpace(rest[j]) {
 			j++
+		}
+		field := rest
+		if j < len(rest) {
+			field, rest = rest[:j], rest[j:]
+		} else {
+			rest = rest[:0]
 		}
 		switch n {
 		case 0:
-			f0 = b[i:j]
+			f0 = field
 		case 1:
-			f1 = b[i:j]
+			f1 = field
 		default:
 			return CSeq{}, fmt.Errorf("sipmsg: CSeq %q: want <seq> <method>", b)
 		}
 		n++
-		i = j
 	}
 	if n != 2 {
 		return CSeq{}, fmt.Errorf("sipmsg: CSeq %q: want <seq> <method>", b)
@@ -460,18 +477,18 @@ func lookupHeader(name []byte) (int, string) {
 //
 //vids:alloc-ok unknown header names only; known headers hit the static table
 func canonicalizeBytes(name []byte) string {
-	out := make([]byte, len(name))
+	out := make([]byte, 0, len(name))
 	up := true
-	for i, c := range name {
+	for _, c := range name {
 		switch {
 		case c == '-':
-			out[i] = c
+			out = append(out, c)
 			up = true
 		case up:
-			out[i] = upperByte(c)
+			out = append(out, upperByte(c))
 			up = false
 		default:
-			out[i] = lowerByte(c)
+			out = append(out, lowerByte(c))
 		}
 	}
 	return string(out)
